@@ -1,0 +1,44 @@
+// Calibration helper: one run per system at the reference point
+// (256B values, 90% reads) with wall-clock timing. Not a paper figure; used
+// to sanity-check absolute throughput magnitudes and simulator speed.
+#include <chrono>
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace recipe::bench;
+  using Clock = std::chrono::steady_clock;
+
+  ExperimentParams params;
+  params.value_size = 256;
+  params.read_fraction = 0.9;
+
+  struct Entry {
+    const char* name;
+    RunResult (*fn)(const ExperimentParams&);
+  };
+  const Entry systems[] = {
+      {"R-CR", run_cr},       {"R-ABD", run_abd},
+      {"R-Raft", run_raft},   {"R-AllConcur", run_allconcur},
+      {"PBFT", run_pbft},     {"Damysus", run_damysus},
+  };
+
+  std::printf("Calibration @256B, 90%%R (paper targets: PBFT ~55k, Damysus "
+              "~152k, R-ABD ~0.7M, R-AllConcur ~0.5M, R-Raft ~0.9M, R-CR "
+              "~1.3M)\n");
+  for (const Entry& entry : systems) {
+    const auto t0 = Clock::now();
+    const RunResult result = entry.fn(params);
+    const double wall =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    std::printf("%-14s %12.0f ops/s   p50=%5llu us  completed=%8llu  "
+                "failed=%llu  [wall %.1fs]\n",
+                entry.name, result.ops_per_sec,
+                static_cast<unsigned long long>(result.latency_us.percentile(0.5)),
+                static_cast<unsigned long long>(result.completed),
+                static_cast<unsigned long long>(result.failed), wall);
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Figure 4: throughput of the four Recipe protocols vs PBFT (BFT-smart)
+// across read/write ratios {50, 75, 90, 95, 99}% reads, 256B values, and the
+// speedup table (left side of the figure).
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace recipe::bench;
+
+  const std::vector<double> read_fractions = {0.50, 0.75, 0.90, 0.95, 0.99};
+
+  std::printf("Figure 4: throughput (Ops/s) and speedup vs PBFT, 256B values\n");
+  std::printf("%-8s %12s %12s %12s %12s %12s\n", "R%", "PBFT", "R-Raft", "R-CR",
+              "R-AllConcur", "R-ABD");
+
+  struct Row {
+    double r;
+    double pbft, raft, cr, allconcur, abd;
+  };
+  std::vector<Row> rows;
+
+  for (double r : read_fractions) {
+    ExperimentParams params;
+    params.read_fraction = r;
+    params.value_size = 256;
+    Row row{};
+    row.r = r;
+    row.pbft = run_pbft(params).ops_per_sec;
+    row.raft = run_raft(params).ops_per_sec;
+    row.cr = run_cr(params).ops_per_sec;
+    row.allconcur = run_allconcur(params).ops_per_sec;
+    row.abd = run_abd(params).ops_per_sec;
+    rows.push_back(row);
+    std::printf("%-8.0f %12.0f %12.0f %12.0f %12.0f %12.0f\n", r * 100,
+                row.pbft, row.raft, row.cr, row.allconcur, row.abd);
+  }
+
+  std::printf("\nSpeedup vs PBFT (paper reports 5.3x - 24x):\n");
+  std::printf("%-8s %10s %10s %12s %10s\n", "R%", "R-ABD", "R-CR", "R-Raft",
+              "R-AllConcur");
+  for (const Row& row : rows) {
+    std::printf("%-8.0f %9.1fx %9.1fx %11.1fx %9.1fx\n", row.r * 100,
+                row.abd / row.pbft, row.cr / row.pbft, row.raft / row.pbft,
+                row.allconcur / row.pbft);
+  }
+  return 0;
+}

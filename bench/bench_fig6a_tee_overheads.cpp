@@ -1,0 +1,39 @@
+// Figure 6a: overhead of the Recipe transformation + TEEs relative to a
+// NATIVE execution of the same protocol code (same direct-I/O network stack,
+// no authentication layer, no enclave). Paper: 2x-15x slowdown, highest for
+// the batching/total-order protocols (Raft, AllConcur).
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace recipe::bench;
+
+  // Three representative mixes (the full five-point sweep is identical in
+  // shape and doubles the runtime of the native runs).
+  const std::vector<double> read_fractions = {0.50, 0.90, 0.99};
+
+  std::printf("Figure 6a: TEE+transformation overhead (native ops / R- ops)\n");
+  std::printf("%-8s %10s %10s %12s %10s\n", "R%", "R-Raft", "R-CR",
+              "R-AllConcur", "R-ABD");
+
+  for (double r : read_fractions) {
+    ExperimentParams secured;
+    secured.read_fraction = r;
+    ExperimentParams native = secured;
+    native.secured = false;
+
+    const double raft = run_raft(native).ops_per_sec /
+                        run_raft(secured).ops_per_sec;
+    const double cr = run_cr(native).ops_per_sec / run_cr(secured).ops_per_sec;
+    const double allconcur = run_allconcur(native).ops_per_sec /
+                             run_allconcur(secured).ops_per_sec;
+    const double abd = run_abd(native).ops_per_sec /
+                       run_abd(secured).ops_per_sec;
+    std::printf("%-8.0f %9.1fx %9.1fx %11.1fx %9.1fx\n", r * 100, raft, cr,
+                allconcur, abd);
+  }
+  std::printf("(paper: overall 2x-15x; Raft/AllConcur highest)\n");
+  return 0;
+}

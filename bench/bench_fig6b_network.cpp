@@ -1,0 +1,81 @@
+// Figure 6b: network goodput (Gbps) vs payload size for five stacks:
+//   kernel-net, direct I/O, kernel-net (TEEs), direct I/O (TEEs), and
+//   Recipe-lib(net) (= direct I/O in TEEs + the shielding layer).
+// Paper: TEEs degrade both stacks 4x-8x; Recipe-lib(net) is up to ~1.66x
+// faster than kernel-net(TEEs); direct I/O native approaches line rate.
+#include <cstdio>
+#include <vector>
+
+#include "net/network.h"
+#include "sim/simulator.h"
+#include "tee/cost_model.h"
+
+namespace {
+
+using namespace recipe;
+
+// Streams `count` packets of `payload` bytes from node 1 to node 2 and
+// returns the achieved goodput in Gbps. `extra_cpu_per_msg` models
+// additional per-message work on each side (Recipe's shield/verify).
+double stream_goodput_gbps(net::NetStackParams stack, std::size_t payload,
+                           sim::Time extra_send_cpu, sim::Time extra_recv_cpu) {
+  sim::Simulator simulator;
+  net::SimNetwork network(simulator, Rng(1));
+
+  const std::size_t count = 2000;
+  std::size_t received = 0;
+  sim::Time last_arrival = 0;
+
+  network.attach(NodeId{1}, stack, [](net::Packet&&) {});
+  network.attach(NodeId{2}, stack, [&](net::Packet&&) {
+    ++received;
+    last_arrival = simulator.now();
+  });
+
+  for (std::size_t i = 0; i < count; ++i) {
+    if (extra_send_cpu > 0) network.cpu(NodeId{1}).charge(extra_send_cpu);
+    network.send(net::Packet{NodeId{1}, NodeId{2}, 0, Bytes(payload)});
+    if (extra_recv_cpu > 0) network.cpu(NodeId{2}).charge(extra_recv_cpu);
+  }
+  simulator.run_all();
+
+  const double bits = static_cast<double>(received) *
+                      static_cast<double>(payload) * 8.0;
+  const double seconds =
+      static_cast<double>(last_arrival) / static_cast<double>(sim::kSecond);
+  return bits / seconds / 1e9;
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<std::size_t> payloads = {64, 256, 1024, 1460, 2048, 4096};
+  tee::TeeCostModel cost;
+
+  std::printf("Figure 6b: network goodput (Gbps) vs payload size\n");
+  std::printf("%-8s %12s %12s %14s %14s %16s\n", "bytes", "kernel-net",
+              "direct I/O", "kernel (TEE)", "direct (TEE)", "Recipe-lib(net)");
+
+  for (std::size_t p : payloads) {
+    const double kernel =
+        stream_goodput_gbps(net::NetStackParams::kernel_native(), p, 0, 0);
+    const double direct =
+        stream_goodput_gbps(net::NetStackParams::direct_io_native(), p, 0, 0);
+    const double kernel_tee =
+        stream_goodput_gbps(net::NetStackParams::kernel_tee(), p, 0, 0);
+    const double direct_tee =
+        stream_goodput_gbps(net::NetStackParams::direct_io_tee(), p, 0, 0);
+    // Recipe-lib(net): direct I/O in TEEs plus shield/verify per message.
+    const sim::Time shield = cost.exitless_call() + cost.mac(p);
+    const double recipe_lib = stream_goodput_gbps(
+        net::NetStackParams::direct_io_tee(), p, shield, shield);
+    std::printf("%-8zu %12.2f %12.2f %14.2f %14.2f %16.2f\n", p, kernel,
+                direct, kernel_tee, direct_tee, recipe_lib);
+  }
+
+  std::printf("\nShape checks (paper):\n");
+  std::printf("  - TEEs degrade kernel-net and direct I/O by 4x-8x\n");
+  std::printf("  - Recipe-lib(net) up to ~1.66x faster than kernel-net(TEE)\n");
+  std::printf("  - direct I/O (native) approaches 40GbE line rate at 4KB\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Micro-benchmarks for the partitioned KV store: skiplist ops with integrity
+// verification, with and without confidentiality mode.
+#include <benchmark/benchmark.h>
+
+#include "kvstore/kvstore.h"
+#include "workload/workload.h"
+
+namespace {
+
+using namespace recipe;
+
+kv::KvConfig confidential() {
+  kv::KvConfig config;
+  config.value_encryption_key = crypto::SymmetricKey{Bytes(32, 0x55)};
+  return config;
+}
+
+void fill(kv::KvStore& store, std::size_t keys, std::size_t value_size) {
+  for (std::size_t i = 0; i < keys; ++i) {
+    store.write(workload::key_name(i), as_view(workload::make_value(value_size, i)));
+  }
+}
+
+void BM_KvWrite(benchmark::State& state) {
+  kv::KvStore store;
+  const Bytes value = workload::make_value(static_cast<std::size_t>(state.range(0)), 1);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        store.write(workload::key_name(i++ % 10000), as_view(value)));
+  }
+}
+BENCHMARK(BM_KvWrite)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_KvGetVerified(benchmark::State& state) {
+  kv::KvStore store;
+  fill(store, 10000, static_cast<std::size_t>(state.range(0)));
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.get(workload::key_name(rng.below(10000))));
+  }
+}
+BENCHMARK(BM_KvGetVerified)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_KvGetConfidential(benchmark::State& state) {
+  kv::KvStore store(confidential());
+  fill(store, 10000, static_cast<std::size_t>(state.range(0)));
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.get(workload::key_name(rng.below(10000))));
+  }
+}
+BENCHMARK(BM_KvGetConfidential)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_KvTimestampLookup(benchmark::State& state) {
+  kv::KvStore store;
+  fill(store, 10000, 256);
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.timestamp(workload::key_name(rng.below(10000))));
+  }
+}
+BENCHMARK(BM_KvTimestampLookup);
+
+void BM_ZipfianSample(benchmark::State& state) {
+  ZipfianGenerator zipf(10000, 0.99);
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.next(rng));
+  }
+}
+BENCHMARK(BM_ZipfianSample);
+
+}  // namespace
+
+BENCHMARK_MAIN();

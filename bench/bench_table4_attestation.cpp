@@ -1,0 +1,73 @@
+// Table 4: end-to-end attestation latency — Recipe's in-datacenter CAS vs
+// the vendor attestation service (IAS). Paper: CAS 0.169s vs IAS 2.913s,
+// ~18.2x. The distinguishing variables are the WAN round trips and the
+// vendor-side verification latency.
+#include <cstdio>
+
+#include "attest/cas.h"
+#include "rpc/rpc.h"
+#include "tee/enclave.h"
+
+int main() {
+  using namespace recipe;
+
+  sim::Simulator simulator;
+  net::SimNetwork network(simulator, Rng(5));
+  tee::TeePlatform platform(1);
+
+  const auto measurement = crypto::Sha256::hash(as_view("recipe-replica"));
+  attest::ClusterPlan plan;
+  plan.replicas = {NodeId{1}, NodeId{2}, NodeId{3}};
+
+  // Recipe CAS: attested service in the same datacenter.
+  attest::AuthorityParams cas_params;
+  cas_params.service_time = 150 * sim::kMillisecond;
+  attest::AttestationAuthority cas(simulator, network, NodeId{1000},
+                                   net::NetStackParams::direct_io_native(),
+                                   cas_params);
+  cas.register_platform(platform);
+  cas.upload_plan(plan, measurement);
+
+  // IAS: vendor service across the WAN with EPID verification latency.
+  attest::AuthorityParams ias_params;
+  ias_params.service_time = 2800 * sim::kMillisecond;
+  net::NetStackParams wan = net::NetStackParams::kernel_native();
+  wan.propagation_delay = 45 * sim::kMillisecond;
+  attest::AttestationAuthority ias(simulator, network, NodeId{1002}, wan,
+                                   ias_params);
+  ias.register_platform(platform);
+  ias.upload_plan(plan, measurement);
+
+  double cas_mean = 0, ias_mean = 0;
+  const int kRuns = 10;
+  for (int run = 0; run < kRuns; ++run) {
+    tee::Enclave e1(platform, "recipe-replica", 100 + static_cast<std::uint64_t>(run));
+    rpc::RpcObject r1(simulator, network, NodeId{1},
+                      net::NetStackParams::direct_io_native());
+    attest::AttestationClient c1(r1, e1, nullptr);
+    tee::Enclave e2(platform, "recipe-replica", 200 + static_cast<std::uint64_t>(run));
+    rpc::RpcObject r2(simulator, network, NodeId{2},
+                      net::NetStackParams::kernel_native());
+    attest::AttestationClient c2(r2, e2, nullptr);
+
+    cas.attest_and_provision(NodeId{1}, NodeId{1}, true,
+                             [&](Status s, sim::Time t) {
+                               if (s.is_ok()) cas_mean += static_cast<double>(t);
+                             });
+    simulator.run_all();
+    ias.attest_and_provision(NodeId{2}, NodeId{2}, true,
+                             [&](Status s, sim::Time t) {
+                               if (s.is_ok()) ias_mean += static_cast<double>(t);
+                             });
+    simulator.run_all();
+  }
+  cas_mean /= kRuns * static_cast<double>(sim::kSecond);
+  ias_mean /= kRuns * static_cast<double>(sim::kSecond);
+
+  std::printf("Table 4: attestation latency (mean over %d runs)\n", kRuns);
+  std::printf("  %-12s %8.3f s   (paper: 0.169 s)\n", "Recipe CAS", cas_mean);
+  std::printf("  %-12s %8.3f s   (paper: 2.913 s)\n", "IAS", ias_mean);
+  std::printf("  %-12s %7.1fx   (paper: 18.2x)\n", "Speedup",
+              ias_mean / cas_mean);
+  return 0;
+}

@@ -1,0 +1,94 @@
+// protocol_zoo: all four Recipe-transformed CFT protocols (Table 1: one per
+// taxonomy quadrant) running the same YCSB-style workload side by side.
+//
+//                     leader-based          leaderless
+//   total order       R-Raft                R-AllConcur
+//   per-key order     R-CR                  R-ABD
+#include <cstdio>
+
+#include "bft/pbft/pbft.h"
+#include "protocols/abd/abd.h"
+#include "protocols/allconcur/allconcur.h"
+#include "protocols/cr/cr.h"
+#include "protocols/raft/raft.h"
+#include "workload/testbed.h"
+
+using namespace recipe;
+using workload::Testbed;
+using workload::TestbedConfig;
+
+namespace {
+
+TestbedConfig base_config() {
+  TestbedConfig config;
+  config.num_replicas = 3;
+  config.num_clients = 8;
+  config.workload.num_keys = 1000;
+  config.workload.read_fraction = 0.9;
+  config.workload.value_size = 256;
+  config.secured = true;
+  config.window = 100 * sim::kMillisecond;
+  config.warmup = 30 * sim::kMillisecond;
+  return config;
+}
+
+void row(const char* name, const char* ordering, const char* coordination,
+         const char* reads, const workload::RunResult& result) {
+  std::printf("%-13s %-10s %-13s %-22s %10.0f %10llu\n", name, ordering,
+              coordination, reads, result.ops_per_sec,
+              static_cast<unsigned long long>(result.latency_us.percentile(0.5)));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Recipe protocol zoo — 3 replicas, 8 clients, 90%% reads, 256B\n\n");
+  std::printf("%-13s %-10s %-13s %-22s %10s %10s\n", "protocol", "ordering",
+              "coordination", "reads", "ops/s", "p50(us)");
+
+  {
+    Testbed<protocols::RaftNode> testbed(base_config());
+    protocols::RaftOptions raft;
+    raft.initial_leader = NodeId{1};
+    testbed.build(raft);
+    testbed.preload();
+    row("R-Raft", "total", "leader", "local @ leader (lease)",
+        testbed.run(Testbed<protocols::RaftNode>::route_all_to(NodeId{1})));
+  }
+  {
+    Testbed<protocols::ChainNode> testbed(base_config());
+    testbed.build();
+    testbed.preload();
+    row("R-CR", "per-key", "leader(head)", "local @ tail",
+        testbed.run(testbed.route_head_tail()));
+  }
+  {
+    Testbed<protocols::AbdNode> testbed(base_config());
+    testbed.build();
+    testbed.preload();
+    row("R-ABD", "per-key", "leaderless", "quorum (1 round)",
+        testbed.run(testbed.route_round_robin()));
+  }
+  {
+    Testbed<protocols::AllConcurNode> testbed(base_config());
+    testbed.build();
+    testbed.preload();
+    row("R-AllConcur", "total", "leaderless", "local (seq. consistency)",
+        testbed.run(testbed.route_round_robin()));
+  }
+
+  std::printf("\nFor comparison, the classical BFT baseline needs 3f+1 nodes:\n");
+  {
+    TestbedConfig config = base_config();
+    config.num_replicas = 4;
+    config.secured = false;
+    config.replica_stack = net::NetStackParams::kernel_native();
+    config.replica_cores = 2;
+    Testbed<bft::PbftNode> testbed(config);
+    testbed.build();
+    testbed.preload();
+    row("PBFT", "total", "primary", "via 3-phase commit",
+        testbed.run(Testbed<bft::PbftNode>::route_all_to(NodeId{1})));
+  }
+  return 0;
+}

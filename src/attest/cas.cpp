@@ -1,0 +1,282 @@
+#include "attest/cas.h"
+
+#include <memory>
+
+#include "common/serde.h"
+#include "recipe/message.h"
+
+namespace recipe::attest {
+
+Bytes encode_quote(const tee::Quote& quote) {
+  Writer w;
+  w.raw(BytesView(quote.report.measurement.data(), quote.report.measurement.size()));
+  w.u64(quote.report.platform_id);
+  w.u64(quote.report.enclave_id);
+  w.bytes(as_view(quote.report.report_data));
+  w.raw(BytesView(quote.mac.data(), quote.mac.size()));
+  return std::move(w).take();
+}
+
+Result<tee::Quote> decode_quote(BytesView data) {
+  Reader r(data);
+  tee::Quote quote;
+  auto measurement = r.raw(quote.report.measurement.size());
+  auto platform = r.u64();
+  auto enclave = r.u64();
+  auto report_data = r.bytes();
+  auto mac = r.raw(quote.mac.size());
+  if (!measurement || !platform || !enclave || !report_data || !mac) {
+    return Status::error(ErrorCode::kInvalidArgument, "truncated quote");
+  }
+  std::copy(measurement->begin(), measurement->end(),
+            quote.report.measurement.begin());
+  quote.report.platform_id = *platform;
+  quote.report.enclave_id = *enclave;
+  quote.report.report_data = std::move(*report_data);
+  std::copy(mac->begin(), mac->end(), quote.mac.begin());
+  return quote;
+}
+
+crypto::SymmetricKey derive_channel_key_from_root(
+    const crypto::SymmetricKey& root, NodeId a, NodeId b) {
+  const std::uint64_t lo = std::min(a.value, b.value);
+  const std::uint64_t hi = std::max(a.value, b.value);
+  Writer info;
+  info.str("recipe-channel-key");
+  info.u64(lo);
+  info.u64(hi);
+  return crypto::SymmetricKey{crypto::hkdf_sha256(
+      root.view(), BytesView{}, as_view(info.buffer()), crypto::kSymmetricKeySize)};
+}
+
+Result<crypto::SymmetricKey> enclave_channel_key(const tee::Enclave& enclave,
+                                                 NodeId self, NodeId peer) {
+  if (enclave.has_secret(kClusterRootName)) {
+    auto root = enclave.secret(kClusterRootName);
+    if (!root) return root.status();
+    return derive_channel_key_from_root(root.value(), self, peer);
+  }
+  return enclave.secret(channel_secret_name(self, peer));
+}
+
+AttestationAuthority::AttestationAuthority(sim::Simulator& simulator,
+                                           net::SimNetwork& network, NodeId self,
+                                           net::NetStackParams stack,
+                                           AuthorityParams params)
+    : simulator_(simulator),
+      rpc_(simulator, network, self, stack),
+      params_(params),
+      rng_(params.key_seed) {
+  // Root-of-trust key material for this deployment.
+  Writer seed;
+  seed.u64(params.key_seed);
+  seed.str("authority-root");
+  const Bytes salt = to_bytes("recipe-cas-v1");
+  cluster_root_ = crypto::SymmetricKey{crypto::hkdf_sha256(
+      as_view(seed.buffer()), as_view(salt), BytesView{}, crypto::kSymmetricKeySize)};
+  Writer vseed;
+  vseed.u64(params.key_seed);
+  vseed.str("value-key");
+  value_key_ = crypto::SymmetricKey{crypto::hkdf_sha256(
+      as_view(vseed.buffer()), as_view(salt), BytesView{}, crypto::kSymmetricKeySize)};
+}
+
+void AttestationAuthority::upload_plan(ClusterPlan plan,
+                                       const tee::Measurement& measurement) {
+  plan_ = std::move(plan);
+  allow_measurement(measurement);
+}
+
+void AttestationAuthority::allow_measurement(const tee::Measurement& measurement) {
+  allowed_measurements_.insert(
+      to_hex(BytesView(measurement.data(), measurement.size())));
+}
+
+crypto::SymmetricKey AttestationAuthority::derive_channel_key(NodeId a,
+                                                              NodeId b) const {
+  return derive_channel_key_from_root(cluster_root_, a, b);
+}
+
+void AttestationAuthority::attest_and_provision(NodeId target,
+                                                NodeId as_principal,
+                                                bool full_member, Done done) {
+  if (!plan_) {
+    done(Status::error(ErrorCode::kInternal, "no cluster plan uploaded"),
+         0);
+    return;
+  }
+  const sim::Time started = simulator_.now();
+
+  // Fresh nonce + ephemeral DH keypair per attestation session.
+  const std::uint64_t nonce_value = rng_.next();
+  const crypto::DhKeyPair dh = crypto::DiffieHellman::generate(rng_);
+
+  Writer challenge;
+  challenge.u64(nonce_value);
+  challenge.u64(dh.public_value);
+
+  auto shared = std::make_shared<Done>(std::move(done));
+  rpc_.send(
+      target, msg::kAttestChallenge, std::move(challenge).take(),
+      [this, target, as_principal, full_member, started, nonce_value, dh,
+       shared](NodeId /*src*/, Bytes quote_bytes) {
+        auto quote = decode_quote(as_view(quote_bytes));
+        if (!quote) {
+          (*shared)(quote.status(), simulator_.now() - started);
+          return;
+        }
+
+        // 1. Hardware authenticity: quote MAC under the platform root key.
+        const Bytes quoted = quote.value().report.serialize();
+        if (!verifier_.verify(quote.value().report.platform_id, as_view(quoted),
+                              BytesView(quote.value().mac.data(),
+                                        quote.value().mac.size()))) {
+          (*shared)(Status::error(ErrorCode::kAuthFailed, "bad quote MAC"),
+                    simulator_.now() - started);
+          return;
+        }
+        // 2. Code identity: measurement allowlist.
+        const auto& m = quote.value().report.measurement;
+        if (!allowed_measurements_.contains(to_hex(BytesView(m.data(), m.size())))) {
+          (*shared)(Status::error(ErrorCode::kAuthFailed,
+                                  "measurement not in allowlist"),
+                    simulator_.now() - started);
+          return;
+        }
+        // 3. Freshness + DH binding: report_data = [nonce, enclave_dh_pub].
+        Reader rd(as_view(quote.value().report.report_data));
+        auto nonce_echo = rd.bytes();
+        auto enclave_pub = rd.u64();
+        if (!nonce_echo || !enclave_pub) {
+          (*shared)(Status::error(ErrorCode::kInvalidArgument,
+                                  "malformed report_data"),
+                    simulator_.now() - started);
+          return;
+        }
+        Writer expected_nonce;
+        expected_nonce.u64(nonce_value);
+        if (as_view(*nonce_echo).size() != expected_nonce.buffer().size() ||
+            !std::equal(nonce_echo->begin(), nonce_echo->end(),
+                        expected_nonce.buffer().begin())) {
+          (*shared)(Status::error(ErrorCode::kAuthFailed, "stale nonce"),
+                    simulator_.now() - started);
+          return;
+        }
+
+        // Build the secrets bundle for this principal.
+        SecretsBundle bundle;
+        bundle.assigned_id = as_principal;
+        bundle.membership = plan_->replicas;
+        bundle.confidentiality = plan_->confidentiality;
+        if (plan_->confidentiality) bundle.value_key = value_key_;
+        if (full_member) {
+          bundle.root_key = cluster_root_;
+        } else {
+          for (NodeId peer : plan_->replicas) {
+            bundle.channel_keys.emplace_back(
+                peer, derive_channel_key(as_principal, peer));
+          }
+        }
+
+        const crypto::SymmetricKey session_key =
+            crypto::DiffieHellman::shared_key(dh.private_exponent, *enclave_pub,
+                                              as_view("recipe-provision"));
+        const Bytes sealed = seal_bundle(bundle, session_key, nonce_counter_++);
+
+        Writer grant;
+        grant.u64(dh.public_value);
+        grant.bytes(as_view(sealed));
+
+        // Charge the authority's service time (quote verification, TLS,
+        // report processing) before the grant leaves.
+        simulator_.schedule(
+            params_.service_time,
+            [this, target, full_member, started, shared,
+             payload = std::move(grant).take()]() mutable {
+              rpc_.send(target, msg::kSecretsGrant, std::move(payload),
+                        [this, target, full_member, started, shared](
+                            NodeId, Bytes ack) {
+                          Reader r(as_view(ack));
+                          const auto ok = r.boolean();
+                          const sim::Time elapsed = simulator_.now() - started;
+                          if (ok && *ok) {
+                            // Tell the cluster this principal (re)joined as
+                            // a fresh replica (paper §3.7 step 3).
+                            if (full_member) announce_fresh_node(target);
+                            (*shared)(Status::ok(), elapsed);
+                          } else {
+                            (*shared)(Status::error(ErrorCode::kAuthFailed,
+                                                    "provisioning rejected"),
+                                      elapsed);
+                          }
+                        });
+            });
+      });
+}
+
+void AttestationAuthority::announce_fresh_node(NodeId fresh) {
+  if (!plan_) return;
+  for (NodeId replica : plan_->replicas) {
+    if (replica == fresh) continue;
+    // Shield the notice on the CAS<->replica channel: the CAS holds the
+    // cluster root, so replicas verify it like any peer message.
+    ShieldedMessage notice;
+    notice.header.view = ViewId{0};
+    notice.header.cq = directed_channel(rpc_.self(), replica);
+    notice.header.cnt = ++announce_counters_[notice.header.cq];
+    notice.header.sender = rpc_.self();
+    notice.header.receiver = replica;
+    Writer payload;
+    payload.id(fresh);
+    notice.payload = std::move(payload).take();
+    const crypto::Mac mac =
+        crypto::hmac_sha256(derive_channel_key(rpc_.self(), replica).view(),
+                            as_view(notice.authenticated_data()));
+    notice.mac.assign(mac.begin(), mac.end());
+    rpc_.send(replica, msg::kFreshNode, notice.serialize());
+  }
+}
+
+AttestationClient::AttestationClient(rpc::RpcObject& rpc, tee::Enclave& enclave,
+                                     Provisioned on_provisioned)
+    : rpc_(rpc), enclave_(enclave), on_provisioned_(std::move(on_provisioned)) {
+  rpc_.register_handler(msg::kAttestChallenge, [this](rpc::RequestContext& ctx) {
+    Reader r(as_view(ctx.payload));
+    const auto nonce_value = r.u64();
+    const auto authority_pub = r.u64();
+    if (!nonce_value || !authority_pub) return;  // malformed: drop
+    Writer nonce;
+    nonce.u64(*nonce_value);
+    auto report = enclave_.attest(as_view(nonce.buffer()));
+    if (!report) return;  // crashed enclave: no answer
+    auto quote = enclave_.generate_quote(report.value());
+    if (!quote) return;
+    ctx.respond(encode_quote(quote.value()));
+  });
+
+  rpc_.register_handler(msg::kSecretsGrant, [this](rpc::RequestContext& ctx) {
+    Reader r(as_view(ctx.payload));
+    const auto authority_pub = r.u64();
+    auto sealed = r.bytes();
+    Writer ack;
+    if (!authority_pub || !sealed) {
+      ack.boolean(false);
+      ctx.respond(std::move(ack).take());
+      return;
+    }
+    auto info = open_and_install_bundle(enclave_, *authority_pub, as_view(*sealed),
+                                        as_view("recipe-provision"));
+    if (!info) {
+      ack.boolean(false);
+      ctx.respond(std::move(ack).take());
+      return;
+    }
+    provisioned_ = true;
+    info_ = info.value();
+    ack.boolean(true);
+    ctx.respond(std::move(ack).take());
+    if (on_provisioned_) on_provisioned_(info_);
+  });
+}
+
+}  // namespace recipe::attest

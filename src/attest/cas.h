@@ -1,0 +1,151 @@
+// Configuration and Attestation Service (CAS) + IAS model (paper §3.6, §A.3).
+//
+// The CAS runs inside a TEE in the same datacenter as the replicas; the
+// Protocol Designer attests it once through the hardware vendor's service
+// (IAS) and uploads the cluster plan + secrets. After that, every replica,
+// recovering node and client attests against the CAS with in-DC latencies —
+// Table 4 shows that this is ~18x faster than going to IAS for each
+// attestation, which we reproduce by instantiating the same
+// AttestationAuthority with WAN parameters.
+//
+// Wire flow per target (Fig. 1, blue box):
+//   authority -> host:   AttestChallenge { nonce, authority_dh_pub }
+//   host(enclave):       attest(nonce) -> report; generate_quote(report)
+//   host -> authority:   QuoteResponse { quote }
+//   authority:           verify quote (hw key + measurement allowlist),
+//                        derive DH key, seal secrets bundle      [service time]
+//   authority -> host:   SecretsGrant { authority_dh_pub, sealed_bundle }
+//   host(enclave):       open_and_install_bundle -> ACK
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "attest/bundle.h"
+#include "common/ids.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "crypto/dh.h"
+#include "rpc/rpc.h"
+#include "tee/enclave.h"
+#include "tee/platform.h"
+
+namespace recipe::attest {
+
+// RPC request types used by the attestation protocol.
+namespace msg {
+constexpr rpc::RequestType kAttestChallenge = 0xA7701;
+constexpr rpc::RequestType kSecretsGrant = 0xA7702;
+// CAS -> replicas: "node X re-attested and joins as a FRESH replica" —
+// receivers reset X's channel counters (paper §3.7 step 3).
+constexpr rpc::RequestType kFreshNode = 0xA7703;
+}  // namespace msg
+
+Bytes encode_quote(const tee::Quote& quote);
+Result<tee::Quote> decode_quote(BytesView data);
+
+// The cluster plan the Protocol Designer uploads to the CAS.
+struct ClusterPlan {
+  std::vector<NodeId> replicas;
+  bool confidentiality = false;
+};
+
+struct AuthorityParams {
+  // Aggregate service-side latency per attestation (quote verification,
+  // TLS, report processing). CAS default 0.15s; IAS ~2.8s (Table 4).
+  sim::Time service_time = 150 * sim::kMillisecond;
+  std::uint64_t key_seed = 0xCA5;
+};
+
+// An attestation authority: the CAS, or the IAS-direct path for Table 4.
+class AttestationAuthority {
+ public:
+  using Done = std::function<void(Status, sim::Time elapsed)>;
+
+  AttestationAuthority(sim::Simulator& simulator, net::SimNetwork& network,
+                       NodeId self, net::NetStackParams stack,
+                       AuthorityParams params);
+
+  // Registers the hardware platforms whose quotes this authority can verify
+  // (models Intel's provisioning database).
+  void register_platform(const tee::TeePlatform& platform) {
+    verifier_.register_platform(platform);
+  }
+
+  // Uploads the cluster plan (Protocol Designer action, post CAS-attestation)
+  // and allowlists the expected enclave measurement.
+  void upload_plan(ClusterPlan plan, const tee::Measurement& measurement);
+
+  // Allowlists additional measurements (e.g., the client binary).
+  void allow_measurement(const tee::Measurement& measurement);
+
+  // Runs the attestation + provisioning flow against `target`'s host
+  // runtime. `as_principal` is the id the target will be assigned.
+  // `full_member` grants the cluster root key (replicas); clients get only
+  // their pairwise channel keys.
+  void attest_and_provision(NodeId target, NodeId as_principal,
+                            bool full_member, Done done);
+
+  // Derives the channel key between two principals from the cluster root
+  // (used to provision non-member principals such as clients).
+  crypto::SymmetricKey derive_channel_key(NodeId a, NodeId b) const;
+
+  // Broadcasts a shielded "fresh node" notice to all plan replicas so they
+  // reset `fresh`'s channel state. Called automatically after a successful
+  // full-member (re-)attestation.
+  void announce_fresh_node(NodeId fresh);
+
+  const crypto::SymmetricKey& cluster_root() const { return cluster_root_; }
+  NodeId id() const { return rpc_.self(); }
+
+ private:
+  sim::Simulator& simulator_;
+  rpc::RpcObject rpc_;
+  AuthorityParams params_;
+  tee::QuoteVerifier verifier_;
+  std::optional<ClusterPlan> plan_;
+  std::unordered_set<std::string> allowed_measurements_;  // hex digests
+  crypto::SymmetricKey cluster_root_;
+  crypto::SymmetricKey value_key_;
+  Rng rng_;
+  std::uint64_t nonce_counter_{1};
+  std::unordered_map<ChannelId, Counter> announce_counters_;
+};
+
+// Host-side runtime on a replica/client: answers attestation challenges by
+// calling into its enclave, installs granted secrets, then reports
+// ProvisionInfo to the owner.
+class AttestationClient {
+ public:
+  using Provisioned = std::function<void(const ProvisionInfo&)>;
+
+  // Registers handlers on an existing RpcObject (shared with the protocol).
+  AttestationClient(rpc::RpcObject& rpc, tee::Enclave& enclave,
+                    Provisioned on_provisioned);
+
+  bool provisioned() const { return provisioned_; }
+  const ProvisionInfo& info() const { return info_; }
+
+ private:
+  rpc::RpcObject& rpc_;
+  tee::Enclave& enclave_;
+  Provisioned on_provisioned_;
+  bool provisioned_{false};
+  ProvisionInfo info_{};
+};
+
+// Derives the pairwise channel MAC key available inside an enclave: full
+// members derive it from the cluster root; clients look up the explicit
+// per-peer secret.
+Result<crypto::SymmetricKey> enclave_channel_key(const tee::Enclave& enclave,
+                                                 NodeId self, NodeId peer);
+
+crypto::SymmetricKey derive_channel_key_from_root(
+    const crypto::SymmetricKey& root, NodeId a, NodeId b);
+
+}  // namespace recipe::attest

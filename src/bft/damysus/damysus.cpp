@@ -1,0 +1,146 @@
+#include "bft/damysus/damysus.h"
+
+namespace recipe::bft {
+
+DamysusNode::DamysusNode(sim::Simulator& simulator, net::SimNetwork& network,
+                         ReplicaOptions options, DamysusOptions damysus_options)
+    : ReplicaNode(simulator, network, std::move(options)),
+      damysus_(damysus_options) {
+  // Replica side: CHECKER validates the proposal (trusted call), stores the
+  // batch and votes (the RPC response is the vote).
+  on(damysus_msg::kPrepare, [this](VerifiedEnvelope& env, rpc::RequestContext& ctx) {
+    if (env.sender != leader()) return;
+    Reader r(as_view(env.payload));
+    auto view = r.u64();
+    auto seq = r.u64();
+    auto count = r.u32();
+    if (!view || !seq || !count || *view != view_) return;
+    next_seq_ = std::max(next_seq_, *seq);  // replicas track the slot counter
+    Slot& slot = slots_[*seq];
+    slot.batch.clear();
+    std::size_t bytes = 0;
+    for (std::uint32_t i = 0; i < *count; ++i) {
+      auto op = r.bytes();
+      if (!op) return;
+      bytes += op->size();
+      slot.batch.push_back(std::move(*op));
+    }
+    charge_trusted_component(bytes);  // checker: validate + sign vote
+    Writer vote;
+    vote.u64(*view);
+    vote.u64(*seq);
+    vote.boolean(true);
+    respond(ctx, env.sender, as_view(vote.buffer()));
+  });
+
+  // Commit phase: certificate received, execute in order.
+  on(damysus_msg::kCommit, [this](VerifiedEnvelope& env, rpc::RequestContext&) {
+    if (env.sender != leader()) return;
+    Reader r(as_view(env.payload));
+    auto view = r.u64();
+    auto seq = r.u64();
+    if (!view || !seq || *view != view_) return;
+    charge_trusted_component(16);  // checker: verify certificate
+    Slot& slot = slots_[*seq];
+    slot.committed = true;
+    execute_ready();
+  });
+}
+
+void DamysusNode::charge_trusted_component(std::size_t bytes) {
+  if (cost_model() == nullptr) return;
+  // Synchronous ecall into the enclave + MAC work inside.
+  cpu().charge(cost_model()->transition() + cost_model()->mac(bytes));
+}
+
+void DamysusNode::submit(const ClientRequest& request, ReplyFn reply) {
+  pending_.push_back(PendingOp{request.serialize(), std::move(reply)});
+  if (!proposal_in_flight_) propose_next();
+}
+
+void DamysusNode::propose_next() {
+  if (pending_.empty()) {
+    proposal_in_flight_ = false;
+    return;
+  }
+  proposal_in_flight_ = true;
+
+  const std::uint64_t seq = ++next_seq_;
+  Slot& slot = slots_[seq];
+  std::size_t bytes = 0;
+  while (!pending_.empty() && slot.batch.size() < damysus_.max_batch_ops) {
+    slot.batch.push_back(std::move(pending_.front().op));
+    slot.replies.push_back(std::move(pending_.front().reply));
+    bytes += slot.batch.back().size();
+    pending_.pop_front();
+  }
+
+  Writer w;
+  w.u64(view_);
+  w.u64(seq);
+  w.u32(static_cast<std::uint32_t>(slot.batch.size()));
+  for (const Bytes& op : slot.batch) w.bytes(as_view(op));
+
+  charge_trusted_component(bytes);  // accumulator: prepare the proposal
+
+  // Collect f+1 votes (self + f others) via the ACCUMULATOR, then broadcast
+  // the commit certificate.
+  auto votes = std::make_shared<QuorumTracker>(
+      f() + 1, [this, seq] {
+        charge_trusted_component(16);  // accumulator: form certificate
+        Writer commit;
+        commit.u64(view_);
+        commit.u64(seq);
+        broadcast(damysus_msg::kCommit, as_view(commit.buffer()));
+        Slot& slot = slots_[seq];
+        slot.committed = true;
+        execute_ready();
+        propose_next();  // chain the next batch
+      });
+  votes->ack(self());
+
+  broadcast(damysus_msg::kPrepare, as_view(w.buffer()),
+            [this, votes, seq](VerifiedEnvelope& env) {
+              Reader r(as_view(env.payload));
+              auto view = r.u64();
+              auto vseq = r.u64();
+              auto good = r.boolean();
+              if (!view || !vseq || !good) return;
+              if (*view != view_ || *vseq != seq || !*good) return;
+              charge_trusted_component(8);  // accumulator: absorb vote
+              votes->ack(env.sender);
+            });
+}
+
+void DamysusNode::execute_ready() {
+  while (true) {
+    const auto it = slots_.find(executed_upto_ + 1);
+    if (it == slots_.end() || !it->second.committed) return;
+    ++executed_upto_;
+    Slot& slot = it->second;
+    for (std::size_t i = 0; i < slot.batch.size(); ++i) {
+      auto request = ClientRequest::parse(as_view(slot.batch[i]));
+      if (!request) continue;
+      ClientReply reply;
+      reply.ok = true;
+      if (request.value().op == OpType::kPut) {
+        kv_write(request.value().key, as_view(request.value().value));
+      } else {
+        auto value = kv_get(request.value().key);
+        reply.found = value.is_ok();
+        if (value.is_ok()) reply.value = std::move(value.value().value);
+      }
+      if (i < slot.replies.size() && slot.replies[i]) {
+        slot.replies[i](reply);
+        slot.replies[i] = nullptr;
+      }
+    }
+  }
+}
+
+void DamysusNode::on_suspected(NodeId peer) {
+  // Simplified view change: rotate the leader past the suspect.
+  if (peer == leader()) ++view_;
+}
+
+}  // namespace recipe::bft

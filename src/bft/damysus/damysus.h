@@ -1,0 +1,76 @@
+// Damysus-like baseline (Decouchant et al., EuroSys'22).
+//
+// A streamlined (HotStuff-derived) BFT protocol that uses two trusted
+// components inside SGX — a CHECKER (validates and votes on proposals) and
+// an ACCUMULATOR (aggregates votes into certificates) — to cut the replica
+// count to n = 2f+1 and the phase count to two. This is the paper's
+// "state-of-the-art hybrid BFT" comparison point (§B.3).
+//
+// Faithful properties: 2f+1 replicas, two broadcast phases
+// (prepare/vote then commit/ack), quorums of f+1, batch proposals, and a
+// synchronous enclave call (world switch) per trusted-component invocation —
+// the cost profile that separates Damysus from Recipe's exitless shielding.
+// View change is simplified to rotating the leader on suspicion (the
+// evaluation only measures normal-case throughput).
+#pragma once
+
+#include <map>
+#include <set>
+
+#include "recipe/node_base.h"
+
+namespace recipe::bft {
+
+namespace damysus_msg {
+constexpr rpc::RequestType kPrepare = 0xDA01;  // leader -> replicas [view,seq,batch]
+constexpr rpc::RequestType kCommit = 0xDA02;   // leader -> replicas [view,seq,cert]
+}  // namespace damysus_msg
+
+struct DamysusOptions {
+  std::size_t max_batch_ops = 64;
+};
+
+class DamysusNode final : public ReplicaNode {
+ public:
+  DamysusNode(sim::Simulator& simulator, net::SimNetwork& network,
+              ReplicaOptions options, DamysusOptions damysus_options = {});
+
+  bool is_coordinator() const override { return leader() == self(); }
+  void submit(const ClientRequest& request, ReplyFn reply) override;
+
+  std::size_t f() const { return (membership().size() - 1) / 2; }
+  NodeId leader() const { return membership()[view_ % membership().size()]; }
+  std::uint64_t executed_upto() const { return executed_upto_; }
+
+ protected:
+  ViewId current_view() const override { return ViewId{view_}; }
+  void on_suspected(NodeId peer) override;
+
+ private:
+  struct PendingOp {
+    Bytes op;
+    ReplyFn reply;
+  };
+  struct Slot {
+    std::vector<Bytes> batch;
+    bool committed{false};
+    std::vector<ReplyFn> replies;  // leader only, aligned with batch
+  };
+
+  // Models one synchronous call into the trusted component (world switch +
+  // a MAC over the message) — Damysus's per-message cost.
+  void charge_trusted_component(std::size_t bytes);
+
+  void propose_next();
+  void execute_ready();
+
+  DamysusOptions damysus_;
+  std::uint64_t view_{0};
+  std::uint64_t next_seq_{0};
+  std::uint64_t executed_upto_{0};
+  std::deque<PendingOp> pending_;
+  bool proposal_in_flight_{false};
+  std::map<std::uint64_t, Slot> slots_;
+};
+
+}  // namespace recipe::bft

@@ -1,0 +1,202 @@
+#include "bft/pbft/pbft.h"
+
+#include "crypto/sha256.h"
+
+namespace recipe::bft {
+
+namespace {
+Bytes encode_phase(std::uint64_t view, std::uint64_t seq,
+                   const crypto::Sha256Digest& digest) {
+  Writer w;
+  w.u64(view);
+  w.u64(seq);
+  w.raw(BytesView(digest.data(), digest.size()));
+  return std::move(w).take();
+}
+
+struct PhaseMsg {
+  std::uint64_t view;
+  std::uint64_t seq;
+  crypto::Sha256Digest digest;
+};
+
+std::optional<PhaseMsg> decode_phase(BytesView payload) {
+  Reader r(payload);
+  auto view = r.u64();
+  auto seq = r.u64();
+  auto digest = r.raw(crypto::kSha256DigestSize);
+  if (!view || !seq || !digest) return std::nullopt;
+  PhaseMsg msg{*view, *seq, {}};
+  std::copy(digest->begin(), digest->end(), msg.digest.begin());
+  return msg;
+}
+}  // namespace
+
+PbftNode::PbftNode(sim::Simulator& simulator, net::SimNetwork& network,
+                   ReplicaOptions options)
+    : ReplicaNode(simulator, network, std::move(options)) {
+  on(pbft_msg::kPrePrepare,
+     [this](VerifiedEnvelope& env, rpc::RequestContext&) { handle_pre_prepare(env); });
+  on(pbft_msg::kPrepare,
+     [this](VerifiedEnvelope& env, rpc::RequestContext&) { handle_prepare(env); });
+  on(pbft_msg::kCommit,
+     [this](VerifiedEnvelope& env, rpc::RequestContext&) { handle_commit(env); });
+  on(pbft_msg::kViewChange,
+     [this](VerifiedEnvelope& env, rpc::RequestContext&) {
+       Reader r(as_view(env.payload));
+       auto proposed = r.u64();
+       if (!proposed || *proposed <= view_) return;
+       view_change_votes_.insert(env.sender);
+       // 2f+1 replicas demanding a view change moves everyone.
+       if (view_change_votes_.size() >= 2 * f() + 1) {
+         view_ = *proposed;
+         view_change_votes_.clear();
+         if (is_coordinator()) {
+           // New primary re-proposes undecided slots under the new view.
+           for (auto& [seq, slot] : slots_) {
+             if (seq <= executed_upto_ || slot.request.empty()) continue;
+             Writer w;
+             w.u64(view_);
+             w.u64(seq);
+             w.bytes(as_view(slot.request));
+             charge_mac(slot.request.size());
+             broadcast(pbft_msg::kPrePrepare, as_view(w.buffer()));
+             slot.pre_prepared = true;
+             slot.prepares.insert(self());
+           }
+         }
+       }
+     });
+
+  (void)pbft_msg::kNewView;  // folded into the simplified view-change path
+}
+
+void PbftNode::charge_mac(std::size_t bytes) {
+  // MAC-vector authenticators: one MAC per receiver (BFT-smart style).
+  if (cost_model() != nullptr) {
+    cpu().charge(cost_model()->mac(bytes) * (membership().size() - 1));
+  }
+}
+
+void PbftNode::submit(const ClientRequest& request, ReplyFn reply) {
+  // Primary assigns the slot and starts the three-phase protocol.
+  const std::uint64_t seq = ++next_seq_;
+  Slot& slot = slots_[seq];
+  slot.request = request.serialize();
+  slot.digest = crypto::Sha256::hash(as_view(slot.request));
+  slot.pre_prepared = true;
+  slot.reply = std::move(reply);
+  slot.prepares.insert(self());
+
+  Writer w;
+  w.u64(view_);
+  w.u64(seq);
+  w.bytes(as_view(slot.request));
+  charge_mac(slot.request.size());
+  broadcast(pbft_msg::kPrePrepare, as_view(w.buffer()));
+}
+
+void PbftNode::handle_pre_prepare(VerifiedEnvelope& env) {
+  if (env.sender != primary()) return;  // only the primary pre-prepares
+  Reader r(as_view(env.payload));
+  auto view = r.u64();
+  auto seq = r.u64();
+  auto request = r.bytes();
+  if (!view || !seq || !request || *view != view_) return;
+
+  next_seq_ = std::max(next_seq_, *seq);  // replicas track the slot counter
+  Slot& slot = slots_[*seq];
+  if (slot.pre_prepared && slot.request != *request) return;  // equivocation
+  slot.request = std::move(*request);
+  slot.digest = crypto::Sha256::hash(as_view(slot.request));
+  slot.pre_prepared = true;
+  slot.prepares.insert(env.sender);  // pre-prepare counts as primary's prepare
+  slot.prepares.insert(self());
+
+  charge_mac(slot.request.size());
+  broadcast(pbft_msg::kPrepare, as_view(encode_phase(view_, *seq, slot.digest)));
+  maybe_prepared(*seq);
+}
+
+void PbftNode::handle_prepare(VerifiedEnvelope& env) {
+  auto msg = decode_phase(as_view(env.payload));
+  if (!msg || msg->view != view_) return;
+  Slot& slot = slots_[msg->seq];
+  if (slot.pre_prepared && slot.digest != msg->digest) return;
+  slot.prepares.insert(env.sender);
+  charge_mac(0);
+  maybe_prepared(msg->seq);
+}
+
+void PbftNode::maybe_prepared(std::uint64_t seq) {
+  Slot& slot = slots_[seq];
+  // prepared == pre-prepare + 2f matching prepares (self included above).
+  if (!slot.pre_prepared || slot.sent_commit) return;
+  if (slot.prepares.size() < 2 * f() + 1) return;
+  slot.sent_commit = true;
+  slot.commits.insert(self());
+  charge_mac(0);
+  broadcast(pbft_msg::kCommit, as_view(encode_phase(view_, seq, slot.digest)));
+  maybe_committed(seq);
+}
+
+void PbftNode::handle_commit(VerifiedEnvelope& env) {
+  auto msg = decode_phase(as_view(env.payload));
+  if (!msg || msg->view != view_) return;
+  Slot& slot = slots_[msg->seq];
+  if (slot.pre_prepared && slot.digest != msg->digest) return;
+  slot.commits.insert(env.sender);
+  charge_mac(0);
+  maybe_committed(msg->seq);
+}
+
+void PbftNode::maybe_committed(std::uint64_t seq) {
+  Slot& slot = slots_[seq];
+  if (slot.committed || !slot.pre_prepared) return;
+  if (slot.commits.size() < 2 * f() + 1) return;
+  slot.committed = true;
+  execute_ready();
+}
+
+void PbftNode::execute_ready() {
+  while (true) {
+    const auto it = slots_.find(executed_upto_ + 1);
+    if (it == slots_.end() || !it->second.committed) return;
+    ++executed_upto_;
+    Slot& slot = it->second;
+    auto request = ClientRequest::parse(as_view(slot.request));
+    if (request) {
+      ClientReply reply;
+      reply.ok = true;
+      if (request.value().op == OpType::kPut) {
+        kv_write(request.value().key, as_view(request.value().value));
+      } else {
+        auto value = kv_get(request.value().key);
+        reply.found = value.is_ok();
+        if (value.is_ok()) reply.value = std::move(value.value().value);
+      }
+      // In PBFT all replicas reply and the client waits for f+1 matching
+      // replies; only the primary's reply rides the RPC response, but every
+      // replica pays the reply-send cost.
+      charge_mac(reply.value.size());
+      if (slot.reply) {
+        slot.reply(reply);
+        slot.reply = nullptr;
+      }
+    }
+  }
+}
+
+void PbftNode::on_suspected(NodeId peer) {
+  if (peer == primary()) start_view_change();
+}
+
+void PbftNode::start_view_change() {
+  Writer w;
+  w.u64(view_ + 1);
+  view_change_votes_.insert(self());
+  charge_mac(8);
+  broadcast(pbft_msg::kViewChange, as_view(w.buffer()));
+}
+
+}  // namespace recipe::bft

@@ -1,0 +1,81 @@
+// PBFT baseline (Castro & Liskov; BFT-smart-style configuration).
+//
+// The comparison baseline for the paper's evaluation (Figs. 3-5): a
+// classical BFT protocol with
+//   * n = 3f+1 replicas (vs Recipe's 2f+1),
+//   * three broadcast phases (pre-prepare, prepare, commit) and O(n^2)
+//     message complexity,
+//   * MAC-vector authenticators (cost charged per message via the cost
+//     model; no TEEs),
+//   * kernel-socket networking (BFT-smart is a TCP/Java system).
+//
+// Simplifications vs production PBFT (documented): no checkpointing /
+// garbage collection of the slot log, and a simplified view change (new
+// primary re-proposes undecided slots; sufficient for the crash-fault
+// liveness exercised in tests — the paper's evaluation only measures
+// normal-case operation).
+#pragma once
+
+#include <map>
+#include <set>
+
+#include "recipe/node_base.h"
+
+namespace recipe::bft {
+
+namespace pbft_msg {
+constexpr rpc::RequestType kPrePrepare = 0xBF01;
+constexpr rpc::RequestType kPrepare = 0xBF02;
+constexpr rpc::RequestType kCommit = 0xBF03;
+constexpr rpc::RequestType kViewChange = 0xBF04;
+constexpr rpc::RequestType kNewView = 0xBF05;
+}  // namespace pbft_msg
+
+class PbftNode final : public ReplicaNode {
+ public:
+  PbftNode(sim::Simulator& simulator, net::SimNetwork& network,
+           ReplicaOptions options);
+
+  bool is_coordinator() const override { return primary() == self(); }
+  void submit(const ClientRequest& request, ReplyFn reply) override;
+
+  std::size_t f() const { return (membership().size() - 1) / 3; }
+  NodeId primary() const {
+    return membership()[view_ % membership().size()];
+  }
+  std::uint64_t view() const { return view_; }
+  std::uint64_t executed_upto() const { return executed_upto_; }
+
+ protected:
+  ViewId current_view() const override { return ViewId{view_}; }
+  void on_suspected(NodeId peer) override;
+
+ private:
+  struct Slot {
+    Bytes request;
+    crypto::Sha256Digest digest{};
+    bool pre_prepared{false};
+    std::set<NodeId> prepares;
+    std::set<NodeId> commits;
+    bool sent_commit{false};
+    bool committed{false};
+    ReplyFn reply;  // primary only
+  };
+
+  void charge_mac(std::size_t bytes);
+  void handle_pre_prepare(VerifiedEnvelope& env);
+  void handle_prepare(VerifiedEnvelope& env);
+  void handle_commit(VerifiedEnvelope& env);
+  void maybe_prepared(std::uint64_t seq);
+  void maybe_committed(std::uint64_t seq);
+  void execute_ready();
+  void start_view_change();
+
+  std::uint64_t view_{0};
+  std::uint64_t next_seq_{0};      // primary: last assigned slot
+  std::uint64_t executed_upto_{0};
+  std::map<std::uint64_t, Slot> slots_;
+  std::set<NodeId> view_change_votes_;
+};
+
+}  // namespace recipe::bft

@@ -1,0 +1,43 @@
+// Byte-buffer aliases and small helpers shared across all Recipe modules.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace recipe {
+
+using Bytes = std::vector<std::uint8_t>;
+using BytesView = std::span<const std::uint8_t>;
+
+// Builds a Bytes buffer from a string literal / string_view payload.
+inline Bytes to_bytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+inline std::string to_string(BytesView b) {
+  return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+inline BytesView as_view(const Bytes& b) { return BytesView(b.data(), b.size()); }
+
+inline BytesView as_view(std::string_view s) {
+  return BytesView(reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
+}
+
+// Lowercase hex encoding, for digests and debugging output.
+std::string to_hex(BytesView data);
+
+// Parses lowercase/uppercase hex; returns empty on malformed input of odd
+// length or non-hex characters.
+Bytes from_hex(std::string_view hex);
+
+// Appends `src` to `dst`.
+inline void append(Bytes& dst, BytesView src) {
+  dst.insert(dst.end(), src.begin(), src.end());
+}
+
+}  // namespace recipe

@@ -1,0 +1,63 @@
+// Strongly-typed identifiers used across the Recipe stack.
+//
+// Each identifier is a distinct type so a NodeId cannot be passed where a
+// ClientId is expected; all are cheap value types.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace recipe {
+
+namespace detail {
+
+// CRTP base providing comparison, hashing and formatting for id wrappers.
+template <typename Tag, typename Rep = std::uint64_t>
+struct StrongId {
+  Rep value{0};
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(Rep v) : value(v) {}
+
+  friend constexpr auto operator<=>(StrongId, StrongId) = default;
+
+  std::string to_string() const { return std::to_string(value); }
+};
+
+}  // namespace detail
+
+struct NodeIdTag {};
+struct ClientIdTag {};
+struct RequestIdTag {};
+struct ViewIdTag {};
+struct ChannelIdTag {};
+struct EpochIdTag {};
+
+// Identity of a replica / server node.
+using NodeId = detail::StrongId<NodeIdTag>;
+// Identity of an external client.
+using ClientId = detail::StrongId<ClientIdTag>;
+// Client-assigned request sequence number (for exactly-once semantics).
+using RequestId = detail::StrongId<RequestIdTag>;
+// View / term / epoch number of the replication protocol.
+using ViewId = detail::StrongId<ViewIdTag>;
+// Identifier of a point-to-point communication channel ("cq" in the paper).
+using ChannelId = detail::StrongId<ChannelIdTag>;
+
+// Per-channel message counter value ("cnt_cq" in the paper).
+using Counter = std::uint64_t;
+
+constexpr NodeId kNoNode{~0ULL};
+
+}  // namespace recipe
+
+namespace std {
+template <typename Tag, typename Rep>
+struct hash<recipe::detail::StrongId<Tag, Rep>> {
+  size_t operator()(const recipe::detail::StrongId<Tag, Rep>& id) const noexcept {
+    return std::hash<Rep>{}(id.value);
+  }
+};
+}  // namespace std

@@ -1,0 +1,33 @@
+#include "common/result.h"
+
+namespace recipe {
+
+const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return "OK";
+    case ErrorCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case ErrorCode::kNotFound: return "NOT_FOUND";
+    case ErrorCode::kAlreadyExists: return "ALREADY_EXISTS";
+    case ErrorCode::kAuthFailed: return "AUTH_FAILED";
+    case ErrorCode::kReplay: return "REPLAY";
+    case ErrorCode::kOutOfOrder: return "OUT_OF_ORDER";
+    case ErrorCode::kIntegrityViolation: return "INTEGRITY_VIOLATION";
+    case ErrorCode::kNotAttested: return "NOT_ATTESTED";
+    case ErrorCode::kWrongView: return "WRONG_VIEW";
+    case ErrorCode::kUnavailable: return "UNAVAILABLE";
+    case ErrorCode::kTimeout: return "TIMEOUT";
+    case ErrorCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::to_string() const {
+  std::string out = error_code_name(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace recipe

@@ -1,0 +1,96 @@
+// Lightweight Status / Result<T> error-handling vocabulary.
+//
+// Recipe modules avoid exceptions on hot paths (message verification failures
+// are expected events under a Byzantine adversary, not exceptional ones) and
+// return Status / Result<T> instead.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace recipe {
+
+enum class ErrorCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kAuthFailed,        // MAC/signature verification failure
+  kReplay,            // stale counter: replayed or duplicated message
+  kOutOfOrder,        // "future" counter; message must be queued
+  kIntegrityViolation,// host-memory value does not match enclave digest
+  kNotAttested,       // peer has not completed remote attestation
+  kWrongView,         // message from a stale/unknown view or term
+  kUnavailable,       // not enough live replicas / no quorum
+  kTimeout,
+  kInternal,
+};
+
+// Human-readable name for an ErrorCode, for logs and test output.
+const char* error_code_name(ErrorCode code);
+
+class [[nodiscard]] Status {
+ public:
+  Status() : code_(ErrorCode::kOk) {}
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return Status(); }
+  static Status error(ErrorCode code, std::string message = {}) {
+    return Status(code, std::move(message));
+  }
+
+  bool is_ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string to_string() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+};
+
+// Result<T>: either a value or a Status describing the failure.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}            // NOLINT(google-explicit-constructor)
+  Result(Status status) : data_(std::move(status)) {      // NOLINT(google-explicit-constructor)
+    assert(!std::get<Status>(data_).is_ok() && "Result from OK status");
+  }
+
+  bool is_ok() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return is_ok(); }
+
+  const T& value() const& {
+    assert(is_ok());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    assert(is_ok());
+    return std::get<T>(data_);
+  }
+  T&& take() && {
+    assert(is_ok());
+    return std::get<T>(std::move(data_));
+  }
+
+  Status status() const {
+    if (is_ok()) return Status::ok();
+    return std::get<Status>(data_);
+  }
+  ErrorCode code() const { return status().code(); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+}  // namespace recipe

@@ -1,0 +1,146 @@
+// Minimal binary serialization codec (little-endian, length-prefixed).
+//
+// All wire messages in Recipe are encoded with Writer and decoded with
+// Reader. Reader is defensive: every accessor reports truncation instead of
+// reading out of bounds, since message bytes arrive from an untrusted
+// network.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+#include "common/bytes.h"
+#include "common/ids.h"
+
+namespace recipe {
+
+class Writer {
+ public:
+  Writer() = default;
+  explicit Writer(std::size_t reserve) { buf_.reserve(reserve); }
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) { put_le(v); }
+  void u32(std::uint32_t v) { put_le(v); }
+  void u64(std::uint64_t v) { put_le(v); }
+  void i64(std::int64_t v) { put_le(static_cast<std::uint64_t>(v)); }
+  void boolean(bool v) { u8(v ? 1 : 0); }
+
+  template <typename Tag, typename Rep>
+  void id(detail::StrongId<Tag, Rep> v) {
+    put_le(v.value);
+  }
+
+  // Length-prefixed byte string.
+  void bytes(BytesView v) {
+    u32(static_cast<std::uint32_t>(v.size()));
+    append(buf_, v);
+  }
+  void str(std::string_view v) { bytes(as_view(v)); }
+
+  // Raw append without a length prefix (for fixed-size digests/MACs).
+  void raw(BytesView v) { append(buf_, v); }
+
+  template <typename E>
+    requires std::is_enum_v<E>
+  void enumeration(E e) {
+    u8(static_cast<std::uint8_t>(e));
+  }
+
+  const Bytes& buffer() const& { return buf_; }
+  Bytes take() && { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  template <typename T>
+  void put_le(T v) {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  Bytes buf_;
+};
+
+class Reader {
+ public:
+  explicit Reader(BytesView data) : data_(data) {}
+
+  std::optional<std::uint8_t> u8() { return get_le<std::uint8_t>(); }
+  std::optional<std::uint16_t> u16() { return get_le<std::uint16_t>(); }
+  std::optional<std::uint32_t> u32() { return get_le<std::uint32_t>(); }
+  std::optional<std::uint64_t> u64() { return get_le<std::uint64_t>(); }
+  std::optional<std::int64_t> i64() {
+    auto v = get_le<std::uint64_t>();
+    if (!v) return std::nullopt;
+    return static_cast<std::int64_t>(*v);
+  }
+  std::optional<bool> boolean() {
+    auto v = u8();
+    if (!v) return std::nullopt;
+    return *v != 0;
+  }
+
+  template <typename Id>
+  std::optional<Id> id() {
+    auto v = u64();
+    if (!v) return std::nullopt;
+    return Id{*v};
+  }
+
+  std::optional<Bytes> bytes() {
+    auto n = u32();
+    if (!n || remaining() < *n) return std::nullopt;
+    Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+              data_.begin() + static_cast<std::ptrdiff_t>(pos_ + *n));
+    pos_ += *n;
+    return out;
+  }
+
+  std::optional<std::string> str() {
+    auto b = bytes();
+    if (!b) return std::nullopt;
+    return to_string(as_view(*b));
+  }
+
+  // Reads exactly `n` raw bytes (no length prefix).
+  std::optional<Bytes> raw(std::size_t n) {
+    if (remaining() < n) return std::nullopt;
+    Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+              data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return out;
+  }
+
+  template <typename E>
+    requires std::is_enum_v<E>
+  std::optional<E> enumeration() {
+    auto v = u8();
+    if (!v) return std::nullopt;
+    return static_cast<E>(*v);
+  }
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool exhausted() const { return remaining() == 0; }
+
+ private:
+  template <typename T>
+  std::optional<T> get_le() {
+    if (remaining() < sizeof(T)) return std::nullopt;
+    T v = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v |= static_cast<T>(static_cast<T>(data_[pos_ + i]) << (8 * i));
+    }
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  BytesView data_;
+  std::size_t pos_{0};
+};
+
+}  // namespace recipe

@@ -1,0 +1,94 @@
+#include "common/stats.h"
+
+#include <bit>
+#include <cstdio>
+
+namespace recipe {
+
+namespace {
+// 64 exponent groups x 16 linear sub-buckets.
+constexpr std::size_t kSubBuckets = 16;
+constexpr std::size_t kSubBits = 4;  // log2(kSubBuckets)
+constexpr std::size_t kNumBuckets = 64 * kSubBuckets;
+}  // namespace
+
+Histogram::Histogram() : buckets_(kNumBuckets, 0) {}
+
+std::size_t Histogram::bucket_for(std::uint64_t value) {
+  if (value < kSubBuckets) return static_cast<std::size_t>(value);
+  const int msb = 63 - std::countl_zero(value);
+  const std::size_t group = static_cast<std::size_t>(msb) - kSubBits + 1;
+  const std::size_t sub =
+      static_cast<std::size_t>(value >> (msb - static_cast<int>(kSubBits))) &
+      (kSubBuckets - 1);
+  const std::size_t idx = group * kSubBuckets + sub;
+  return idx < kNumBuckets ? idx : kNumBuckets - 1;
+}
+
+std::uint64_t Histogram::bucket_midpoint(std::size_t bucket) {
+  if (bucket < kSubBuckets) return bucket;
+  const std::size_t group = bucket / kSubBuckets;
+  const std::size_t sub = bucket % kSubBuckets;
+  const int shift = static_cast<int>(group) - 1;
+  const std::uint64_t base = (kSubBuckets + sub) << shift;
+  const std::uint64_t width = 1ULL << shift;
+  return base + width / 2;
+}
+
+void Histogram::record(std::uint64_t value) {
+  buckets_[bucket_for(value)]++;
+  count_++;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void Histogram::merge(const Histogram& other) {
+  for (std::size_t i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void Histogram::reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = ~0ULL;
+  max_ = 0;
+}
+
+double Histogram::mean() const {
+  return count_ ? static_cast<double>(sum_) / static_cast<double>(count_) : 0.0;
+}
+
+std::uint64_t Histogram::percentile(double q) const {
+  if (count_ == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  const std::uint64_t target =
+      static_cast<std::uint64_t>(q * static_cast<double>(count_ - 1)) + 1;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= target) {
+      const std::uint64_t mid = bucket_midpoint(i);
+      return std::min(std::max(mid, min_), max_);
+    }
+  }
+  return max_;
+}
+
+std::string Histogram::summary(const std::string& unit) const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "n=%llu mean=%.1f%s p50=%llu%s p99=%llu%s max=%llu%s",
+                static_cast<unsigned long long>(count_), mean(), unit.c_str(),
+                static_cast<unsigned long long>(percentile(0.5)), unit.c_str(),
+                static_cast<unsigned long long>(percentile(0.99)), unit.c_str(),
+                static_cast<unsigned long long>(max()), unit.c_str());
+  return buf;
+}
+
+}  // namespace recipe

@@ -1,0 +1,50 @@
+// Latency histogram and throughput accounting for benchmarks.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace recipe {
+
+// Log-bucketed latency histogram (nanosecond resolution, ~2% bucket error).
+class Histogram {
+ public:
+  Histogram();
+
+  void record(std::uint64_t value);
+  void merge(const Histogram& other);
+  void reset();
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t min() const { return count_ ? min_ : 0; }
+  std::uint64_t max() const { return max_; }
+  double mean() const;
+  // q in [0, 1]; e.g. 0.5 for the median, 0.99 for p99.
+  std::uint64_t percentile(double q) const;
+
+  std::string summary(const std::string& unit = "us") const;
+
+ private:
+  static std::size_t bucket_for(std::uint64_t value);
+  static std::uint64_t bucket_midpoint(std::size_t bucket);
+
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_{0};
+  std::uint64_t sum_{0};
+  std::uint64_t min_{~0ULL};
+  std::uint64_t max_{0};
+};
+
+// Windowed operations/second accounting.
+struct ThroughputMeter {
+  std::uint64_t ops = 0;
+
+  void add(std::uint64_t n = 1) { ops += n; }
+  double ops_per_sec(double elapsed_seconds) const {
+    return elapsed_seconds > 0 ? static_cast<double>(ops) / elapsed_seconds : 0;
+  }
+};
+
+}  // namespace recipe

@@ -1,0 +1,55 @@
+// Zipfian key-popularity sampler, as used by YCSB.
+//
+// Implements the Gray et al. rejection-inversion-free method used by YCSB's
+// ZipfianGenerator: O(1) sampling after O(n) precomputation of zeta(n, theta).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace recipe {
+
+class ZipfianGenerator {
+ public:
+  // Items are in [0, n). theta in (0, 1); YCSB default is 0.99.
+  explicit ZipfianGenerator(std::uint64_t n, double theta = 0.99)
+      : n_(n), theta_(theta), zetan_(zeta(n, theta)) {
+    alpha_ = 1.0 / (1.0 - theta_);
+    const double zeta2 = zeta(2, theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2 / zetan_);
+  }
+
+  std::uint64_t next(Rng& rng) const {
+    const double u = rng.uniform();
+    const double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    const double v =
+        static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_);
+    std::uint64_t item = static_cast<std::uint64_t>(v);
+    if (item >= n_) item = n_ - 1;
+    return item;
+  }
+
+  std::uint64_t item_count() const { return n_; }
+
+ private:
+  static double zeta(std::uint64_t n, double theta) {
+    double sum = 0.0;
+    for (std::uint64_t i = 1; i <= n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    return sum;
+  }
+
+  std::uint64_t n_;
+  double theta_;
+  double zetan_;
+  double alpha_{};
+  double eta_{};
+};
+
+}  // namespace recipe

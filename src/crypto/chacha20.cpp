@@ -1,0 +1,92 @@
+#include "crypto/chacha20.h"
+
+#include <bit>
+#include <cassert>
+#include <cstring>
+
+namespace recipe::crypto {
+
+namespace {
+
+inline std::uint32_t load_le32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+inline void store_le32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+inline void quarter_round(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c,
+                          std::uint32_t& d) {
+  a += b; d ^= a; d = std::rotl(d, 16);
+  c += d; b ^= c; b = std::rotl(b, 12);
+  a += b; d ^= a; d = std::rotl(d, 8);
+  c += d; b ^= c; b = std::rotl(b, 7);
+}
+
+void chacha20_block(const std::uint32_t state[16], std::uint8_t out[64]) {
+  std::uint32_t x[16];
+  std::memcpy(x, state, sizeof(x));
+  for (int round = 0; round < 10; ++round) {
+    quarter_round(x[0], x[4], x[8], x[12]);
+    quarter_round(x[1], x[5], x[9], x[13]);
+    quarter_round(x[2], x[6], x[10], x[14]);
+    quarter_round(x[3], x[7], x[11], x[15]);
+    quarter_round(x[0], x[5], x[10], x[15]);
+    quarter_round(x[1], x[6], x[11], x[12]);
+    quarter_round(x[2], x[7], x[8], x[13]);
+    quarter_round(x[3], x[4], x[9], x[14]);
+  }
+  for (int i = 0; i < 16; ++i) store_le32(out + 4 * i, x[i] + state[i]);
+}
+
+}  // namespace
+
+void chacha20_xor(BytesView key, const ChaChaNonce& nonce, std::uint32_t counter,
+                  Bytes& data) {
+  assert(key.size() == kChaChaKeySize);
+
+  std::uint32_t state[16];
+  state[0] = 0x61707865;
+  state[1] = 0x3320646e;
+  state[2] = 0x79622d32;
+  state[3] = 0x6b206574;
+  for (int i = 0; i < 8; ++i) state[4 + i] = load_le32(key.data() + 4 * i);
+  state[12] = counter;
+  for (int i = 0; i < 3; ++i) state[13 + i] = load_le32(nonce.data() + 4 * i);
+
+  std::uint8_t keystream[64];
+  std::size_t offset = 0;
+  while (offset < data.size()) {
+    chacha20_block(state, keystream);
+    state[12]++;
+    const std::size_t n = std::min<std::size_t>(64, data.size() - offset);
+    for (std::size_t i = 0; i < n; ++i) data[offset + i] ^= keystream[i];
+    offset += n;
+  }
+}
+
+Bytes chacha20(BytesView key, const ChaChaNonce& nonce, std::uint32_t counter,
+               BytesView data) {
+  Bytes out(data.begin(), data.end());
+  chacha20_xor(key, nonce, counter, out);
+  return out;
+}
+
+ChaChaNonce make_nonce(std::uint32_t prefix, std::uint64_t counter) {
+  ChaChaNonce nonce{};
+  store_le32(nonce.data(), prefix);
+  for (int i = 0; i < 8; ++i) {
+    nonce[4 + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(counter >> (8 * i));
+  }
+  return nonce;
+}
+
+}  // namespace recipe::crypto

@@ -1,0 +1,34 @@
+// ChaCha20 stream cipher (RFC 8439), from scratch.
+//
+// Used by Recipe's confidentiality mode (Fig. 5): values stored in untrusted
+// host memory and network payloads leaving the enclave are encrypted.
+// Validated against RFC 8439 test vectors in tests/crypto_test.cpp.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace recipe::crypto {
+
+constexpr std::size_t kChaChaKeySize = 32;
+constexpr std::size_t kChaChaNonceSize = 12;
+
+using ChaChaNonce = std::array<std::uint8_t, kChaChaNonceSize>;
+
+// Encrypts/decrypts `data` in place (XOR stream cipher: the operation is its
+// own inverse). `counter` is the initial block counter (RFC 8439 uses 1 for
+// AEAD payloads; we use 0 for raw streams).
+void chacha20_xor(BytesView key, const ChaChaNonce& nonce, std::uint32_t counter,
+                  Bytes& data);
+
+// Convenience: returns the transformed copy.
+Bytes chacha20(BytesView key, const ChaChaNonce& nonce, std::uint32_t counter,
+               BytesView data);
+
+// Builds a nonce from a 96-bit value split as (channel id, message counter) —
+// unique per (key, message) as required for stream-cipher safety.
+ChaChaNonce make_nonce(std::uint32_t prefix, std::uint64_t counter);
+
+}  // namespace recipe::crypto

@@ -1,0 +1,47 @@
+#include "crypto/dh.h"
+
+#include "common/serde.h"
+
+namespace recipe::crypto {
+
+namespace {
+std::uint64_t mulmod(std::uint64_t a, std::uint64_t b, std::uint64_t mod) {
+  return static_cast<std::uint64_t>(
+      (static_cast<unsigned __int128>(a) * b) % mod);
+}
+}  // namespace
+
+std::uint64_t DiffieHellman::modexp(std::uint64_t base, std::uint64_t exp,
+                                    std::uint64_t mod) {
+  std::uint64_t result = 1;
+  base %= mod;
+  while (exp > 0) {
+    if (exp & 1) result = mulmod(result, base, mod);
+    base = mulmod(base, base, mod);
+    exp >>= 1;
+  }
+  return result;
+}
+
+DhKeyPair DiffieHellman::generate(Rng& rng) {
+  // Private exponent in [2, p-2].
+  const std::uint64_t priv = rng.range(2, kPrime - 2);
+  return DhKeyPair{priv, public_from_private(priv)};
+}
+
+std::uint64_t DiffieHellman::public_from_private(std::uint64_t private_exponent) {
+  return modexp(kGenerator, private_exponent, kPrime);
+}
+
+SymmetricKey DiffieHellman::shared_key(std::uint64_t private_exponent,
+                                       std::uint64_t peer_public,
+                                       BytesView context_info) {
+  const std::uint64_t shared = modexp(peer_public, private_exponent, kPrime);
+  Writer w;
+  w.u64(shared);
+  const Bytes salt = to_bytes("recipe-dh-v1");
+  return SymmetricKey{hkdf_sha256(as_view(w.buffer()), as_view(salt),
+                                  context_info, kSymmetricKeySize)};
+}
+
+}  // namespace recipe::crypto

@@ -1,0 +1,45 @@
+// Finite-field Diffie-Hellman key agreement for the attestation handshake.
+//
+// The paper's attestation protocol performs a DHKE between the challenger and
+// the enclave so that provisioned secrets are confidential against the
+// Dolev-Yao network. We implement textbook DH over the Mersenne prime
+// 2^61 - 1. SUBSTITUTION NOTE (DESIGN.md §2): the group modulus is 61 bits —
+// a simulation parameter, not a protocol change; swapping in a 2048-bit MODP
+// group would only change the arithmetic width. The derived shared secret is
+// always expanded through HKDF-SHA256 before use.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "crypto/hmac.h"
+
+namespace recipe::crypto {
+
+struct DhKeyPair {
+  std::uint64_t private_exponent{0};
+  std::uint64_t public_value{0};
+};
+
+class DiffieHellman {
+ public:
+  // Mersenne prime 2^61 - 1; g = 3.
+  static constexpr std::uint64_t kPrime = 2305843009213693951ULL;
+  static constexpr std::uint64_t kGenerator = 3;
+
+  static DhKeyPair generate(Rng& rng);
+
+  // g^exponent mod p
+  static std::uint64_t public_from_private(std::uint64_t private_exponent);
+
+  // peer_public^private mod p, expanded through HKDF into a symmetric key.
+  static SymmetricKey shared_key(std::uint64_t private_exponent,
+                                 std::uint64_t peer_public,
+                                 BytesView context_info);
+
+  static std::uint64_t modexp(std::uint64_t base, std::uint64_t exp,
+                              std::uint64_t mod);
+};
+
+}  // namespace recipe::crypto

@@ -1,0 +1,60 @@
+// Deterministic random bit generator (HMAC-style, simplified HMAC_DRBG).
+//
+// Enclaves use a Drbg seeded from their (simulated) hardware entropy to
+// generate nonces and key material. Deterministic per seed so simulations
+// reproduce.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "crypto/hmac.h"
+
+namespace recipe::crypto {
+
+class Drbg {
+ public:
+  explicit Drbg(BytesView seed) {
+    const Bytes salt = to_bytes("recipe-drbg-v1");
+    key_ = hkdf_sha256(seed, as_view(salt), BytesView{}, kSymmetricKeySize);
+  }
+
+  // Returns `n` pseudo-random bytes.
+  Bytes generate(std::size_t n) {
+    Bytes out;
+    out.reserve(n);
+    while (out.size() < n) {
+      advance_counter();
+      const Mac block = hmac_sha256(as_view(key_), as_view(counter_bytes_));
+      const std::size_t take = std::min<std::size_t>(block.size(), n - out.size());
+      out.insert(out.end(), block.begin(),
+                 block.begin() + static_cast<std::ptrdiff_t>(take));
+    }
+    return out;
+  }
+
+  std::uint64_t generate_u64() {
+    const Bytes b = generate(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(b[static_cast<std::size_t>(i)]) << (8 * i);
+    return v;
+  }
+
+  SymmetricKey generate_key() { return SymmetricKey{generate(kSymmetricKeySize)}; }
+
+ private:
+  void advance_counter() {
+    ++counter_;
+    counter_bytes_.resize(8);
+    for (int i = 0; i < 8; ++i) {
+      counter_bytes_[static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(counter_ >> (8 * i));
+    }
+  }
+
+  Bytes key_;
+  std::uint64_t counter_{0};
+  Bytes counter_bytes_;
+};
+
+}  // namespace recipe::crypto

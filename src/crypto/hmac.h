@@ -1,0 +1,46 @@
+// HMAC-SHA-256 (RFC 2104) and HKDF (RFC 5869).
+//
+// HMAC is the authentication primitive behind Recipe's shielded messages:
+// after remote attestation, every pair of TEEs shares per-channel MAC keys
+// known only inside the enclaves, so a valid MAC is transferable proof that
+// an attested TEE produced the message.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "crypto/sha256.h"
+
+namespace recipe::crypto {
+
+using Mac = Sha256Digest;
+constexpr std::size_t kMacSize = kSha256DigestSize;
+
+// Computes HMAC-SHA256(key, message).
+Mac hmac_sha256(BytesView key, BytesView message);
+
+// Computes HMAC over two concatenated segments without copying.
+Mac hmac_sha256_2(BytesView key, BytesView part1, BytesView part2);
+
+// Verifies in constant time.
+bool hmac_verify(BytesView key, BytesView message, BytesView expected_mac);
+
+// HKDF-Extract + HKDF-Expand (RFC 5869), used to derive channel keys from a
+// DH shared secret and to derive per-purpose keys from enclave root secrets.
+Bytes hkdf_sha256(BytesView input_key_material, BytesView salt, BytesView info,
+                  std::size_t output_length);
+
+// A 256-bit symmetric key.
+struct SymmetricKey {
+  Bytes material;  // 32 bytes
+
+  static SymmetricKey from(BytesView v) {
+    return SymmetricKey{Bytes(v.begin(), v.end())};
+  }
+  bool empty() const { return material.empty(); }
+  BytesView view() const { return as_view(material); }
+};
+
+constexpr std::size_t kSymmetricKeySize = 32;
+
+}  // namespace recipe::crypto

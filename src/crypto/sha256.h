@@ -1,0 +1,47 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// Used for: message digests in shielded messages, enclave measurements,
+// KV-store value integrity metadata, and as the compression core of
+// HMAC/HKDF. Validated against NIST test vectors in tests/crypto_test.cpp.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace recipe::crypto {
+
+constexpr std::size_t kSha256DigestSize = 32;
+using Sha256Digest = std::array<std::uint8_t, kSha256DigestSize>;
+
+class Sha256 {
+ public:
+  Sha256() { reset(); }
+
+  void reset();
+  void update(BytesView data);
+  Sha256Digest finalize();
+
+  // One-shot convenience.
+  static Sha256Digest hash(BytesView data);
+  static Sha256Digest hash2(BytesView a, BytesView b);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_{};
+  std::uint64_t bit_count_{0};
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffer_len_{0};
+};
+
+inline Bytes digest_to_bytes(const Sha256Digest& d) {
+  return Bytes(d.begin(), d.end());
+}
+
+// Constant-time equality for digests and MACs: comparison time must not leak
+// the position of the first mismatching byte.
+bool constant_time_equal(BytesView a, BytesView b);
+
+}  // namespace recipe::crypto

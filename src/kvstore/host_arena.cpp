@@ -1,0 +1,63 @@
+#include "kvstore/host_arena.h"
+
+#include <utility>
+
+namespace recipe::kv {
+
+HostPtr HostArena::store(Bytes value) {
+  const std::uint64_t handle = next_handle_++;
+  bytes_used_ += value.size();
+  slots_.emplace(handle, std::move(value));
+  return HostPtr{handle};
+}
+
+Result<Bytes> HostArena::load(HostPtr ptr) const {
+  const auto it = slots_.find(ptr.handle);
+  if (it == slots_.end()) {
+    return Status::error(ErrorCode::kNotFound, "dangling host pointer");
+  }
+  return it->second;
+}
+
+Status HostArena::replace(HostPtr ptr, Bytes value) {
+  const auto it = slots_.find(ptr.handle);
+  if (it == slots_.end()) {
+    return Status::error(ErrorCode::kNotFound, "dangling host pointer");
+  }
+  bytes_used_ -= it->second.size();
+  bytes_used_ += value.size();
+  it->second = std::move(value);
+  return Status::ok();
+}
+
+void HostArena::free(HostPtr ptr) {
+  const auto it = slots_.find(ptr.handle);
+  if (it == slots_.end()) return;
+  bytes_used_ -= it->second.size();
+  slots_.erase(it);
+}
+
+Status HostArena::corrupt(HostPtr ptr, std::size_t byte_index) {
+  const auto it = slots_.find(ptr.handle);
+  if (it == slots_.end()) {
+    return Status::error(ErrorCode::kNotFound, "dangling host pointer");
+  }
+  if (it->second.empty()) {
+    it->second.push_back(0xFF);  // grow: also a corruption
+    return Status::ok();
+  }
+  it->second[byte_index % it->second.size()] ^= 0x5A;
+  return Status::ok();
+}
+
+Status HostArena::swap(HostPtr a, HostPtr b) {
+  const auto ia = slots_.find(a.handle);
+  const auto ib = slots_.find(b.handle);
+  if (ia == slots_.end() || ib == slots_.end()) {
+    return Status::error(ErrorCode::kNotFound, "dangling host pointer");
+  }
+  std::swap(ia->second, ib->second);
+  return Status::ok();
+}
+
+}  // namespace recipe::kv

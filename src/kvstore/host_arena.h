@@ -1,0 +1,50 @@
+// Untrusted host-memory arena for KV values.
+//
+// Recipe's partitioned KV store keeps bulk values OUTSIDE the enclave (host
+// memory is unlimited but untrusted) and only keys+metadata inside. This
+// class makes that boundary real in the reproduction: values live here, and
+// test adversaries are given corrupt()/swap() to model a Byzantine host
+// scribbling over memory — integrity verification in the store must catch it.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/bytes.h"
+#include "common/result.h"
+
+namespace recipe::kv {
+
+// Opaque handle to a host-memory allocation (a "pointer" from the enclave's
+// point of view).
+struct HostPtr {
+  std::uint64_t handle{0};
+  bool valid() const { return handle != 0; }
+};
+
+class HostArena {
+ public:
+  HostPtr store(Bytes value);
+  // Reads the value; the caller (enclave code) MUST verify integrity.
+  Result<Bytes> load(HostPtr ptr) const;
+  // Replaces content in place (value update reusing the allocation).
+  Status replace(HostPtr ptr, Bytes value);
+  void free(HostPtr ptr);
+
+  std::uint64_t bytes_used() const { return bytes_used_; }
+  std::size_t allocations() const { return slots_.size(); }
+
+  // --- Byzantine-host fault injection (tests only) -----------------------
+  // Flips bits in the stored value.
+  Status corrupt(HostPtr ptr, std::size_t byte_index = 0);
+  // Swaps the contents of two allocations (a "valid but wrong value" attack
+  // that plain checksums of the value alone would miss).
+  Status swap(HostPtr a, HostPtr b);
+
+ private:
+  std::unordered_map<std::uint64_t, Bytes> slots_;
+  std::uint64_t next_handle_{1};
+  std::uint64_t bytes_used_{0};
+};
+
+}  // namespace recipe::kv

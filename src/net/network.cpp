@@ -1,0 +1,200 @@
+#include "net/network.h"
+
+#include <cassert>
+
+namespace recipe::net {
+
+namespace {
+sim::Time ns(double v) { return static_cast<sim::Time>(std::max(0.0, v)); }
+}  // namespace
+
+sim::Time NetStackParams::send_cpu(std::size_t bytes) const {
+  return send_cpu_base + ns(send_cpu_per_byte_ns * static_cast<double>(bytes));
+}
+
+sim::Time NetStackParams::recv_cpu(std::size_t bytes) const {
+  return recv_cpu_base + ns(recv_cpu_per_byte_ns * static_cast<double>(bytes));
+}
+
+sim::Time NetStackParams::wire_time(std::size_t bytes) const {
+  // bits / (Gbit/s) = ns.
+  return ns(static_cast<double>(bytes) * 8.0 / bandwidth_gbps);
+}
+
+// Profiles. Calibrated so Fig. 6b reproduces: direct I/O dominates; kernel
+// sockets pay syscalls + copies; TEEs multiply the CPU side 4-8x (enclave
+// transitions per syscall for kernel-net; shielded-memory copies for both).
+NetStackParams NetStackParams::kernel_native() {
+  NetStackParams p;
+  p.send_cpu_base = 1500 * sim::kNanosecond;   // syscall + skb handling
+  p.send_cpu_per_byte_ns = 0.034;              // copy + checksum
+  p.recv_cpu_base = 1500 * sim::kNanosecond;
+  p.recv_cpu_per_byte_ns = 0.034;
+  p.propagation_delay = 12 * sim::kMicrosecond;
+  return p;
+}
+
+NetStackParams NetStackParams::kernel_tee() {
+  NetStackParams p = kernel_native();
+  // Every syscall crosses the enclave boundary (even with asynchronous
+  // syscall threads) and every buffer is copied in/out of the enclave.
+  p.send_cpu_base = 3200 * sim::kNanosecond;
+  p.send_cpu_per_byte_ns = 1.55;
+  p.recv_cpu_base = 3200 * sim::kNanosecond;
+  p.recv_cpu_per_byte_ns = 1.55;
+  return p;
+}
+
+NetStackParams NetStackParams::direct_io_native() {
+  NetStackParams p;
+  p.send_cpu_base = 220 * sim::kNanosecond;    // doorbell + descriptor
+  p.send_cpu_per_byte_ns = 0.012;              // zero-copy DMA
+  p.recv_cpu_base = 260 * sim::kNanosecond;
+  p.recv_cpu_per_byte_ns = 0.012;
+  p.propagation_delay = 2 * sim::kMicrosecond;
+  return p;
+}
+
+NetStackParams NetStackParams::direct_io_tee() {
+  NetStackParams p = direct_io_native();
+  // No syscalls (DMA-ed userspace rings mapped into the enclave) but ring
+  // management runs shielded and payloads cross the enclave boundary.
+  p.send_cpu_base = 1800 * sim::kNanosecond;
+  p.send_cpu_per_byte_ns = 0.78;
+  p.recv_cpu_base = 1800 * sim::kNanosecond;
+  p.recv_cpu_per_byte_ns = 0.78;
+  return p;
+}
+
+void SimNetwork::attach(NodeId id, NetStackParams stack, DeliveryHandler handler) {
+  endpoints_[id] = Endpoint{stack, std::move(handler), NodeCpu{}};
+}
+
+void SimNetwork::detach(NodeId id) { endpoints_.erase(id); }
+
+NodeCpu& SimNetwork::cpu(NodeId id) {
+  const auto it = endpoints_.find(id);
+  assert(it != endpoints_.end());
+  return it->second.cpu;
+}
+
+const NetStackParams& SimNetwork::stack(NodeId id) const {
+  const auto it = endpoints_.find(id);
+  assert(it != endpoints_.end());
+  return it->second.stack;
+}
+
+void SimNetwork::partition(NodeId a, NodeId b, bool blocked) {
+  if (blocked) {
+    partitions_.insert(partition_key(a, b));
+  } else {
+    partitions_.erase(partition_key(a, b));
+  }
+}
+
+void SimNetwork::send(Packet packet) {
+  ++packets_sent_;
+  bytes_sent_ += packet.wire_size();
+
+  const auto src_it = endpoints_.find(packet.src);
+  if (src_it == endpoints_.end() || crashed_.contains(packet.src)) {
+    ++packets_dropped_;
+    return;
+  }
+
+  // Sender pays CPU for the send path; the packet departs when the sender's
+  // CPU has pushed it to the NIC.
+  Endpoint& src_ep = src_it->second;
+  const sim::Time cpu_cost = src_ep.stack.send_cpu(packet.wire_size());
+  const sim::Time departure = src_ep.cpu.reserve(simulator_.now(), cpu_cost);
+
+  // The Dolev-Yao adversary sits on the wire.
+  if (adversary_) {
+    AdversaryAction action = adversary_(packet);
+    for (Packet& extra : action.injected) {
+      schedule_delivery(std::move(extra), departure);
+    }
+    switch (action.kind) {
+      case AdversaryAction::Kind::kDrop:
+        ++packets_dropped_;
+        return;
+      case AdversaryAction::Kind::kTamper:
+      case AdversaryAction::Kind::kReplace:
+        packet.payload = std::move(action.payload);
+        break;
+      case AdversaryAction::Kind::kPass:
+        break;
+    }
+  }
+
+  schedule_delivery(std::move(packet), departure);
+}
+
+void SimNetwork::schedule_delivery(Packet&& packet, sim::Time departure) {
+  // Random loss / duplication only before GST (partial synchrony).
+  const bool pre_gst = simulator_.now() < faults_.gst;
+  if (pre_gst && faults_.drop_rate > 0 && rng_.chance(faults_.drop_rate)) {
+    ++packets_dropped_;
+    return;
+  }
+
+  const auto dst_it = endpoints_.find(packet.dst);
+  if (dst_it == endpoints_.end()) {
+    ++packets_dropped_;
+    return;
+  }
+  if (partitions_.contains(partition_key(packet.src, packet.dst))) {
+    ++packets_dropped_;
+    return;
+  }
+
+  const NetStackParams& stack = dst_it->second.stack;
+
+  // Serialize onto the sender's NIC at line rate (caps goodput at the link
+  // bandwidth regardless of CPU speed).
+  const auto src_it = endpoints_.find(packet.src);
+  if (src_it != endpoints_.end()) {
+    Endpoint& src_ep = src_it->second;
+    const sim::Time tx_start = std::max(departure, src_ep.egress_free_at);
+    src_ep.egress_free_at =
+        tx_start + src_ep.stack.wire_time(packet.wire_size());
+    departure = src_ep.egress_free_at;
+  }
+
+  sim::Time delay = stack.propagation_delay;
+  if (faults_.jitter_max > 0) delay += rng_.below(faults_.jitter_max);
+  if (!pre_gst) delay = std::min(delay, faults_.delta);
+
+  const bool duplicate =
+      pre_gst && faults_.duplicate_rate > 0 && rng_.chance(faults_.duplicate_rate);
+
+  const sim::Time arrival = departure + delay;
+  auto deliver = [this, packet](sim::Time when) {
+    Packet copy = packet;
+    simulator_.schedule_at(when, [this, p = std::move(copy)]() mutable {
+      auto it = endpoints_.find(p.dst);
+      if (it == endpoints_.end() || crashed_.contains(p.dst)) {
+        ++packets_dropped_;
+        return;
+      }
+      Endpoint& ep = it->second;
+      // Receiver pays CPU before the handler runs.
+      const sim::Time done =
+          ep.cpu.reserve(simulator_.now(), ep.stack.recv_cpu(p.wire_size()));
+      simulator_.schedule_at(done, [this, p = std::move(p)]() mutable {
+        auto it2 = endpoints_.find(p.dst);
+        if (it2 == endpoints_.end() || crashed_.contains(p.dst)) {
+          ++packets_dropped_;
+          return;
+        }
+        ++packets_delivered_;
+        it2->second.handler(std::move(p));
+      });
+    });
+  };
+
+  deliver(arrival);
+  if (duplicate) deliver(arrival + stack.propagation_delay);
+}
+
+}  // namespace recipe::net

@@ -1,0 +1,184 @@
+// Simulated message-passing network.
+//
+// SUBSTITUTION (DESIGN.md §2): stands in for the paper's 40GbE testbed with
+// DPDK/RDMA (direct I/O) or kernel sockets. The network is:
+//   * point-to-point, fully connected, bidirectional;
+//   * unreliable: messages can be delayed, reordered, duplicated or dropped
+//     (partial synchrony: after GST every message arrives within delta);
+//   * Byzantine: an adversary interceptor may observe, tamper with, replay,
+//     inject or drop any packet (Dolev-Yao).
+//
+// Per-endpooint NetStackParams charge send/receive CPU and wire time, which
+// is how kernel-net vs direct-I/O and native vs TEE stacks are modelled
+// (Fig. 6b).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/ids.h"
+#include "common/rng.h"
+#include "sim/simulator.h"
+
+namespace recipe::net {
+
+// A network packet. `type` is an application-level message tag; `payload`
+// is opaque serialized bytes (possibly shielded).
+struct Packet {
+  NodeId src;
+  NodeId dst;
+  std::uint32_t type{0};
+  Bytes payload;
+
+  std::size_t wire_size() const { return payload.size() + 64; }  // headers
+};
+
+// Per-endpoint network stack cost model.
+struct NetStackParams {
+  sim::Time send_cpu_base = 0;
+  double send_cpu_per_byte_ns = 0.0;
+  sim::Time recv_cpu_base = 0;
+  double recv_cpu_per_byte_ns = 0.0;
+  sim::Time propagation_delay = 5 * sim::kMicrosecond;  // one-way, same rack
+  double bandwidth_gbps = 40.0;
+
+  sim::Time send_cpu(std::size_t bytes) const;
+  sim::Time recv_cpu(std::size_t bytes) const;
+  sim::Time wire_time(std::size_t bytes) const;
+
+  // Profiles used across the evaluation (Fig. 6b).
+  static NetStackParams kernel_native();
+  static NetStackParams kernel_tee();
+  static NetStackParams direct_io_native();
+  static NetStackParams direct_io_tee();
+};
+
+// Tracks a node's CPU so message processing serializes and throughput
+// saturates realistically. `cores` models a multi-core server as a fluid
+// processor: with k cores, aggregate service capacity is k times one core
+// (an M/D/k approximation good enough for saturation benchmarks).
+class NodeCpu {
+ public:
+  // Reserves `duration` of CPU work starting no earlier than `ready`;
+  // returns the completion time.
+  sim::Time reserve(sim::Time ready, sim::Time duration) {
+    const sim::Time start = std::max(ready, free_at_);
+    free_at_ = start + scaled(duration);
+    return free_at_;
+  }
+
+  // Charges `duration` of work immediately (from inside a running handler).
+  void charge(sim::Time duration) { free_at_ += scaled(duration); }
+
+  sim::Time free_at() const { return free_at_; }
+  void sync_to(sim::Time t) { free_at_ = std::max(free_at_, t); }
+
+  void set_cores(unsigned cores) { cores_ = cores == 0 ? 1 : cores; }
+  unsigned cores() const { return cores_; }
+
+ private:
+  sim::Time scaled(sim::Time duration) const { return duration / cores_; }
+
+  sim::Time free_at_{0};
+  unsigned cores_{1};
+};
+
+// What the Dolev-Yao adversary decided to do with a packet in flight.
+struct AdversaryAction {
+  enum class Kind { kPass, kDrop, kTamper, kReplace };
+  Kind kind = Kind::kPass;
+  // For kTamper/kReplace: the payload to deliver instead.
+  Bytes payload;
+  // Extra packets the adversary injects (replays, forgeries, redirects).
+  std::vector<Packet> injected;
+};
+
+// Interceptor signature: inspect the packet, return the action.
+using Adversary = std::function<AdversaryAction(const Packet&)>;
+
+struct NetworkFaults {
+  double drop_rate = 0.0;         // pre-GST random loss
+  double duplicate_rate = 0.0;    // pre-GST duplication
+  sim::Time jitter_max = 0;       // extra uniform random delay
+  sim::Time gst = 0;              // Global Stabilization Time
+  sim::Time delta = 200 * sim::kMicrosecond;  // post-GST delivery bound
+};
+
+class SimNetwork {
+ public:
+  using DeliveryHandler = std::function<void(Packet&&)>;
+
+  SimNetwork(sim::Simulator& simulator, Rng rng)
+      : simulator_(simulator), rng_(rng) {}
+
+  // Registers a node endpoint with its stack model and receive handler.
+  void attach(NodeId id, NetStackParams stack, DeliveryHandler handler);
+  void detach(NodeId id);
+  bool attached(NodeId id) const { return endpoints_.contains(id); }
+
+  // Sends a packet; all delay/fault/adversary processing is applied here.
+  void send(Packet packet);
+
+  NodeCpu& cpu(NodeId id);
+  const NetStackParams& stack(NodeId id) const;
+
+  // --- Fault injection -----------------------------------------------------
+  void set_faults(NetworkFaults faults) { faults_ = faults; }
+  const NetworkFaults& faults() const { return faults_; }
+
+  // Crash a node: all traffic to/from it disappears (fail-stop at the
+  // network level; the enclave object is crashed separately).
+  void crash(NodeId id) { crashed_.insert(id); }
+  void recover(NodeId id) { crashed_.erase(id); }
+  bool is_crashed(NodeId id) const { return crashed_.contains(id); }
+
+  // Bidirectional partition between two nodes.
+  void partition(NodeId a, NodeId b, bool blocked);
+
+  // Installs the Dolev-Yao adversary. Replaces any previous one.
+  void set_adversary(Adversary adversary) { adversary_ = std::move(adversary); }
+
+  // --- Statistics ------------------------------------------------------
+  std::uint64_t packets_sent() const { return packets_sent_; }
+  std::uint64_t packets_delivered() const { return packets_delivered_; }
+  std::uint64_t packets_dropped() const { return packets_dropped_; }
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+
+ private:
+  struct Endpoint {
+    NetStackParams stack;
+    DeliveryHandler handler;
+    NodeCpu cpu;
+    // NIC egress: packets serialize onto the wire at line rate.
+    sim::Time egress_free_at{0};
+  };
+
+  void deliver_with_faults(Packet&& packet, bool adversary_copy);
+  void schedule_delivery(Packet&& packet, sim::Time departure);
+
+  sim::Simulator& simulator_;
+  Rng rng_;
+  std::unordered_map<NodeId, Endpoint> endpoints_;
+  std::unordered_set<NodeId> crashed_;
+  std::unordered_set<std::uint64_t> partitions_;  // key(a,b)
+  NetworkFaults faults_{};
+  Adversary adversary_;
+
+  std::uint64_t packets_sent_{0};
+  std::uint64_t packets_delivered_{0};
+  std::uint64_t packets_dropped_{0};
+  std::uint64_t bytes_sent_{0};
+
+  static std::uint64_t partition_key(NodeId a, NodeId b) {
+    const std::uint64_t lo = std::min(a.value, b.value);
+    const std::uint64_t hi = std::max(a.value, b.value);
+    return (lo << 32) | (hi & 0xFFFFFFFF);
+  }
+};
+
+}  // namespace recipe::net

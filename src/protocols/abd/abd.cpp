@@ -1,0 +1,188 @@
+#include "protocols/abd/abd.h"
+
+namespace recipe::protocols {
+
+namespace {
+
+Bytes encode_ts(kv::Timestamp ts) {
+  Writer w;
+  w.u64(ts.counter);
+  w.u64(ts.node);
+  return std::move(w).take();
+}
+
+std::optional<kv::Timestamp> decode_ts(Reader& r) {
+  auto counter = r.u64();
+  auto node = r.u64();
+  if (!counter || !node) return std::nullopt;
+  return kv::Timestamp{*counter, *node};
+}
+
+}  // namespace
+
+AbdNode::AbdNode(sim::Simulator& simulator, net::SimNetwork& network,
+                 ReplicaOptions options)
+    : ReplicaNode(simulator, network, std::move(options)) {
+  // --- Replica-side handlers (native ABD logic; verification/shielding is
+  // supplied by the ReplicaNode runtime, Listing-1 style). ---
+
+  on(abd_msg::kGetTs, [this](VerifiedEnvelope& env, rpc::RequestContext& ctx) {
+    Reader r(as_view(env.payload));
+    auto key = r.str();
+    if (!key) return;
+    const kv::Timestamp ts = kv().timestamp(*key).value_or(kv::Timestamp{});
+    respond(ctx, env.sender, as_view(encode_ts(ts)));
+  });
+
+  on(abd_msg::kPut, [this](VerifiedEnvelope& env, rpc::RequestContext& ctx) {
+    Reader r(as_view(env.payload));
+    auto key = r.str();
+    auto value = r.bytes();
+    auto ts = decode_ts(r);
+    if (!key || !value || !ts) return;
+    kv_write(*key, as_view(*value), *ts);  // stale ts rejected internally
+    Writer ack;
+    ack.boolean(true);
+    respond(ctx, env.sender, as_view(ack.buffer()));
+  });
+
+  on(abd_msg::kGet, [this](VerifiedEnvelope& env, rpc::RequestContext& ctx) {
+    Reader r(as_view(env.payload));
+    auto key = r.str();
+    if (!key) return;
+    Writer resp;
+    auto value = kv_get(*key);
+    if (value.is_ok()) {
+      resp.boolean(true);
+      resp.bytes(as_view(value.value().value));
+      resp.raw(as_view(encode_ts(value.value().timestamp)));
+    } else {
+      resp.boolean(false);
+      resp.bytes(BytesView{});
+      resp.raw(as_view(encode_ts(kv::Timestamp{})));
+    }
+    respond(ctx, env.sender, as_view(resp.buffer()));
+  });
+}
+
+void AbdNode::start() { ReplicaNode::start(); }
+
+void AbdNode::submit(const ClientRequest& request, ReplyFn reply) {
+  if (request.op == OpType::kPut) {
+    submit_put(request, std::move(reply));
+  } else {
+    submit_get(request, std::move(reply));
+  }
+}
+
+void AbdNode::submit_put(const ClientRequest& request, ReplyFn reply) {
+  // Round 1: query timestamps from a majority (self counts).
+  struct QueryState {
+    kv::Timestamp max_ts;
+    std::shared_ptr<QuorumTracker> quorum;
+  };
+  auto state = std::make_shared<QueryState>();
+  state->max_ts = kv().timestamp(request.key).value_or(kv::Timestamp{});
+
+  auto on_quorum = [this, state, key = request.key, value = request.value,
+                    reply = std::move(reply)]() mutable {
+    // Round 2: write with a strictly higher timestamp, self coordinates.
+    const kv::Timestamp ts{state->max_ts.counter + 1, self().value};
+    broadcast_put(key, value, ts, [reply = std::move(reply)](bool ok) {
+      ClientReply r;
+      r.ok = ok;
+      reply(r);
+    });
+  };
+  state->quorum = std::make_shared<QuorumTracker>(quorum(), std::move(on_quorum));
+  state->quorum->ack(self());
+
+  Writer query;
+  query.str(request.key);
+  broadcast(abd_msg::kGetTs, as_view(query.buffer()),
+            [state](VerifiedEnvelope& env) {
+              Reader r(as_view(env.payload));
+              auto ts = decode_ts(r);
+              if (!ts) return;
+              if (*ts > state->max_ts) state->max_ts = *ts;
+              state->quorum->ack(env.sender);
+            });
+}
+
+void AbdNode::broadcast_put(const std::string& key, const Bytes& value,
+                            kv::Timestamp ts, std::function<void(bool)> done) {
+  auto quorum_tracker = std::make_shared<QuorumTracker>(
+      quorum(), [done = std::move(done)] { done(true); });
+  kv_write(key, as_view(value), ts);
+  quorum_tracker->ack(self());
+
+  Writer update;
+  update.str(key);
+  update.bytes(as_view(value));
+  update.raw(as_view(encode_ts(ts)));
+  broadcast(abd_msg::kPut, as_view(update.buffer()),
+            [quorum_tracker](VerifiedEnvelope& env) {
+              quorum_tracker->ack(env.sender);
+            });
+}
+
+void AbdNode::submit_get(const ClientRequest& request, ReplyFn reply) {
+  struct ReadState {
+    kv::Timestamp max_ts;
+    Bytes max_value;
+    bool max_found = false;
+    std::size_t agree_on_max = 0;  // responders whose ts equals max_ts
+    std::shared_ptr<QuorumTracker> quorum;
+  };
+  auto state = std::make_shared<ReadState>();
+
+  auto local = kv_get(request.key);
+  if (local.is_ok()) {
+    state->max_ts = local.value().timestamp;
+    state->max_value = std::move(local.value().value);
+    state->max_found = true;
+    state->agree_on_max = 1;
+  } else {
+    state->agree_on_max = 1;  // agrees on "missing" (zero ts)
+  }
+
+  auto on_quorum = [this, state, key = request.key,
+                    reply = std::move(reply)]() mutable {
+    ClientReply r;
+    r.ok = true;
+    r.found = state->max_found;
+    r.value = state->max_value;
+    if (state->agree_on_max >= quorum() || !state->max_found) {
+      // Fast path: majority already agrees on the latest timestamp.
+      reply(r);
+      return;
+    }
+    // Slow path: write back the max (value, ts) to a majority first.
+    broadcast_put(key, state->max_value, state->max_ts,
+                  [r, reply = std::move(reply)](bool) { reply(r); });
+  };
+  state->quorum = std::make_shared<QuorumTracker>(quorum(), std::move(on_quorum));
+  state->quorum->ack(self());
+
+  Writer query;
+  query.str(request.key);
+  broadcast(abd_msg::kGet, as_view(query.buffer()),
+            [state](VerifiedEnvelope& env) {
+              Reader r(as_view(env.payload));
+              auto found = r.boolean();
+              auto value = r.bytes();
+              auto ts = decode_ts(r);
+              if (!found || !value || !ts) return;
+              if (*ts > state->max_ts) {
+                state->max_ts = *ts;
+                state->max_value = std::move(*value);
+                state->max_found = *found;
+                state->agree_on_max = 1;
+              } else if (*ts == state->max_ts) {
+                ++state->agree_on_max;
+              }
+              state->quorum->ack(env.sender);
+            });
+}
+
+}  // namespace recipe::protocols

@@ -1,0 +1,47 @@
+// ABD (Attiya-Bar-Noy-Dolev / Lynch-Shvartsman multi-writer multi-reader)
+// — leaderless, per-key ordering, linearizable (paper §B.2 category A).
+//
+// Writes take two broadcast rounds:
+//   1. query: collect the key's Lamport timestamp from a majority;
+//   2. update: write (value, ts') with ts' = (max_counter+1, self) to a
+//      majority.
+// Reads take one round (collect (value, ts) from a majority); if the
+// majority does not agree on the maximal timestamp, the coordinator runs the
+// write-back round to push the max before replying (for linearizability /
+// availability).
+//
+// Any node coordinates any request. The R- transform is obtained purely by
+// constructing the node with a RecipeSecurity policy — the protocol code
+// below is identical in both modes.
+#pragma once
+
+#include <memory>
+
+#include "recipe/node_base.h"
+
+namespace recipe::protocols {
+
+namespace abd_msg {
+constexpr rpc::RequestType kGetTs = 0xAB01;   // [key] -> [counter, node]
+constexpr rpc::RequestType kPut = 0xAB02;     // [key, value, ts] -> [ok]
+constexpr rpc::RequestType kGet = 0xAB03;     // [key] -> [found, value, ts]
+}  // namespace abd_msg
+
+class AbdNode final : public ReplicaNode {
+ public:
+  AbdNode(sim::Simulator& simulator, net::SimNetwork& network,
+          ReplicaOptions options);
+
+  void start() override;
+  bool is_coordinator() const override { return running(); }  // leaderless
+  void submit(const ClientRequest& request, ReplyFn reply) override;
+
+ private:
+  void submit_put(const ClientRequest& request, ReplyFn reply);
+  void submit_get(const ClientRequest& request, ReplyFn reply);
+  // Round 2 of the write path, also used for read write-back.
+  void broadcast_put(const std::string& key, const Bytes& value,
+                     kv::Timestamp ts, std::function<void(bool)> done);
+};
+
+}  // namespace recipe::protocols

@@ -1,0 +1,148 @@
+#include "protocols/cr/cr.h"
+
+namespace recipe::protocols {
+
+ChainNode::ChainNode(sim::Simulator& simulator, net::SimNetwork& network,
+                     ReplicaOptions options)
+    : ReplicaNode(simulator, network, std::move(options)) {
+  on(cr_msg::kUpdate, [this](VerifiedEnvelope& env, rpc::RequestContext&) {
+    Reader r(as_view(env.payload));
+    auto seq = r.u64();
+    auto op = r.bytes();
+    if (!seq || !op) return;
+    if (*seq <= applied_seq_) {
+      // Duplicate from chain repair: already applied; still propagate so the
+      // ack eventually reaches the head.
+      forward_or_ack(*seq, *op);
+      return;
+    }
+    out_of_order_.emplace(*seq, std::move(*op));
+    apply_in_order();
+  });
+
+  on(cr_msg::kAck, [this](VerifiedEnvelope& env, rpc::RequestContext&) {
+    (void)env;
+    Reader r(as_view(env.payload));
+    auto seq = r.u64();
+    if (!seq) return;
+    unacked_.erase(*seq);
+    const auto it = pending_replies_.find(*seq);
+    if (it == pending_replies_.end()) return;
+    ClientReply reply;
+    reply.ok = true;
+    it->second(reply);
+    pending_replies_.erase(it);
+  });
+}
+
+std::vector<NodeId> ChainNode::chain() const {
+  std::vector<NodeId> out;
+  for (NodeId n : membership()) {
+    if (!dead_.contains(n)) out.push_back(n);
+  }
+  return out;
+}
+
+std::optional<NodeId> ChainNode::successor() const {
+  const std::vector<NodeId> c = chain();
+  for (std::size_t i = 0; i + 1 < c.size(); ++i) {
+    if (c[i] == self()) return c[i + 1];
+  }
+  return std::nullopt;
+}
+
+void ChainNode::submit(const ClientRequest& request, ReplyFn reply) {
+  if (request.op == OpType::kGet) {
+    // Linearizable local read at the tail.
+    if (!is_tail()) {
+      ClientReply r;
+      r.ok = false;
+      reply(r);
+      return;
+    }
+    auto value = kv_get(request.key);
+    ClientReply r;
+    r.ok = true;
+    r.found = value.is_ok();
+    if (value.is_ok()) r.value = std::move(value.value().value);
+    reply(r);
+    return;
+  }
+
+  // Writes enter at the head.
+  if (!is_head()) {
+    ClientReply r;
+    r.ok = false;
+    reply(r);
+    return;
+  }
+
+  // A promoted head continues the sequence from what it has applied.
+  next_seq_ = std::max(next_seq_, applied_seq_) + 1;
+  const std::uint64_t seq = next_seq_;
+  const Bytes op = request.serialize();
+  pending_replies_[seq] = std::move(reply);
+  unacked_[seq] = op;
+  apply_update(seq, as_view(op));
+  applied_seq_ = seq;
+  forward_or_ack(seq, op);
+}
+
+void ChainNode::apply_update(std::uint64_t seq, BytesView op) {
+  (void)seq;
+  auto request = ClientRequest::parse(op);
+  if (!request) return;
+  if (request.value().op == OpType::kPut) {
+    kv_write(request.value().key, as_view(request.value().value));
+  }
+}
+
+void ChainNode::apply_in_order() {
+  auto it = out_of_order_.begin();
+  while (it != out_of_order_.end() && it->first == applied_seq_ + 1) {
+    apply_update(it->first, as_view(it->second));
+    applied_seq_ = it->first;
+    forward_or_ack(it->first, it->second);
+    it = out_of_order_.erase(it);
+  }
+}
+
+void ChainNode::forward_or_ack(std::uint64_t seq, const Bytes& op) {
+  const auto next = successor();
+  if (next) {
+    Writer w;
+    w.u64(seq);
+    w.bytes(as_view(op));
+    send_to(*next, cr_msg::kUpdate, as_view(w.buffer()));
+  } else {
+    // Tail: acknowledge to the head (write has reached the whole chain).
+    if (is_head()) {
+      // Chain of one: complete locally.
+      unacked_.erase(seq);
+      const auto it = pending_replies_.find(seq);
+      if (it != pending_replies_.end()) {
+        ClientReply reply;
+        reply.ok = true;
+        it->second(reply);
+        pending_replies_.erase(it);
+      }
+      return;
+    }
+    Writer w;
+    w.u64(seq);
+    send_to(head(), cr_msg::kAck, as_view(w.buffer()));
+  }
+}
+
+void ChainNode::on_suspected(NodeId peer) {
+  dead_.insert(peer);
+  // The head re-propagates everything not yet acknowledged through the new
+  // chain; duplicates are skipped by sequence number downstream.
+  if (is_head()) repropagate_unacked();
+}
+
+void ChainNode::repropagate_unacked() {
+  for (const auto& [seq, op] : unacked_) forward_or_ack(seq, op);
+}
+
+}  // namespace recipe::protocols

@@ -1,0 +1,66 @@
+// Chain Replication (van Renesse & Schneider) — leader-based, per-key
+// ordering, linearizable (paper §B.2 category C).
+//
+// Nodes form a chain in membership order. Writes enter at the HEAD, which
+// assigns a sequence number, applies locally and forwards down the chain;
+// each node applies in sequence order and forwards; the TAIL applies and
+// acknowledges straight back to the head, which replies to the client.
+// Because a write is acknowledged only after reaching every node, the tail
+// has seen every committed write — so linearizable reads are served LOCALLY
+// at the tail (the paper's explanation for R-CR's read-heavy wins).
+//
+// Chain repair: when the failure detector suspects a node it is dropped from
+// the chain; the head re-propagates all unacknowledged updates through the
+// new chain. Nodes deduplicate by sequence number, so re-propagation is
+// idempotent.
+#pragma once
+
+#include <map>
+#include <set>
+
+#include "recipe/node_base.h"
+
+namespace recipe::protocols {
+
+namespace cr_msg {
+constexpr rpc::RequestType kUpdate = 0xC201;  // [seq, op] down the chain
+constexpr rpc::RequestType kAck = 0xC202;     // [seq] tail -> head
+}  // namespace cr_msg
+
+class ChainNode final : public ReplicaNode {
+ public:
+  ChainNode(sim::Simulator& simulator, net::SimNetwork& network,
+            ReplicaOptions options);
+
+  // Coordinates PUTs when head, GETs when tail.
+  bool is_coordinator() const override { return is_head() || is_tail(); }
+  bool serves_local_reads() const override { return is_tail(); }
+  void submit(const ClientRequest& request, ReplyFn reply) override;
+
+  bool is_head() const { return chain().front() == self(); }
+  bool is_tail() const { return chain().back() == self(); }
+  NodeId head() const { return chain().front(); }
+  NodeId tail() const { return chain().back(); }
+
+  // The live chain in membership order.
+  std::vector<NodeId> chain() const;
+
+ protected:
+  void on_suspected(NodeId peer) override;
+
+ private:
+  std::optional<NodeId> successor() const;
+  void apply_in_order();
+  void apply_update(std::uint64_t seq, BytesView op);
+  void forward_or_ack(std::uint64_t seq, const Bytes& op);
+  void repropagate_unacked();
+
+  std::set<NodeId> dead_;
+  std::uint64_t next_seq_{0};     // head: last assigned sequence number
+  std::uint64_t applied_seq_{0};  // this node: last applied sequence number
+  std::map<std::uint64_t, Bytes> out_of_order_;       // buffered future updates
+  std::map<std::uint64_t, Bytes> unacked_;            // head: for repair
+  std::map<std::uint64_t, ReplyFn> pending_replies_;  // head: seq -> client
+};
+
+}  // namespace recipe::protocols

@@ -1,0 +1,188 @@
+#include "protocols/craq/craq.h"
+
+namespace recipe::protocols {
+
+CraqNode::CraqNode(sim::Simulator& simulator, net::SimNetwork& network,
+                   ReplicaOptions options)
+    : ReplicaNode(simulator, network, std::move(options)) {
+  on(craq_msg::kUpdate, [this](VerifiedEnvelope& env, rpc::RequestContext&) {
+    Reader r(as_view(env.payload));
+    auto seq = r.u64();
+    auto op = r.bytes();
+    if (!seq || !op) return;
+    if (*seq <= applied_seq_) {
+      forward_or_commit(*seq, *op);  // repair duplicate: keep propagating
+      return;
+    }
+    out_of_order_.emplace(*seq, std::move(*op));
+    apply_in_order();
+  });
+
+  on(craq_msg::kClean, [this](VerifiedEnvelope& env, rpc::RequestContext&) {
+    Reader r(as_view(env.payload));
+    auto seq = r.u64();
+    auto key = r.str();
+    if (!seq || !key) return;
+    mark_clean(*seq, *key);
+  });
+
+  on(craq_msg::kTailRead, [this](VerifiedEnvelope& env, rpc::RequestContext& ctx) {
+    Reader r(as_view(env.payload));
+    auto key = r.str();
+    if (!key) return;
+    Writer resp;
+    auto value = kv_get(*key);
+    resp.boolean(value.is_ok());
+    resp.bytes(value.is_ok() ? as_view(value.value().value) : BytesView{});
+    respond(ctx, env.sender, as_view(resp.buffer()));
+  });
+}
+
+std::vector<NodeId> CraqNode::chain() const {
+  std::vector<NodeId> out;
+  for (NodeId n : membership()) {
+    if (!dead_.contains(n)) out.push_back(n);
+  }
+  return out;
+}
+
+std::optional<NodeId> CraqNode::successor() const {
+  const auto c = chain();
+  for (std::size_t i = 0; i + 1 < c.size(); ++i) {
+    if (c[i] == self()) return c[i + 1];
+  }
+  return std::nullopt;
+}
+
+std::optional<NodeId> CraqNode::predecessor() const {
+  const auto c = chain();
+  for (std::size_t i = 1; i < c.size(); ++i) {
+    if (c[i] == self()) return c[i - 1];
+  }
+  return std::nullopt;
+}
+
+void CraqNode::submit(const ClientRequest& request, ReplyFn reply) {
+  if (request.op == OpType::kGet) {
+    serve_read(request.key, std::move(reply));
+    return;
+  }
+  if (!is_head()) {
+    ClientReply r;
+    r.ok = false;
+    reply(r);
+    return;
+  }
+  next_seq_ = std::max(next_seq_, applied_seq_) + 1;
+  const std::uint64_t seq = next_seq_;
+  const Bytes op = request.serialize();
+  pending_replies_[seq] = std::move(reply);
+  unacked_[seq] = op;
+  apply_update(seq, as_view(op));
+  applied_seq_ = seq;
+  forward_or_commit(seq, op);
+}
+
+void CraqNode::serve_read(const std::string& key, ReplyFn reply) {
+  if (!dirty_keys_.contains(key) || is_tail()) {
+    // Clean (or we ARE the committed source): serve locally.
+    ++local_reads_;
+    auto value = kv_get(key);
+    ClientReply r;
+    r.ok = true;
+    r.found = value.is_ok();
+    if (value.is_ok()) r.value = std::move(value.value().value);
+    reply(r);
+    return;
+  }
+  // Dirty: apportion the query to the tail for the committed version.
+  ++apportioned_reads_;
+  Writer w;
+  w.str(key);
+  auto shared_reply = std::make_shared<ReplyFn>(std::move(reply));
+  send_to(chain().back(), craq_msg::kTailRead, as_view(w.buffer()),
+          [shared_reply](VerifiedEnvelope& env) {
+            Reader r(as_view(env.payload));
+            auto found = r.boolean();
+            auto value = r.bytes();
+            if (!found || !value) return;
+            ClientReply reply;
+            reply.ok = true;
+            reply.found = *found;
+            reply.value = std::move(*value);
+            (*shared_reply)(reply);
+          },
+          sim::kSecond, [shared_reply] {
+            ClientReply reply;
+            reply.ok = false;
+            (*shared_reply)(reply);
+          });
+}
+
+void CraqNode::apply_update(std::uint64_t seq, BytesView op) {
+  auto request = ClientRequest::parse(op);
+  if (!request || request.value().op != OpType::kPut) return;
+  kv_write(request.value().key, as_view(request.value().value));
+  // Newest version is dirty until the tail commit travels back up.
+  dirty_keys_[request.value().key] = seq;
+}
+
+void CraqNode::apply_in_order() {
+  auto it = out_of_order_.begin();
+  while (it != out_of_order_.end() && it->first == applied_seq_ + 1) {
+    apply_update(it->first, as_view(it->second));
+    applied_seq_ = it->first;
+    forward_or_commit(it->first, it->second);
+    it = out_of_order_.erase(it);
+  }
+}
+
+void CraqNode::forward_or_commit(std::uint64_t seq, const Bytes& op) {
+  const auto next = successor();
+  if (next) {
+    Writer w;
+    w.u64(seq);
+    w.bytes(as_view(op));
+    send_to(*next, craq_msg::kUpdate, as_view(w.buffer()));
+    return;
+  }
+  // Tail: the write is committed. Clean it here and propagate the commit
+  // back up the chain.
+  auto request = ClientRequest::parse(as_view(op));
+  const std::string key = request ? request.value().key : "";
+  mark_clean(seq, key);
+}
+
+void CraqNode::mark_clean(std::uint64_t seq, const std::string& key) {
+  const auto it = dirty_keys_.find(key);
+  if (it != dirty_keys_.end() && it->second <= seq) dirty_keys_.erase(it);
+
+  // Head completes the client write when the commit wave reaches it.
+  if (is_head()) {
+    unacked_.erase(seq);
+    const auto pending = pending_replies_.find(seq);
+    if (pending != pending_replies_.end()) {
+      ClientReply reply;
+      reply.ok = true;
+      pending->second(reply);
+      pending_replies_.erase(pending);
+    }
+    return;
+  }
+  // Propagate the clean notification up the chain.
+  const auto prev = predecessor();
+  if (!prev) return;
+  Writer w;
+  w.u64(seq);
+  w.str(key);
+  send_to(*prev, craq_msg::kClean, as_view(w.buffer()));
+}
+
+void CraqNode::on_suspected(NodeId peer) {
+  dead_.insert(peer);
+  if (is_head()) {
+    for (const auto& [seq, op] : unacked_) forward_or_commit(seq, op);
+  }
+}
+
+}  // namespace recipe::protocols

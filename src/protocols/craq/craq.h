@@ -1,0 +1,76 @@
+// CRAQ — Chain Replication with Apportioned Queries (Terrace & Freedman,
+// USENIX ATC'09; paper Table 1, per-key order, leader-based).
+//
+// Extends Chain Replication so that EVERY node can serve reads:
+//  * writes flow head -> tail exactly as in CR, but each node keeps the new
+//    version as DIRTY until the tail's commit acknowledgement travels back
+//    UP the chain, marking versions CLEAN;
+//  * a read at a node whose key is CLEAN is served locally (linearizable:
+//    the committed version cannot be older anywhere);
+//  * a read at a node whose key is DIRTY is apportioned to the TAIL, whose
+//    version is by construction the committed one.
+//
+// This is the read-throughput extension the paper cites for read-mostly
+// workloads [128]; with Recipe it inherits transferable authentication and
+// non-equivocation unchanged.
+#pragma once
+
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "recipe/node_base.h"
+
+namespace recipe::protocols {
+
+namespace craq_msg {
+constexpr rpc::RequestType kUpdate = 0xC401;    // [seq, op] down the chain
+constexpr rpc::RequestType kClean = 0xC402;     // [seq, key] back up the chain
+constexpr rpc::RequestType kTailRead = 0xC403;  // [key] -> [found, value]
+}  // namespace craq_msg
+
+class CraqNode final : public ReplicaNode {
+ public:
+  CraqNode(sim::Simulator& simulator, net::SimNetwork& network,
+           ReplicaOptions options);
+
+  // Writes coordinate at the head; reads at ANY node.
+  bool is_coordinator() const override { return running(); }
+  bool serves_local_reads() const override { return true; }
+  void submit(const ClientRequest& request, ReplyFn reply) override;
+
+  bool is_head() const { return chain().front() == self(); }
+  bool is_tail() const { return chain().back() == self(); }
+  std::vector<NodeId> chain() const;
+
+  // Introspection for tests.
+  bool is_dirty(std::string_view key) const {
+    return dirty_keys_.contains(std::string(key));
+  }
+  std::uint64_t apportioned_reads() const { return apportioned_reads_; }
+  std::uint64_t local_reads() const { return local_reads_; }
+
+ protected:
+  void on_suspected(NodeId peer) override;
+
+ private:
+  std::optional<NodeId> successor() const;
+  std::optional<NodeId> predecessor() const;
+  void apply_in_order();
+  void apply_update(std::uint64_t seq, BytesView op);
+  void forward_or_commit(std::uint64_t seq, const Bytes& op);
+  void mark_clean(std::uint64_t seq, const std::string& key);
+  void serve_read(const std::string& key, ReplyFn reply);
+
+  std::set<NodeId> dead_;
+  std::uint64_t next_seq_{0};
+  std::uint64_t applied_seq_{0};
+  std::map<std::uint64_t, Bytes> out_of_order_;
+  std::map<std::uint64_t, Bytes> unacked_;            // head: repair buffer
+  std::map<std::uint64_t, ReplyFn> pending_replies_;  // head: seq -> client
+  std::unordered_map<std::string, std::uint64_t> dirty_keys_;  // key -> seq
+  std::uint64_t apportioned_reads_{0};
+  std::uint64_t local_reads_{0};
+};
+
+}  // namespace recipe::protocols

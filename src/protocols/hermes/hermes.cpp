@@ -1,0 +1,142 @@
+#include "protocols/hermes/hermes.h"
+
+#include "recipe/quorum.h"
+
+namespace recipe::protocols {
+
+namespace {
+Bytes encode_ts(kv::Timestamp ts) {
+  Writer w;
+  w.u64(ts.counter);
+  w.u64(ts.node);
+  return std::move(w).take();
+}
+
+std::optional<kv::Timestamp> decode_ts(Reader& r) {
+  auto counter = r.u64();
+  auto node = r.u64();
+  if (!counter || !node) return std::nullopt;
+  return kv::Timestamp{*counter, *node};
+}
+}  // namespace
+
+HermesNode::HermesNode(sim::Simulator& simulator, net::SimNetwork& network,
+                       ReplicaOptions options)
+    : ReplicaNode(simulator, network, std::move(options)) {
+  on(hermes_msg::kInv, [this](VerifiedEnvelope& env, rpc::RequestContext& ctx) {
+    Reader r(as_view(env.payload));
+    auto key = r.str();
+    auto value = r.bytes();
+    auto ts = decode_ts(r);
+    if (!key || !value || !ts) return;
+    lamport_ = std::max(lamport_, ts->counter);
+
+    // Accept the newer version, mark INVALID until validated.
+    if (kv_write(*key, as_view(*value), *ts)) {
+      const auto it = invalid_.find(*key);
+      if (it == invalid_.end() || it->second < *ts) invalid_[*key] = *ts;
+    }
+    Writer ack;
+    ack.raw(as_view(encode_ts(*ts)));
+    respond(ctx, env.sender, as_view(ack.buffer()));
+  });
+
+  on(hermes_msg::kVal, [this](VerifiedEnvelope& env, rpc::RequestContext&) {
+    (void)env;
+    Reader r(as_view(env.payload));
+    auto key = r.str();
+    auto ts = decode_ts(r);
+    if (!key || !ts) return;
+    const auto it = invalid_.find(*key);
+    if (it != invalid_.end() && it->second <= *ts) {
+      invalid_.erase(it);
+      flush_stalled(*key);
+    }
+  });
+}
+
+std::vector<NodeId> HermesNode::live_peers() const {
+  std::vector<NodeId> out;
+  for (NodeId n : membership()) {
+    if (n != self() && !dead_.contains(n)) out.push_back(n);
+  }
+  return out;
+}
+
+void HermesNode::submit(const ClientRequest& request, ReplyFn reply) {
+  if (request.op == OpType::kGet) {
+    serve_local_read(request.key, std::move(reply));
+    return;
+  }
+
+  // Write: INV to all live replicas, commit on ALL acks, then VAL.
+  const kv::Timestamp ts{++lamport_, self().value};
+  const std::string key = request.key;
+  kv_write(key, as_view(request.value), ts);
+  invalid_[key] = ts;
+
+  const auto peers = live_peers();
+  auto quorum_tracker = std::make_shared<QuorumTracker>(
+      peers.size() + 1, [this, key, ts, reply = std::move(reply)] {
+        // All live replicas hold the version: committed. Validate everywhere.
+        Writer val;
+        val.str(key);
+        val.raw(as_view(encode_ts(ts)));
+        for (NodeId peer : live_peers()) {
+          send_to(peer, hermes_msg::kVal, as_view(val.buffer()));
+        }
+        const auto it = invalid_.find(key);
+        if (it != invalid_.end() && it->second <= ts) {
+          invalid_.erase(it);
+          flush_stalled(key);
+        }
+        ClientReply r;
+        r.ok = true;
+        reply(r);
+      });
+  quorum_tracker->ack(self());
+
+  Writer inv;
+  inv.str(key);
+  inv.bytes(as_view(request.value));
+  inv.raw(as_view(encode_ts(ts)));
+  for (NodeId peer : peers) {
+    send_to(peer, hermes_msg::kInv, as_view(inv.buffer()),
+            [quorum_tracker](VerifiedEnvelope& env) {
+              quorum_tracker->ack(env.sender);
+            });
+  }
+}
+
+void HermesNode::serve_local_read(const std::string& key, ReplyFn reply) {
+  if (invalid_.contains(key)) {
+    // Key is being written: stall until the VAL arrives (linearizability).
+    ++stalled_reads_;
+    stalled_[key].push_back(std::move(reply));
+    return;
+  }
+  auto value = kv_get(key);
+  ClientReply r;
+  r.ok = true;
+  r.found = value.is_ok();
+  if (value.is_ok()) r.value = std::move(value.value().value);
+  reply(r);
+}
+
+void HermesNode::flush_stalled(const std::string& key) {
+  const auto it = stalled_.find(key);
+  if (it == stalled_.end()) return;
+  std::deque<ReplyFn> waiting = std::move(it->second);
+  stalled_.erase(it);
+  for (ReplyFn& reply : waiting) serve_local_read(key, std::move(reply));
+}
+
+void HermesNode::on_suspected(NodeId peer) {
+  dead_.insert(peer);
+  // Writes blocked on the dead peer's ack cannot complete; Hermes replays
+  // writes as new coordinators in the full protocol. Here the client-side
+  // retransmission re-drives the write through a live coordinator, and the
+  // timestamp order makes the replay idempotent.
+}
+
+}  // namespace recipe::protocols

@@ -1,0 +1,66 @@
+// Hermes (Katsarakis et al., ASPLOS'20; paper Table 1: leaderless, per-key
+// order) — a broadcast invalidation protocol with LOCAL reads at every
+// replica.
+//
+// Writes (coordinated by any node) take two broadcast rounds to ALL live
+// replicas:
+//   1. INV(key, value, ts): each replica transitions the key to INVALID,
+//      buffers the new version, acks;
+//   2. once ALL live replicas acked, the write is committed; the coordinator
+//      broadcasts VAL(key, ts) and replicas transition back to VALID.
+// Because a write reaches every live replica before completing, any replica
+// may serve a linearizable read locally — as long as the key is VALID;
+// reads of INVALID keys stall until the VAL arrives (paper: local reads "at
+// the cost of availability").
+//
+// Conflicts resolve by logical timestamp (Lamport clock, node id
+// tie-breaker), exactly like the paper's description of per-key-ordered
+// protocols whose writes reach all nodes.
+#pragma once
+
+#include <deque>
+#include <set>
+#include <unordered_map>
+
+#include "recipe/node_base.h"
+
+namespace recipe::protocols {
+
+namespace hermes_msg {
+constexpr rpc::RequestType kInv = 0x4E01;  // [key, value, ts] -> ack [ts]
+constexpr rpc::RequestType kVal = 0x4E02;  // [key, ts]
+}  // namespace hermes_msg
+
+class HermesNode final : public ReplicaNode {
+ public:
+  HermesNode(sim::Simulator& simulator, net::SimNetwork& network,
+             ReplicaOptions options);
+
+  bool is_coordinator() const override { return running(); }  // any node
+  bool serves_local_reads() const override { return true; }
+  void submit(const ClientRequest& request, ReplyFn reply) override;
+
+  // Introspection for tests.
+  bool is_invalid(std::string_view key) const {
+    return invalid_.contains(std::string(key));
+  }
+  std::uint64_t stalled_reads() const { return stalled_reads_; }
+
+ protected:
+  void on_suspected(NodeId peer) override;
+
+ private:
+  void serve_local_read(const std::string& key, ReplyFn reply);
+  void flush_stalled(const std::string& key);
+  std::vector<NodeId> live_peers() const;
+
+  std::set<NodeId> dead_;
+  std::uint64_t lamport_{0};
+  // Keys currently in INVALID state: key -> pending timestamp.
+  std::unordered_map<std::string, kv::Timestamp> invalid_;
+  // Reads waiting for a VAL on their key.
+  std::unordered_map<std::string, std::deque<ReplyFn>> stalled_;
+  std::uint64_t stalled_reads_{0};
+};
+
+}  // namespace recipe::protocols

@@ -1,0 +1,362 @@
+#include "protocols/raft/raft.h"
+
+#include <algorithm>
+
+namespace recipe::protocols {
+
+RaftNode::RaftNode(sim::Simulator& simulator, net::SimNetwork& network,
+                   ReplicaOptions options, RaftOptions raft_options)
+    : ReplicaNode(simulator, network, std::move(options)),
+      raft_(raft_options),
+      rng_(raft_options.seed ^ self().value),
+      lease_clock_(simulator),
+      leader_lease_(lease_clock_, raft_options.election_timeout_min / 2) {
+  log_.push_back(LogEntry{});  // sentinel at index 0
+
+  on(raft_msg::kAppend, [this](VerifiedEnvelope& env, rpc::RequestContext& ctx) {
+    handle_append(env, ctx);
+  });
+  on(raft_msg::kVote, [this](VerifiedEnvelope& env, rpc::RequestContext& ctx) {
+    handle_vote(env, ctx);
+  });
+}
+
+void RaftNode::start() {
+  ReplicaNode::start();
+  if (raft_.initial_leader == self()) {
+    current_term_ = 1;
+    become_leader();
+  } else if (raft_.initial_leader != kNoNode) {
+    current_term_ = 1;
+    leader_id_ = raft_.initial_leader;
+    reset_election_timer();
+  } else {
+    reset_election_timer();
+  }
+}
+
+void RaftNode::stop() {
+  election_timer_.cancel();
+  leader_timer_.cancel();
+  ReplicaNode::stop();
+}
+
+sim::Time RaftNode::random_election_timeout() {
+  return raft_.election_timeout_min +
+         rng_.below(raft_.election_timeout_max - raft_.election_timeout_min);
+}
+
+void RaftNode::reset_election_timer() {
+  election_timer_.cancel();
+  election_timer_ =
+      sim().schedule(random_election_timeout(), [this] { become_candidate(); });
+}
+
+void RaftNode::become_follower(std::uint64_t term) {
+  if (term > current_term_) {
+    current_term_ = term;
+    voted_for_.reset();
+  }
+  if (role_ == Role::kLeader) leader_timer_.cancel();
+  role_ = Role::kFollower;
+  reset_election_timer();
+}
+
+void RaftNode::become_candidate() {
+  if (!running()) return;
+  role_ = Role::kCandidate;
+  ++current_term_;
+  voted_for_ = self();
+  leader_id_ = kNoNode;
+  reset_election_timer();  // retry with a fresh timeout on split vote
+
+  const std::uint64_t election_term = current_term_;
+  auto votes = std::make_shared<QuorumTracker>(quorum(), [this, election_term] {
+    if (role_ == Role::kCandidate && current_term_ == election_term) {
+      become_leader();
+    }
+  });
+  votes->ack(self());
+
+  Writer w;
+  w.u64(current_term_);
+  w.u64(log_.size() - 1);            // last log index
+  w.u64(log_.back().term);           // last log term
+  broadcast(raft_msg::kVote, as_view(w.buffer()),
+            [this, votes, election_term](VerifiedEnvelope& env) {
+              Reader r(as_view(env.payload));
+              auto term = r.u64();
+              auto granted = r.boolean();
+              if (!term || !granted) return;
+              if (*term > current_term_) {
+                become_follower(*term);
+                return;
+              }
+              if (*granted && current_term_ == election_term) {
+                votes->ack(env.sender);
+              }
+            });
+}
+
+void RaftNode::become_leader() {
+  role_ = Role::kLeader;
+  leader_id_ = self();
+  election_timer_.cancel();
+  // Raft §8: a new leader commits a no-op of its own term first; entries
+  // from prior terms become committed transitively, and reads are only
+  // served locally after this no-op is committed.
+  log_.push_back(LogEntry{current_term_, Bytes{}});
+  term_start_index_ = log_.size() - 1;
+  for (NodeId peer : peers()) {
+    next_index_[peer] = log_.size() - 1;  // ship the no-op immediately
+    match_index_[peer] = 0;
+    append_in_flight_[peer] = false;
+  }
+  leader_lease_.acquire();
+  leader_tick();  // immediate heartbeat asserts leadership
+}
+
+void RaftNode::leader_tick() {
+  if (!running() || role_ != Role::kLeader) return;
+  for (NodeId peer : peers()) {
+    if (!append_in_flight_[peer]) replicate_to(peer);
+  }
+  renew_lease_on_majority();
+  leader_timer_ =
+      sim().schedule(raft_.heartbeat_period, [this] { leader_tick(); });
+}
+
+Bytes RaftNode::encode_append(NodeId peer) const {
+  const std::uint64_t next = next_index_.at(peer);
+  const std::uint64_t prev = next - 1;
+  Writer w;
+  w.u64(current_term_);
+  w.u64(prev);
+  w.u64(log_[prev].term);
+  w.u64(commit_index_);
+  const std::uint64_t available = log_.size() - next;
+  const std::uint64_t count =
+      std::min<std::uint64_t>(available, raft_.max_batch_entries);
+  w.u32(static_cast<std::uint32_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    w.u64(log_[next + i].term);
+    w.bytes(as_view(log_[next + i].op));
+  }
+  return std::move(w).take();
+}
+
+void RaftNode::replicate_to(NodeId peer) {
+  append_in_flight_[peer] = true;
+  send_to(peer, raft_msg::kAppend, as_view(encode_append(peer)),
+          [this, peer](VerifiedEnvelope& env) {
+            append_in_flight_[peer] = false;
+            Reader r(as_view(env.payload));
+            auto term = r.u64();
+            auto success = r.boolean();
+            auto match = r.u64();
+            if (!term || !success || !match) return;
+            if (*term > current_term_) {
+              become_follower(*term);
+              return;
+            }
+            if (role_ != Role::kLeader) return;
+            last_peer_ack_[peer] = sim().now();
+            if (*success) {
+              match_index_[peer] = std::max(match_index_[peer], *match);
+              next_index_[peer] = match_index_[peer] + 1;
+              advance_commit();
+            } else {
+              // Log inconsistency: back off and retry immediately.
+              if (next_index_[peer] > 1) --next_index_[peer];
+              replicate_to(peer);
+              return;
+            }
+            // Pipeline: more entries appended while this batch was in flight.
+            if (next_index_[peer] < log_.size()) replicate_to(peer);
+            renew_lease_on_majority();
+          },
+          raft_.heartbeat_period * 4,
+          [this, peer] { append_in_flight_[peer] = false; });
+}
+
+void RaftNode::renew_lease_on_majority() {
+  // The lease is renewed when a majority (self + peers) acknowledged within
+  // half an election timeout: no other leader can have been elected in that
+  // window, so local reads are linearizable.
+  std::size_t recent = 1;  // self
+  const sim::Time window = raft_.election_timeout_min / 2;
+  for (NodeId peer : peers()) {
+    const auto it = last_peer_ack_.find(peer);
+    if (it != last_peer_ack_.end() &&
+        sim().now() <= it->second + window) {
+      ++recent;
+    }
+  }
+  if (recent >= quorum()) leader_lease_.acquire();
+}
+
+void RaftNode::advance_commit() {
+  // Find the highest index replicated on a majority with an entry from the
+  // current term (Raft's commit rule).
+  for (std::uint64_t n = log_.size() - 1; n > commit_index_; --n) {
+    if (log_[n].term != current_term_) break;
+    std::size_t stored = 1;  // self
+    for (NodeId peer : peers()) {
+      if (match_index_[peer] >= n) ++stored;
+    }
+    if (stored >= quorum()) {
+      commit_index_ = n;
+      break;
+    }
+  }
+  apply_committed();
+}
+
+void RaftNode::apply_committed() {
+  while (last_applied_ < commit_index_) {
+    ++last_applied_;
+    const LogEntry& entry = log_[last_applied_];
+    if (entry.op.empty()) continue;  // leadership no-op
+    auto request = ClientRequest::parse(as_view(entry.op));
+    if (!request) continue;
+    ClientReply reply;
+    reply.ok = true;
+    if (request.value().op == OpType::kPut) {
+      kv_write(request.value().key, as_view(request.value().value));
+    } else {
+      auto value = kv_get(request.value().key);
+      reply.found = value.is_ok();
+      if (value.is_ok()) reply.value = std::move(value.value().value);
+    }
+    const auto it = pending_replies_.find(last_applied_);
+    if (it != pending_replies_.end()) {
+      it->second(reply);
+      pending_replies_.erase(it);
+    }
+  }
+}
+
+void RaftNode::submit(const ClientRequest& request, ReplyFn reply) {
+  if (role_ != Role::kLeader) {
+    ClientReply r;
+    r.ok = false;
+    reply(r);
+    return;
+  }
+
+  // Linearizable local reads under the leader lease (paper §B.2-B: reads are
+  // forwarded to the leader; the trusted lease replaces a quorum round).
+  if (request.op == OpType::kGet && leader_lease_.held() &&
+      commit_index_ >= term_start_index_ && last_applied_ == commit_index_) {
+    auto value = kv_get(request.key);
+    ClientReply r;
+    r.ok = true;
+    r.found = value.is_ok();
+    if (value.is_ok()) r.value = std::move(value.value().value);
+    reply(r);
+    return;
+  }
+
+  // Writes (and lease-less reads) go through the log, serialized by the
+  // leader's dedicated writer thread (paper §B.3: this thread is R-Raft's
+  // bottleneck in read-light workloads).
+  if (cost_model() != nullptr) {
+    charge_serialized(cost_model()->exitless_call() + cost_model()->hash(64));
+  }
+  log_.push_back(LogEntry{current_term_, request.serialize()});
+  pending_replies_[log_.size() - 1] = std::move(reply);
+  for (NodeId peer : peers()) {
+    if (!append_in_flight_[peer]) replicate_to(peer);
+  }
+}
+
+void RaftNode::handle_append(VerifiedEnvelope& env, rpc::RequestContext& ctx) {
+  Reader r(as_view(env.payload));
+  auto term = r.u64();
+  auto prev_idx = r.u64();
+  auto prev_term = r.u64();
+  auto leader_commit = r.u64();
+  auto count = r.u32();
+  if (!term || !prev_idx || !prev_term || !leader_commit || !count) return;
+
+  Writer resp;
+  if (*term < current_term_) {
+    resp.u64(current_term_);
+    resp.boolean(false);
+    resp.u64(0);
+    respond(ctx, env.sender, as_view(resp.buffer()));
+    return;
+  }
+
+  // Valid leader for term >= ours: follow it.
+  become_follower(*term);
+  leader_id_ = env.sender;
+
+  // Log consistency check.
+  if (*prev_idx >= log_.size() || log_[*prev_idx].term != *prev_term) {
+    resp.u64(current_term_);
+    resp.boolean(false);
+    resp.u64(0);
+    respond(ctx, env.sender, as_view(resp.buffer()));
+    return;
+  }
+
+  // Append entries, truncating any conflicting suffix.
+  std::uint64_t index = *prev_idx;
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    auto entry_term = r.u64();
+    auto op = r.bytes();
+    if (!entry_term || !op) return;
+    ++index;
+    if (index < log_.size()) {
+      if (log_[index].term != *entry_term) {
+        log_.resize(index);  // conflict: truncate
+        log_.push_back(LogEntry{*entry_term, std::move(*op)});
+      }
+    } else {
+      log_.push_back(LogEntry{*entry_term, std::move(*op)});
+    }
+  }
+
+  const std::uint64_t last_new = index;
+  if (*leader_commit > commit_index_) {
+    commit_index_ = std::min(*leader_commit, last_new);
+    apply_committed();
+  }
+
+  resp.u64(current_term_);
+  resp.boolean(true);
+  resp.u64(last_new);
+  respond(ctx, env.sender, as_view(resp.buffer()));
+}
+
+void RaftNode::handle_vote(VerifiedEnvelope& env, rpc::RequestContext& ctx) {
+  Reader r(as_view(env.payload));
+  auto term = r.u64();
+  auto last_idx = r.u64();
+  auto last_term = r.u64();
+  if (!term || !last_idx || !last_term) return;
+
+  if (*term > current_term_) become_follower(*term);
+
+  bool granted = false;
+  if (*term == current_term_ &&
+      (!voted_for_ || *voted_for_ == env.sender)) {
+    // Up-to-date restriction: candidate's log must be at least as current.
+    const std::uint64_t my_last_term = log_.back().term;
+    const std::uint64_t my_last_idx = log_.size() - 1;
+    if (*last_term > my_last_term ||
+        (*last_term == my_last_term && *last_idx >= my_last_idx)) {
+      granted = true;
+      voted_for_ = env.sender;
+      reset_election_timer();
+    }
+  }
+
+  Writer resp;
+  resp.u64(current_term_);
+  resp.boolean(granted);
+  respond(ctx, env.sender, as_view(resp.buffer()));
+}
+
+}  // namespace recipe::protocols

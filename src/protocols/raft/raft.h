@@ -1,0 +1,115 @@
+// Raft (Ongaro & Ousterhout) — leader-based, total ordering, linearizable
+// (paper §B.2 category B).
+//
+// The leader serializes all writes into a replicated log; followers append
+// and acknowledge; the leader commits an entry once a majority has stored it
+// and applies it to the KV store. Reads are forwarded to the leader, which
+// serves them locally while it holds a majority-confirmed leader lease
+// (trusted-lease mechanism, §3.5) and pushes them through the log otherwise.
+// Elections follow Raft: randomized timeouts, term-scoped votes, and the
+// up-to-date log restriction.
+//
+// Omitted relative to full Raft (documented simplifications): persistence to
+// stable storage (replicas are memory-resident like the paper's testbed) and
+// log compaction / snapshot transfer (recovering nodes fetch full state via
+// the Recipe recovery path instead).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "recipe/node_base.h"
+
+namespace recipe::protocols {
+
+namespace raft_msg {
+constexpr rpc::RequestType kAppend = 0x5A01;
+constexpr rpc::RequestType kVote = 0x5A02;
+}  // namespace raft_msg
+
+struct RaftOptions {
+  sim::Time election_timeout_min = 150 * sim::kMillisecond;
+  sim::Time election_timeout_max = 300 * sim::kMillisecond;
+  sim::Time heartbeat_period = 30 * sim::kMillisecond;
+  std::size_t max_batch_entries = 64;
+  // Node that boots as leader of term 1 (kNoNode: all boot as followers and
+  // run a real election).
+  NodeId initial_leader = kNoNode;
+  std::uint64_t seed = 0x4AF7;
+};
+
+class RaftNode final : public ReplicaNode {
+ public:
+  RaftNode(sim::Simulator& simulator, net::SimNetwork& network,
+           ReplicaOptions options, RaftOptions raft_options = {});
+
+  void start() override;
+  void stop() override;
+
+  bool is_coordinator() const override { return role_ == Role::kLeader; }
+  bool serves_local_reads() const override { return is_coordinator(); }
+  void submit(const ClientRequest& request, ReplyFn reply) override;
+
+  // Introspection for tests and the view-change evaluation.
+  enum class Role { kFollower, kCandidate, kLeader };
+  Role role() const { return role_; }
+  std::uint64_t term() const { return current_term_; }
+  NodeId leader_hint() const { return leader_id_; }
+  std::uint64_t log_size() const { return log_.size(); }
+  std::uint64_t commit_index() const { return commit_index_; }
+
+ protected:
+  ViewId current_view() const override { return ViewId{current_term_}; }
+
+ private:
+  struct LogEntry {
+    std::uint64_t term{0};
+    Bytes op;  // serialized ClientRequest
+  };
+
+  // --- Roles & elections ---
+  void become_follower(std::uint64_t term);
+  void become_candidate();
+  void become_leader();
+  void reset_election_timer();
+  sim::Time random_election_timeout();
+
+  // --- Replication ---
+  void replicate_to(NodeId peer);
+  void leader_tick();
+  void advance_commit();
+  void apply_committed();
+  Bytes encode_append(NodeId peer) const;
+
+  void handle_append(VerifiedEnvelope& env, rpc::RequestContext& ctx);
+  void handle_vote(VerifiedEnvelope& env, rpc::RequestContext& ctx);
+
+  // Leader lease: renewed when a majority acknowledged within the window.
+  void renew_lease_on_majority();
+
+  RaftOptions raft_;
+  Rng rng_;
+  Role role_{Role::kFollower};
+  std::uint64_t current_term_{0};
+  std::optional<NodeId> voted_for_;
+  NodeId leader_id_{kNoNode};
+
+  std::vector<LogEntry> log_;  // log_[0] is a sentinel; indices are 1-based
+  std::uint64_t term_start_index_{0};  // index of this leader's no-op entry
+  std::uint64_t commit_index_{0};
+  std::uint64_t last_applied_{0};
+  std::map<std::uint64_t, ReplyFn> pending_replies_;  // log index -> reply
+
+  std::unordered_map<NodeId, std::uint64_t> next_index_;
+  std::unordered_map<NodeId, std::uint64_t> match_index_;
+  std::unordered_map<NodeId, bool> append_in_flight_;
+  std::unordered_map<NodeId, sim::Time> last_peer_ack_;
+
+  sim::TimerHandle election_timer_;
+  sim::TimerHandle leader_timer_;
+  tee::TrustedClock lease_clock_;
+  tee::TrustedLease leader_lease_;
+};
+
+}  // namespace recipe::protocols

@@ -1,0 +1,85 @@
+#include "recipe/client.h"
+
+#include <cassert>
+
+namespace recipe {
+
+KvClient::KvClient(sim::Simulator& simulator, net::SimNetwork& network,
+                   ClientOptions options)
+    : simulator_(simulator),
+      options_(std::move(options)),
+      rpc_(simulator, network, NodeId{options_.id.value}, options_.stack) {
+  if (options_.secured) {
+    assert(options_.enclave != nullptr && "secured client requires an enclave");
+    RecipeSecurityConfig config;
+    config.confidentiality = options_.confidentiality;
+    security_ = std::make_unique<RecipeSecurity>(
+        *options_.enclave, node_id(), /*cost_model=*/nullptr, /*cpu=*/nullptr,
+        config);
+  } else {
+    security_ = std::make_unique<NullSecurity>(node_id());
+  }
+}
+
+void KvClient::put(NodeId coordinator, std::string key, Bytes value,
+                   ReplyCallback done) {
+  ClientRequest request;
+  request.client = options_.id;
+  request.rid = RequestId{next_rid_++};
+  request.op = OpType::kPut;
+  request.key = std::move(key);
+  request.value = std::move(value);
+  ++issued_;
+  issue(coordinator, std::move(request), std::move(done), 0);
+}
+
+void KvClient::get(NodeId coordinator, std::string key, ReplyCallback done) {
+  ClientRequest request;
+  request.client = options_.id;
+  request.rid = RequestId{next_rid_++};
+  request.op = OpType::kGet;
+  request.key = std::move(key);
+  ++issued_;
+  issue(coordinator, std::move(request), std::move(done), 0);
+}
+
+void KvClient::issue(NodeId coordinator, ClientRequest request,
+                     ReplyCallback done, int attempt) {
+  auto wire = security_->shield(coordinator, ViewId{0},
+                                as_view(request.serialize()));
+  if (!wire) {
+    ++failed_;
+    if (done) done(ClientReply{});
+    return;
+  }
+
+  const sim::Time started = simulator_.now();
+  rpc_.send(
+      coordinator, msg::kClientRequest, std::move(wire).take(),
+      [this, started, done](NodeId src, Bytes response) {
+        auto env = security_->verify(src, as_view(response));
+        if (!env) return;  // forged reply: ignore (timeout will retry)
+        auto reply = ClientReply::parse(as_view(env.value().payload));
+        if (!reply) return;
+        latency_us_.record((simulator_.now() - started) / sim::kMicrosecond);
+        if (reply.value().ok) {
+          ++completed_;
+        } else {
+          ++failed_;
+        }
+        if (done) done(reply.value());
+      },
+      options_.request_timeout,
+      [this, coordinator, request, done, attempt]() mutable {
+        if (attempt + 1 >= options_.max_retries) {
+          ++failed_;
+          if (done) done(ClientReply{});
+          return;
+        }
+        // Retransmit with the SAME request id: the coordinator's client
+        // table deduplicates and may answer from cache.
+        issue(coordinator, std::move(request), std::move(done), attempt + 1);
+      });
+}
+
+}  // namespace recipe

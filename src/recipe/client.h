@@ -1,0 +1,76 @@
+// Recipe KV client (paper §3.3): issues attested PUT/GET requests to a
+// protocol coordinator and verifies the shielded replies.
+//
+// In secured mode the client holds channel keys provisioned by the CAS
+// (clients attest like replicas but are not full members), so a replica can
+// authenticate which client sent a request and the client can authenticate
+// the reply — clients trust individual attested replicas instead of
+// collecting f+1 matching replies as in classical BFT.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "common/ids.h"
+#include "common/stats.h"
+#include "net/network.h"
+#include "recipe/node_base.h"
+#include "recipe/security.h"
+#include "recipe/types.h"
+#include "rpc/rpc.h"
+#include "sim/simulator.h"
+#include "tee/enclave.h"
+
+namespace recipe {
+
+struct ClientOptions {
+  ClientId id{};
+  net::NetStackParams stack = net::NetStackParams::direct_io_native();
+  bool secured = true;
+  bool confidentiality = false;
+  tee::Enclave* enclave = nullptr;  // required when secured
+  sim::Time request_timeout = 500 * sim::kMillisecond;
+  int max_retries = 3;
+};
+
+class KvClient {
+ public:
+  using ReplyCallback = std::function<void(const ClientReply&)>;
+
+  KvClient(sim::Simulator& simulator, net::SimNetwork& network,
+           ClientOptions options);
+
+  NodeId node_id() const { return NodeId{options_.id.value}; }
+  ClientId id() const { return options_.id; }
+
+  void put(NodeId coordinator, std::string key, Bytes value, ReplyCallback done);
+  void get(NodeId coordinator, std::string key, ReplyCallback done);
+
+  std::uint64_t issued() const { return issued_; }
+  std::uint64_t completed() const { return completed_; }
+  std::uint64_t failed() const { return failed_; }
+  const Histogram& latency_us() const { return latency_us_; }
+  void reset_stats() {
+    issued_ = 0;
+    completed_ = 0;
+    failed_ = 0;
+    latency_us_.reset();
+  }
+
+ private:
+  void issue(NodeId coordinator, ClientRequest request, ReplyCallback done,
+             int attempt);
+
+  sim::Simulator& simulator_;
+  ClientOptions options_;
+  rpc::RpcObject rpc_;
+  std::unique_ptr<SecurityPolicy> security_;
+  std::uint64_t next_rid_{1};
+
+  std::uint64_t issued_{0};
+  std::uint64_t completed_{0};
+  std::uint64_t failed_{0};
+  Histogram latency_us_;
+};
+
+}  // namespace recipe

@@ -1,0 +1,65 @@
+// Client table: exactly-once semantics for client requests (paper §3.4 #3.1).
+//
+// The coordinator records the latest request id executed per client together
+// with the cached reply. Retransmissions of the latest request are answered
+// from the cache; older request ids are rejected as replays.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+
+#include "common/bytes.h"
+#include "common/ids.h"
+
+namespace recipe {
+
+class ClientTable {
+ public:
+  enum class Decision {
+    kExecute,   // new request: run the protocol
+    kCached,    // duplicate of the latest request: reply from cache
+    kStale,     // older than the latest: drop (replay)
+    kInFlight,  // same request already executing: drop duplicate
+  };
+
+  Decision admit(ClientId client, RequestId rid) const {
+    const auto it = entries_.find(client);
+    if (it == entries_.end()) return Decision::kExecute;
+    const Entry& e = it->second;
+    if (rid.value < e.latest.value) return Decision::kStale;
+    if (rid.value == e.latest.value) {
+      return e.reply.has_value() ? Decision::kCached : Decision::kInFlight;
+    }
+    return Decision::kExecute;
+  }
+
+  // Marks a request as executing (no cached reply yet).
+  void begin(ClientId client, RequestId rid) {
+    Entry& e = entries_[client];
+    e.latest = rid;
+    e.reply.reset();
+  }
+
+  // Records the reply for the latest request.
+  void complete(ClientId client, RequestId rid, Bytes reply) {
+    Entry& e = entries_[client];
+    if (e.latest == rid) e.reply = std::move(reply);
+  }
+
+  const Bytes* cached_reply(ClientId client) const {
+    const auto it = entries_.find(client);
+    if (it == entries_.end() || !it->second.reply) return nullptr;
+    return &*it->second.reply;
+  }
+
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    RequestId latest{};
+    std::optional<Bytes> reply;
+  };
+  std::unordered_map<ClientId, Entry> entries_;
+};
+
+}  // namespace recipe

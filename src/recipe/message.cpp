@@ -1,0 +1,62 @@
+#include "recipe/message.h"
+
+#include "common/serde.h"
+
+namespace recipe {
+
+Bytes ShieldedMessage::authenticated_data() const {
+  Writer w(payload.size() + 48);
+  w.id(header.view);
+  w.id(header.cq);
+  w.u64(header.cnt);
+  w.id(header.sender);
+  w.id(header.receiver);
+  w.u8(header.flags);
+  w.bytes(as_view(payload));
+  return std::move(w).take();
+}
+
+Bytes ShieldedMessage::serialize() const {
+  Writer w(payload.size() + mac.size() + 56);
+  w.id(header.view);
+  w.id(header.cq);
+  w.u64(header.cnt);
+  w.id(header.sender);
+  w.id(header.receiver);
+  w.u8(header.flags);
+  w.bytes(as_view(payload));
+  w.bytes(as_view(mac));
+  return std::move(w).take();
+}
+
+Result<ShieldedMessage> ShieldedMessage::parse(BytesView wire) {
+  Reader r(wire);
+  ShieldedMessage msg;
+  auto view = r.id<ViewId>();
+  auto cq = r.id<ChannelId>();
+  auto cnt = r.u64();
+  auto sender = r.id<NodeId>();
+  auto receiver = r.id<NodeId>();
+  auto flags = r.u8();
+  auto payload = r.bytes();
+  auto mac = r.bytes();
+  if (!view || !cq || !cnt || !sender || !receiver || !flags || !payload ||
+      !mac || !r.exhausted()) {
+    return Status::error(ErrorCode::kInvalidArgument, "malformed shielded message");
+  }
+  msg.header.view = *view;
+  msg.header.cq = *cq;
+  msg.header.cnt = *cnt;
+  msg.header.sender = *sender;
+  msg.header.receiver = *receiver;
+  msg.header.flags = *flags;
+  msg.payload = std::move(*payload);
+  msg.mac = std::move(*mac);
+  return msg;
+}
+
+ChannelId directed_channel(NodeId sender, NodeId receiver) {
+  return ChannelId{(sender.value << 20) | (receiver.value & 0xFFFFF)};
+}
+
+}  // namespace recipe

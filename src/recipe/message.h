@@ -1,0 +1,48 @@
+// Shielded message wire format (paper §3.4).
+//
+// Every protocol message between Recipe principals travels as
+//   [ view | cq | cnt | sender | receiver | flags | payload | MAC ]
+// where the MAC (HMAC-SHA256 under the pairwise channel key, known only to
+// attested enclaves) covers ALL header fields and the payload. The header
+// carries the non-equivocation tuple (view, cq, cnt_cq) from Algorithm 1.
+// In confidentiality mode the payload is ChaCha20-encrypted with a nonce
+// bound to (cq, cnt) — unique per key per message.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "common/ids.h"
+#include "common/result.h"
+
+namespace recipe {
+
+struct ShieldedHeader {
+  ViewId view{};
+  ChannelId cq{};
+  Counter cnt{0};
+  NodeId sender{};
+  NodeId receiver{};
+  std::uint8_t flags{0};
+
+  static constexpr std::uint8_t kFlagEncrypted = 0x01;
+  bool encrypted() const { return (flags & kFlagEncrypted) != 0; }
+};
+
+struct ShieldedMessage {
+  ShieldedHeader header;
+  Bytes payload;   // possibly ciphertext
+  Bytes mac;       // 32 bytes (empty in Null mode)
+
+  Bytes serialize() const;
+  static Result<ShieldedMessage> parse(BytesView wire);
+
+  // The byte string the MAC covers (header fields || payload).
+  Bytes authenticated_data() const;
+};
+
+// Directed channel id for the (sender -> receiver) link. Distinct per
+// direction so each side's trusted counter is independent.
+ChannelId directed_channel(NodeId sender, NodeId receiver);
+
+}  // namespace recipe

@@ -1,0 +1,291 @@
+#include "recipe/node_base.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace recipe {
+
+ReplicaNode::ReplicaNode(sim::Simulator& simulator, net::SimNetwork& network,
+                         ReplicaOptions options)
+    : simulator_(simulator),
+      network_(network),
+      options_(std::move(options)),
+      rpc_(simulator, network, options_.self, options_.stack,
+           options_.rpc_config),
+      kv_(options_.kv_config),
+      clock_(simulator),
+      failure_detector_(clock_, options_.suspect_timeout,
+                        options_.suspect_timeout / 4) {
+  if (options_.secured) {
+    assert(options_.enclave != nullptr && "secured mode requires an enclave");
+    RecipeSecurityConfig config;
+    config.confidentiality = options_.confidentiality;
+    config.working_set = [this] { return enclave_working_set(); };
+    security_ = std::make_unique<RecipeSecurity>(
+        *options_.enclave, options_.self, options_.cost_model,
+        &network_.cpu(options_.self), config);
+  } else {
+    security_ = std::make_unique<NullSecurity>(options_.self);
+  }
+
+  on(msg::kClientRequest, [this](VerifiedEnvelope& env, rpc::RequestContext& ctx) {
+    handle_client_request(env, ctx);
+  });
+  on(msg::kHeartbeat, [this](VerifiedEnvelope& env, rpc::RequestContext&) {
+    failure_detector_.heartbeat(env.sender);
+  });
+
+  // CAS notice: a node re-attested and rejoins as a FRESH replica — restart
+  // its channel counters (paper §3.7 step 3). Authenticated like any peer
+  // message: only the CAS (which holds the cluster root) can produce it.
+  on(attest::msg::kFreshNode,
+     [this](VerifiedEnvelope& env, rpc::RequestContext&) {
+       if (env.sender != options_.cas_id) return;
+       Reader r(as_view(env.payload));
+       const auto fresh = r.id<NodeId>();
+       if (!fresh || *fresh == options_.self) return;
+       security_->reset_peer(*fresh);
+       failure_detector_.heartbeat(*fresh);  // fresh grace period
+       std::erase(suspected_already_, *fresh);
+     });
+
+  // State transfer to a recovering shadow replica: serialize every
+  // (key, value, timestamp) the peer holds. Values are re-read through the
+  // integrity-checking path so a corrupted host can never poison a joiner.
+  on(msg::kStateFetch, [this](VerifiedEnvelope& env, rpc::RequestContext& ctx) {
+    Writer w;
+    std::uint32_t count = 0;
+    Writer entries;
+    kv_.scan([&](std::string_view key, const kv::Timestamp&) {
+      auto value = kv_.get(key);
+      if (value.is_ok()) {
+        entries.str(key);
+        entries.bytes(as_view(value.value().value));
+        entries.u64(value.value().timestamp.counter);
+        entries.u64(value.value().timestamp.node);
+        ++count;
+      }
+      return true;
+    });
+    w.u32(count);
+    w.raw(as_view(entries.buffer()));
+    respond(ctx, env.sender, as_view(w.buffer()));
+  });
+}
+
+ReplicaNode::~ReplicaNode() { heartbeat_timer_.cancel(); }
+
+void ReplicaNode::start() {
+  running_ = true;
+  for (NodeId peer : peers()) failure_detector_.heartbeat(peer);  // grace period
+  if (options_.heartbeat_period > 0) heartbeat_tick();
+}
+
+void ReplicaNode::stop() {
+  running_ = false;
+  heartbeat_timer_.cancel();
+  network_.crash(options_.self);
+  if (options_.enclave != nullptr) options_.enclave->crash();
+}
+
+std::vector<NodeId> ReplicaNode::peers() const {
+  std::vector<NodeId> out;
+  out.reserve(options_.membership.size());
+  for (NodeId n : options_.membership) {
+    if (n != options_.self) out.push_back(n);
+  }
+  return out;
+}
+
+std::uint64_t ReplicaNode::enclave_working_set() const {
+  return options_.enclave_runtime_bytes + options_.msg_buffer_bytes +
+         kv_.enclave_bytes();
+}
+
+void ReplicaNode::on(rpc::RequestType type, EnvelopeHandler handler) {
+  rpc_.register_handler(
+      type, [this, handler = std::move(handler)](rpc::RequestContext& ctx) {
+        if (!running_) return;  // a stopped node processes nothing
+        auto env = security_->verify(ctx.src, as_view(ctx.payload));
+        if (!env) return;  // drop: unauthenticated / replayed / malformed
+        handler(env.value(), ctx);
+        // Strict-order mode may have unblocked buffered futures.
+        for (VerifiedEnvelope& ready : security_->drain_ready()) {
+          handler(ready, ctx);
+        }
+      });
+}
+
+void ReplicaNode::send_to(NodeId peer, rpc::RequestType type, BytesView payload,
+                          ResponseHandler continuation,
+                          std::optional<sim::Time> timeout,
+                          rpc::TimeoutHandler on_timeout) {
+  auto wire = security_->shield(peer, current_view(), payload);
+  if (!wire) return;  // crashed enclave: cannot send
+
+  rpc::Continuation wrapped;
+  if (continuation) {
+    wrapped = [this, cont = std::move(continuation)](NodeId src, Bytes response) {
+      if (!running_) return;
+      auto env = security_->verify(src, as_view(response));
+      if (!env) return;  // forged/replayed response: drop
+      cont(env.value());
+    };
+  }
+  rpc_.send(peer, type, std::move(wire).take(), std::move(wrapped), timeout,
+            std::move(on_timeout));
+}
+
+void ReplicaNode::broadcast(rpc::RequestType type, BytesView payload,
+                            ResponseHandler continuation,
+                            std::optional<sim::Time> timeout,
+                            rpc::TimeoutHandler on_timeout) {
+  for (NodeId peer : peers()) {
+    send_to(peer, type, payload, continuation, timeout, on_timeout);
+  }
+}
+
+void ReplicaNode::respond(rpc::RequestContext& ctx, NodeId peer,
+                          BytesView payload) {
+  auto wire = security_->shield(peer, current_view(), payload);
+  if (!wire) return;
+  ctx.respond(std::move(wire).take());
+}
+
+std::function<void(Bytes)> ReplicaNode::deferred_responder(
+    const rpc::RequestContext& ctx) {
+  const NodeId dst = ctx.src;
+  const rpc::RequestType type = ctx.type;
+  const std::uint64_t rpc_id = ctx.rpc_id;
+  return [this, dst, type, rpc_id](Bytes payload) {
+    auto wire = security_->shield(dst, current_view(), as_view(payload));
+    if (!wire) return;
+    rpc_.respond_to(dst, type, rpc_id, std::move(wire).take());
+  };
+}
+
+bool ReplicaNode::kv_write(std::string_view key, BytesView value,
+                           kv::Timestamp ts) {
+  if (options_.cost_model != nullptr) {
+    sim::Time cost = options_.cost_model->hash(value.size()) +
+                     options_.cost_model->enclave_copy(value.size(),
+                                                       enclave_working_set());
+    if (kv_.confidential()) cost += options_.cost_model->encrypt(value.size());
+    cpu().charge(cost);
+  }
+  return kv_.write(key, value, ts);
+}
+
+Result<kv::VersionedValue> ReplicaNode::kv_get(std::string_view key) {
+  if (options_.cost_model != nullptr) {
+    sim::Time cost = options_.cost_model->hash(256) +
+                     options_.cost_model->enclave_copy(256, enclave_working_set());
+    if (kv_.confidential()) cost += options_.cost_model->encrypt(256);
+    cpu().charge(cost);
+  }
+  return kv_.get(key);
+}
+
+void ReplicaNode::handle_client_request(VerifiedEnvelope& env,
+                                        rpc::RequestContext& ctx) {
+  auto parsed = ClientRequest::parse(as_view(env.payload));
+  if (!parsed) return;
+  const ClientRequest& request = parsed.value();
+
+  // The authenticated channel binds the sender: a Byzantine client cannot
+  // impersonate another client id when security is on.
+  if (security_->secured() && request.client.value != env.sender.value) return;
+
+  switch (client_table_.admit(request.client, request.rid)) {
+    case ClientTable::Decision::kStale:
+    case ClientTable::Decision::kInFlight:
+      return;  // drop replays/duplicates
+    case ClientTable::Decision::kCached: {
+      const Bytes* cached = client_table_.cached_reply(request.client);
+      if (cached != nullptr) respond(ctx, env.sender, as_view(*cached));
+      return;
+    }
+    case ClientTable::Decision::kExecute:
+      break;
+  }
+
+  if (!is_coordinator()) {
+    // Not the coordinator for this protocol: refuse (the data-store routing
+    // layer retries against the right node).
+    ClientReply reply;
+    reply.ok = false;
+    respond(ctx, env.sender, as_view(reply.serialize()));
+    return;
+  }
+
+  client_table_.begin(request.client, request.rid);
+  auto responder = deferred_responder(ctx);
+  const ClientId client = request.client;
+  const RequestId rid = request.rid;
+  submit(request, [this, responder = std::move(responder), client,
+                   rid](const ClientReply& reply) {
+    Bytes encoded = reply.serialize();
+    client_table_.complete(client, rid, encoded);
+    if (reply.ok) record_commit();
+    responder(std::move(encoded));
+  });
+}
+
+void ReplicaNode::sync_state_from(
+    NodeId peer, std::function<void(Result<std::size_t>)> done) {
+  send_to(peer, msg::kStateFetch, BytesView{},
+          [this, done](VerifiedEnvelope& env) {
+            Reader r(as_view(env.payload));
+            auto count = r.u32();
+            if (!count) {
+              done(Status::error(ErrorCode::kInvalidArgument,
+                                 "malformed state snapshot"));
+              return;
+            }
+            std::size_t installed = 0;
+            for (std::uint32_t i = 0; i < *count; ++i) {
+              auto key = r.str();
+              auto value = r.bytes();
+              auto ts_counter = r.u64();
+              auto ts_node = r.u64();
+              if (!key || !value || !ts_counter || !ts_node) {
+                done(Status::error(ErrorCode::kInvalidArgument,
+                                   "truncated state snapshot"));
+                return;
+              }
+              if (kv_.write(*key, as_view(*value),
+                            kv::Timestamp{*ts_counter, *ts_node})) {
+                ++installed;
+              }
+            }
+            done(installed);
+          },
+          5 * sim::kSecond,
+          [done] { done(Status::error(ErrorCode::kTimeout, "state fetch")); });
+}
+
+bool ReplicaNode::suspected(NodeId peer) const {
+  return failure_detector_.suspected(peer);
+}
+
+void ReplicaNode::heartbeat_tick() {
+  if (!running_) return;
+  // Heartbeats are shielded fire-and-forget messages.
+  for (NodeId peer : peers()) {
+    auto wire = security_->shield(peer, current_view(), BytesView{});
+    if (wire) rpc_.send(peer, msg::kHeartbeat, std::move(wire).take());
+  }
+  // Surface newly suspected peers to the protocol.
+  for (NodeId peer : peers()) {
+    if (failure_detector_.suspected(peer) &&
+        std::find(suspected_already_.begin(), suspected_already_.end(), peer) ==
+            suspected_already_.end()) {
+      suspected_already_.push_back(peer);
+      on_suspected(peer);
+    }
+  }
+  heartbeat_timer_ = simulator_.schedule(options_.heartbeat_period,
+                                         [this] { heartbeat_tick(); });
+}
+
+}  // namespace recipe

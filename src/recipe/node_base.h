@@ -1,0 +1,189 @@
+// ReplicaNode: the runtime every protocol node (CFT, R-, and BFT baseline)
+// builds on.
+//
+// It wires together the RPC object, the security policy (Null vs Recipe —
+// the ONLY difference between a native protocol and its R- transform), the
+// partitioned KV store, the client table, the lease-based failure detector,
+// and TEE cost accounting. Protocol subclasses express their logic purely in
+// terms of on()/send_to()/broadcast()/respond() and the KV wrappers, exactly
+// like Listing 1 in the paper.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/ids.h"
+#include "kvstore/kvstore.h"
+#include "net/network.h"
+#include "recipe/client_table.h"
+#include "recipe/quorum.h"
+#include "recipe/security.h"
+#include "recipe/types.h"
+#include "rpc/rpc.h"
+#include "sim/simulator.h"
+#include "tee/cost_model.h"
+#include "tee/enclave.h"
+#include "tee/lease.h"
+
+namespace recipe {
+
+namespace msg {
+constexpr rpc::RequestType kClientRequest = 0xC0001;
+constexpr rpc::RequestType kHeartbeat = 0xC0002;
+constexpr rpc::RequestType kStateFetch = 0xC0003;
+}  // namespace msg
+
+struct ReplicaOptions {
+  NodeId self{};
+  std::vector<NodeId> membership;
+  net::NetStackParams stack = net::NetStackParams::direct_io_tee();
+  rpc::RpcConfig rpc_config{};
+  kv::KvConfig kv_config{};
+
+  // Security mode: secured=false -> NullSecurity (native CFT baseline);
+  // secured=true -> RecipeSecurity over `enclave` (required).
+  bool secured = true;
+  bool confidentiality = false;
+  tee::Enclave* enclave = nullptr;
+  const tee::TeeCostModel* cost_model = nullptr;
+
+  // EPC working-set model: resident runtime footprint (SCONE etc.) plus a
+  // message-buffer estimate, added to the KV's enclave bytes.
+  std::uint64_t enclave_runtime_bytes = 0;
+  std::uint64_t msg_buffer_bytes = 0;
+
+  // Failure detection (0 disables heartbeats).
+  sim::Time heartbeat_period = 0;
+  sim::Time suspect_timeout = 150 * sim::kMillisecond;
+
+  // Identity of the CAS, whose fresh-node notices reset channel state.
+  NodeId cas_id{1000};
+};
+
+using ReplyFn = std::function<void(const ClientReply&)>;
+
+class ReplicaNode {
+ public:
+  ReplicaNode(sim::Simulator& simulator, net::SimNetwork& network,
+              ReplicaOptions options);
+  virtual ~ReplicaNode();
+
+  ReplicaNode(const ReplicaNode&) = delete;
+  ReplicaNode& operator=(const ReplicaNode&) = delete;
+
+  // Begins protocol operation (heartbeats etc.). Subclasses override and
+  // must call the base.
+  virtual void start();
+
+  // Crash-stop: detaches from the network and crashes the enclave. Models a
+  // machine failure.
+  virtual void stop();
+  bool running() const { return running_; }
+
+  NodeId self() const { return options_.self; }
+  const std::vector<NodeId>& membership() const { return options_.membership; }
+  std::vector<NodeId> peers() const;
+  std::size_t quorum() const { return majority(options_.membership.size()); }
+
+  // True when this node may coordinate client requests right now.
+  virtual bool is_coordinator() const = 0;
+  // Protocol-specific request execution; invoked on the coordinator.
+  virtual void submit(const ClientRequest& request, ReplyFn reply) = 0;
+
+  // True when this node can serve a linearizable read locally (no quorum).
+  virtual bool serves_local_reads() const { return false; }
+
+  std::uint64_t committed_ops() const { return committed_ops_; }
+  SecurityPolicy& security() { return *security_; }
+  kv::KvStore& kv() { return kv_; }
+  rpc::RpcObject& rpc() { return rpc_; }
+  sim::Simulator& sim() { return simulator_; }
+  net::SimNetwork& network() { return network_; }
+  const ReplicaOptions& options() const { return options_; }
+
+  // Adjusts the modelled in-enclave message-buffer footprint (batching).
+  void set_msg_buffer_bytes(std::uint64_t bytes) {
+    options_.msg_buffer_bytes = bytes;
+  }
+
+  // Recovery (paper §3.7): a freshly attested node joins as a shadow replica
+  // and fetches the current state from a live peer before participating.
+  // `done` receives the number of entries installed (or an error).
+  void sync_state_from(NodeId peer, std::function<void(Result<std::size_t>)> done);
+
+ protected:
+  using EnvelopeHandler =
+      std::function<void(VerifiedEnvelope&, rpc::RequestContext&)>;
+  using ResponseHandler = std::function<void(VerifiedEnvelope&)>;
+
+  // Registers a protocol message handler; the payload the handler sees has
+  // already been verified (and decrypted) by the security policy.
+  void on(rpc::RequestType type, EnvelopeHandler handler);
+
+  // Shields and sends; the continuation receives the VERIFIED response.
+  void send_to(NodeId peer, rpc::RequestType type, BytesView payload,
+               ResponseHandler continuation = nullptr,
+               std::optional<sim::Time> timeout = std::nullopt,
+               rpc::TimeoutHandler on_timeout = nullptr);
+
+  // send_to() to every peer (membership minus self).
+  void broadcast(rpc::RequestType type, BytesView payload,
+                 ResponseHandler continuation = nullptr,
+                 std::optional<sim::Time> timeout = std::nullopt,
+                 rpc::TimeoutHandler on_timeout = nullptr);
+
+  // Shields and responds to a received request.
+  void respond(rpc::RequestContext& ctx, NodeId peer, BytesView payload);
+
+  // Returns a callable that can respond to `ctx` after the handler returned
+  // (asynchronous quorum phases).
+  std::function<void(Bytes)> deferred_responder(const rpc::RequestContext& ctx);
+
+  // KV operations with TEE cost accounting.
+  bool kv_write(std::string_view key, BytesView value, kv::Timestamp ts = {});
+  Result<kv::VersionedValue> kv_get(std::string_view key);
+
+  void record_commit() { ++committed_ops_; }
+
+  // Work executed by a single dedicated thread — the paper's R-Raft "writer
+  // thread that serialized all writes" and R-AllConcur's per-round message
+  // tracking. Such work does not benefit from the node's parallelism, so it
+  // consumes a full node-time unit per unit of work on the fluid-CPU model.
+  void charge_serialized(sim::Time duration) {
+    cpu().charge(duration * cpu().cores());
+  }
+
+  // View the security layer binds into shielded messages.
+  virtual ViewId current_view() const { return ViewId{0}; }
+
+  // --- Failure detection ---------------------------------------------------
+  bool suspected(NodeId peer) const;
+  // Called once per newly suspected peer (heartbeats enabled only).
+  virtual void on_suspected(NodeId /*peer*/) {}
+
+  net::NodeCpu& cpu() { return network_.cpu(options_.self); }
+  std::uint64_t enclave_working_set() const;
+  const tee::TeeCostModel* cost_model() const { return options_.cost_model; }
+
+ private:
+  void handle_client_request(VerifiedEnvelope& env, rpc::RequestContext& ctx);
+  void heartbeat_tick();
+
+  sim::Simulator& simulator_;
+  net::SimNetwork& network_;
+  ReplicaOptions options_;
+  rpc::RpcObject rpc_;
+  std::unique_ptr<SecurityPolicy> security_;
+  kv::KvStore kv_;
+  ClientTable client_table_;
+  tee::TrustedClock clock_;
+  tee::LeaseFailureDetector failure_detector_;
+  std::vector<NodeId> suspected_already_;
+  sim::TimerHandle heartbeat_timer_;
+  bool running_{false};
+  std::uint64_t committed_ops_{0};
+};
+
+}  // namespace recipe

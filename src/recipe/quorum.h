@@ -1,0 +1,47 @@
+// Quorum tracking helper for broadcast-and-collect protocol phases.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <unordered_set>
+
+#include "common/ids.h"
+
+namespace recipe {
+
+// Collects per-peer acknowledgements and fires `on_quorum` exactly once when
+// `threshold` distinct responders have been counted. Create via make_shared
+// and capture the shared_ptr in each continuation so the tracker lives as
+// long as late responses may arrive.
+class QuorumTracker {
+ public:
+  QuorumTracker(std::size_t threshold, std::function<void()> on_quorum)
+      : threshold_(threshold), on_quorum_(std::move(on_quorum)) {}
+
+  // Returns true if this ack was counted (not a duplicate, not post-quorum).
+  bool ack(NodeId from) {
+    if (fired_) return false;
+    if (!responders_.insert(from).second) return false;
+    if (responders_.size() >= threshold_) {
+      fired_ = true;
+      if (on_quorum_) on_quorum_();
+    }
+    return true;
+  }
+
+  bool fired() const { return fired_; }
+  std::size_t count() const { return responders_.size(); }
+  std::size_t threshold() const { return threshold_; }
+
+ private:
+  std::size_t threshold_;
+  std::function<void()> on_quorum_;
+  std::unordered_set<NodeId> responders_;
+  bool fired_{false};
+};
+
+// Majority of `n` replicas (including self where applicable).
+constexpr std::size_t majority(std::size_t n) { return n / 2 + 1; }
+
+}  // namespace recipe

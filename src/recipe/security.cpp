@@ -1,0 +1,196 @@
+#include "recipe/security.h"
+
+#include "crypto/chacha20.h"
+#include "crypto/hmac.h"
+
+namespace recipe {
+
+// --- NullSecurity ------------------------------------------------------------
+
+Result<Bytes> NullSecurity::shield(NodeId peer, ViewId view, BytesView payload) {
+  ShieldedMessage msg;
+  msg.header.view = view;
+  msg.header.cq = directed_channel(self_, peer);
+  msg.header.cnt = 0;
+  msg.header.sender = self_;
+  msg.header.receiver = peer;
+  msg.payload.assign(payload.begin(), payload.end());
+  return msg.serialize();
+}
+
+Result<VerifiedEnvelope> NullSecurity::verify(NodeId claimed_sender,
+                                              BytesView wire,
+                                              std::optional<ViewId> require_view) {
+  auto msg = ShieldedMessage::parse(wire);
+  if (!msg) return msg.status();
+  if (require_view && msg.value().header.view != *require_view) {
+    return Status::error(ErrorCode::kWrongView, "view mismatch");
+  }
+  VerifiedEnvelope env;
+  env.sender = claimed_sender;  // trusted blindly: this is the CFT baseline
+  env.view = msg.value().header.view;
+  env.cnt = msg.value().header.cnt;
+  env.payload = std::move(msg.value().payload);
+  return env;
+}
+
+// --- RecipeSecurity ------------------------------------------------------------
+
+RecipeSecurity::RecipeSecurity(tee::Enclave& enclave, NodeId self,
+                               const tee::TeeCostModel* cost_model,
+                               net::NodeCpu* cpu, RecipeSecurityConfig config)
+    : enclave_(enclave),
+      self_(self),
+      cost_model_(cost_model),
+      cpu_(cpu),
+      config_(std::move(config)) {}
+
+Result<Bytes> RecipeSecurity::shield(NodeId peer, ViewId view, BytesView payload) {
+  const ChannelId cq = directed_channel(self_, peer);
+
+  // Trusted counter increment happens INSIDE the enclave: a crashed enclave
+  // cannot shield, and counters never repeat (non-equivocation).
+  auto cnt = enclave_.increment_counter(cq);
+  if (!cnt) return cnt.status();
+  auto key = channel_key(peer);
+  if (!key) return key.status();
+
+  ShieldedMessage msg;
+  msg.header.view = view;
+  msg.header.cq = cq;
+  msg.header.cnt = cnt.value();
+  msg.header.sender = self_;
+  msg.header.receiver = peer;
+  msg.payload.assign(payload.begin(), payload.end());
+
+  if (config_.confidentiality) {
+    msg.header.flags |= ShieldedHeader::kFlagEncrypted;
+    const auto nonce = crypto::make_nonce(
+        static_cast<std::uint32_t>(cq.value), cnt.value());
+    crypto::chacha20_xor(key.value().view(), nonce, 0, msg.payload);
+    if (cost_model_ != nullptr) charge(cost_model_->encrypt(msg.payload.size()));
+  }
+
+  const crypto::Mac mac =
+      crypto::hmac_sha256(key.value().view(), as_view(msg.authenticated_data()));
+  msg.mac.assign(mac.begin(), mac.end());
+
+  if (cost_model_ != nullptr) {
+    charge(cost_model_->exitless_call() + cost_model_->mac(msg.payload.size()) +
+           cost_model_->enclave_copy(msg.payload.size(), working_set()));
+  }
+  return msg.serialize();
+}
+
+Result<VerifiedEnvelope> RecipeSecurity::verify(
+    NodeId claimed_sender, BytesView wire, std::optional<ViewId> require_view) {
+  auto parsed = ShieldedMessage::parse(wire);
+  if (!parsed) {
+    ++rejected_auth_;
+    return parsed.status();
+  }
+  ShieldedMessage msg = std::move(parsed).take();
+
+  // The header's sender/receiver are authenticated by the MAC; the network's
+  // claimed source is advisory only. A mismatch is an impersonation attempt.
+  if (msg.header.receiver != self_ || msg.header.sender != claimed_sender) {
+    ++rejected_auth_;
+    return Status::error(ErrorCode::kAuthFailed, "sender/receiver mismatch");
+  }
+  if (msg.header.cq != directed_channel(msg.header.sender, self_)) {
+    ++rejected_auth_;
+    return Status::error(ErrorCode::kAuthFailed, "channel id mismatch");
+  }
+
+  auto key = channel_key(msg.header.sender);
+  if (!key) {
+    ++rejected_auth_;
+    return Status::error(ErrorCode::kNotAttested, "no channel key for sender");
+  }
+
+  if (cost_model_ != nullptr) {
+    charge(cost_model_->exitless_call() + cost_model_->mac(msg.payload.size()) +
+           cost_model_->enclave_copy(msg.payload.size(), working_set()));
+  }
+
+  const Bytes ad = msg.authenticated_data();
+  if (!crypto::hmac_verify(key.value().view(), as_view(ad), as_view(msg.mac))) {
+    ++rejected_auth_;
+    return Status::error(ErrorCode::kAuthFailed, "MAC verification failed");
+  }
+
+  if (require_view && msg.header.view != *require_view) {
+    ++rejected_view_;
+    return Status::error(ErrorCode::kWrongView, "view mismatch");
+  }
+
+  if (msg.header.encrypted()) {
+    const auto nonce = crypto::make_nonce(
+        static_cast<std::uint32_t>(msg.header.cq.value), msg.header.cnt);
+    crypto::chacha20_xor(key.value().view(), nonce, 0, msg.payload);
+    if (cost_model_ != nullptr) charge(cost_model_->encrypt(msg.payload.size()));
+  }
+
+  VerifiedEnvelope env;
+  env.sender = msg.header.sender;
+  env.view = msg.header.view;
+  env.cnt = msg.header.cnt;
+  env.payload = std::move(msg.payload);
+
+  ChannelState& ch = channels_[msg.header.cq];
+  const Counter cnt = msg.header.cnt;
+
+  if (config_.order == OrderPolicy::kStrict) {
+    // Algorithm 1: cnt <= rcnt -> replay; cnt == rcnt+1 -> accept;
+    // cnt > rcnt+1 -> buffer as future.
+    if (cnt <= ch.rcnt) {
+      ++rejected_replay_;
+      return Status::error(ErrorCode::kReplay, "stale counter");
+    }
+    if (cnt == ch.rcnt + 1) {
+      ch.rcnt = cnt;
+      // Promote any directly-following buffered futures.
+      auto it = ch.future.begin();
+      while (it != ch.future.end() && it->first == ch.rcnt + 1) {
+        ch.rcnt = it->first;
+        ready_.push_back(std::move(it->second));
+        it = ch.future.erase(it);
+      }
+      return env;
+    }
+    if (ch.future.size() >= config_.max_future_buffer) {
+      return Status::error(ErrorCode::kOutOfOrder, "future buffer full");
+    }
+    ++buffered_future_;
+    ch.future.emplace(cnt, std::move(env));
+    return Status::error(ErrorCode::kOutOfOrder, "future message buffered");
+  }
+
+  // Window mode: every counter accepted at most once; too-old rejected.
+  if (cnt + config_.replay_window <= ch.max_seen) {
+    ++rejected_replay_;
+    return Status::error(ErrorCode::kReplay, "counter below replay window");
+  }
+  if (ch.seen.contains(cnt)) {
+    ++rejected_replay_;
+    return Status::error(ErrorCode::kReplay, "duplicate counter");
+  }
+  ch.seen.emplace(cnt, true);
+  if (cnt > ch.max_seen) ch.max_seen = cnt;
+  // Garbage-collect entries that fell out of the window.
+  while (!ch.seen.empty() &&
+         ch.seen.begin()->first + config_.replay_window <= ch.max_seen) {
+    ch.seen.erase(ch.seen.begin());
+  }
+  return env;
+}
+
+std::vector<VerifiedEnvelope> RecipeSecurity::drain_ready() {
+  return std::exchange(ready_, {});
+}
+
+void RecipeSecurity::reset_peer(NodeId peer) {
+  channels_.erase(directed_channel(peer, self_));
+}
+
+}  // namespace recipe

@@ -1,0 +1,163 @@
+// The security seam between native CFT protocols and their R- transforms.
+//
+// SecurityPolicy provides the paper's shield_msg()/verify_msg() API
+// (Table 3, Algorithm 1). Protocol implementations call shield() before every
+// send and verify() on every reception — and NOTHING else changes between
+// modes:
+//
+//  * NullSecurity — the native CFT baseline: framing only, no MAC, no
+//    counters, zero cost. Used for the paper's "native" runs (Fig. 6a).
+//  * RecipeSecurity — the full transformation: enclave-held channel keys
+//    (transferable authentication), trusted monotonic counters with a replay
+//    filter (non-equivocation), optional payload encryption
+//    (confidentiality), and TEE cost accounting.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+
+#include "attest/cas.h"
+#include "common/bytes.h"
+#include "common/ids.h"
+#include "common/result.h"
+#include "net/network.h"
+#include "recipe/message.h"
+#include "tee/cost_model.h"
+#include "tee/enclave.h"
+
+namespace recipe {
+
+// A verified message handed to the protocol: sender identity and metadata
+// are authenticated (in Recipe mode) before the protocol sees them.
+struct VerifiedEnvelope {
+  NodeId sender{};
+  ViewId view{};
+  Counter cnt{0};
+  Bytes payload;
+};
+
+// How the receiver treats counter gaps (Algorithm 1 semantics).
+enum class OrderPolicy {
+  // Accept only cnt == rcnt+1; buffer "future" messages for drain(); reject
+  // the past. Exact Algorithm 1; requires FIFO-ish channels.
+  kStrict,
+  // Sliding-window replay filter: every counter value accepted at most once,
+  // values older than the window rejected. Non-equivocation for replay
+  // purposes without blocking on reordered packets (default for protocols).
+  kWindow,
+};
+
+class SecurityPolicy {
+ public:
+  virtual ~SecurityPolicy() = default;
+
+  // Wraps `payload` for the channel self -> peer (paper: shield_msg).
+  virtual Result<Bytes> shield(NodeId peer, ViewId view, BytesView payload) = 0;
+
+  // Verifies a received wire message (paper: verify_msg). `claimed_sender`
+  // is what the untrusted network says; Recipe mode authenticates it.
+  // `require_view`: when set, messages from other views are rejected.
+  virtual Result<VerifiedEnvelope> verify(
+      NodeId claimed_sender, BytesView wire,
+      std::optional<ViewId> require_view = std::nullopt) = 0;
+
+  // Messages buffered as "future" that became eligible after the last
+  // accept (strict mode only; empty in window mode).
+  virtual std::vector<VerifiedEnvelope> drain_ready() { return {}; }
+
+  // Forgets all receive-side channel state for `peer` (paper §3.7: a
+  // recovered node rejoins as a FRESH replica — after the CAS announces its
+  // successful re-attestation, peers restart its counters from zero).
+  virtual void reset_peer(NodeId /*peer*/) {}
+
+  // True when this policy provides the Byzantine-hardening guarantees.
+  virtual bool secured() const = 0;
+};
+
+// ---------------------------------------------------------------------------
+
+// Native CFT mode: framing only. Anything the network delivers is accepted.
+class NullSecurity final : public SecurityPolicy {
+ public:
+  explicit NullSecurity(NodeId self) : self_(self) {}
+
+  Result<Bytes> shield(NodeId peer, ViewId view, BytesView payload) override;
+  Result<VerifiedEnvelope> verify(
+      NodeId claimed_sender, BytesView wire,
+      std::optional<ViewId> require_view = std::nullopt) override;
+  bool secured() const override { return false; }
+
+ private:
+  NodeId self_;
+};
+
+// ---------------------------------------------------------------------------
+
+struct RecipeSecurityConfig {
+  OrderPolicy order = OrderPolicy::kWindow;
+  std::size_t replay_window = 4096;
+  std::size_t max_future_buffer = 1024;  // strict-mode queue bound
+  bool confidentiality = false;
+  // Estimator for the enclave-resident working set (bytes), used by the TEE
+  // cost model for EPC pressure. Null = only message-local cost.
+  std::function<std::uint64_t()> working_set;
+};
+
+class RecipeSecurity final : public SecurityPolicy {
+ public:
+  // `cpu` may be null (no cost accounting, e.g. unit tests).
+  RecipeSecurity(tee::Enclave& enclave, NodeId self,
+                 const tee::TeeCostModel* cost_model, net::NodeCpu* cpu,
+                 RecipeSecurityConfig config = {});
+
+  Result<Bytes> shield(NodeId peer, ViewId view, BytesView payload) override;
+  Result<VerifiedEnvelope> verify(
+      NodeId claimed_sender, BytesView wire,
+      std::optional<ViewId> require_view = std::nullopt) override;
+  std::vector<VerifiedEnvelope> drain_ready() override;
+  void reset_peer(NodeId peer) override;
+  bool secured() const override { return true; }
+
+  // Statistics for the evaluation and Byzantine tests.
+  std::uint64_t rejected_auth() const { return rejected_auth_; }
+  std::uint64_t rejected_replay() const { return rejected_replay_; }
+  std::uint64_t buffered_future() const { return buffered_future_; }
+  std::uint64_t rejected_view() const { return rejected_view_; }
+
+ private:
+  struct ChannelState {
+    Counter rcnt{0};                    // strict: last in-order accepted
+    Counter max_seen{0};                // window: highest accepted
+    std::map<Counter, bool> seen;       // window: recent accepted counters
+    std::map<Counter, VerifiedEnvelope> future;  // strict: buffered futures
+  };
+
+  void charge(sim::Time cost) {
+    if (cpu_ != nullptr) cpu_->charge(cost);
+  }
+  std::uint64_t working_set() const {
+    return config_.working_set ? config_.working_set() : 0;
+  }
+  Result<crypto::SymmetricKey> channel_key(NodeId peer) const {
+    return attest::enclave_channel_key(enclave_, self_, peer);
+  }
+
+  tee::Enclave& enclave_;
+  NodeId self_;
+  const tee::TeeCostModel* cost_model_;
+  net::NodeCpu* cpu_;
+  RecipeSecurityConfig config_;
+  std::unordered_map<ChannelId, ChannelState> channels_;
+  std::vector<VerifiedEnvelope> ready_;
+
+  std::uint64_t rejected_auth_{0};
+  std::uint64_t rejected_replay_{0};
+  std::uint64_t buffered_future_{0};
+  std::uint64_t rejected_view_{0};
+};
+
+}  // namespace recipe

@@ -1,0 +1,82 @@
+// Client-facing request/reply types for the replicated KV service.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/ids.h"
+#include "common/result.h"
+#include "common/serde.h"
+
+namespace recipe {
+
+enum class OpType : std::uint8_t { kPut = 1, kGet = 2 };
+
+struct ClientRequest {
+  ClientId client{};
+  RequestId rid{};
+  OpType op{OpType::kGet};
+  std::string key;
+  Bytes value;  // empty for kGet
+
+  Bytes serialize() const {
+    Writer w(key.size() + value.size() + 32);
+    w.id(client);
+    w.id(rid);
+    w.enumeration(op);
+    w.str(key);
+    w.bytes(as_view(value));
+    return std::move(w).take();
+  }
+
+  static Result<ClientRequest> parse(BytesView data) {
+    Reader r(data);
+    ClientRequest req;
+    auto client = r.id<ClientId>();
+    auto rid = r.id<RequestId>();
+    auto op = r.enumeration<OpType>();
+    auto key = r.str();
+    auto value = r.bytes();
+    if (!client || !rid || !op || !key || !value) {
+      return Status::error(ErrorCode::kInvalidArgument, "truncated request");
+    }
+    req.client = *client;
+    req.rid = *rid;
+    req.op = *op;
+    req.key = std::move(*key);
+    req.value = std::move(*value);
+    return req;
+  }
+};
+
+struct ClientReply {
+  bool ok{false};
+  bool found{false};  // for kGet
+  Bytes value;
+
+  Bytes serialize() const {
+    Writer w(value.size() + 8);
+    w.boolean(ok);
+    w.boolean(found);
+    w.bytes(as_view(value));
+    return std::move(w).take();
+  }
+
+  static Result<ClientReply> parse(BytesView data) {
+    Reader r(data);
+    ClientReply reply;
+    auto ok = r.boolean();
+    auto found = r.boolean();
+    auto value = r.bytes();
+    if (!ok || !found || !value) {
+      return Status::error(ErrorCode::kInvalidArgument, "truncated reply");
+    }
+    reply.ok = *ok;
+    reply.found = *found;
+    reply.value = std::move(*value);
+    return reply;
+  }
+};
+
+}  // namespace recipe

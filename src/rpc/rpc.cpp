@@ -1,0 +1,164 @@
+#include "rpc/rpc.h"
+
+#include "common/serde.h"
+
+namespace recipe::rpc {
+
+namespace {
+constexpr std::uint32_t kRpcPacketType = 0xE59C0001;
+
+enum class Kind : std::uint8_t { kRequest = 1, kResponse = 2 };
+
+Bytes encode_rpc(Kind kind, RequestType type, std::uint64_t rpc_id,
+                 BytesView payload) {
+  Writer w(payload.size() + 16);
+  w.enumeration(kind);
+  w.u32(type);
+  w.u64(rpc_id);
+  w.bytes(payload);
+  return std::move(w).take();
+}
+}  // namespace
+
+void RequestContext::respond(Bytes response_payload) {
+  rpc.respond_internal(src, type, rpc_id, std::move(response_payload));
+}
+
+RpcObject::RpcObject(sim::Simulator& simulator, net::SimNetwork& network,
+                     NodeId self, net::NetStackParams stack, RpcConfig config)
+    : simulator_(simulator), network_(network), self_(self), config_(config) {
+  network_.attach(self_, stack,
+                  [this](net::Packet&& p) { on_packet(std::move(p)); });
+  attached_ = true;
+}
+
+RpcObject::~RpcObject() { shutdown(); }
+
+void RpcObject::shutdown() {
+  if (attached_) {
+    network_.detach(self_);
+    attached_ = false;
+  }
+  for (auto& [id, pending] : pending_) pending.timeout_timer.cancel();
+  pending_.clear();
+}
+
+void RpcObject::register_handler(RequestType type, RequestHandler handler) {
+  handlers_[type] = std::move(handler);
+}
+
+void RpcObject::send(NodeId dst, RequestType type, Bytes payload,
+                     Continuation continuation,
+                     std::optional<sim::Time> timeout,
+                     TimeoutHandler on_timeout) {
+  const std::uint64_t rpc_id = next_rpc_id_++;
+  const bool tracked = continuation != nullptr || on_timeout != nullptr;
+  if (tracked) {
+    PendingRequest pending;
+    pending.continuation = std::move(continuation);
+    if (timeout) {
+      pending.timeout_timer = simulator_.schedule(
+          *timeout, [this, rpc_id, dst, cb = std::move(on_timeout)] {
+            const auto it = pending_.find(rpc_id);
+            if (it == pending_.end()) return;
+            pending_.erase(it);
+            release_credit(dst);
+            ++timeouts_fired_;
+            if (cb) cb();
+          });
+    }
+    pending_.emplace(rpc_id, std::move(pending));
+  }
+  ++requests_sent_;
+  enqueue(QueuedSend{dst, type, rpc_id, std::move(payload), /*is_response=*/false,
+                     /*consumes_credit=*/tracked});
+}
+
+void RpcObject::respond_internal(NodeId dst, RequestType type,
+                                 std::uint64_t rpc_id, Bytes payload) {
+  enqueue(QueuedSend{dst, type, rpc_id, std::move(payload), /*is_response=*/true,
+                     /*consumes_credit=*/false});
+}
+
+void RpcObject::enqueue(QueuedSend item) {
+  Session& session = sessions_[item.dst];
+  // Responses and fire-and-forget requests do not consume request credits.
+  if (item.consumes_credit && session.in_flight >= config_.session_credits) {
+    session.backlog.push_back(std::move(item));
+    return;
+  }
+  if (item.consumes_credit) ++session.in_flight;
+
+  if (config_.auto_poll_delay == 0) {
+    transmit(std::move(item));
+  } else {
+    simulator_.schedule(config_.auto_poll_delay,
+                        [this, it = std::move(item)]() mutable {
+                          transmit(std::move(it));
+                        });
+  }
+}
+
+void RpcObject::transmit(QueuedSend&& item) {
+  const Kind kind = item.is_response ? Kind::kResponse : Kind::kRequest;
+  net::Packet packet;
+  packet.src = self_;
+  packet.dst = item.dst;
+  packet.type = kRpcPacketType;
+  packet.payload = encode_rpc(kind, item.type, item.rpc_id, as_view(item.payload));
+  network_.send(std::move(packet));
+}
+
+void RpcObject::poll() {
+  // Packet reception is event-driven in simulation; poll() only needs to
+  // push any backlog that gained credits.
+  for (auto& [peer, session] : sessions_) {
+    while (!session.backlog.empty() &&
+           session.in_flight < config_.session_credits) {
+      QueuedSend item = std::move(session.backlog.front());
+      session.backlog.pop_front();
+      ++session.in_flight;
+      transmit(std::move(item));
+    }
+  }
+}
+
+void RpcObject::release_credit(NodeId peer) {
+  Session& session = sessions_[peer];
+  if (session.in_flight > 0) --session.in_flight;
+  if (!session.backlog.empty() && session.in_flight < config_.session_credits) {
+    QueuedSend item = std::move(session.backlog.front());
+    session.backlog.pop_front();
+    ++session.in_flight;
+    transmit(std::move(item));
+  }
+}
+
+void RpcObject::on_packet(net::Packet&& packet) {
+  Reader r(as_view(packet.payload));
+  const auto kind = r.enumeration<Kind>();
+  const auto type = r.u32();
+  const auto rpc_id = r.u64();
+  auto payload = r.bytes();
+  if (!kind || !type || !rpc_id || !payload) return;  // malformed: drop
+
+  if (*kind == Kind::kRequest) {
+    const auto it = handlers_.find(*type);
+    if (it == handlers_.end()) return;  // unknown type: drop
+    RequestContext ctx{*this, packet.src, *type, *rpc_id, std::move(*payload)};
+    it->second(ctx);
+    return;
+  }
+
+  // Response path.
+  const auto it = pending_.find(*rpc_id);
+  if (it == pending_.end()) return;  // late/duplicate response: drop
+  PendingRequest pending = std::move(it->second);
+  pending_.erase(it);
+  pending.timeout_timer.cancel();
+  release_credit(packet.src);
+  ++responses_received_;
+  if (pending.continuation) pending.continuation(packet.src, std::move(*payload));
+}
+
+}  // namespace recipe::rpc

@@ -1,0 +1,45 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+#include <utility>
+
+namespace recipe::sim {
+
+TimerHandle Simulator::schedule_at(Time when, Callback fn) {
+  assert(when >= now_ && "cannot schedule in the past");
+  auto flag = std::make_shared<bool>(false);
+  TimerHandle handle{std::weak_ptr<bool>(flag)};
+  queue_.push(Event{when, next_seq_++, std::move(fn), std::move(flag)});
+  return handle;
+}
+
+std::size_t Simulator::run_until(Time deadline) {
+  std::size_t executed = 0;
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    if (step()) ++executed;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return executed;
+}
+
+std::size_t Simulator::run_all() {
+  std::size_t executed = 0;
+  while (step()) ++executed;
+  return executed;
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    // priority_queue::top() is const; move out via const_cast, then pop. The
+    // event is removed before the callback runs so callbacks may re-enter.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.when;
+    if (*ev.cancelled) continue;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+}  // namespace recipe::sim

@@ -1,0 +1,89 @@
+// Discrete-event simulator: the clock and scheduler underneath every Recipe
+// experiment.
+//
+// All components (network, TEE cost model, protocol timers, clients) schedule
+// callbacks on a single Simulator. Execution is single-threaded and
+// deterministic: events at equal timestamps fire in scheduling order. Time is
+// simulated nanoseconds; nothing ever reads the wall clock.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+namespace recipe::sim {
+
+// Simulated time in nanoseconds since simulation start.
+using Time = std::uint64_t;
+
+constexpr Time kNanosecond = 1;
+constexpr Time kMicrosecond = 1000 * kNanosecond;
+constexpr Time kMillisecond = 1000 * kMicrosecond;
+constexpr Time kSecond = 1000 * kMillisecond;
+
+// Handle to a scheduled event; allows cancellation (e.g., resetting an
+// election timeout). Cheap to copy; cancellation after firing is a no-op.
+class TimerHandle {
+ public:
+  TimerHandle() = default;
+
+  void cancel() {
+    if (auto p = cancelled_.lock()) *p = true;
+  }
+  bool valid() const { return !cancelled_.expired(); }
+
+ private:
+  friend class Simulator;
+  explicit TimerHandle(std::weak_ptr<bool> flag) : cancelled_(std::move(flag)) {}
+  std::weak_ptr<bool> cancelled_;
+};
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Time now() const { return now_; }
+
+  // Schedules `fn` to run at now() + delay. Returns a cancellable handle.
+  TimerHandle schedule(Time delay, Callback fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  TimerHandle schedule_at(Time when, Callback fn);
+
+  // Runs events until the queue drains or the time limit is passed.
+  // Returns the number of events executed.
+  std::size_t run_until(Time deadline);
+  std::size_t run_for(Time duration) { return run_until(now_ + duration); }
+
+  // Runs every pending event (use only when the event set is finite).
+  std::size_t run_all();
+
+  // Executes the single next event, if any. Returns false when idle.
+  bool step();
+
+  bool idle() const { return queue_.empty(); }
+  std::size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    Time when;
+    std::uint64_t seq;  // tie-breaker: FIFO among same-time events
+    Callback fn;
+    std::shared_ptr<bool> cancelled;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  Time now_{0};
+  std::uint64_t next_seq_{0};
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace recipe::sim

@@ -1,0 +1,98 @@
+// TEE cost model: converts enclave activity into simulated time.
+//
+// SUBSTITUTION (DESIGN.md §2): stands in for real SGX latencies. The model
+// charges three effects the paper's evaluation hinges on:
+//   1. enclave transitions (ecall/ocall) — expensive; SCONE's exitless calls
+//      reduce but do not eliminate them;
+//   2. crypto work per byte (MAC/hash/encrypt) inside the enclave;
+//   3. EPC paging pressure — once the enclave working set exceeds the EPC,
+//      accesses pay an encrypted-paging penalty. This drives the Fig. 3
+//      value-size cliff and the Fig. 6a batching overheads.
+// Defaults are calibrated to i9-9900K-era SGXv1 measurements from the
+// literature (SCONE, ShieldStore, Treaty).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "sim/simulator.h"
+
+namespace recipe::tee {
+
+struct TeeCostParams {
+  // One synchronous enclave transition (world switch).
+  sim::Time transition_cost = 8 * sim::kMicrosecond;
+  // Exitless (SCONE-style asynchronous) call overhead.
+  sim::Time exitless_call_cost = 600 * sim::kNanosecond;
+
+  // Crypto inside the enclave (per operation base + per byte).
+  sim::Time mac_base = 250 * sim::kNanosecond;
+  double mac_per_byte_ns = 0.45;
+  sim::Time hash_base = 200 * sim::kNanosecond;
+  double hash_per_byte_ns = 0.40;
+  // Encryption adds an extra enclave-boundary copy and cache pollution on
+  // top of the cipher itself (paper: confidentiality costs ~2x end to end).
+  sim::Time encrypt_base = 800 * sim::kNanosecond;
+  double encrypt_per_byte_ns = 2.0;
+
+  // Memory: regular enclave access vs EPC-paging penalty.
+  double enclave_copy_per_byte_ns = 0.12;
+  std::uint64_t epc_size_bytes = 94ULL << 20;  // usable EPC on SGXv1
+  sim::Time epc_page_fault_cost = 12 * sim::kMicrosecond;
+  std::uint64_t page_size = 4096;
+
+  // Scaling knob: 1.0 = hardware mode; 0.0 = simulation mode (paper's
+  // "Scone sim" runs show ~native throughput when EPC is unlimited).
+  double tee_tax = 1.0;
+};
+
+class TeeCostModel {
+ public:
+  TeeCostModel() = default;
+  explicit TeeCostModel(TeeCostParams params) : p_(params) {}
+
+  const TeeCostParams& params() const { return p_; }
+
+  sim::Time transition() const { return scaled(p_.transition_cost); }
+  sim::Time exitless_call() const { return scaled(p_.exitless_call_cost); }
+
+  sim::Time mac(std::uint64_t bytes) const {
+    return scaled(p_.mac_base + ns(p_.mac_per_byte_ns * static_cast<double>(bytes)));
+  }
+  sim::Time hash(std::uint64_t bytes) const {
+    return scaled(p_.hash_base + ns(p_.hash_per_byte_ns * static_cast<double>(bytes)));
+  }
+  sim::Time encrypt(std::uint64_t bytes) const {
+    return scaled(p_.encrypt_base +
+                  ns(p_.encrypt_per_byte_ns * static_cast<double>(bytes)));
+  }
+
+  // Copying `bytes` through enclave memory while the enclave's resident
+  // working set is `working_set_bytes`: beyond the EPC, a fraction of the
+  // touched pages fault and pay the encrypted-paging cost.
+  sim::Time enclave_copy(std::uint64_t bytes, std::uint64_t working_set_bytes) const {
+    sim::Time cost = ns(p_.enclave_copy_per_byte_ns * static_cast<double>(bytes));
+    if (working_set_bytes > p_.epc_size_bytes && working_set_bytes > 0) {
+      const double miss_ratio =
+          static_cast<double>(working_set_bytes - p_.epc_size_bytes) /
+          static_cast<double>(working_set_bytes);
+      const double pages_touched =
+          static_cast<double>(bytes) / static_cast<double>(p_.page_size) + 1.0;
+      cost += ns(miss_ratio * pages_touched *
+                 static_cast<double>(p_.epc_page_fault_cost));
+    }
+    return scaled(cost);
+  }
+
+ private:
+  static sim::Time ns(double v) {
+    return static_cast<sim::Time>(std::max(0.0, v));
+  }
+  sim::Time scaled(sim::Time t) const {
+    return static_cast<sim::Time>(static_cast<double>(t) * p_.tee_tax);
+  }
+
+  TeeCostParams p_{};
+};
+
+}  // namespace recipe::tee

@@ -1,0 +1,117 @@
+#include "tee/enclave.h"
+
+#include "common/serde.h"
+#include "common/rng.h"
+
+namespace recipe::tee {
+
+Bytes AttestationReport::serialize() const {
+  Writer w;
+  w.raw(BytesView(measurement.data(), measurement.size()));
+  w.u64(platform_id);
+  w.u64(enclave_id);
+  w.bytes(as_view(report_data));
+  return std::move(w).take();
+}
+
+Enclave::Enclave(const TeePlatform& platform, std::string code_identity,
+                 std::uint64_t enclave_id)
+    : platform_(platform),
+      code_identity_(std::move(code_identity)),
+      enclave_id_(enclave_id),
+      measurement_(crypto::Sha256::hash(as_view(code_identity_))),
+      drbg_(as_view(platform.enclave_seed(enclave_id))) {}
+
+Result<AttestationReport> Enclave::attest(BytesView nonce) {
+  if (auto s = check_alive(); !s.is_ok()) return s;
+  AttestationReport report;
+  report.measurement = measurement_;
+  report.platform_id = platform_.platform_id();
+  report.enclave_id = enclave_id_;
+
+  // Bind the challenger nonce and our DH public value into the report so the
+  // quote proves freshness and authenticates the key exchange.
+  auto pub = dh_public();
+  if (!pub) return pub.status();
+  Writer w;
+  w.bytes(nonce);
+  w.u64(pub.value());
+  report.report_data = std::move(w).take();
+  return report;
+}
+
+Result<Quote> Enclave::generate_quote(const AttestationReport& report) {
+  if (auto s = check_alive(); !s.is_ok()) return s;
+  // EGETKEY: the hardware root key is reachable only from inside the enclave.
+  Quote quote;
+  quote.report = report;
+  quote.mac = crypto::hmac_sha256(platform_.hardware_root_key().view(),
+                                  as_view(report.serialize()));
+  return quote;
+}
+
+Result<std::uint64_t> Enclave::dh_public() {
+  if (auto s = check_alive(); !s.is_ok()) return s;
+  if (!dh_keypair_) {
+    Rng rng(drbg_.generate_u64());
+    dh_keypair_ = crypto::DiffieHellman::generate(rng);
+  }
+  return dh_keypair_->public_value;
+}
+
+Result<crypto::SymmetricKey> Enclave::dh_shared_key(
+    std::uint64_t challenger_public, BytesView context) {
+  if (auto s = check_alive(); !s.is_ok()) return s;
+  if (!dh_keypair_) {
+    return Status::error(ErrorCode::kInternal, "DH keypair not generated");
+  }
+  return crypto::DiffieHellman::shared_key(dh_keypair_->private_exponent,
+                                           challenger_public, context);
+}
+
+Status Enclave::install_secret(const std::string& name,
+                               crypto::SymmetricKey key) {
+  if (auto s = check_alive(); !s.is_ok()) return s;
+  secrets_[name] = std::move(key);
+  return Status::ok();
+}
+
+Result<crypto::SymmetricKey> Enclave::secret(const std::string& name) const {
+  if (auto s = check_alive(); !s.is_ok()) return s;
+  const auto it = secrets_.find(name);
+  if (it == secrets_.end()) {
+    return Status::error(ErrorCode::kNotFound, "secret not provisioned: " + name);
+  }
+  return it->second;
+}
+
+bool Enclave::has_secret(const std::string& name) const {
+  return !crashed_ && secrets_.contains(name);
+}
+
+Result<Counter> Enclave::increment_counter(ChannelId cq) {
+  if (auto s = check_alive(); !s.is_ok()) return s;
+  return ++counters_[cq];
+}
+
+Counter Enclave::peek_counter(ChannelId cq) const {
+  const auto it = counters_.find(cq);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+Result<Bytes> Enclave::random_bytes(std::size_t n) {
+  if (auto s = check_alive(); !s.is_ok()) return s;
+  return drbg_.generate(n);
+}
+
+void Enclave::restart() {
+  // A re-launched enclave keeps its identity (same binary, same platform)
+  // but loses all volatile state: it must be re-attested and re-provisioned,
+  // and it joins as a FRESH replica so stale counters can never be reused.
+  crashed_ = false;
+  dh_keypair_.reset();
+  secrets_.clear();
+  counters_.clear();
+}
+
+}  // namespace recipe::tee

@@ -1,0 +1,122 @@
+// Enclave simulator: the unit of trusted execution in Recipe.
+//
+// Contract (matches the paper's fault model, §3.1):
+//  * the enclave has a measured code identity (SHA-256 of the loaded code);
+//  * key material provisioned after attestation lives only inside the
+//    enclave object — host code has no accessor for it;
+//  * trusted monotonic counters never move backwards (the non-equivocation
+//    root); SGX lacks hardware counters, so like the paper we keep them in
+//    the shielded runtime;
+//  * the enclave can only crash-fail: crash() makes every entry point return
+//    kUnavailable, and a restarted enclave comes back EMPTY (no secrets, no
+//    counters) — it must re-attest and rejoin as a fresh replica (§3.7).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "common/bytes.h"
+#include "common/ids.h"
+#include "common/result.h"
+#include "crypto/dh.h"
+#include "crypto/drbg.h"
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+#include "tee/platform.h"
+
+namespace recipe::tee {
+
+using Measurement = crypto::Sha256Digest;
+
+// The local attestation report: what the enclave's hardware vouches for.
+struct AttestationReport {
+  Measurement measurement{};
+  std::uint64_t platform_id{0};
+  std::uint64_t enclave_id{0};
+  Bytes report_data;  // challenger nonce + enclave DH public value
+
+  Bytes serialize() const;
+};
+
+// A quote = report + MAC by the platform's hardware root key, verifiable
+// only by the attestation service (QuoteVerifier).
+struct Quote {
+  AttestationReport report;
+  crypto::Mac mac{};
+};
+
+class Enclave {
+ public:
+  // `code_identity` models the loaded binary; its SHA-256 is the measurement.
+  Enclave(const TeePlatform& platform, std::string code_identity,
+          std::uint64_t enclave_id);
+
+  std::uint64_t enclave_id() const { return enclave_id_; }
+  const Measurement& measurement() const { return measurement_; }
+  std::uint64_t platform_id() const { return platform_.platform_id(); }
+
+  // --- Attestation-side entry points (Alg. 2) ---------------------------
+
+  // attest(): produce a report binding `nonce` and this enclave's DH public
+  // value into report_data.
+  Result<AttestationReport> attest(BytesView nonce);
+
+  // generate_quote(): sign the report with the hardware key (EGETKEY).
+  Result<Quote> generate_quote(const AttestationReport& report);
+
+  // The enclave's ephemeral DH public value for secret provisioning.
+  Result<std::uint64_t> dh_public();
+
+  // Derives the provisioning channel key from the challenger's DH public
+  // value (called inside the enclave when the encrypted secrets arrive).
+  Result<crypto::SymmetricKey> dh_shared_key(std::uint64_t challenger_public,
+                                             BytesView context);
+
+  // --- Secret store ------------------------------------------------------
+
+  // Installs a named secret (e.g., per-channel MAC key, value-encryption
+  // key). Only callable through the provisioning path.
+  Status install_secret(const std::string& name, crypto::SymmetricKey key);
+  Result<crypto::SymmetricKey> secret(const std::string& name) const;
+  bool has_secret(const std::string& name) const;
+
+  // --- Trusted monotonic counters (non-equivocation root) ----------------
+
+  // Returns the next value (starting at 1) for channel `cq`; never repeats,
+  // never decreases.
+  Result<Counter> increment_counter(ChannelId cq);
+  Counter peek_counter(ChannelId cq) const;
+
+  // --- Randomness ---------------------------------------------------------
+
+  Result<Bytes> random_bytes(std::size_t n);
+
+  // --- Fault injection -----------------------------------------------------
+
+  // TEEs may only crash-fail (paper fault model). After crash(), every
+  // operation fails; restart() models a re-launched enclave: identity is
+  // preserved but ALL volatile state (secrets, counters, DH key) is wiped.
+  void crash() { crashed_ = true; }
+  void restart();
+  bool crashed() const { return crashed_; }
+
+ private:
+  Status check_alive() const {
+    if (crashed_) return Status::error(ErrorCode::kUnavailable, "enclave crashed");
+    return Status::ok();
+  }
+
+  const TeePlatform& platform_;
+  std::string code_identity_;
+  std::uint64_t enclave_id_;
+  Measurement measurement_{};
+  crypto::Drbg drbg_;
+  std::optional<crypto::DhKeyPair> dh_keypair_;
+  std::unordered_map<std::string, crypto::SymmetricKey> secrets_;
+  std::unordered_map<ChannelId, Counter> counters_;
+  bool crashed_{false};
+};
+
+}  // namespace recipe::tee

@@ -1,0 +1,97 @@
+// T-Lease: trusted lease primitive (Trach et al., SoCC'20) on top of the
+// enclave's monotonic notion of time.
+//
+// SGX has no trusted wall clock; T-Lease only needs a clock with bounded
+// unidirectional drift. In simulation the trusted clock is the simulator
+// clock scaled by a configurable drift factor — the holder's clock may run
+// FAST (conservative) but never slow, so a holder always believes its lease
+// expired no later than the grantor does. Leases underpin leader leases,
+// failure detectors, and election timeouts in Recipe (§3.5).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "common/ids.h"
+#include "sim/simulator.h"
+
+namespace recipe::tee {
+
+// A clock the enclave trusts. `now()` must be monotone.
+class TrustedClock {
+ public:
+  // drift_ppm: parts-per-million by which this clock runs fast relative to
+  // true simulated time (holders use a positive drift to be conservative).
+  TrustedClock(const sim::Simulator& simulator, std::int64_t drift_ppm = 0)
+      : simulator_(simulator), drift_ppm_(drift_ppm) {}
+
+  sim::Time now() const {
+    const sim::Time t = simulator_.now();
+    return t + static_cast<sim::Time>(
+                   (static_cast<__int128>(t) * drift_ppm_) / 1'000'000);
+  }
+
+ private:
+  const sim::Simulator& simulator_;
+  std::int64_t drift_ppm_;
+};
+
+// One lease on a named resource (e.g., "leader@view=7").
+class TrustedLease {
+ public:
+  TrustedLease(const TrustedClock& clock, sim::Time duration)
+      : clock_(clock), duration_(duration) {}
+
+  // Acquire or renew. Renewal extends from now, not from the old expiry.
+  void acquire() { expiry_ = clock_.now() + duration_; }
+
+  void release() { expiry_ = 0; }
+
+  // Holder-side check: may I still act on this lease?
+  bool held() const { return clock_.now() < expiry_; }
+
+  // Grantor-side check with safety margin: has the holder surely lost it?
+  // `margin` covers clock drift between grantor and holder.
+  bool surely_expired(sim::Time margin) const {
+    return clock_.now() >= expiry_ + margin;
+  }
+
+  sim::Time expiry() const { return expiry_; }
+  sim::Time duration() const { return duration_; }
+
+ private:
+  const TrustedClock& clock_;
+  sim::Time duration_;
+  sim::Time expiry_{0};
+};
+
+// Failure detector built on leases: a peer is suspected when its lease
+// (renewed by heartbeats) surely expired.
+class LeaseFailureDetector {
+ public:
+  LeaseFailureDetector(const TrustedClock& clock, sim::Time lease_duration,
+                       sim::Time margin)
+      : clock_(clock), lease_duration_(lease_duration), margin_(margin) {}
+
+  void heartbeat(NodeId peer) {
+    leases_.try_emplace(peer, TrustedLease{clock_, lease_duration_})
+        .first->second.acquire();
+  }
+
+  bool suspected(NodeId peer) const {
+    const auto it = leases_.find(peer);
+    if (it == leases_.end()) return true;  // never heard from
+    return it->second.surely_expired(margin_);
+  }
+
+  void forget(NodeId peer) { leases_.erase(peer); }
+
+ private:
+  const TrustedClock& clock_;
+  sim::Time lease_duration_;
+  sim::Time margin_;
+  std::unordered_map<NodeId, TrustedLease> leases_;
+};
+
+}  // namespace recipe::tee

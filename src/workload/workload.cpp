@@ -1,0 +1,74 @@
+#include "workload/workload.h"
+
+#include <cstdio>
+
+namespace recipe::workload {
+
+std::string key_name(std::uint64_t item) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "user%08llu",
+                static_cast<unsigned long long>(item));
+  return buf;
+}
+
+Bytes make_value(std::size_t size, std::uint64_t salt) {
+  Bytes value(size);
+  std::uint64_t state = salt ^ 0x9E3779B97F4A7C15ULL;
+  for (std::size_t i = 0; i < size; ++i) {
+    value[i] = static_cast<std::uint8_t>(splitmix64(state));
+  }
+  return value;
+}
+
+ClosedLoopDriver::ClosedLoopDriver(std::vector<KvClient*> clients,
+                                   WorkloadConfig config, Router router)
+    : clients_(std::move(clients)),
+      config_(config),
+      router_(std::move(router)),
+      zipf_(config.num_keys, config.zipf_theta),
+      rng_(config.seed) {}
+
+void ClosedLoopDriver::start() {
+  running_ = true;
+  for (std::size_t i = 0; i < clients_.size(); ++i) pump(i);
+}
+
+void ClosedLoopDriver::pump(std::size_t client_index) {
+  if (!running_) return;
+  KvClient& client = *clients_[client_index];
+  const std::uint64_t op = op_index_++;
+  const std::string key = key_name(zipf_.next(rng_));
+  const bool is_read = rng_.chance(config_.read_fraction);
+  auto next = [this, client_index](const ClientReply&) { pump(client_index); };
+
+  if (is_read) {
+    client.get(router_(OpType::kGet, op), key, std::move(next));
+  } else {
+    client.put(router_(OpType::kPut, op), key,
+               make_value(config_.value_size, op), std::move(next));
+  }
+}
+
+void ClosedLoopDriver::reset_stats() {
+  for (KvClient* client : clients_) client->reset_stats();
+}
+
+std::uint64_t ClosedLoopDriver::completed() const {
+  std::uint64_t total = 0;
+  for (const KvClient* client : clients_) total += client->completed();
+  return total;
+}
+
+std::uint64_t ClosedLoopDriver::failed() const {
+  std::uint64_t total = 0;
+  for (const KvClient* client : clients_) total += client->failed();
+  return total;
+}
+
+Histogram ClosedLoopDriver::merged_latency_us() const {
+  Histogram merged;
+  for (const KvClient* client : clients_) merged.merge(client->latency_us());
+  return merged;
+}
+
+}  // namespace recipe::workload

@@ -1,0 +1,66 @@
+// YCSB-style workload generation and closed-loop load driving (paper §B.2:
+// ~10K distinct keys, Zipfian distribution, various R/W ratios and value
+// sizes).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "common/zipf.h"
+#include "recipe/client.h"
+#include "recipe/types.h"
+
+namespace recipe::workload {
+
+struct WorkloadConfig {
+  std::uint64_t num_keys = 10000;
+  double zipf_theta = 0.99;
+  double read_fraction = 0.9;   // e.g. 0.9 = "90% R" in the figures
+  std::size_t value_size = 256;
+  std::uint64_t seed = 42;
+};
+
+// Key name for item i ("userNNNNNNNN", YCSB style).
+std::string key_name(std::uint64_t item);
+
+// Deterministic value payload of the configured size.
+Bytes make_value(std::size_t size, std::uint64_t salt);
+
+// Picks the coordinator node for an operation (protocol-aware routing: the
+// distributed data-store layer of Fig. 2).
+using Router = std::function<NodeId(OpType, std::uint64_t op_index)>;
+
+// Closed-loop driver: each client keeps exactly one request outstanding;
+// completion immediately issues the next. Throughput is measured from the
+// clients' completed-op counters over a simulated window.
+class ClosedLoopDriver {
+ public:
+  ClosedLoopDriver(std::vector<KvClient*> clients, WorkloadConfig config,
+                   Router router);
+
+  // Starts all client loops (runs until stop()).
+  void start();
+  void stop() { running_ = false; }
+
+  void reset_stats();
+  std::uint64_t completed() const;
+  std::uint64_t failed() const;
+  Histogram merged_latency_us() const;
+
+ private:
+  void pump(std::size_t client_index);
+
+  std::vector<KvClient*> clients_;
+  WorkloadConfig config_;
+  Router router_;
+  ZipfianGenerator zipf_;
+  Rng rng_;
+  std::uint64_t op_index_{0};
+  bool running_{false};
+};
+
+}  // namespace recipe::workload

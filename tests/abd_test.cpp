@@ -1,0 +1,178 @@
+// Protocol tests for (R-)ABD: quorum reads/writes, per-key linearizability,
+// concurrent writers, crash tolerance, and native-vs-Recipe parity.
+#include <gtest/gtest.h>
+
+#include "cluster_harness.h"
+#include "protocols/abd/abd.h"
+
+namespace recipe::protocols {
+namespace {
+
+using testing::Cluster;
+
+TEST(Abd, PutGetRoundTrip) {
+  Cluster<AbdNode> cluster;
+  cluster.build();
+  auto& client = cluster.add_client();
+  auto put = cluster.put(client, NodeId{1}, "k", "v");
+  EXPECT_TRUE(put.ok);
+  auto get = cluster.get(client, NodeId{1}, "k");
+  EXPECT_TRUE(get.ok);
+  EXPECT_TRUE(get.found);
+  EXPECT_EQ(to_string(as_view(get.value)), "v");
+}
+
+TEST(Abd, MissingKeyNotFound) {
+  Cluster<AbdNode> cluster;
+  cluster.build();
+  auto& client = cluster.add_client();
+  auto get = cluster.get(client, NodeId{2}, "missing");
+  EXPECT_TRUE(get.ok);
+  EXPECT_FALSE(get.found);
+}
+
+TEST(Abd, ReadFromDifferentCoordinatorSeesWrite) {
+  // Linearizability across coordinators: write via node 1, read via node 3.
+  Cluster<AbdNode> cluster;
+  cluster.build();
+  auto& client = cluster.add_client();
+  ASSERT_TRUE(cluster.put(client, NodeId{1}, "k", "v1").ok);
+  auto get = cluster.get(client, NodeId{3}, "k");
+  EXPECT_TRUE(get.found);
+  EXPECT_EQ(to_string(as_view(get.value)), "v1");
+}
+
+TEST(Abd, SuccessiveWritesMonotone) {
+  Cluster<AbdNode> cluster;
+  cluster.build();
+  auto& client = cluster.add_client();
+  for (int i = 1; i <= 10; ++i) {
+    // Rotate coordinators: multi-writer.
+    const NodeId coord{static_cast<std::uint64_t>(i % 3) + 1};
+    ASSERT_TRUE(cluster.put(client, coord, "k", "v" + std::to_string(i)).ok);
+    auto get = cluster.get(client, NodeId{(i % 3) ? 1u : 2u}, "k");
+    EXPECT_EQ(to_string(as_view(get.value)), "v" + std::to_string(i));
+  }
+}
+
+TEST(Abd, TimestampsOrderConcurrentWriters) {
+  // Two clients write the same key via different coordinators concurrently;
+  // afterwards every replica converges to a single winner.
+  Cluster<AbdNode> cluster;
+  cluster.build();
+  auto& c1 = cluster.add_client(2001);
+  auto& c2 = cluster.add_client(2002);
+
+  int done = 0;
+  c1.put(NodeId{1}, "k", to_bytes("from-c1"), [&](const ClientReply&) { ++done; });
+  c2.put(NodeId{2}, "k", to_bytes("from-c2"), [&](const ClientReply&) { ++done; });
+  cluster.run_for(5 * sim::kSecond);
+  ASSERT_EQ(done, 2);
+
+  // All replicas agree on (value, ts) after quiescence.
+  auto ts0 = cluster.node(0).kv().timestamp("k");
+  auto v0 = cluster.node(0).kv().get("k");
+  ASSERT_TRUE(ts0.has_value());
+  ASSERT_TRUE(v0.is_ok());
+  for (std::size_t i = 1; i < cluster.size(); ++i) {
+    auto tsi = cluster.node(i).kv().timestamp("k");
+    auto vi = cluster.node(i).kv().get("k");
+    ASSERT_TRUE(tsi.has_value());
+    EXPECT_EQ(*tsi, *ts0);
+    EXPECT_EQ(vi.value().value, v0.value().value);
+  }
+  // And a subsequent read returns the winner.
+  auto get = cluster.get(c1, NodeId{3}, "k");
+  EXPECT_EQ(get.value, v0.value().value);
+}
+
+TEST(Abd, ToleratesOneCrashOutOfThree) {
+  Cluster<AbdNode> cluster;
+  cluster.build();
+  auto& client = cluster.add_client();
+  ASSERT_TRUE(cluster.put(client, NodeId{1}, "k", "before").ok);
+
+  cluster.crash(2);  // node 3 down; majority {1,2} remains
+
+  EXPECT_TRUE(cluster.put(client, NodeId{1}, "k", "after").ok);
+  auto get = cluster.get(client, NodeId{2}, "k");
+  EXPECT_TRUE(get.found);
+  EXPECT_EQ(to_string(as_view(get.value)), "after");
+}
+
+TEST(Abd, ReadRepairPropagatesNewestValue) {
+  // Write with node 3 crashed, recover network-wise is not modeled here;
+  // instead: write to majority {1,2}, then a read coordinated by node 2
+  // must return the newest value even though node 3 never saw it.
+  Cluster<AbdNode> cluster;
+  cluster.build();
+  auto& client = cluster.add_client();
+  cluster.crash(2);
+  ASSERT_TRUE(cluster.put(client, NodeId{1}, "k", "v9").ok);
+  auto get = cluster.get(client, NodeId{2}, "k");
+  EXPECT_EQ(to_string(as_view(get.value)), "v9");
+}
+
+TEST(Abd, FiveReplicasToleratesTwoCrashes) {
+  Cluster<AbdNode>::Config config;
+  config.num_replicas = 5;
+  Cluster<AbdNode> cluster(config);
+  cluster.build();
+  auto& client = cluster.add_client();
+  ASSERT_TRUE(cluster.put(client, NodeId{1}, "k", "v").ok);
+  cluster.crash(3);
+  cluster.crash(4);
+  EXPECT_TRUE(cluster.put(client, NodeId{2}, "k", "v2").ok);
+  EXPECT_EQ(to_string(as_view(cluster.get(client, NodeId{3}, "k").value)), "v2");
+}
+
+TEST(Abd, NativeModeSameSemantics) {
+  // The identical protocol code runs with NullSecurity (native CFT).
+  Cluster<AbdNode>::Config config;
+  config.secured = false;
+  Cluster<AbdNode> cluster(config);
+  cluster.build();
+  auto& client = cluster.add_client();
+  ASSERT_TRUE(cluster.put(client, NodeId{1}, "k", "v").ok);
+  EXPECT_EQ(to_string(as_view(cluster.get(client, NodeId{2}, "k").value)), "v");
+}
+
+TEST(Abd, ConfidentialModeRoundTrip) {
+  Cluster<AbdNode>::Config config;
+  config.confidentiality = true;
+  Cluster<AbdNode> cluster(config);
+  cluster.build();
+  auto& client = cluster.add_client();
+  ASSERT_TRUE(cluster.put(client, NodeId{1}, "k", "secret").ok);
+  EXPECT_EQ(to_string(as_view(cluster.get(client, NodeId{2}, "k").value)),
+            "secret");
+  // Host memory of every replica holds ciphertext only.
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    auto ptr = cluster.node(i).kv().host_ptr("k");
+    if (!ptr) continue;
+    const Bytes raw = cluster.node(i).kv().host_arena().load(*ptr).value();
+    EXPECT_NE(raw, to_bytes("secret"));
+  }
+}
+
+TEST(Abd, ManyKeysManyClients) {
+  Cluster<AbdNode> cluster;
+  cluster.build();
+  auto& c1 = cluster.add_client(2001);
+  auto& c2 = cluster.add_client(2002);
+  int completed = 0;
+  for (int i = 0; i < 20; ++i) {
+    const std::string key = "key" + std::to_string(i % 7);
+    auto& client = (i % 2) ? c1 : c2;
+    const NodeId coord{static_cast<std::uint64_t>(i % 3) + 1};
+    client.put(coord, key, to_bytes("v" + std::to_string(i)),
+               [&](const ClientReply& r) {
+                 if (r.ok) ++completed;
+               });
+  }
+  cluster.run_for(10 * sim::kSecond);
+  EXPECT_EQ(completed, 20);
+}
+
+}  // namespace
+}  // namespace recipe::protocols

@@ -1,0 +1,184 @@
+// Protocol tests for (R-)AllConcur: round-based atomic broadcast, identical
+// total order across nodes, multi-coordinator writes, crash handling.
+#include <gtest/gtest.h>
+
+#include "cluster_harness.h"
+#include "protocols/allconcur/allconcur.h"
+
+namespace recipe::protocols {
+namespace {
+
+using testing::Cluster;
+
+TEST(AllConcur, PutGetRoundTrip) {
+  Cluster<AllConcurNode> cluster;
+  cluster.build();
+  auto& client = cluster.add_client();
+  EXPECT_TRUE(cluster.put(client, NodeId{1}, "k", "v").ok);
+  auto get = cluster.get(client, NodeId{1}, "k");
+  EXPECT_TRUE(get.found);
+  EXPECT_EQ(to_string(as_view(get.value)), "v");
+}
+
+TEST(AllConcur, WriteVisibleAtAllNodesAfterRound) {
+  Cluster<AllConcurNode> cluster;
+  cluster.build();
+  auto& client = cluster.add_client();
+  ASSERT_TRUE(cluster.put(client, NodeId{2}, "k", "v").ok);
+  cluster.run_for(sim::kSecond);
+  for (std::size_t n = 0; n < cluster.size(); ++n) {
+    EXPECT_TRUE(cluster.node(n).kv().contains("k")) << "node " << n;
+  }
+}
+
+TEST(AllConcur, ConcurrentWritersConvergeIdentically) {
+  // Two coordinators submit conflicting writes in the same round; the
+  // deterministic node-id order must produce the SAME winner everywhere.
+  Cluster<AllConcurNode> cluster;
+  cluster.build();
+  auto& c1 = cluster.add_client(2001);
+  auto& c2 = cluster.add_client(2002);
+
+  int done = 0;
+  c1.put(NodeId{1}, "k", to_bytes("via-node1"), [&](const ClientReply&) { ++done; });
+  c2.put(NodeId{3}, "k", to_bytes("via-node3"), [&](const ClientReply&) { ++done; });
+  cluster.run_for(5 * sim::kSecond);
+  ASSERT_EQ(done, 2);
+
+  const Bytes v0 = cluster.node(0).kv().get("k").value().value;
+  for (std::size_t n = 1; n < cluster.size(); ++n) {
+    EXPECT_EQ(cluster.node(n).kv().get("k").value().value, v0) << "node " << n;
+  }
+}
+
+TEST(AllConcur, TotalOrderAcrossManyRounds) {
+  Cluster<AllConcurNode> cluster;
+  cluster.build();
+  auto& c1 = cluster.add_client(2001);
+  auto& c2 = cluster.add_client(2002);
+  auto& c3 = cluster.add_client(2003);
+
+  int done = 0;
+  for (int i = 0; i < 30; ++i) {
+    KvClient& client = (i % 3 == 0) ? c1 : (i % 3 == 1) ? c2 : c3;
+    const NodeId coord{static_cast<std::uint64_t>(i % 3) + 1};
+    client.put(coord, "k" + std::to_string(i % 5),
+               to_bytes("v" + std::to_string(i)),
+               [&](const ClientReply&) { ++done; });
+  }
+  cluster.run_for(10 * sim::kSecond);
+  ASSERT_EQ(done, 30);
+
+  // Replica state machines converged byte-for-byte on all keys.
+  for (int k = 0; k < 5; ++k) {
+    const std::string key = "k" + std::to_string(k);
+    const Bytes v0 = cluster.node(0).kv().get(key).value().value;
+    for (std::size_t n = 1; n < cluster.size(); ++n) {
+      EXPECT_EQ(cluster.node(n).kv().get(key).value().value, v0)
+          << "key " << key << " node " << n;
+    }
+  }
+}
+
+TEST(AllConcur, LocalReadsAreSequentiallyConsistent) {
+  Cluster<AllConcurNode> cluster;
+  cluster.build();
+  auto& client = cluster.add_client();
+  ASSERT_TRUE(cluster.put(client, NodeId{1}, "k", "v").ok);
+  cluster.run_for(sim::kSecond);
+  // Any node serves the read locally.
+  for (std::uint64_t n = 1; n <= 3; ++n) {
+    auto get = cluster.get(client, NodeId{n}, "k");
+    EXPECT_TRUE(get.found);
+    EXPECT_EQ(to_string(as_view(get.value)), "v");
+  }
+}
+
+TEST(AllConcur, LinearizableReadModeGoesThroughRounds) {
+  AllConcurOptions options;
+  options.linearizable_reads = true;
+  Cluster<AllConcurNode> cluster;
+  cluster.build(options);
+  auto& client = cluster.add_client();
+  ASSERT_TRUE(cluster.put(client, NodeId{1}, "k", "v").ok);
+  auto get = cluster.get(client, NodeId{2}, "k");
+  EXPECT_TRUE(get.found);
+  EXPECT_EQ(to_string(as_view(get.value)), "v");
+  // Reads advanced the round counter (they are ordered like writes).
+  EXPECT_GT(cluster.node(1).round(), 2u);
+}
+
+TEST(AllConcur, CrashExcludedAfterSuspicion) {
+  Cluster<AllConcurNode>::Config config;
+  config.heartbeat_period = 20 * sim::kMillisecond;
+  Cluster<AllConcurNode> cluster(config);
+  cluster.build();
+  auto& client = cluster.add_client();
+  ASSERT_TRUE(cluster.put(client, NodeId{1}, "a", "1").ok);
+
+  cluster.crash(2);
+  cluster.run_for(2 * sim::kSecond);  // failure detection
+
+  // Rounds proceed without the dead node.
+  EXPECT_TRUE(cluster.put(client, NodeId{1}, "b", "2").ok);
+  EXPECT_EQ(to_string(as_view(cluster.get(client, NodeId{2}, "b").value)), "2");
+}
+
+TEST(AllConcur, WriteDuringCrashEventuallyCompletes) {
+  Cluster<AllConcurNode>::Config config;
+  config.heartbeat_period = 20 * sim::kMillisecond;
+  Cluster<AllConcurNode> cluster(config);
+  cluster.build();
+  auto& client = cluster.add_client();
+
+  cluster.crash(2);  // crash BEFORE the write; detection is pending
+  bool done = false;
+  client.put(NodeId{1}, "k", to_bytes("v"),
+             [&](const ClientReply& r) { done = r.ok; });
+  cluster.run_for(5 * sim::kSecond);
+  EXPECT_TRUE(done);  // completes once the failure detector excludes node 3
+}
+
+TEST(AllConcur, BatchingManySubmissionsPerRound) {
+  Cluster<AllConcurNode> cluster;
+  cluster.build();
+  auto& client = cluster.add_client();
+  int completed = 0;
+  for (int i = 0; i < 100; ++i) {
+    client.put(NodeId{1}, "k" + std::to_string(i), to_bytes("v"),
+               [&](const ClientReply& r) {
+                 if (r.ok) ++completed;
+               });
+  }
+  cluster.run_for(10 * sim::kSecond);
+  EXPECT_EQ(completed, 100);
+  // Batching: far fewer rounds than operations.
+  EXPECT_LT(cluster.node(0).round(), 60u);
+}
+
+TEST(AllConcur, NativeMode) {
+  Cluster<AllConcurNode>::Config config;
+  config.secured = false;
+  Cluster<AllConcurNode> cluster(config);
+  cluster.build();
+  auto& client = cluster.add_client();
+  ASSERT_TRUE(cluster.put(client, NodeId{1}, "k", "v").ok);
+  cluster.run_for(sim::kSecond);
+  EXPECT_EQ(to_string(as_view(cluster.get(client, NodeId{2}, "k").value)), "v");
+}
+
+TEST(AllConcur, FiveNodeCluster) {
+  Cluster<AllConcurNode>::Config config;
+  config.num_replicas = 5;
+  Cluster<AllConcurNode> cluster(config);
+  cluster.build();
+  auto& client = cluster.add_client();
+  ASSERT_TRUE(cluster.put(client, NodeId{4}, "k", "v").ok);
+  cluster.run_for(sim::kSecond);
+  for (std::size_t n = 0; n < 5; ++n) {
+    EXPECT_TRUE(cluster.node(n).kv().contains("k"));
+  }
+}
+
+}  // namespace
+}  // namespace recipe::protocols

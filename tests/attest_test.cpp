@@ -1,0 +1,263 @@
+// Integration tests for the attestation module: bundle sealing, the full
+// remote-attestation + provisioning flow over the simulated network, and the
+// negative paths (wrong measurement, rogue platform, crashed enclave).
+#include <gtest/gtest.h>
+
+#include "attest/bundle.h"
+#include "attest/cas.h"
+#include "rpc/rpc.h"
+
+namespace recipe::attest {
+namespace {
+
+constexpr NodeId kCasId{1000};
+constexpr NodeId kReplica1{1};
+
+struct Harness {
+  sim::Simulator simulator;
+  net::SimNetwork network{simulator, Rng(7)};
+  tee::TeePlatform platform{1};
+
+  AttestationAuthority cas{simulator, network, kCasId,
+                           net::NetStackParams::direct_io_native(),
+                           AuthorityParams{}};
+
+  Harness() { cas.register_platform(platform); }
+
+  ClusterPlan plan(bool confidentiality = false) {
+    ClusterPlan p;
+    p.replicas = {NodeId{1}, NodeId{2}, NodeId{3}};
+    p.confidentiality = confidentiality;
+    return p;
+  }
+};
+
+TEST(Bundle, SerializeParseRoundTrip) {
+  SecretsBundle bundle;
+  bundle.assigned_id = NodeId{3};
+  bundle.membership = {NodeId{1}, NodeId{2}, NodeId{3}};
+  bundle.channel_keys.emplace_back(NodeId{1},
+                                   crypto::SymmetricKey{Bytes(32, 0x11)});
+  bundle.channel_keys.emplace_back(NodeId{2},
+                                   crypto::SymmetricKey{Bytes(32, 0x22)});
+  bundle.confidentiality = true;
+  bundle.value_key = crypto::SymmetricKey{Bytes(32, 0x33)};
+  bundle.root_key = crypto::SymmetricKey{Bytes(32, 0x44)};
+
+  auto parsed = SecretsBundle::parse(as_view(bundle.serialize()));
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(parsed.value().assigned_id, NodeId{3});
+  EXPECT_EQ(parsed.value().membership.size(), 3u);
+  EXPECT_EQ(parsed.value().channel_keys.size(), 2u);
+  EXPECT_EQ(parsed.value().channel_keys[1].second.material, Bytes(32, 0x22));
+  EXPECT_TRUE(parsed.value().confidentiality);
+  EXPECT_EQ(parsed.value().root_key.material, Bytes(32, 0x44));
+}
+
+TEST(Bundle, ParseRejectsTruncation) {
+  SecretsBundle bundle;
+  bundle.assigned_id = NodeId{3};
+  bundle.membership = {NodeId{1}};
+  Bytes data = bundle.serialize();
+  for (std::size_t cut = 0; cut < data.size(); ++cut) {
+    EXPECT_FALSE(
+        SecretsBundle::parse(BytesView(data.data(), cut)).is_ok())
+        << "cut=" << cut;
+  }
+}
+
+TEST(Bundle, ChannelSecretNameIsSymmetric) {
+  EXPECT_EQ(channel_secret_name(NodeId{1}, NodeId{2}),
+            channel_secret_name(NodeId{2}, NodeId{1}));
+  EXPECT_NE(channel_secret_name(NodeId{1}, NodeId{2}),
+            channel_secret_name(NodeId{1}, NodeId{3}));
+}
+
+TEST(Attestation, FullFlowProvisionsReplica) {
+  Harness h;
+  h.cas.upload_plan(h.plan(), crypto::Sha256::hash(as_view("replica-code")));
+
+  tee::Enclave enclave(h.platform, "replica-code", 1);
+  rpc::RpcObject rpc(h.simulator, h.network, kReplica1,
+                     net::NetStackParams::direct_io_native());
+  bool provisioned = false;
+  AttestationClient client(rpc, enclave, [&](const ProvisionInfo& info) {
+    provisioned = true;
+    EXPECT_EQ(info.assigned_id, kReplica1);
+    EXPECT_EQ(info.membership.size(), 3u);
+  });
+
+  Status result = Status::error(ErrorCode::kInternal, "not called");
+  sim::Time elapsed = 0;
+  h.cas.attest_and_provision(kReplica1, kReplica1, /*full_member=*/true,
+                             [&](Status s, sim::Time t) {
+                               result = s;
+                               elapsed = t;
+                             });
+  h.simulator.run_all();
+
+  EXPECT_TRUE(result.is_ok()) << result.to_string();
+  EXPECT_TRUE(provisioned);
+  EXPECT_TRUE(client.provisioned());
+  // Full member: cluster root installed, can derive any channel key.
+  EXPECT_TRUE(enclave.has_secret(kClusterRootName));
+  auto key = enclave_channel_key(enclave, NodeId{1}, NodeId{2});
+  ASSERT_TRUE(key.is_ok());
+  EXPECT_EQ(key.value().material,
+            h.cas.derive_channel_key(NodeId{1}, NodeId{2}).material);
+  // Service time dominates the latency.
+  EXPECT_GE(elapsed, AuthorityParams{}.service_time);
+}
+
+TEST(Attestation, ClientPrincipalGetsOnlyPairwiseKeys) {
+  Harness h;
+  h.cas.upload_plan(h.plan(), crypto::Sha256::hash(as_view("replica-code")));
+  h.cas.allow_measurement(crypto::Sha256::hash(as_view("client-code")));
+
+  const NodeId client_id{2000};
+  tee::Enclave enclave(h.platform, "client-code", 9);
+  rpc::RpcObject rpc(h.simulator, h.network, client_id,
+                     net::NetStackParams::direct_io_native());
+  AttestationClient client(rpc, enclave, nullptr);
+
+  Status result = Status::error(ErrorCode::kInternal, "");
+  h.cas.attest_and_provision(client_id, client_id, /*full_member=*/false,
+                             [&](Status s, sim::Time) { result = s; });
+  h.simulator.run_all();
+
+  ASSERT_TRUE(result.is_ok()) << result.to_string();
+  EXPECT_FALSE(enclave.has_secret(kClusterRootName));
+  // Pairwise keys to every replica, matching what replicas derive.
+  auto key = enclave_channel_key(enclave, client_id, NodeId{2});
+  ASSERT_TRUE(key.is_ok());
+  EXPECT_EQ(key.value().material,
+            h.cas.derive_channel_key(client_id, NodeId{2}).material);
+}
+
+TEST(Attestation, WrongMeasurementRejected) {
+  Harness h;
+  h.cas.upload_plan(h.plan(), crypto::Sha256::hash(as_view("replica-code")));
+
+  tee::Enclave malware(h.platform, "malware-code", 1);  // genuine TEE, wrong code
+  rpc::RpcObject rpc(h.simulator, h.network, kReplica1,
+                     net::NetStackParams::direct_io_native());
+  AttestationClient client(rpc, malware, nullptr);
+
+  Status result = Status::ok();
+  h.cas.attest_and_provision(kReplica1, kReplica1, true,
+                             [&](Status s, sim::Time) { result = s; });
+  h.simulator.run_all();
+  EXPECT_EQ(result.code(), ErrorCode::kAuthFailed);
+  EXPECT_FALSE(malware.has_secret(kClusterRootName));
+}
+
+TEST(Attestation, RoguePlatformRejected) {
+  Harness h;
+  h.cas.upload_plan(h.plan(), crypto::Sha256::hash(as_view("replica-code")));
+
+  tee::TeePlatform rogue(0xBAD);  // not registered with the CAS
+  tee::Enclave enclave(rogue, "replica-code", 1);
+  rpc::RpcObject rpc(h.simulator, h.network, kReplica1,
+                     net::NetStackParams::direct_io_native());
+  AttestationClient client(rpc, enclave, nullptr);
+
+  Status result = Status::ok();
+  h.cas.attest_and_provision(kReplica1, kReplica1, true,
+                             [&](Status s, sim::Time) { result = s; });
+  h.simulator.run_all();
+  EXPECT_EQ(result.code(), ErrorCode::kAuthFailed);
+}
+
+TEST(Attestation, NoPlanUploadedFailsFast) {
+  Harness h;
+  Status result = Status::ok();
+  h.cas.attest_and_provision(kReplica1, kReplica1, true,
+                             [&](Status s, sim::Time) { result = s; });
+  EXPECT_EQ(result.code(), ErrorCode::kInternal);
+}
+
+TEST(Attestation, SecretsConfidentialAgainstEavesdropper) {
+  // A Dolev-Yao observer records every packet during provisioning; the
+  // channel keys must not appear anywhere on the wire (DH + sealed bundle).
+  Harness h;
+  h.cas.upload_plan(h.plan(), crypto::Sha256::hash(as_view("replica-code")));
+
+  std::vector<Bytes> wire_capture;
+  h.network.set_adversary([&](const net::Packet& p) {
+    wire_capture.push_back(p.payload);
+    return net::AdversaryAction{};
+  });
+
+  tee::Enclave enclave(h.platform, "replica-code", 1);
+  rpc::RpcObject rpc(h.simulator, h.network, kReplica1,
+                     net::NetStackParams::direct_io_native());
+  AttestationClient client(rpc, enclave, nullptr);
+  Status result = Status::error(ErrorCode::kInternal, "");
+  h.cas.attest_and_provision(kReplica1, kReplica1, true,
+                             [&](Status s, sim::Time) { result = s; });
+  h.simulator.run_all();
+  ASSERT_TRUE(result.is_ok());
+
+  const Bytes& root = h.cas.cluster_root().material;
+  for (const Bytes& captured : wire_capture) {
+    auto it = std::search(captured.begin(), captured.end(), root.begin(), root.end());
+    EXPECT_EQ(it, captured.end()) << "cluster root leaked on the wire";
+  }
+}
+
+TEST(Attestation, CrashedEnclaveTimesOutGracefully) {
+  Harness h;
+  h.cas.upload_plan(h.plan(), crypto::Sha256::hash(as_view("replica-code")));
+  tee::Enclave enclave(h.platform, "replica-code", 1);
+  enclave.crash();
+  rpc::RpcObject rpc(h.simulator, h.network, kReplica1,
+                     net::NetStackParams::direct_io_native());
+  AttestationClient client(rpc, enclave, nullptr);
+  bool called = false;
+  h.cas.attest_and_provision(kReplica1, kReplica1, true,
+                             [&](Status, sim::Time) { called = true; });
+  h.simulator.run_all();
+  // The challenge gets no quote back; no completion fires (the caller would
+  // use its own timeout) and nothing crashes.
+  EXPECT_FALSE(called);
+}
+
+TEST(Attestation, IasPathIsSlowerThanCas) {
+  // Table 4 setup: same flow, WAN parameters vs in-DC parameters.
+  Harness h;
+  h.cas.upload_plan(h.plan(), crypto::Sha256::hash(as_view("replica-code")));
+
+  AuthorityParams ias_params;
+  ias_params.service_time = 2800 * sim::kMillisecond;
+  net::NetStackParams wan = net::NetStackParams::kernel_native();
+  wan.propagation_delay = 40 * sim::kMillisecond;
+  AttestationAuthority ias{h.simulator, h.network, NodeId{1002}, wan, ias_params};
+  ias.register_platform(h.platform);
+  ias.upload_plan(h.plan(), crypto::Sha256::hash(as_view("replica-code")));
+
+  tee::Enclave e1(h.platform, "replica-code", 1);
+  rpc::RpcObject r1(h.simulator, h.network, NodeId{1},
+                    net::NetStackParams::direct_io_native());
+  AttestationClient c1(r1, e1, nullptr);
+  tee::Enclave e2(h.platform, "replica-code", 2);
+  rpc::RpcObject r2(h.simulator, h.network, NodeId{2},
+                    net::NetStackParams::direct_io_native());
+  AttestationClient c2(r2, e2, nullptr);
+
+  sim::Time cas_elapsed = 0, ias_elapsed = 0;
+  h.cas.attest_and_provision(NodeId{1}, NodeId{1}, true,
+                             [&](Status s, sim::Time t) {
+                               ASSERT_TRUE(s.is_ok());
+                               cas_elapsed = t;
+                             });
+  ias.attest_and_provision(NodeId{2}, NodeId{2}, true,
+                           [&](Status s, sim::Time t) {
+                             ASSERT_TRUE(s.is_ok());
+                             ias_elapsed = t;
+                           });
+  h.simulator.run_all();
+  EXPECT_GT(ias_elapsed, cas_elapsed * 10);  // paper: ~18x
+}
+
+}  // namespace
+}  // namespace recipe::attest

@@ -1,0 +1,177 @@
+// Tests for the BFT baselines: PBFT (3f+1, three phases) and Damysus-like
+// (2f+1, two phases, trusted components).
+#include <gtest/gtest.h>
+
+#include "bft/damysus/damysus.h"
+#include "bft/pbft/pbft.h"
+#include "cluster_harness.h"
+
+namespace recipe::bft {
+namespace {
+
+using testing::Cluster;
+
+Cluster<PbftNode>::Config pbft_config(std::size_t n = 4) {
+  Cluster<PbftNode>::Config config;
+  config.num_replicas = n;  // 3f+1 with f=1
+  config.secured = false;   // classical BFT: no TEEs
+  return config;
+}
+
+TEST(Pbft, RequiresFourReplicasForFOne) {
+  Cluster<PbftNode> cluster(pbft_config());
+  cluster.build();
+  EXPECT_EQ(cluster.node(0).f(), 1u);
+  EXPECT_EQ(cluster.node(0).primary(), NodeId{1});
+  EXPECT_TRUE(cluster.node(0).is_coordinator());
+  EXPECT_FALSE(cluster.node(1).is_coordinator());
+}
+
+TEST(Pbft, PutGetThroughThreePhases) {
+  Cluster<PbftNode> cluster(pbft_config());
+  cluster.build();
+  auto& client = cluster.add_client();
+  EXPECT_TRUE(cluster.put(client, NodeId{1}, "k", "v").ok);
+  auto get = cluster.get(client, NodeId{1}, "k");
+  EXPECT_TRUE(get.found);
+  EXPECT_EQ(to_string(as_view(get.value)), "v");
+}
+
+TEST(Pbft, AllReplicasExecuteInOrder) {
+  Cluster<PbftNode> cluster(pbft_config());
+  cluster.build();
+  auto& client = cluster.add_client();
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(cluster.put(client, NodeId{1}, "k", "v" + std::to_string(i)).ok);
+  }
+  cluster.run_for(sim::kSecond);
+  for (std::size_t n = 0; n < cluster.size(); ++n) {
+    EXPECT_EQ(cluster.node(n).executed_upto(), 20u) << "node " << n;
+    EXPECT_EQ(to_string(as_view(cluster.node(n).kv().get("k").value().value)),
+              "v19");
+  }
+}
+
+TEST(Pbft, ToleratesOneNonPrimaryCrash) {
+  Cluster<PbftNode> cluster(pbft_config());
+  cluster.build();
+  auto& client = cluster.add_client();
+  ASSERT_TRUE(cluster.put(client, NodeId{1}, "a", "1").ok);
+  cluster.crash(3);
+  EXPECT_TRUE(cluster.put(client, NodeId{1}, "b", "2").ok);
+  EXPECT_TRUE(cluster.get(client, NodeId{1}, "b").found);
+}
+
+TEST(Pbft, StallsWithTwoCrashesOutOfFour) {
+  // f=1: two failures exceed the fault budget; commits must stop (safety
+  // over liveness).
+  Cluster<PbftNode> cluster(pbft_config());
+  cluster.build();
+  auto& client = cluster.add_client();
+  cluster.crash(2);
+  cluster.crash(3);
+  bool replied_ok = false;
+  client.put(NodeId{1}, "k", to_bytes("v"),
+             [&](const ClientReply& r) { replied_ok = r.ok; });
+  cluster.run_for(3 * sim::kSecond);
+  EXPECT_FALSE(replied_ok);
+}
+
+TEST(Pbft, ViewChangeAfterPrimaryCrash) {
+  Cluster<PbftNode>::Config config = pbft_config();
+  config.heartbeat_period = 20 * sim::kMillisecond;
+  Cluster<PbftNode> cluster(config);
+  cluster.build();
+  auto& client = cluster.add_client();
+  ASSERT_TRUE(cluster.put(client, NodeId{1}, "a", "1").ok);
+
+  cluster.crash(0);  // primary down
+  cluster.run_for(3 * sim::kSecond);
+
+  // The survivors rotated to view 1; node 2 is the new primary.
+  EXPECT_EQ(cluster.node(1).view(), 1u);
+  EXPECT_TRUE(cluster.node(1).is_coordinator());
+  EXPECT_TRUE(cluster.put(client, NodeId{2}, "b", "2").ok);
+}
+
+TEST(Pbft, SevenReplicasForFTwo) {
+  Cluster<PbftNode> cluster(pbft_config(7));
+  cluster.build();
+  EXPECT_EQ(cluster.node(0).f(), 2u);
+  auto& client = cluster.add_client();
+  ASSERT_TRUE(cluster.put(client, NodeId{1}, "k", "v").ok);
+  cluster.crash(5);
+  cluster.crash(6);
+  EXPECT_TRUE(cluster.put(client, NodeId{1}, "k2", "v2").ok);
+}
+
+// --- Damysus ----------------------------------------------------------------
+
+Cluster<DamysusNode>::Config damysus_config() {
+  Cluster<DamysusNode>::Config config;
+  config.num_replicas = 3;  // 2f+1 with f=1 (trusted components)
+  config.secured = true;    // hybrid BFT: runs in TEEs
+  return config;
+}
+
+TEST(Damysus, TwoFPlusOneReplicas) {
+  Cluster<DamysusNode> cluster(damysus_config());
+  cluster.build();
+  EXPECT_EQ(cluster.node(0).f(), 1u);
+  EXPECT_TRUE(cluster.node(0).is_coordinator());
+}
+
+TEST(Damysus, PutGetThroughTwoPhases) {
+  Cluster<DamysusNode> cluster(damysus_config());
+  cluster.build();
+  auto& client = cluster.add_client();
+  EXPECT_TRUE(cluster.put(client, NodeId{1}, "k", "v").ok);
+  auto get = cluster.get(client, NodeId{1}, "k");
+  EXPECT_TRUE(get.found);
+  EXPECT_EQ(to_string(as_view(get.value)), "v");
+}
+
+TEST(Damysus, BatchesAndExecutesEverywhere) {
+  Cluster<DamysusNode> cluster(damysus_config());
+  cluster.build();
+  auto& client = cluster.add_client();
+  int completed = 0;
+  for (int i = 0; i < 50; ++i) {
+    client.put(NodeId{1}, "k" + std::to_string(i % 7), to_bytes("v"),
+               [&](const ClientReply& r) {
+                 if (r.ok) ++completed;
+               });
+  }
+  cluster.run_for(10 * sim::kSecond);
+  EXPECT_EQ(completed, 50);
+  cluster.run_for(sim::kSecond);
+  for (std::size_t n = 0; n < cluster.size(); ++n) {
+    EXPECT_EQ(cluster.node(n).executed_upto(),
+              cluster.node(0).executed_upto());
+  }
+}
+
+TEST(Damysus, ToleratesOneCrashOutOfThree) {
+  Cluster<DamysusNode> cluster(damysus_config());
+  cluster.build();
+  auto& client = cluster.add_client();
+  ASSERT_TRUE(cluster.put(client, NodeId{1}, "a", "1").ok);
+  cluster.crash(2);
+  EXPECT_TRUE(cluster.put(client, NodeId{1}, "b", "2").ok);
+}
+
+TEST(Damysus, LeaderRotationOnSuspicion) {
+  Cluster<DamysusNode>::Config config = damysus_config();
+  config.heartbeat_period = 20 * sim::kMillisecond;
+  Cluster<DamysusNode> cluster(config);
+  cluster.build();
+  auto& client = cluster.add_client();
+  ASSERT_TRUE(cluster.put(client, NodeId{1}, "a", "1").ok);
+  cluster.crash(0);
+  cluster.run_for(2 * sim::kSecond);
+  EXPECT_TRUE(cluster.node(1).is_coordinator());
+  EXPECT_TRUE(cluster.put(client, NodeId{2}, "b", "2").ok);
+}
+
+}  // namespace
+}  // namespace recipe::bft

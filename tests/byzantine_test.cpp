@@ -1,0 +1,324 @@
+// Byzantine-behaviour tests: a Dolev-Yao network adversary and a corrupting
+// host attack the cluster. R- (Recipe) protocols must preserve safety;
+// the same attacks demonstrably corrupt the NATIVE CFT runs — the paper's
+// core motivation (§1, §4.1).
+#include <gtest/gtest.h>
+
+#include "cluster_harness.h"
+#include "protocols/abd/abd.h"
+#include "protocols/raft/raft.h"
+#include "recipe/message.h"
+
+namespace recipe::protocols {
+namespace {
+
+using testing::Cluster;
+
+// RPC wire framing helpers (the adversary sits below the RPC layer):
+// [kind u8][request type u32][rpc id u64][payload bytes].
+struct RpcFrame {
+  std::uint8_t kind;
+  std::uint32_t type;
+  std::uint64_t rpc_id;
+  Bytes payload;
+};
+
+std::optional<RpcFrame> unwrap_rpc(BytesView wire) {
+  Reader r(wire);
+  auto kind = r.u8();
+  auto type = r.u32();
+  auto rpc_id = r.u64();
+  auto payload = r.bytes();
+  if (!kind || !type || !rpc_id || !payload) return std::nullopt;
+  return RpcFrame{*kind, *type, *rpc_id, std::move(*payload)};
+}
+
+Bytes wrap_rpc(const RpcFrame& frame) {
+  Writer w;
+  w.u8(frame.kind);
+  w.u32(frame.type);
+  w.u64(frame.rpc_id);
+  w.bytes(as_view(frame.payload));
+  return std::move(w).take();
+}
+
+// --- Network tampering ----------------------------------------------------------
+
+TEST(Byzantine, TamperedReplicationTrafficDroppedUnderRecipe) {
+  Cluster<AbdNode> cluster;
+  cluster.build();
+  auto& client = cluster.add_client();
+
+  // The adversary flips a byte in every inter-replica packet payload.
+  std::uint64_t tampered = 0;
+  cluster.network().set_adversary([&](const net::Packet& p) {
+    net::AdversaryAction action;
+    if (p.src.value <= 3 && p.dst.value <= 3 && !p.payload.empty()) {
+      action.kind = net::AdversaryAction::Kind::kTamper;
+      action.payload = p.payload;
+      action.payload[action.payload.size() / 2] ^= 0x40;
+      ++tampered;
+    }
+    return action;
+  });
+
+  // With every replica->replica packet corrupted, writes cannot gather a
+  // remote quorum -> the system must refuse (timeout), never accept bad data.
+  bool completed_ok = false;
+  client.put(NodeId{1}, "k", to_bytes("v"),
+             [&](const ClientReply& r) { completed_ok = r.ok; });
+  cluster.run_for(5 * sim::kSecond);
+  EXPECT_GT(tampered, 0u);
+  EXPECT_FALSE(completed_ok);
+
+  // No replica ever stored a corrupted value.
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    auto v = cluster.node(i).kv().get("k");
+    if (v.is_ok()) {
+      EXPECT_EQ(to_string(as_view(v.value().value)), "v");
+    }
+  }
+}
+
+TEST(Byzantine, SelectiveTamperingToleratedByQuorum) {
+  // Adversary corrupts only traffic towards replica 3: the quorum {1,2}
+  // still commits, replica 3 rejects everything corrupted.
+  Cluster<AbdNode> cluster;
+  cluster.build();
+  auto& client = cluster.add_client();
+
+  cluster.network().set_adversary([&](const net::Packet& p) {
+    net::AdversaryAction action;
+    if (p.dst == NodeId{3} && p.src.value <= 3 && !p.payload.empty()) {
+      action.kind = net::AdversaryAction::Kind::kTamper;
+      action.payload = p.payload;
+      action.payload[0] ^= 0xFF;
+    }
+    return action;
+  });
+
+  EXPECT_TRUE(cluster.put(client, NodeId{1}, "k", "v").ok);
+  EXPECT_EQ(to_string(as_view(cluster.get(client, NodeId{2}, "k").value)), "v");
+  EXPECT_FALSE(cluster.node(2).kv().contains("k"));  // everything to 3 was junk
+}
+
+TEST(Byzantine, NativeCftAcceptsTamperedTraffic) {
+  // The same attack against the NATIVE protocol succeeds: followers accept
+  // and store attacker-chosen bytes. This is the vulnerability Recipe fixes.
+  Cluster<AbdNode>::Config config;
+  config.secured = false;
+  Cluster<AbdNode> cluster(config);
+  cluster.build();
+  auto& client = cluster.add_client();
+
+  const Bytes evil = to_bytes("EVIL");
+  cluster.network().set_adversary([&](const net::Packet& p) {
+    net::AdversaryAction action;
+    // Replace the value inside replica->replica PUT payloads; with framing-
+    // only security the receiver cannot tell.
+    if (p.src.value > 3 || p.dst.value > 3) return action;
+    auto frame = unwrap_rpc(as_view(p.payload));
+    if (!frame || frame->type != abd_msg::kPut) return action;
+    auto msg = ShieldedMessage::parse(as_view(frame->payload));
+    if (!msg.is_ok()) return action;
+    Reader r(as_view(msg.value().payload));
+    auto key = r.str();
+    auto value = r.bytes();
+    if (!key || !value || *key != "k" || value->empty()) return action;
+    Writer w;
+    w.str(*key);
+    w.bytes(as_view(evil));
+    auto tail = r.raw(r.remaining());
+    w.raw(as_view(*tail));
+    msg.value().payload = std::move(w).take();
+    frame->payload = msg.value().serialize();
+    action.kind = net::AdversaryAction::Kind::kReplace;
+    action.payload = wrap_rpc(*frame);
+    return action;
+  });
+
+  ASSERT_TRUE(cluster.put(client, NodeId{1}, "k", "honest").ok);
+  // At least one follower stored the attacker's value.
+  bool corrupted = false;
+  for (std::size_t i = 1; i < cluster.size(); ++i) {
+    auto v = cluster.node(i).kv().get("k");
+    if (v.is_ok() && v.value().value == evil) corrupted = true;
+  }
+  EXPECT_TRUE(corrupted) << "native CFT should be corruptible (sanity check "
+                            "that the attack itself works)";
+}
+
+// --- Replay ----------------------------------------------------------------------
+
+TEST(Byzantine, ReplayedPacketsRejectedUnderRecipe) {
+  Cluster<AbdNode> cluster;
+  cluster.build();
+  auto& client = cluster.add_client();
+
+  // Replay every replica-to-replica packet once.
+  cluster.network().set_adversary([](const net::Packet& p) {
+    net::AdversaryAction action;
+    if (p.src.value <= 3 && p.dst.value <= 3) action.injected.push_back(p);
+    return action;
+  });
+
+  ASSERT_TRUE(cluster.put(client, NodeId{1}, "k", "v1").ok);
+  ASSERT_TRUE(cluster.put(client, NodeId{1}, "k", "v2").ok);
+  EXPECT_EQ(to_string(as_view(cluster.get(client, NodeId{2}, "k").value)), "v2");
+
+  // The replicas observed and rejected replays.
+  std::uint64_t replays = 0;
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    auto& sec = dynamic_cast<RecipeSecurity&>(cluster.node(i).security());
+    replays += sec.rejected_replay();
+  }
+  EXPECT_GT(replays, 0u);
+}
+
+TEST(Byzantine, ReplayedClientRequestExecutesExactlyOnce) {
+  Cluster<RaftNode> cluster;
+  RaftOptions raft;
+  raft.initial_leader = NodeId{1};
+  cluster.build(raft);
+  auto& client = cluster.add_client();
+
+  // Replay every client->replica packet 3 times.
+  cluster.network().set_adversary([](const net::Packet& p) {
+    net::AdversaryAction action;
+    if (p.src.value >= 2000 && p.dst.value <= 3) {
+      for (int i = 0; i < 3; ++i) action.injected.push_back(p);
+    }
+    return action;
+  });
+
+  ASSERT_TRUE(cluster.put(client, NodeId{1}, "counter", "1").ok);
+  cluster.run_for(sim::kSecond);
+  // Exactly one commit despite 4 deliveries of the same request.
+  EXPECT_EQ(cluster.node(0).committed_ops(), 1u);
+}
+
+// --- Forgery / impersonation --------------------------------------------------------
+
+TEST(Byzantine, ForgedLeaderMessagesIgnored) {
+  // The adversary injects fabricated "AppendEntries" packets claiming to be
+  // from the leader. Without channel keys the MAC cannot be produced.
+  Cluster<RaftNode> cluster;
+  RaftOptions raft;
+  raft.initial_leader = NodeId{1};
+  cluster.build(raft);
+  auto& client = cluster.add_client();
+  ASSERT_TRUE(cluster.put(client, NodeId{1}, "k", "good").ok);
+
+  ShieldedMessage forged;
+  forged.header.view = ViewId{1};
+  forged.header.cq = directed_channel(NodeId{1}, NodeId{2});
+  forged.header.cnt = 999;
+  forged.header.sender = NodeId{1};
+  forged.header.receiver = NodeId{2};
+  forged.payload = to_bytes("malicious append");
+  forged.mac = Bytes(32, 0xAB);
+
+  // Wrap it like an RPC request of the Raft append type and inject.
+  cluster.network().set_adversary([&](const net::Packet& p) {
+    net::AdversaryAction action;
+    if (p.src.value >= 2000) {  // piggyback on client traffic for timing
+      net::Packet evil;
+      evil.src = NodeId{1};
+      evil.dst = NodeId{2};
+      evil.type = p.type;
+      evil.payload = wrap_rpc(RpcFrame{/*kind=request*/ 1, raft_msg::kAppend,
+                                       424242, forged.serialize()});
+      action.injected.push_back(std::move(evil));
+    }
+    return action;
+  });
+
+  ASSERT_TRUE(cluster.put(client, NodeId{1}, "k2", "alsogood").ok);
+  cluster.run_for(sim::kSecond);
+  auto& follower_security =
+      dynamic_cast<RecipeSecurity&>(cluster.node(1).security());
+  EXPECT_GT(follower_security.rejected_auth(), 0u);
+  // Replicated state is unaffected.
+  EXPECT_EQ(to_string(as_view(cluster.node(1).kv().get("k").value().value)),
+            "good");
+}
+
+TEST(Byzantine, ClientImpersonationRejected) {
+  // A malicious client (with its own valid keys) cannot speak for another
+  // client id: the channel binds the sender identity.
+  Cluster<AbdNode> cluster;
+  cluster.build();
+  auto& mallory = cluster.add_client(2001);
+
+  // Mallory crafts a request claiming client id 2002.
+  ClientRequest forged;
+  forged.client = ClientId{2002};
+  forged.rid = RequestId{1};
+  forged.op = OpType::kPut;
+  forged.key = "victim-key";
+  forged.value = to_bytes("ownage");
+
+  // Encode through Mallory's own channel (the only keys she has).
+  bool replied = false;
+  mallory.put(NodeId{1}, "my-key", to_bytes("fine"),
+              [&](const ClientReply&) { replied = true; });
+  cluster.run_for(sim::kSecond);
+  ASSERT_TRUE(replied);
+
+  // Direct injection: shield with Mallory's key but lie in the payload.
+  auto& sec = cluster.node(0).security();
+  (void)sec;
+  tee::Enclave mallory_enclave(cluster.platform(), "recipe-client", 555);
+  ASSERT_TRUE(mallory_enclave
+                  .install_secret(attest::kClusterRootName, cluster.root())
+                  .is_ok());
+  RecipeSecurity mallory_sec(mallory_enclave, NodeId{2001}, nullptr, nullptr, {});
+  auto wire = mallory_sec.shield(NodeId{1}, ViewId{0},
+                                 as_view(forged.serialize()));
+  ASSERT_TRUE(wire.is_ok());
+
+  rpc::RpcObject injector(cluster.sim(), cluster.network(), NodeId{2001},
+                          net::NetStackParams::direct_io_native());
+  injector.send(NodeId{1}, msg::kClientRequest, wire.value());
+  cluster.run_for(sim::kSecond);
+
+  EXPECT_FALSE(cluster.node(0).kv().contains("victim-key"));
+}
+
+// --- Byzantine host memory ------------------------------------------------------------
+
+TEST(Byzantine, HostMemoryCorruptionDetectedOnLocalRead) {
+  Cluster<AbdNode> cluster;
+  cluster.build();
+  auto& client = cluster.add_client();
+  ASSERT_TRUE(cluster.put(client, NodeId{1}, "k", "v").ok);
+
+  // The Byzantine host of replica 1 scribbles over the stored value.
+  auto ptr = cluster.node(0).kv().host_ptr("k");
+  ASSERT_TRUE(ptr.has_value());
+  ASSERT_TRUE(cluster.node(0).kv().host_arena().corrupt(*ptr).is_ok());
+
+  // Replica 1 detects the violation; the read via another coordinator that
+  // consults the quorum still returns the correct value.
+  EXPECT_EQ(cluster.node(0).kv().get("k").code(),
+            ErrorCode::kIntegrityViolation);
+  auto get = cluster.get(client, NodeId{2}, "k");
+  EXPECT_TRUE(get.found);
+  EXPECT_EQ(to_string(as_view(get.value)), "v");
+}
+
+// --- Crash-only TEEs -----------------------------------------------------------------
+
+TEST(Byzantine, CrashedEnclaveCannotEquivocateOrSend) {
+  Cluster<AbdNode> cluster;
+  cluster.build();
+  cluster.enclave(0).crash();
+  // The node's host may still be up, but nothing shieldable leaves it: a
+  // put coordinated elsewhere succeeds with the remaining majority.
+  auto& client = cluster.add_client();
+  EXPECT_TRUE(cluster.put(client, NodeId{2}, "k", "v").ok);
+  EXPECT_FALSE(cluster.node(0).kv().contains("k"));
+}
+
+}  // namespace
+}  // namespace recipe::protocols

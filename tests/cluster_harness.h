@@ -1,0 +1,159 @@
+// Shared test harness: builds an n-replica cluster of any protocol node type
+// plus attested clients, with secrets pre-provisioned (the CAS flow itself is
+// covered by attest_test and the integration test).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "attest/bundle.h"
+#include "net/network.h"
+#include "recipe/client.h"
+#include "recipe/node_base.h"
+#include "sim/simulator.h"
+#include "tee/enclave.h"
+#include "tee/platform.h"
+
+namespace recipe::testing {
+
+template <typename Node>
+class Cluster {
+ public:
+  struct Config {
+    std::size_t num_replicas = 3;
+    bool secured = true;
+    bool confidentiality = false;
+    sim::Time heartbeat_period = 0;  // 0: no failure detector traffic
+    std::uint64_t seed = 1;
+  };
+
+  explicit Cluster(Config config = {}) : config_(config) {
+    for (std::size_t i = 0; i < config_.num_replicas; ++i) {
+      membership_.push_back(NodeId{i + 1});
+    }
+  }
+
+  // Builds node `i` (id i+1) with extra protocol options forwarded.
+  template <typename... Extra>
+  Node& add_node(std::size_t i, Extra&&... extra) {
+    auto enclave = std::make_unique<tee::Enclave>(
+        platform_, "recipe-replica", membership_[i].value);
+    if (config_.secured) provision(*enclave);
+
+    ReplicaOptions options;
+    options.self = membership_[i];
+    options.membership = membership_;
+    options.secured = config_.secured;
+    options.confidentiality = config_.confidentiality;
+    options.enclave = enclave.get();
+    options.heartbeat_period = config_.heartbeat_period;
+    options.stack = config_.secured ? net::NetStackParams::direct_io_tee()
+                                    : net::NetStackParams::direct_io_native();
+    if (config_.confidentiality) {
+      options.kv_config.value_encryption_key = value_key_;
+    }
+
+    enclaves_.push_back(std::move(enclave));
+    nodes_.push_back(std::make_unique<Node>(simulator_, network_,
+                                            std::move(options),
+                                            std::forward<Extra>(extra)...));
+    return *nodes_.back();
+  }
+
+  template <typename... Extra>
+  void build(Extra&&... extra) {
+    for (std::size_t i = 0; i < config_.num_replicas; ++i) {
+      add_node(i, std::forward<Extra>(extra)...);
+    }
+    for (auto& node : nodes_) node->start();
+  }
+
+  KvClient& add_client(std::uint64_t client_id = 2000) {
+    auto enclave = std::make_unique<tee::Enclave>(platform_, "recipe-client",
+                                                  client_id);
+    if (config_.secured) provision(*enclave);
+    ClientOptions options;
+    options.id = ClientId{client_id};
+    options.secured = config_.secured;
+    options.confidentiality = config_.confidentiality;
+    options.enclave = enclave.get();
+    client_enclaves_.push_back(std::move(enclave));
+    clients_.push_back(
+        std::make_unique<KvClient>(simulator_, network_, options));
+    return *clients_.back();
+  }
+
+  // Crash replica i: machine-level failure (network + enclave).
+  void crash(std::size_t i) { nodes_[i]->stop(); }
+
+  Node& node(std::size_t i) { return *nodes_[i]; }
+  std::size_t size() const { return nodes_.size(); }
+  sim::Simulator& sim() { return simulator_; }
+  net::SimNetwork& network() { return network_; }
+  const std::vector<NodeId>& membership() const { return membership_; }
+  tee::Enclave& enclave(std::size_t i) { return *enclaves_[i]; }
+  const crypto::SymmetricKey& root() const { return root_; }
+  tee::TeePlatform& platform() { return platform_; }
+
+  void run_for(sim::Time duration) { simulator_.run_for(duration); }
+
+  // Convenience synchronous-ish client ops: issue, then run the simulation
+  // until the callback fired (or the deadline passed). Returns the reply.
+  ClientReply put(KvClient& client, NodeId coordinator, const std::string& key,
+                  const std::string& value) {
+    ClientReply out;
+    bool done = false;
+    client.put(coordinator, key, to_bytes(value), [&](const ClientReply& r) {
+      out = r;
+      done = true;
+    });
+    run_until_done(done);
+    return out;
+  }
+
+  ClientReply get(KvClient& client, NodeId coordinator, const std::string& key) {
+    ClientReply out;
+    bool done = false;
+    client.get(coordinator, key, [&](const ClientReply& r) {
+      out = r;
+      done = true;
+    });
+    run_until_done(done);
+    return out;
+  }
+
+  void run_until_done(bool& flag, sim::Time max_wait = 10 * sim::kSecond) {
+    const sim::Time deadline = simulator_.now() + max_wait;
+    while (!flag && simulator_.now() < deadline && !simulator_.idle()) {
+      simulator_.step();
+    }
+  }
+
+ private:
+  void provision(tee::Enclave& enclave) {
+    ASSERT_TRUE_OR_ABORT(
+        enclave.install_secret(attest::kClusterRootName, root_).is_ok());
+    if (config_.confidentiality) {
+      ASSERT_TRUE_OR_ABORT(
+          enclave.install_secret(attest::kValueKeyName, value_key_).is_ok());
+    }
+  }
+  static void ASSERT_TRUE_OR_ABORT(bool ok) {
+    if (!ok) std::abort();
+  }
+
+  Config config_;
+  sim::Simulator simulator_;
+  net::SimNetwork network_{simulator_, Rng(99)};
+  tee::TeePlatform platform_{1};
+  crypto::SymmetricKey root_{Bytes(32, 0x77)};
+  crypto::SymmetricKey value_key_{Bytes(32, 0x44)};
+  std::vector<NodeId> membership_;
+  std::vector<std::unique_ptr<tee::Enclave>> enclaves_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<tee::Enclave>> client_enclaves_;
+  std::vector<std::unique_ptr<KvClient>> clients_;
+};
+
+}  // namespace recipe::testing

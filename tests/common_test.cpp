@@ -1,0 +1,221 @@
+// Unit tests for src/common: bytes/hex, serde codec, Result, RNG, Zipfian,
+// histogram.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/bytes.h"
+#include "common/ids.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/serde.h"
+#include "common/stats.h"
+#include "common/zipf.h"
+
+namespace recipe {
+namespace {
+
+TEST(Bytes, HexRoundTrip) {
+  const Bytes data = {0x00, 0x01, 0xab, 0xff, 0x5a};
+  EXPECT_EQ(to_hex(as_view(data)), "0001abff5a");
+  EXPECT_EQ(from_hex("0001abff5a"), data);
+  EXPECT_EQ(from_hex("0001ABFF5A"), data);
+}
+
+TEST(Bytes, FromHexRejectsMalformed) {
+  EXPECT_TRUE(from_hex("abc").empty());   // odd length
+  EXPECT_TRUE(from_hex("zz").empty());    // non-hex
+  EXPECT_TRUE(from_hex("").empty());
+}
+
+TEST(Bytes, StringRoundTrip) {
+  const Bytes b = to_bytes("hello");
+  EXPECT_EQ(to_string(as_view(b)), "hello");
+}
+
+TEST(Serde, ScalarRoundTrip) {
+  Writer w;
+  w.u8(0xAB);
+  w.u16(0xBEEF);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFULL);
+  w.i64(-42);
+  w.boolean(true);
+  w.str("payload");
+
+  Reader r(as_view(w.buffer()));
+  EXPECT_EQ(r.u8().value(), 0xAB);
+  EXPECT_EQ(r.u16().value(), 0xBEEF);
+  EXPECT_EQ(r.u32().value(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64().value(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(r.i64().value(), -42);
+  EXPECT_TRUE(r.boolean().value());
+  EXPECT_EQ(r.str().value(), "payload");
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Serde, IdRoundTrip) {
+  Writer w;
+  w.id(NodeId{7});
+  w.id(ViewId{3});
+  Reader r(as_view(w.buffer()));
+  EXPECT_EQ(r.id<NodeId>().value(), NodeId{7});
+  EXPECT_EQ(r.id<ViewId>().value(), ViewId{3});
+}
+
+TEST(Serde, TruncationIsDetectedNotUB) {
+  Writer w;
+  w.u64(1);
+  Bytes buf = w.buffer();
+  buf.resize(4);  // truncate mid-integer
+  Reader r(as_view(buf));
+  EXPECT_FALSE(r.u64().has_value());
+}
+
+TEST(Serde, TruncatedBytesLengthPrefix) {
+  Writer w;
+  w.bytes(as_view(to_bytes("abcdef")));
+  Bytes buf = w.buffer();
+  buf.resize(buf.size() - 2);
+  Reader r(as_view(buf));
+  EXPECT_FALSE(r.bytes().has_value());
+}
+
+TEST(Serde, HostileLengthPrefixDoesNotOverread) {
+  Writer w;
+  w.u32(0xFFFFFFFF);  // claims 4GB payload
+  Reader r(as_view(w.buffer()));
+  EXPECT_FALSE(r.bytes().has_value());
+}
+
+TEST(Result, OkAndErrorPaths) {
+  Result<int> ok(42);
+  ASSERT_TRUE(ok.is_ok());
+  EXPECT_EQ(ok.value(), 42);
+  EXPECT_EQ(ok.code(), ErrorCode::kOk);
+
+  Result<int> err(Status::error(ErrorCode::kReplay, "stale"));
+  ASSERT_FALSE(err.is_ok());
+  EXPECT_EQ(err.code(), ErrorCode::kReplay);
+  EXPECT_EQ(err.status().message(), "stale");
+}
+
+TEST(Result, StatusToString) {
+  EXPECT_EQ(Status::ok().to_string(), "OK");
+  EXPECT_EQ(Status::error(ErrorCode::kAuthFailed, "bad mac").to_string(),
+            "AUTH_FAILED: bad mac");
+}
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(123), b(123), c(124);
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a.next();
+    EXPECT_EQ(va, b.next());
+    (void)c.next();
+  }
+  Rng a2(123), c2(124);
+  EXPECT_NE(a2.next(), c2.next());
+}
+
+TEST(Rng, BelowIsInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.range(3, 5));
+  EXPECT_EQ(seen, (std::set<std::uint64_t>{3, 4, 5}));
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(99);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(5);
+  Rng child = parent.fork();
+  EXPECT_NE(parent.next(), child.next());
+}
+
+TEST(Zipf, SkewsTowardsLowItems) {
+  Rng rng(42);
+  ZipfianGenerator zipf(10000, 0.99);
+  std::map<std::uint64_t, int> counts;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) counts[zipf.next(rng)]++;
+
+  // Item 0 must be the most popular and all samples in range.
+  int max_count = 0;
+  std::uint64_t max_item = 0;
+  for (const auto& [item, count] : counts) {
+    EXPECT_LT(item, 10000u);
+    if (count > max_count) {
+      max_count = count;
+      max_item = item;
+    }
+  }
+  EXPECT_EQ(max_item, 0u);
+  // With theta=0.99 over 10k items, the hottest item takes a few % of mass.
+  EXPECT_GT(max_count, kSamples / 100);
+}
+
+TEST(Zipf, UniformThetaZeroIsRoughlyFlat) {
+  Rng rng(42);
+  ZipfianGenerator zipf(10, 0.01);
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < 100000; ++i) counts[zipf.next(rng)]++;
+  EXPECT_EQ(counts.size(), 10u);
+}
+
+TEST(Histogram, BasicStats) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.record(v);
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), 1000u);
+  EXPECT_NEAR(h.mean(), 500.5, 0.01);
+  // Log-bucketing gives ~6% error at this magnitude.
+  EXPECT_NEAR(static_cast<double>(h.percentile(0.5)), 500.0, 40.0);
+  EXPECT_NEAR(static_cast<double>(h.percentile(0.99)), 990.0, 70.0);
+}
+
+TEST(Histogram, MergeAccumulates) {
+  Histogram a, b;
+  a.record(10);
+  b.record(20);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 10u);
+  EXPECT_EQ(a.max(), 20u);
+}
+
+TEST(Histogram, EmptyIsSafe) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.percentile(0.5), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+}
+
+TEST(StrongIds, DistinctTypesAndHashable) {
+  NodeId n{1};
+  ClientId c{1};
+  EXPECT_EQ(n, NodeId{1});
+  EXPECT_NE(n, NodeId{2});
+  std::set<NodeId> s{NodeId{1}, NodeId{2}, NodeId{1}};
+  EXPECT_EQ(s.size(), 2u);
+  (void)c;
+}
+
+}  // namespace
+}  // namespace recipe

@@ -1,0 +1,189 @@
+// Protocol tests for (R-)Chain Replication: head->tail propagation, tail
+// local reads, in-order application, chain repair after crashes.
+#include <gtest/gtest.h>
+
+#include "cluster_harness.h"
+#include "protocols/cr/cr.h"
+
+namespace recipe::protocols {
+namespace {
+
+using testing::Cluster;
+
+Cluster<ChainNode>::Config with_fd() {
+  Cluster<ChainNode>::Config config;
+  config.heartbeat_period = 20 * sim::kMillisecond;  // repair needs detection
+  return config;
+}
+
+TEST(ChainReplication, WriteAtHeadReadAtTail) {
+  Cluster<ChainNode> cluster;
+  cluster.build();
+  auto& client = cluster.add_client();
+  EXPECT_TRUE(cluster.put(client, NodeId{1}, "k", "v").ok);   // head
+  auto get = cluster.get(client, NodeId{3}, "k");             // tail
+  EXPECT_TRUE(get.found);
+  EXPECT_EQ(to_string(as_view(get.value)), "v");
+}
+
+TEST(ChainReplication, RolesAreChainPositions) {
+  Cluster<ChainNode> cluster;
+  cluster.build();
+  EXPECT_TRUE(cluster.node(0).is_head());
+  EXPECT_FALSE(cluster.node(0).is_tail());
+  EXPECT_FALSE(cluster.node(1).is_head());
+  EXPECT_FALSE(cluster.node(1).is_tail());
+  EXPECT_TRUE(cluster.node(2).is_tail());
+  EXPECT_TRUE(cluster.node(0).is_coordinator());   // PUT coordinator
+  EXPECT_TRUE(cluster.node(2).is_coordinator());   // GET coordinator
+  EXPECT_FALSE(cluster.node(1).is_coordinator());
+  EXPECT_TRUE(cluster.node(2).serves_local_reads());
+}
+
+TEST(ChainReplication, MiddleNodeRejectsClients) {
+  Cluster<ChainNode> cluster;
+  cluster.build();
+  auto& client = cluster.add_client();
+  EXPECT_FALSE(cluster.put(client, NodeId{2}, "k", "v").ok);
+  EXPECT_FALSE(cluster.get(client, NodeId{2}, "k").ok);
+  // Writes at tail / reads at head are also refused.
+  EXPECT_FALSE(cluster.put(client, NodeId{3}, "k", "v").ok);
+  EXPECT_FALSE(cluster.get(client, NodeId{1}, "k").ok);
+}
+
+TEST(ChainReplication, AckOnlyAfterFullChain) {
+  // When the client's PUT completes, EVERY node must already store the value
+  // (the CR guarantee that makes tail reads linearizable).
+  Cluster<ChainNode> cluster;
+  cluster.build();
+  auto& client = cluster.add_client();
+  ASSERT_TRUE(cluster.put(client, NodeId{1}, "k", "v").ok);
+  for (std::size_t n = 0; n < cluster.size(); ++n) {
+    EXPECT_TRUE(cluster.node(n).kv().contains("k")) << "node " << n;
+  }
+}
+
+TEST(ChainReplication, WritesApplyInOrderEverywhere) {
+  Cluster<ChainNode> cluster;
+  cluster.build();
+  auto& client = cluster.add_client();
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(cluster.put(client, NodeId{1}, "k", "v" + std::to_string(i)).ok);
+  }
+  for (std::size_t n = 0; n < cluster.size(); ++n) {
+    EXPECT_EQ(to_string(as_view(cluster.node(n).kv().get("k").value().value)),
+              "v29");
+  }
+}
+
+TEST(ChainReplication, PipelinedWritesAllComplete) {
+  Cluster<ChainNode> cluster;
+  cluster.build();
+  auto& client = cluster.add_client();
+  int completed = 0;
+  for (int i = 0; i < 100; ++i) {
+    client.put(NodeId{1}, "k" + std::to_string(i % 9), to_bytes("v"),
+               [&](const ClientReply& r) {
+                 if (r.ok) ++completed;
+               });
+  }
+  cluster.run_for(10 * sim::kSecond);
+  EXPECT_EQ(completed, 100);
+}
+
+TEST(ChainReplication, TailCrashRepairsChain) {
+  Cluster<ChainNode> cluster(with_fd());
+  cluster.build();
+  auto& client = cluster.add_client();
+  ASSERT_TRUE(cluster.put(client, NodeId{1}, "k", "v1").ok);
+
+  cluster.crash(2);  // tail down
+  cluster.run_for(2 * sim::kSecond);  // detection + repair
+
+  // Node 2 is the new tail; reads and writes keep working.
+  EXPECT_TRUE(cluster.node(1).is_tail());
+  EXPECT_TRUE(cluster.put(client, NodeId{1}, "k", "v2").ok);
+  auto get = cluster.get(client, NodeId{2}, "k");
+  EXPECT_TRUE(get.found);
+  EXPECT_EQ(to_string(as_view(get.value)), "v2");
+}
+
+TEST(ChainReplication, MiddleCrashRepairsChain) {
+  Cluster<ChainNode> cluster(with_fd());
+  cluster.build();
+  auto& client = cluster.add_client();
+  ASSERT_TRUE(cluster.put(client, NodeId{1}, "a", "1").ok);
+
+  cluster.crash(1);  // middle down
+  cluster.run_for(2 * sim::kSecond);
+
+  EXPECT_TRUE(cluster.put(client, NodeId{1}, "b", "2").ok);
+  auto get = cluster.get(client, NodeId{3}, "b");
+  EXPECT_TRUE(get.found);
+  // Both survivors hold both keys.
+  EXPECT_TRUE(cluster.node(0).kv().contains("a"));
+  EXPECT_TRUE(cluster.node(0).kv().contains("b"));
+  EXPECT_TRUE(cluster.node(2).kv().contains("a"));
+  EXPECT_TRUE(cluster.node(2).kv().contains("b"));
+}
+
+TEST(ChainReplication, HeadCrashPromotesSuccessor) {
+  Cluster<ChainNode> cluster(with_fd());
+  cluster.build();
+  auto& client = cluster.add_client();
+  ASSERT_TRUE(cluster.put(client, NodeId{1}, "k", "v1").ok);
+
+  cluster.crash(0);  // head down
+  cluster.run_for(2 * sim::kSecond);
+
+  EXPECT_TRUE(cluster.node(1).is_head());
+  EXPECT_TRUE(cluster.put(client, NodeId{2}, "k", "v2").ok);
+  EXPECT_EQ(to_string(as_view(cluster.get(client, NodeId{3}, "k").value)), "v2");
+}
+
+TEST(ChainReplication, InFlightWriteSurvivesTailCrash) {
+  // A write acknowledged by nobody yet must still complete after the tail
+  // dies mid-propagation (head re-propagates unacked updates).
+  Cluster<ChainNode> cluster(with_fd());
+  cluster.build();
+  auto& client = cluster.add_client();
+
+  bool done = false;
+  bool ok = false;
+  client.put(NodeId{1}, "k", to_bytes("v"), [&](const ClientReply& r) {
+    done = true;
+    ok = r.ok;
+  });
+  cluster.crash(2);  // tail dies immediately, before it can ack
+  cluster.run_for(5 * sim::kSecond);
+  EXPECT_TRUE(done);
+  EXPECT_TRUE(ok);
+  EXPECT_TRUE(cluster.node(0).kv().contains("k"));
+  EXPECT_TRUE(cluster.node(1).kv().contains("k"));
+}
+
+TEST(ChainReplication, FiveNodeChain) {
+  Cluster<ChainNode>::Config config;
+  config.num_replicas = 5;
+  Cluster<ChainNode> cluster(config);
+  cluster.build();
+  auto& client = cluster.add_client();
+  ASSERT_TRUE(cluster.put(client, NodeId{1}, "k", "v").ok);
+  EXPECT_EQ(to_string(as_view(cluster.get(client, NodeId{5}, "k").value)), "v");
+  for (std::size_t n = 0; n < 5; ++n) {
+    EXPECT_TRUE(cluster.node(n).kv().contains("k"));
+  }
+}
+
+TEST(ChainReplication, NativeMode) {
+  Cluster<ChainNode>::Config config;
+  config.secured = false;
+  Cluster<ChainNode> cluster(config);
+  cluster.build();
+  auto& client = cluster.add_client();
+  ASSERT_TRUE(cluster.put(client, NodeId{1}, "k", "v").ok);
+  EXPECT_EQ(to_string(as_view(cluster.get(client, NodeId{3}, "k").value)), "v");
+}
+
+}  // namespace
+}  // namespace recipe::protocols

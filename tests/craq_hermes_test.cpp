@@ -1,0 +1,209 @@
+// Tests for the two extension protocols: CRAQ (apportioned queries) and
+// Hermes (broadcast invalidations with local reads everywhere).
+#include <gtest/gtest.h>
+
+#include "cluster_harness.h"
+#include "protocols/craq/craq.h"
+#include "protocols/hermes/hermes.h"
+
+namespace recipe::protocols {
+namespace {
+
+using testing::Cluster;
+
+// --- CRAQ -------------------------------------------------------------------
+
+TEST(Craq, WriteAtHeadReadAnywhere) {
+  Cluster<CraqNode> cluster;
+  cluster.build();
+  auto& client = cluster.add_client();
+  ASSERT_TRUE(cluster.put(client, NodeId{1}, "k", "v").ok);
+  // Every node serves the read (not just the tail, unlike plain CR).
+  for (std::uint64_t n = 1; n <= 3; ++n) {
+    auto get = cluster.get(client, NodeId{n}, "k");
+    EXPECT_TRUE(get.found) << "node " << n;
+    EXPECT_EQ(to_string(as_view(get.value)), "v");
+  }
+}
+
+TEST(Craq, CleanKeysServeLocally) {
+  Cluster<CraqNode> cluster;
+  cluster.build();
+  auto& client = cluster.add_client();
+  ASSERT_TRUE(cluster.put(client, NodeId{1}, "k", "v").ok);
+  cluster.run_for(sim::kSecond);  // commit wave travels up the chain
+  // All versions clean: reads at the middle node must NOT hit the tail.
+  const auto before = cluster.node(1).apportioned_reads();
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(cluster.get(client, NodeId{2}, "k").found);
+  }
+  EXPECT_EQ(cluster.node(1).apportioned_reads(), before);
+  EXPECT_GE(cluster.node(1).local_reads(), 5u);
+}
+
+TEST(Craq, DirtyStateClearsAfterCommitWave) {
+  Cluster<CraqNode> cluster;
+  cluster.build();
+  auto& client = cluster.add_client();
+  ASSERT_TRUE(cluster.put(client, NodeId{1}, "k", "v").ok);
+  cluster.run_for(sim::kSecond);
+  for (std::size_t n = 0; n < cluster.size(); ++n) {
+    EXPECT_FALSE(cluster.node(n).is_dirty("k")) << "node " << n;
+  }
+}
+
+TEST(Craq, DirtyReadsAreApportionedToTail) {
+  // Freeze the commit wave by partitioning the tail from the middle node
+  // AFTER the update flows down: middle stays dirty, its reads go to tail.
+  Cluster<CraqNode> cluster;
+  cluster.build();
+  auto& client = cluster.add_client();
+  ASSERT_TRUE(cluster.put(client, NodeId{1}, "warm", "v").ok);
+  cluster.run_for(sim::kSecond);
+
+  // Issue a write and immediately read at the middle node while dirty.
+  bool write_done = false;
+  client.put(NodeId{1}, "hot", to_bytes("v2"),
+             [&](const ClientReply&) { write_done = true; });
+  // Run just enough for the update to reach node 2 but (likely) not the
+  // full commit wave; then read at node 2.
+  cluster.run_for(50 * sim::kMicrosecond);
+  auto get = cluster.get(client, NodeId{2}, "hot");
+  cluster.run_for(sim::kSecond);
+  EXPECT_TRUE(write_done);
+  // Whether it was served locally or apportioned, it must be consistent.
+  if (get.found) {
+    EXPECT_EQ(to_string(as_view(get.value)), "v2");
+  }
+}
+
+TEST(Craq, SequentialWritesConverge) {
+  Cluster<CraqNode> cluster;
+  cluster.build();
+  auto& client = cluster.add_client();
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(cluster.put(client, NodeId{1}, "k", "v" + std::to_string(i)).ok);
+  }
+  cluster.run_for(sim::kSecond);
+  for (std::size_t n = 0; n < cluster.size(); ++n) {
+    EXPECT_EQ(to_string(as_view(cluster.node(n).kv().get("k").value().value)),
+              "v19");
+    EXPECT_FALSE(cluster.node(n).is_dirty("k"));
+  }
+}
+
+TEST(Craq, NativeMode) {
+  Cluster<CraqNode>::Config config;
+  config.secured = false;
+  Cluster<CraqNode> cluster(config);
+  cluster.build();
+  auto& client = cluster.add_client();
+  ASSERT_TRUE(cluster.put(client, NodeId{1}, "k", "v").ok);
+  EXPECT_EQ(to_string(as_view(cluster.get(client, NodeId{2}, "k").value)), "v");
+}
+
+// --- Hermes ----------------------------------------------------------------
+
+TEST(Hermes, WriteThenLocalReadEverywhere) {
+  Cluster<HermesNode> cluster;
+  cluster.build();
+  auto& client = cluster.add_client();
+  ASSERT_TRUE(cluster.put(client, NodeId{2}, "k", "v").ok);
+  cluster.run_for(sim::kSecond);  // VALs propagate
+  for (std::uint64_t n = 1; n <= 3; ++n) {
+    auto get = cluster.get(client, NodeId{n}, "k");
+    EXPECT_TRUE(get.found) << "node " << n;
+    EXPECT_EQ(to_string(as_view(get.value)), "v");
+    EXPECT_FALSE(cluster.node(n - 1).is_invalid("k"));
+  }
+}
+
+TEST(Hermes, WriteReachesAllReplicasBeforeCommit) {
+  Cluster<HermesNode> cluster;
+  cluster.build();
+  auto& client = cluster.add_client();
+  ASSERT_TRUE(cluster.put(client, NodeId{1}, "k", "v").ok);
+  // The moment the client reply fires, every replica must hold the value.
+  for (std::size_t n = 0; n < cluster.size(); ++n) {
+    EXPECT_TRUE(cluster.node(n).kv().contains("k")) << "node " << n;
+  }
+}
+
+TEST(Hermes, ConcurrentWritersResolveByTimestamp) {
+  Cluster<HermesNode> cluster;
+  cluster.build();
+  auto& c1 = cluster.add_client(2001);
+  auto& c2 = cluster.add_client(2002);
+  int done = 0;
+  c1.put(NodeId{1}, "k", to_bytes("w1"), [&](const ClientReply&) { ++done; });
+  c2.put(NodeId{3}, "k", to_bytes("w3"), [&](const ClientReply&) { ++done; });
+  cluster.run_for(5 * sim::kSecond);
+  ASSERT_EQ(done, 2);
+  const Bytes v0 = cluster.node(0).kv().get("k").value().value;
+  for (std::size_t n = 1; n < cluster.size(); ++n) {
+    EXPECT_EQ(cluster.node(n).kv().get("k").value().value, v0);
+  }
+}
+
+TEST(Hermes, ReadsStallDuringInvalidationThenComplete) {
+  Cluster<HermesNode> cluster;
+  cluster.build();
+  auto& client = cluster.add_client();
+  ASSERT_TRUE(cluster.put(client, NodeId{1}, "k", "v1").ok);
+  cluster.run_for(sim::kSecond);
+
+  // Start a write and read the same key at another node while INV is live.
+  auto& c2 = cluster.add_client(2002);
+  bool write_done = false, read_done = false;
+  Bytes read_value;
+  client.put(NodeId{1}, "k", to_bytes("v2"),
+             [&](const ClientReply&) { write_done = true; });
+  cluster.run_for(20 * sim::kMicrosecond);  // INV likely arrived at node 2
+  c2.get(NodeId{2}, "k", [&](const ClientReply& r) {
+    read_done = true;
+    read_value = r.value;
+  });
+  cluster.run_for(2 * sim::kSecond);
+  EXPECT_TRUE(write_done);
+  EXPECT_TRUE(read_done);
+  // Linearizability: the read (concurrent or after) may only return v2 once
+  // it stalls past the invalidation; v1 would be a stale read after commit.
+  EXPECT_EQ(to_string(as_view(read_value)), "v2");
+}
+
+TEST(Hermes, ManyWritersManyKeysConverge) {
+  Cluster<HermesNode> cluster;
+  cluster.build();
+  auto& c1 = cluster.add_client(2001);
+  auto& c2 = cluster.add_client(2002);
+  int done = 0;
+  for (int i = 0; i < 30; ++i) {
+    auto& client = (i % 2) ? c1 : c2;
+    const NodeId coord{static_cast<std::uint64_t>(i % 3) + 1};
+    client.put(coord, "k" + std::to_string(i % 4),
+               to_bytes("v" + std::to_string(i)),
+               [&](const ClientReply&) { ++done; });
+  }
+  cluster.run_for(10 * sim::kSecond);
+  ASSERT_EQ(done, 30);
+  for (int k = 0; k < 4; ++k) {
+    const std::string key = "k" + std::to_string(k);
+    const Bytes v0 = cluster.node(0).kv().get(key).value().value;
+    for (std::size_t n = 1; n < cluster.size(); ++n) {
+      EXPECT_EQ(cluster.node(n).kv().get(key).value().value, v0);
+    }
+  }
+}
+
+TEST(Hermes, NativeMode) {
+  Cluster<HermesNode>::Config config;
+  config.secured = false;
+  Cluster<HermesNode> cluster(config);
+  cluster.build();
+  auto& client = cluster.add_client();
+  ASSERT_TRUE(cluster.put(client, NodeId{1}, "k", "v").ok);
+  EXPECT_EQ(to_string(as_view(cluster.get(client, NodeId{2}, "k").value)), "v");
+}
+
+}  // namespace
+}  // namespace recipe::protocols

@@ -1,0 +1,263 @@
+// Crypto validation: NIST/RFC test vectors for SHA-256, HMAC-SHA-256, HKDF
+// and ChaCha20, plus DH agreement and DRBG determinism.
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "crypto/chacha20.h"
+#include "crypto/dh.h"
+#include "crypto/drbg.h"
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+
+namespace recipe::crypto {
+namespace {
+
+std::string hex_of(const Sha256Digest& d) {
+  return to_hex(BytesView(d.data(), d.size()));
+}
+
+// --- SHA-256 (FIPS 180-4 / NIST CAVP vectors) ------------------------------
+
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(hex_of(Sha256::hash(BytesView{})),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(hex_of(Sha256::hash(as_view("abc"))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(
+      hex_of(Sha256::hash(as_view(
+          "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  const Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(as_view(chunk));
+  EXPECT_EQ(hex_of(h.finalize()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  const Bytes data = to_bytes("The quick brown fox jumps over the lazy dog");
+  Sha256 h;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    h.update(BytesView(&data[i], 1));
+  }
+  EXPECT_EQ(h.finalize(), Sha256::hash(as_view(data)));
+}
+
+TEST(Sha256, Hash2EqualsConcatenation) {
+  const Bytes a = to_bytes("hello ");
+  const Bytes b = to_bytes("world");
+  Bytes ab = a;
+  append(ab, as_view(b));
+  EXPECT_EQ(Sha256::hash2(as_view(a), as_view(b)), Sha256::hash(as_view(ab)));
+}
+
+TEST(Sha256, ReusableAfterFinalize) {
+  Sha256 h;
+  h.update(as_view("abc"));
+  (void)h.finalize();
+  h.update(as_view("abc"));
+  EXPECT_EQ(hex_of(h.finalize()),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+// --- HMAC-SHA-256 (RFC 4231 vectors) ---------------------------------------
+
+TEST(Hmac, Rfc4231Case1) {
+  const Bytes key(20, 0x0b);
+  const Mac mac = hmac_sha256(as_view(key), as_view("Hi There"));
+  EXPECT_EQ(to_hex(BytesView(mac.data(), mac.size())),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(Hmac, Rfc4231Case2) {
+  const Mac mac = hmac_sha256(as_view("Jefe"),
+                              as_view("what do ya want for nothing?"));
+  EXPECT_EQ(to_hex(BytesView(mac.data(), mac.size())),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Hmac, Rfc4231Case3) {
+  const Bytes key(20, 0xaa);
+  const Bytes data(50, 0xdd);
+  const Mac mac = hmac_sha256(as_view(key), as_view(data));
+  EXPECT_EQ(to_hex(BytesView(mac.data(), mac.size())),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(Hmac, Rfc4231Case6LongKey) {
+  const Bytes key(131, 0xaa);
+  const Mac mac = hmac_sha256(
+      as_view(key), as_view("Test Using Larger Than Block-Size Key - Hash Key First"));
+  EXPECT_EQ(to_hex(BytesView(mac.data(), mac.size())),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Hmac, TwoPartEqualsConcatenated) {
+  const Bytes key = to_bytes("key");
+  const Mac a = hmac_sha256_2(as_view(key), as_view("foo"), as_view("bar"));
+  const Mac b = hmac_sha256(as_view(key), as_view("foobar"));
+  EXPECT_EQ(a, b);
+}
+
+TEST(Hmac, VerifyAcceptsAndRejects) {
+  const Bytes key = to_bytes("secret");
+  const Mac mac = hmac_sha256(as_view(key), as_view("message"));
+  EXPECT_TRUE(hmac_verify(as_view(key), as_view("message"),
+                          BytesView(mac.data(), mac.size())));
+  EXPECT_FALSE(hmac_verify(as_view(key), as_view("Message"),
+                           BytesView(mac.data(), mac.size())));
+  const Bytes wrong_key = to_bytes("Secret");
+  EXPECT_FALSE(hmac_verify(as_view(wrong_key), as_view("message"),
+                           BytesView(mac.data(), mac.size())));
+}
+
+TEST(ConstantTimeEqual, Basics) {
+  const Bytes a = to_bytes("aaaa");
+  const Bytes b = to_bytes("aaab");
+  EXPECT_TRUE(constant_time_equal(as_view(a), as_view(a)));
+  EXPECT_FALSE(constant_time_equal(as_view(a), as_view(b)));
+  EXPECT_FALSE(constant_time_equal(as_view(a), as_view(to_bytes("aaa"))));
+}
+
+// --- HKDF (RFC 5869 test vectors) ------------------------------------------
+
+TEST(Hkdf, Rfc5869Case1) {
+  const Bytes ikm(22, 0x0b);
+  const Bytes salt = from_hex("000102030405060708090a0b0c");
+  const Bytes info = from_hex("f0f1f2f3f4f5f6f7f8f9");
+  const Bytes okm = hkdf_sha256(as_view(ikm), as_view(salt), as_view(info), 42);
+  EXPECT_EQ(to_hex(as_view(okm)),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865");
+}
+
+TEST(Hkdf, Rfc5869Case3EmptySaltInfo) {
+  const Bytes ikm(22, 0x0b);
+  const Bytes okm = hkdf_sha256(as_view(ikm), BytesView{}, BytesView{}, 42);
+  EXPECT_EQ(to_hex(as_view(okm)),
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d"
+            "9d201395faa4b61a96c8");
+}
+
+TEST(Hkdf, OutputLengthRespected) {
+  for (std::size_t n : {1u, 16u, 32u, 33u, 64u, 100u}) {
+    EXPECT_EQ(hkdf_sha256(as_view("ikm"), BytesView{}, BytesView{}, n).size(), n);
+  }
+}
+
+// --- ChaCha20 (RFC 8439 §2.4.2 vector) --------------------------------------
+
+TEST(ChaCha20, Rfc8439Vector) {
+  const Bytes key = from_hex(
+      "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+  ChaChaNonce nonce{};
+  const Bytes nonce_bytes = from_hex("000000000000004a00000000");
+  std::copy(nonce_bytes.begin(), nonce_bytes.end(), nonce.begin());
+  const char* plaintext =
+      "Ladies and Gentlemen of the class of '99: If I could offer you only "
+      "one tip for the future, sunscreen would be it.";
+  const Bytes out = chacha20(as_view(key), nonce, 1, as_view(plaintext));
+  EXPECT_EQ(to_hex(as_view(out)),
+            "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b"
+            "f91b65c5524733ab8f593dabcd62b3571639d624e65152ab8f530c359f0861d8"
+            "07ca0dbf500d6a6156a38e088a22b65e52bc514d16ccf806818ce91ab7793736"
+            "5af90bbf74a35be6b40b8eedf2785e42874d");
+}
+
+TEST(ChaCha20, RoundTrip) {
+  const Bytes key(32, 0x42);
+  const auto nonce = make_nonce(7, 99);
+  const Bytes plaintext = to_bytes("attack at dawn");
+  Bytes data = plaintext;
+  chacha20_xor(as_view(key), nonce, 0, data);
+  EXPECT_NE(data, plaintext);
+  chacha20_xor(as_view(key), nonce, 0, data);
+  EXPECT_EQ(data, plaintext);
+}
+
+TEST(ChaCha20, DistinctNoncesDistinctStreams) {
+  const Bytes key(32, 0x42);
+  const Bytes zeros(64, 0);
+  const Bytes s1 = chacha20(as_view(key), make_nonce(1, 1), 0, as_view(zeros));
+  const Bytes s2 = chacha20(as_view(key), make_nonce(1, 2), 0, as_view(zeros));
+  EXPECT_NE(s1, s2);
+}
+
+// --- Diffie-Hellman -----------------------------------------------------------
+
+TEST(DiffieHellman, AgreementMatches) {
+  Rng rng(11);
+  const DhKeyPair alice = DiffieHellman::generate(rng);
+  const DhKeyPair bob = DiffieHellman::generate(rng);
+  const auto ka = DiffieHellman::shared_key(alice.private_exponent,
+                                            bob.public_value, as_view("ctx"));
+  const auto kb = DiffieHellman::shared_key(bob.private_exponent,
+                                            alice.public_value, as_view("ctx"));
+  EXPECT_EQ(ka.material, kb.material);
+  EXPECT_EQ(ka.material.size(), kSymmetricKeySize);
+}
+
+TEST(DiffieHellman, ContextSeparatesKeys) {
+  Rng rng(11);
+  const DhKeyPair alice = DiffieHellman::generate(rng);
+  const DhKeyPair bob = DiffieHellman::generate(rng);
+  const auto k1 = DiffieHellman::shared_key(alice.private_exponent,
+                                            bob.public_value, as_view("ctx1"));
+  const auto k2 = DiffieHellman::shared_key(alice.private_exponent,
+                                            bob.public_value, as_view("ctx2"));
+  EXPECT_NE(k1.material, k2.material);
+}
+
+TEST(DiffieHellman, EavesdropperKeyDiffers) {
+  Rng rng(11);
+  const DhKeyPair alice = DiffieHellman::generate(rng);
+  const DhKeyPair bob = DiffieHellman::generate(rng);
+  const DhKeyPair eve = DiffieHellman::generate(rng);
+  const auto kab = DiffieHellman::shared_key(alice.private_exponent,
+                                             bob.public_value, as_view("ctx"));
+  const auto keb = DiffieHellman::shared_key(eve.private_exponent,
+                                             bob.public_value, as_view("ctx"));
+  EXPECT_NE(kab.material, keb.material);
+}
+
+TEST(DiffieHellman, ModexpKnownValues) {
+  EXPECT_EQ(DiffieHellman::modexp(2, 10, 1000000007ULL), 1024u);
+  EXPECT_EQ(DiffieHellman::modexp(3, 0, 97), 1u);
+  // Fermat: a^(p-1) = 1 mod p for prime p.
+  EXPECT_EQ(DiffieHellman::modexp(12345, DiffieHellman::kPrime - 1,
+                                  DiffieHellman::kPrime),
+            1u);
+}
+
+// --- DRBG ---------------------------------------------------------------------
+
+TEST(Drbg, DeterministicPerSeed) {
+  Drbg a(as_view("seed-1"));
+  Drbg b(as_view("seed-1"));
+  Drbg c(as_view("seed-2"));
+  EXPECT_EQ(a.generate(64), b.generate(64));
+  EXPECT_NE(Drbg(as_view("seed-1")).generate(64), c.generate(64));
+}
+
+TEST(Drbg, SuccessiveOutputsDiffer) {
+  Drbg d(as_view("seed"));
+  EXPECT_NE(d.generate(32), d.generate(32));
+  EXPECT_NE(d.generate_u64(), d.generate_u64());
+}
+
+TEST(Drbg, GenerateKeyHasCorrectSize) {
+  Drbg d(as_view("seed"));
+  EXPECT_EQ(d.generate_key().material.size(), kSymmetricKeySize);
+}
+
+}  // namespace
+}  // namespace recipe::crypto

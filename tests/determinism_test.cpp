@@ -1,0 +1,153 @@
+// Determinism and election-safety property sweeps.
+//
+// Determinism: the whole stack (simulator, network, protocols, crypto) must
+// be bit-for-bit reproducible per seed — this is what makes every benchmark
+// figure in bench_output.txt stable and every test non-flaky.
+//
+// Election safety (Raft): across randomized crash/partition schedules there
+// is never more than one leader per term, and terms only grow.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "cluster_harness.h"
+#include "protocols/abd/abd.h"
+#include "protocols/raft/raft.h"
+#include "workload/testbed.h"
+
+namespace recipe {
+namespace {
+
+using testing::Cluster;
+
+// --- Determinism ---------------------------------------------------------------
+
+workload::RunResult run_once(std::uint64_t seed) {
+  workload::TestbedConfig config;
+  config.num_replicas = 3;
+  config.num_clients = 4;
+  config.workload.num_keys = 200;
+  config.workload.read_fraction = 0.7;
+  config.workload.value_size = 128;
+  config.workload.seed = seed;
+  config.seed = seed;
+  config.window = 30 * sim::kMillisecond;
+  config.warmup = 10 * sim::kMillisecond;
+  workload::Testbed<protocols::AbdNode> testbed(config);
+  testbed.build();
+  testbed.preload();
+  return testbed.run(testbed.route_round_robin());
+}
+
+TEST(Determinism, IdenticalSeedsIdenticalResults) {
+  const auto a = run_once(1234);
+  const auto b = run_once(1234);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.failed, b.failed);
+  EXPECT_DOUBLE_EQ(a.ops_per_sec, b.ops_per_sec);
+  EXPECT_EQ(a.latency_us.percentile(0.5), b.latency_us.percentile(0.5));
+  EXPECT_EQ(a.latency_us.max(), b.latency_us.max());
+}
+
+TEST(Determinism, DifferentSeedsDifferentSchedules) {
+  const auto a = run_once(1);
+  const auto b = run_once(2);
+  // Same workload shape, different interleavings: counts will differ.
+  EXPECT_NE(a.completed, b.completed);
+}
+
+TEST(Determinism, FaultScheduleReproducible) {
+  auto run_with_faults = [](std::uint64_t seed) {
+    Cluster<protocols::AbdNode>::Config config;
+    config.seed = seed;
+    Cluster<protocols::AbdNode> cluster(config);
+    cluster.build();
+    net::NetworkFaults faults;
+    faults.drop_rate = 0.2;
+    faults.jitter_max = 100 * sim::kMicrosecond;
+    faults.gst = 10 * sim::kSecond;
+    cluster.network().set_faults(faults);
+    auto& client = cluster.add_client();
+    std::uint64_t acks = 0;
+    for (int i = 0; i < 20; ++i) {
+      if (cluster.put(client, NodeId{1 + static_cast<std::uint64_t>(i) % 3},
+                      "k" + std::to_string(i % 5), "v" + std::to_string(i))
+              .ok) {
+        ++acks;
+      }
+    }
+    return std::make_pair(acks, cluster.network().packets_dropped());
+  };
+  EXPECT_EQ(run_with_faults(77), run_with_faults(77));
+}
+
+// --- Raft election safety ------------------------------------------------------
+
+class ElectionSafety : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ElectionSafety, AtMostOneLeaderPerTermUnderChaos) {
+  Cluster<protocols::RaftNode> cluster;
+  protocols::RaftOptions raft;
+  raft.seed = GetParam();
+  cluster.build(raft);  // no initial leader: contested elections
+  Rng rng(GetParam());
+
+  // Observed leadership claims: term -> node. A second DISTINCT claimant
+  // for the same term is an election-safety violation.
+  std::map<std::uint64_t, NodeId> leaders_by_term;
+  std::map<std::uint64_t, std::uint64_t> max_term_seen;  // node -> last term
+
+  auto observe = [&] {
+    for (std::size_t n = 0; n < cluster.size(); ++n) {
+      auto& node = cluster.node(n);
+      if (!node.running()) continue;
+      // Terms are monotone at every node.
+      auto& prev = max_term_seen[node.self().value];
+      EXPECT_GE(node.term(), prev);
+      prev = node.term();
+      if (node.role() == protocols::RaftNode::Role::kLeader) {
+        const auto [it, inserted] =
+            leaders_by_term.emplace(node.term(), node.self());
+        EXPECT_EQ(it->second, node.self())
+            << "two leaders in term " << node.term();
+      }
+    }
+  };
+
+  // Chaos schedule: random partitions flap while time advances.
+  for (int step = 0; step < 40; ++step) {
+    cluster.run_for(100 * sim::kMillisecond);
+    observe();
+    const NodeId a{1 + rng.below(3)};
+    const NodeId b{1 + rng.below(3)};
+    if (a != b) {
+      cluster.network().partition(a, b, rng.chance(0.5));
+    }
+  }
+  // Heal everything: exactly one leader must emerge and commit.
+  for (std::uint64_t x = 1; x <= 3; ++x) {
+    for (std::uint64_t y = x + 1; y <= 3; ++y) {
+      cluster.network().partition(NodeId{x}, NodeId{y}, false);
+    }
+  }
+  cluster.run_for(3 * sim::kSecond);
+  observe();
+  int leaders = 0;
+  for (std::size_t n = 0; n < cluster.size(); ++n) {
+    if (cluster.node(n).role() == protocols::RaftNode::Role::kLeader) ++leaders;
+  }
+  EXPECT_EQ(leaders, 1);
+
+  auto& client = cluster.add_client();
+  for (std::size_t n = 0; n < cluster.size(); ++n) {
+    if (cluster.node(n).role() == protocols::RaftNode::Role::kLeader) {
+      EXPECT_TRUE(cluster.put(client, cluster.node(n).self(), "post", "1").ok);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ElectionSafety,
+                         ::testing::Values(7, 17, 27, 37, 47, 57));
+
+}  // namespace
+}  // namespace recipe

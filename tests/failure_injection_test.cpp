@@ -1,0 +1,218 @@
+// Randomized failure-injection sweeps: crash schedules, network faults
+// (pre-GST loss/duplication/jitter) and combined chaos, asserting the two
+// invariants that must never break while failures stay within the fault
+// budget:
+//   durability — every acknowledged write remains readable;
+//   convergence — replica state machines agree after quiescence.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "cluster_harness.h"
+#include "protocols/abd/abd.h"
+#include "protocols/raft/raft.h"
+#include "workload/routing.h"
+
+namespace recipe {
+namespace {
+
+using testing::Cluster;
+
+class FaultSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FaultSweep, AbdDurabilityUnderLossyNetwork) {
+  Cluster<protocols::AbdNode> cluster;
+  cluster.build();
+  net::NetworkFaults faults;
+  faults.drop_rate = 0.05;
+  faults.duplicate_rate = 0.05;
+  faults.jitter_max = 50 * sim::kMicrosecond;
+  faults.gst = 30 * sim::kSecond;  // faulty for the whole test
+  cluster.network().set_faults(faults);
+
+  auto& client = cluster.add_client();
+  Rng rng(GetParam());
+  std::map<std::string, std::string> acked;
+  std::map<std::string, std::set<std::string>> unacked;
+
+  for (int i = 0; i < 40; ++i) {
+    const std::string key = "k" + std::to_string(rng.below(8));
+    const std::string value = "v" + std::to_string(i);
+    const NodeId coord{rng.below(3) + 1};
+    const ClientReply reply = cluster.put(client, coord, key, value);
+    if (reply.ok) {
+      acked[key] = value;
+      // A newly acked write supersedes... nothing we can prune: an earlier
+      // UNACKED write may carry a higher timestamp (tie broken by node id)
+      // and legally linearize after this one. Keep the set.
+    } else {
+      unacked[key].insert(value);
+    }
+  }
+
+  // Durability: a quorum read returns the latest acked value, or the value
+  // of an incomplete write (which linearizability allows to take effect) —
+  // never anything else, and never "missing".
+  for (const auto& [key, value] : acked) {
+    const ClientReply get = cluster.get(client, NodeId{rng.below(3) + 1}, key);
+    ASSERT_TRUE(get.ok);
+    EXPECT_TRUE(get.found) << key;
+    const std::string observed = to_string(as_view(get.value));
+    const bool valid = observed == value || unacked[key].contains(observed);
+    EXPECT_TRUE(valid) << key << " -> " << observed << " (acked: " << value
+                       << ")";
+  }
+}
+
+TEST_P(FaultSweep, RaftChaosWithCrashAndRecovery) {
+  Cluster<protocols::RaftNode> cluster;
+  protocols::RaftOptions raft;
+  raft.initial_leader = NodeId{1};
+  cluster.build(raft);
+  auto& client = cluster.add_client();
+  Rng rng(GetParam() ^ 0xFEED);
+
+  std::map<std::string, std::string> acked;
+  std::size_t crashed_follower = 1 + rng.below(2);  // node 2 or 3
+  bool crashed = false;
+
+  for (int i = 0; i < 30; ++i) {
+    if (i == 10) {
+      cluster.crash(crashed_follower);  // one follower dies mid-run
+      crashed = true;
+    }
+    // Find the current leader (might change under chaos).
+    NodeId leader = kNoNode;
+    for (std::size_t n = 0; n < cluster.size(); ++n) {
+      if (cluster.node(n).running() &&
+          cluster.node(n).role() == protocols::RaftNode::Role::kLeader) {
+        leader = cluster.node(n).self();
+      }
+    }
+    if (leader == kNoNode) {
+      cluster.run_for(sim::kSecond);
+      continue;
+    }
+    const std::string key = "k" + std::to_string(rng.below(6));
+    const std::string value = "v" + std::to_string(i);
+    const ClientReply reply = cluster.put(client, leader, key, value);
+    if (reply.ok) acked[key] = value;
+  }
+  ASSERT_TRUE(crashed);
+  ASSERT_GT(acked.size(), 0u);
+  cluster.run_for(2 * sim::kSecond);
+
+  // Durability at the leader.
+  NodeId leader = kNoNode;
+  for (std::size_t n = 0; n < cluster.size(); ++n) {
+    if (cluster.node(n).running() &&
+        cluster.node(n).role() == protocols::RaftNode::Role::kLeader) {
+      leader = cluster.node(n).self();
+    }
+  }
+  ASSERT_NE(leader, kNoNode);
+  for (const auto& [key, value] : acked) {
+    const ClientReply get = cluster.get(client, leader, key);
+    EXPECT_TRUE(get.found) << key;
+    EXPECT_EQ(to_string(as_view(get.value)), value) << key;
+  }
+
+  // Convergence of the two survivors.
+  std::vector<protocols::RaftNode*> survivors;
+  for (std::size_t n = 0; n < cluster.size(); ++n) {
+    if (cluster.node(n).running()) survivors.push_back(&cluster.node(n));
+  }
+  ASSERT_EQ(survivors.size(), 2u);
+  EXPECT_EQ(survivors[0]->commit_index(), survivors[1]->commit_index());
+  for (const auto& [key, value] : acked) {
+    auto v0 = survivors[0]->kv().get(key);
+    auto v1 = survivors[1]->kv().get(key);
+    ASSERT_TRUE(v0.is_ok() && v1.is_ok()) << key;
+    EXPECT_EQ(v0.value().value, v1.value().value) << key;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultSweep,
+                         ::testing::Values(101, 202, 303, 404, 505));
+
+// --- Consistent-hash routing (Fig. 2 distributed data-store layer) ---------------
+
+TEST(ConsistentHashRing, DistributesKeys) {
+  workload::ConsistentHashRing ring;
+  for (workload::ShardId s = 0; s < 4; ++s) ring.add_shard(s);
+  EXPECT_EQ(ring.shard_count(), 4u);
+
+  std::map<workload::ShardId, int> counts;
+  for (int i = 0; i < 4000; ++i) {
+    counts[ring.lookup("user" + std::to_string(i))]++;
+  }
+  // Every shard owns a reasonable fraction (no starvation).
+  for (workload::ShardId s = 0; s < 4; ++s) {
+    EXPECT_GT(counts[s], 400) << "shard " << s;
+  }
+}
+
+TEST(ConsistentHashRing, LookupIsStable) {
+  workload::ConsistentHashRing ring;
+  for (workload::ShardId s = 0; s < 3; ++s) ring.add_shard(s);
+  const auto owner = ring.lookup("some-key");
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(ring.lookup("some-key"), owner);
+}
+
+TEST(ConsistentHashRing, RemovalMovesOnlyAffectedKeys) {
+  workload::ConsistentHashRing ring;
+  for (workload::ShardId s = 0; s < 4; ++s) ring.add_shard(s);
+  std::map<std::string, workload::ShardId> before;
+  for (int i = 0; i < 1000; ++i) {
+    const std::string key = "user" + std::to_string(i);
+    before[key] = ring.lookup(key);
+  }
+  ring.remove_shard(2);
+  int moved = 0;
+  for (const auto& [key, shard] : before) {
+    const auto now = ring.lookup(key);
+    if (shard != 2) {
+      EXPECT_EQ(now, shard) << "key not owned by the removed shard moved";
+    } else {
+      EXPECT_NE(now, 2u);
+      ++moved;
+    }
+  }
+  EXPECT_GT(moved, 0);
+}
+
+TEST(ConsistentHashRing, ShardedAbdDeployment) {
+  // Two independent ABD replication groups; the routing layer steers each
+  // key to its owning shard (Fig. 2 end-to-end).
+  workload::ConsistentHashRing ring;
+  ring.add_shard(0);
+  ring.add_shard(1);
+
+  Cluster<protocols::AbdNode> shard0;
+  shard0.build();
+  Cluster<protocols::AbdNode> shard1;
+  shard1.build();
+  auto& client0 = shard0.add_client(2001);
+  auto& client1 = shard1.add_client(2002);
+
+  for (int i = 0; i < 20; ++i) {
+    const std::string key = "user" + std::to_string(i);
+    const std::string value = "v" + std::to_string(i);
+    if (ring.lookup(key) == 0) {
+      ASSERT_TRUE(shard0.put(client0, NodeId{1}, key, value).ok);
+    } else {
+      ASSERT_TRUE(shard1.put(client1, NodeId{1}, key, value).ok);
+    }
+  }
+  // Reads route identically and find every key.
+  for (int i = 0; i < 20; ++i) {
+    const std::string key = "user" + std::to_string(i);
+    const ClientReply get = ring.lookup(key) == 0
+                                ? shard0.get(client0, NodeId{2}, key)
+                                : shard1.get(client1, NodeId{2}, key);
+    EXPECT_TRUE(get.found) << key;
+  }
+}
+
+}  // namespace
+}  // namespace recipe

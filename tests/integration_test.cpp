@@ -1,0 +1,267 @@
+// End-to-end integration: the full Recipe lifecycle from Fig. 1 —
+// transferable authentication through the CAS, initialization, normal
+// operation under client load, view change, and recovery of a fresh node
+// (attest -> shadow replica state fetch -> participation).
+#include <gtest/gtest.h>
+
+#include "attest/cas.h"
+#include "protocols/abd/abd.h"
+#include "protocols/raft/raft.h"
+#include "recipe/client.h"
+
+namespace recipe {
+namespace {
+
+constexpr NodeId kCasId{1000};
+
+// A replica whose enclave gets its secrets through the REAL attestation
+// protocol (no pre-provisioning).
+template <typename Node, typename... Extra>
+struct AttestedReplica {
+  tee::Enclave enclave;
+  std::unique_ptr<Node> node;
+  std::unique_ptr<rpc::RpcObject> bootstrap_rpc;
+  std::unique_ptr<attest::AttestationClient> attestation;
+
+  AttestedReplica(sim::Simulator& simulator, net::SimNetwork& network,
+                  tee::TeePlatform& platform, NodeId id,
+                  std::vector<NodeId> membership, Extra... extra)
+      : enclave(platform, "recipe-replica", id.value) {
+    // Phase 1: a bootstrap endpoint answers the attestation challenge.
+    bootstrap_rpc = std::make_unique<rpc::RpcObject>(
+        simulator, network, id, net::NetStackParams::direct_io_tee());
+    attestation = std::make_unique<attest::AttestationClient>(
+        *bootstrap_rpc, enclave,
+        [this, &simulator, &network, id, membership = std::move(membership),
+         extra...](const attest::ProvisionInfo& info) {
+          // Phase 2: provisioned -> hand the endpoint over to the protocol.
+          EXPECT_EQ(info.assigned_id, id);
+          bootstrap_rpc->shutdown();
+          ReplicaOptions options;
+          options.self = id;
+          options.membership = membership;
+          options.secured = true;
+          options.enclave = &enclave;
+          options.stack = net::NetStackParams::direct_io_tee();
+          node = std::make_unique<Node>(simulator, network, std::move(options),
+                                        extra...);
+          node->start();
+        });
+  }
+};
+
+struct IntegrationHarness {
+  sim::Simulator simulator;
+  net::SimNetwork network{simulator, Rng(17)};
+  tee::TeePlatform platform{1};
+  attest::AttestationAuthority cas{simulator, network, kCasId,
+                                   net::NetStackParams::direct_io_native(),
+                                   attest::AuthorityParams{}};
+  std::vector<NodeId> membership{NodeId{1}, NodeId{2}, NodeId{3}};
+
+  IntegrationHarness() {
+    cas.register_platform(platform);
+    attest::ClusterPlan plan;
+    plan.replicas = membership;
+    cas.upload_plan(plan, crypto::Sha256::hash(as_view("recipe-replica")));
+    cas.allow_measurement(crypto::Sha256::hash(as_view("recipe-client")));
+  }
+
+  // Attests `target` through the CAS; returns success.
+  bool attest(NodeId target, bool full_member = true) {
+    bool ok = false;
+    bool done = false;
+    cas.attest_and_provision(target, target, full_member,
+                             [&](Status s, sim::Time) {
+                               ok = s.is_ok();
+                               done = true;
+                             });
+    const sim::Time deadline = simulator.now() + 30 * sim::kSecond;
+    while (!done && simulator.now() < deadline && !simulator.idle()) {
+      simulator.step();
+    }
+    return ok && done;
+  }
+};
+
+TEST(Integration, FullLifecycleAbd) {
+  IntegrationHarness h;
+
+  // --- Transferable authentication phase (Fig. 1, blue box) ---
+  std::vector<std::unique_ptr<AttestedReplica<protocols::AbdNode>>> replicas;
+  for (NodeId id : h.membership) {
+    replicas.push_back(std::make_unique<AttestedReplica<protocols::AbdNode>>(
+        h.simulator, h.network, h.platform, id, h.membership));
+  }
+  for (NodeId id : h.membership) ASSERT_TRUE(h.attest(id));
+  h.simulator.run_for(sim::kSecond);
+  for (auto& r : replicas) ASSERT_NE(r->node, nullptr);
+
+  // --- Client attests as a principal (non-member) ---
+  tee::Enclave client_enclave(h.platform, "recipe-client", 2000);
+  rpc::RpcObject client_bootstrap(h.simulator, h.network, NodeId{2000},
+                                  net::NetStackParams::direct_io_native());
+  attest::AttestationClient client_attestation(client_bootstrap, client_enclave,
+                                               nullptr);
+  ASSERT_TRUE(h.attest(NodeId{2000}, /*full_member=*/false));
+  client_bootstrap.shutdown();
+
+  ClientOptions client_options;
+  client_options.id = ClientId{2000};
+  client_options.secured = true;
+  client_options.enclave = &client_enclave;
+  KvClient client(h.simulator, h.network, client_options);
+
+  // --- Normal operation (red box) ---
+  bool put_ok = false;
+  client.put(NodeId{1}, "k", to_bytes("v"),
+             [&](const ClientReply& r) { put_ok = r.ok; });
+  h.simulator.run_for(sim::kSecond);
+  ASSERT_TRUE(put_ok);
+
+  Bytes read_value;
+  client.get(NodeId{2}, "k",
+             [&](const ClientReply& r) { read_value = r.value; });
+  h.simulator.run_for(sim::kSecond);
+  EXPECT_EQ(to_string(as_view(read_value)), "v");
+
+  // --- Recovery (§3.7): node 3's machine fails; a fresh enclave re-attests
+  // and joins as a shadow replica, fetching state before participating. ---
+  replicas[2]->node->stop();
+  replicas[2].reset();           // old process is gone entirely
+  h.network.recover(NodeId{3});  // machine replaced / rebooted
+  replicas[2] = std::make_unique<AttestedReplica<protocols::AbdNode>>(
+      h.simulator, h.network, h.platform, NodeId{3}, h.membership);
+  ASSERT_TRUE(h.attest(NodeId{3}));
+  h.simulator.run_for(sim::kSecond);
+  ASSERT_NE(replicas[2]->node, nullptr);
+
+  bool synced = false;
+  std::size_t entries = 0;
+  replicas[2]->node->sync_state_from(NodeId{1}, [&](Result<std::size_t> r) {
+    synced = r.is_ok();
+    if (r.is_ok()) entries = r.value();
+  });
+  h.simulator.run_for(sim::kSecond);
+  EXPECT_TRUE(synced);
+  EXPECT_EQ(entries, 1u);
+  EXPECT_TRUE(replicas[2]->node->kv().contains("k"));
+
+  // The recovered node participates again (coordinates a write).
+  bool put2_ok = false;
+  client.put(NodeId{3}, "k2", to_bytes("v2"),
+             [&](const ClientReply& r) { put2_ok = r.ok; });
+  h.simulator.run_for(sim::kSecond);
+  EXPECT_TRUE(put2_ok);
+}
+
+TEST(Integration, FullLifecycleRaftWithViewChange) {
+  IntegrationHarness h;
+
+  protocols::RaftOptions raft;
+  raft.initial_leader = NodeId{1};
+  std::vector<std::unique_ptr<
+      AttestedReplica<protocols::RaftNode, protocols::RaftOptions>>>
+      replicas;
+  for (NodeId id : h.membership) {
+    replicas.push_back(
+        std::make_unique<
+            AttestedReplica<protocols::RaftNode, protocols::RaftOptions>>(
+            h.simulator, h.network, h.platform, id, h.membership, raft));
+  }
+  for (NodeId id : h.membership) ASSERT_TRUE(h.attest(id));
+  h.simulator.run_for(sim::kSecond);
+  for (auto& r : replicas) ASSERT_NE(r->node, nullptr);
+
+  tee::Enclave client_enclave(h.platform, "recipe-client", 2000);
+  rpc::RpcObject client_bootstrap(h.simulator, h.network, NodeId{2000},
+                                  net::NetStackParams::direct_io_native());
+  attest::AttestationClient client_attestation(client_bootstrap, client_enclave,
+                                               nullptr);
+  ASSERT_TRUE(h.attest(NodeId{2000}, false));
+  client_bootstrap.shutdown();
+
+  ClientOptions client_options;
+  client_options.id = ClientId{2000};
+  client_options.secured = true;
+  client_options.enclave = &client_enclave;
+  KvClient client(h.simulator, h.network, client_options);
+
+  bool ok = false;
+  client.put(NodeId{1}, "pre-failover", to_bytes("1"),
+             [&](const ClientReply& r) { ok = r.ok; });
+  h.simulator.run_for(sim::kSecond);
+  ASSERT_TRUE(ok);
+
+  // View change: leader dies; survivors elect a new one.
+  replicas[0]->node->stop();
+  h.simulator.run_for(3 * sim::kSecond);
+  protocols::RaftNode* leader = nullptr;
+  for (std::size_t i = 1; i < replicas.size(); ++i) {
+    if (replicas[i]->node->role() == protocols::RaftNode::Role::kLeader) {
+      leader = replicas[i]->node.get();
+    }
+  }
+  ASSERT_NE(leader, nullptr);
+
+  // Committed state survived; the new leader serves reads and writes.
+  Bytes value;
+  client.get(leader->self(), "pre-failover",
+             [&](const ClientReply& r) { value = r.value; });
+  h.simulator.run_for(sim::kSecond);
+  EXPECT_EQ(to_string(as_view(value)), "1");
+
+  ok = false;
+  client.put(leader->self(), "post-failover", to_bytes("2"),
+             [&](const ClientReply& r) { ok = r.ok; });
+  h.simulator.run_for(sim::kSecond);
+  EXPECT_TRUE(ok);
+}
+
+TEST(Integration, UnattestedNodeCannotParticipate) {
+  IntegrationHarness h;
+
+  std::vector<std::unique_ptr<AttestedReplica<protocols::AbdNode>>> replicas;
+  for (NodeId id : {NodeId{1}, NodeId{2}}) {
+    replicas.push_back(std::make_unique<AttestedReplica<protocols::AbdNode>>(
+        h.simulator, h.network, h.platform, id, h.membership));
+  }
+  ASSERT_TRUE(h.attest(NodeId{1}));
+  ASSERT_TRUE(h.attest(NodeId{2}));
+  h.simulator.run_for(sim::kSecond);
+
+  // Node 3 skips attestation and starts the protocol with an unprovisioned
+  // enclave: it cannot shield or verify anything.
+  tee::Enclave rogue_enclave(h.platform, "recipe-replica", 3);
+  ReplicaOptions options;
+  options.self = NodeId{3};
+  options.membership = h.membership;
+  options.secured = true;
+  options.enclave = &rogue_enclave;
+  protocols::AbdNode rogue(h.simulator, h.network, std::move(options));
+  rogue.start();
+
+  // The attested majority still serves clients.
+  tee::Enclave client_enclave(h.platform, "recipe-client", 2000);
+  rpc::RpcObject client_bootstrap(h.simulator, h.network, NodeId{2000},
+                                  net::NetStackParams::direct_io_native());
+  attest::AttestationClient ac(client_bootstrap, client_enclave, nullptr);
+  ASSERT_TRUE(h.attest(NodeId{2000}, false));
+  client_bootstrap.shutdown();
+  ClientOptions client_options;
+  client_options.id = ClientId{2000};
+  client_options.secured = true;
+  client_options.enclave = &client_enclave;
+  KvClient client(h.simulator, h.network, client_options);
+
+  bool ok = false;
+  client.put(NodeId{1}, "k", to_bytes("v"),
+             [&](const ClientReply& r) { ok = r.ok; });
+  h.simulator.run_for(2 * sim::kSecond);
+  EXPECT_TRUE(ok);
+  // The unattested node never acquired the data (it cannot verify updates).
+  EXPECT_FALSE(rogue.kv().contains("k"));
+}
+
+}  // namespace
+}  // namespace recipe

@@ -1,0 +1,206 @@
+// Linearizability checking of real client histories (Wing & Gong style).
+//
+// Clients record invocation/response times (simulated clock) for every
+// operation; per key, a DFS with memoization searches for a legal
+// linearization of the concurrent history. Applied to the protocols that
+// claim linearizability: R-ABD (quorum reads) and R-Hermes (local reads
+// with invalidation stalls).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cluster_harness.h"
+#include "protocols/abd/abd.h"
+#include "protocols/hermes/hermes.h"
+
+namespace recipe {
+namespace {
+
+using testing::Cluster;
+
+struct HistoryOp {
+  sim::Time invoked;
+  sim::Time returned;
+  bool is_write;
+  std::string value;  // written value, or observed value for reads
+};
+
+// Returns true iff `ops` (a complete single-register history) has a legal
+// linearization starting from `initial`.
+bool linearizable(const std::vector<HistoryOp>& ops, const std::string& initial) {
+  const std::size_t n = ops.size();
+  if (n > 24) ADD_FAILURE() << "history too large for the checker";
+  std::set<std::pair<std::uint32_t, std::string>> visited;
+
+  // DFS over sets of already-linearized ops (bitmask) + current state.
+  std::function<bool(std::uint32_t, const std::string&)> dfs =
+      [&](std::uint32_t done, const std::string& state) -> bool {
+    if (done == (1u << n) - 1) return true;
+    if (!visited.insert({done, state}).second) return false;
+
+    // An op can be linearized next only if no other remaining op RETURNED
+    // before it was invoked (real-time order must be respected).
+    sim::Time min_return = ~sim::Time{0};
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!(done & (1u << i))) min_return = std::min(min_return, ops[i].returned);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (done & (1u << i)) continue;
+      if (ops[i].invoked > min_return) continue;  // someone must go first
+      if (ops[i].is_write) {
+        if (dfs(done | (1u << i), ops[i].value)) return true;
+      } else {
+        if (ops[i].value == state && dfs(done | (1u << i), state)) return true;
+      }
+    }
+    return false;
+  };
+  return dfs(0, initial);
+}
+
+// --- Checker self-tests -------------------------------------------------------
+
+TEST(LinearizabilityChecker, AcceptsSequentialHistory) {
+  std::vector<HistoryOp> ops = {
+      {0, 10, true, "a"},
+      {20, 30, false, "a"},
+      {40, 50, true, "b"},
+      {60, 70, false, "b"},
+  };
+  EXPECT_TRUE(linearizable(ops, ""));
+}
+
+TEST(LinearizabilityChecker, RejectsStaleRead) {
+  std::vector<HistoryOp> ops = {
+      {0, 10, true, "a"},
+      {20, 30, true, "b"},
+      {40, 50, false, "a"},  // reads "a" strictly after write "b" returned
+  };
+  EXPECT_FALSE(linearizable(ops, ""));
+}
+
+TEST(LinearizabilityChecker, AcceptsConcurrentEitherOrder) {
+  std::vector<HistoryOp> ops = {
+      {0, 100, true, "a"},   // concurrent writes
+      {0, 100, true, "b"},
+      {150, 160, false, "a"},
+      {170, 180, false, "a"},  // consistent afterwards
+  };
+  EXPECT_TRUE(linearizable(ops, ""));
+}
+
+TEST(LinearizabilityChecker, RejectsFlipFlopAfterQuiescence) {
+  std::vector<HistoryOp> ops = {
+      {0, 100, true, "a"},
+      {0, 100, true, "b"},
+      {150, 160, false, "a"},
+      {170, 180, false, "b"},
+      {190, 200, false, "a"},  // a -> b -> a without intervening writes
+  };
+  EXPECT_FALSE(linearizable(ops, ""));
+}
+
+TEST(LinearizabilityChecker, ReadConcurrentWithWriteMaySeeEither) {
+  std::vector<HistoryOp> ops = {
+      {0, 10, true, "a"},
+      {20, 100, true, "b"},
+      {30, 40, false, "a"},  // concurrent with the write of b
+      {50, 60, false, "b"},  // also concurrent; b then observed
+  };
+  EXPECT_TRUE(linearizable(ops, ""));
+  std::vector<HistoryOp> bad = {
+      {0, 10, true, "a"},
+      {20, 100, true, "b"},
+      {30, 40, false, "b"},
+      {50, 60, false, "a"},  // b observed, then a again: illegal
+  };
+  EXPECT_FALSE(linearizable(bad, ""));
+}
+
+// --- Protocol histories ------------------------------------------------------------
+
+// Drives concurrent clients against one key and collects the history.
+template <typename Node>
+std::vector<HistoryOp> record_history(Cluster<Node>& cluster, int n_writes,
+                                      int n_reads, std::uint64_t seed) {
+  auto& w1 = cluster.add_client(2001);
+  auto& w2 = cluster.add_client(2002);
+  auto& r1 = cluster.add_client(2003);
+  auto& r2 = cluster.add_client(2004);
+
+  auto history = std::make_shared<std::vector<HistoryOp>>();
+  Rng rng(seed);
+  int remaining_writes = n_writes;
+  int remaining_reads = n_reads;
+  int value_counter = 0;
+
+  std::function<void(KvClient&, bool)> launch = [&, history](KvClient& client,
+                                                             bool is_write) {
+    const sim::Time invoked = cluster.sim().now();
+    if (is_write) {
+      const std::string value = "v" + std::to_string(++value_counter);
+      client.put(
+          cluster.membership()[rng.below(cluster.membership().size())].value == 0
+              ? NodeId{1}
+              : cluster.membership()[rng.below(cluster.membership().size())],
+          "x", to_bytes(value), [&, history, invoked, value](const ClientReply& r) {
+            if (r.ok) {
+              history->push_back(
+                  HistoryOp{invoked, cluster.sim().now(), true, value});
+            }
+          });
+    } else {
+      client.get(cluster.membership()[rng.below(cluster.membership().size())],
+                 "x", [&, history, invoked](const ClientReply& r) {
+                   if (r.ok) {
+                     history->push_back(HistoryOp{
+                         invoked, cluster.sim().now(), false,
+                         r.found ? to_string(as_view(r.value)) : ""});
+                   }
+                 });
+    }
+  };
+
+  // Interleave launches over simulated time so ops genuinely overlap.
+  while (remaining_writes > 0 || remaining_reads > 0) {
+    if (remaining_writes > 0) {
+      launch(rng.chance(0.5) ? w1 : w2, true);
+      --remaining_writes;
+    }
+    if (remaining_reads > 0) {
+      launch(rng.chance(0.5) ? r1 : r2, false);
+      --remaining_reads;
+    }
+    cluster.run_for(rng.below(40) * sim::kMicrosecond);
+  }
+  cluster.run_for(5 * sim::kSecond);
+  return *history;
+}
+
+class ProtocolLinearizability : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ProtocolLinearizability, AbdHistoriesAreLinearizable) {
+  Cluster<protocols::AbdNode> cluster;
+  cluster.build();
+  const auto history = record_history(cluster, 8, 10, GetParam());
+  ASSERT_EQ(history.size(), 18u) << "all operations must complete";
+  EXPECT_TRUE(linearizable(history, "")) << "seed " << GetParam();
+}
+
+TEST_P(ProtocolLinearizability, HermesHistoriesAreLinearizable) {
+  Cluster<protocols::HermesNode> cluster;
+  cluster.build();
+  const auto history = record_history(cluster, 8, 10, GetParam());
+  ASSERT_EQ(history.size(), 18u);
+  EXPECT_TRUE(linearizable(history, "")) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProtocolLinearizability,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+}  // namespace
+}  // namespace recipe

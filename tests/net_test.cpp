@@ -1,0 +1,237 @@
+// Unit tests for the simulated network: delivery, latency model, crash,
+// partitions, faults, and the Dolev-Yao adversary hook.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/network.h"
+
+namespace recipe::net {
+namespace {
+
+struct Harness {
+  sim::Simulator simulator;
+  SimNetwork network{simulator, Rng(1)};
+
+  std::vector<Packet> received_a;
+  std::vector<Packet> received_b;
+
+  Harness() {
+    network.attach(NodeId{1}, NetStackParams::direct_io_native(),
+                   [this](Packet&& p) { received_a.push_back(std::move(p)); });
+    network.attach(NodeId{2}, NetStackParams::direct_io_native(),
+                   [this](Packet&& p) { received_b.push_back(std::move(p)); });
+  }
+
+  void send(NodeId src, NodeId dst, std::string_view body) {
+    network.send(Packet{src, dst, 7, to_bytes(body)});
+  }
+};
+
+TEST(SimNetwork, DeliversPointToPoint) {
+  Harness h;
+  h.send(NodeId{1}, NodeId{2}, "hello");
+  h.simulator.run_all();
+  ASSERT_EQ(h.received_b.size(), 1u);
+  EXPECT_EQ(to_string(as_view(h.received_b[0].payload)), "hello");
+  EXPECT_EQ(h.received_b[0].src, NodeId{1});
+  EXPECT_TRUE(h.received_a.empty());
+}
+
+TEST(SimNetwork, DeliveryTakesSimulatedTime) {
+  Harness h;
+  h.send(NodeId{1}, NodeId{2}, "x");
+  EXPECT_TRUE(h.received_b.empty());  // not synchronous
+  h.simulator.run_all();
+  EXPECT_EQ(h.received_b.size(), 1u);
+  EXPECT_GT(h.simulator.now(), 0u);
+}
+
+TEST(SimNetwork, KernelStackSlowerThanDirectIo) {
+  sim::Simulator simulator;
+  SimNetwork net(simulator, Rng(1));
+  sim::Time direct_arrival = 0, kernel_arrival = 0;
+  net.attach(NodeId{1}, NetStackParams::direct_io_native(), [](Packet&&) {});
+  net.attach(NodeId{2}, NetStackParams::direct_io_native(),
+             [&](Packet&&) { direct_arrival = simulator.now(); });
+  net.send(Packet{NodeId{1}, NodeId{2}, 0, Bytes(1024)});
+  simulator.run_all();
+
+  sim::Simulator simulator2;
+  SimNetwork net2(simulator2, Rng(1));
+  net2.attach(NodeId{1}, NetStackParams::kernel_native(), [](Packet&&) {});
+  net2.attach(NodeId{2}, NetStackParams::kernel_native(),
+              [&](Packet&&) { kernel_arrival = simulator2.now(); });
+  net2.send(Packet{NodeId{1}, NodeId{2}, 0, Bytes(1024)});
+  simulator2.run_all();
+
+  EXPECT_GT(kernel_arrival, direct_arrival);
+}
+
+TEST(SimNetwork, TeeStacksSlowerThanNative) {
+  for (auto [native, tee] :
+       {std::pair{NetStackParams::kernel_native(), NetStackParams::kernel_tee()},
+        std::pair{NetStackParams::direct_io_native(),
+                  NetStackParams::direct_io_tee()}}) {
+    EXPECT_GT(tee.send_cpu(1024), native.send_cpu(1024));
+    EXPECT_GT(tee.recv_cpu(1024), native.recv_cpu(1024));
+  }
+}
+
+TEST(SimNetwork, SenderCpuSerializesDepartures) {
+  // Two packets from the same node must depart back-to-back, not in parallel.
+  sim::Simulator simulator;
+  SimNetwork net(simulator, Rng(1));
+  std::vector<sim::Time> arrivals;
+  net.attach(NodeId{1}, NetStackParams::direct_io_native(), [](Packet&&) {});
+  net.attach(NodeId{2}, NetStackParams::direct_io_native(),
+             [&](Packet&&) { arrivals.push_back(simulator.now()); });
+  net.send(Packet{NodeId{1}, NodeId{2}, 0, Bytes(64)});
+  net.send(Packet{NodeId{1}, NodeId{2}, 0, Bytes(64)});
+  simulator.run_all();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_GT(arrivals[1], arrivals[0]);
+}
+
+TEST(SimNetwork, CrashedNodeReceivesNothing) {
+  Harness h;
+  h.network.crash(NodeId{2});
+  h.send(NodeId{1}, NodeId{2}, "x");
+  h.simulator.run_all();
+  EXPECT_TRUE(h.received_b.empty());
+  EXPECT_EQ(h.network.packets_dropped(), 1u);
+
+  h.network.recover(NodeId{2});
+  h.send(NodeId{1}, NodeId{2}, "y");
+  h.simulator.run_all();
+  EXPECT_EQ(h.received_b.size(), 1u);
+}
+
+TEST(SimNetwork, CrashedSenderSendsNothing) {
+  Harness h;
+  h.network.crash(NodeId{1});
+  h.send(NodeId{1}, NodeId{2}, "x");
+  h.simulator.run_all();
+  EXPECT_TRUE(h.received_b.empty());
+}
+
+TEST(SimNetwork, PartitionBlocksBothDirections) {
+  Harness h;
+  h.network.partition(NodeId{1}, NodeId{2}, true);
+  h.send(NodeId{1}, NodeId{2}, "x");
+  h.send(NodeId{2}, NodeId{1}, "y");
+  h.simulator.run_all();
+  EXPECT_TRUE(h.received_a.empty());
+  EXPECT_TRUE(h.received_b.empty());
+
+  h.network.partition(NodeId{1}, NodeId{2}, false);
+  h.send(NodeId{1}, NodeId{2}, "z");
+  h.simulator.run_all();
+  EXPECT_EQ(h.received_b.size(), 1u);
+}
+
+TEST(SimNetwork, PreGstDropsHappenPostGstBounded) {
+  sim::Simulator simulator;
+  SimNetwork net(simulator, Rng(3));
+  int delivered = 0;
+  net.attach(NodeId{1}, NetStackParams::direct_io_native(), [](Packet&&) {});
+  net.attach(NodeId{2}, NetStackParams::direct_io_native(),
+             [&](Packet&&) { ++delivered; });
+
+  NetworkFaults faults;
+  faults.drop_rate = 1.0;  // drop everything before GST
+  faults.gst = 1 * sim::kMillisecond;
+  net.set_faults(faults);
+
+  for (int i = 0; i < 10; ++i) net.send(Packet{NodeId{1}, NodeId{2}, 0, Bytes(8)});
+  simulator.run_all();
+  EXPECT_EQ(delivered, 0);
+
+  simulator.run_until(2 * sim::kMillisecond);
+  for (int i = 0; i < 10; ++i) net.send(Packet{NodeId{1}, NodeId{2}, 0, Bytes(8)});
+  simulator.run_all();
+  EXPECT_EQ(delivered, 10);  // reliable after GST
+}
+
+TEST(SimNetwork, DuplicationPreGst) {
+  sim::Simulator simulator;
+  SimNetwork net(simulator, Rng(3));
+  int delivered = 0;
+  net.attach(NodeId{1}, NetStackParams::direct_io_native(), [](Packet&&) {});
+  net.attach(NodeId{2}, NetStackParams::direct_io_native(),
+             [&](Packet&&) { ++delivered; });
+  NetworkFaults faults;
+  faults.duplicate_rate = 1.0;
+  faults.gst = sim::kSecond;
+  net.set_faults(faults);
+  net.send(Packet{NodeId{1}, NodeId{2}, 0, Bytes(8)});
+  simulator.run_all();
+  EXPECT_EQ(delivered, 2);
+}
+
+TEST(SimNetwork, AdversaryCanDrop) {
+  Harness h;
+  h.network.set_adversary([](const Packet&) {
+    AdversaryAction a;
+    a.kind = AdversaryAction::Kind::kDrop;
+    return a;
+  });
+  h.send(NodeId{1}, NodeId{2}, "x");
+  h.simulator.run_all();
+  EXPECT_TRUE(h.received_b.empty());
+}
+
+TEST(SimNetwork, AdversaryCanTamper) {
+  Harness h;
+  h.network.set_adversary([](const Packet& p) {
+    AdversaryAction a;
+    if (to_string(as_view(p.payload)) == "transfer $10") {
+      a.kind = AdversaryAction::Kind::kTamper;
+      a.payload = to_bytes("transfer $9999");
+    }
+    return a;
+  });
+  h.send(NodeId{1}, NodeId{2}, "transfer $10");
+  h.simulator.run_all();
+  ASSERT_EQ(h.received_b.size(), 1u);
+  EXPECT_EQ(to_string(as_view(h.received_b[0].payload)), "transfer $9999");
+}
+
+TEST(SimNetwork, AdversaryCanReplayAndInject) {
+  Harness h;
+  h.network.set_adversary([](const Packet& p) {
+    AdversaryAction a;
+    a.injected.push_back(p);  // replay a copy
+    return a;
+  });
+  h.send(NodeId{1}, NodeId{2}, "x");
+  h.simulator.run_all();
+  EXPECT_EQ(h.received_b.size(), 2u);  // original + replay
+}
+
+TEST(SimNetwork, StatsCount) {
+  Harness h;
+  h.send(NodeId{1}, NodeId{2}, "x");
+  h.send(NodeId{1}, NodeId{2}, "y");
+  h.simulator.run_all();
+  EXPECT_EQ(h.network.packets_sent(), 2u);
+  EXPECT_EQ(h.network.packets_delivered(), 2u);
+  EXPECT_GT(h.network.bytes_sent(), 0u);
+}
+
+TEST(SimNetwork, UnknownDestinationDropped) {
+  Harness h;
+  h.send(NodeId{1}, NodeId{99}, "x");
+  h.simulator.run_all();
+  EXPECT_EQ(h.network.packets_dropped(), 1u);
+}
+
+TEST(NodeCpu, ReserveSerializes) {
+  NodeCpu cpu;
+  EXPECT_EQ(cpu.reserve(100, 50), 150u);
+  EXPECT_EQ(cpu.reserve(100, 50), 200u);  // queued behind the first
+  EXPECT_EQ(cpu.reserve(500, 50), 550u);  // idle gap
+}
+
+}  // namespace
+}  // namespace recipe::net

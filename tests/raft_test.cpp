@@ -1,0 +1,211 @@
+// Protocol tests for (R-)Raft: log replication, commit rule, leader leases,
+// elections (including after leader crash), log consistency invariants,
+// and batching.
+#include <gtest/gtest.h>
+
+#include "cluster_harness.h"
+#include "protocols/raft/raft.h"
+
+namespace recipe::protocols {
+namespace {
+
+using testing::Cluster;
+
+RaftOptions fixed_leader() {
+  RaftOptions o;
+  o.initial_leader = NodeId{1};
+  return o;
+}
+
+TEST(Raft, PutGetAtLeader) {
+  Cluster<RaftNode> cluster;
+  cluster.build(fixed_leader());
+  auto& client = cluster.add_client();
+  EXPECT_TRUE(cluster.put(client, NodeId{1}, "k", "v").ok);
+  auto get = cluster.get(client, NodeId{1}, "k");
+  EXPECT_TRUE(get.found);
+  EXPECT_EQ(to_string(as_view(get.value)), "v");
+  EXPECT_EQ(cluster.node(0).role(), RaftNode::Role::kLeader);
+}
+
+TEST(Raft, FollowerRejectsClientRequests) {
+  Cluster<RaftNode> cluster;
+  cluster.build(fixed_leader());
+  auto& client = cluster.add_client();
+  auto reply = cluster.put(client, NodeId{2}, "k", "v");
+  EXPECT_FALSE(reply.ok);  // routed wrong: follower refuses
+}
+
+TEST(Raft, CommittedEntriesReachFollowers) {
+  Cluster<RaftNode> cluster;
+  cluster.build(fixed_leader());
+  auto& client = cluster.add_client();
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(
+        cluster.put(client, NodeId{1}, "k" + std::to_string(i), "v").ok);
+  }
+  cluster.run_for(sim::kSecond);  // heartbeats propagate the commit index
+  for (std::size_t n = 0; n < cluster.size(); ++n) {
+    for (int i = 0; i < 10; ++i) {
+      EXPECT_TRUE(cluster.node(n).kv().contains("k" + std::to_string(i)))
+          << "node " << n << " key " << i;
+    }
+  }
+}
+
+TEST(Raft, LogMatchingInvariant) {
+  Cluster<RaftNode> cluster;
+  cluster.build(fixed_leader());
+  auto& client = cluster.add_client();
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(cluster.put(client, NodeId{1}, "k" + std::to_string(i % 5),
+                            "v" + std::to_string(i))
+                    .ok);
+  }
+  cluster.run_for(sim::kSecond);
+  // All nodes agree on log size and commit index after quiescence.
+  const auto size0 = cluster.node(0).log_size();
+  const auto commit0 = cluster.node(0).commit_index();
+  for (std::size_t n = 1; n < cluster.size(); ++n) {
+    EXPECT_EQ(cluster.node(n).log_size(), size0);
+    EXPECT_EQ(cluster.node(n).commit_index(), commit0);
+  }
+}
+
+TEST(Raft, ElectionWithoutInitialLeader) {
+  Cluster<RaftNode> cluster;
+  cluster.build();  // all boot as followers, real election
+  cluster.run_for(2 * sim::kSecond);
+  int leaders = 0;
+  for (std::size_t n = 0; n < cluster.size(); ++n) {
+    if (cluster.node(n).role() == RaftNode::Role::kLeader) ++leaders;
+  }
+  EXPECT_EQ(leaders, 1);
+}
+
+TEST(Raft, LeaderCrashTriggersReelectionAndPreservesCommits) {
+  Cluster<RaftNode> cluster;
+  cluster.build(fixed_leader());
+  auto& client = cluster.add_client();
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(cluster.put(client, NodeId{1}, "k" + std::to_string(i), "v").ok);
+  }
+  cluster.run_for(sim::kSecond);
+
+  cluster.crash(0);  // leader down
+  cluster.run_for(3 * sim::kSecond);
+
+  // A new leader emerged among the survivors.
+  RaftNode* new_leader = nullptr;
+  for (std::size_t n = 1; n < cluster.size(); ++n) {
+    if (cluster.node(n).role() == RaftNode::Role::kLeader) {
+      new_leader = &cluster.node(n);
+    }
+  }
+  ASSERT_NE(new_leader, nullptr);
+  EXPECT_GT(new_leader->term(), 1u);
+
+  // Every committed write survived the view change (paper §3.5 correctness).
+  auto& c2 = cluster.add_client(2002);
+  for (int i = 0; i < 5; ++i) {
+    auto get = cluster.get(c2, new_leader->self(), "k" + std::to_string(i));
+    EXPECT_TRUE(get.found) << "lost committed key k" << i;
+  }
+  // And the new leader accepts writes.
+  EXPECT_TRUE(cluster.put(c2, new_leader->self(), "post-failover", "v").ok);
+}
+
+TEST(Raft, OldLeaderStepsDownOnHigherTerm) {
+  Cluster<RaftNode> cluster;
+  cluster.build(fixed_leader());
+  auto& client = cluster.add_client();
+  ASSERT_TRUE(cluster.put(client, NodeId{1}, "k", "v").ok);
+
+  // Partition the leader away; others elect a new leader.
+  cluster.network().partition(NodeId{1}, NodeId{2}, true);
+  cluster.network().partition(NodeId{1}, NodeId{3}, true);
+  cluster.run_for(3 * sim::kSecond);
+
+  // Heal the partition: old leader must step down upon seeing a higher term.
+  cluster.network().partition(NodeId{1}, NodeId{2}, false);
+  cluster.network().partition(NodeId{1}, NodeId{3}, false);
+  cluster.run_for(2 * sim::kSecond);
+
+  int leaders = 0;
+  for (std::size_t n = 0; n < cluster.size(); ++n) {
+    if (cluster.node(n).role() == RaftNode::Role::kLeader) ++leaders;
+  }
+  EXPECT_EQ(leaders, 1);
+  EXPECT_NE(cluster.node(0).role(), RaftNode::Role::kLeader);
+}
+
+TEST(Raft, ReadsLinearizableAfterFailover) {
+  Cluster<RaftNode> cluster;
+  cluster.build(fixed_leader());
+  auto& client = cluster.add_client();
+  ASSERT_TRUE(cluster.put(client, NodeId{1}, "x", "1").ok);
+  cluster.crash(0);
+  cluster.run_for(3 * sim::kSecond);
+  RaftNode* leader = nullptr;
+  for (std::size_t n = 1; n < cluster.size(); ++n) {
+    if (cluster.node(n).role() == RaftNode::Role::kLeader) leader = &cluster.node(n);
+  }
+  ASSERT_NE(leader, nullptr);
+  auto& c2 = cluster.add_client(2002);
+  auto get = cluster.get(c2, leader->self(), "x");
+  EXPECT_TRUE(get.found);
+  EXPECT_EQ(to_string(as_view(get.value)), "1");
+}
+
+TEST(Raft, ManyWritesBatchAndCommit) {
+  Cluster<RaftNode> cluster;
+  cluster.build(fixed_leader());
+  auto& client = cluster.add_client();
+  int committed = 0;
+  for (int i = 0; i < 200; ++i) {
+    client.put(NodeId{1}, "k" + std::to_string(i % 11), to_bytes("v"),
+               [&](const ClientReply& r) {
+                 if (r.ok) ++committed;
+               });
+  }
+  cluster.run_for(10 * sim::kSecond);
+  EXPECT_EQ(committed, 200);
+  EXPECT_EQ(cluster.node(0).committed_ops(), 200u);
+}
+
+TEST(Raft, FiveNodeClusterSurvivesTwoFollowerCrashes) {
+  Cluster<RaftNode>::Config config;
+  config.num_replicas = 5;
+  Cluster<RaftNode> cluster(config);
+  cluster.build(fixed_leader());
+  auto& client = cluster.add_client();
+  ASSERT_TRUE(cluster.put(client, NodeId{1}, "a", "1").ok);
+  cluster.crash(3);
+  cluster.crash(4);
+  EXPECT_TRUE(cluster.put(client, NodeId{1}, "b", "2").ok);
+  EXPECT_TRUE(cluster.get(client, NodeId{1}, "a").found);
+}
+
+TEST(Raft, NativeModeWorksIdentically) {
+  Cluster<RaftNode>::Config config;
+  config.secured = false;
+  Cluster<RaftNode> cluster(config);
+  cluster.build(fixed_leader());
+  auto& client = cluster.add_client();
+  ASSERT_TRUE(cluster.put(client, NodeId{1}, "k", "v").ok);
+  EXPECT_EQ(to_string(as_view(cluster.get(client, NodeId{1}, "k").value)), "v");
+}
+
+TEST(Raft, ConfidentialMode) {
+  Cluster<RaftNode>::Config config;
+  config.confidentiality = true;
+  Cluster<RaftNode> cluster(config);
+  cluster.build(fixed_leader());
+  auto& client = cluster.add_client();
+  ASSERT_TRUE(cluster.put(client, NodeId{1}, "k", "classified").ok);
+  EXPECT_EQ(to_string(as_view(cluster.get(client, NodeId{1}, "k").value)),
+            "classified");
+}
+
+}  // namespace
+}  // namespace recipe::protocols

@@ -1,0 +1,187 @@
+// Unit tests for the eRPC-style RPC layer.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "rpc/rpc.h"
+
+namespace recipe::rpc {
+namespace {
+
+constexpr RequestType kEcho = 1;
+constexpr RequestType kUpper = 2;
+
+struct Harness {
+  sim::Simulator simulator;
+  net::SimNetwork network{simulator, Rng(1)};
+  RpcObject a{simulator, network, NodeId{1},
+              net::NetStackParams::direct_io_native()};
+  RpcObject b{simulator, network, NodeId{2},
+              net::NetStackParams::direct_io_native()};
+
+  Harness() {
+    b.register_handler(kEcho, [](RequestContext& ctx) {
+      ctx.respond(std::move(ctx.payload));
+    });
+    b.register_handler(kUpper, [](RequestContext& ctx) {
+      std::string s = to_string(as_view(ctx.payload));
+      for (char& c : s) c = static_cast<char>(std::toupper(c));
+      ctx.respond(to_bytes(s));
+    });
+  }
+};
+
+TEST(Rpc, RequestResponseRoundTrip) {
+  Harness h;
+  std::string got;
+  h.a.send(NodeId{2}, kEcho, to_bytes("ping"),
+           [&](NodeId src, Bytes payload) {
+             EXPECT_EQ(src, NodeId{2});
+             got = to_string(as_view(payload));
+           });
+  h.simulator.run_all();
+  EXPECT_EQ(got, "ping");
+  EXPECT_EQ(h.a.requests_sent(), 1u);
+  EXPECT_EQ(h.a.responses_received(), 1u);
+}
+
+TEST(Rpc, HandlerDispatchByType) {
+  Harness h;
+  std::string got;
+  h.a.send(NodeId{2}, kUpper, to_bytes("abc"),
+           [&](NodeId, Bytes payload) { got = to_string(as_view(payload)); });
+  h.simulator.run_all();
+  EXPECT_EQ(got, "ABC");
+}
+
+TEST(Rpc, UnknownTypeSilentlyDropped) {
+  Harness h;
+  bool responded = false;
+  h.a.send(NodeId{2}, 999, to_bytes("x"),
+           [&](NodeId, Bytes) { responded = true; });
+  h.simulator.run_all();
+  EXPECT_FALSE(responded);
+}
+
+TEST(Rpc, FireAndForgetWorks) {
+  Harness h;
+  int received = 0;
+  h.b.register_handler(3, [&](RequestContext&) { ++received; });
+  for (int i = 0; i < 100; ++i) h.a.send(NodeId{2}, 3, to_bytes("x"));
+  h.simulator.run_all();
+  EXPECT_EQ(received, 100);  // no credit exhaustion for untracked sends
+}
+
+TEST(Rpc, TimeoutFiresWhenPeerCrashed) {
+  Harness h;
+  h.network.crash(NodeId{2});
+  bool timed_out = false;
+  bool responded = false;
+  h.a.send(
+      NodeId{2}, kEcho, to_bytes("ping"),
+      [&](NodeId, Bytes) { responded = true; }, 10 * sim::kMillisecond,
+      [&] { timed_out = true; });
+  h.simulator.run_all();
+  EXPECT_TRUE(timed_out);
+  EXPECT_FALSE(responded);
+  EXPECT_EQ(h.a.timeouts_fired(), 1u);
+}
+
+TEST(Rpc, ResponseCancelsTimeout) {
+  Harness h;
+  bool timed_out = false;
+  std::string got;
+  h.a.send(
+      NodeId{2}, kEcho, to_bytes("ping"),
+      [&](NodeId, Bytes p) { got = to_string(as_view(p)); },
+      sim::kSecond, [&] { timed_out = true; });
+  h.simulator.run_all();
+  EXPECT_EQ(got, "ping");
+  EXPECT_FALSE(timed_out);
+}
+
+TEST(Rpc, LateResponseAfterTimeoutDropped) {
+  // Make the peer respond after the timeout by delaying via a slow handler
+  // chain: crash then recover after the timeout, and ensure no crash occurs
+  // when no pending entry exists.
+  Harness h;
+  int events = 0;
+  h.a.send(
+      NodeId{2}, kEcho, to_bytes("ping"), [&](NodeId, Bytes) { ++events; },
+      1 * sim::kNanosecond,  // times out before any delivery is possible
+      [&] { ++events; });
+  h.simulator.run_all();
+  EXPECT_EQ(events, 1);  // only the timeout fired; late response ignored
+}
+
+TEST(Rpc, CreditWindowQueuesExcessRequests) {
+  sim::Simulator simulator;
+  net::SimNetwork network{simulator, Rng(1)};
+  RpcConfig config;
+  config.session_credits = 2;
+  RpcObject a{simulator, network, NodeId{1},
+              net::NetStackParams::direct_io_native(), config};
+  RpcObject b{simulator, network, NodeId{2},
+              net::NetStackParams::direct_io_native()};
+  b.register_handler(kEcho,
+                     [](RequestContext& ctx) { ctx.respond(std::move(ctx.payload)); });
+  int responses = 0;
+  for (int i = 0; i < 10; ++i) {
+    a.send(NodeId{2}, kEcho, to_bytes("x"), [&](NodeId, Bytes) { ++responses; });
+  }
+  simulator.run_all();
+  // All ten eventually complete; credits recycle as responses arrive.
+  EXPECT_EQ(responses, 10);
+}
+
+TEST(Rpc, ConcurrentRequestsCorrelateCorrectly) {
+  Harness h;
+  std::vector<std::string> got(3);
+  h.a.send(NodeId{2}, kEcho, to_bytes("one"),
+           [&](NodeId, Bytes p) { got[0] = to_string(as_view(p)); });
+  h.a.send(NodeId{2}, kUpper, to_bytes("two"),
+           [&](NodeId, Bytes p) { got[1] = to_string(as_view(p)); });
+  h.a.send(NodeId{2}, kEcho, to_bytes("three"),
+           [&](NodeId, Bytes p) { got[2] = to_string(as_view(p)); });
+  h.simulator.run_all();
+  EXPECT_EQ(got[0], "one");
+  EXPECT_EQ(got[1], "TWO");
+  EXPECT_EQ(got[2], "three");
+}
+
+TEST(Rpc, MalformedPacketIgnored) {
+  Harness h;
+  // Inject garbage directly at the network layer.
+  h.network.send(net::Packet{NodeId{1}, NodeId{2}, 0xE59C0001, to_bytes("junk")});
+  h.simulator.run_all();  // must not crash
+  SUCCEED();
+}
+
+TEST(Rpc, BidirectionalTraffic) {
+  Harness h;
+  h.a.register_handler(kEcho,
+                       [](RequestContext& ctx) { ctx.respond(std::move(ctx.payload)); });
+  std::string got_a, got_b;
+  h.a.send(NodeId{2}, kEcho, to_bytes("from-a"),
+           [&](NodeId, Bytes p) { got_a = to_string(as_view(p)); });
+  h.b.send(NodeId{1}, kEcho, to_bytes("from-b"),
+           [&](NodeId, Bytes p) { got_b = to_string(as_view(p)); });
+  h.simulator.run_all();
+  EXPECT_EQ(got_a, "from-a");
+  EXPECT_EQ(got_b, "from-b");
+}
+
+TEST(Rpc, ShutdownDetachesFromNetwork) {
+  Harness h;
+  h.b.shutdown();
+  bool timed_out = false;
+  h.a.send(
+      NodeId{2}, kEcho, to_bytes("x"), [](NodeId, Bytes) {},
+      10 * sim::kMillisecond, [&] { timed_out = true; });
+  h.simulator.run_all();
+  EXPECT_TRUE(timed_out);
+}
+
+}  // namespace
+}  // namespace recipe::rpc

@@ -1,0 +1,140 @@
+// Unit tests for the discrete-event simulator.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace recipe::sim {
+namespace {
+
+TEST(Simulator, TimeStartsAtZero) {
+  Simulator s;
+  EXPECT_EQ(s.now(), 0u);
+  EXPECT_TRUE(s.idle());
+}
+
+TEST(Simulator, EventsFireInTimeOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.schedule(30, [&] { order.push_back(3); });
+  s.schedule(10, [&] { order.push_back(1); });
+  s.schedule(20, [&] { order.push_back(2); });
+  s.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 30u);
+}
+
+TEST(Simulator, SameTimeEventsAreFifo) {
+  Simulator s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.schedule(5, [&order, i] { order.push_back(i); });
+  }
+  s.run_all();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, NestedScheduling) {
+  Simulator s;
+  int fired = 0;
+  s.schedule(10, [&] {
+    EXPECT_EQ(s.now(), 10u);
+    s.schedule(5, [&] {
+      EXPECT_EQ(s.now(), 15u);
+      ++fired;
+    });
+  });
+  s.run_all();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator s;
+  int fired = 0;
+  s.schedule(10, [&] { ++fired; });
+  s.schedule(100, [&] { ++fired; });
+  const std::size_t executed = s.run_until(50);
+  EXPECT_EQ(executed, 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(s.now(), 50u);  // clock advances to the deadline
+  s.run_all();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, RunForIsRelative) {
+  Simulator s;
+  s.schedule(10, [] {});
+  s.run_all();
+  EXPECT_EQ(s.now(), 10u);
+  int fired = 0;
+  s.schedule(10, [&] { ++fired; });
+  s.run_for(5);
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(s.now(), 15u);
+  s.run_for(5);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, CancelledTimerDoesNotFire) {
+  Simulator s;
+  int fired = 0;
+  TimerHandle h = s.schedule(10, [&] { ++fired; });
+  h.cancel();
+  s.run_all();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Simulator, CancelAfterFireIsNoop) {
+  Simulator s;
+  int fired = 0;
+  TimerHandle h = s.schedule(10, [&] { ++fired; });
+  s.run_all();
+  h.cancel();  // must not crash
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, CancelOneOfMany) {
+  Simulator s;
+  std::vector<int> order;
+  s.schedule(10, [&] { order.push_back(1); });
+  TimerHandle h = s.schedule(20, [&] { order.push_back(2); });
+  s.schedule(30, [&] { order.push_back(3); });
+  h.cancel();
+  s.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(Simulator, StepExecutesSingleEvent) {
+  Simulator s;
+  int fired = 0;
+  s.schedule(10, [&] { ++fired; });
+  s.schedule(20, [&] { ++fired; });
+  EXPECT_TRUE(s.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(s.step());
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(s.step());
+}
+
+TEST(Simulator, PeriodicSelfRescheduling) {
+  Simulator s;
+  int ticks = 0;
+  std::function<void()> tick = [&] {
+    ++ticks;
+    if (ticks < 5) s.schedule(100, tick);
+  };
+  s.schedule(100, tick);
+  s.run_all();
+  EXPECT_EQ(ticks, 5);
+  EXPECT_EQ(s.now(), 500u);
+}
+
+TEST(Simulator, TimeUnitsCompose) {
+  EXPECT_EQ(kMicrosecond, 1000u);
+  EXPECT_EQ(kMillisecond, 1000u * 1000u);
+  EXPECT_EQ(kSecond, 1000u * 1000u * 1000u);
+}
+
+}  // namespace
+}  // namespace recipe::sim

@@ -1,0 +1,243 @@
+// Unit tests for the TEE substrate: enclave identity, quotes, counters,
+// crash semantics, trusted leases, and the TEE cost model.
+#include <gtest/gtest.h>
+
+#include "tee/cost_model.h"
+#include "tee/enclave.h"
+#include "tee/lease.h"
+#include "tee/platform.h"
+
+namespace recipe::tee {
+namespace {
+
+TEST(Platform, DistinctSeedsDistinctKeys) {
+  TeePlatform p1(1), p2(2);
+  EXPECT_NE(p1.hardware_root_key().material, p2.hardware_root_key().material);
+  EXPECT_NE(p1.enclave_seed(0), p2.enclave_seed(0));
+  EXPECT_NE(p1.enclave_seed(0), p1.enclave_seed(1));
+}
+
+TEST(Enclave, MeasurementIsCodeIdentity) {
+  TeePlatform platform(1);
+  Enclave a(platform, "recipe-replica-v1", 1);
+  Enclave b(platform, "recipe-replica-v1", 2);
+  Enclave evil(platform, "malware-v1", 3);
+  EXPECT_EQ(a.measurement(), b.measurement());
+  EXPECT_NE(a.measurement(), evil.measurement());
+}
+
+TEST(Enclave, QuoteVerifiesOnRegisteredPlatform) {
+  TeePlatform platform(1);
+  Enclave enclave(platform, "code", 1);
+  QuoteVerifier verifier;
+  verifier.register_platform(platform);
+
+  const Bytes nonce = to_bytes("nonce");
+  auto report = enclave.attest(as_view(nonce));
+  ASSERT_TRUE(report.is_ok());
+  auto quote = enclave.generate_quote(report.value());
+  ASSERT_TRUE(quote.is_ok());
+
+  const Bytes quoted = quote.value().report.serialize();
+  EXPECT_TRUE(verifier.verify(platform.platform_id(), as_view(quoted),
+                              BytesView(quote.value().mac.data(),
+                                        quote.value().mac.size())));
+}
+
+TEST(Enclave, ForgedQuoteRejected) {
+  TeePlatform platform(1);
+  TeePlatform rogue(666);
+  Enclave enclave(rogue, "code", 1);  // rogue platform not registered
+  QuoteVerifier verifier;
+  verifier.register_platform(platform);
+
+  auto report = enclave.attest(as_view(to_bytes("n")));
+  auto quote = enclave.generate_quote(report.value());
+  const Bytes quoted = quote.value().report.serialize();
+  EXPECT_FALSE(verifier.verify(rogue.platform_id(), as_view(quoted),
+                               BytesView(quote.value().mac.data(),
+                                         quote.value().mac.size())));
+}
+
+TEST(Enclave, TamperedReportFailsVerification) {
+  TeePlatform platform(1);
+  Enclave enclave(platform, "code", 1);
+  QuoteVerifier verifier;
+  verifier.register_platform(platform);
+
+  auto report = enclave.attest(as_view(to_bytes("n")));
+  auto quote = enclave.generate_quote(report.value());
+  // Host tampers with the measurement after quoting.
+  quote.value().report.measurement[0] ^= 0xFF;
+  const Bytes quoted = quote.value().report.serialize();
+  EXPECT_FALSE(verifier.verify(platform.platform_id(), as_view(quoted),
+                               BytesView(quote.value().mac.data(),
+                                         quote.value().mac.size())));
+}
+
+TEST(Enclave, CountersAreMonotonicPerChannel) {
+  TeePlatform platform(1);
+  Enclave enclave(platform, "code", 1);
+  const ChannelId a{1}, b{2};
+  EXPECT_EQ(enclave.increment_counter(a).value(), 1u);
+  EXPECT_EQ(enclave.increment_counter(a).value(), 2u);
+  EXPECT_EQ(enclave.increment_counter(b).value(), 1u);
+  EXPECT_EQ(enclave.increment_counter(a).value(), 3u);
+  EXPECT_EQ(enclave.peek_counter(a), 3u);
+  EXPECT_EQ(enclave.peek_counter(ChannelId{99}), 0u);
+}
+
+TEST(Enclave, SecretsGatedAndNamed) {
+  TeePlatform platform(1);
+  Enclave enclave(platform, "code", 1);
+  EXPECT_FALSE(enclave.has_secret("k"));
+  EXPECT_EQ(enclave.secret("k").code(), ErrorCode::kNotFound);
+  ASSERT_TRUE(enclave
+                  .install_secret("k", crypto::SymmetricKey{to_bytes("0123456789abcdef0123456789abcdef")})
+                  .is_ok());
+  EXPECT_TRUE(enclave.has_secret("k"));
+  EXPECT_TRUE(enclave.secret("k").is_ok());
+}
+
+TEST(Enclave, CrashMakesEverythingFail) {
+  TeePlatform platform(1);
+  Enclave enclave(platform, "code", 1);
+  (void)enclave.increment_counter(ChannelId{1});
+  enclave.crash();
+  EXPECT_TRUE(enclave.crashed());
+  EXPECT_EQ(enclave.attest(as_view(to_bytes("n"))).code(), ErrorCode::kUnavailable);
+  EXPECT_EQ(enclave.increment_counter(ChannelId{1}).code(),
+            ErrorCode::kUnavailable);
+  EXPECT_EQ(enclave.secret("x").code(), ErrorCode::kUnavailable);
+  EXPECT_EQ(enclave.random_bytes(8).code(), ErrorCode::kUnavailable);
+}
+
+TEST(Enclave, RestartWipesVolatileState) {
+  TeePlatform platform(1);
+  Enclave enclave(platform, "code", 1);
+  ASSERT_TRUE(enclave.install_secret("k", crypto::SymmetricKey{to_bytes("x")}).is_ok());
+  (void)enclave.increment_counter(ChannelId{1});
+  enclave.crash();
+  enclave.restart();
+  EXPECT_FALSE(enclave.crashed());
+  EXPECT_FALSE(enclave.has_secret("k"));          // must re-attest
+  EXPECT_EQ(enclave.peek_counter(ChannelId{1}), 0u);  // fresh replica
+  EXPECT_EQ(enclave.measurement(),
+            crypto::Sha256::hash(as_view("code")));  // identity preserved
+}
+
+TEST(Enclave, DhKeypairStableUntilRestart) {
+  TeePlatform platform(1);
+  Enclave enclave(platform, "code", 1);
+  const auto pub1 = enclave.dh_public();
+  const auto pub2 = enclave.dh_public();
+  ASSERT_TRUE(pub1.is_ok());
+  EXPECT_EQ(pub1.value(), pub2.value());
+  enclave.crash();
+  enclave.restart();
+  // New ephemeral keypair after restart (old provisioning unusable).
+  EXPECT_NE(enclave.dh_public().value(), pub1.value());
+}
+
+// --- Trusted lease ------------------------------------------------------------
+
+TEST(TrustedLease, HeldUntilExpiry) {
+  sim::Simulator s;
+  TrustedClock clock(s);
+  TrustedLease lease(clock, 100 * sim::kMillisecond);
+  EXPECT_FALSE(lease.held());
+  lease.acquire();
+  EXPECT_TRUE(lease.held());
+  s.run_until(99 * sim::kMillisecond);
+  EXPECT_TRUE(lease.held());
+  s.run_until(101 * sim::kMillisecond);
+  EXPECT_FALSE(lease.held());
+}
+
+TEST(TrustedLease, RenewalExtends) {
+  sim::Simulator s;
+  TrustedClock clock(s);
+  TrustedLease lease(clock, 100 * sim::kMillisecond);
+  lease.acquire();
+  s.run_until(80 * sim::kMillisecond);
+  lease.acquire();  // renew
+  s.run_until(150 * sim::kMillisecond);
+  EXPECT_TRUE(lease.held());
+}
+
+TEST(TrustedLease, FastHolderClockIsConservative) {
+  sim::Simulator s;
+  TrustedClock holder_clock(s, +50000);   // holder runs 5% fast
+  TrustedClock grantor_clock(s, 0);
+  TrustedLease holder(holder_clock, 100 * sim::kMillisecond);
+  TrustedLease grantor(grantor_clock, 100 * sim::kMillisecond);
+  holder.acquire();
+  grantor.acquire();
+  // At true t=96ms the fast holder already believes its lease expired...
+  s.run_until(96 * sim::kMillisecond);
+  EXPECT_FALSE(holder.held());
+  // ...while the grantor still considers it outstanding: no overlap window.
+  EXPECT_FALSE(grantor.surely_expired(10 * sim::kMillisecond));
+}
+
+TEST(TrustedLease, SurelyExpiredRespectsMargin) {
+  sim::Simulator s;
+  TrustedClock clock(s);
+  TrustedLease lease(clock, 100 * sim::kMillisecond);
+  lease.acquire();
+  s.run_until(105 * sim::kMillisecond);
+  EXPECT_FALSE(lease.surely_expired(10 * sim::kMillisecond));
+  s.run_until(111 * sim::kMillisecond);
+  EXPECT_TRUE(lease.surely_expired(10 * sim::kMillisecond));
+}
+
+TEST(LeaseFailureDetector, SuspectsSilentPeers) {
+  sim::Simulator s;
+  TrustedClock clock(s);
+  LeaseFailureDetector fd(clock, 50 * sim::kMillisecond, 10 * sim::kMillisecond);
+  const NodeId peer{2};
+  EXPECT_TRUE(fd.suspected(peer));  // never heard from
+  fd.heartbeat(peer);
+  EXPECT_FALSE(fd.suspected(peer));
+  s.run_until(40 * sim::kMillisecond);
+  fd.heartbeat(peer);  // keep-alive
+  s.run_until(80 * sim::kMillisecond);
+  EXPECT_FALSE(fd.suspected(peer));
+  s.run_until(200 * sim::kMillisecond);
+  EXPECT_TRUE(fd.suspected(peer));
+}
+
+// --- Cost model ------------------------------------------------------------------
+
+TEST(CostModel, CryptoScalesWithBytes) {
+  TeeCostModel model;
+  EXPECT_GT(model.mac(4096), model.mac(64));
+  EXPECT_GT(model.hash(4096), model.hash(64));
+  EXPECT_GT(model.encrypt(4096), model.encrypt(64));
+  EXPECT_GT(model.mac(0), 0u);  // base cost
+}
+
+TEST(CostModel, EpcPressureKicksInPastEpc) {
+  TeeCostModel model;
+  const auto& p = model.params();
+  const sim::Time fits = model.enclave_copy(4096, p.epc_size_bytes / 2);
+  const sim::Time thrashes = model.enclave_copy(4096, p.epc_size_bytes * 4);
+  EXPECT_GT(thrashes, fits * 10);
+}
+
+TEST(CostModel, TeeTaxZeroDisablesCosts) {
+  TeeCostParams params;
+  params.tee_tax = 0.0;
+  TeeCostModel model(params);
+  EXPECT_EQ(model.mac(4096), 0u);
+  EXPECT_EQ(model.transition(), 0u);
+  EXPECT_EQ(model.enclave_copy(1 << 20, 1ULL << 40), 0u);
+}
+
+TEST(CostModel, TransitionDwarfsExitlessCall) {
+  TeeCostModel model;
+  EXPECT_GT(model.transition(), model.exitless_call() * 5);
+}
+
+}  // namespace
+}  // namespace recipe::tee

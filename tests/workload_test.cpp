@@ -1,0 +1,128 @@
+// Tests for the workload layer: YCSB-style generation, closed-loop driving,
+// and the calibrated testbed.
+#include <gtest/gtest.h>
+
+#include "protocols/abd/abd.h"
+#include "protocols/cr/cr.h"
+#include "workload/testbed.h"
+#include "workload/workload.h"
+
+namespace recipe::workload {
+namespace {
+
+TEST(Workload, KeyNamesAreStableAndDistinct) {
+  EXPECT_EQ(key_name(0), "user00000000");
+  EXPECT_EQ(key_name(42), "user00000042");
+  EXPECT_EQ(key_name(9999), "user00009999");
+  EXPECT_NE(key_name(1), key_name(2));
+}
+
+TEST(Workload, ValuesHaveRequestedSizeAndVaryBySalt) {
+  EXPECT_EQ(make_value(256, 1).size(), 256u);
+  EXPECT_EQ(make_value(4096, 1).size(), 4096u);
+  EXPECT_NE(make_value(64, 1), make_value(64, 2));
+  EXPECT_EQ(make_value(64, 7), make_value(64, 7));  // deterministic
+}
+
+TEST(Testbed, ClosedLoopDriverSaturatesAndMeasures) {
+  TestbedConfig config;
+  config.num_replicas = 3;
+  config.num_clients = 4;
+  config.workload.num_keys = 100;
+  config.workload.read_fraction = 0.5;
+  config.workload.value_size = 64;
+  config.window = 50 * sim::kMillisecond;
+  config.warmup = 10 * sim::kMillisecond;
+  config.use_cost_model = false;
+
+  Testbed<protocols::AbdNode> testbed(config);
+  testbed.build();
+  testbed.preload();
+  const RunResult result = testbed.run(testbed.route_round_robin());
+
+  EXPECT_GT(result.completed, 100u);
+  EXPECT_EQ(result.failed, 0u);
+  EXPECT_GT(result.ops_per_sec, 1000.0);
+  EXPECT_GT(result.latency_us.count(), 0u);
+}
+
+TEST(Testbed, PreloadPopulatesEveryReplica) {
+  TestbedConfig config;
+  config.workload.num_keys = 50;
+  Testbed<protocols::AbdNode> testbed(config);
+  testbed.build();
+  testbed.preload();
+  for (std::size_t n = 0; n < testbed.size(); ++n) {
+    EXPECT_EQ(testbed.node(n).kv().size(), 50u);
+    EXPECT_TRUE(testbed.node(n).kv().contains(key_name(0)));
+    EXPECT_TRUE(testbed.node(n).kv().contains(key_name(49)));
+  }
+}
+
+TEST(Testbed, HeadTailRouterSplitsByOpType) {
+  TestbedConfig config;
+  Testbed<protocols::ChainNode> testbed(config);
+  testbed.build();
+  auto router = testbed.route_head_tail();
+  EXPECT_EQ(router(OpType::kPut, 0), NodeId{1});
+  EXPECT_EQ(router(OpType::kGet, 0), NodeId{3});
+}
+
+TEST(Testbed, RoundRobinRouterCyclesMembers) {
+  TestbedConfig config;
+  Testbed<protocols::AbdNode> testbed(config);
+  testbed.build();
+  auto router = testbed.route_round_robin();
+  EXPECT_EQ(router(OpType::kGet, 0), NodeId{1});
+  EXPECT_EQ(router(OpType::kGet, 1), NodeId{2});
+  EXPECT_EQ(router(OpType::kGet, 2), NodeId{3});
+  EXPECT_EQ(router(OpType::kGet, 3), NodeId{1});
+}
+
+TEST(Testbed, SecuredModeIsSlowerThanNative) {
+  // Smoke test of the Fig. 6a premise inside the unit suite.
+  auto run_mode = [](bool secured) {
+    TestbedConfig config;
+    config.num_clients = 8;
+    config.workload.num_keys = 200;
+    config.workload.read_fraction = 0.9;
+    config.window = 40 * sim::kMillisecond;
+    config.warmup = 10 * sim::kMillisecond;
+    config.secured = secured;
+    config.use_cost_model = secured;
+    config.replica_stack = secured ? net::NetStackParams::direct_io_tee()
+                                   : net::NetStackParams::direct_io_native();
+    Testbed<protocols::ChainNode> testbed(config);
+    testbed.build();
+    testbed.preload();
+    return testbed.run(testbed.route_head_tail()).ops_per_sec;
+  };
+  // With only 8 closed-loop clients the run is latency-limited, so the gap
+  // is smaller than the saturated Fig. 6a numbers — but it must exist.
+  const double native = run_mode(false);
+  const double secured = run_mode(true);
+  EXPECT_GT(native, secured * 1.1) << "TEE tax missing";
+  EXPECT_GT(secured, 0.0);
+}
+
+TEST(Testbed, ConfidentialityCostsThroughput) {
+  auto run_mode = [](bool confidential) {
+    TestbedConfig config;
+    config.num_clients = 8;
+    config.workload.num_keys = 200;
+    config.workload.read_fraction = 0.5;
+    config.window = 40 * sim::kMillisecond;
+    config.warmup = 10 * sim::kMillisecond;
+    config.confidentiality = confidential;
+    Testbed<protocols::ChainNode> testbed(config);
+    testbed.build();
+    testbed.preload();
+    return testbed.run(testbed.route_head_tail()).ops_per_sec;
+  };
+  const double plain = run_mode(false);
+  const double confidential = run_mode(true);
+  EXPECT_GT(plain, confidential);
+}
+
+}  // namespace
+}  // namespace recipe::workload
