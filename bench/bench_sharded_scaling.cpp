@@ -1,0 +1,107 @@
+// Sharded scaling: closed-loop throughput of the cluster layer as the shard
+// count grows (1 -> 8 R-CR shards, 3 replicas each). Each shard is an
+// independent replication group, so aggregate throughput should scale close
+// to linearly until the client pool saturates — the reason the paper's
+// Fig. 2 architecture fronts the replication groups with a routing table
+// instead of growing one group.
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "cluster/routed_client.h"
+#include "workload/workload.h"
+
+using namespace recipe;
+
+namespace {
+
+struct RunResult {
+  double ops_per_sec{0};
+  std::uint64_t completed{0};
+  Histogram latency_us;
+};
+
+// Closed loop: each client keeps one op outstanding over a Zipfian keyspace.
+RunResult run_sharded(std::size_t num_shards, const char* protocol,
+                      std::size_t num_clients, sim::Time window) {
+  sim::Simulator simulator;
+  net::SimNetwork network(simulator, Rng(7));
+  tee::TeePlatform platform(1);
+  cluster::ShardedCluster store(simulator, network, platform);
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    auto added = store.add_shard(protocol);
+    if (!added) {
+      std::printf("failed to deploy shard %zu\n", s);
+      std::exit(1);
+    }
+  }
+
+  workload::WorkloadConfig workload_config;
+  workload_config.num_keys = 10000;
+  ZipfianGenerator zipf(workload_config.num_keys, workload_config.zipf_theta);
+  Rng rng(workload_config.seed);
+
+  std::vector<std::unique_ptr<cluster::RoutedClient>> clients;
+  for (std::size_t c = 0; c < num_clients; ++c) {
+    cluster::RoutedClientOptions options;
+    options.id = 5000 + c;
+    clients.push_back(
+        std::make_unique<cluster::RoutedClient>(store, options));
+  }
+
+  // Self-pumping loops: every completion issues the next op.
+  std::function<void(std::size_t)> pump = [&](std::size_t c) {
+    const std::string key = workload::key_name(zipf.next(rng));
+    auto next = [&pump, c](const ClientReply&) { pump(c); };
+    if (rng.uniform() < workload_config.read_fraction) {
+      clients[c]->get(key, next);
+    } else {
+      clients[c]->put(key, workload::make_value(workload_config.value_size,
+                                                zipf.item_count()),
+                      next);
+    }
+  };
+  for (std::size_t c = 0; c < num_clients; ++c) pump(c);
+
+  const sim::Time warmup = 50 * sim::kMillisecond;
+  simulator.run_for(warmup);
+  std::uint64_t completed_before = 0;
+  for (auto& client : clients) completed_before += client->completed();
+  simulator.run_for(window);
+
+  RunResult result;
+  for (auto& client : clients) {
+    result.completed += client->completed();
+    result.latency_us.merge(client->latency_us());
+  }
+  result.completed -= completed_before;
+  result.ops_per_sec = static_cast<double>(result.completed) /
+                       (static_cast<double>(window) / sim::kSecond);
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kClients = 64;
+  const sim::Time window = 200 * sim::kMillisecond;
+
+  std::printf("Sharded scaling: R-CR shards x3 replicas, %zu closed-loop "
+              "clients, 90%% reads, 256B values\n",
+              kClients);
+  std::printf("%-8s %14s %10s %10s %10s\n", "shards", "ops/s", "p50us",
+              "p99us", "scale");
+
+  double base = 0;
+  for (std::size_t shards : {1, 2, 4, 8}) {
+    const RunResult r = run_sharded(shards, "cr", kClients, window);
+    if (base == 0) base = r.ops_per_sec;
+    std::printf("%-8zu %14.0f %10llu %10llu %9.2fx\n", shards, r.ops_per_sec,
+                static_cast<unsigned long long>(r.latency_us.percentile(0.5)),
+                static_cast<unsigned long long>(r.latency_us.percentile(0.99)),
+                r.ops_per_sec / base);
+  }
+  return 0;
+}

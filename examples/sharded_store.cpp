@@ -1,114 +1,69 @@
-// sharded_store: the full Fig. 2 stack — a distributed data-store layer
-// (consistent-hash routing table) in front of multiple independent Recipe
-// replication groups (shards), each a 3-replica R-CR chain.
+// sharded_store: the full Fig. 2 stack — the distributed data-store layer
+// (src/cluster/) in front of multiple independent Recipe replication
+// groups, each running its own protocol, with online shard addition.
 #include <cstdio>
-#include <memory>
-#include <vector>
 
-#include "attest/bundle.h"
-#include "protocols/cr/cr.h"
-#include "recipe/client.h"
-#include "workload/routing.h"
+#include "cluster/cluster.h"
+#include "cluster/routed_client.h"
 #include "workload/workload.h"
 
 using namespace recipe;
-
-namespace {
-
-// One shard: an independent 3-node R-CR chain with its own client handle.
-struct Shard {
-  std::vector<std::unique_ptr<tee::Enclave>> enclaves;
-  std::vector<std::unique_ptr<protocols::ChainNode>> replicas;
-  std::unique_ptr<tee::Enclave> client_enclave;
-  std::unique_ptr<KvClient> client;
-  NodeId head;
-  NodeId tail;
-
-  Shard(sim::Simulator& simulator, net::SimNetwork& network,
-        tee::TeePlatform& platform, const crypto::SymmetricKey& root,
-        std::uint64_t base_id) {
-    std::vector<NodeId> membership;
-    for (std::uint64_t i = 0; i < 3; ++i) membership.push_back(NodeId{base_id + i});
-    head = membership.front();
-    tail = membership.back();
-    for (NodeId id : membership) {
-      auto enclave =
-          std::make_unique<tee::Enclave>(platform, "recipe-replica", id.value);
-      (void)enclave->install_secret(attest::kClusterRootName, root);
-      ReplicaOptions options;
-      options.self = id;
-      options.membership = membership;
-      options.secured = true;
-      options.enclave = enclave.get();
-      replicas.push_back(std::make_unique<protocols::ChainNode>(
-          simulator, network, std::move(options)));
-      enclaves.push_back(std::move(enclave));
-    }
-    for (auto& replica : replicas) replica->start();
-
-    client_enclave = std::make_unique<tee::Enclave>(platform, "recipe-client",
-                                                    base_id + 1000);
-    (void)client_enclave->install_secret(attest::kClusterRootName, root);
-    ClientOptions options;
-    options.id = ClientId{base_id + 1000};
-    options.secured = true;
-    options.enclave = client_enclave.get();
-    client = std::make_unique<KvClient>(simulator, network, options);
-  }
-
-  std::size_t keys() const { return replicas[0]->kv().size(); }
-};
-
-}  // namespace
 
 int main() {
   sim::Simulator simulator;
   net::SimNetwork network(simulator, Rng(21));
   tee::TeePlatform platform(1);
-  const crypto::SymmetricKey root{Bytes(32, 0x77)};
 
-  // Three shards (nine replicas total) + the routing table.
-  constexpr std::size_t kShards = 3;
-  workload::ConsistentHashRing ring;
-  std::vector<std::unique_ptr<Shard>> shards;
-  for (std::size_t s = 0; s < kShards; ++s) {
-    ring.add_shard(static_cast<workload::ShardId>(s));
-    shards.push_back(std::make_unique<Shard>(simulator, network, platform, root,
-                                             /*base_id=*/1 + 100 * s));
+  // A mixed-protocol deployment: one R-CR chain, one R-CRAQ chain, one
+  // R-Hermes group — the routing layer hides which shard runs what.
+  cluster::ShardedCluster store(simulator, network, platform);
+  for (const char* protocol : {"cr", "craq", "hermes"}) {
+    auto added = store.add_shard(protocol);
+    if (!added) {
+      std::printf("failed to deploy %s shard\n", protocol);
+      return 1;
+    }
   }
-  std::printf("deployed %zu shards x 3 replicas; routing via consistent "
+  std::printf("deployed %zu shards x %zu replicas; routing via consistent "
               "hashing (%zu shards on the ring)\n",
-              kShards, ring.shard_count());
+              store.shard_count(), store.options().replicas_per_shard,
+              store.ring().shard_count());
 
   // Write 60 keys through the routing layer.
+  cluster::RoutedClient client(store);
   int written = 0;
   for (int i = 0; i < 60; ++i) {
     const std::string key = workload::key_name(static_cast<std::uint64_t>(i));
-    Shard& shard = *shards[ring.lookup(key)];
-    shard.client->put(shard.head, key, to_bytes("value-" + std::to_string(i)),
-                      [&](const ClientReply& r) {
-                        if (r.ok) ++written;
-                      });
+    if (client.put_sync(key, "value-" + std::to_string(i))) ++written;
   }
-  simulator.run_for(2 * sim::kSecond);
   std::printf("writes committed: %d/60\n", written);
 
-  // Read them back through the same routing.
+  // Scale out ONLINE: a fourth shard (Raft this time) joins, pulls its key
+  // range from the existing shards, and the ring rebalances.
+  auto added = store.add_shard("raft");
+  if (!added) {
+    std::printf("online shard addition failed\n");
+    return 1;
+  }
+  std::printf("added shard %u (raft) online; ring now has %zu shards\n",
+              added.value(), store.ring().shard_count());
+
+  // Every acknowledged write is still readable after the rebalance.
   int correct = 0;
   for (int i = 0; i < 60; ++i) {
     const std::string key = workload::key_name(static_cast<std::uint64_t>(i));
-    Shard& shard = *shards[ring.lookup(key)];
-    const std::string expected = "value-" + std::to_string(i);
-    shard.client->get(shard.tail, key, [&, expected](const ClientReply& r) {
-      if (r.found && to_string(as_view(r.value)) == expected) ++correct;
-    });
+    auto value = client.get_sync(key);
+    if (value && *value == "value-" + std::to_string(i)) ++correct;
   }
-  simulator.run_for(2 * sim::kSecond);
-  std::printf("reads correct:    %d/60\n", correct);
+  std::printf("reads correct:    %d/60 (after online rebalance)\n", correct);
 
-  for (std::size_t s = 0; s < kShards; ++s) {
-    std::printf("shard %zu owns %zu keys\n", s, shards[s]->keys());
+  auto stats = store.stats();
+  for (const auto& shard : stats.per_shard) {
+    std::printf("shard %u (%s) owns %zu keys\n", shard.id,
+                shard.protocol.c_str(), shard.keys);
   }
+  std::printf("aggregate client latency: %s\n",
+              client.latency_us().summary().c_str());
   std::printf("(keys partition across shards; each shard replicates "
               "independently with Recipe guarantees)\n");
   return 0;

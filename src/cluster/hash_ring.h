@@ -1,0 +1,83 @@
+// Distributed data-store layer (paper Fig. 2): consistent-hashing routing
+// table mapping the keyspace onto replica groups (shards).
+//
+// Each shard is an independent replication group running its own protocol
+// instance; the routing table forwards a client request to the coordinator
+// of the owning shard. Virtual nodes smooth the distribution; lookups are
+// O(log n) on the ring. Adding (removing) a shard moves only the ~1/N of
+// keys adjacent to the new (departing) shard's ring points — the property
+// the cluster layer's key handoff relies on.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "crypto/sha256.h"
+
+namespace recipe::cluster {
+
+using ShardId = std::uint32_t;
+
+class ConsistentHashRing {
+ public:
+  // Returned by lookup() on an empty ring.
+  static constexpr ShardId kNoShard = std::numeric_limits<ShardId>::max();
+
+  explicit ConsistentHashRing(std::size_t virtual_nodes = 64)
+      : virtual_nodes_(virtual_nodes) {}
+
+  void add_shard(ShardId shard) {
+    for (std::size_t v = 0; v < virtual_nodes_; ++v) {
+      ring_.emplace(point(shard, v), shard);
+    }
+    shards_.insert(shard);
+  }
+
+  void remove_shard(ShardId shard) {
+    for (auto it = ring_.begin(); it != ring_.end();) {
+      if (it->second == shard) {
+        it = ring_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    shards_.erase(shard);
+  }
+
+  // The shard owning `key` (first ring point clockwise from the key hash);
+  // kNoShard when the ring is empty.
+  ShardId lookup(std::string_view key) const {
+    if (ring_.empty()) return kNoShard;
+    const std::uint64_t h = hash_of(key);
+    auto it = ring_.lower_bound(h);
+    if (it == ring_.end()) it = ring_.begin();
+    return it->second;
+  }
+
+  bool empty() const { return ring_.empty(); }
+  bool contains(ShardId shard) const { return shards_.contains(shard); }
+  std::size_t shard_count() const { return shards_.size(); }
+  const std::set<ShardId>& shards() const { return shards_; }
+
+ private:
+  static std::uint64_t hash_of(std::string_view data) {
+    const auto digest = crypto::Sha256::hash(as_view(data));
+    std::uint64_t h = 0;
+    for (int i = 0; i < 8; ++i) h |= static_cast<std::uint64_t>(digest[static_cast<std::size_t>(i)]) << (8 * i);
+    return h;
+  }
+  std::uint64_t point(ShardId shard, std::size_t v) const {
+    return hash_of("shard:" + std::to_string(shard) + "/vn:" + std::to_string(v));
+  }
+
+  std::size_t virtual_nodes_;
+  std::map<std::uint64_t, ShardId> ring_;
+  std::set<ShardId> shards_;
+};
+
+}  // namespace recipe::cluster

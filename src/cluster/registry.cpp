@@ -1,0 +1,71 @@
+#include "cluster/registry.h"
+
+#include <utility>
+
+#include "protocols/abd/abd.h"
+#include "protocols/cr/cr.h"
+#include "protocols/craq/craq.h"
+#include "protocols/hermes/hermes.h"
+#include "protocols/raft/raft.h"
+
+namespace recipe::cluster {
+
+ProtocolRegistry& ProtocolRegistry::instance() {
+  static ProtocolRegistry registry;
+  return registry;
+}
+
+void ProtocolRegistry::register_protocol(std::string name,
+                                         ProtocolFactory factory) {
+  factories_[std::move(name)] = std::move(factory);
+}
+
+const ProtocolFactory* ProtocolRegistry::find(std::string_view name) const {
+  auto it = factories_.find(name);
+  return it == factories_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> ProtocolRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) {
+    (void)factory;
+    out.push_back(name);
+  }
+  return out;
+}
+
+ProtocolRegistry::ProtocolRegistry() {
+  register_protocol("cr", [](sim::Simulator& s, net::SimNetwork& n,
+                             ReplicaOptions o) -> std::unique_ptr<ReplicaNode> {
+    return std::make_unique<protocols::ChainNode>(s, n, std::move(o));
+  });
+  register_protocol("craq",
+                    [](sim::Simulator& s, net::SimNetwork& n,
+                       ReplicaOptions o) -> std::unique_ptr<ReplicaNode> {
+                      return std::make_unique<protocols::CraqNode>(s, n,
+                                                                   std::move(o));
+                    });
+  register_protocol("abd", [](sim::Simulator& s, net::SimNetwork& n,
+                              ReplicaOptions o) -> std::unique_ptr<ReplicaNode> {
+    return std::make_unique<protocols::AbdNode>(s, n, std::move(o));
+  });
+  register_protocol("hermes",
+                    [](sim::Simulator& s, net::SimNetwork& n,
+                       ReplicaOptions o) -> std::unique_ptr<ReplicaNode> {
+                      return std::make_unique<protocols::HermesNode>(
+                          s, n, std::move(o));
+                    });
+  // Raft boots with the first member as the term-1 leader so a fresh shard
+  // can serve requests without waiting out an election.
+  register_protocol("raft",
+                    [](sim::Simulator& s, net::SimNetwork& n,
+                       ReplicaOptions o) -> std::unique_ptr<ReplicaNode> {
+                      protocols::RaftOptions raft;
+                      raft.initial_leader = o.membership.front();
+                      return std::make_unique<protocols::RaftNode>(
+                          s, n, std::move(o), raft);
+                    });
+}
+
+}  // namespace recipe::cluster

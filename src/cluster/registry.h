@@ -1,0 +1,43 @@
+// Protocol registry: maps a protocol name ("cr", "craq", "raft", "abd",
+// "hermes") to a factory building a ReplicaNode of that type. This is what
+// lets ShardGroup stand up a replica group for ANY registered protocol —
+// the cluster layer never names a concrete node class.
+//
+// New protocols (or parameterized variants, e.g. a Raft with different
+// election timeouts) register under their own name at startup.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "recipe/node_base.h"
+
+namespace recipe::cluster {
+
+using ProtocolFactory = std::function<std::unique_ptr<ReplicaNode>(
+    sim::Simulator&, net::SimNetwork&, ReplicaOptions)>;
+
+class ProtocolRegistry {
+ public:
+  // The process-wide registry, pre-populated with the built-in protocols.
+  static ProtocolRegistry& instance();
+
+  // Registers (or replaces) a factory under `name`.
+  void register_protocol(std::string name, ProtocolFactory factory);
+
+  // nullptr when `name` is unknown.
+  const ProtocolFactory* find(std::string_view name) const;
+
+  std::vector<std::string> names() const;
+
+ private:
+  ProtocolRegistry();
+
+  std::map<std::string, ProtocolFactory, std::less<>> factories_;
+};
+
+}  // namespace recipe::cluster

@@ -1,0 +1,105 @@
+#include "cluster/routed_client.h"
+
+#include <utility>
+
+#include "attest/bundle.h"
+
+namespace recipe::cluster {
+
+RoutedClient::RoutedClient(ShardedCluster& cluster, RoutedClientOptions options)
+    : cluster_(cluster), options_(options) {
+  // SimNetwork::attach silently replaces an existing endpoint, so a second
+  // client on the default id would hijack the first's replies — bump to the
+  // next free NodeId instead.
+  while (cluster_.network().attached(NodeId{options_.id})) ++options_.id;
+  const ClusterOptions& copts = cluster_.options();
+  enclave_ = std::make_unique<tee::Enclave>(cluster_.platform(),
+                                            "recipe-client", options_.id);
+  if (copts.secured) {
+    (void)enclave_->install_secret(attest::kClusterRootName, copts.root);
+    if (copts.confidentiality) {
+      (void)enclave_->install_secret(attest::kValueKeyName, copts.value_key);
+    }
+  }
+  ClientOptions client_options;
+  client_options.id = ClientId{options_.id};
+  client_options.secured = copts.secured;
+  client_options.confidentiality = copts.confidentiality;
+  client_options.enclave = enclave_.get();
+  client_options.request_timeout = options_.request_timeout;
+  client_ = std::make_unique<KvClient>(cluster_.sim(), cluster_.network(),
+                                       client_options);
+}
+
+void RoutedClient::put(const std::string& key, Bytes value,
+                       KvClient::ReplyCallback done) {
+  const ShardId shard = cluster_.owner_of(key);  // one hash per op
+  if (shard == ConsistentHashRing::kNoShard) {
+    done(ClientReply{});  // empty cluster: fail cleanly, not UB
+    return;
+  }
+  const NodeId target = cluster_.shard(shard).write_coordinator();
+  const sim::Time start = cluster_.sim().now();
+  client_->put(target, key, std::move(value),
+               [this, shard, start, done = std::move(done)](const ClientReply& r) {
+                 record(shard, start);
+                 done(r);
+               });
+}
+
+void RoutedClient::get(const std::string& key, KvClient::ReplyCallback done) {
+  const ShardId shard = cluster_.owner_of(key);  // one hash per op
+  if (shard == ConsistentHashRing::kNoShard) {
+    done(ClientReply{});
+    return;
+  }
+  const NodeId target = cluster_.shard(shard).read_replica(read_hint_++);
+  const sim::Time start = cluster_.sim().now();
+  client_->get(target, key,
+               [this, shard, start, done = std::move(done)](const ClientReply& r) {
+                 record(shard, start);
+                 done(r);
+               });
+}
+
+bool RoutedClient::put_sync(const std::string& key, const std::string& value) {
+  bool done = false;
+  bool ok = false;
+  put(key, to_bytes(value), [&](const ClientReply& r) {
+    ok = r.ok;
+    done = true;
+  });
+  cluster_.drive(done, options_.sync_wait);
+  return done && ok;
+}
+
+std::optional<std::string> RoutedClient::get_sync(const std::string& key) {
+  bool done = false;
+  std::optional<std::string> out;
+  get(key, [&](const ClientReply& r) {
+    if (r.ok && r.found) out = to_string(as_view(r.value));
+    done = true;
+  });
+  cluster_.drive(done, options_.sync_wait);
+  return out;
+}
+
+const Histogram& RoutedClient::shard_latency_us(ShardId shard) {
+  return shard_latency_us_[shard];
+}
+
+Histogram RoutedClient::latency_us() const {
+  Histogram merged;
+  for (const auto& [shard, histogram] : shard_latency_us_) {
+    (void)shard;
+    merged.merge(histogram);
+  }
+  return merged;
+}
+
+void RoutedClient::record(ShardId shard, sim::Time start) {
+  shard_latency_us_[shard].record(
+      (cluster_.sim().now() - start) / sim::kMicrosecond);
+}
+
+}  // namespace recipe::cluster

@@ -14,15 +14,22 @@ namespace recipe {
 class ZipfianGenerator {
  public:
   // Items are in [0, n). theta in (0, 1); YCSB default is 0.99.
+  // n == 0 is clamped to 1 (an empty item set cannot be sampled); for
+  // n == 1 every draw is item 0 — both would otherwise divide by zero in
+  // the eta_ precomputation (zeta(2)/zeta(1) > 1 makes the denominator
+  // vanish or go negative).
   explicit ZipfianGenerator(std::uint64_t n, double theta = 0.99)
-      : n_(n), theta_(theta), zetan_(zeta(n, theta)) {
+      : n_(n == 0 ? 1 : n), theta_(theta), zetan_(zeta(n_, theta)) {
     alpha_ = 1.0 / (1.0 - theta_);
-    const double zeta2 = zeta(2, theta_);
-    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
-           (1.0 - zeta2 / zetan_);
+    if (n_ > 1) {
+      const double zeta2 = zeta(2, theta_);
+      eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+             (1.0 - zeta2 / zetan_);
+    }
   }
 
   std::uint64_t next(Rng& rng) const {
+    if (n_ == 1) return 0;
     const double u = rng.uniform();
     const double uz = u * zetan_;
     if (uz < 1.0) return 0;

@@ -8,7 +8,7 @@
 //   * Byzantine: an adversary interceptor may observe, tamper with, replay,
 //     inject or drop any packet (Dolev-Yao).
 //
-// Per-endpooint NetStackParams charge send/receive CPU and wire time, which
+// Per-endpoint NetStackParams charge send/receive CPU and wire time, which
 // is how kernel-net vs direct-I/O and native vs TEE stacks are modelled
 // (Fig. 6b).
 #pragma once
@@ -16,8 +16,10 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <set>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "common/bytes.h"
@@ -165,7 +167,9 @@ class SimNetwork {
   Rng rng_;
   std::unordered_map<NodeId, Endpoint> endpoints_;
   std::unordered_set<NodeId> crashed_;
-  std::unordered_set<std::uint64_t> partitions_;  // key(a,b)
+  // Unordered node pair; full 64-bit ids (a packed 64-bit key would collide
+  // for ids >= 2^32).
+  std::set<std::pair<std::uint64_t, std::uint64_t>> partitions_;
   NetworkFaults faults_{};
   Adversary adversary_;
 
@@ -174,10 +178,9 @@ class SimNetwork {
   std::uint64_t packets_dropped_{0};
   std::uint64_t bytes_sent_{0};
 
-  static std::uint64_t partition_key(NodeId a, NodeId b) {
-    const std::uint64_t lo = std::min(a.value, b.value);
-    const std::uint64_t hi = std::max(a.value, b.value);
-    return (lo << 32) | (hi & 0xFFFFFFFF);
+  static std::pair<std::uint64_t, std::uint64_t> partition_key(NodeId a,
+                                                               NodeId b) {
+    return {std::min(a.value, b.value), std::max(a.value, b.value)};
   }
 };
 

@@ -34,6 +34,8 @@ class ChainNode final : public ReplicaNode {
 
   // Coordinates PUTs when head, GETs when tail.
   bool is_coordinator() const override { return is_head() || is_tail(); }
+  bool coordinates_writes() const override { return is_head(); }
+  bool coordinates_reads() const override { return is_tail(); }
   bool serves_local_reads() const override { return is_tail(); }
   void submit(const ClientRequest& request, ReplyFn reply) override;
 

@@ -36,6 +36,7 @@ class CraqNode final : public ReplicaNode {
 
   // Writes coordinate at the head; reads at ANY node.
   bool is_coordinator() const override { return running(); }
+  bool coordinates_writes() const override { return is_head(); }
   bool serves_local_reads() const override { return true; }
   void submit(const ClientRequest& request, ReplyFn reply) override;
 

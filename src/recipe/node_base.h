@@ -89,6 +89,11 @@ class ReplicaNode {
 
   // True when this node may coordinate client requests right now.
   virtual bool is_coordinator() const = 0;
+  // Op-aware refinements used by the routing layer (src/cluster/): some
+  // protocols accept PUTs and GETs at different nodes (CR: writes at the
+  // head, reads at the tail; CRAQ: writes at the head, reads anywhere).
+  virtual bool coordinates_writes() const { return is_coordinator(); }
+  virtual bool coordinates_reads() const { return is_coordinator(); }
   // Protocol-specific request execution; invoked on the coordinator.
   virtual void submit(const ClientRequest& request, ReplyFn reply) = 0;
 

@@ -1,76 +1,13 @@
-// Distributed data-store layer (paper Fig. 2): consistent-hashing routing
-// table mapping the keyspace onto replica groups (shards).
-//
-// Each shard is an independent replication group running its own protocol
-// instance; the routing table forwards a client request to the coordinator
-// of the owning shard. Virtual nodes smooth the distribution; lookups are
-// O(log n) on the ring.
+// Compatibility shim: the consistent-hashing routing table grew into the
+// first-class cluster subsystem; see src/cluster/hash_ring.h (ring) and
+// src/cluster/cluster.h (sharded deployments built on it).
 #pragma once
 
-#include <cstdint>
-#include <map>
-#include <string>
-#include <string_view>
-#include <vector>
-
-#include "crypto/sha256.h"
+#include "cluster/hash_ring.h"
 
 namespace recipe::workload {
 
-using ShardId = std::uint32_t;
-
-class ConsistentHashRing {
- public:
-  explicit ConsistentHashRing(std::size_t virtual_nodes = 64)
-      : virtual_nodes_(virtual_nodes) {}
-
-  void add_shard(ShardId shard) {
-    for (std::size_t v = 0; v < virtual_nodes_; ++v) {
-      ring_.emplace(point(shard, v), shard);
-    }
-  }
-
-  void remove_shard(ShardId shard) {
-    for (auto it = ring_.begin(); it != ring_.end();) {
-      if (it->second == shard) {
-        it = ring_.erase(it);
-      } else {
-        ++it;
-      }
-    }
-  }
-
-  // The shard owning `key` (first ring point clockwise from the key hash).
-  ShardId lookup(std::string_view key) const {
-    const std::uint64_t h = hash_of(key);
-    auto it = ring_.lower_bound(h);
-    if (it == ring_.end()) it = ring_.begin();
-    return it->second;
-  }
-
-  bool empty() const { return ring_.empty(); }
-  std::size_t shard_count() const {
-    std::map<ShardId, bool> distinct;
-    for (const auto& [h, s] : ring_) {
-      (void)h;
-      distinct[s] = true;
-    }
-    return distinct.size();
-  }
-
- private:
-  static std::uint64_t hash_of(std::string_view data) {
-    const auto digest = crypto::Sha256::hash(as_view(data));
-    std::uint64_t h = 0;
-    for (int i = 0; i < 8; ++i) h |= static_cast<std::uint64_t>(digest[static_cast<std::size_t>(i)]) << (8 * i);
-    return h;
-  }
-  std::uint64_t point(ShardId shard, std::size_t v) const {
-    return hash_of("shard:" + std::to_string(shard) + "/vn:" + std::to_string(v));
-  }
-
-  std::size_t virtual_nodes_;
-  std::map<std::uint64_t, ShardId> ring_;
-};
+using ShardId = cluster::ShardId;
+using ConsistentHashRing = cluster::ConsistentHashRing;
 
 }  // namespace recipe::workload

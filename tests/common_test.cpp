@@ -177,6 +177,33 @@ TEST(Zipf, UniformThetaZeroIsRoughlyFlat) {
   EXPECT_EQ(counts.size(), 10u);
 }
 
+TEST(Zipf, DegenerateItemCountsAreSafe) {
+  // Regression: n == 0 divided by zero in the eta_ precomputation and
+  // n == 1 made its denominator vanish (zeta(2)/zeta(1) > 1); both now
+  // degenerate to "always item 0" instead of NaN/UB.
+  Rng rng(7);
+  ZipfianGenerator empty(0);
+  EXPECT_EQ(empty.item_count(), 1u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(empty.next(rng), 0u);
+
+  ZipfianGenerator single(1);
+  EXPECT_EQ(single.item_count(), 1u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(single.next(rng), 0u);
+}
+
+TEST(Zipf, TwoItemsStayInRange) {
+  Rng rng(7);
+  ZipfianGenerator zipf(2, 0.99);
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < 10000; ++i) counts[zipf.next(rng)]++;
+  for (const auto& [item, count] : counts) {
+    EXPECT_LT(item, 2u);
+    EXPECT_GT(count, 0);
+  }
+  // Item 0 is the more popular of the two.
+  EXPECT_GT(counts[0], counts[1]);
+}
+
 TEST(Histogram, BasicStats) {
   Histogram h;
   for (std::uint64_t v = 1; v <= 1000; ++v) h.record(v);

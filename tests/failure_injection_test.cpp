@@ -181,6 +181,76 @@ TEST(ConsistentHashRing, RemovalMovesOnlyAffectedKeys) {
   EXPECT_GT(moved, 0);
 }
 
+TEST(ConsistentHashRing, AddingShardMovesBoundedFraction) {
+  // Adding one shard to an N-shard ring must move only ~1/(N+1) of the
+  // keyspace — and every moved key must move TO the new shard (consistent
+  // hashing never shuffles keys between existing shards).
+  constexpr int kShards = 5;
+  constexpr int kKeys = 10000;
+  workload::ConsistentHashRing ring;
+  for (workload::ShardId s = 0; s < kShards; ++s) ring.add_shard(s);
+
+  std::map<std::string, workload::ShardId> before;
+  for (int i = 0; i < kKeys; ++i) {
+    const std::string key = "user" + std::to_string(i);
+    before[key] = ring.lookup(key);
+  }
+
+  ring.add_shard(kShards);
+  int moved = 0;
+  for (const auto& [key, owner] : before) {
+    const auto now = ring.lookup(key);
+    if (now != owner) {
+      EXPECT_EQ(now, static_cast<workload::ShardId>(kShards))
+          << "key moved between pre-existing shards";
+      ++moved;
+    }
+  }
+  const double fraction = static_cast<double>(moved) / kKeys;
+  const double expected = 1.0 / (kShards + 1);
+  EXPECT_GT(fraction, expected / 3) << "new shard starved";
+  EXPECT_LT(fraction, expected * 2.5) << "far more than its share moved";
+}
+
+TEST(ConsistentHashRing, RemovingShardMovesBoundedFraction) {
+  constexpr int kShards = 5;
+  constexpr int kKeys = 10000;
+  workload::ConsistentHashRing ring;
+  for (workload::ShardId s = 0; s < kShards; ++s) ring.add_shard(s);
+
+  int owned = 0;
+  for (int i = 0; i < kKeys; ++i) {
+    if (ring.lookup("user" + std::to_string(i)) == 0) ++owned;
+  }
+  // RemovalMovesOnlyAffectedKeys covers WHICH keys move; this bounds HOW MANY.
+  const double fraction = static_cast<double>(owned) / kKeys;
+  EXPECT_GT(fraction, 1.0 / kShards / 3);
+  EXPECT_LT(fraction, 2.5 / kShards);
+}
+
+TEST(ConsistentHashRing, RemoveDownToEmptyRing) {
+  workload::ConsistentHashRing ring;
+  for (workload::ShardId s = 0; s < 3; ++s) ring.add_shard(s);
+  EXPECT_FALSE(ring.empty());
+
+  ring.remove_shard(0);
+  ring.remove_shard(2);
+  EXPECT_EQ(ring.shard_count(), 1u);
+  // All keys land on the sole survivor.
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(ring.lookup("user" + std::to_string(i)), 1u);
+  }
+
+  ring.remove_shard(1);
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.shard_count(), 0u);
+  // Lookup on an empty ring is well-defined (no owner), not UB.
+  EXPECT_EQ(ring.lookup("user1"), workload::ConsistentHashRing::kNoShard);
+  // Removing from an empty ring is a no-op.
+  ring.remove_shard(1);
+  EXPECT_TRUE(ring.empty());
+}
+
 TEST(ConsistentHashRing, ShardedAbdDeployment) {
   // Two independent ABD replication groups; the routing layer steers each
   // key to its owning shard (Fig. 2 end-to-end).

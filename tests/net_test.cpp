@@ -130,6 +130,33 @@ TEST(SimNetwork, PartitionBlocksBothDirections) {
   EXPECT_EQ(h.received_b.size(), 1u);
 }
 
+TEST(SimNetwork, PartitionKeysDoNotCollideForWideNodeIds) {
+  // Regression: the partition key used to pack both 64-bit ids into one
+  // 64-bit word as (lo << 32) | (hi & 0xFFFFFFFF), so partition(1, 2^32+5)
+  // also severed the unrelated pair (1, 5) — and any id >= 2^32 aliased.
+  constexpr std::uint64_t kHigh = (1ULL << 32) + 5;
+  sim::Simulator simulator;
+  SimNetwork net(simulator, Rng(1));
+  int low_received = 0, high_received = 0;
+  net.attach(NodeId{1}, NetStackParams::direct_io_native(), [](Packet&&) {});
+  net.attach(NodeId{5}, NetStackParams::direct_io_native(),
+             [&](Packet&&) { ++low_received; });
+  net.attach(NodeId{kHigh}, NetStackParams::direct_io_native(),
+             [&](Packet&&) { ++high_received; });
+
+  net.partition(NodeId{1}, NodeId{kHigh}, true);
+  net.send(Packet{NodeId{1}, NodeId{5}, 7, to_bytes("ok")});
+  net.send(Packet{NodeId{1}, NodeId{kHigh}, 7, to_bytes("blocked")});
+  simulator.run_all();
+  EXPECT_EQ(low_received, 1) << "partition of (1, 2^32+5) must not block (1, 5)";
+  EXPECT_EQ(high_received, 0);
+
+  net.partition(NodeId{1}, NodeId{kHigh}, false);
+  net.send(Packet{NodeId{1}, NodeId{kHigh}, 7, to_bytes("now ok")});
+  simulator.run_all();
+  EXPECT_EQ(high_received, 1);
+}
+
 TEST(SimNetwork, PreGstDropsHappenPostGstBounded) {
   sim::Simulator simulator;
   SimNetwork net(simulator, Rng(3));
