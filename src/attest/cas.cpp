@@ -220,20 +220,26 @@ void AttestationAuthority::announce_fresh_node(NodeId fresh) {
     if (replica == fresh) continue;
     // Shield the notice on the CAS<->replica channel: the CAS holds the
     // cluster root, so replicas verify it like any peer message.
-    ShieldedMessage notice;
-    notice.header.view = ViewId{0};
-    notice.header.cq = directed_channel(rpc_.self(), replica);
-    notice.header.cnt = ++announce_counters_[notice.header.cq];
-    notice.header.sender = rpc_.self();
-    notice.header.receiver = replica;
+    ShieldedHeader header;
+    header.view = ViewId{0};
+    header.cq = directed_channel(rpc_.self(), replica);
+    header.cnt = ++announce_counters_[header.cq];
+    header.sender = rpc_.self();
+    header.receiver = replica;
     Writer payload;
     payload.id(fresh);
-    notice.payload = std::move(payload).take();
-    const crypto::Mac mac =
-        crypto::hmac_sha256(derive_channel_key(rpc_.self(), replica).view(),
-                            as_view(notice.authenticated_data()));
-    notice.mac.assign(mac.begin(), mac.end());
-    rpc_.send(replica, msg::kFreshNode, notice.serialize());
+
+    auto hmac_it = announce_hmacs_.find(replica);
+    if (hmac_it == announce_hmacs_.end()) {
+      hmac_it = announce_hmacs_
+                    .emplace(replica, crypto::Hmac(derive_channel_key(
+                                          rpc_.self(), replica).view()))
+                    .first;
+    }
+    Bytes wire = encode_shielded_frame(header, as_view(payload.buffer()),
+                                       crypto::kMacSize);
+    write_frame_mac(wire, hmac_it->second);
+    rpc_.send(replica, msg::kFreshNode, std::move(wire));
   }
 }
 

@@ -115,6 +115,10 @@ class AttestationAuthority {
   Rng rng_;
   std::uint64_t nonce_counter_{1};
   std::unordered_map<ChannelId, Counter> announce_counters_;
+  // Cached per-replica channel crypto for fresh-node notices: the HKDF
+  // derivation and HMAC key schedule run once per replica, not per notice.
+  // The CAS root never rotates within a deployment, so no epoch is needed.
+  std::unordered_map<NodeId, crypto::Hmac> announce_hmacs_;
 };
 
 // Host-side runtime on a replica/client: answers attestation challenges by

@@ -14,6 +14,7 @@
 #include <type_traits>
 
 #include "common/bytes.h"
+#include "common/endian.h"
 #include "common/ids.h"
 
 namespace recipe {
@@ -35,7 +36,7 @@ class Writer {
     put_le(v.value);
   }
 
-  // Length-prefixed byte string.
+  // Length-prefixed byte string: two bulk inserts, no per-byte work.
   void bytes(BytesView v) {
     u32(static_cast<std::uint32_t>(v.size()));
     append(buf_, v);
@@ -56,11 +57,19 @@ class Writer {
   std::size_t size() const { return buf_.size(); }
 
  private:
+  // Encodes into a stack scratch block, then bulk-inserts: a single copy,
+  // no per-byte push_back capacity checks.
   template <typename T>
   void put_le(T v) {
-    for (std::size_t i = 0; i < sizeof(T); ++i) {
-      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    std::uint8_t tmp[sizeof(T)];
+    if constexpr (std::endian::native == std::endian::little) {
+      std::memcpy(tmp, &v, sizeof(T));
+    } else {
+      for (std::size_t i = 0; i < sizeof(T); ++i) {
+        tmp[i] = static_cast<std::uint8_t>(v >> (8 * i));
+      }
     }
+    buf_.insert(buf_.end(), tmp, tmp + sizeof(T));
   }
 
   Bytes buf_;
@@ -132,8 +141,12 @@ class Reader {
   std::optional<T> get_le() {
     if (remaining() < sizeof(T)) return std::nullopt;
     T v = 0;
-    for (std::size_t i = 0; i < sizeof(T); ++i) {
-      v |= static_cast<T>(static_cast<T>(data_[pos_ + i]) << (8 * i));
+    if constexpr (std::endian::native == std::endian::little) {
+      std::memcpy(&v, data_.data() + pos_, sizeof(T));
+    } else {
+      for (std::size_t i = 0; i < sizeof(T); ++i) {
+        v |= static_cast<T>(static_cast<T>(data_[pos_ + i]) << (8 * i));
+      }
     }
     pos_ += sizeof(T);
     return v;

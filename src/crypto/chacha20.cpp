@@ -4,23 +4,11 @@
 #include <cassert>
 #include <cstring>
 
+#include "common/endian.h"
+
 namespace recipe::crypto {
 
 namespace {
-
-inline std::uint32_t load_le32(const std::uint8_t* p) {
-  return static_cast<std::uint32_t>(p[0]) |
-         (static_cast<std::uint32_t>(p[1]) << 8) |
-         (static_cast<std::uint32_t>(p[2]) << 16) |
-         (static_cast<std::uint32_t>(p[3]) << 24);
-}
-
-inline void store_le32(std::uint8_t* p, std::uint32_t v) {
-  p[0] = static_cast<std::uint8_t>(v);
-  p[1] = static_cast<std::uint8_t>(v >> 8);
-  p[2] = static_cast<std::uint8_t>(v >> 16);
-  p[3] = static_cast<std::uint8_t>(v >> 24);
-}
 
 inline void quarter_round(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c,
                           std::uint32_t& d) {
@@ -49,7 +37,7 @@ void chacha20_block(const std::uint32_t state[16], std::uint8_t out[64]) {
 }  // namespace
 
 void chacha20_xor(BytesView key, const ChaChaNonce& nonce, std::uint32_t counter,
-                  Bytes& data) {
+                  std::uint8_t* data, std::size_t len) {
   assert(key.size() == kChaChaKeySize);
 
   std::uint32_t state[16];
@@ -63,13 +51,18 @@ void chacha20_xor(BytesView key, const ChaChaNonce& nonce, std::uint32_t counter
 
   std::uint8_t keystream[64];
   std::size_t offset = 0;
-  while (offset < data.size()) {
+  while (offset < len) {
     chacha20_block(state, keystream);
     state[12]++;
-    const std::size_t n = std::min<std::size_t>(64, data.size() - offset);
+    const std::size_t n = std::min<std::size_t>(64, len - offset);
     for (std::size_t i = 0; i < n; ++i) data[offset + i] ^= keystream[i];
     offset += n;
   }
+}
+
+void chacha20_xor(BytesView key, const ChaChaNonce& nonce, std::uint32_t counter,
+                  Bytes& data) {
+  chacha20_xor(key, nonce, counter, data.data(), data.size());
 }
 
 Bytes chacha20(BytesView key, const ChaChaNonce& nonce, std::uint32_t counter,
@@ -86,6 +79,18 @@ ChaChaNonce make_nonce(std::uint32_t prefix, std::uint64_t counter) {
     nonce[4 + static_cast<std::size_t>(i)] =
         static_cast<std::uint8_t>(counter >> (8 * i));
   }
+  return nonce;
+}
+
+ChaChaNonce make_channel_nonce(std::uint64_t cq, std::uint64_t counter) {
+  // [0..7]: the FULL channel id; [8..11]: low counter bits. Injective over
+  // (cq, counter mod 2^32), so distinct channels of a pairwise key can never
+  // collide and counters are unique up to kChannelNonceMessageLimit —
+  // callers (RecipeSecurity::shield) refuse to encrypt past that bound
+  // rather than silently reuse a nonce.
+  ChaChaNonce nonce{};
+  store_le64(nonce.data(), cq);
+  store_le32(nonce.data() + 8, static_cast<std::uint32_t>(counter));
   return nonce;
 }
 

@@ -17,9 +17,13 @@ constexpr std::size_t kChaChaNonceSize = 12;
 
 using ChaChaNonce = std::array<std::uint8_t, kChaChaNonceSize>;
 
-// Encrypts/decrypts `data` in place (XOR stream cipher: the operation is its
-// own inverse). `counter` is the initial block counter (RFC 8439 uses 1 for
-// AEAD payloads; we use 0 for raw streams).
+// Encrypts/decrypts `len` bytes at `data` in place (XOR stream cipher: the
+// operation is its own inverse). `counter` is the initial block counter
+// (RFC 8439 uses 1 for AEAD payloads; we use 0 for raw streams). The raw
+// pointer form lets callers transform a region inside a larger wire buffer
+// without staging the payload in a separate allocation.
+void chacha20_xor(BytesView key, const ChaChaNonce& nonce, std::uint32_t counter,
+                  std::uint8_t* data, std::size_t len);
 void chacha20_xor(BytesView key, const ChaChaNonce& nonce, std::uint32_t counter,
                   Bytes& data);
 
@@ -27,8 +31,20 @@ void chacha20_xor(BytesView key, const ChaChaNonce& nonce, std::uint32_t counter
 Bytes chacha20(BytesView key, const ChaChaNonce& nonce, std::uint32_t counter,
                BytesView data);
 
-// Builds a nonce from a 96-bit value split as (channel id, message counter) —
-// unique per (key, message) as required for stream-cipher safety.
+// Builds a nonce from a 96-bit value split as (32-bit domain prefix, message
+// counter). Only safe when the prefix space genuinely fits 32 bits (e.g. the
+// fixed "KV"/"CA" domain tags); channel traffic must use make_channel_nonce.
 ChaChaNonce make_nonce(std::uint32_t prefix, std::uint64_t counter);
+
+// Nonce for per-channel message encryption: the FULL 64-bit channel id plus
+// the low 32 counter bits. ChannelId packs sender<<20|receiver, so truncating
+// it to 32 bits (as make_nonce would) collides the two directions of a
+// pairwise key for node ids >= 2^20 / ids equal in the low 12 bits — reusing
+// a (key, nonce) pair across different plaintexts. Uniqueness per
+// (key, message) holds while a channel stays below
+// kChannelNonceMessageLimit messages; encrypting callers must refuse beyond
+// it (a fresh key — i.e. re-attestation — is required to continue).
+inline constexpr std::uint64_t kChannelNonceMessageLimit = 1ull << 32;
+ChaChaNonce make_channel_nonce(std::uint64_t cq, std::uint64_t counter);
 
 }  // namespace recipe::crypto

@@ -17,6 +17,7 @@ class Drbg {
   explicit Drbg(BytesView seed) {
     const Bytes salt = to_bytes("recipe-drbg-v1");
     key_ = hkdf_sha256(seed, as_view(salt), BytesView{}, kSymmetricKeySize);
+    hmac_ = Hmac(as_view(key_));  // key schedule runs once, not per block
   }
 
   // Returns `n` pseudo-random bytes.
@@ -25,7 +26,7 @@ class Drbg {
     out.reserve(n);
     while (out.size() < n) {
       advance_counter();
-      const Mac block = hmac_sha256(as_view(key_), as_view(counter_bytes_));
+      const Mac block = hmac_.mac(as_view(counter_bytes_));
       const std::size_t take = std::min<std::size_t>(block.size(), n - out.size());
       out.insert(out.end(), block.begin(),
                  block.begin() + static_cast<std::ptrdiff_t>(take));
@@ -53,6 +54,7 @@ class Drbg {
   }
 
   Bytes key_;
+  Hmac hmac_;
   std::uint64_t counter_{0};
   Bytes counter_bytes_;
 };

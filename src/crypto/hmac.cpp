@@ -7,77 +7,84 @@ namespace recipe::crypto {
 
 namespace {
 constexpr std::size_t kBlockSize = 64;
+}  // namespace
 
-struct HmacState {
-  Sha256 inner;
-  std::array<std::uint8_t, kBlockSize> opad{};
-};
-
-HmacState hmac_begin(BytesView key) {
+Hmac::Hmac(BytesView key) {
   std::array<std::uint8_t, kBlockSize> key_block{};
   if (key.size() > kBlockSize) {
     const Sha256Digest kd = Sha256::hash(key);
     std::memcpy(key_block.data(), kd.data(), kd.size());
-  } else {
+  } else if (!key.empty()) {
     std::memcpy(key_block.data(), key.data(), key.size());
   }
 
-  HmacState st;
-  std::array<std::uint8_t, kBlockSize> ipad{};
-  for (std::size_t i = 0; i < kBlockSize; ++i) {
-    ipad[i] = key_block[i] ^ 0x36;
-    st.opad[i] = key_block[i] ^ 0x5c;
-  }
-  st.inner.update(BytesView(ipad.data(), ipad.size()));
-  return st;
+  std::array<std::uint8_t, kBlockSize> pad;
+  for (std::size_t i = 0; i < kBlockSize; ++i) pad[i] = key_block[i] ^ 0x36;
+  inner_mid_.update(BytesView(pad.data(), pad.size()));
+  for (std::size_t i = 0; i < kBlockSize; ++i) pad[i] = key_block[i] ^ 0x5c;
+  outer_mid_.update(BytesView(pad.data(), pad.size()));
 }
 
-Mac hmac_end(HmacState& st) {
-  const Sha256Digest inner_digest = st.inner.finalize();
-  Sha256 outer;
-  outer.update(BytesView(st.opad.data(), st.opad.size()));
+Mac Hmac::finish(Sha256& inner) const {
+  const Sha256Digest inner_digest = inner.finalize();
+  Sha256 outer = outer_mid_;
   outer.update(BytesView(inner_digest.data(), inner_digest.size()));
   return outer.finalize();
 }
-}  // namespace
+
+Mac Hmac::mac(BytesView message) const {
+  Sha256 inner = begin();
+  inner.update(message);
+  return finish(inner);
+}
+
+Mac Hmac::mac2(BytesView part1, BytesView part2) const {
+  Sha256 inner = begin();
+  inner.update(part1);
+  inner.update(part2);
+  return finish(inner);
+}
+
+bool Hmac::verify(BytesView message, BytesView expected_mac) const {
+  const Mac m = mac(message);
+  return constant_time_equal(BytesView(m.data(), m.size()), expected_mac);
+}
 
 Mac hmac_sha256(BytesView key, BytesView message) {
-  HmacState st = hmac_begin(key);
-  st.inner.update(message);
-  return hmac_end(st);
+  return Hmac(key).mac(message);
 }
 
 Mac hmac_sha256_2(BytesView key, BytesView part1, BytesView part2) {
-  HmacState st = hmac_begin(key);
-  st.inner.update(part1);
-  st.inner.update(part2);
-  return hmac_end(st);
+  return Hmac(key).mac2(part1, part2);
 }
 
 bool hmac_verify(BytesView key, BytesView message, BytesView expected_mac) {
-  const Mac mac = hmac_sha256(key, message);
-  return constant_time_equal(BytesView(mac.data(), mac.size()), expected_mac);
+  return Hmac(key).verify(message, expected_mac);
 }
 
 Bytes hkdf_sha256(BytesView input_key_material, BytesView salt, BytesView info,
                   std::size_t output_length) {
   // Extract.
-  const Mac prk = hmac_sha256(salt, input_key_material);
+  const Mac prk = Hmac(salt).mac(input_key_material);
 
-  // Expand.
+  // Expand: one PRK key schedule shared by every T(i) block.
+  const Hmac prk_hmac(BytesView(prk.data(), prk.size()));
   Bytes okm;
   okm.reserve(output_length);
-  Bytes t;  // T(i-1)
+  Mac t{};  // T(i-1)
+  bool have_t = false;
   std::uint8_t counter = 1;
   while (okm.size() < output_length) {
-    Bytes block = t;
-    append(block, info);
-    block.push_back(counter++);
-    const Mac ti =
-        hmac_sha256(BytesView(prk.data(), prk.size()), as_view(block));
-    t.assign(ti.begin(), ti.end());
+    Sha256 inner = prk_hmac.begin();
+    if (have_t) inner.update(BytesView(t.data(), t.size()));
+    inner.update(info);
+    inner.update(BytesView(&counter, 1));
+    ++counter;
+    t = prk_hmac.finish(inner);
+    have_t = true;
     const std::size_t take = std::min(t.size(), output_length - okm.size());
-    okm.insert(okm.end(), t.begin(), t.begin() + static_cast<std::ptrdiff_t>(take));
+    okm.insert(okm.end(), t.begin(),
+               t.begin() + static_cast<std::ptrdiff_t>(take));
   }
   return okm;
 }

@@ -4,6 +4,10 @@
 // after remote attestation, every pair of TEEs shares per-channel MAC keys
 // known only inside the enclaves, so a valid MAC is transferable proof that
 // an attested TEE produced the message.
+//
+// The Hmac class precomputes the ipad/opad SHA-256 midstates once per key;
+// each message then clones the inner midstate instead of re-running the key
+// schedule, which is what makes cached per-channel crypto contexts cheap.
 #pragma once
 
 #include <cstdint>
@@ -15,6 +19,29 @@ namespace recipe::crypto {
 
 using Mac = Sha256Digest;
 constexpr std::size_t kMacSize = kSha256DigestSize;
+
+// A keyed HMAC-SHA256 context with precomputed ipad/opad midstates. Safe to
+// reuse across messages; copyable.
+class Hmac {
+ public:
+  Hmac() = default;
+  explicit Hmac(BytesView key);
+
+  // Streaming interface: begin() clones the inner midstate; feed message
+  // bytes with Sha256::update(); finish() folds the inner digest through the
+  // outer midstate. One Hmac can have many streams in flight.
+  Sha256 begin() const { return inner_mid_; }
+  Mac finish(Sha256& inner) const;
+
+  // One-shot conveniences over the cached midstates.
+  Mac mac(BytesView message) const;
+  Mac mac2(BytesView part1, BytesView part2) const;
+  bool verify(BytesView message, BytesView expected_mac) const;
+
+ private:
+  Sha256 inner_mid_;  // state after absorbing key ^ ipad
+  Sha256 outer_mid_;  // state after absorbing key ^ opad
+};
 
 // Computes HMAC-SHA256(key, message).
 Mac hmac_sha256(BytesView key, BytesView message);

@@ -3,6 +3,10 @@
 // Used for: message digests in shielded messages, enclave measurements,
 // KV-store value integrity metadata, and as the compression core of
 // HMAC/HKDF. Validated against NIST test vectors in tests/crypto_test.cpp.
+//
+// The compression loop dispatches at runtime to the x86 SHA-NI extensions
+// when the CPU has them (one-time CPUID probe); the portable scalar code is
+// the fallback and the reference for the instruction-set path.
 #pragma once
 
 #include <array>
@@ -15,6 +19,9 @@ namespace recipe::crypto {
 constexpr std::size_t kSha256DigestSize = 32;
 using Sha256Digest = std::array<std::uint8_t, kSha256DigestSize>;
 
+// A Sha256 object is a copyable midstate: cloning one after absorbing a
+// prefix (e.g. the HMAC ipad block) forks the computation, which is what
+// lets Hmac amortize its key schedule across messages.
 class Sha256 {
  public:
   Sha256() { reset(); }
@@ -27,8 +34,16 @@ class Sha256 {
   static Sha256Digest hash(BytesView data);
   static Sha256Digest hash2(BytesView a, BytesView b);
 
+  // True when the runtime dispatch selected a hardware compression core.
+  static bool hardware_accelerated();
+
+  // Test/bench hook: swap between the hardware core (when available) and
+  // the portable scalar core, e.g. for differential testing of the SHA-NI
+  // path or for measuring pre-acceleration baselines. Process-wide.
+  static void set_hardware_acceleration(bool enabled);
+
  private:
-  void process_block(const std::uint8_t* block);
+  void process_blocks(const std::uint8_t* data, std::size_t blocks);
 
   std::array<std::uint32_t, 8> state_{};
   std::uint64_t bit_count_{0};

@@ -1,8 +1,84 @@
 #include "recipe/message.h"
 
+#include <cassert>
+#include <cstring>
+
+#include "common/endian.h"
 #include "common/serde.h"
 
 namespace recipe {
+
+namespace {
+
+inline void encode_header(std::uint8_t* out, const ShieldedHeader& h) {
+  store_le64(out + 0, h.view.value);
+  store_le64(out + 8, h.cq.value);
+  store_le64(out + 16, h.cnt);
+  store_le64(out + 24, h.sender.value);
+  store_le64(out + 32, h.receiver.value);
+  out[40] = h.flags;
+}
+
+}  // namespace
+
+Bytes encode_shielded_frame(const ShieldedHeader& header, BytesView payload,
+                            std::size_t mac_size) {
+  const std::size_t total =
+      kShieldedPayloadOffset + payload.size() + 4 + mac_size;
+  Bytes wire;
+  wire.reserve(total);
+  wire.resize(kShieldedPayloadOffset);  // header region, fully overwritten
+  encode_header(wire.data(), header);
+  store_le32(wire.data() + kShieldedHeaderSize,
+             static_cast<std::uint32_t>(payload.size()));
+  // Payload lands via a single bulk insert — no pre-zeroing pass over it.
+  wire.insert(wire.end(), payload.begin(), payload.end());
+  wire.resize(total);  // MAC length field + zeroed MAC suffix
+  store_le32(wire.data() + kShieldedPayloadOffset + payload.size(),
+             static_cast<std::uint32_t>(mac_size));
+  return wire;
+}
+
+void write_frame_mac(Bytes& wire, const crypto::Hmac& hmac) {
+  const std::size_t covered = wire.size() - crypto::kMacSize - 4;
+  // Only frames encoded with mac_size == crypto::kMacSize have a suffix this
+  // function can fill; the length field sits exactly at `covered`.
+  assert(wire.size() >= kShieldedPayloadOffset + 4 + crypto::kMacSize);
+  assert(load_le32(wire.data() + covered) == crypto::kMacSize);
+  crypto::Sha256 inner = hmac.begin();
+  inner.update(BytesView(wire.data(), covered));
+  const crypto::Mac mac = hmac.finish(inner);
+  std::memcpy(wire.data() + wire.size() - crypto::kMacSize, mac.data(),
+              crypto::kMacSize);
+}
+
+Result<ShieldedView> ShieldedView::parse(BytesView wire) {
+  if (wire.size() < kShieldedPayloadOffset) {
+    return Status::error(ErrorCode::kInvalidArgument, "malformed shielded message");
+  }
+  const std::uint8_t* in = wire.data();
+  ShieldedView v;
+  v.header.view = ViewId{load_le64(in + 0)};
+  v.header.cq = ChannelId{load_le64(in + 8)};
+  v.header.cnt = load_le64(in + 16);
+  v.header.sender = NodeId{load_le64(in + 24)};
+  v.header.receiver = NodeId{load_le64(in + 32)};
+  v.header.flags = in[40];
+
+  const std::uint64_t payload_len = load_le32(in + kShieldedHeaderSize);
+  const std::uint64_t mac_at = kShieldedPayloadOffset + payload_len;
+  if (mac_at + 4 > wire.size()) {
+    return Status::error(ErrorCode::kInvalidArgument, "malformed shielded message");
+  }
+  const std::uint64_t mac_len = load_le32(in + mac_at);
+  if (mac_at + 4 + mac_len != wire.size()) {  // trailing garbage or truncation
+    return Status::error(ErrorCode::kInvalidArgument, "malformed shielded message");
+  }
+  v.payload = wire.subspan(kShieldedPayloadOffset, payload_len);
+  v.mac = wire.subspan(mac_at + 4, mac_len);
+  v.authenticated = wire.subspan(0, mac_at);
+  return v;
+}
 
 Bytes ShieldedMessage::authenticated_data() const {
   Writer w(payload.size() + 48);

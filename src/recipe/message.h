@@ -7,6 +7,13 @@
 // carries the non-equivocation tuple (view, cq, cnt_cq) from Algorithm 1.
 // In confidentiality mode the payload is ChaCha20-encrypted with a nonce
 // bound to (cq, cnt) — unique per key per message.
+//
+// Hot-path encoding is single-buffer: encode_shielded_frame() lays out the
+// whole frame (with MAC space reserved) in one allocation, the payload
+// region can be encrypted in place, and the MAC coverage is by construction
+// exactly the wire prefix — no authenticated_data() staging copy. On the
+// receive side ShieldedView borrows header/payload/mac from the wire bytes
+// so verify() copies the payload exactly once.
 #pragma once
 
 #include <cstdint>
@@ -14,6 +21,7 @@
 #include "common/bytes.h"
 #include "common/ids.h"
 #include "common/result.h"
+#include "crypto/hmac.h"
 
 namespace recipe {
 
@@ -29,6 +37,40 @@ struct ShieldedHeader {
   bool encrypted() const { return (flags & kFlagEncrypted) != 0; }
 };
 
+// Fixed frame geometry (little-endian):
+//   [0,40)  five u64 header fields   [40] flags
+//   [41,45) payload length u32       [45, 45+n) payload
+//   then    MAC length u32, MAC bytes.
+inline constexpr std::size_t kShieldedHeaderSize = 41;
+inline constexpr std::size_t kShieldedPayloadOffset = kShieldedHeaderSize + 4;
+
+// Serializes header + payload into the final wire buffer in one pass and
+// reserves a zeroed `mac_size`-byte MAC suffix (wire-compatible with the
+// Writer-based ShieldedMessage::serialize()). The payload lands at
+// kShieldedPayloadOffset and may be transformed in place before MACing.
+Bytes encode_shielded_frame(const ShieldedHeader& header, BytesView payload,
+                            std::size_t mac_size);
+
+// Computes the frame MAC over the wire prefix (header fields || payload —
+// identical bytes to authenticated_data()) with the channel's cached HMAC
+// midstates, and writes it into the reserved suffix of `wire`.
+void write_frame_mac(Bytes& wire, const crypto::Hmac& hmac);
+
+// A parsed frame that BORROWS from the wire bytes: nothing is copied until
+// the caller decides the message is worth keeping. `authenticated` is the
+// wire prefix the MAC covers. Views are valid only while the wire buffer is.
+struct ShieldedView {
+  ShieldedHeader header;
+  BytesView payload;
+  BytesView mac;            // empty in Null mode
+  BytesView authenticated;  // header fields || payload
+
+  static Result<ShieldedView> parse(BytesView wire);
+};
+
+// Owning message form, used off the hot path (forging tests, CAS notices,
+// tools). serialize()/authenticated_data() keep the historical copy-based
+// encoding; the golden wire tests pin both encoders to the same bytes.
 struct ShieldedMessage {
   ShieldedHeader header;
   Bytes payload;   // possibly ciphertext

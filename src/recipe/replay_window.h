@@ -1,0 +1,67 @@
+// Fixed-size sliding replay filter over per-channel message counters.
+//
+// Semantically identical to the previous std::map<Counter, bool> window
+// (every counter accepted at most once; counters that fell out of the
+// window rejected as stale) but O(1) per message with zero allocations: a
+// ring bitmap of `window` bits indexed by cnt % window, valid for counters
+// in (max_seen - window, max_seen]. The randomized equivalence test in
+// tests/replay_window_test.cpp pins the two implementations to each other.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace recipe {
+
+class ReplayWindow {
+ public:
+  enum class Verdict {
+    kAccept,     // first sighting, now marked
+    kStale,      // below the window: cnt + window <= max_seen
+    kDuplicate,  // already accepted
+  };
+
+  explicit ReplayWindow(std::size_t window)
+      : window_(std::max<std::size_t>(window, 1)),
+        bits_((window_ + 63) / 64, 0) {}
+
+  Verdict check_and_set(Counter cnt) {
+    if (cnt + window_ <= max_seen_) return Verdict::kStale;
+    if (cnt > max_seen_) {
+      // Advance the window: counters in (max_seen, cnt) have never been
+      // seen, so their ring slots (stale leftovers) must be cleared.
+      const Counter advance = cnt - max_seen_;
+      if (advance >= window_) {
+        std::fill(bits_.begin(), bits_.end(), 0);
+      } else {
+        for (Counter c = max_seen_ + 1; c < cnt; ++c) clear_bit(c % window_);
+        clear_bit(cnt % window_);
+      }
+      max_seen_ = cnt;
+      set_bit(cnt % window_);
+      return Verdict::kAccept;
+    }
+    if (test_bit(cnt % window_)) return Verdict::kDuplicate;
+    set_bit(cnt % window_);
+    return Verdict::kAccept;
+  }
+
+  Counter max_seen() const { return max_seen_; }
+  std::size_t window() const { return window_; }
+
+ private:
+  void set_bit(Counter i) { bits_[i >> 6] |= 1ULL << (i & 63); }
+  void clear_bit(Counter i) { bits_[i >> 6] &= ~(1ULL << (i & 63)); }
+  bool test_bit(Counter i) const {
+    return (bits_[i >> 6] & (1ULL << (i & 63))) != 0;
+  }
+
+  std::size_t window_;
+  std::vector<std::uint64_t> bits_;
+  Counter max_seen_{0};
+};
+
+}  // namespace recipe

@@ -8,20 +8,19 @@ namespace recipe {
 // --- NullSecurity ------------------------------------------------------------
 
 Result<Bytes> NullSecurity::shield(NodeId peer, ViewId view, BytesView payload) {
-  ShieldedMessage msg;
-  msg.header.view = view;
-  msg.header.cq = directed_channel(self_, peer);
-  msg.header.cnt = 0;
-  msg.header.sender = self_;
-  msg.header.receiver = peer;
-  msg.payload.assign(payload.begin(), payload.end());
-  return msg.serialize();
+  ShieldedHeader header;
+  header.view = view;
+  header.cq = directed_channel(self_, peer);
+  header.cnt = 0;
+  header.sender = self_;
+  header.receiver = peer;
+  return encode_shielded_frame(header, payload, 0);
 }
 
 Result<VerifiedEnvelope> NullSecurity::verify(NodeId claimed_sender,
                                               BytesView wire,
                                               std::optional<ViewId> require_view) {
-  auto msg = ShieldedMessage::parse(wire);
+  auto msg = ShieldedView::parse(wire);
   if (!msg) return msg.status();
   if (require_view && msg.value().header.view != *require_view) {
     return Status::error(ErrorCode::kWrongView, "view mismatch");
@@ -30,7 +29,7 @@ Result<VerifiedEnvelope> NullSecurity::verify(NodeId claimed_sender,
   env.sender = claimed_sender;  // trusted blindly: this is the CFT baseline
   env.view = msg.value().header.view;
   env.cnt = msg.value().header.cnt;
-  env.payload = std::move(msg.value().payload);
+  env.payload.assign(msg.value().payload.begin(), msg.value().payload.end());
   return env;
 }
 
@@ -45,6 +44,32 @@ RecipeSecurity::RecipeSecurity(tee::Enclave& enclave, NodeId self,
       cpu_(cpu),
       config_(std::move(config)) {}
 
+RecipeSecurity::ChannelCrypto* RecipeSecurity::cached_channel_crypto(
+    NodeId peer) {
+  // A crashed enclave must refuse service even when a derived context is
+  // cached: the keys notionally live inside the enclave (crash() does not
+  // advance keyset_epoch — only restart()/re-provisioning do).
+  if (enclave_.crashed()) return nullptr;
+  const auto it = crypto_cache_.find(peer);
+  if (it == crypto_cache_.end()) return nullptr;
+  if (it->second.epoch != enclave_.keyset_epoch()) {
+    crypto_cache_.erase(it);
+    return nullptr;
+  }
+  return &it->second;
+}
+
+Result<RecipeSecurity::ChannelCrypto> RecipeSecurity::derive_channel_crypto(
+    NodeId peer) {
+  auto key = attest::enclave_channel_key(enclave_, self_, peer);
+  if (!key) return key.status();
+  ChannelCrypto cc;
+  cc.key = std::move(key).take();
+  cc.hmac = crypto::Hmac(cc.key.view());
+  cc.epoch = enclave_.keyset_epoch();
+  return cc;
+}
+
 Result<Bytes> RecipeSecurity::shield(NodeId peer, ViewId view, BytesView payload) {
   const ChannelId cq = directed_channel(self_, peer);
 
@@ -52,44 +77,60 @@ Result<Bytes> RecipeSecurity::shield(NodeId peer, ViewId view, BytesView payload
   // cannot shield, and counters never repeat (non-equivocation).
   auto cnt = enclave_.increment_counter(cq);
   if (!cnt) return cnt.status();
-  auto key = channel_key(peer);
-  if (!key) return key.status();
+  // Shield targets are protocol members (not attacker-chosen), so caching
+  // before use is safe here, unlike in verify().
+  const ChannelCrypto* cc = cached_channel_crypto(peer);
+  if (cc == nullptr) {
+    auto derived = derive_channel_crypto(peer);
+    if (!derived) return derived.status();
+    cc = &(crypto_cache_[peer] = std::move(derived).take());
+  }
 
-  ShieldedMessage msg;
-  msg.header.view = view;
-  msg.header.cq = cq;
-  msg.header.cnt = cnt.value();
-  msg.header.sender = self_;
-  msg.header.receiver = peer;
-  msg.payload.assign(payload.begin(), payload.end());
+  if (config_.confidentiality &&
+      cnt.value() >= crypto::kChannelNonceMessageLimit) {
+    // The 96-bit nonce binds (cq, cnt mod 2^32): past this bound the stream
+    // would reuse a nonce under the same key. Refuse — continuing requires a
+    // fresh channel key, i.e. re-attestation.
+    return Status::error(ErrorCode::kInternal,
+                         "channel nonce space exhausted; re-key required");
+  }
+
+  ShieldedHeader header;
+  header.view = view;
+  header.cq = cq;
+  header.cnt = cnt.value();
+  header.sender = self_;
+  header.receiver = peer;
+  if (config_.confidentiality) header.flags |= ShieldedHeader::kFlagEncrypted;
+
+  // Single-buffer fast path: the payload is copied exactly once (into the
+  // wire buffer), encrypted in place, and MACed as the buffer prefix.
+  Bytes wire = encode_shielded_frame(header, payload, crypto::kMacSize);
 
   if (config_.confidentiality) {
-    msg.header.flags |= ShieldedHeader::kFlagEncrypted;
-    const auto nonce = crypto::make_nonce(
-        static_cast<std::uint32_t>(cq.value), cnt.value());
-    crypto::chacha20_xor(key.value().view(), nonce, 0, msg.payload);
-    if (cost_model_ != nullptr) charge(cost_model_->encrypt(msg.payload.size()));
+    const auto nonce = crypto::make_channel_nonce(cq.value, cnt.value());
+    crypto::chacha20_xor(cc->key.view(), nonce, 0,
+                         wire.data() + kShieldedPayloadOffset, payload.size());
+    if (cost_model_ != nullptr) charge(cost_model_->encrypt(payload.size()));
   }
 
-  const crypto::Mac mac =
-      crypto::hmac_sha256(key.value().view(), as_view(msg.authenticated_data()));
-  msg.mac.assign(mac.begin(), mac.end());
+  write_frame_mac(wire, cc->hmac);
 
   if (cost_model_ != nullptr) {
-    charge(cost_model_->exitless_call() + cost_model_->mac(msg.payload.size()) +
-           cost_model_->enclave_copy(msg.payload.size(), working_set()));
+    charge(cost_model_->exitless_call() + cost_model_->mac(payload.size()) +
+           cost_model_->enclave_copy(payload.size(), working_set()));
   }
-  return msg.serialize();
+  return wire;
 }
 
 Result<VerifiedEnvelope> RecipeSecurity::verify(
     NodeId claimed_sender, BytesView wire, std::optional<ViewId> require_view) {
-  auto parsed = ShieldedMessage::parse(wire);
+  auto parsed = ShieldedView::parse(wire);
   if (!parsed) {
     ++rejected_auth_;
     return parsed.status();
   }
-  ShieldedMessage msg = std::move(parsed).take();
+  const ShieldedView& msg = parsed.value();
 
   // The header's sender/receiver are authenticated by the MAC; the network's
   // claimed source is advisory only. A mismatch is an impersonation attempt.
@@ -102,10 +143,20 @@ Result<VerifiedEnvelope> RecipeSecurity::verify(
     return Status::error(ErrorCode::kAuthFailed, "channel id mismatch");
   }
 
-  auto key = channel_key(msg.header.sender);
-  if (!key) {
-    ++rejected_auth_;
-    return Status::error(ErrorCode::kNotAttested, "no channel key for sender");
+  // Everything up to here is attacker-controlled, so the crypto context for
+  // an unknown sender id is derived into a LOCAL and only committed to the
+  // cache after the MAC verifies — otherwise forged frames with millions of
+  // distinct sender ids would grow the cache without bound.
+  const ChannelCrypto* cc = cached_channel_crypto(msg.header.sender);
+  std::optional<ChannelCrypto> fresh;
+  if (cc == nullptr) {
+    auto derived = derive_channel_crypto(msg.header.sender);
+    if (!derived) {
+      ++rejected_auth_;
+      return Status::error(ErrorCode::kNotAttested, "no channel key for sender");
+    }
+    fresh = std::move(derived).take();
+    cc = &*fresh;
   }
 
   if (cost_model_ != nullptr) {
@@ -113,10 +164,20 @@ Result<VerifiedEnvelope> RecipeSecurity::verify(
            cost_model_->enclave_copy(msg.payload.size(), working_set()));
   }
 
-  const Bytes ad = msg.authenticated_data();
-  if (!crypto::hmac_verify(key.value().view(), as_view(ad), as_view(msg.mac))) {
-    ++rejected_auth_;
-    return Status::error(ErrorCode::kAuthFailed, "MAC verification failed");
+  // MAC over the borrowed wire prefix: no staging copy.
+  {
+    crypto::Sha256 inner = cc->hmac.begin();
+    inner.update(msg.authenticated);
+    const crypto::Mac expected = cc->hmac.finish(inner);
+    if (!crypto::constant_time_equal(
+            BytesView(expected.data(), expected.size()), msg.mac)) {
+      ++rejected_auth_;
+      return Status::error(ErrorCode::kAuthFailed, "MAC verification failed");
+    }
+  }
+  // The sender proved key possession: NOW the context may be cached.
+  if (fresh) {
+    cc = &(crypto_cache_[msg.header.sender] = std::move(*fresh));
   }
 
   if (require_view && msg.header.view != *require_view) {
@@ -124,18 +185,21 @@ Result<VerifiedEnvelope> RecipeSecurity::verify(
     return Status::error(ErrorCode::kWrongView, "view mismatch");
   }
 
-  if (msg.header.encrypted()) {
-    const auto nonce = crypto::make_nonce(
-        static_cast<std::uint32_t>(msg.header.cq.value), msg.header.cnt);
-    crypto::chacha20_xor(key.value().view(), nonce, 0, msg.payload);
-    if (cost_model_ != nullptr) charge(cost_model_->encrypt(msg.payload.size()));
-  }
-
   VerifiedEnvelope env;
   env.sender = msg.header.sender;
   env.view = msg.header.view;
   env.cnt = msg.header.cnt;
-  env.payload = std::move(msg.payload);
+  // The single payload copy out of the wire buffer; decryption then runs
+  // in place on the copy we keep.
+  env.payload.assign(msg.payload.begin(), msg.payload.end());
+
+  if (msg.header.encrypted()) {
+    const auto nonce =
+        crypto::make_channel_nonce(msg.header.cq.value, msg.header.cnt);
+    crypto::chacha20_xor(cc->key.view(), nonce, 0, env.payload.data(),
+                         env.payload.size());
+    if (cost_model_ != nullptr) charge(cost_model_->encrypt(env.payload.size()));
+  }
 
   ChannelState& ch = channels_[msg.header.cq];
   const Counter cnt = msg.header.cnt;
@@ -159,6 +223,7 @@ Result<VerifiedEnvelope> RecipeSecurity::verify(
       return env;
     }
     if (ch.future.size() >= config_.max_future_buffer) {
+      ++rejected_overflow_;
       return Status::error(ErrorCode::kOutOfOrder, "future buffer full");
     }
     ++buffered_future_;
@@ -167,20 +232,16 @@ Result<VerifiedEnvelope> RecipeSecurity::verify(
   }
 
   // Window mode: every counter accepted at most once; too-old rejected.
-  if (cnt + config_.replay_window <= ch.max_seen) {
-    ++rejected_replay_;
-    return Status::error(ErrorCode::kReplay, "counter below replay window");
-  }
-  if (ch.seen.contains(cnt)) {
-    ++rejected_replay_;
-    return Status::error(ErrorCode::kReplay, "duplicate counter");
-  }
-  ch.seen.emplace(cnt, true);
-  if (cnt > ch.max_seen) ch.max_seen = cnt;
-  // Garbage-collect entries that fell out of the window.
-  while (!ch.seen.empty() &&
-         ch.seen.begin()->first + config_.replay_window <= ch.max_seen) {
-    ch.seen.erase(ch.seen.begin());
+  if (!ch.window) ch.window.emplace(config_.replay_window);
+  switch (ch.window->check_and_set(cnt)) {
+    case ReplayWindow::Verdict::kStale:
+      ++rejected_replay_;
+      return Status::error(ErrorCode::kReplay, "counter below replay window");
+    case ReplayWindow::Verdict::kDuplicate:
+      ++rejected_replay_;
+      return Status::error(ErrorCode::kReplay, "duplicate counter");
+    case ReplayWindow::Verdict::kAccept:
+      break;
   }
   return env;
 }
@@ -191,6 +252,9 @@ std::vector<VerifiedEnvelope> RecipeSecurity::drain_ready() {
 
 void RecipeSecurity::reset_peer(NodeId peer) {
   channels_.erase(directed_channel(peer, self_));
+  // Drop the cached crypto context too: the peer re-attested, so its channel
+  // key must be re-derived from whatever the enclave now holds.
+  crypto_cache_.erase(peer);
 }
 
 }  // namespace recipe

@@ -11,6 +11,16 @@
 //    (transferable authentication), trusted monotonic counters with a replay
 //    filter (non-equivocation), optional payload encryption
 //    (confidentiality), and TEE cost accounting.
+//
+// Hot-path design (every protocol message crosses this seam, so its cost is
+// the system's throughput ceiling):
+//  * per-peer ChannelCrypto cache — the HKDF key derivation and the HMAC
+//    ipad/opad key schedule run once per channel lifetime, not per message;
+//    the cache keys on Enclave::keyset_epoch() so a crash/re-attestation
+//    invalidates it, and reset_peer() drops it explicitly;
+//  * single-buffer encoding — the frame is laid out once, encrypted in
+//    place, and MACed as a buffer prefix (no authenticated_data() copy);
+//  * ring-bitmap replay window (ReplayWindow) instead of a std::map.
 #pragma once
 
 #include <deque>
@@ -26,6 +36,7 @@
 #include "common/result.h"
 #include "net/network.h"
 #include "recipe/message.h"
+#include "recipe/replay_window.h"
 #include "tee/cost_model.h"
 #include "tee/enclave.h"
 
@@ -81,6 +92,8 @@ class SecurityPolicy {
 // ---------------------------------------------------------------------------
 
 // Native CFT mode: framing only. Anything the network delivers is accepted.
+// Routes through the same single-buffer encoder as RecipeSecurity so the
+// CFT baseline (Fig. 6a) differs only by the crypto, not the codec.
 class NullSecurity final : public SecurityPolicy {
  public:
   explicit NullSecurity(NodeId self) : self_(self) {}
@@ -127,12 +140,22 @@ class RecipeSecurity final : public SecurityPolicy {
   std::uint64_t rejected_replay() const { return rejected_replay_; }
   std::uint64_t buffered_future() const { return buffered_future_; }
   std::uint64_t rejected_view() const { return rejected_view_; }
+  // Strict mode: messages dropped because the future buffer was full.
+  std::uint64_t rejected_overflow() const { return rejected_overflow_; }
 
  private:
+  // Per-peer cached crypto context: the derived pairwise key and the HMAC
+  // key schedule, computed once per channel lifetime. `epoch` snapshots
+  // Enclave::keyset_epoch() so re-provisioning invalidates stale entries.
+  struct ChannelCrypto {
+    crypto::SymmetricKey key;
+    crypto::Hmac hmac;
+    std::uint64_t epoch{0};
+  };
+
   struct ChannelState {
-    Counter rcnt{0};                    // strict: last in-order accepted
-    Counter max_seen{0};                // window: highest accepted
-    std::map<Counter, bool> seen;       // window: recent accepted counters
+    Counter rcnt{0};                             // strict: last in-order accepted
+    std::optional<ReplayWindow> window;          // window mode replay filter
     std::map<Counter, VerifiedEnvelope> future;  // strict: buffered futures
   };
 
@@ -142,15 +165,20 @@ class RecipeSecurity final : public SecurityPolicy {
   std::uint64_t working_set() const {
     return config_.working_set ? config_.working_set() : 0;
   }
-  Result<crypto::SymmetricKey> channel_key(NodeId peer) const {
-    return attest::enclave_channel_key(enclave_, self_, peer);
-  }
+  // Returns the cached context for `peer`, or null when absent, stale
+  // (keyset epoch moved — the entry is dropped) or the enclave is crashed.
+  ChannelCrypto* cached_channel_crypto(NodeId peer);
+  // Derives a context WITHOUT touching the cache. verify() only commits a
+  // freshly derived context after the MAC proves the sender holds the key,
+  // so forged sender ids cannot grow the cache.
+  Result<ChannelCrypto> derive_channel_crypto(NodeId peer);
 
   tee::Enclave& enclave_;
   NodeId self_;
   const tee::TeeCostModel* cost_model_;
   net::NodeCpu* cpu_;
   RecipeSecurityConfig config_;
+  std::unordered_map<NodeId, ChannelCrypto> crypto_cache_;
   std::unordered_map<ChannelId, ChannelState> channels_;
   std::vector<VerifiedEnvelope> ready_;
 
@@ -158,6 +186,7 @@ class RecipeSecurity final : public SecurityPolicy {
   std::uint64_t rejected_replay_{0};
   std::uint64_t buffered_future_{0};
   std::uint64_t rejected_view_{0};
+  std::uint64_t rejected_overflow_{0};
 };
 
 }  // namespace recipe

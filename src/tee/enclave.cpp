@@ -73,6 +73,7 @@ Status Enclave::install_secret(const std::string& name,
                                crypto::SymmetricKey key) {
   if (auto s = check_alive(); !s.is_ok()) return s;
   secrets_[name] = std::move(key);
+  ++keyset_epoch_;
   return Status::ok();
 }
 
@@ -112,6 +113,7 @@ void Enclave::restart() {
   dh_keypair_.reset();
   secrets_.clear();
   counters_.clear();
+  ++keyset_epoch_;
 }
 
 }  // namespace recipe::tee

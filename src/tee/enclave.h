@@ -82,6 +82,12 @@ class Enclave {
   Result<crypto::SymmetricKey> secret(const std::string& name) const;
   bool has_secret(const std::string& name) const;
 
+  // Monotonic generation of the secret store: bumped by install_secret() and
+  // restart(). Anything caching material DERIVED from enclave secrets (e.g.
+  // per-channel crypto contexts) keys its cache on this so re-attestation /
+  // re-provisioning invalidates it.
+  std::uint64_t keyset_epoch() const { return keyset_epoch_; }
+
   // --- Trusted monotonic counters (non-equivocation root) ----------------
 
   // Returns the next value (starting at 1) for channel `cq`; never repeats,
@@ -116,6 +122,7 @@ class Enclave {
   std::optional<crypto::DhKeyPair> dh_keypair_;
   std::unordered_map<std::string, crypto::SymmetricKey> secrets_;
   std::unordered_map<ChannelId, Counter> counters_;
+  std::uint64_t keyset_epoch_{0};
   bool crashed_{false};
 };
 

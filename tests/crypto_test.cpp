@@ -1,6 +1,10 @@
 // Crypto validation: NIST/RFC test vectors for SHA-256, HMAC-SHA-256, HKDF
-// and ChaCha20, plus DH agreement and DRBG determinism.
+// and ChaCha20, plus DH agreement and DRBG determinism, the streaming Hmac
+// midstate cache, the SHA-NI/scalar differential, and the channel-nonce
+// truncation regression.
 #include <gtest/gtest.h>
+
+#include <random>
 
 #include "common/bytes.h"
 #include "crypto/chacha20.h"
@@ -120,6 +124,64 @@ TEST(Hmac, VerifyAcceptsAndRejects) {
                            BytesView(mac.data(), mac.size())));
 }
 
+TEST(Sha256, HardwareAndScalarCoresAgree) {
+  // Differential test: whatever core the dispatch picked must match the
+  // portable scalar reference on random lengths spanning block boundaries.
+  if (!Sha256::hardware_accelerated()) {
+    GTEST_SKIP() << "no hardware SHA on this host; scalar-only";
+  }
+  std::mt19937_64 rng(42);
+  for (int iter = 0; iter < 200; ++iter) {
+    Bytes data(rng() % 1000);
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng());
+    const Sha256Digest hw = Sha256::hash(as_view(data));
+    Sha256::set_hardware_acceleration(false);
+    const Sha256Digest scalar = Sha256::hash(as_view(data));
+    Sha256::set_hardware_acceleration(true);
+    ASSERT_EQ(hw, scalar) << "len=" << data.size();
+  }
+}
+
+TEST(Hmac, StreamingMidstatesMatchOneShot) {
+  const Bytes key = to_bytes("channel-key-material");
+  const Hmac hmac(as_view(key));
+  // Many messages through ONE cached key schedule.
+  for (const char* m : {"", "a", "hello", "a much longer message spanning "
+                        "more than one sixty-four byte SHA-256 block bound"}) {
+    Sha256 inner = hmac.begin();
+    inner.update(as_view(m));
+    EXPECT_EQ(hmac.finish(inner), hmac_sha256(as_view(key), as_view(m)));
+    EXPECT_EQ(hmac.mac(as_view(m)), hmac_sha256(as_view(key), as_view(m)));
+  }
+  EXPECT_EQ(hmac.mac2(as_view("foo"), as_view("bar")),
+            hmac_sha256(as_view(key), as_view("foobar")));
+  EXPECT_TRUE(hmac.verify(as_view("msg"),
+                          [&] {
+                            const Mac m = hmac.mac(as_view("msg"));
+                            return Bytes(m.begin(), m.end());
+                          }()));
+}
+
+TEST(Hmac, MidstateForkIsIndependent) {
+  // Two streams off the same Hmac must not interfere.
+  const Hmac hmac(as_view("key"));
+  Sha256 s1 = hmac.begin();
+  Sha256 s2 = hmac.begin();
+  s1.update(as_view("one"));
+  s2.update(as_view("two"));
+  EXPECT_EQ(hmac.finish(s1), hmac_sha256(as_view("key"), as_view("one")));
+  EXPECT_EQ(hmac.finish(s2), hmac_sha256(as_view("key"), as_view("two")));
+}
+
+TEST(Hmac, LongKeyMatchesRfcThroughClass) {
+  const Bytes key(131, 0xaa);
+  const Hmac hmac(as_view(key));
+  const Mac mac = hmac.mac(
+      as_view("Test Using Larger Than Block-Size Key - Hash Key First"));
+  EXPECT_EQ(to_hex(BytesView(mac.data(), mac.size())),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
 TEST(ConstantTimeEqual, Basics) {
   const Bytes a = to_bytes("aaaa");
   const Bytes b = to_bytes("aaab");
@@ -190,6 +252,70 @@ TEST(ChaCha20, DistinctNoncesDistinctStreams) {
   const Bytes s1 = chacha20(as_view(key), make_nonce(1, 1), 0, as_view(zeros));
   const Bytes s2 = chacha20(as_view(key), make_nonce(1, 2), 0, as_view(zeros));
   EXPECT_NE(s1, s2);
+}
+
+TEST(ChaCha20, RawPointerRegionMatchesBytesOverload) {
+  const Bytes key(32, 0x13);
+  const auto nonce = make_nonce(5, 6);
+  Bytes whole = to_bytes("prefix|payload-region|suffix");
+  Bytes region = to_bytes("payload-region");
+  // Transform a region inside a larger buffer in place.
+  chacha20_xor(as_view(key), nonce, 0, whole.data() + 7, region.size());
+  chacha20_xor(as_view(key), nonce, 0, region);
+  EXPECT_EQ(Bytes(whole.begin() + 7,
+                  whole.begin() + 7 + static_cast<std::ptrdiff_t>(region.size())),
+            region);
+  EXPECT_EQ(to_string(BytesView(whole.data(), 7)), "prefix|");
+}
+
+// --- Channel nonces ----------------------------------------------------------
+
+TEST(ChannelNonce, RegressionLargeNodeIdsNoLongerCollide) {
+  // ChannelId packs sender<<20|receiver. For nodes a and b with a ≡ b
+  // (mod 2^20) — e.g. 5 and 5+2^20 — the two DIRECTIONS of the pairwise key
+  // agree in the low 32 bits of cq, so the old make_nonce(uint32(cq), cnt)
+  // produced the SAME nonce for both directions at equal counters: keystream
+  // reuse under one key. The full-64-bit make_channel_nonce must not.
+  const std::uint64_t a = 5;
+  const std::uint64_t b = 5 + (1ull << 20);
+  const std::uint64_t cq_ab = (a << 20) | (b & 0xFFFFF);
+  const std::uint64_t cq_ba = (b << 20) | (a & 0xFFFFF);
+  ASSERT_NE(cq_ab, cq_ba);
+  // The truncation that made the old scheme unsafe:
+  ASSERT_EQ(static_cast<std::uint32_t>(cq_ab), static_cast<std::uint32_t>(cq_ba));
+  EXPECT_EQ(make_nonce(static_cast<std::uint32_t>(cq_ab), 1),
+            make_nonce(static_cast<std::uint32_t>(cq_ba), 1));  // the old bug
+  EXPECT_NE(make_channel_nonce(cq_ab, 1), make_channel_nonce(cq_ba, 1));
+
+  // Same class of collision for sender ids equal in the low 12 bits.
+  const std::uint64_t c = 7;
+  const std::uint64_t d = 7 + (1ull << 12);
+  const std::uint64_t cq1 = (c << 20) | 3;
+  const std::uint64_t cq2 = (d << 20) | 3;
+  ASSERT_EQ(static_cast<std::uint32_t>(cq1), static_cast<std::uint32_t>(cq2));
+  EXPECT_NE(make_channel_nonce(cq1, 9), make_channel_nonce(cq2, 9));
+}
+
+TEST(ChannelNonce, InjectiveUpToMessageLimit) {
+  const std::uint64_t cq = 0xDEADBEEFCAFEF00Dull;
+  // Distinct counters below kChannelNonceMessageLimit map to distinct
+  // nonces; distinct channels never collide regardless of counters.
+  const std::uint64_t counters[] = {0, 1, 2, 0xFFFFu, 0x12345678u,
+                                    kChannelNonceMessageLimit - 1};
+  for (std::size_t i = 0; i < std::size(counters); ++i) {
+    for (std::size_t j = i + 1; j < std::size(counters); ++j) {
+      EXPECT_NE(make_channel_nonce(cq, counters[i]),
+                make_channel_nonce(cq, counters[j]))
+          << counters[i] << " vs " << counters[j];
+    }
+    EXPECT_NE(make_channel_nonce(cq, counters[i]),
+              make_channel_nonce(cq ^ 1, counters[i]));
+  }
+  // AT the limit the low 32 bits wrap — which is exactly why
+  // RecipeSecurity::shield refuses to encrypt once a channel's counter
+  // reaches kChannelNonceMessageLimit (re-key via re-attestation instead).
+  EXPECT_EQ(make_channel_nonce(cq, 0),
+            make_channel_nonce(cq, kChannelNonceMessageLimit));
 }
 
 // --- Diffie-Hellman -----------------------------------------------------------

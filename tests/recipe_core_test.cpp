@@ -227,6 +227,84 @@ TEST_F(SecurityFixture, ConfidentialityHidesPayload) {
   EXPECT_EQ(env.value().payload, secret);
 }
 
+TEST_F(SecurityFixture, StrictModeOverflowBumpsCounter) {
+  RecipeSecurityConfig config;
+  config.order = OrderPolicy::kStrict;
+  config.max_future_buffer = 2;
+  auto a = make(enclave_a, NodeId{1}, config);
+  auto b = make(enclave_b, NodeId{2}, config);
+
+  std::vector<Bytes> wires;
+  for (int i = 0; i < 5; ++i) {
+    wires.push_back(a.shield(NodeId{2}, ViewId{1}, as_view("m")).value());
+  }
+  // Deliver 2..5 while 1 is missing: two futures fit, the rest overflow.
+  EXPECT_EQ(b.verify(NodeId{1}, as_view(wires[1])).code(), ErrorCode::kOutOfOrder);
+  EXPECT_EQ(b.verify(NodeId{1}, as_view(wires[2])).code(), ErrorCode::kOutOfOrder);
+  EXPECT_EQ(b.rejected_overflow(), 0u);
+  EXPECT_EQ(b.verify(NodeId{1}, as_view(wires[3])).code(), ErrorCode::kOutOfOrder);
+  EXPECT_EQ(b.verify(NodeId{1}, as_view(wires[4])).code(), ErrorCode::kOutOfOrder);
+  EXPECT_EQ(b.rejected_overflow(), 2u);
+  EXPECT_EQ(b.buffered_future(), 2u);  // overflowed drops were NOT buffered
+}
+
+TEST_F(SecurityFixture, ChannelCryptoCacheInvalidatedByReattestation) {
+  auto a = make(enclave_a, NodeId{1});
+  auto b = make(enclave_b, NodeId{2});
+  // Warm both caches.
+  auto w1 = a.shield(NodeId{2}, ViewId{1}, as_view("warm"));
+  ASSERT_TRUE(b.verify(NodeId{1}, as_view(w1.value())).is_ok());
+
+  // Peer crashes, restarts, and re-attests under a DIFFERENT cluster root
+  // (e.g. a new deployment secret). The receiver is told via reset_peer.
+  enclave_a.crash();
+  EXPECT_EQ(a.shield(NodeId{2}, ViewId{1}, as_view("x")).code(),
+            ErrorCode::kUnavailable);  // cached context must not serve a crashed enclave
+  enclave_a.restart();
+  const crypto::SymmetricKey new_root{Bytes(32, 0x99)};
+  ASSERT_TRUE(enclave_a.install_secret(attest::kClusterRootName, new_root).is_ok());
+  b.reset_peer(NodeId{1});
+
+  // Sender's cache re-derives from the new root (keyset epoch moved), so
+  // the receiver — still on the old root — must reject the MAC.
+  auto w2 = a.shield(NodeId{2}, ViewId{1}, as_view("new-root"));
+  ASSERT_TRUE(w2.is_ok());
+  EXPECT_EQ(b.verify(NodeId{1}, as_view(w2.value())).code(),
+            ErrorCode::kAuthFailed);
+
+  // Once the receiver's enclave learns the new root too, traffic flows.
+  ASSERT_TRUE(enclave_b.install_secret(attest::kClusterRootName, new_root).is_ok());
+  auto w3 = a.shield(NodeId{2}, ViewId{1}, as_view("agreed"));
+  auto env = b.verify(NodeId{1}, as_view(w3.value()));
+  ASSERT_TRUE(env.is_ok()) << env.status().to_string();
+  EXPECT_EQ(to_string(as_view(env.value().payload)), "agreed");
+}
+
+TEST_F(SecurityFixture, ConfidentialityWithLargeNodeIdsRoundTrips) {
+  // Node ids beyond the 20-bit channel packing field: the nonce derivation
+  // must still keep the two directions of the pairwise key apart (see
+  // ChannelNonce.RegressionLargeNodeIdsNoLongerCollide for the unit-level
+  // collision proof).
+  const NodeId big_a{5};
+  const NodeId big_b{5 + (1ull << 20)};
+  RecipeSecurityConfig config;
+  config.confidentiality = true;
+  auto a = make(enclave_a, big_a, config);
+  auto b = make(enclave_b, big_b, config);
+
+  auto ab = a.shield(big_b, ViewId{1}, as_view("a to b plaintext"));
+  auto ba = b.shield(big_a, ViewId{1}, as_view("b to a plaintext"));
+  ASSERT_TRUE(ab.is_ok());
+  ASSERT_TRUE(ba.is_ok());
+
+  auto env_b = b.verify(big_a, as_view(ab.value()));
+  auto env_a = a.verify(big_b, as_view(ba.value()));
+  ASSERT_TRUE(env_b.is_ok()) << env_b.status().to_string();
+  ASSERT_TRUE(env_a.is_ok()) << env_a.status().to_string();
+  EXPECT_EQ(to_string(as_view(env_b.value().payload)), "a to b plaintext");
+  EXPECT_EQ(to_string(as_view(env_a.value().payload)), "b to a plaintext");
+}
+
 TEST_F(SecurityFixture, CrashedEnclaveCannotShield) {
   auto a = make(enclave_a, NodeId{1});
   enclave_a.crash();
