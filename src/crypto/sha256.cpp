@@ -349,6 +349,7 @@ void Sha256::process_blocks(const std::uint8_t* data, std::size_t blocks) {
 }
 
 void Sha256::update(BytesView data) {
+  if (data.empty()) return;  // empty views may carry a null data()
   bit_count_ += static_cast<std::uint64_t>(data.size()) * 8;
   std::size_t offset = 0;
 

@@ -84,8 +84,14 @@ void AbdNode::submit_put(const ClientRequest& request, ReplyFn reply) {
   auto state = std::make_shared<QueryState>();
   state->max_ts = kv().timestamp(request.key).value_or(kv::Timestamp{});
 
-  auto on_quorum = [this, state, key = request.key, value = request.value,
+  // Weak capture: state owns the tracker which owns this closure, so a
+  // strong `state` here would be a retain cycle (leak when the quorum never
+  // fires). At fire time ack() runs inside a continuation that holds state.
+  auto on_quorum = [this, weak_state = std::weak_ptr<QueryState>(state),
+                    key = request.key, value = request.value,
                     reply = std::move(reply)]() mutable {
+    auto state = weak_state.lock();
+    if (!state) return;
     // Round 2: write with a strictly higher timestamp, self coordinates.
     const kv::Timestamp ts{state->max_ts.counter + 1, self().value};
     broadcast_put(key, value, ts, [reply = std::move(reply)](bool ok) {
@@ -146,8 +152,11 @@ void AbdNode::submit_get(const ClientRequest& request, ReplyFn reply) {
     state->agree_on_max = 1;  // agrees on "missing" (zero ts)
   }
 
-  auto on_quorum = [this, state, key = request.key,
-                    reply = std::move(reply)]() mutable {
+  // Weak capture for the same cycle reason as in submit_put().
+  auto on_quorum = [this, weak_state = std::weak_ptr<ReadState>(state),
+                    key = request.key, reply = std::move(reply)]() mutable {
+    auto state = weak_state.lock();
+    if (!state) return;
     ClientReply r;
     r.ok = true;
     r.found = state->max_found;

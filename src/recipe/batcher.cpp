@@ -1,0 +1,108 @@
+#include "recipe/batcher.h"
+
+#include <algorithm>
+
+namespace recipe {
+
+MessageBatcher::MessageBatcher(sim::Simulator& simulator, BatchConfig config,
+                               FlushFn flush)
+    : simulator_(simulator), config_(config), flush_(std::move(flush)) {
+  // A floor above the ceiling would make the adaptive walk oscillate.
+  config_.min_delay = std::min(config_.min_delay, config_.max_delay);
+  config_.max_count = std::max<std::size_t>(config_.max_count, 1);
+  config_.max_bytes = std::max<std::size_t>(config_.max_bytes, 1);
+}
+
+MessageBatcher::~MessageBatcher() { cancel_all(); }
+
+void MessageBatcher::enqueue(NodeId peer, std::uint8_t kind,
+                             std::uint32_t type, std::uint64_t rpc_id,
+                             BytesView payload) {
+  Pending& pending = pending_[peer];
+  if (pending.delay == 0 && config_.max_delay > 0) {
+    pending.delay = config_.max_delay;
+  }
+  if (pending.frame.empty()) {
+    pending.frame.reserve(std::min<std::size_t>(config_.max_bytes, 8 * 1024));
+  }
+  pending.frame.add(kind, type, rpc_id, payload);
+  buffered_bytes_ += kBatchItemOverhead + payload.size();
+  ++messages_batched_;
+
+  if (pending.frame.count() >= config_.max_count ||
+      pending.frame.body_bytes() >= config_.max_bytes) {
+    flush_pending(peer, pending, /*by_timer=*/false);
+    return;
+  }
+  if (pending.frame.count() == 1) {
+    // First sub-message arms the drain timer; max_delay == 0 degenerates to
+    // "coalesce everything enqueued by the current simulation event".
+    pending.timer = simulator_.schedule(pending.delay, [this, peer] {
+      const auto it = pending_.find(peer);
+      if (it == pending_.end() || it->second.frame.empty()) return;
+      flush_pending(peer, it->second, /*by_timer=*/true);
+    });
+  }
+}
+
+void MessageBatcher::flush(NodeId peer) {
+  const auto it = pending_.find(peer);
+  if (it == pending_.end() || it->second.frame.empty()) return;
+  flush_pending(peer, it->second, /*by_timer=*/false);
+}
+
+void MessageBatcher::flush_all() {
+  // Snapshot the peer set first: flush_ may re-enter enqueue(), and a
+  // pending_ insertion mid-iteration would invalidate a live iterator.
+  std::vector<NodeId> peers;
+  peers.reserve(pending_.size());
+  for (const auto& [peer, pending] : pending_) {
+    if (!pending.frame.empty()) peers.push_back(peer);
+  }
+  for (NodeId peer : peers) flush(peer);
+}
+
+void MessageBatcher::cancel_all() {
+  for (auto& [peer, pending] : pending_) pending.timer.cancel();
+  pending_.clear();
+  buffered_bytes_ = 0;
+}
+
+sim::Time MessageBatcher::current_delay(NodeId peer) const {
+  const auto it = pending_.find(peer);
+  if (it == pending_.end() || it->second.delay == 0) return config_.max_delay;
+  return it->second.delay;
+}
+
+void MessageBatcher::flush_pending(NodeId peer, Pending& pending,
+                                   bool by_timer) {
+  pending.timer.cancel();
+  const std::size_t count = pending.frame.count();
+  Bytes body = pending.frame.take_body();
+  buffered_bytes_ -= body.size() - kBatchCountSize;
+  ++batches_flushed_;
+  if (by_timer) {
+    ++flushes_by_timer_;
+    adapt(pending, count);
+  } else {
+    ++flushes_by_size_;
+  }
+  // flush_ may re-enter enqueue() for a DIFFERENT peer (it never sends back
+  // through the batcher to the same flush), after this peer's state is clean.
+  flush_(peer, std::move(body), count);
+}
+
+void MessageBatcher::adapt(Pending& pending, std::size_t flushed_count) {
+  if (!config_.adaptive || config_.max_delay == 0) return;
+  if (flushed_count <= std::max<std::size_t>(config_.max_count / 4, 1)) {
+    // The wait bought (almost) nothing: stop taxing sparse traffic. Floor at
+    // 1 ns: delay == 0 is the "uninitialized" sentinel in Pending.
+    pending.delay =
+        std::max({config_.min_delay, pending.delay / 2, sim::Time{1}});
+  } else {
+    // Nearly full at the deadline: a little more patience fills the frame.
+    pending.delay = std::min(config_.max_delay, pending.delay * 2);
+  }
+}
+
+}  // namespace recipe

@@ -1,0 +1,107 @@
+// Adaptive shielded message batching (ROADMAP: batching + async for heavy
+// small-op traffic).
+//
+// PR 2 made one shield/verify round trip cheap; what remains on the small-KV
+// hot path is PER-MESSAGE overhead: a full frame header, a MAC, a trusted
+// counter increment, a replay-window slot and the fixed per-packet network
+// cost (NetStackParams::*_cpu_base, the 64-byte Packet::wire_size() header).
+// MessageBatcher amortizes all of these: sub-messages destined for the same
+// peer are coalesced into one BatchFrame body and flushed as a SINGLE
+// shielded frame — one header, one counter/nonce, one MAC, one packet.
+//
+// Flush policy (per peer, all simulated-time driven):
+//  * max_count  — flush when the pending batch holds this many sub-messages;
+//  * max_bytes  — ...or when its encoded body reaches this many bytes;
+//  * max_delay  — ...or when the oldest sub-message has waited this long
+//                 (a sim::Simulator timer, so batches always drain).
+// With `adaptive` set the per-peer delay self-tunes between min_delay and
+// max_delay: timer flushes that caught almost nothing halve the delay (don't
+// hold lone messages hostage), timer flushes that nearly filled the batch
+// grow it back (a little more patience buys a full frame). Size/count
+// flushes leave the delay alone — under dense traffic the timer never fires.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "common/bytes.h"
+#include "common/ids.h"
+#include "recipe/message.h"
+#include "sim/simulator.h"
+
+namespace recipe {
+
+struct BatchConfig {
+  bool enabled = false;  // default off: unbatched wire format, golden-pinned
+  std::size_t max_count = 16;
+  std::size_t max_bytes = 32 * 1024;
+  sim::Time max_delay = 10 * sim::kMicrosecond;
+  sim::Time min_delay = 1 * sim::kMicrosecond;  // adaptive floor
+  bool adaptive = true;
+};
+
+class MessageBatcher {
+ public:
+  // Invoked with the finalized batch body when a peer's batch flushes; the
+  // owner shields it (SecurityPolicy::shield_batch) and ships one frame.
+  using FlushFn = std::function<void(NodeId peer, Bytes body, std::size_t count)>;
+
+  MessageBatcher(sim::Simulator& simulator, BatchConfig config, FlushFn flush);
+  ~MessageBatcher();
+
+  MessageBatcher(const MessageBatcher&) = delete;
+  MessageBatcher& operator=(const MessageBatcher&) = delete;
+
+  bool enabled() const { return config_.enabled; }
+  const BatchConfig& config() const { return config_; }
+
+  // Appends one sub-message to `peer`'s pending batch and applies the flush
+  // policy. Call only when enabled().
+  void enqueue(NodeId peer, std::uint8_t kind, std::uint32_t type,
+               std::uint64_t rpc_id, BytesView payload);
+
+  // Flushes a peer's pending batch immediately (no-op when empty).
+  void flush(NodeId peer);
+  void flush_all();
+
+  // Drops all pending batches WITHOUT flushing and cancels timers (node
+  // crash: nothing more may leave this node).
+  void cancel_all();
+
+  // Bytes currently buffered across all peers (enclave working-set model).
+  std::size_t buffered_bytes() const { return buffered_bytes_; }
+
+  // The adaptive delay currently applied to `peer` (max_delay when the peer
+  // has no history yet).
+  sim::Time current_delay(NodeId peer) const;
+
+  // --- Statistics ------------------------------------------------------------
+  std::uint64_t messages_batched() const { return messages_batched_; }
+  std::uint64_t batches_flushed() const { return batches_flushed_; }
+  std::uint64_t flushes_by_size() const { return flushes_by_size_; }
+  std::uint64_t flushes_by_timer() const { return flushes_by_timer_; }
+
+ private:
+  struct Pending {
+    BatchFrame frame;
+    sim::TimerHandle timer;
+    sim::Time delay{0};  // adaptive per-peer delay; 0 = not initialized
+  };
+
+  void flush_pending(NodeId peer, Pending& pending, bool by_timer);
+  void adapt(Pending& pending, std::size_t flushed_count);
+
+  sim::Simulator& simulator_;
+  BatchConfig config_;
+  FlushFn flush_;
+  std::unordered_map<NodeId, Pending> pending_;
+  std::size_t buffered_bytes_{0};
+
+  std::uint64_t messages_batched_{0};
+  std::uint64_t batches_flushed_{0};
+  std::uint64_t flushes_by_size_{0};
+  std::uint64_t flushes_by_timer_{0};
+};
+
+}  // namespace recipe

@@ -19,6 +19,33 @@ KvClient::KvClient(sim::Simulator& simulator, net::SimNetwork& network,
   } else {
     security_ = std::make_unique<NullSecurity>(node_id());
   }
+
+  // Replicas may coalesce replies to this client into batch frames: one
+  // verify covers all of them, then each sub-response completes its rpc.
+  rpc_.register_handler(msg::kBatch, [this](rpc::RequestContext& ctx) {
+    auto env = security_->verify(ctx.src, as_view(ctx.payload));
+    if (!env || !env.value().batch) return;
+    auto view = BatchView::parse(as_view(env.value().payload));
+    if (!view) return;
+    for (const BatchItem& item : view.value()) {
+      if (item.kind != BatchItem::kKindResponse) continue;  // clients serve nothing
+      if (!rpc_.settle(item.rpc_id)) continue;  // timed out / already done
+      VerifiedEnvelope sub;
+      sub.sender = env.value().sender;
+      sub.view = env.value().view;
+      sub.cnt = env.value().cnt;
+      sub.payload.assign(item.payload.begin(), item.payload.end());
+      complete(item.rpc_id, sub);
+    }
+  });
+}
+
+void KvClient::complete(std::uint64_t rpc_id, VerifiedEnvelope& env) {
+  const auto it = pending_replies_.find(rpc_id);
+  if (it == pending_replies_.end()) return;
+  auto handler = std::move(it->second);
+  pending_replies_.erase(it);
+  handler(env);
 }
 
 void KvClient::put(NodeId coordinator, std::string key, Bytes value,
@@ -54,23 +81,35 @@ void KvClient::issue(NodeId coordinator, ClientRequest request,
   }
 
   const sim::Time started = simulator_.now();
+  const std::uint64_t rpc_id = rpc_.allocate_rpc_id();
+  pending_replies_[rpc_id] = [this, started, done](VerifiedEnvelope& env) {
+    auto reply = ClientReply::parse(as_view(env.payload));
+    if (!reply) return;
+    latency_us_.record((simulator_.now() - started) / sim::kMicrosecond);
+    if (reply.value().ok) {
+      ++completed_;
+    } else {
+      ++failed_;
+    }
+    if (done) done(reply.value());
+  };
   rpc_.send(
       coordinator, msg::kClientRequest, std::move(wire).take(),
-      [this, started, done](NodeId src, Bytes response) {
+      [this, rpc_id](NodeId src, Bytes response) {
+        // The rpc is finished either way: detach the reply handler first so
+        // no rejection path below can strand it in pending_replies_.
+        const auto it = pending_replies_.find(rpc_id);
+        if (it == pending_replies_.end()) return;
+        auto handler = std::move(it->second);
+        pending_replies_.erase(it);
         auto env = security_->verify(src, as_view(response));
-        if (!env) return;  // forged reply: ignore (timeout will retry)
-        auto reply = ClientReply::parse(as_view(env.value().payload));
-        if (!reply) return;
-        latency_us_.record((simulator_.now() - started) / sim::kMicrosecond);
-        if (reply.value().ok) {
-          ++completed_;
-        } else {
-          ++failed_;
-        }
-        if (done) done(reply.value());
+        if (!env) return;  // forged reply: ignore
+        if (env.value().batch) return;  // batch frames only enter via kBatch
+        handler(env.value());
       },
       options_.request_timeout,
-      [this, coordinator, request, done, attempt]() mutable {
+      [this, rpc_id, coordinator, request, done, attempt]() mutable {
+        pending_replies_.erase(rpc_id);
         if (attempt + 1 >= options_.max_retries) {
           ++failed_;
           if (done) done(ClientReply{});
@@ -79,7 +118,8 @@ void KvClient::issue(NodeId coordinator, ClientRequest request,
         // Retransmit with the SAME request id: the coordinator's client
         // table deduplicates and may answer from cache.
         issue(coordinator, std::move(request), std::move(done), attempt + 1);
-      });
+      },
+      rpc_id);
 }
 
 }  // namespace recipe

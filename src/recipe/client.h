@@ -10,6 +10,7 @@
 
 #include <functional>
 #include <string>
+#include <unordered_map>
 
 #include "common/ids.h"
 #include "common/stats.h"
@@ -60,12 +61,17 @@ class KvClient {
  private:
   void issue(NodeId coordinator, ClientRequest request, ReplyCallback done,
              int attempt);
+  void complete(std::uint64_t rpc_id, VerifiedEnvelope& env);
 
   sim::Simulator& simulator_;
   ClientOptions options_;
   rpc::RpcObject rpc_;
   std::unique_ptr<SecurityPolicy> security_;
   std::uint64_t next_rid_{1};
+  // Post-verification reply logic by rpc id: replies complete from either
+  // the unbatched wire path or a replica-batched kBatch sub-message.
+  std::unordered_map<std::uint64_t, std::function<void(VerifiedEnvelope&)>>
+      pending_replies_;
 
   std::uint64_t issued_{0};
   std::uint64_t completed_{0};

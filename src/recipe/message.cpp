@@ -135,4 +135,62 @@ ChannelId directed_channel(NodeId sender, NodeId receiver) {
   return ChannelId{(sender.value << 20) | (receiver.value & 0xFFFFF)};
 }
 
+// --- Batch frames ------------------------------------------------------------
+
+BatchFrame::BatchFrame() : body_(kBatchCountSize, 0) {}
+
+void BatchFrame::add(std::uint8_t kind, std::uint32_t type,
+                     std::uint64_t rpc_id, BytesView payload) {
+  const std::size_t at = body_.size();
+  body_.resize(at + kBatchItemOverhead);
+  body_[at] = kind;
+  store_le32(body_.data() + at + 1, type);
+  store_le64(body_.data() + at + 5, rpc_id);
+  store_le32(body_.data() + at + 13,
+             static_cast<std::uint32_t>(payload.size()));
+  append(body_, payload);
+  ++count_;
+}
+
+Bytes BatchFrame::take_body() {
+  store_le32(body_.data(), count_);
+  Bytes out = std::move(body_);
+  body_.assign(kBatchCountSize, 0);
+  count_ = 0;
+  return out;
+}
+
+Result<BatchView> BatchView::parse(BytesView body) {
+  if (body.size() < kBatchCountSize) {
+    return Status::error(ErrorCode::kInvalidArgument, "malformed batch body");
+  }
+  const std::uint32_t count = load_le32(body.data());
+  BatchView view;
+  // Reserve from the byte budget, not the (attacker-controlled) count.
+  view.items_.reserve(std::min<std::size_t>(
+      count, (body.size() - kBatchCountSize) / kBatchItemOverhead + 1));
+  std::size_t pos = kBatchCountSize;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if (body.size() - pos < kBatchItemOverhead) {
+      return Status::error(ErrorCode::kInvalidArgument, "malformed batch body");
+    }
+    BatchItem item;
+    item.kind = body[pos];
+    item.type = load_le32(body.data() + pos + 1);
+    item.rpc_id = load_le64(body.data() + pos + 5);
+    const std::uint32_t len = load_le32(body.data() + pos + 13);
+    pos += kBatchItemOverhead;
+    if (body.size() - pos < len) {
+      return Status::error(ErrorCode::kInvalidArgument, "malformed batch body");
+    }
+    item.payload = body.subspan(pos, len);
+    pos += len;
+    view.items_.push_back(item);
+  }
+  if (pos != body.size()) {  // trailing garbage
+    return Status::error(ErrorCode::kInvalidArgument, "malformed batch body");
+  }
+  return view;
+}
+
 }  // namespace recipe

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "common/bytes.h"
 #include "common/ids.h"
@@ -34,7 +35,12 @@ struct ShieldedHeader {
   std::uint8_t flags{0};
 
   static constexpr std::uint8_t kFlagEncrypted = 0x01;
+  // The payload is a BatchFrame body (N sub-messages under one MAC) rather
+  // than a single protocol payload. Inside the MACed header, so an adversary
+  // cannot re-type a batch as a single message or vice versa.
+  static constexpr std::uint8_t kFlagBatch = 0x02;
   bool encrypted() const { return (flags & kFlagEncrypted) != 0; }
+  bool is_batch() const { return (flags & kFlagBatch) != 0; }
 };
 
 // Fixed frame geometry (little-endian):
@@ -86,5 +92,75 @@ struct ShieldedMessage {
 // Directed channel id for the (sender -> receiver) link. Distinct per
 // direction so each side's trusted counter is independent.
 ChannelId directed_channel(NodeId sender, NodeId receiver);
+
+// --- Batch frames ------------------------------------------------------------
+//
+// A batch frame coalesces N protocol sub-messages into ONE shielded frame:
+// one header, one trusted counter (hence one replay-window slot), one nonce
+// and one MAC amortized over every sub-message. The frame is an ordinary
+// shielded frame whose header carries kFlagBatch and whose payload is the
+// batch body:
+//   [count u32] then count times
+//   [kind u8][type u32][rpc_id u64][len u32][len payload bytes]
+// kind/type/rpc_id mirror the RPC framing; carrying them INSIDE the MACed
+// body means batched sub-messages are dispatched on authenticated metadata
+// (for unbatched frames the RPC framing sits outside the MAC). Unbatched
+// traffic never sets kFlagBatch and keeps the golden wire format unchanged.
+
+struct BatchItem {
+  static constexpr std::uint8_t kKindRequest = 1;   // matches rpc request kind
+  static constexpr std::uint8_t kKindResponse = 2;  // matches rpc response kind
+
+  std::uint8_t kind{};
+  std::uint32_t type{};
+  std::uint64_t rpc_id{};
+  BytesView payload;  // borrows from the batch body
+};
+
+// Fixed per-item framing bytes in the batch body (kind + type + rpc_id + len).
+inline constexpr std::size_t kBatchItemOverhead = 17;
+inline constexpr std::size_t kBatchCountSize = 4;
+
+// Incrementally builds a batch body in a single buffer (the count prefix is
+// patched on take, so add() is a pure append).
+class BatchFrame {
+ public:
+  BatchFrame();
+
+  void add(std::uint8_t kind, std::uint32_t type, std::uint64_t rpc_id,
+           BytesView payload);
+
+  // Pre-sizes the body buffer (batcher hot path: avoids growth reallocs).
+  void reserve(std::size_t bytes) { body_.reserve(bytes); }
+
+  std::size_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  std::size_t body_bytes() const { return body_.size(); }
+
+  // Finalizes the count prefix and releases the body; the frame resets to an
+  // empty batch and may be reused.
+  Bytes take_body();
+
+ private:
+  Bytes body_;
+  std::uint32_t count_{0};
+};
+
+// Parsed batch body that BORROWS from the body bytes: sub-message payloads
+// are zero-copy views, valid only while the body buffer is. parse() is
+// defensive (untrusted input in Null mode / before the MAC check): every
+// length is bounds-checked and the items must cover the body exactly.
+class BatchView {
+ public:
+  static Result<BatchView> parse(BytesView body);
+
+  std::size_t size() const { return items_.size(); }
+  const BatchItem& operator[](std::size_t i) const { return items_[i]; }
+  std::vector<BatchItem>::const_iterator begin() const { return items_.begin(); }
+  std::vector<BatchItem>::const_iterator end() const { return items_.end(); }
+
+ private:
+  std::vector<BatchItem> items_;
+};
 
 }  // namespace recipe

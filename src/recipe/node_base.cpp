@@ -12,6 +12,10 @@ ReplicaNode::ReplicaNode(sim::Simulator& simulator, net::SimNetwork& network,
       options_(std::move(options)),
       rpc_(simulator, network, options_.self, options_.stack,
            options_.rpc_config),
+      batcher_(simulator, options_.batch,
+               [this](NodeId peer, Bytes body, std::size_t /*count*/) {
+                 send_batch(peer, std::move(body));
+               }),
       kv_(options_.kv_config),
       clock_(simulator),
       failure_detector_(clock_, options_.suspect_timeout,
@@ -27,6 +31,24 @@ ReplicaNode::ReplicaNode(sim::Simulator& simulator, net::SimNetwork& network,
   } else {
     security_ = std::make_unique<NullSecurity>(options_.self);
   }
+
+  // Batch carrier: ONE verify (MAC + replay slot) covers every sub-message.
+  // Registered directly with the rpc layer (not via on()) so a batch frame
+  // can never be dispatched as a protocol payload or vice versa.
+  rpc_.register_handler(msg::kBatch, [this](rpc::RequestContext& ctx) {
+    if (!running_) return;
+    auto env = security_->verify(ctx.src, as_view(ctx.payload));
+    if (!env) return;  // drop: unauthenticated / replayed / malformed
+    if (!env.value().batch) return;  // single frame re-typed as a batch
+    dispatch_batch(env.value(), ctx);
+    // Strict-order mode: futures promoted by this batch. Batch futures are
+    // dispatchable; a promoted SINGLE frame's rpc type is unrecoverable here
+    // (it lives outside the shielded frame) so it must be dropped, exactly
+    // as the pre-batching code lost it to the wrong type's handler.
+    for (VerifiedEnvelope& ready : security_->drain_ready()) {
+      if (ready.batch) dispatch_batch(ready, ctx);
+    }
+  });
 
   on(msg::kClientRequest, [this](VerifiedEnvelope& env, rpc::RequestContext& ctx) {
     handle_client_request(env, ctx);
@@ -84,6 +106,8 @@ void ReplicaNode::start() {
 void ReplicaNode::stop() {
   running_ = false;
   heartbeat_timer_.cancel();
+  // Machine failure: buffered batches die with the node, nothing is flushed.
+  batcher_.cancel_all();
   network_.crash(options_.self);
   if (options_.enclave != nullptr) options_.enclave->crash();
 }
@@ -98,42 +122,131 @@ std::vector<NodeId> ReplicaNode::peers() const {
 }
 
 std::uint64_t ReplicaNode::enclave_working_set() const {
+  // Batches accumulate inside the enclave before their flush: they are part
+  // of the modelled in-enclave message-buffer footprint (EPC pressure).
   return options_.enclave_runtime_bytes + options_.msg_buffer_bytes +
-         kv_.enclave_bytes();
+         batcher_.buffered_bytes() + kv_.enclave_bytes();
 }
 
 void ReplicaNode::on(rpc::RequestType type, EnvelopeHandler handler) {
-  rpc_.register_handler(
-      type, [this, handler = std::move(handler)](rpc::RequestContext& ctx) {
-        if (!running_) return;  // a stopped node processes nothing
-        auto env = security_->verify(ctx.src, as_view(ctx.payload));
-        if (!env) return;  // drop: unauthenticated / replayed / malformed
-        handler(env.value(), ctx);
-        // Strict-order mode may have unblocked buffered futures.
-        for (VerifiedEnvelope& ready : security_->drain_ready()) {
-          handler(ready, ctx);
-        }
-      });
+  handlers_[type] = std::move(handler);
+  rpc_.register_handler(type, [this, type](rpc::RequestContext& ctx) {
+    if (!running_) return;  // a stopped node processes nothing
+    auto env = security_->verify(ctx.src, as_view(ctx.payload));
+    if (!env) return;  // drop: unauthenticated / replayed / malformed
+    if (env.value().batch) return;  // batch frames only enter via msg::kBatch
+    dispatch_request(type, env.value(), ctx);
+  });
+}
+
+void ReplicaNode::dispatch_request(rpc::RequestType type, VerifiedEnvelope& env,
+                                   rpc::RequestContext& ctx) {
+  const auto it = handlers_.find(type);
+  if (it == handlers_.end()) return;  // unknown (or nested-batch) type: drop
+  it->second(env, ctx);
+  // Strict-order mode may have unblocked buffered futures. A promoted future
+  // can itself be a batch frame — route it through the batch dispatcher, not
+  // the triggering type's handler.
+  for (VerifiedEnvelope& ready : security_->drain_ready()) {
+    if (ready.batch) {
+      dispatch_batch(ready, ctx);
+    } else {
+      it->second(ready, ctx);
+    }
+  }
+}
+
+void ReplicaNode::dispatch_batch(VerifiedEnvelope& env,
+                                 rpc::RequestContext& ctx) {
+  auto view = BatchView::parse(as_view(env.payload));
+  if (!view) return;  // malformed body despite a valid MAC (Null mode only)
+  for (const BatchItem& item : view.value()) {
+    if (item.kind == BatchItem::kKindRequest) {
+      VerifiedEnvelope sub = sub_envelope(env, item.payload);
+      // The synthesized context lets handlers respond exactly as if the
+      // sub-message had arrived as its own packet.
+      rpc::RequestContext sub_ctx{ctx.rpc, ctx.src, item.type, item.rpc_id,
+                                  Bytes{}};
+      dispatch_request(item.type, sub, sub_ctx);
+    } else if (item.kind == BatchItem::kKindResponse) {
+      // settle() refuses rpcs that already timed out or completed, so a
+      // straggler batch cannot double-complete a request.
+      if (!rpc_.settle(item.rpc_id)) continue;
+      const auto it = response_handlers_.find(item.rpc_id);
+      if (it == response_handlers_.end()) continue;
+      ResponseHandler handler = std::move(it->second);
+      response_handlers_.erase(it);
+      VerifiedEnvelope sub = sub_envelope(env, item.payload);
+      if (handler) handler(sub);
+    }
+    // Unknown kinds are skipped: forward compatibility inside a valid MAC.
+  }
+}
+
+VerifiedEnvelope ReplicaNode::sub_envelope(const VerifiedEnvelope& batch_env,
+                                           BytesView payload) const {
+  VerifiedEnvelope sub;
+  sub.sender = batch_env.sender;
+  sub.view = batch_env.view;
+  sub.cnt = batch_env.cnt;
+  sub.payload.assign(payload.begin(), payload.end());
+  return sub;
+}
+
+void ReplicaNode::send_batch(NodeId peer, Bytes body) {
+  auto wire = security_->shield_batch(peer, current_view(), as_view(body));
+  if (!wire) return;  // crashed enclave: the batch dies like any send
+  // Fire-and-forget at the transport level; tracked sub-requests were
+  // registered via expect_response() and time out individually.
+  rpc_.send(peer, msg::kBatch, std::move(wire).take());
 }
 
 void ReplicaNode::send_to(NodeId peer, rpc::RequestType type, BytesView payload,
                           ResponseHandler continuation,
                           std::optional<sim::Time> timeout,
                           rpc::TimeoutHandler on_timeout) {
-  auto wire = security_->shield(peer, current_view(), payload);
-  if (!wire) return;  // crashed enclave: cannot send
+  const bool tracked = continuation != nullptr || on_timeout != nullptr;
+  const std::uint64_t rpc_id = rpc_.allocate_rpc_id();
 
   rpc::Continuation wrapped;
-  if (continuation) {
-    wrapped = [this, cont = std::move(continuation)](NodeId src, Bytes response) {
+  rpc::TimeoutHandler timeout_wrapped;
+  if (tracked) {
+    if (continuation) response_handlers_[rpc_id] = std::move(continuation);
+    // Unbatched wire path. (When the peer answers from inside a batch the
+    // batch dispatcher completes the rpc instead and this never runs.)
+    wrapped = [this, rpc_id](NodeId src, Bytes response) {
+      const auto it = response_handlers_.find(rpc_id);
+      if (it == response_handlers_.end()) return;
+      ResponseHandler handler = std::move(it->second);
+      response_handlers_.erase(it);
       if (!running_) return;
       auto env = security_->verify(src, as_view(response));
       if (!env) return;  // forged/replayed response: drop
-      cont(env.value());
+      if (env.value().batch) return;  // a batch frame is never a direct response
+      if (handler) handler(env.value());
+    };
+    timeout_wrapped = [this, rpc_id, cb = std::move(on_timeout)] {
+      response_handlers_.erase(rpc_id);
+      if (cb) cb();
     };
   }
+
+  if (batcher_.enabled()) {
+    if (tracked) {
+      rpc_.expect_response(peer, rpc_id, std::move(wrapped), timeout,
+                           std::move(timeout_wrapped));
+    }
+    batcher_.enqueue(peer, BatchItem::kKindRequest, type, rpc_id, payload);
+    return;
+  }
+
+  auto wire = security_->shield(peer, current_view(), payload);
+  if (!wire) {  // crashed enclave: cannot send (and nothing was registered)
+    response_handlers_.erase(rpc_id);
+    return;
+  }
   rpc_.send(peer, type, std::move(wire).take(), std::move(wrapped), timeout,
-            std::move(on_timeout));
+            std::move(timeout_wrapped), rpc_id);
 }
 
 void ReplicaNode::broadcast(rpc::RequestType type, BytesView payload,
@@ -147,6 +260,11 @@ void ReplicaNode::broadcast(rpc::RequestType type, BytesView payload,
 
 void ReplicaNode::respond(rpc::RequestContext& ctx, NodeId peer,
                           BytesView payload) {
+  if (batcher_.enabled()) {
+    batcher_.enqueue(peer, BatchItem::kKindResponse, ctx.type, ctx.rpc_id,
+                     payload);
+    return;
+  }
   auto wire = security_->shield(peer, current_view(), payload);
   if (!wire) return;
   ctx.respond(std::move(wire).take());
@@ -158,6 +276,11 @@ std::function<void(Bytes)> ReplicaNode::deferred_responder(
   const rpc::RequestType type = ctx.type;
   const std::uint64_t rpc_id = ctx.rpc_id;
   return [this, dst, type, rpc_id](Bytes payload) {
+    if (batcher_.enabled()) {
+      batcher_.enqueue(dst, BatchItem::kKindResponse, type, rpc_id,
+                       as_view(payload));
+      return;
+    }
     auto wire = security_->shield(dst, current_view(), as_view(payload));
     if (!wire) return;
     rpc_.respond_to(dst, type, rpc_id, std::move(wire).take());

@@ -17,6 +17,7 @@
 #include "common/ids.h"
 #include "kvstore/kvstore.h"
 #include "net/network.h"
+#include "recipe/batcher.h"
 #include "recipe/client_table.h"
 #include "recipe/quorum.h"
 #include "recipe/security.h"
@@ -33,6 +34,9 @@ namespace msg {
 constexpr rpc::RequestType kClientRequest = 0xC0001;
 constexpr rpc::RequestType kHeartbeat = 0xC0002;
 constexpr rpc::RequestType kStateFetch = 0xC0003;
+// Carrier for a shielded BatchFrame; sub-messages are dispatched to their
+// own types after the single batch-level verify.
+constexpr rpc::RequestType kBatch = 0xC0004;
 }  // namespace msg
 
 struct ReplicaOptions {
@@ -57,6 +61,12 @@ struct ReplicaOptions {
   // Failure detection (0 disables heartbeats).
   sim::Time heartbeat_period = 0;
   sim::Time suspect_timeout = 150 * sim::kMillisecond;
+
+  // Adaptive batching of outgoing protocol traffic (requests AND responses,
+  // including client replies). Disabled by default: every frame then keeps
+  // the golden-pinned unbatched wire format. Receivers always understand
+  // batch frames regardless of this setting.
+  BatchConfig batch{};
 
   // Identity of the CAS, whose fresh-node notices reset channel state.
   NodeId cas_id{1000};
@@ -102,6 +112,9 @@ class ReplicaNode {
 
   std::uint64_t committed_ops() const { return committed_ops_; }
   SecurityPolicy& security() { return *security_; }
+  MessageBatcher& batcher() { return batcher_; }
+  // Drains every pending batch immediately (latency-sensitive callers).
+  void flush_batches() { batcher_.flush_all(); }
   kv::KvStore& kv() { return kv_; }
   rpc::RpcObject& rpc() { return rpc_; }
   sim::Simulator& sim() { return simulator_; }
@@ -175,12 +188,29 @@ class ReplicaNode {
  private:
   void handle_client_request(VerifiedEnvelope& env, rpc::RequestContext& ctx);
   void heartbeat_tick();
+  // Runs the registered handler for `type` (plus any strict-mode drained
+  // futures); shared by the wire path and the batch dispatcher.
+  void dispatch_request(rpc::RequestType type, VerifiedEnvelope& env,
+                        rpc::RequestContext& ctx);
+  // Unpacks a verified batch frame: requests go to their handlers,
+  // responses complete their tracked rpcs.
+  void dispatch_batch(VerifiedEnvelope& env, rpc::RequestContext& ctx);
+  // Ships one flushed batch body as a single shielded frame.
+  void send_batch(NodeId peer, Bytes body);
+  VerifiedEnvelope sub_envelope(const VerifiedEnvelope& batch_env,
+                                BytesView payload) const;
 
   sim::Simulator& simulator_;
   net::SimNetwork& network_;
   ReplicaOptions options_;
   rpc::RpcObject rpc_;
   std::unique_ptr<SecurityPolicy> security_;
+  MessageBatcher batcher_;
+  // Post-verification response continuations by rpc id. Responses complete
+  // from EITHER path: the unbatched wire path (rpc continuation -> verify ->
+  // handler) or a batched sub-message (already verified -> handler).
+  std::unordered_map<std::uint64_t, ResponseHandler> response_handlers_;
+  std::unordered_map<rpc::RequestType, EnvelopeHandler> handlers_;
   kv::KvStore kv_;
   ClientTable client_table_;
   tee::TrustedClock clock_;

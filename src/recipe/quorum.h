@@ -25,7 +25,10 @@ class QuorumTracker {
     if (!responders_.insert(from).second) return false;
     if (responders_.size() >= threshold_) {
       fired_ = true;
-      if (on_quorum_) on_quorum_();
+      // Detach the callback before firing: it is never called again, and
+      // releasing it promptly frees whatever state its closure captured
+      // (avoids tracker -> closure -> tracker retain cycles).
+      if (auto fn = std::move(on_quorum_)) fn();
     }
     return true;
   }

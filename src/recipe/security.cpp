@@ -7,14 +7,26 @@ namespace recipe {
 
 // --- NullSecurity ------------------------------------------------------------
 
-Result<Bytes> NullSecurity::shield(NodeId peer, ViewId view, BytesView payload) {
+Result<Bytes> NullSecurity::shield_frame(NodeId peer, ViewId view,
+                                         BytesView payload,
+                                         std::uint8_t flags) {
   ShieldedHeader header;
   header.view = view;
   header.cq = directed_channel(self_, peer);
   header.cnt = 0;
   header.sender = self_;
   header.receiver = peer;
+  header.flags = flags;
   return encode_shielded_frame(header, payload, 0);
+}
+
+Result<Bytes> NullSecurity::shield(NodeId peer, ViewId view, BytesView payload) {
+  return shield_frame(peer, view, payload, 0);
+}
+
+Result<Bytes> NullSecurity::shield_batch(NodeId peer, ViewId view,
+                                         BytesView body) {
+  return shield_frame(peer, view, body, ShieldedHeader::kFlagBatch);
 }
 
 Result<VerifiedEnvelope> NullSecurity::verify(NodeId claimed_sender,
@@ -29,6 +41,7 @@ Result<VerifiedEnvelope> NullSecurity::verify(NodeId claimed_sender,
   env.sender = claimed_sender;  // trusted blindly: this is the CFT baseline
   env.view = msg.value().header.view;
   env.cnt = msg.value().header.cnt;
+  env.batch = msg.value().header.is_batch();
   env.payload.assign(msg.value().payload.begin(), msg.value().payload.end());
   return env;
 }
@@ -71,6 +84,19 @@ Result<RecipeSecurity::ChannelCrypto> RecipeSecurity::derive_channel_crypto(
 }
 
 Result<Bytes> RecipeSecurity::shield(NodeId peer, ViewId view, BytesView payload) {
+  return shield_frame(peer, view, payload, 0);
+}
+
+Result<Bytes> RecipeSecurity::shield_batch(NodeId peer, ViewId view,
+                                           BytesView body) {
+  // The batch body is opaque here: one counter increment, one in-place
+  // encryption pass and one MAC protect all of its sub-messages.
+  return shield_frame(peer, view, body, ShieldedHeader::kFlagBatch);
+}
+
+Result<Bytes> RecipeSecurity::shield_frame(NodeId peer, ViewId view,
+                                           BytesView payload,
+                                           std::uint8_t extra_flags) {
   const ChannelId cq = directed_channel(self_, peer);
 
   // Trusted counter increment happens INSIDE the enclave: a crashed enclave
@@ -101,6 +127,7 @@ Result<Bytes> RecipeSecurity::shield(NodeId peer, ViewId view, BytesView payload
   header.cnt = cnt.value();
   header.sender = self_;
   header.receiver = peer;
+  header.flags = extra_flags;
   if (config_.confidentiality) header.flags |= ShieldedHeader::kFlagEncrypted;
 
   // Single-buffer fast path: the payload is copied exactly once (into the
@@ -189,6 +216,7 @@ Result<VerifiedEnvelope> RecipeSecurity::verify(
   env.sender = msg.header.sender;
   env.view = msg.header.view;
   env.cnt = msg.header.cnt;
+  env.batch = msg.header.is_batch();
   // The single payload copy out of the wire buffer; decryption then runs
   // in place on the copy we keep.
   env.payload.assign(msg.payload.begin(), msg.payload.end());

@@ -48,6 +48,10 @@ struct VerifiedEnvelope {
   NodeId sender{};
   ViewId view{};
   Counter cnt{0};
+  // The frame carried kFlagBatch: `payload` is a BatchFrame body, not a
+  // single protocol payload. Receivers must dispatch the two shapes through
+  // different paths (the flag is MAC-covered, so it cannot be forged).
+  bool batch{false};
   Bytes payload;
 };
 
@@ -68,6 +72,12 @@ class SecurityPolicy {
 
   // Wraps `payload` for the channel self -> peer (paper: shield_msg).
   virtual Result<Bytes> shield(NodeId peer, ViewId view, BytesView payload) = 0;
+
+  // Wraps a pre-encoded BatchFrame body as ONE shielded frame: one header,
+  // one trusted counter (= one replay-window slot on the receiver), one
+  // nonce and one MAC cover every sub-message in the batch.
+  virtual Result<Bytes> shield_batch(NodeId peer, ViewId view,
+                                     BytesView body) = 0;
 
   // Verifies a received wire message (paper: verify_msg). `claimed_sender`
   // is what the untrusted network says; Recipe mode authenticates it.
@@ -99,12 +109,16 @@ class NullSecurity final : public SecurityPolicy {
   explicit NullSecurity(NodeId self) : self_(self) {}
 
   Result<Bytes> shield(NodeId peer, ViewId view, BytesView payload) override;
+  Result<Bytes> shield_batch(NodeId peer, ViewId view, BytesView body) override;
   Result<VerifiedEnvelope> verify(
       NodeId claimed_sender, BytesView wire,
       std::optional<ViewId> require_view = std::nullopt) override;
   bool secured() const override { return false; }
 
  private:
+  Result<Bytes> shield_frame(NodeId peer, ViewId view, BytesView payload,
+                             std::uint8_t flags);
+
   NodeId self_;
 };
 
@@ -128,6 +142,7 @@ class RecipeSecurity final : public SecurityPolicy {
                  RecipeSecurityConfig config = {});
 
   Result<Bytes> shield(NodeId peer, ViewId view, BytesView payload) override;
+  Result<Bytes> shield_batch(NodeId peer, ViewId view, BytesView body) override;
   Result<VerifiedEnvelope> verify(
       NodeId claimed_sender, BytesView wire,
       std::optional<ViewId> require_view = std::nullopt) override;
@@ -172,6 +187,10 @@ class RecipeSecurity final : public SecurityPolicy {
   // freshly derived context after the MAC proves the sender holds the key,
   // so forged sender ids cannot grow the cache.
   Result<ChannelCrypto> derive_channel_crypto(NodeId peer);
+  // Shared single-buffer encoder behind shield()/shield_batch(): `extra_flags`
+  // is ORed into the header (kFlagBatch for batches).
+  Result<Bytes> shield_frame(NodeId peer, ViewId view, BytesView payload,
+                             std::uint8_t extra_flags);
 
   tee::Enclave& enclave_;
   NodeId self_;

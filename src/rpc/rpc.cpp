@@ -47,31 +47,64 @@ void RpcObject::register_handler(RequestType type, RequestHandler handler) {
   handlers_[type] = std::move(handler);
 }
 
-void RpcObject::send(NodeId dst, RequestType type, Bytes payload,
-                     Continuation continuation,
-                     std::optional<sim::Time> timeout,
-                     TimeoutHandler on_timeout) {
-  const std::uint64_t rpc_id = next_rpc_id_++;
+std::uint64_t RpcObject::send(NodeId dst, RequestType type, Bytes payload,
+                              Continuation continuation,
+                              std::optional<sim::Time> timeout,
+                              TimeoutHandler on_timeout,
+                              std::optional<std::uint64_t> rpc_id_opt) {
+  const std::uint64_t rpc_id = rpc_id_opt ? *rpc_id_opt : next_rpc_id_++;
   const bool tracked = continuation != nullptr || on_timeout != nullptr;
   if (tracked) {
-    PendingRequest pending;
-    pending.continuation = std::move(continuation);
-    if (timeout) {
-      pending.timeout_timer = simulator_.schedule(
-          *timeout, [this, rpc_id, dst, cb = std::move(on_timeout)] {
-            const auto it = pending_.find(rpc_id);
-            if (it == pending_.end()) return;
-            pending_.erase(it);
-            release_credit(dst);
-            ++timeouts_fired_;
-            if (cb) cb();
-          });
-    }
-    pending_.emplace(rpc_id, std::move(pending));
+    track(dst, rpc_id, std::move(continuation), timeout, std::move(on_timeout),
+          /*holds_credit=*/true);
   }
   ++requests_sent_;
   enqueue(QueuedSend{dst, type, rpc_id, std::move(payload), /*is_response=*/false,
                      /*consumes_credit=*/tracked});
+  return rpc_id;
+}
+
+void RpcObject::expect_response(NodeId dst, std::uint64_t rpc_id,
+                                Continuation continuation,
+                                std::optional<sim::Time> timeout,
+                                TimeoutHandler on_timeout) {
+  track(dst, rpc_id, std::move(continuation), timeout, std::move(on_timeout),
+        /*holds_credit=*/false);
+}
+
+void RpcObject::track(NodeId dst, std::uint64_t rpc_id,
+                      Continuation continuation,
+                      std::optional<sim::Time> timeout,
+                      TimeoutHandler on_timeout, bool holds_credit) {
+  PendingRequest pending;
+  pending.continuation = std::move(continuation);
+  pending.dst = dst;
+  pending.holds_credit = holds_credit;
+  if (timeout) {
+    pending.timeout_timer = simulator_.schedule(
+        *timeout, [this, rpc_id, cb = std::move(on_timeout)] {
+          const auto it = pending_.find(rpc_id);
+          if (it == pending_.end()) return;
+          const NodeId peer = it->second.dst;
+          const bool credited = it->second.holds_credit;
+          pending_.erase(it);
+          if (credited) release_credit(peer);
+          ++timeouts_fired_;
+          if (cb) cb();
+        });
+  }
+  pending_.emplace(rpc_id, std::move(pending));
+}
+
+bool RpcObject::settle(std::uint64_t rpc_id) {
+  const auto it = pending_.find(rpc_id);
+  if (it == pending_.end()) return false;
+  PendingRequest pending = std::move(it->second);
+  pending_.erase(it);
+  pending.timeout_timer.cancel();
+  if (pending.holds_credit) release_credit(pending.dst);
+  ++responses_received_;
+  return true;
 }
 
 void RpcObject::respond_internal(NodeId dst, RequestType type,
@@ -156,7 +189,7 @@ void RpcObject::on_packet(net::Packet&& packet) {
   PendingRequest pending = std::move(it->second);
   pending_.erase(it);
   pending.timeout_timer.cancel();
-  release_credit(packet.src);
+  if (pending.holds_credit) release_credit(pending.dst);
   ++responses_received_;
   if (pending.continuation) pending.continuation(packet.src, std::move(*payload));
 }

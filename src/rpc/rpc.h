@@ -71,11 +71,36 @@ class RpcObject {
 
   // Enqueues a request to `dst` (paper: send). The continuation fires when
   // the response arrives; on timeout (if set) the timeout handler fires
-  // instead and the continuation is dropped.
-  void send(NodeId dst, RequestType type, Bytes payload,
-            Continuation continuation = nullptr,
-            std::optional<sim::Time> timeout = std::nullopt,
-            TimeoutHandler on_timeout = nullptr);
+  // instead and the continuation is dropped. Returns the request's rpc id;
+  // pass a pre-allocated `rpc_id` (from allocate_rpc_id()) when the caller
+  // needed the id before building the continuation.
+  std::uint64_t send(NodeId dst, RequestType type, Bytes payload,
+                     Continuation continuation = nullptr,
+                     std::optional<sim::Time> timeout = std::nullopt,
+                     TimeoutHandler on_timeout = nullptr,
+                     std::optional<std::uint64_t> rpc_id = std::nullopt);
+
+  // Reserves a fresh rpc id for send() or expect_response().
+  std::uint64_t allocate_rpc_id() { return next_rpc_id_++; }
+
+  // Tracks a request whose payload travels out-of-band — inside a shared
+  // batch frame. Continuation/timeout behave exactly as for send(), but
+  // nothing is transmitted here and no session credit is consumed: batched
+  // requests sit OUTSIDE the per-peer credit window. The batcher caps only
+  // the un-flushed buffer (max_count/max_bytes), so callers needing a hard
+  // bound on in-flight work must keep their own window (protocols here are
+  // naturally bounded by their quorum/pipeline structure).
+  void expect_response(NodeId dst, std::uint64_t rpc_id,
+                       Continuation continuation = nullptr,
+                       std::optional<sim::Time> timeout = std::nullopt,
+                       TimeoutHandler on_timeout = nullptr);
+
+  // Completes a tracked request out-of-band: its response arrived inside a
+  // verified batch, so the timer is cancelled, any held credit released and
+  // the response counted WITHOUT invoking the stored continuation (the
+  // caller already holds the verified payload). Returns false when the rpc
+  // is unknown (timed out, already answered, or never tracked).
+  bool settle(std::uint64_t rpc_id);
 
   // Flushes the TX queue and (in simulation) any pending work (paper: poll).
   void poll();
@@ -100,6 +125,10 @@ class RpcObject {
   struct PendingRequest {
     Continuation continuation;
     sim::TimerHandle timeout_timer;
+    NodeId dst{};
+    // send()-tracked requests occupy a session credit; expect_response()
+    // (batched) requests do not. Release exactly what was taken.
+    bool holds_credit{false};
   };
 
   struct QueuedSend {
@@ -119,6 +148,9 @@ class RpcObject {
   };
 
   void on_packet(net::Packet&& packet);
+  void track(NodeId dst, std::uint64_t rpc_id, Continuation continuation,
+             std::optional<sim::Time> timeout, TimeoutHandler on_timeout,
+             bool holds_credit);
   void transmit(QueuedSend&& item);
   void enqueue(QueuedSend item);
   void respond_internal(NodeId dst, RequestType type, std::uint64_t rpc_id,

@@ -35,6 +35,10 @@ struct TestbedConfig {
   net::NetStackParams replica_stack = net::NetStackParams::direct_io_tee();
   unsigned replica_cores = 8;
 
+  // Adaptive shielded batching on every replica (replication traffic and
+  // client replies); off by default to preserve the calibrated baselines.
+  BatchConfig batch{};
+
   bool use_cost_model = true;
   tee::TeeCostParams cost_params{};
   // SCONE process footprint resident in the EPC (code+heap); message buffers
@@ -95,6 +99,7 @@ class Testbed {
       }
       // Larger RPC windows for load generation.
       options.rpc_config.session_credits = 256;
+      options.batch = config_.batch;
 
       enclaves_.push_back(std::move(enclave));
       nodes_.push_back(std::make_unique<Node>(simulator_, network_,

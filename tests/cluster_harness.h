@@ -3,6 +3,9 @@
 // covered by attest_test and the integration test).
 #pragma once
 
+#include <gtest/gtest.h>
+
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
@@ -17,6 +20,24 @@
 
 namespace recipe::testing {
 
+// Seed resolution for randomized tests: RECIPE_TEST_SEED (any base strtoull
+// accepts) overrides the test's own seed, so a failing fuzz/sweep run can be
+// replayed exactly. The resolved seed is printed with every failure via the
+// ScopedTrace the Cluster installs (standalone tests should SCOPED_TRACE it
+// themselves).
+inline std::uint64_t resolved_seed(std::uint64_t fallback) {
+  if (const char* env = std::getenv("RECIPE_TEST_SEED")) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 0);
+    if (end != env && *end == '\0') return v;
+  }
+  return fallback;
+}
+
+inline std::string seed_trace_message(std::uint64_t seed) {
+  return "randomized run: replay with RECIPE_TEST_SEED=" + std::to_string(seed);
+}
+
 template <typename Node>
 class Cluster {
  public:
@@ -26,9 +47,12 @@ class Cluster {
     bool confidentiality = false;
     sim::Time heartbeat_period = 0;  // 0: no failure detector traffic
     std::uint64_t seed = 1;
+    BatchConfig batch{};  // forwarded to every replica
   };
 
-  explicit Cluster(Config config = {}) : config_(config) {
+  explicit Cluster(Config config = {})
+      : config_(with_resolved_seed(config)),
+        network_(simulator_, Rng(network_seed(config_.seed))) {
     for (std::size_t i = 0; i < config_.num_replicas; ++i) {
       membership_.push_back(NodeId{i + 1});
     }
@@ -50,6 +74,7 @@ class Cluster {
     options.heartbeat_period = config_.heartbeat_period;
     options.stack = config_.secured ? net::NetStackParams::direct_io_tee()
                                     : net::NetStackParams::direct_io_native();
+    options.batch = config_.batch;
     if (config_.confidentiality) {
       options.kv_config.value_encryption_key = value_key_;
     }
@@ -142,10 +167,23 @@ class Cluster {
   static void ASSERT_TRUE_OR_ABORT(bool ok) {
     if (!ok) std::abort();
   }
+  static Config with_resolved_seed(Config config) {
+    config.seed = resolved_seed(config.seed);
+    return config;
+  }
+  // The default seed maps to the historical network stream (Rng(99)) so
+  // long-pinned deterministic tests keep their exact schedules.
+  static std::uint64_t network_seed(std::uint64_t seed) {
+    return seed == 1 ? 99 : seed;
+  }
 
   Config config_;
   sim::Simulator simulator_;
-  net::SimNetwork network_{simulator_, Rng(99)};
+  net::SimNetwork network_;
+  // Appends the replay seed to every gtest failure within this cluster's
+  // lifetime.
+  ::testing::ScopedTrace seed_trace_{__FILE__, __LINE__,
+                                     seed_trace_message(config_.seed)};
   tee::TeePlatform platform_{1};
   crypto::SymmetricKey root_{Bytes(32, 0x77)};
   crypto::SymmetricKey value_key_{Bytes(32, 0x44)};

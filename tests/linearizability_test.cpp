@@ -15,7 +15,11 @@
 
 #include "cluster_harness.h"
 #include "protocols/abd/abd.h"
+#include "protocols/cr/cr.h"
+#include "protocols/craq/craq.h"
 #include "protocols/hermes/hermes.h"
+#include "protocols/raft/raft.h"
+#include "recipe/batcher.h"
 
 namespace recipe {
 namespace {
@@ -27,26 +31,41 @@ struct HistoryOp {
   sim::Time returned;
   bool is_write;
   std::string value;  // written value, or observed value for reads
+  // false: the operation never returned to the client (timeout under drops).
+  // An incomplete WRITE may have taken effect at any point after `invoked`,
+  // or never — the checker may place it anywhere after invocation or leave
+  // it out entirely (Knossos-style "info" op). Incomplete reads carry no
+  // constraint and should simply be omitted from the history.
+  bool complete = true;
 };
 
-// Returns true iff `ops` (a complete single-register history) has a legal
+// Returns true iff `ops` (a single-register history) has a legal
 // linearization starting from `initial`.
 bool linearizable(const std::vector<HistoryOp>& ops, const std::string& initial) {
   const std::size_t n = ops.size();
   if (n > 24) ADD_FAILURE() << "history too large for the checker";
+  std::uint32_t complete_mask = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (ops[i].complete) complete_mask |= 1u << i;
+  }
   std::set<std::pair<std::uint32_t, std::string>> visited;
 
   // DFS over sets of already-linearized ops (bitmask) + current state.
   std::function<bool(std::uint32_t, const std::string&)> dfs =
       [&](std::uint32_t done, const std::string& state) -> bool {
-    if (done == (1u << n) - 1) return true;
+    // Success once every COMPLETE op is placed; leftover incomplete ops are
+    // the ones that "never happened".
+    if ((done & complete_mask) == complete_mask) return true;
     if (!visited.insert({done, state}).second) return false;
 
     // An op can be linearized next only if no other remaining op RETURNED
-    // before it was invoked (real-time order must be respected).
+    // before it was invoked (real-time order must be respected). Incomplete
+    // ops never returned, so they constrain nobody.
     sim::Time min_return = ~sim::Time{0};
     for (std::size_t i = 0; i < n; ++i) {
-      if (!(done & (1u << i))) min_return = std::min(min_return, ops[i].returned);
+      if (!(done & (1u << i)) && ops[i].complete) {
+        min_return = std::min(min_return, ops[i].returned);
+      }
     }
     for (std::size_t i = 0; i < n; ++i) {
       if (done & (1u << i)) continue;
@@ -119,6 +138,43 @@ TEST(LinearizabilityChecker, ReadConcurrentWithWriteMaySeeEither) {
       {50, 60, false, "a"},  // b observed, then a again: illegal
   };
   EXPECT_FALSE(linearizable(bad, ""));
+}
+
+TEST(LinearizabilityChecker, IncompleteWriteMayBeAppliedOrNot) {
+  const sim::Time never = ~sim::Time{0};
+  // A timed-out write that DID take effect: later reads observe it.
+  std::vector<HistoryOp> applied = {
+      {0, 10, true, "a"},
+      {20, never, true, "b", false},  // incomplete
+      {40, 50, false, "b"},
+  };
+  EXPECT_TRUE(linearizable(applied, ""));
+  // The same write treated as never-applied: reads keep observing "a".
+  std::vector<HistoryOp> skipped = {
+      {0, 10, true, "a"},
+      {20, never, true, "b", false},
+      {40, 50, false, "a"},
+      {60, 70, false, "a"},
+  };
+  EXPECT_TRUE(linearizable(skipped, ""));
+  // But it cannot flip-flop: observed, then gone again.
+  std::vector<HistoryOp> flipflop = {
+      {0, 10, true, "a"},
+      {20, never, true, "b", false},
+      {40, 50, false, "b"},
+      {60, 70, false, "a"},
+  };
+  EXPECT_FALSE(linearizable(flipflop, ""));
+}
+
+TEST(LinearizabilityChecker, IncompleteWriteCannotApplyBeforeInvocation) {
+  const sim::Time never = ~sim::Time{0};
+  std::vector<HistoryOp> ops = {
+      {0, 10, true, "a"},
+      {20, 30, false, "b"},           // observes "b" BEFORE the write begins
+      {40, never, true, "b", false},
+  };
+  EXPECT_FALSE(linearizable(ops, ""));
 }
 
 // --- Protocol histories ------------------------------------------------------------
@@ -201,6 +257,160 @@ TEST_P(ProtocolLinearizability, HermesHistoriesAreLinearizable) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ProtocolLinearizability,
                          ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+// --- Batched randomized sweep -----------------------------------------------------
+//
+// CR / CRAQ / Raft histories with the batching subsystem ENABLED under a
+// RANDOM flush policy (max-count / max-bytes / max-delay / adaptive drawn per
+// seed) plus random message-delay schedules on every link and drop schedules
+// on the client links (client retries make drops recoverable there without
+// relying on protocol-level retransmission). Client ops that never complete
+// are recorded as incomplete maybe-applied writes for the checker.
+//
+// Seeds honor RECIPE_TEST_SEED (cluster_harness.h) for replay.
+
+struct SweepRouting {
+  std::function<NodeId(Rng&)> write_to;
+  std::function<NodeId(Rng&)> read_to;
+};
+
+template <typename Node, typename... Extra>
+void run_batched_sweep(std::uint64_t base_seed, const SweepRouting& route,
+                       double replica_drop_rate, Extra&&... extra) {
+  const std::uint64_t seed = testing::resolved_seed(base_seed);
+  SCOPED_TRACE(testing::seed_trace_message(seed));
+  Rng rng(seed);
+
+  typename Cluster<Node>::Config config;
+  config.seed = seed;
+  config.batch.enabled = true;
+  config.batch.max_count = std::size_t{1} << rng.range(1, 5);  // 2..32
+  config.batch.max_bytes = std::size_t{512} << rng.below(5);   // 512B..8KiB
+  config.batch.max_delay = rng.below(41) * sim::kMicrosecond;  // 0..40us
+  config.batch.adaptive = rng.chance(0.5);
+  Cluster<Node> cluster(config);
+  cluster.build(std::forward<Extra>(extra)...);
+
+  // Random delay/duplication schedule on every link; random drops before GST
+  // (replica links only where the protocol retransmits, i.e. Raft).
+  net::NetworkFaults faults;
+  faults.jitter_max = rng.below(31) * sim::kMicrosecond;
+  faults.duplicate_rate = rng.uniform() * 0.15;
+  faults.drop_rate = replica_drop_rate * rng.uniform();
+  faults.gst = 2 * sim::kSecond;
+  cluster.network().set_faults(faults);
+
+  // Client-link drop schedule via the adversary (applies pre-GST only, so
+  // three retries always suffice eventually).
+  const double client_drop = rng.uniform() * 0.15;
+  Rng drop_rng = rng.fork();
+  auto& simulator = cluster.sim();
+  cluster.network().set_adversary(
+      [&simulator, drop_rng, client_drop](const net::Packet& p) mutable {
+        net::AdversaryAction action;
+        const bool client_link = p.src.value >= 2000 || p.dst.value >= 2000;
+        if (client_link && simulator.now() < 2 * sim::kSecond &&
+            drop_rng.chance(client_drop)) {
+          action.kind = net::AdversaryAction::Kind::kDrop;
+        }
+        return action;
+      });
+
+  auto& w1 = cluster.add_client(2001);
+  auto& w2 = cluster.add_client(2002);
+  auto& r1 = cluster.add_client(2003);
+  auto& r2 = cluster.add_client(2004);
+
+  auto history = std::make_shared<std::vector<HistoryOp>>();
+  const sim::Time never = ~sim::Time{0};
+  int value_counter = 0;
+  int outstanding = 0;
+
+  auto launch_write = [&](KvClient& client) {
+    const sim::Time invoked = cluster.sim().now();
+    const std::string value = "v" + std::to_string(++value_counter);
+    ++outstanding;
+    client.put(route.write_to(rng), "x", to_bytes(value),
+               [&outstanding, history, invoked, value, never,
+                &cluster](const ClientReply& r) {
+                 --outstanding;
+                 if (r.ok) {
+                   history->push_back(
+                       HistoryOp{invoked, cluster.sim().now(), true, value});
+                 } else {
+                   // Timed out / refused: MAY still have been applied.
+                   history->push_back(
+                       HistoryOp{invoked, never, true, value, false});
+                 }
+               });
+  };
+  auto launch_read = [&](KvClient& client) {
+    const sim::Time invoked = cluster.sim().now();
+    ++outstanding;
+    client.get(route.read_to(rng), "x",
+               [&outstanding, history, invoked, &cluster](const ClientReply& r) {
+                 --outstanding;
+                 if (!r.ok) return;  // incomplete read: no constraint
+                 history->push_back(HistoryOp{
+                     invoked, cluster.sim().now(), false,
+                     r.found ? to_string(as_view(r.value)) : ""});
+               });
+  };
+
+  int writes = 6;
+  int reads = 8;
+  while (writes > 0 || reads > 0) {
+    if (writes > 0) {
+      launch_write(rng.chance(0.5) ? w1 : w2);
+      --writes;
+    }
+    if (reads > 0) {
+      launch_read(rng.chance(0.5) ? r1 : r2);
+      --reads;
+    }
+    cluster.run_for(rng.below(60) * sim::kMicrosecond);
+  }
+  // Drain: client timeouts are 500ms x 3 retries, GST at 2s.
+  cluster.run_for(10 * sim::kSecond);
+
+  EXPECT_EQ(outstanding, 0) << "every client op must resolve";
+  int complete_ops = 0;
+  for (const HistoryOp& op : *history) complete_ops += op.complete ? 1 : 0;
+  EXPECT_GE(complete_ops, 7) << "sweep too lossy to be meaningful";
+  EXPECT_TRUE(linearizable(*history, "")) << "seed " << seed;
+}
+
+class BatchedLinearizability : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BatchedLinearizability, ChainReplicationUnderRandomBatching) {
+  // CR: writes at the head, linearizable local reads at the tail. No drops
+  // on replica links (chain updates are not retransmitted unless a node is
+  // suspected).
+  SweepRouting route{[](Rng&) { return NodeId{1}; },
+                     [](Rng&) { return NodeId{3}; }};
+  run_batched_sweep<protocols::ChainNode>(GetParam() * 7919 + 1, route, 0.0);
+}
+
+TEST_P(BatchedLinearizability, CraqUnderRandomBatching) {
+  // CRAQ: writes at the head, apportioned reads anywhere.
+  SweepRouting route{[](Rng&) { return NodeId{1}; },
+                     [](Rng& r) { return NodeId{1 + r.below(3)}; }};
+  run_batched_sweep<protocols::CraqNode>(GetParam() * 104729 + 3, route, 0.0);
+}
+
+TEST_P(BatchedLinearizability, RaftUnderRandomBatching) {
+  // Raft: everything at the leader; AppendEntries retries tolerate drops on
+  // the replica links too.
+  protocols::RaftOptions raft;
+  raft.initial_leader = NodeId{1};
+  SweepRouting route{[](Rng&) { return NodeId{1}; },
+                     [](Rng&) { return NodeId{1}; }};
+  run_batched_sweep<protocols::RaftNode>(GetParam() * 15485863 + 5, route, 0.1,
+                                         raft);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BatchedLinearizability,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
 
 }  // namespace
 }  // namespace recipe
