@@ -9,7 +9,8 @@ namespace recipe::attest {
 
 Bytes encode_quote(const tee::Quote& quote) {
   Writer w;
-  w.raw(BytesView(quote.report.measurement.data(), quote.report.measurement.size()));
+  w.raw(BytesView(quote.report.measurement.data(),
+                  quote.report.measurement.size()));
   w.u64(quote.report.platform_id);
   w.u64(quote.report.enclave_id);
   w.bytes(as_view(quote.report.report_data));
@@ -46,7 +47,8 @@ crypto::SymmetricKey derive_channel_key_from_root(
   info.u64(lo);
   info.u64(hi);
   return crypto::SymmetricKey{crypto::hkdf_sha256(
-      root.view(), BytesView{}, as_view(info.buffer()), crypto::kSymmetricKeySize)};
+      root.view(), BytesView{}, as_view(info.buffer()),
+      crypto::kSymmetricKeySize)};
 }
 
 Result<crypto::SymmetricKey> enclave_channel_key(const tee::Enclave& enclave,
@@ -60,7 +62,8 @@ Result<crypto::SymmetricKey> enclave_channel_key(const tee::Enclave& enclave,
 }
 
 AttestationAuthority::AttestationAuthority(sim::Simulator& simulator,
-                                           net::SimNetwork& network, NodeId self,
+                                           net::SimNetwork& network,
+                                           NodeId self,
                                            net::NetStackParams stack,
                                            AuthorityParams params)
     : simulator_(simulator),
@@ -73,12 +76,14 @@ AttestationAuthority::AttestationAuthority(sim::Simulator& simulator,
   seed.str("authority-root");
   const Bytes salt = to_bytes("recipe-cas-v1");
   cluster_root_ = crypto::SymmetricKey{crypto::hkdf_sha256(
-      as_view(seed.buffer()), as_view(salt), BytesView{}, crypto::kSymmetricKeySize)};
+      as_view(seed.buffer()), as_view(salt), BytesView{},
+      crypto::kSymmetricKeySize)};
   Writer vseed;
   vseed.u64(params.key_seed);
   vseed.str("value-key");
   value_key_ = crypto::SymmetricKey{crypto::hkdf_sha256(
-      as_view(vseed.buffer()), as_view(salt), BytesView{}, crypto::kSymmetricKeySize)};
+      as_view(vseed.buffer()), as_view(salt), BytesView{},
+      crypto::kSymmetricKeySize)};
 }
 
 void AttestationAuthority::upload_plan(ClusterPlan plan,
@@ -87,7 +92,8 @@ void AttestationAuthority::upload_plan(ClusterPlan plan,
   allow_measurement(measurement);
 }
 
-void AttestationAuthority::allow_measurement(const tee::Measurement& measurement) {
+void AttestationAuthority::allow_measurement(
+    const tee::Measurement& measurement) {
   allowed_measurements_.insert(
       to_hex(BytesView(measurement.data(), measurement.size())));
 }
@@ -137,7 +143,8 @@ void AttestationAuthority::attest_and_provision(NodeId target,
         }
         // 2. Code identity: measurement allowlist.
         const auto& m = quote.value().report.measurement;
-        if (!allowed_measurements_.contains(to_hex(BytesView(m.data(), m.size())))) {
+        if (!allowed_measurements_.contains(to_hex(BytesView(m.data(),
+                                                             m.size())))) {
           (*shared)(Status::error(ErrorCode::kAuthFailed,
                                   "measurement not in allowlist"),
                     simulator_.now() - started);
@@ -176,6 +183,11 @@ void AttestationAuthority::attest_and_provision(NodeId target,
             bundle.channel_keys.emplace_back(
                 peer, derive_channel_key(as_principal, peer));
           }
+          // The CAS<->client channel key, so the client can authenticate
+          // fresh-node notices. Attested clients join the notice audience.
+          bundle.channel_keys.emplace_back(
+              rpc_.self(), derive_channel_key(as_principal, rpc_.self()));
+          principals_.insert(as_principal);
         }
 
         const crypto::SymmetricKey session_key =
@@ -216,37 +228,41 @@ void AttestationAuthority::attest_and_provision(NodeId target,
 
 void AttestationAuthority::announce_fresh_node(NodeId fresh) {
   if (!plan_) return;
-  for (NodeId replica : plan_->replicas) {
-    if (replica == fresh) continue;
-    // Shield the notice on the CAS<->replica channel: the CAS holds the
-    // cluster root, so replicas verify it like any peer message.
+  std::vector<NodeId> audience(plan_->replicas);
+  audience.insert(audience.end(), principals_.begin(), principals_.end());
+  for (NodeId target : audience) {
+    if (target == fresh) continue;
+    // Shield the notice on the CAS<->target channel: the CAS holds the
+    // cluster root, so replicas (and provisioned clients) verify it like
+    // any peer message.
     ShieldedHeader header;
     header.view = ViewId{0};
-    header.cq = directed_channel(rpc_.self(), replica);
+    header.cq = directed_channel(rpc_.self(), target);
     header.cnt = ++announce_counters_[header.cq];
     header.sender = rpc_.self();
-    header.receiver = replica;
+    header.receiver = target;
     Writer payload;
     payload.id(fresh);
 
-    auto hmac_it = announce_hmacs_.find(replica);
+    auto hmac_it = announce_hmacs_.find(target);
     if (hmac_it == announce_hmacs_.end()) {
       hmac_it = announce_hmacs_
-                    .emplace(replica, crypto::Hmac(derive_channel_key(
-                                          rpc_.self(), replica).view()))
+                    .emplace(target, crypto::Hmac(derive_channel_key(
+                                         rpc_.self(), target).view()))
                     .first;
     }
     Bytes wire = encode_shielded_frame(header, as_view(payload.buffer()),
                                        crypto::kMacSize);
     write_frame_mac(wire, hmac_it->second);
-    rpc_.send(replica, msg::kFreshNode, std::move(wire));
+    rpc_.send(target, msg::kFreshNode, std::move(wire));
   }
 }
 
 AttestationClient::AttestationClient(rpc::RpcObject& rpc, tee::Enclave& enclave,
                                      Provisioned on_provisioned)
     : rpc_(rpc), enclave_(enclave), on_provisioned_(std::move(on_provisioned)) {
-  rpc_.register_handler(msg::kAttestChallenge, [this](rpc::RequestContext& ctx) {
+  rpc_.register_handler(msg::kAttestChallenge,
+                        [this](rpc::RequestContext& ctx) {
     Reader r(as_view(ctx.payload));
     const auto nonce_value = r.u64();
     const auto authority_pub = r.u64();
@@ -270,7 +286,8 @@ AttestationClient::AttestationClient(rpc::RpcObject& rpc, tee::Enclave& enclave,
       ctx.respond(std::move(ack).take());
       return;
     }
-    auto info = open_and_install_bundle(enclave_, *authority_pub, as_view(*sealed),
+    auto info = open_and_install_bundle(enclave_, *authority_pub,
+                                        as_view(*sealed),
                                         as_view("recipe-provision"));
     if (!info) {
       ack.boolean(false);

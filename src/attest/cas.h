@@ -95,10 +95,17 @@ class AttestationAuthority {
   // (used to provision non-member principals such as clients).
   crypto::SymmetricKey derive_channel_key(NodeId a, NodeId b) const;
 
-  // Broadcasts a shielded "fresh node" notice to all plan replicas so they
-  // reset `fresh`'s channel state. Called automatically after a successful
+  // Broadcasts a shielded "fresh node" notice to all plan replicas AND every
+  // registered client principal so they reset `fresh`'s channel state (a
+  // client holding the old replay window would reject the rejoined node's
+  // post-restart replies). Called automatically after a successful
   // full-member (re-)attestation.
   void announce_fresh_node(NodeId fresh);
+
+  // Adds a non-member principal (client) to the fresh-node notice audience.
+  // CAS-attested clients register automatically; pre-provisioned ones (test
+  // harness fast path) register through this.
+  void register_principal(NodeId principal) { principals_.insert(principal); }
 
   const crypto::SymmetricKey& cluster_root() const { return cluster_root_; }
   NodeId id() const { return rpc_.self(); }
@@ -109,6 +116,7 @@ class AttestationAuthority {
   AuthorityParams params_;
   tee::QuoteVerifier verifier_;
   std::optional<ClusterPlan> plan_;
+  std::unordered_set<NodeId> principals_;  // notice audience beyond the plan
   std::unordered_set<std::string> allowed_measurements_;  // hex digests
   crypto::SymmetricKey cluster_root_;
   crypto::SymmetricKey value_key_;

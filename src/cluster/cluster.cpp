@@ -38,7 +38,8 @@ Result<ShardId> ShardedCluster::add_shard(const std::string& protocol) {
   }
 
   ShardGroupOptions group_options;
-  group_options.protocol = protocol.empty() ? options_.default_protocol : protocol;
+  group_options.protocol =
+      protocol.empty() ? options_.default_protocol : protocol;
   group_options.num_replicas = options_.replicas_per_shard;
   group_options.base_id = options_.first_base_id + id * options_.id_stride;
   group_options.secured = options_.secured;
@@ -103,7 +104,8 @@ Status ShardedCluster::remove_shard(ShardId id) {
   for (Entry& survivor : shards_) {
     if (survivor.id == id) continue;
     survivor.group->pull_state_from(*departing->group,
-                                    [progress](std::size_t, std::size_t failed) {
+                                    [progress](std::size_t,
+                                               std::size_t failed) {
                                       progress->errors += failed;
                                       if (--progress->pending == 0) {
                                         progress->complete = true;
@@ -121,6 +123,44 @@ Status ShardedCluster::remove_shard(ShardId id) {
   std::erase_if(shards_, [id](const Entry& e) { return e.id == id; });
   prune_to_ownership();
   return Status::ok();
+}
+
+std::uint64_t ShardedCluster::add_fresh_node_listener(
+    FreshNodeListener listener) {
+  const std::uint64_t token = next_listener_token_++;
+  fresh_listeners_.emplace_back(token, std::move(listener));
+  return token;
+}
+
+void ShardedCluster::remove_fresh_node_listener(std::uint64_t token) {
+  std::erase_if(fresh_listeners_,
+                [token](const auto& entry) { return entry.first == token; });
+}
+
+Status ShardedCluster::recover_replica(ShardId shard, std::size_t index) {
+  Entry* entry = find(shard);
+  if (entry == nullptr) {
+    return Status::error(ErrorCode::kNotFound, "no such shard");
+  }
+  if (index < entry->group->size()) {
+    // Fresh-node notice to the registered clients: the rejoiner's counters
+    // restart from 1, so a client keeping its old replay window would
+    // reject every post-recovery reply as a duplicate.
+    const NodeId fresh = entry->group->replica(index).self();
+    for (const auto& [token, listener] : fresh_listeners_) listener(fresh);
+  }
+  auto progress = std::make_shared<HandoffProgress>();
+  auto result = std::make_shared<Status>(Status::ok());
+  entry->group->recover_replica(index,
+                                [progress, result](Result<std::size_t> r) {
+                                  if (!r) *result = r.status();
+                                  progress->complete = true;
+                                });
+  drive(progress->complete, options_.handoff_timeout);
+  if (!progress->complete) {
+    return Status::error(ErrorCode::kTimeout, "replica recovery timed out");
+  }
+  return *result;
 }
 
 bool ShardedCluster::has_shard(ShardId id) const {

@@ -72,6 +72,22 @@ class ShardedCluster {
   // ring and crash-stops its replicas. Fails for the last shard.
   Status remove_shard(ShardId id);
 
+  // Replica replacement: crash-recover replica `index` of `shard` through
+  // the shared §3.7 shadow machinery (ShardGroup::recover_replica) and
+  // drive the simulator until it promoted (or the handoff timeout passed).
+  // Fresh-node listeners fire first, so client-side channel state resets
+  // before the recovered replica's restarted counters reach them.
+  Status recover_replica(ShardId shard, std::size_t index);
+
+  // The pre-attested fast path's analog of the CAS fresh-node notice
+  // audience: clients register to learn when a replica rejoins with fresh
+  // counters (RoutedClient resets its replay windows through this).
+  // Returns a token for remove_fresh_node_listener (listeners must
+  // deregister before they are destroyed).
+  using FreshNodeListener = std::function<void(NodeId fresh)>;
+  std::uint64_t add_fresh_node_listener(FreshNodeListener listener);
+  void remove_fresh_node_listener(std::uint64_t token);
+
   bool has_shard(ShardId id) const;
   // Aborts on an unknown id; pair with has_shard()/owner_of() first.
   ShardGroup& shard(ShardId id);
@@ -113,6 +129,8 @@ class ShardedCluster {
   ConsistentHashRing ring_;
   std::vector<Entry> shards_;
   ShardId next_shard_id_{0};
+  std::vector<std::pair<std::uint64_t, FreshNodeListener>> fresh_listeners_;
+  std::uint64_t next_listener_token_{1};
 };
 
 }  // namespace recipe::cluster

@@ -29,6 +29,14 @@ RoutedClient::RoutedClient(ShardedCluster& cluster, RoutedClientOptions options)
   client_options.request_timeout = options_.request_timeout;
   client_ = std::make_unique<KvClient>(cluster_.sim(), cluster_.network(),
                                        client_options);
+  // A replaced replica rejoins with restarted counters; without this reset
+  // the client's old replay window would reject its post-recovery replies.
+  fresh_listener_token_ = cluster_.add_fresh_node_listener(
+      [this](NodeId fresh) { client_->security().reset_peer(fresh); });
+}
+
+RoutedClient::~RoutedClient() {
+  cluster_.remove_fresh_node_listener(fresh_listener_token_);
 }
 
 void RoutedClient::put(const std::string& key, Bytes value,
@@ -41,7 +49,8 @@ void RoutedClient::put(const std::string& key, Bytes value,
   const NodeId target = cluster_.shard(shard).write_coordinator();
   const sim::Time start = cluster_.sim().now();
   client_->put(target, key, std::move(value),
-               [this, shard, start, done = std::move(done)](const ClientReply& r) {
+               [this, shard, start,
+                done = std::move(done)](const ClientReply& r) {
                  record(shard, start);
                  done(r);
                });
@@ -56,7 +65,8 @@ void RoutedClient::get(const std::string& key, KvClient::ReplyCallback done) {
   const NodeId target = cluster_.shard(shard).read_replica(read_hint_++);
   const sim::Time start = cluster_.sim().now();
   client_->get(target, key,
-               [this, shard, start, done = std::move(done)](const ClientReply& r) {
+               [this, shard, start,
+                done = std::move(done)](const ClientReply& r) {
                  record(shard, start);
                  done(r);
                });

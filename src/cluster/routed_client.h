@@ -32,6 +32,7 @@ struct RoutedClientOptions {
 class RoutedClient {
  public:
   RoutedClient(ShardedCluster& cluster, RoutedClientOptions options = {});
+  ~RoutedClient();
 
   // Asynchronous ops: routed to the owning shard; reads round-robin over
   // its read-serving replicas.
@@ -59,6 +60,7 @@ class RoutedClient {
   RoutedClientOptions options_;
   std::unique_ptr<tee::Enclave> enclave_;
   std::unique_ptr<KvClient> client_;
+  std::uint64_t fresh_listener_token_{0};
   std::uint64_t read_hint_{0};
   std::map<ShardId, Histogram> shard_latency_us_;
 };

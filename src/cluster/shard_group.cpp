@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "cluster/registry.h"
+#include "recipe/recovery.h"
 
 namespace recipe::cluster {
 
@@ -40,10 +41,12 @@ Result<std::unique_ptr<ShardGroup>> ShardGroup::create(
     auto enclave =
         std::make_unique<tee::Enclave>(platform, "recipe-replica", id.value);
     if (opts.secured) {
-      auto installed = enclave->install_secret(attest::kClusterRootName, opts.root);
+      auto installed = enclave->install_secret(attest::kClusterRootName,
+                                               opts.root);
       if (!installed.is_ok()) return installed;
       if (opts.confidentiality) {
-        installed = enclave->install_secret(attest::kValueKeyName, opts.value_key);
+        installed = enclave->install_secret(attest::kValueKeyName,
+                                            opts.value_key);
         if (!installed.is_ok()) return installed;
       }
     }
@@ -56,8 +59,9 @@ Result<std::unique_ptr<ShardGroup>> ShardGroup::create(
     replica_options.enclave = enclave.get();
     replica_options.cost_model = opts.cost_model;
     replica_options.heartbeat_period = opts.heartbeat_period;
-    replica_options.stack = opts.secured ? net::NetStackParams::direct_io_tee()
-                                         : net::NetStackParams::direct_io_native();
+    replica_options.stack = opts.secured
+                                ? net::NetStackParams::direct_io_tee()
+                                : net::NetStackParams::direct_io_native();
     if (opts.confidentiality) {
       replica_options.kv_config.value_encryption_key = opts.value_key;
     }
@@ -76,9 +80,91 @@ void ShardGroup::stop() {
   }
 }
 
+void ShardGroup::stop_replica(std::size_t i) {
+  if (i < replicas_.size() && replicas_[i]->running()) replicas_[i]->stop();
+}
+
+void ShardGroup::recover_replica(
+    std::size_t i, std::function<void(Result<std::size_t>)> done) {
+  if (i >= replicas_.size()) {
+    done(Status::error(ErrorCode::kInvalidArgument, "no such replica"));
+    return;
+  }
+  ReplicaNode& node = *replicas_[i];
+  tee::Enclave& enclave = *enclaves_[i];
+  if (node.running()) {
+    done(Status::error(ErrorCode::kAlreadyExists, "replica is running"));
+    return;
+  }
+
+  // Fresh enclave + pre-attested re-provisioning (the group stands in for
+  // the CAS: it holds the cluster root, exactly like the bootstrap path).
+  // The machine reboot also emptied the host process.
+  enclave.restart();
+  node.wipe_state();
+  if (options_.secured) {
+    auto installed = enclave.install_secret(attest::kClusterRootName,
+                                            options_.root);
+    if (!installed.is_ok()) {
+      done(installed);
+      return;
+    }
+    if (options_.confidentiality) {
+      installed = enclave.install_secret(attest::kValueKeyName,
+                                         options_.value_key);
+      if (!installed.is_ok()) {
+        done(installed);
+        return;
+      }
+    }
+  }
+  // The fast-path analog of the CAS fresh-node notice: every peer resets
+  // the rejoiner's channel counters and replay window.
+  for (auto& peer : replicas_) {
+    if (peer.get() != &node && peer->running()) {
+      peer->security().reset_peer(node.self());
+    }
+  }
+
+  // Donor: any active peer (nullopt when the rest of the group is down).
+  ReplicaNode* donor = nullptr;
+  for (auto& peer : replicas_) {
+    if (peer.get() != &node && peer->active()) {
+      donor = peer.get();
+      break;
+    }
+  }
+  if (donor == nullptr) {
+    done(Status::error(ErrorCode::kUnavailable, "no active donor replica"));
+    return;
+  }
+
+  node.start_as_shadow();
+  node.catch_up_from(
+      donor->self(), [this, &node, done](Result<std::size_t> streamed) {
+        if (!streamed) {
+          done(streamed.status());
+          return;
+        }
+        // Promote as soon as the protocol agrees (Raft waits for its log
+        // backfill); same poll cadence as the RejoinDriver defaults.
+        const RejoinOptions defaults;
+        await_promotion(simulator_, node, defaults.promote_poll,
+                        defaults.max_promote_polls,
+                        [done, streamed](bool promoted) {
+                          if (!promoted) {
+                            done(Status::error(ErrorCode::kTimeout,
+                                               "replica stuck in shadow"));
+                            return;
+                          }
+                          done(streamed.value());
+                        });
+      });
+}
+
 NodeId ShardGroup::write_coordinator() const {
   for (const auto& replica : replicas_) {
-    if (replica->running() && replica->coordinates_writes()) {
+    if (replica->active() && replica->coordinates_writes()) {
       return replica->self();
     }
   }
@@ -88,7 +174,7 @@ NodeId ShardGroup::write_coordinator() const {
 NodeId ShardGroup::read_replica(std::uint64_t hint) const {
   std::vector<NodeId> eligible;
   for (const auto& replica : replicas_) {
-    if (replica->running() && replica->coordinates_reads()) {
+    if (replica->active() && replica->coordinates_reads()) {
       eligible.push_back(replica->self());
     }
   }
@@ -99,17 +185,20 @@ NodeId ShardGroup::read_replica(std::uint64_t hint) const {
 void ShardGroup::pull_state_from(
     ShardGroup& donor,
     std::function<void(std::size_t installed, std::size_t errors)> done) {
-  // One fetch per (running receiver, running donor-replica) pair;
-  // completion fires `done`. Crashed endpoints are skipped up front — a
-  // send to one would silently never call back (the shield fails before
-  // anything hits the wire) and the handoff would stall.
+  // One fetch per (active receiver, active donor-replica) pair; completion
+  // fires `done`. Crashed endpoints are skipped up front — a send to one
+  // would silently never call back (the shield fails before anything hits
+  // the wire) and the handoff would stall. Shadows are skipped on both
+  // sides: as donors their state is incomplete (they also refuse
+  // kStateFetch), and as receivers they get their state through their own
+  // catch-up stream.
   std::vector<ReplicaNode*> receivers;
   for (auto& replica : replicas_) {
-    if (replica->running()) receivers.push_back(replica.get());
+    if (replica->active()) receivers.push_back(replica.get());
   }
   std::vector<NodeId> sources;
   for (std::size_t i = 0; i < donor.size(); ++i) {
-    if (donor.replica(i).running()) sources.push_back(donor.replica(i).self());
+    if (donor.replica(i).active()) sources.push_back(donor.replica(i).self());
   }
 
   struct Progress {

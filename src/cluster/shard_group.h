@@ -52,6 +52,19 @@ class ShardGroup {
   // Crash-stops every replica (used on shard removal).
   void stop();
 
+  // Crash-stops one replica (targeted failure injection).
+  void stop_replica(std::size_t i);
+
+  // Recovers replica `i` through the SAME shadow machinery the protocols
+  // use for §3.7 rejoin: restart the enclave, re-provision it over the
+  // pre-attested fast path (the group owns the cluster root, standing in
+  // for the CAS like the harness does at bootstrap), reset the peers'
+  // channel state for it, rejoin as a shadow, stream state from an active
+  // peer to fixpoint, and promote once the protocol reports caught-up.
+  // `done` receives the number of state entries installed.
+  void recover_replica(std::size_t i,
+                       std::function<void(Result<std::size_t>)> done);
+
   const std::string& protocol() const { return options_.protocol; }
   const std::vector<NodeId>& membership() const { return membership_; }
   std::size_t size() const { return replicas_.size(); }
@@ -97,7 +110,9 @@ class ShardGroup {
  private:
   ShardGroup(sim::Simulator& simulator, net::SimNetwork& network,
              ShardGroupOptions options)
-      : simulator_(simulator), network_(network), options_(std::move(options)) {}
+      : simulator_(simulator),
+        network_(network),
+        options_(std::move(options)) {}
 
   sim::Simulator& simulator_;
   net::SimNetwork& network_;

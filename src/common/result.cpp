@@ -14,6 +14,7 @@ const char* error_code_name(ErrorCode code) {
     case ErrorCode::kIntegrityViolation: return "INTEGRITY_VIOLATION";
     case ErrorCode::kNotAttested: return "NOT_ATTESTED";
     case ErrorCode::kWrongView: return "WRONG_VIEW";
+    case ErrorCode::kRollback: return "ROLLBACK";
     case ErrorCode::kUnavailable: return "UNAVAILABLE";
     case ErrorCode::kTimeout: return "TIMEOUT";
     case ErrorCode::kInternal: return "INTERNAL";

@@ -24,6 +24,7 @@ enum class ErrorCode {
   kIntegrityViolation,// host-memory value does not match enclave digest
   kNotAttested,       // peer has not completed remote attestation
   kWrongView,         // message from a stale/unknown view or term
+  kRollback,          // sealed snapshot older than the hardware counter
   kUnavailable,       // not enough live replicas / no quorum
   kTimeout,
   kInternal,
@@ -62,8 +63,10 @@ class [[nodiscard]] Status {
 template <typename T>
 class [[nodiscard]] Result {
  public:
-  Result(T value) : data_(std::move(value)) {}            // NOLINT(google-explicit-constructor)
-  Result(Status status) : data_(std::move(status)) {      // NOLINT(google-explicit-constructor)
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(T value) : data_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(Status status) : data_(std::move(status)) {
     assert(!std::get<Status>(data_).is_ok() && "Result from OK status");
   }
 

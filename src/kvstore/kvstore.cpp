@@ -115,7 +115,9 @@ bool KvStore::write(std::string_view key, BytesView value, Timestamp ts) {
 
   const int new_level = random_level();
   if (new_level > level_) {
-    for (int i = level_; i < new_level; ++i) update[static_cast<std::size_t>(i)] = head_;
+    for (int i = level_; i < new_level; ++i) {
+      update[static_cast<std::size_t>(i)] = head_;
+    }
     level_ = new_level;
   }
 
@@ -130,7 +132,8 @@ bool KvStore::write(std::string_view key, BytesView value, Timestamp ts) {
   for (int i = 0; i < new_level; ++i) {
     created->next[static_cast<std::size_t>(i)] =
         update[static_cast<std::size_t>(i)]->next[static_cast<std::size_t>(i)];
-    update[static_cast<std::size_t>(i)]->next[static_cast<std::size_t>(i)] = created;
+    update[static_cast<std::size_t>(i)]->next[static_cast<std::size_t>(i)] =
+        created;
   }
   ++size_;
   enclave_bytes_ += key.size() + kMetadataBytes;
@@ -170,7 +173,9 @@ std::optional<HostPtr> KvStore::host_ptr(std::string_view key) const {
   return node->value_ptr;
 }
 
-bool KvStore::contains(std::string_view key) const { return find(key) != nullptr; }
+bool KvStore::contains(std::string_view key) const {
+  return find(key) != nullptr;
+}
 
 bool KvStore::erase(std::string_view key) {
   std::array<Node*, kMaxLevel> update;
@@ -186,7 +191,8 @@ bool KvStore::erase(std::string_view key) {
   if (target == nullptr || target->key != key) return false;
 
   for (int i = 0; i < level_; ++i) {
-    if (update[static_cast<std::size_t>(i)]->next[static_cast<std::size_t>(i)] == target) {
+    if (update[static_cast<std::size_t>(i)]
+            ->next[static_cast<std::size_t>(i)] == target) {
       update[static_cast<std::size_t>(i)]->next[static_cast<std::size_t>(i)] =
           target->next[static_cast<std::size_t>(i)];
     }
@@ -195,15 +201,48 @@ bool KvStore::erase(std::string_view key) {
   enclave_bytes_ -= target->key.size() + kMetadataBytes;
   --size_;
   delete target;
-  while (level_ > 1 && head_->next[static_cast<std::size_t>(level_ - 1)] == nullptr) {
+  while (level_ > 1 &&
+         head_->next[static_cast<std::size_t>(level_ - 1)] == nullptr) {
     --level_;
   }
   return true;
 }
 
+void KvStore::clear() {
+  Node* node = head_->next[0];
+  while (node != nullptr) {
+    Node* next = node->next[0];
+    arena_.free(node->value_ptr);
+    delete node;
+    node = next;
+  }
+  head_->next.fill(nullptr);
+  level_ = 1;
+  size_ = 0;
+  enclave_bytes_ = 0;
+}
+
 void KvStore::scan(
     const std::function<bool(std::string_view, const Timestamp&)>& fn) const {
-  for (const Node* node = head_->next[0]; node != nullptr; node = node->next[0]) {
+  for (const Node* node = head_->next[0]; node != nullptr;
+       node = node->next[0]) {
+    if (!fn(node->key, node->ts)) return;
+  }
+}
+
+void KvStore::scan_from(
+    std::string_view cursor,
+    const std::function<bool(std::string_view, const Timestamp&)>& fn) const {
+  // Descend to the last node with key <= cursor, then walk level 0 from its
+  // successor (strictly-after semantics resume a chunked scan exactly).
+  const Node* node = head_;
+  for (int i = level_ - 1; i >= 0; --i) {
+    while (node->next[static_cast<std::size_t>(i)] != nullptr &&
+           node->next[static_cast<std::size_t>(i)]->key <= cursor) {
+      node = node->next[static_cast<std::size_t>(i)];
+    }
+  }
+  for (node = node->next[0]; node != nullptr; node = node->next[0]) {
     if (!fn(node->key, node->ts)) return;
   }
 }

@@ -35,7 +35,8 @@ struct Timestamp {
   std::uint64_t counter{0};
   std::uint64_t node{0};
 
-  friend constexpr auto operator<=>(const Timestamp&, const Timestamp&) = default;
+  friend constexpr auto operator<=>(const Timestamp&,
+                                    const Timestamp&) = default;
   bool is_zero() const { return counter == 0 && node == 0; }
 };
 
@@ -75,12 +76,40 @@ class KvStore {
   // Reads only enclave-resident metadata (no host access, always trusted).
   std::optional<Timestamp> timestamp(std::string_view key) const;
 
+  // The recovery-merge admission rule, shared by state streaming and
+  // snapshot restore: install only entries that move local state FORWARD —
+  // the key is absent, or `ts` is non-zero and strictly newer than the
+  // stored timestamp. The STRICT comparison is load-bearing: write()
+  // accepts equal timestamps, so without it a repeated pass over unchanged
+  // state would count installs forever and the catch-up fixpoint loop
+  // would never converge.
+  bool would_advance(std::string_view key, Timestamp ts) const {
+    const auto existing = timestamp(key);
+    if (!existing) return true;
+    if (ts.is_zero()) return false;
+    return *existing < ts;
+  }
+
   bool erase(std::string_view key);
   bool contains(std::string_view key) const;
   std::size_t size() const { return size_; }
 
+  // Drops every entry (enclave metadata AND host values). Models a machine
+  // reboot for the recovery path; versions keep increasing so confidential
+  // value nonces never repeat across the wipe.
+  void clear();
+
   // In-order iteration (skiplist level 0). `fn` returning false stops early.
-  void scan(const std::function<bool(std::string_view key, const Timestamp&)>& fn) const;
+  void scan(const std::function<bool(std::string_view key,
+                                     const Timestamp&)>& fn) const;
+
+  // In-order iteration starting STRICTLY AFTER `cursor` (empty cursor: from
+  // the first key). O(log n) positioning via the skiplist towers — this is
+  // what makes chunked state streaming resumable without re-walking the
+  // prefix on every chunk.
+  void scan_from(std::string_view cursor,
+                 const std::function<bool(std::string_view key,
+                                          const Timestamp&)>& fn) const;
 
   // Memory accounting for the TEE cost model.
   std::uint64_t enclave_bytes() const { return enclave_bytes_; }

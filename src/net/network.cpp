@@ -66,7 +66,8 @@ NetStackParams NetStackParams::direct_io_tee() {
   return p;
 }
 
-void SimNetwork::attach(NodeId id, NetStackParams stack, DeliveryHandler handler) {
+void SimNetwork::attach(NodeId id, NetStackParams stack,
+                        DeliveryHandler handler) {
   endpoints_[id] = Endpoint{stack, std::move(handler), NodeCpu{}};
 }
 
@@ -166,14 +167,21 @@ void SimNetwork::schedule_delivery(Packet&& packet, sim::Time departure) {
   if (!pre_gst) delay = std::min(delay, faults_.delta);
 
   const bool duplicate =
-      pre_gst && faults_.duplicate_rate > 0 && rng_.chance(faults_.duplicate_rate);
+      pre_gst && faults_.duplicate_rate > 0 &&
+      rng_.chance(faults_.duplicate_rate);
 
   const sim::Time arrival = departure + delay;
-  auto deliver = [this, packet](sim::Time when) {
+  // A crash between now and delivery invalidates the packet: it was sitting
+  // in the dead machine's NIC/kernel buffers. The epoch captured here pins
+  // the destination's incarnation; recover() does not resurrect old frames.
+  const std::uint64_t dst_epoch = crash_epoch(packet.dst);
+  auto deliver = [this, packet, dst_epoch](sim::Time when) {
     Packet copy = packet;
-    simulator_.schedule_at(when, [this, p = std::move(copy)]() mutable {
+    simulator_.schedule_at(when, [this, dst_epoch,
+                                  p = std::move(copy)]() mutable {
       auto it = endpoints_.find(p.dst);
-      if (it == endpoints_.end() || crashed_.contains(p.dst)) {
+      if (it == endpoints_.end() || crashed_.contains(p.dst) ||
+          crash_epoch(p.dst) != dst_epoch) {
         ++packets_dropped_;
         return;
       }
@@ -181,9 +189,11 @@ void SimNetwork::schedule_delivery(Packet&& packet, sim::Time departure) {
       // Receiver pays CPU before the handler runs.
       const sim::Time done =
           ep.cpu.reserve(simulator_.now(), ep.stack.recv_cpu(p.wire_size()));
-      simulator_.schedule_at(done, [this, p = std::move(p)]() mutable {
+      simulator_.schedule_at(done, [this, dst_epoch,
+                                    p = std::move(p)]() mutable {
         auto it2 = endpoints_.find(p.dst);
-        if (it2 == endpoints_.end() || crashed_.contains(p.dst)) {
+        if (it2 == endpoints_.end() || crashed_.contains(p.dst) ||
+            crash_epoch(p.dst) != dst_epoch) {
           ++packets_dropped_;
           return;
         }

@@ -134,10 +134,21 @@ class SimNetwork {
   const NetworkFaults& faults() const { return faults_; }
 
   // Crash a node: all traffic to/from it disappears (fail-stop at the
-  // network level; the enclave object is crashed separately).
-  void crash(NodeId id) { crashed_.insert(id); }
+  // network level; the enclave object is crashed separately). Crashing also
+  // invalidates every packet already in flight TOWARDS the node: a machine
+  // failure empties its NIC/kernel buffers, so a later recover() must never
+  // deliver pre-crash frames — a restarted node's fresh replay window would
+  // wrongly accept them.
+  void crash(NodeId id) {
+    crashed_.insert(id);
+    ++crash_epochs_[id];
+  }
   void recover(NodeId id) { crashed_.erase(id); }
   bool is_crashed(NodeId id) const { return crashed_.contains(id); }
+  std::uint64_t crash_epoch(NodeId id) const {
+    const auto it = crash_epochs_.find(id);
+    return it == crash_epochs_.end() ? 0 : it->second;
+  }
 
   // Bidirectional partition between two nodes.
   void partition(NodeId a, NodeId b, bool blocked);
@@ -167,6 +178,9 @@ class SimNetwork {
   Rng rng_;
   std::unordered_map<NodeId, Endpoint> endpoints_;
   std::unordered_set<NodeId> crashed_;
+  // Bumped on every crash; in-flight deliveries captured the epoch at send
+  // time and are dropped when it moved (pre-crash frames die with the node).
+  std::unordered_map<NodeId, std::uint64_t> crash_epochs_;
   // Unordered node pair; full 64-bit ids (a packed 64-bit key would collide
   // for ids >= 2^32).
   std::set<std::pair<std::uint64_t, std::uint64_t>> partitions_;

@@ -26,7 +26,13 @@ AbdNode::AbdNode(sim::Simulator& simulator, net::SimNetwork& network,
   // --- Replica-side handlers (native ABD logic; verification/shielding is
   // supplied by the ReplicaNode runtime, Listing-1 style). ---
 
+  // Shadow semantics (§3.7): a rejoining replica still APPLIES broadcast
+  // writes (they reach every member, so this is its live-traffic tee) but
+  // never acknowledges or answers quorum reads — an incomplete store must
+  // not count towards any quorum until promotion.
+
   on(abd_msg::kGetTs, [this](VerifiedEnvelope& env, rpc::RequestContext& ctx) {
+    if (is_shadow()) return;
     Reader r(as_view(env.payload));
     auto key = r.str();
     if (!key) return;
@@ -41,12 +47,14 @@ AbdNode::AbdNode(sim::Simulator& simulator, net::SimNetwork& network,
     auto ts = decode_ts(r);
     if (!key || !value || !ts) return;
     kv_write(*key, as_view(*value), *ts);  // stale ts rejected internally
+    if (is_shadow()) return;  // applied, but a shadow's ack counts nowhere
     Writer ack;
     ack.boolean(true);
     respond(ctx, env.sender, as_view(ack.buffer()));
   });
 
   on(abd_msg::kGet, [this](VerifiedEnvelope& env, rpc::RequestContext& ctx) {
+    if (is_shadow()) return;
     Reader r(as_view(env.payload));
     auto key = r.str();
     if (!key) return;
@@ -100,7 +108,8 @@ void AbdNode::submit_put(const ClientRequest& request, ReplyFn reply) {
       reply(r);
     });
   };
-  state->quorum = std::make_shared<QuorumTracker>(quorum(), std::move(on_quorum));
+  state->quorum = std::make_shared<QuorumTracker>(quorum(),
+                                                  std::move(on_quorum));
   state->quorum->ack(self());
 
   Writer query;
@@ -170,7 +179,8 @@ void AbdNode::submit_get(const ClientRequest& request, ReplyFn reply) {
     broadcast_put(key, state->max_value, state->max_ts,
                   [r, reply = std::move(reply)](bool) { reply(r); });
   };
-  state->quorum = std::make_shared<QuorumTracker>(quorum(), std::move(on_quorum));
+  state->quorum = std::make_shared<QuorumTracker>(quorum(),
+                                                  std::move(on_quorum));
   state->quorum->ack(self());
 
   Writer query;

@@ -10,6 +10,11 @@ ChainNode::ChainNode(sim::Simulator& simulator, net::SimNetwork& network,
     auto seq = r.u64();
     auto op = r.bytes();
     if (!seq || !op) return;
+    if (is_shadow()) {
+      // Teed live traffic: apply LWW by sequence timestamp, no chain role.
+      apply_update(*seq, as_view(*op));
+      return;
+    }
     if (*seq <= applied_seq_) {
       // Duplicate from chain repair: already applied; still propagate so the
       // ack eventually reaches the head.
@@ -38,7 +43,10 @@ ChainNode::ChainNode(sim::Simulator& simulator, net::SimNetwork& network,
 std::vector<NodeId> ChainNode::chain() const {
   std::vector<NodeId> out;
   for (NodeId n : membership()) {
-    if (!dead_.contains(n)) out.push_back(n);
+    if (dead_.contains(n)) continue;
+    if (shadow_peers().contains(n)) continue;  // shadows hold no position
+    if (n == self() && is_shadow()) continue;
+    out.push_back(n);
   }
   return out;
 }
@@ -86,14 +94,29 @@ void ChainNode::submit(const ClientRequest& request, ReplyFn reply) {
   apply_update(seq, as_view(op));
   applied_seq_ = seq;
   forward_or_ack(seq, op);
+  tee_to_shadows(seq, op);
+}
+
+void ChainNode::tee_to_shadows(std::uint64_t seq, const Bytes& op) {
+  // Shadow peers hold no chain position, but every live write is copied to
+  // them fire-and-forget so catch-up only has to stream the past.
+  for (NodeId peer : shadow_peers()) {
+    Writer w;
+    w.u64(seq);
+    w.bytes(as_view(op));
+    send_to(peer, cr_msg::kUpdate, as_view(w.buffer()));
+  }
 }
 
 void ChainNode::apply_update(std::uint64_t seq, BytesView op) {
-  (void)seq;
   auto request = ClientRequest::parse(op);
   if (!request) return;
   if (request.value().op == OpType::kPut) {
-    kv_write(request.value().key, as_view(request.value().value));
+    // Sequence timestamp: the chain order IS the per-key version order, so
+    // writes merge last-writer-wins — recovery streams and teed updates can
+    // interleave in any order without moving a key backwards.
+    kv_write(request.value().key, as_view(request.value().value),
+             kv::Timestamp{seq, 0});
   }
 }
 
@@ -141,8 +164,29 @@ void ChainNode::on_suspected(NodeId peer) {
   if (is_head()) repropagate_unacked();
 }
 
+void ChainNode::on_peer_promoted(NodeId peer) {
+  // The caught-up replica re-enters the chain at its membership position;
+  // in-flight writes are re-driven through the restored chain (idempotent,
+  // like post-suspicion repair).
+  dead_.erase(peer);
+  if (is_head()) repropagate_unacked();
+}
+
+void ChainNode::on_promoted() {
+  // Resume the sequence from the newest write this replica holds (streamed,
+  // snapshot-restored, or teed — promote() scanned for the max). Anything
+  // between that and the cluster's current seq is re-driven by the head's
+  // repropagation.
+  applied_seq_ = std::max(applied_seq_, synced_max_counter());
+  next_seq_ = std::max(next_seq_, applied_seq_);
+  out_of_order_.clear();
+}
+
 void ChainNode::repropagate_unacked() {
-  for (const auto& [seq, op] : unacked_) forward_or_ack(seq, op);
+  for (const auto& [seq, op] : unacked_) {
+    forward_or_ack(seq, op);
+    tee_to_shadows(seq, op);
+  }
 }
 
 }  // namespace recipe::protocols

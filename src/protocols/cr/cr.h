@@ -13,6 +13,14 @@
 // the chain; the head re-propagates all unacknowledged updates through the
 // new chain. Nodes deduplicate by sequence number, so re-propagation is
 // idempotent.
+//
+// Recovery (§3.7): a re-attested node rejoins as a SHADOW — it stays out of
+// the chain (no forwarding, no acks, no reads) while the head TEES every new
+// update at it and the recovery driver streams the tail's committed state.
+// Writes apply last-writer-wins by sequence timestamp (ts = {seq, 0}), so
+// the stream and the tee interleave safely in any order. On promotion the
+// node re-enters its membership position; the head re-propagates unacked
+// updates through the restored chain, exactly like post-suspicion repair.
 #pragma once
 
 #include <map>
@@ -39,8 +47,15 @@ class ChainNode final : public ReplicaNode {
   bool serves_local_reads() const override { return is_tail(); }
   void submit(const ClientRequest& request, ReplyFn reply) override;
 
-  bool is_head() const { return chain().front() == self(); }
-  bool is_tail() const { return chain().back() == self(); }
+  // A shadow (excluded from its own chain view) is neither head nor tail.
+  bool is_head() const {
+    const auto c = chain();
+    return !c.empty() && c.front() == self();
+  }
+  bool is_tail() const {
+    const auto c = chain();
+    return !c.empty() && c.back() == self();
+  }
   NodeId head() const { return chain().front(); }
   NodeId tail() const { return chain().back(); }
 
@@ -49,6 +64,8 @@ class ChainNode final : public ReplicaNode {
 
  protected:
   void on_suspected(NodeId peer) override;
+  void on_peer_promoted(NodeId peer) override;
+  void on_promoted() override;
 
  private:
   std::optional<NodeId> successor() const;
@@ -56,6 +73,8 @@ class ChainNode final : public ReplicaNode {
   void apply_update(std::uint64_t seq, BytesView op);
   void forward_or_ack(std::uint64_t seq, const Bytes& op);
   void repropagate_unacked();
+  // Head-side: fire-and-forget copy of a new update to every shadow peer.
+  void tee_to_shadows(std::uint64_t seq, const Bytes& op);
 
   std::set<NodeId> dead_;
   std::uint64_t next_seq_{0};     // head: last assigned sequence number

@@ -10,6 +10,11 @@ CraqNode::CraqNode(sim::Simulator& simulator, net::SimNetwork& network,
     auto seq = r.u64();
     auto op = r.bytes();
     if (!seq || !op) return;
+    if (is_shadow()) {
+      // Teed live traffic: apply (marks DIRTY), no chain role, no forward.
+      apply_update(*seq, as_view(*op));
+      return;
+    }
     if (*seq <= applied_seq_) {
       forward_or_commit(*seq, *op);  // repair duplicate: keep propagating
       return;
@@ -26,7 +31,9 @@ CraqNode::CraqNode(sim::Simulator& simulator, net::SimNetwork& network,
     mark_clean(*seq, *key);
   });
 
-  on(craq_msg::kTailRead, [this](VerifiedEnvelope& env, rpc::RequestContext& ctx) {
+  on(craq_msg::kTailRead, [this](VerifiedEnvelope& env,
+                                 rpc::RequestContext& ctx) {
+    if (is_shadow()) return;  // incomplete state: never serve committed reads
     Reader r(as_view(env.payload));
     auto key = r.str();
     if (!key) return;
@@ -41,7 +48,10 @@ CraqNode::CraqNode(sim::Simulator& simulator, net::SimNetwork& network,
 std::vector<NodeId> CraqNode::chain() const {
   std::vector<NodeId> out;
   for (NodeId n : membership()) {
-    if (!dead_.contains(n)) out.push_back(n);
+    if (dead_.contains(n)) continue;
+    if (shadow_peers().contains(n)) continue;  // shadows hold no position
+    if (n == self() && is_shadow()) continue;
+    out.push_back(n);
   }
   return out;
 }
@@ -81,6 +91,25 @@ void CraqNode::submit(const ClientRequest& request, ReplyFn reply) {
   apply_update(seq, as_view(op));
   applied_seq_ = seq;
   forward_or_commit(seq, op);
+  tee_update_to_shadows(seq, op);
+}
+
+void CraqNode::tee_update_to_shadows(std::uint64_t seq, const Bytes& op) {
+  for (NodeId peer : shadow_peers()) {
+    Writer w;
+    w.u64(seq);
+    w.bytes(as_view(op));
+    send_to(peer, craq_msg::kUpdate, as_view(w.buffer()));
+  }
+}
+
+void CraqNode::tee_clean_to_shadows(std::uint64_t seq, const std::string& key) {
+  for (NodeId peer : shadow_peers()) {
+    Writer w;
+    w.u64(seq);
+    w.str(key);
+    send_to(peer, craq_msg::kClean, as_view(w.buffer()));
+  }
 }
 
 void CraqNode::serve_read(const std::string& key, ReplyFn reply) {
@@ -122,7 +151,10 @@ void CraqNode::serve_read(const std::string& key, ReplyFn reply) {
 void CraqNode::apply_update(std::uint64_t seq, BytesView op) {
   auto request = ClientRequest::parse(op);
   if (!request || request.value().op != OpType::kPut) return;
-  kv_write(request.value().key, as_view(request.value().value));
+  // Sequence timestamp: chain order is the version order, so recovery
+  // streams and teed updates merge last-writer-wins.
+  kv_write(request.value().key, as_view(request.value().value),
+           kv::Timestamp{seq, 0});
   // Newest version is dirty until the tail commit travels back up.
   dirty_keys_[request.value().key] = seq;
 }
@@ -147,10 +179,11 @@ void CraqNode::forward_or_commit(std::uint64_t seq, const Bytes& op) {
     return;
   }
   // Tail: the write is committed. Clean it here and propagate the commit
-  // back up the chain.
+  // back up the chain (and to any shadow, whose dirty marks mirror ours).
   auto request = ClientRequest::parse(as_view(op));
   const std::string key = request ? request.value().key : "";
   mark_clean(seq, key);
+  tee_clean_to_shadows(seq, key);
 }
 
 void CraqNode::mark_clean(std::uint64_t seq, const std::string& key) {
@@ -183,6 +216,22 @@ void CraqNode::on_suspected(NodeId peer) {
   if (is_head()) {
     for (const auto& [seq, op] : unacked_) forward_or_commit(seq, op);
   }
+}
+
+void CraqNode::on_peer_promoted(NodeId peer) {
+  dead_.erase(peer);
+  // Re-drive in-flight writes through the restored chain (idempotent).
+  if (is_head()) {
+    for (const auto& [seq, op] : unacked_) forward_or_commit(seq, op);
+  }
+}
+
+void CraqNode::on_promoted() {
+  applied_seq_ = std::max(applied_seq_, synced_max_counter());
+  next_seq_ = std::max(next_seq_, applied_seq_);
+  out_of_order_.clear();
+  // Leftover dirty marks (commit notice lost while shadow) are SAFE: reads
+  // of those keys apportion to the tail until a later write cleans them.
 }
 
 }  // namespace recipe::protocols

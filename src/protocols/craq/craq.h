@@ -40,8 +40,15 @@ class CraqNode final : public ReplicaNode {
   bool serves_local_reads() const override { return true; }
   void submit(const ClientRequest& request, ReplyFn reply) override;
 
-  bool is_head() const { return chain().front() == self(); }
-  bool is_tail() const { return chain().back() == self(); }
+  // A shadow (excluded from its own chain view) is neither head nor tail.
+  bool is_head() const {
+    const auto c = chain();
+    return !c.empty() && c.front() == self();
+  }
+  bool is_tail() const {
+    const auto c = chain();
+    return !c.empty() && c.back() == self();
+  }
   std::vector<NodeId> chain() const;
 
   // Introspection for tests.
@@ -53,6 +60,8 @@ class CraqNode final : public ReplicaNode {
 
  protected:
   void on_suspected(NodeId peer) override;
+  void on_peer_promoted(NodeId peer) override;
+  void on_promoted() override;
 
  private:
   std::optional<NodeId> successor() const;
@@ -62,6 +71,11 @@ class CraqNode final : public ReplicaNode {
   void forward_or_commit(std::uint64_t seq, const Bytes& op);
   void mark_clean(std::uint64_t seq, const std::string& key);
   void serve_read(const std::string& key, ReplyFn reply);
+  // Head tees updates (as DIRTY) and the tail tees commit notices to shadow
+  // peers, so a shadow's dirtiness tracking stays sound: at promotion any
+  // key it is unsure about still apportions to the tail.
+  void tee_update_to_shadows(std::uint64_t seq, const Bytes& op);
+  void tee_clean_to_shadows(std::uint64_t seq, const std::string& key);
 
   std::set<NodeId> dead_;
   std::uint64_t next_seq_{0};

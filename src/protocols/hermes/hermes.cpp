@@ -36,6 +36,9 @@ HermesNode::HermesNode(sim::Simulator& simulator, net::SimNetwork& network,
       const auto it = invalid_.find(*key);
       if (it == invalid_.end() || it->second < *ts) invalid_[*key] = *ts;
     }
+    // A shadow applies the teed write but must not ack: a write only
+    // commits once ALL counted replicas hold it, and we are not counted.
+    if (is_shadow()) return;
     Writer ack;
     ack.raw(as_view(encode_ts(*ts)));
     respond(ctx, env.sender, as_view(ack.buffer()));
@@ -78,11 +81,15 @@ void HermesNode::submit(const ClientRequest& request, ReplyFn reply) {
   const auto peers = live_peers();
   auto quorum_tracker = std::make_shared<QuorumTracker>(
       peers.size() + 1, [this, key, ts, reply = std::move(reply)] {
-        // All live replicas hold the version: committed. Validate everywhere.
+        // All live replicas hold the version: committed. Validate everywhere
+        // (shadows too — their dirtiness tracking mirrors ours).
         Writer val;
         val.str(key);
         val.raw(as_view(encode_ts(ts)));
         for (NodeId peer : live_peers()) {
+          send_to(peer, hermes_msg::kVal, as_view(val.buffer()));
+        }
+        for (NodeId peer : shadow_peers()) {
           send_to(peer, hermes_msg::kVal, as_view(val.buffer()));
         }
         const auto it = invalid_.find(key);
@@ -105,6 +112,11 @@ void HermesNode::submit(const ClientRequest& request, ReplyFn reply) {
             [quorum_tracker](VerifiedEnvelope& env) {
               quorum_tracker->ack(env.sender);
             });
+  }
+  // Live-traffic tee: shadows apply the INV (and the VAL above) but their
+  // ack is neither expected nor counted.
+  for (NodeId peer : shadow_peers()) {
+    send_to(peer, hermes_msg::kInv, as_view(inv.buffer()));
   }
 }
 
@@ -137,6 +149,73 @@ void HermesNode::on_suspected(NodeId peer) {
   // writes as new coordinators in the full protocol. Here the client-side
   // retransmission re-drives the write through a live coordinator, and the
   // timestamp order makes the replay idempotent.
+}
+
+void HermesNode::on_peer_shadow(NodeId peer) {
+  // A shadow holds no write quorum slot: writes must commit on the live
+  // set without it (its copy arrives via the tee).
+  dead_.insert(peer);
+}
+
+void HermesNode::on_peer_promoted(NodeId peer) { dead_.erase(peer); }
+
+void HermesNode::replay_write(const std::string& key) {
+  // Re-drive INV/VAL for a version this replica holds but whose VAL it
+  // missed (Hermes write replay): idempotent by timestamp everywhere.
+  auto value = kv_get(key);
+  if (!value.is_ok()) {
+    invalid_.erase(key);  // nothing to replay (value unreadable): unwedge
+    flush_stalled(key);
+    return;
+  }
+  const kv::Timestamp replay_ts = value.value().timestamp;
+  auto held = std::make_shared<Bytes>(std::move(value.value().value));
+  const auto peers = live_peers();
+  auto quorum_tracker = std::make_shared<QuorumTracker>(
+      peers.size() + 1, [this, key, replay_ts] {
+        Writer val;
+        val.str(key);
+        val.raw(as_view(encode_ts(replay_ts)));
+        for (NodeId peer : live_peers()) {
+          send_to(peer, hermes_msg::kVal, as_view(val.buffer()));
+        }
+        const auto it = invalid_.find(key);
+        if (it != invalid_.end() && it->second <= replay_ts) {
+          invalid_.erase(it);
+          flush_stalled(key);
+        }
+      });
+  quorum_tracker->ack(self());
+  Writer inv;
+  inv.str(key);
+  inv.bytes(as_view(*held));
+  inv.raw(as_view(encode_ts(replay_ts)));
+  for (NodeId peer : peers) {
+    send_to(peer, hermes_msg::kInv, as_view(inv.buffer()),
+            [quorum_tracker](VerifiedEnvelope& env) {
+              quorum_tracker->ack(env.sender);
+            });
+  }
+}
+
+void HermesNode::on_promoted() {
+  // Resume the Lamport clock from the recovered store: catch-up installs
+  // bypass the INV path, so without this a promoted coordinator could stamp
+  // new writes OLDER than versions it already holds — the write would ack
+  // (replicas ack INVs regardless of staleness) yet never become visible.
+  kv().scan([this](std::string_view, const kv::Timestamp& ts) {
+    lamport_ = std::max(lamport_, ts.counter);
+    return true;
+  });
+  // Keys still INVALID after catch-up missed their VAL while we were
+  // shadow; replay each pending write as a fresh coordinator to heal them
+  // (serving them blindly could expose an uncommitted version).
+  std::vector<std::pair<std::string, kv::Timestamp>> pending(invalid_.begin(),
+                                                             invalid_.end());
+  for (const auto& [key, ts] : pending) {
+    (void)ts;
+    replay_write(key);
+  }
 }
 
 }  // namespace recipe::protocols

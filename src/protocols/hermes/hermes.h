@@ -48,11 +48,18 @@ class HermesNode final : public ReplicaNode {
 
  protected:
   void on_suspected(NodeId peer) override;
+  void on_peer_shadow(NodeId peer) override;
+  void on_peer_promoted(NodeId peer) override;
+  void on_promoted() override;
 
  private:
   void serve_local_read(const std::string& key, ReplyFn reply);
   void flush_stalled(const std::string& key);
   std::vector<NodeId> live_peers() const;
+  // Hermes write replay (paper §recovery): re-drives a pending INV/VAL round
+  // for `key` as a fresh coordinator — used by a promoted replica to heal
+  // keys whose VAL it missed while shadow.
+  void replay_write(const std::string& key);
 
   std::set<NodeId> dead_;
   std::uint64_t lamport_{0};

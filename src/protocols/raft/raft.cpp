@@ -13,7 +13,8 @@ RaftNode::RaftNode(sim::Simulator& simulator, net::SimNetwork& network,
       leader_lease_(lease_clock_, raft_options.election_timeout_min / 2) {
   log_.push_back(LogEntry{});  // sentinel at index 0
 
-  on(raft_msg::kAppend, [this](VerifiedEnvelope& env, rpc::RequestContext& ctx) {
+  on(raft_msg::kAppend, [this](VerifiedEnvelope& env,
+                               rpc::RequestContext& ctx) {
     handle_append(env, ctx);
   });
   on(raft_msg::kVote, [this](VerifiedEnvelope& env, rpc::RequestContext& ctx) {
@@ -23,6 +24,14 @@ RaftNode::RaftNode(sim::Simulator& simulator, net::SimNetwork& network,
 
 void RaftNode::start() {
   ReplicaNode::start();
+  if (is_shadow()) {
+    // A rejoining shadow is a silent follower: no election timer, no role
+    // assumptions. The current leader's appends adopt it into its term.
+    role_ = Role::kFollower;
+    leader_id_ = kNoNode;
+    leader_commit_seen_ = 0;
+    return;
+  }
   if (raft_.initial_leader == self()) {
     current_term_ = 1;
     become_leader();
@@ -48,6 +57,7 @@ sim::Time RaftNode::random_election_timeout() {
 
 void RaftNode::reset_election_timer() {
   election_timer_.cancel();
+  if (is_shadow()) return;  // shadows never stand for election
   election_timer_ =
       sim().schedule(random_election_timeout(), [this] { become_candidate(); });
 }
@@ -182,10 +192,12 @@ void RaftNode::replicate_to(NodeId peer) {
 void RaftNode::renew_lease_on_majority() {
   // The lease is renewed when a majority (self + peers) acknowledged within
   // half an election timeout: no other leader can have been elected in that
-  // window, so local reads are linearizable.
+  // window, so local reads are linearizable. Shadow peers do not count: a
+  // rejoining replica must not prop up a lease before it is promoted.
   std::size_t recent = 1;  // self
   const sim::Time window = raft_.election_timeout_min / 2;
   for (NodeId peer : peers()) {
+    if (shadow_peers().contains(peer)) continue;
     const auto it = last_peer_ack_.find(peer);
     if (it != last_peer_ack_.end() &&
         sim().now() <= it->second + window) {
@@ -197,11 +209,13 @@ void RaftNode::renew_lease_on_majority() {
 
 void RaftNode::advance_commit() {
   // Find the highest index replicated on a majority with an entry from the
-  // current term (Raft's commit rule).
+  // current term (Raft's commit rule). A shadow replica's stored entries do
+  // not count towards the majority until it promotes.
   for (std::uint64_t n = log_.size() - 1; n > commit_index_; --n) {
     if (log_[n].term != current_term_) break;
     std::size_t stored = 1;  // self
     for (NodeId peer : peers()) {
+      if (shadow_peers().contains(peer)) continue;
       if (match_index_[peer] >= n) ++stored;
     }
     if (stored >= quorum()) {
@@ -222,7 +236,10 @@ void RaftNode::apply_committed() {
     ClientReply reply;
     reply.ok = true;
     if (request.value().op == OpType::kPut) {
-      kv_write(request.value().key, as_view(request.value().value));
+      // Log-index timestamp: the commit order is the version order, so a
+      // recovering node's streamed state and its log replay merge LWW.
+      kv_write(request.value().key, as_view(request.value().value),
+               kv::Timestamp{last_applied_, 0});
     } else {
       auto value = kv_get(request.value().key);
       reply.found = value.is_ok();
@@ -234,6 +251,21 @@ void RaftNode::apply_committed() {
       pending_replies_.erase(it);
     }
   }
+}
+
+bool RaftNode::shadow_caught_up() const {
+  // The leader's appends adopted us (leader known), we saw its commit
+  // frontier, and our applied state covers it. Entries committed after the
+  // last append keep flowing — they arrive whether we are shadow or active.
+  return leader_id_ != kNoNode && leader_commit_seen_ > 0 &&
+         commit_index_ >= leader_commit_seen_ &&
+         last_applied_ == commit_index_;
+}
+
+void RaftNode::on_promoted() {
+  // Back to a full follower: elections re-arm (the current leader's
+  // heartbeats keep resetting the timer as usual).
+  reset_election_timer();
 }
 
 void RaftNode::submit(const ClientRequest& request, ReplyFn reply) {
@@ -323,6 +355,9 @@ void RaftNode::handle_append(VerifiedEnvelope& env, rpc::RequestContext& ctx) {
     commit_index_ = std::min(*leader_commit, last_new);
     apply_committed();
   }
+  if (is_shadow()) {
+    leader_commit_seen_ = std::max(leader_commit_seen_, *leader_commit);
+  }
 
   resp.u64(current_term_);
   resp.boolean(true);
@@ -336,6 +371,16 @@ void RaftNode::handle_vote(VerifiedEnvelope& env, rpc::RequestContext& ctx) {
   auto last_idx = r.u64();
   auto last_term = r.u64();
   if (!term || !last_idx || !last_term) return;
+
+  if (is_shadow()) {
+    // A shadow's (possibly empty) log satisfies the up-to-date check for
+    // anyone: granting could elect a leader missing committed entries.
+    Writer resp;
+    resp.u64(current_term_);
+    resp.boolean(false);
+    respond(ctx, env.sender, as_view(resp.buffer()));
+    return;
+  }
 
   if (*term > current_term_) become_follower(*term);
 

@@ -13,6 +13,14 @@
 // stable storage (replicas are memory-resident like the paper's testbed) and
 // log compaction / snapshot transfer (recovering nodes fetch full state via
 // the Recipe recovery path instead).
+//
+// Recovery (§3.7): a re-attested node rejoins as a SHADOW follower. The
+// leader's AppendEntries backfill IS its live catch-up (next_index walks
+// back to 1 and re-ships the log), but while shadow the node grants no
+// votes, never runs elections, and the leader excludes it from commit and
+// lease quorums — so an empty log can neither elect a stale leader nor
+// count towards commitment. It promotes once its applied state covers
+// everything the leader reported committed.
 #pragma once
 
 #include <map>
@@ -59,8 +67,13 @@ class RaftNode final : public ReplicaNode {
   std::uint64_t log_size() const { return log_.size(); }
   std::uint64_t commit_index() const { return commit_index_; }
 
+  // Shadow catch-up signal: we hold and applied everything the leader had
+  // committed as of its last append to us.
+  bool shadow_caught_up() const override;
+
  protected:
   ViewId current_view() const override { return ViewId{current_term_}; }
+  void on_promoted() override;
 
  private:
   struct LogEntry {
@@ -105,6 +118,8 @@ class RaftNode final : public ReplicaNode {
   std::unordered_map<NodeId, std::uint64_t> match_index_;
   std::unordered_map<NodeId, bool> append_in_flight_;
   std::unordered_map<NodeId, sim::Time> last_peer_ack_;
+  // Highest leader commit index observed in an AppendEntries while shadow.
+  std::uint64_t leader_commit_seen_{0};
 
   sim::TimerHandle election_timer_;
   sim::TimerHandle leader_timer_;

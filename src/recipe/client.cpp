@@ -28,7 +28,8 @@ KvClient::KvClient(sim::Simulator& simulator, net::SimNetwork& network,
     auto view = BatchView::parse(as_view(env.value().payload));
     if (!view) return;
     for (const BatchItem& item : view.value()) {
-      if (item.kind != BatchItem::kKindResponse) continue;  // clients serve nothing
+      // Clients serve nothing: only responses matter.
+      if (item.kind != BatchItem::kKindResponse) continue;
       if (!rpc_.settle(item.rpc_id)) continue;  // timed out / already done
       VerifiedEnvelope sub;
       sub.sender = env.value().sender;
@@ -37,6 +38,19 @@ KvClient::KvClient(sim::Simulator& simulator, net::SimNetwork& network,
       sub.payload.assign(item.payload.begin(), item.payload.end());
       complete(item.rpc_id, sub);
     }
+  });
+
+  // CAS fresh-node notice (paper §3.7): a replica re-attested and restarts
+  // its counters — drop our receive-side channel state for it, or its
+  // post-rejoin replies would collide with the old replay window.
+  rpc_.register_handler(attest::msg::kFreshNode,
+                        [this](rpc::RequestContext& ctx) {
+    auto env = security_->verify(ctx.src, as_view(ctx.payload));
+    if (!env) return;
+    if (env.value().sender.value != options_.cas_id.value) return;
+    Reader r(as_view(env.value().payload));
+    const auto fresh = r.id<NodeId>();
+    if (fresh) security_->reset_peer(*fresh);
   });
 }
 
@@ -72,17 +86,29 @@ void KvClient::get(NodeId coordinator, std::string key, ReplyCallback done) {
 
 void KvClient::issue(NodeId coordinator, ClientRequest request,
                      ReplyCallback done, int attempt) {
+  // Hot path: one shared allocation holds the retry state (request bytes +
+  // completion callback) for all three closures below; a retransmit (same
+  // rid, the coordinator's client table deduplicates) re-enters here
+  // without re-copying the payload.
+  issue(coordinator,
+        std::make_shared<RetryState>(
+            RetryState{std::move(request), std::move(done)}),
+        attempt);
+}
+
+void KvClient::issue(NodeId coordinator, std::shared_ptr<RetryState> state,
+                     int attempt) {
   auto wire = security_->shield(coordinator, ViewId{0},
-                                as_view(request.serialize()));
+                                as_view(state->request.serialize()));
   if (!wire) {
     ++failed_;
-    if (done) done(ClientReply{});
+    if (state->done) state->done(ClientReply{});
     return;
   }
 
   const sim::Time started = simulator_.now();
   const std::uint64_t rpc_id = rpc_.allocate_rpc_id();
-  pending_replies_[rpc_id] = [this, started, done](VerifiedEnvelope& env) {
+  pending_replies_[rpc_id] = [this, started, state](VerifiedEnvelope& env) {
     auto reply = ClientReply::parse(as_view(env.payload));
     if (!reply) return;
     latency_us_.record((simulator_.now() - started) / sim::kMicrosecond);
@@ -91,11 +117,11 @@ void KvClient::issue(NodeId coordinator, ClientRequest request,
     } else {
       ++failed_;
     }
-    if (done) done(reply.value());
+    if (state->done) state->done(reply.value());
   };
   rpc_.send(
       coordinator, msg::kClientRequest, std::move(wire).take(),
-      [this, rpc_id](NodeId src, Bytes response) {
+      [this, rpc_id, coordinator, state, attempt](NodeId src, Bytes response) {
         // The rpc is finished either way: detach the reply handler first so
         // no rejection path below can strand it in pending_replies_.
         const auto it = pending_replies_.find(rpc_id);
@@ -103,21 +129,30 @@ void KvClient::issue(NodeId coordinator, ClientRequest request,
         auto handler = std::move(it->second);
         pending_replies_.erase(it);
         auto env = security_->verify(src, as_view(response));
-        if (!env) return;  // forged reply: ignore
-        if (env.value().batch) return;  // batch frames only enter via kBatch
+        if (!env || env.value().batch) {
+          // Forged/replayed reply (or a mis-typed batch frame). The
+          // transport settled the rpc, so the real reply can no longer
+          // complete this attempt — retransmit like a timeout, or the op
+          // would strand forever.
+          if (attempt + 1 >= options_.max_retries) {
+            ++failed_;
+            if (state->done) state->done(ClientReply{});
+            return;
+          }
+          issue(coordinator, state, attempt + 1);
+          return;
+        }
         handler(env.value());
       },
       options_.request_timeout,
-      [this, rpc_id, coordinator, request, done, attempt]() mutable {
+      [this, rpc_id, coordinator, state, attempt] {
         pending_replies_.erase(rpc_id);
         if (attempt + 1 >= options_.max_retries) {
           ++failed_;
-          if (done) done(ClientReply{});
+          if (state->done) state->done(ClientReply{});
           return;
         }
-        // Retransmit with the SAME request id: the coordinator's client
-        // table deduplicates and may answer from cache.
-        issue(coordinator, std::move(request), std::move(done), attempt + 1);
+        issue(coordinator, state, attempt + 1);
       },
       rpc_id);
 }

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <unordered_map>
 
@@ -32,6 +33,8 @@ struct ClientOptions {
   tee::Enclave* enclave = nullptr;  // required when secured
   sim::Time request_timeout = 500 * sim::kMillisecond;
   int max_retries = 3;
+  // Identity of the CAS, whose fresh-node notices reset channel state.
+  NodeId cas_id{1000};
 };
 
 class KvClient {
@@ -43,8 +46,12 @@ class KvClient {
 
   NodeId node_id() const { return NodeId{options_.id.value}; }
   ClientId id() const { return options_.id; }
+  // Exposed for fresh-node notifications outside the CAS path (the cluster
+  // layer's pre-attested replica replacement resets channels directly).
+  SecurityPolicy& security() { return *security_; }
 
-  void put(NodeId coordinator, std::string key, Bytes value, ReplyCallback done);
+  void put(NodeId coordinator, std::string key, Bytes value,
+           ReplyCallback done);
   void get(NodeId coordinator, std::string key, ReplyCallback done);
 
   std::uint64_t issued() const { return issued_; }
@@ -59,7 +66,16 @@ class KvClient {
   }
 
  private:
+  // Per-op retry state, allocated once and shared by the reply handler, the
+  // response continuation, and the timeout closure.
+  struct RetryState {
+    ClientRequest request;
+    ReplyCallback done;
+  };
+
   void issue(NodeId coordinator, ClientRequest request, ReplyCallback done,
+             int attempt);
+  void issue(NodeId coordinator, std::shared_ptr<RetryState> state,
              int attempt);
   void complete(std::uint64_t rpc_id, VerifiedEnvelope& env);
 

@@ -54,6 +54,9 @@ class ClientTable {
 
   std::size_t size() const { return entries_.size(); }
 
+  // Machine reboot: the dedup table was enclave/host memory and is gone.
+  void clear() { entries_.clear(); }
+
  private:
   struct Entry {
     RequestId latest{};

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "kvstore/snapshot.h"
+
 namespace recipe {
 
 ReplicaNode::ReplicaNode(sim::Simulator& simulator, net::SimNetwork& network,
@@ -50,11 +52,17 @@ ReplicaNode::ReplicaNode(sim::Simulator& simulator, net::SimNetwork& network,
     }
   });
 
-  on(msg::kClientRequest, [this](VerifiedEnvelope& env, rpc::RequestContext& ctx) {
+  on(msg::kClientRequest, [this](VerifiedEnvelope& env,
+                                 rpc::RequestContext& ctx) {
     handle_client_request(env, ctx);
   });
   on(msg::kHeartbeat, [this](VerifiedEnvelope& env, rpc::RequestContext&) {
     failure_detector_.heartbeat(env.sender);
+    // A normal heartbeat from a peer we still hold as shadow is an implicit
+    // promotion: shadows heartbeat with kShadowJoin instead, so this frame
+    // (authenticated) proves the peer is active — it self-heals a lost
+    // kPromote notice.
+    if (shadow_peers_.erase(env.sender) > 0) on_peer_promoted(env.sender);
   });
 
   // CAS notice: a node re-attested and rejoins as a FRESH replica — restart
@@ -71,14 +79,29 @@ ReplicaNode::ReplicaNode(sim::Simulator& simulator, net::SimNetwork& network,
        std::erase(suspected_already_, *fresh);
      });
 
-  // State transfer to a recovering shadow replica: serialize every
-  // (key, value, timestamp) the peer holds. Values are re-read through the
-  // integrity-checking path so a corrupted host can never poison a joiner.
+  // Chunked state transfer to a recovering shadow replica (or a shard-group
+  // joiner): serialize up to `max_entries` of (key, value, timestamp)
+  // strictly after `cursor`, plus a done flag and the resume cursor. Values
+  // are re-read through the integrity-checking path so a corrupted host can
+  // never poison a joiner. A shadow never donates — its state is incomplete.
   on(msg::kStateFetch, [this](VerifiedEnvelope& env, rpc::RequestContext& ctx) {
-    Writer w;
-    std::uint32_t count = 0;
+    if (shadow_) return;
+    Reader req(as_view(env.payload));
+    auto has_cursor = req.boolean();
+    auto cursor = req.str();
+    auto max_entries = req.u32();
+    if (!has_cursor || !cursor || !max_entries) return;  // malformed: drop
+    const std::size_t limit =
+        *max_entries > 0 ? *max_entries : options_.state_chunk_entries;
     Writer entries;
-    kv_.scan([&](std::string_view key, const kv::Timestamp&) {
+    std::uint32_t count = 0;
+    std::string last_key;
+    bool more = false;
+    const auto emit = [&](std::string_view key, const kv::Timestamp&) {
+      if (count == limit) {
+        more = true;
+        return false;
+      }
       auto value = kv_.get(key);
       if (value.is_ok()) {
         entries.str(key);
@@ -87,29 +110,110 @@ ReplicaNode::ReplicaNode(sim::Simulator& simulator, net::SimNetwork& network,
         entries.u64(value.value().timestamp.node);
         ++count;
       }
+      last_key.assign(key);
       return true;
-    });
+    };
+    // An explicit has_cursor flag disambiguates "from the very first key"
+    // from "strictly after the empty-string key" — without it an entry
+    // stored under "" could never be streamed.
+    if (*has_cursor) {
+      kv_.scan_from(*cursor, emit);
+    } else {
+      kv_.scan(emit);
+    }
+    Writer w;
     w.u32(count);
     w.raw(as_view(entries.buffer()));
+    w.boolean(!more);
+    w.str(last_key);
     respond(ctx, env.sender, as_view(w.buffer()));
+  });
+
+  // Recovery notices (paper §3.7): authenticated like any peer message.
+  on(msg::kShadowJoin, [this](VerifiedEnvelope& env, rpc::RequestContext&) {
+    if (env.sender == options_.self) return;
+    failure_detector_.heartbeat(env.sender);  // it is demonstrably alive
+    std::erase(suspected_already_, env.sender);
+    if (shadow_peers_.insert(env.sender).second) on_peer_shadow(env.sender);
+  });
+  on(msg::kPromote, [this](VerifiedEnvelope& env, rpc::RequestContext&) {
+    failure_detector_.heartbeat(env.sender);
+    std::erase(suspected_already_, env.sender);
+    if (shadow_peers_.erase(env.sender) > 0) on_peer_promoted(env.sender);
   });
 }
 
-ReplicaNode::~ReplicaNode() { heartbeat_timer_.cancel(); }
+ReplicaNode::~ReplicaNode() {
+  heartbeat_timer_.cancel();
+  notice_timer_.cancel();
+}
 
 void ReplicaNode::start() {
   running_ = true;
-  for (NodeId peer : peers()) failure_detector_.heartbeat(peer);  // grace period
+  // Grace period for every peer.
+  for (NodeId peer : peers()) failure_detector_.heartbeat(peer);
   if (options_.heartbeat_period > 0) heartbeat_tick();
 }
 
 void ReplicaNode::stop() {
   running_ = false;
   heartbeat_timer_.cancel();
+  notice_timer_.cancel();
   // Machine failure: buffered batches die with the node, nothing is flushed.
   batcher_.cancel_all();
   network_.crash(options_.self);
   if (options_.enclave != nullptr) options_.enclave->crash();
+}
+
+void ReplicaNode::wipe_state() {
+  kv_.clear();
+  client_table_.clear();
+}
+
+void ReplicaNode::start_as_shadow() {
+  shadow_ = true;
+  network_.recover(options_.self);
+  // The restarted enclave lost every channel: replay windows, strict-order
+  // state, cached contexts. Receive-side state must start fresh with it.
+  security_->reset_all();
+  start();
+  broadcast_notice(msg::kShadowJoin, 3);
+}
+
+void ReplicaNode::promote() {
+  if (!shadow_) return;
+  notice_timer_.cancel();  // a straggler kShadowJoin must not outlive this
+  shadow_ = false;
+  // Resume sequence-style bookkeeping from everything installed (streamed
+  // chunks, restored snapshot, teed live writes): the max seq-timestamp in
+  // the store is by construction the newest write this replica holds.
+  synced_max_counter_ = 0;
+  kv_.scan([this](std::string_view, const kv::Timestamp& ts) {
+    if (ts.node == 0 && ts.counter > synced_max_counter_) {
+      synced_max_counter_ = ts.counter;
+    }
+    return true;
+  });
+  broadcast_notice(msg::kPromote, 2);
+  on_promoted();
+}
+
+void ReplicaNode::broadcast_notice(rpc::RequestType type, int attempts) {
+  if (!running_) return;
+  // A pending retry may fire after the state flipped: joins only while
+  // shadow, promotes only while active.
+  if (type == msg::kShadowJoin && !shadow_) return;
+  if (type == msg::kPromote && shadow_) return;
+  for (NodeId peer : peers()) {
+    auto wire = security_->shield(peer, current_view(), BytesView{});
+    if (wire) rpc_.send(peer, type, std::move(wire).take());
+  }
+  if (attempts > 1) {
+    notice_timer_ = simulator_.schedule(sim::kMillisecond, [this, type,
+                                                            attempts] {
+      broadcast_notice(type, attempts - 1);
+    });
+  }
 }
 
 std::vector<NodeId> ReplicaNode::peers() const {
@@ -222,7 +326,8 @@ void ReplicaNode::send_to(NodeId peer, rpc::RequestType type, BytesView payload,
       if (!running_) return;
       auto env = security_->verify(src, as_view(response));
       if (!env) return;  // forged/replayed response: drop
-      if (env.value().batch) return;  // a batch frame is never a direct response
+      // A batch frame is never a direct response.
+      if (env.value().batch) return;
       if (handler) handler(env.value());
     };
     timeout_wrapped = [this, rpc_id, cb = std::move(on_timeout)] {
@@ -302,7 +407,8 @@ bool ReplicaNode::kv_write(std::string_view key, BytesView value,
 Result<kv::VersionedValue> ReplicaNode::kv_get(std::string_view key) {
   if (options_.cost_model != nullptr) {
     sim::Time cost = options_.cost_model->hash(256) +
-                     options_.cost_model->enclave_copy(256, enclave_working_set());
+                     options_.cost_model->enclave_copy(256,
+                                                       enclave_working_set());
     if (kv_.confidential()) cost += options_.cost_model->encrypt(256);
     cpu().charge(cost);
   }
@@ -332,9 +438,10 @@ void ReplicaNode::handle_client_request(VerifiedEnvelope& env,
       break;
   }
 
-  if (!is_coordinator()) {
-    // Not the coordinator for this protocol: refuse (the data-store routing
-    // layer retries against the right node).
+  if (shadow_ || !is_coordinator()) {
+    // Shadow replicas serve no clients until promoted; otherwise not the
+    // coordinator for this protocol: refuse (the data-store routing layer
+    // retries against the right node).
     ClientReply reply;
     reply.ok = false;
     respond(ctx, env.sender, as_view(reply.serialize()));
@@ -356,16 +463,27 @@ void ReplicaNode::handle_client_request(VerifiedEnvelope& env,
 
 void ReplicaNode::sync_state_from(
     NodeId peer, std::function<void(Result<std::size_t>)> done) {
-  send_to(peer, msg::kStateFetch, BytesView{},
-          [this, done](VerifiedEnvelope& env) {
+  request_state_chunk(peer, std::nullopt, std::make_shared<std::size_t>(0),
+                      std::move(done));
+}
+
+void ReplicaNode::request_state_chunk(
+    NodeId peer, const std::optional<std::string>& cursor,
+    std::shared_ptr<std::size_t> installed,
+    std::function<void(Result<std::size_t>)> done) {
+  Writer req;
+  req.boolean(cursor.has_value());
+  req.str(cursor.value_or(std::string{}));
+  req.u32(static_cast<std::uint32_t>(options_.state_chunk_entries));
+  send_to(peer, msg::kStateFetch, as_view(req.buffer()),
+          [this, peer, installed, done](VerifiedEnvelope& env) {
             Reader r(as_view(env.payload));
             auto count = r.u32();
             if (!count) {
               done(Status::error(ErrorCode::kInvalidArgument,
-                                 "malformed state snapshot"));
+                                 "malformed state chunk"));
               return;
             }
-            std::size_t installed = 0;
             for (std::uint32_t i = 0; i < *count; ++i) {
               auto key = r.str();
               auto value = r.bytes();
@@ -373,18 +491,91 @@ void ReplicaNode::sync_state_from(
               auto ts_node = r.u64();
               if (!key || !value || !ts_counter || !ts_node) {
                 done(Status::error(ErrorCode::kInvalidArgument,
-                                   "truncated state snapshot"));
+                                   "truncated state chunk"));
                 return;
               }
-              if (kv_.write(*key, as_view(*value),
-                            kv::Timestamp{*ts_counter, *ts_node})) {
-                ++installed;
-              }
+              // Last-writer-wins merge; only entries that advance local
+              // state count, so a repeated pass over unchanged state
+              // installs ZERO — the fixpoint condition catch_up_from()
+              // converges on.
+              const kv::Timestamp ts{*ts_counter, *ts_node};
+              if (!kv_.would_advance(*key, ts)) continue;
+              if (kv_write(*key, as_view(*value), ts)) ++*installed;
             }
-            done(installed);
+            auto finished = r.boolean();
+            auto next_cursor = r.str();
+            if (!finished || !next_cursor) {
+              done(Status::error(ErrorCode::kInvalidArgument,
+                                 "malformed state chunk trailer"));
+              return;
+            }
+            if (*finished) {
+              done(*installed);
+              return;
+            }
+            request_state_chunk(peer, *next_cursor, installed, done);
           },
           5 * sim::kSecond,
-          [done] { done(Status::error(ErrorCode::kTimeout, "state fetch")); });
+          [done] { done(Status::error(ErrorCode::kTimeout, "state chunk")); });
+}
+
+void ReplicaNode::catch_up_from(NodeId peer,
+                                std::function<void(Result<std::size_t>)> done,
+                                std::size_t max_passes) {
+  run_catch_up_pass(peer, max_passes, 0, std::move(done));
+}
+
+void ReplicaNode::run_catch_up_pass(
+    NodeId peer, std::size_t passes_left, std::size_t total,
+    std::function<void(Result<std::size_t>)> done) {
+  if (passes_left == 0) {
+    // Cap hit under a constant write load: the teed live traffic covers
+    // everything committed since the shadow join, so promoting is safe.
+    done(total);
+    return;
+  }
+  sync_state_from(peer, [this, peer, passes_left, total,
+                         done](Result<std::size_t> pass) {
+    if (!pass) {
+      done(pass.status());
+      return;
+    }
+    if (pass.value() == 0) {
+      done(total);  // fixpoint: the stream has nothing newer than we hold
+      return;
+    }
+    run_catch_up_pass(peer, passes_left - 1, total + pass.value(), done);
+  });
+}
+
+Result<Bytes> ReplicaNode::seal_snapshot() {
+  if (options_.enclave == nullptr) {
+    return Status::error(ErrorCode::kInternal, "sealing requires an enclave");
+  }
+  auto key = options_.enclave->sealing_key();
+  if (!key) return key.status();
+  auto version = options_.enclave->advance_snapshot_version();
+  if (!version) return version.status();
+  return kv::seal_snapshot(kv_, key.value(), version.value());
+}
+
+Result<std::size_t> ReplicaNode::restore_snapshot(BytesView sealed) {
+  if (options_.enclave == nullptr) {
+    return Status::error(ErrorCode::kInternal, "sealing requires an enclave");
+  }
+  auto key = options_.enclave->sealing_key();
+  if (!key) return key.status();
+  auto version = options_.enclave->snapshot_version();
+  if (!version) return version.status();
+  auto restored =
+      kv::unseal_snapshot(sealed, key.value(), version.value(), kv_);
+  if (!restored) {
+    if (restored.status().code() == ErrorCode::kRollback) {
+      ++snapshot_rollback_rejected_;
+    }
+    return restored.status();
+  }
+  return restored.value().installed;
 }
 
 bool ReplicaNode::suspected(NodeId peer) const {
@@ -393,10 +584,15 @@ bool ReplicaNode::suspected(NodeId peer) const {
 
 void ReplicaNode::heartbeat_tick() {
   if (!running_) return;
-  // Heartbeats are shielded fire-and-forget messages.
+  // Heartbeats are shielded fire-and-forget messages. A shadow heartbeats
+  // with kShadowJoin instead: the join/promote notices are fire-and-forget,
+  // so the periodic re-assertion of the CURRENT state makes a lost notice
+  // heal at the next tick (a peer that missed the join keeps learning it;
+  // one that missed the promote learns it from the first plain heartbeat).
+  const rpc::RequestType beat = shadow_ ? msg::kShadowJoin : msg::kHeartbeat;
   for (NodeId peer : peers()) {
     auto wire = security_->shield(peer, current_view(), BytesView{});
-    if (wire) rpc_.send(peer, msg::kHeartbeat, std::move(wire).take());
+    if (wire) rpc_.send(peer, beat, std::move(wire).take());
   }
   // Surface newly suspected peers to the protocol.
   for (NodeId peer : peers()) {

@@ -12,6 +12,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <set>
 #include <vector>
 
 #include "common/ids.h"
@@ -37,6 +38,13 @@ constexpr rpc::RequestType kStateFetch = 0xC0003;
 // Carrier for a shielded BatchFrame; sub-messages are dispatched to their
 // own types after the single batch-level verify.
 constexpr rpc::RequestType kBatch = 0xC0004;
+// Recovery (paper §3.7): a re-attested node announces it is back as a
+// SHADOW replica. Peers exclude it from quorums/chain position but tee live
+// writes at it until it promotes.
+constexpr rpc::RequestType kShadowJoin = 0xC0005;
+// The caught-up shadow re-enters the active membership; each peer flips it
+// back atomically on receipt of this (authenticated) notice.
+constexpr rpc::RequestType kPromote = 0xC0006;
 }  // namespace msg
 
 struct ReplicaOptions {
@@ -70,6 +78,11 @@ struct ReplicaOptions {
 
   // Identity of the CAS, whose fresh-node notices reset channel state.
   NodeId cas_id{1000};
+
+  // Chunked state streaming (recovery / shard handoff): entries per
+  // kStateFetch round trip. Each chunk rides the normal send path, so with
+  // batching enabled the stream coalesces with live protocol traffic.
+  std::size_t state_chunk_entries = 64;
 };
 
 using ReplyFn = std::function<void(const ClientReply&)>;
@@ -126,10 +139,66 @@ class ReplicaNode {
     options_.msg_buffer_bytes = bytes;
   }
 
-  // Recovery (paper §3.7): a freshly attested node joins as a shadow replica
-  // and fetches the current state from a live peer before participating.
-  // `done` receives the number of entries installed (or an error).
-  void sync_state_from(NodeId peer, std::function<void(Result<std::size_t>)> done);
+  // --- Recovery (paper §3.7) ----------------------------------------------
+  //
+  // Lifecycle of a crashed replica: stop() -> enclave restart + CAS
+  // re-attestation (RejoinDriver) -> start_as_shadow() -> catch_up_from()
+  // -> promote(). While shadow, the node applies streamed state and teed
+  // live writes but never acks, votes, serves clients, or donates state —
+  // so it cannot count toward any quorum or chain position until caught up.
+
+  // Machine reboot: wipes everything that lived in the dead process — the
+  // KV store (enclave metadata + host values) and the client dedup table.
+  // The recovery drivers call this between the enclave restart and the
+  // shadow join; a warm start then comes ONLY from a sealed snapshot.
+  void wipe_state();
+
+  // Re-enters operation as a shadow replica: reopens the network endpoint,
+  // wipes all receive-side channel state (the restarted enclave lost it),
+  // starts the runtime and announces kShadowJoin to the peers (retried a few
+  // times — the announcement races the CAS fresh-node notice that resets
+  // this node's counters at the peers).
+  void start_as_shadow();
+  bool is_shadow() const { return shadow_; }
+  // Running AND not shadow: eligible for coordination/quorums/reads.
+  bool active() const { return running_ && !shadow_; }
+
+  // Atomically flips this node (and, via kPromote, each peer's view of it)
+  // back into the active membership.
+  void promote();
+
+  // Peers currently known to be in shadow mode (excluded from quorums).
+  const std::set<NodeId>& shadow_peers() const { return shadow_peers_; }
+
+  // One full chunked state pass from `peer` (used by shard handoff and as
+  // the building block of catch_up_from). `done` receives the number of
+  // entries that moved local state FORWARD (last-writer-wins by timestamp).
+  void sync_state_from(NodeId peer,
+                       std::function<void(Result<std::size_t>)> done);
+
+  // Shadow catch-up: repeats sync passes until one installs nothing new
+  // (fixpoint; live teed traffic covers everything committed after the
+  // shadow join, so the loop closes the sync-vs-tee race window) or
+  // `max_passes` is hit. `done` receives the total entries installed.
+  void catch_up_from(NodeId peer, std::function<void(Result<std::size_t>)> done,
+                     std::size_t max_passes = 6);
+
+  // True when the protocol considers this shadow fully caught up (base:
+  // state-stream fixpoint is enough; Raft waits for log backfill).
+  virtual bool shadow_caught_up() const { return true; }
+
+  // --- Sealed snapshots (rollback-protected durability) -------------------
+
+  // Seals the full KV state under the enclave sealing key as the next
+  // hardware-counter version. The blob lives on UNTRUSTED storage.
+  Result<Bytes> seal_snapshot();
+  // Verifies + installs a sealed snapshot. A blob older than the hardware
+  // counter is rejected with ErrorCode::kRollback and pinned in
+  // snapshot_rollback_rejected().
+  Result<std::size_t> restore_snapshot(BytesView sealed);
+  std::uint64_t snapshot_rollback_rejected() const {
+    return snapshot_rollback_rejected_;
+  }
 
  protected:
   using EnvelopeHandler =
@@ -181,6 +250,19 @@ class ReplicaNode {
   // Called once per newly suspected peer (heartbeats enabled only).
   virtual void on_suspected(NodeId /*peer*/) {}
 
+  // --- Recovery hooks ------------------------------------------------------
+  // Called once when a peer announces itself as a shadow replica: protocols
+  // drop it from chains/quorums and start teeing live writes at it.
+  virtual void on_peer_shadow(NodeId /*peer*/) {}
+  // Called once when a shadow peer promotes back to active.
+  virtual void on_peer_promoted(NodeId /*peer*/) {}
+  // Called on THIS node right after promote() flipped it to active.
+  virtual void on_promoted() {}
+  // Largest ts.counter installed by state streaming with ts.node == 0 — the
+  // sequence-style timestamps CR/CRAQ/Raft write with. Protocols use it to
+  // resume their sequence tracking after a promotion.
+  std::uint64_t synced_max_counter() const { return synced_max_counter_; }
+
   net::NodeCpu& cpu() { return network_.cpu(options_.self); }
   std::uint64_t enclave_working_set() const;
   const tee::TeeCostModel* cost_model() const { return options_.cost_model; }
@@ -188,6 +270,21 @@ class ReplicaNode {
  private:
   void handle_client_request(VerifiedEnvelope& env, rpc::RequestContext& ctx);
   void heartbeat_tick();
+  // Fire-and-forget broadcast of a recovery notice, retried `attempts` times
+  // (1ms apart): the first copies may race the CAS fresh-node notice that
+  // resets this node's counters at the peers.
+  void broadcast_notice(rpc::RequestType type, int attempts);
+  // One chunk round trip of a state pass; recurses until the donor reports
+  // done, accumulating into `installed`. No cursor = from the very first
+  // key (distinct from a cursor of "" — an entry stored under the empty
+  // key must still stream).
+  void request_state_chunk(NodeId peer,
+                           const std::optional<std::string>& cursor,
+                           std::shared_ptr<std::size_t> installed,
+                           std::function<void(Result<std::size_t>)> done);
+  void run_catch_up_pass(NodeId peer, std::size_t passes_left,
+                         std::size_t total,
+                         std::function<void(Result<std::size_t>)> done);
   // Runs the registered handler for `type` (plus any strict-mode drained
   // futures); shared by the wire path and the batch dispatcher.
   void dispatch_request(rpc::RequestType type, VerifiedEnvelope& env,
@@ -218,6 +315,11 @@ class ReplicaNode {
   std::vector<NodeId> suspected_already_;
   sim::TimerHandle heartbeat_timer_;
   bool running_{false};
+  bool shadow_{false};
+  std::set<NodeId> shadow_peers_;
+  sim::TimerHandle notice_timer_;
+  std::uint64_t synced_max_counter_{0};
+  std::uint64_t snapshot_rollback_rejected_{0};
   std::uint64_t committed_ops_{0};
 };
 

@@ -1,0 +1,107 @@
+#include "recipe/recovery.h"
+
+namespace recipe {
+
+void await_promotion(sim::Simulator& simulator, ReplicaNode& node,
+                     sim::Time interval, std::size_t max_polls,
+                     std::function<void(bool)> done) {
+  if (node.shadow_caught_up()) {
+    node.promote();
+    done(true);
+    return;
+  }
+  if (max_polls == 0) {
+    done(false);
+    return;
+  }
+  simulator.schedule(interval, [&simulator, &node, interval, max_polls,
+                                done = std::move(done)]() mutable {
+    await_promotion(simulator, node, interval, max_polls - 1,
+                    std::move(done));
+  });
+}
+
+RejoinDriver::RejoinDriver(sim::Simulator& simulator, ReplicaNode& node,
+                           tee::Enclave& enclave,
+                           attest::AttestationAuthority& cas)
+    : simulator_(simulator), node_(node), enclave_(enclave), cas_(cas) {}
+
+void RejoinDriver::rejoin(RejoinOptions options, Done done) {
+  options_ = std::move(options);
+  report_ = RejoinReport{};
+
+  // 1. Fresh enclave: identity preserved, all volatile state gone — and the
+  // machine reboot also emptied the host process (KV store, dedup table).
+  enclave_.restart();
+  node_.wipe_state();
+  // The machine is back on the network (it must answer the CAS challenge),
+  // but the node stays stopped until provisioning succeeds.
+  node_.network().recover(node_.self());
+  attestation_.emplace(node_.rpc(), enclave_, nullptr);
+
+  // 2. Re-attest and re-provision through the CAS; on success the CAS has
+  // already broadcast the fresh-node notice to the peers.
+  cas_.attest_and_provision(
+      node_.self(), node_.self(), /*full_member=*/true,
+      [this, done = std::move(done)](Status status, sim::Time elapsed) mutable {
+        report_.attestation_elapsed = elapsed;
+        if (!status.is_ok()) {
+          done(status);
+          return;
+        }
+        on_provisioned(std::move(done));
+      });
+}
+
+void RejoinDriver::on_provisioned(Done done) {
+  // 3. Warm start from the sealed snapshot, when one survived on untrusted
+  // storage. A rollback (stale blob) is NOT fatal: the stat is pinned and
+  // the stream below rebuilds the state from the live cluster instead.
+  if (!options_.sealed_snapshot.empty()) {
+    auto restored = node_.restore_snapshot(as_view(options_.sealed_snapshot));
+    if (restored.is_ok()) {
+      report_.snapshot_entries = restored.value();
+    } else if (restored.status().code() == ErrorCode::kRollback) {
+      report_.snapshot_rolled_back = true;
+    } else {
+      done(restored.status());
+      return;
+    }
+  }
+
+  // 4. Shadow join: peers tee live writes from here on.
+  node_.start_as_shadow();
+
+  // 5. Chunked catch-up from the donor to fixpoint.
+  node_.catch_up_from(
+      options_.donor,
+      [this, done = std::move(done)](Result<std::size_t> streamed) mutable {
+        if (!streamed) {
+          done(streamed.status());
+          return;
+        }
+        report_.streamed_entries = streamed.value();
+        if (!options_.auto_promote) {
+          done(report_);
+          return;
+        }
+        // 6. Promote once the protocol agrees it is caught up (base
+        // protocols: immediately after the stream fixpoint; Raft: after
+        // log backfill).
+        await_promotion(simulator_, node_, options_.promote_poll,
+                        options_.max_promote_polls,
+                        [this, done = std::move(done)](bool promoted) mutable {
+                          if (!promoted) {
+                            done(Status::error(
+                                ErrorCode::kTimeout,
+                                "shadow never reported caught-up"));
+                            return;
+                          }
+                          report_.promoted = true;
+                          done(report_);
+                        });
+      },
+      options_.max_sync_passes);
+}
+
+}  // namespace recipe

@@ -1,0 +1,92 @@
+// End-to-end crash recovery and attested rejoin (paper §3.7).
+//
+// A crashed replica's machine reboots; its enclave restarts EMPTY (no
+// secrets, no counters). RejoinDriver runs the full rejoin sequence against
+// the live cluster:
+//
+//   1. tee::Enclave::restart()        — fresh enclave, same code identity;
+//   2. re-attestation via the CAS     — AttestationAuthority verifies the
+//      quote and provisions secrets; on success it broadcasts the
+//      kFreshNode notice, so every peer resets this node's channel
+//      counters and replay window (SecurityPolicy::reset_peer);
+//   3. optional sealed-snapshot restore — a rollback-protected warm start
+//      from untrusted storage (older blobs are rejected, stat pinned);
+//   4. ReplicaNode::start_as_shadow() — the node rejoins as a SHADOW
+//      replica: it applies streamed state and teed live writes but holds no
+//      quorum/chain position and serves no clients;
+//   5. ReplicaNode::catch_up_from()   — chunked state streaming from a live
+//      donor to fixpoint (the stream rides the batching path);
+//   6. promotion                      — once the protocol also reports
+//      shadow_caught_up() (Raft: log backfill complete), the node promotes
+//      and peers atomically count it again.
+//
+// The driver is pure host-side orchestration: every security decision
+// (attestation, counter resets, MAC checks, rollback detection) happens in
+// the enclave/CAS layers it calls into.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "attest/cas.h"
+#include "recipe/node_base.h"
+
+namespace recipe {
+
+struct RejoinOptions {
+  // Live peer to stream state from (CR/CRAQ: prefer the tail — its state is
+  // always committed).
+  NodeId donor{};
+  // Sealed snapshot blob from untrusted storage; empty = cold start.
+  Bytes sealed_snapshot;
+  // Leave the node in shadow mode (tests exercise shadow semantics, then
+  // call ReplicaNode::promote() themselves).
+  bool auto_promote = true;
+  // Poll interval / bound for the protocol's shadow_caught_up() signal.
+  sim::Time promote_poll = 500 * sim::kMicrosecond;
+  std::size_t max_promote_polls = 4000;
+  std::size_t max_sync_passes = 6;
+};
+
+struct RejoinReport {
+  std::size_t snapshot_entries{0};  // installed from the sealed snapshot
+  bool snapshot_rolled_back{false};  // stale blob rejected (stat pinned)
+  std::size_t streamed_entries{0};  // installed by chunked catch-up
+  sim::Time attestation_elapsed{0};
+  bool promoted{false};
+};
+
+// Polls `node.shadow_caught_up()` every `interval` and promotes the node as
+// soon as the protocol agrees; `done` receives true on promotion, false when
+// `max_polls` elapsed with the node still shadow. Shared by RejoinDriver and
+// the cluster layer's shard-replica replacement.
+void await_promotion(sim::Simulator& simulator, ReplicaNode& node,
+                     sim::Time interval, std::size_t max_polls,
+                     std::function<void(bool promoted)> done);
+
+class RejoinDriver {
+ public:
+  using Done = std::function<void(Result<RejoinReport>)>;
+
+  RejoinDriver(sim::Simulator& simulator, ReplicaNode& node,
+               tee::Enclave& enclave, attest::AttestationAuthority& cas);
+
+  // Runs the sequence above; `done` fires with the report (or the first
+  // error). One rejoin at a time per driver.
+  void rejoin(RejoinOptions options, Done done);
+
+ private:
+  void on_provisioned(Done done);
+
+  sim::Simulator& simulator_;
+  ReplicaNode& node_;
+  tee::Enclave& enclave_;
+  attest::AttestationAuthority& cas_;
+  // Answers the CAS challenge / installs the granted bundle on the node's
+  // rpc object. Constructed per rejoin (handlers re-register idempotently).
+  std::optional<attest::AttestationClient> attestation_;
+  RejoinOptions options_;
+  RejoinReport report_;
+};
+
+}  // namespace recipe

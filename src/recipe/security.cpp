@@ -20,7 +20,8 @@ Result<Bytes> NullSecurity::shield_frame(NodeId peer, ViewId view,
   return encode_shielded_frame(header, payload, 0);
 }
 
-Result<Bytes> NullSecurity::shield(NodeId peer, ViewId view, BytesView payload) {
+Result<Bytes> NullSecurity::shield(NodeId peer, ViewId view,
+                                   BytesView payload) {
   return shield_frame(peer, view, payload, 0);
 }
 
@@ -29,9 +30,9 @@ Result<Bytes> NullSecurity::shield_batch(NodeId peer, ViewId view,
   return shield_frame(peer, view, body, ShieldedHeader::kFlagBatch);
 }
 
-Result<VerifiedEnvelope> NullSecurity::verify(NodeId claimed_sender,
-                                              BytesView wire,
-                                              std::optional<ViewId> require_view) {
+Result<VerifiedEnvelope> NullSecurity::verify(
+    NodeId claimed_sender, BytesView wire,
+    std::optional<ViewId> require_view) {
   auto msg = ShieldedView::parse(wire);
   if (!msg) return msg.status();
   if (require_view && msg.value().header.view != *require_view) {
@@ -46,7 +47,8 @@ Result<VerifiedEnvelope> NullSecurity::verify(NodeId claimed_sender,
   return env;
 }
 
-// --- RecipeSecurity ------------------------------------------------------------
+// --- RecipeSecurity
+// ------------------------------------------------------------
 
 RecipeSecurity::RecipeSecurity(tee::Enclave& enclave, NodeId self,
                                const tee::TeeCostModel* cost_model,
@@ -83,7 +85,8 @@ Result<RecipeSecurity::ChannelCrypto> RecipeSecurity::derive_channel_crypto(
   return cc;
 }
 
-Result<Bytes> RecipeSecurity::shield(NodeId peer, ViewId view, BytesView payload) {
+Result<Bytes> RecipeSecurity::shield(NodeId peer, ViewId view,
+                                     BytesView payload) {
   return shield_frame(peer, view, payload, 0);
 }
 
@@ -180,7 +183,8 @@ Result<VerifiedEnvelope> RecipeSecurity::verify(
     auto derived = derive_channel_crypto(msg.header.sender);
     if (!derived) {
       ++rejected_auth_;
-      return Status::error(ErrorCode::kNotAttested, "no channel key for sender");
+      return Status::error(ErrorCode::kNotAttested,
+                           "no channel key for sender");
     }
     fresh = std::move(derived).take();
     cc = &*fresh;
@@ -226,7 +230,9 @@ Result<VerifiedEnvelope> RecipeSecurity::verify(
         crypto::make_channel_nonce(msg.header.cq.value, msg.header.cnt);
     crypto::chacha20_xor(cc->key.view(), nonce, 0, env.payload.data(),
                          env.payload.size());
-    if (cost_model_ != nullptr) charge(cost_model_->encrypt(env.payload.size()));
+    if (cost_model_ != nullptr) {
+      charge(cost_model_->encrypt(env.payload.size()));
+    }
   }
 
   ChannelState& ch = channels_[msg.header.cq];
@@ -276,6 +282,12 @@ Result<VerifiedEnvelope> RecipeSecurity::verify(
 
 std::vector<VerifiedEnvelope> RecipeSecurity::drain_ready() {
   return std::exchange(ready_, {});
+}
+
+void RecipeSecurity::reset_all() {
+  channels_.clear();
+  crypto_cache_.clear();
+  ready_.clear();
 }
 
 void RecipeSecurity::reset_peer(NodeId peer) {

@@ -95,6 +95,13 @@ class SecurityPolicy {
   // successful re-attestation, peers restart its counters from zero).
   virtual void reset_peer(NodeId /*peer*/) {}
 
+  // Forgets EVERY channel: replay windows, strict-order state, buffered
+  // futures, cached crypto contexts. Called when this node's OWN enclave is
+  // re-launched — the windows notionally live inside the enclave, so a
+  // restart wipes them along with the counters (the rejoining side of the
+  // §3.7 counter-reset rule).
+  virtual void reset_all() {}
+
   // True when this policy provides the Byzantine-hardening guarantees.
   virtual bool secured() const = 0;
 };
@@ -148,6 +155,7 @@ class RecipeSecurity final : public SecurityPolicy {
       std::optional<ViewId> require_view = std::nullopt) override;
   std::vector<VerifiedEnvelope> drain_ready() override;
   void reset_peer(NodeId peer) override;
+  void reset_all() override;
   bool secured() const override { return true; }
 
   // Statistics for the evaluation and Byzantine tests.
@@ -169,7 +177,7 @@ class RecipeSecurity final : public SecurityPolicy {
   };
 
   struct ChannelState {
-    Counter rcnt{0};                             // strict: last in-order accepted
+    Counter rcnt{0};  // strict: last in-order accepted
     std::optional<ReplayWindow> window;          // window mode replay filter
     std::map<Counter, VerifiedEnvelope> future;  // strict: buffered futures
   };

@@ -81,7 +81,8 @@ Result<crypto::SymmetricKey> Enclave::secret(const std::string& name) const {
   if (auto s = check_alive(); !s.is_ok()) return s;
   const auto it = secrets_.find(name);
   if (it == secrets_.end()) {
-    return Status::error(ErrorCode::kNotFound, "secret not provisioned: " + name);
+    return Status::error(ErrorCode::kNotFound,
+                         "secret not provisioned: " + name);
   }
   return it->second;
 }
@@ -98,6 +99,35 @@ Result<Counter> Enclave::increment_counter(ChannelId cq) {
 Counter Enclave::peek_counter(ChannelId cq) const {
   const auto it = counters_.find(cq);
   return it == counters_.end() ? 0 : it->second;
+}
+
+Result<crypto::SymmetricKey> Enclave::sealing_key() const {
+  if (auto s = check_alive(); !s.is_ok()) return s;
+  // EGETKEY(SEAL, MRENCLAVE): bound to the hardware root, the measured code
+  // identity AND this enclave's identity — independent of any volatile
+  // state. The enclave id stands in for the per-machine CPU fuses (the sim
+  // shares one TeePlatform across the cluster); without it every replica
+  // would share one sealing key, letting a host substitute replica A's
+  // snapshot into replica B and reusing the version-bound ChaCha20 nonce
+  // across sealers.
+  Writer info;
+  info.str("recipe-sealing-key");
+  info.u64(enclave_id_);
+  info.raw(BytesView(measurement_.data(), measurement_.size()));
+  const Bytes salt = to_bytes("recipe-seal-v1");
+  return crypto::SymmetricKey{
+      crypto::hkdf_sha256(platform_.hardware_root_key().view(), as_view(salt),
+                          as_view(info.buffer()), crypto::kSymmetricKeySize)};
+}
+
+Result<std::uint64_t> Enclave::advance_snapshot_version() {
+  if (auto s = check_alive(); !s.is_ok()) return s;
+  return platform_.advance_rollback_counter(enclave_id_);
+}
+
+Result<std::uint64_t> Enclave::snapshot_version() const {
+  if (auto s = check_alive(); !s.is_ok()) return s;
+  return platform_.rollback_counter(enclave_id_);
 }
 
 Result<Bytes> Enclave::random_bytes(std::size_t n) {

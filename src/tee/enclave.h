@@ -95,6 +95,23 @@ class Enclave {
   Result<Counter> increment_counter(ChannelId cq);
   Counter peek_counter(ChannelId cq) const;
 
+  // --- Sealing (snapshot durability, paper §3.7) --------------------------
+
+  // The sealing key is derived from the hardware root key, this enclave's
+  // MEASUREMENT (SGX EGETKEY MRENCLAVE policy) and its identity (standing in
+  // for per-machine CPU fuses): it survives restart() — a re-launched
+  // instance of the same binary on the same node can unseal — but no other
+  // code identity, no other replica, and no host can. Fails while crashed.
+  Result<crypto::SymmetricKey> sealing_key() const;
+
+  // Monotonic snapshot version, backed by the platform's hardware rollback
+  // counter (survives restarts). advance_snapshot_version() reserves the
+  // next version for a new snapshot; snapshot_version() reads the current
+  // one, which is the ONLY version an unseal may accept (anything older is a
+  // rollback attack).
+  Result<std::uint64_t> advance_snapshot_version();
+  Result<std::uint64_t> snapshot_version() const;
+
   // --- Randomness ---------------------------------------------------------
 
   Result<Bytes> random_bytes(std::size_t n);
@@ -110,7 +127,8 @@ class Enclave {
 
  private:
   Status check_alive() const {
-    if (crashed_) return Status::error(ErrorCode::kUnavailable, "enclave crashed");
+    if (crashed_) return Status::error(ErrorCode::kUnavailable,
+                                       "enclave crashed");
     return Status::ok();
   }
 

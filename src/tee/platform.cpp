@@ -13,7 +13,18 @@ TeePlatform::TeePlatform(std::uint64_t platform_seed)
   w.str("recipe-platform-root-key");
   const Bytes salt = to_bytes("recipe-tee-platform-v1");
   root_key_ = crypto::SymmetricKey{crypto::hkdf_sha256(
-      as_view(w.buffer()), as_view(salt), BytesView{}, crypto::kSymmetricKeySize)};
+      as_view(w.buffer()), as_view(salt), BytesView{},
+      crypto::kSymmetricKeySize)};
+}
+
+std::uint64_t TeePlatform::rollback_counter(std::uint64_t enclave_id) const {
+  const auto it = rollback_counters_.find(enclave_id);
+  return it == rollback_counters_.end() ? 0 : it->second;
+}
+
+std::uint64_t TeePlatform::advance_rollback_counter(
+    std::uint64_t enclave_id) const {
+  return ++rollback_counters_[enclave_id];
 }
 
 Bytes TeePlatform::enclave_seed(std::uint64_t enclave_id) const {

@@ -2,8 +2,8 @@
 //
 // SUBSTITUTION (DESIGN.md §2): stands in for Intel SGX hardware. The platform
 // owns the hardware root key used to key quotes (EPID-style: only the
-// attestation verifier — IAS or an attested CAS — can check a quote, which is
-// exactly the operational model of SGX remote attestation). Per-platform
+// attestation verifier — IAS or an attested CAS — can check a quote, which
+// is exactly the operational model of SGX remote attestation). Per-platform
 // entropy seeds enclave DRBGs deterministically.
 #pragma once
 
@@ -30,9 +30,19 @@ class TeePlatform {
   // Deterministic per-enclave entropy.
   Bytes enclave_seed(std::uint64_t enclave_id) const;
 
+  // Hardware monotonic rollback counter per enclave identity (models a TPM
+  // NV counter / SGX platform-service counter): survives enclave restarts,
+  // never decreases. This is the root of snapshot rollback protection — a
+  // sealed snapshot is only accepted when its version equals the current
+  // counter value, so re-feeding an older blob is detected. The counters are
+  // hardware state behind a const handle, like hardware_root_key().
+  std::uint64_t rollback_counter(std::uint64_t enclave_id) const;
+  std::uint64_t advance_rollback_counter(std::uint64_t enclave_id) const;
+
  private:
   std::uint64_t platform_id_;
   crypto::SymmetricKey root_key_;
+  mutable std::unordered_map<std::uint64_t, std::uint64_t> rollback_counters_;
 };
 
 // The verification capability shared with the attestation service: knows

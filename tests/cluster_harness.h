@@ -11,9 +11,11 @@
 #include <vector>
 
 #include "attest/bundle.h"
+#include "attest/cas.h"
 #include "net/network.h"
 #include "recipe/client.h"
 #include "recipe/node_base.h"
+#include "recipe/recovery.h"
 #include "sim/simulator.h"
 #include "tee/enclave.h"
 #include "tee/platform.h"
@@ -48,6 +50,10 @@ class Cluster {
     sim::Time heartbeat_period = 0;  // 0: no failure detector traffic
     std::uint64_t seed = 1;
     BatchConfig batch{};  // forwarded to every replica
+    // Stand up a real CAS (AttestationAuthority) on the network at
+    // ReplicaOptions::cas_id; replicas are then provisioned with ITS cluster
+    // root, so the full §3.7 re-attestation path (rejoin()) works.
+    bool with_cas = false;
   };
 
   explicit Cluster(Config config = {})
@@ -55,6 +61,18 @@ class Cluster {
         network_(simulator_, Rng(network_seed(config_.seed))) {
     for (std::size_t i = 0; i < config_.num_replicas; ++i) {
       membership_.push_back(NodeId{i + 1});
+    }
+    if (config_.with_cas) {
+      attest::AuthorityParams params;
+      params.service_time = sim::kMillisecond;  // in-DC CAS, test-sized
+      cas_ = std::make_unique<attest::AttestationAuthority>(
+          simulator_, network_, NodeId{1000},
+          net::NetStackParams::direct_io_native(), params);
+      cas_->register_platform(platform_);
+      root_ = cas_->cluster_root();
+      attest::ClusterPlan plan;
+      plan.replicas = membership_;
+      cas_->upload_plan(plan, crypto::Sha256::hash(as_view("recipe-replica")));
     }
   }
 
@@ -98,6 +116,8 @@ class Cluster {
     auto enclave = std::make_unique<tee::Enclave>(platform_, "recipe-client",
                                                   client_id);
     if (config_.secured) provision(*enclave);
+    // Pre-provisioned clients still need the fresh-node notices.
+    if (cas_) cas_->register_principal(NodeId{client_id});
     ClientOptions options;
     options.id = ClientId{client_id};
     options.secured = config_.secured;
@@ -111,6 +131,41 @@ class Cluster {
 
   // Crash replica i: machine-level failure (network + enclave).
   void crash(std::size_t i) { nodes_[i]->stop(); }
+
+  attest::AttestationAuthority& cas() { return *cas_; }
+
+  // Full §3.7 rejoin of crashed replica i, synchronously driven: restart
+  // the enclave, re-attest via the CAS, (optionally) restore a sealed
+  // snapshot, shadow-join, stream state from `donor`, promote. Requires
+  // Config::with_cas. Returns the driver's report or the first error.
+  Result<RejoinReport> rejoin(std::size_t i, NodeId donor,
+                              RejoinOptions options = {},
+                              sim::Time max_wait = 30 * sim::kSecond) {
+    if (!cas_) {
+      return Status::error(ErrorCode::kInternal,
+                           "Cluster::rejoin requires Config::with_cas");
+    }
+    options.donor = donor;
+    drivers_.push_back(std::make_unique<RejoinDriver>(
+        simulator_, *nodes_[i], *enclaves_[i], *cas_));
+    // Shared, not stack-captured: the driver outlives this frame, and a
+    // rejoin completing after the deadline would otherwise write through a
+    // dangling reference on a later simulator step.
+    auto result =
+        std::make_shared<std::optional<Result<RejoinReport>>>(std::nullopt);
+    drivers_.back()->rejoin(std::move(options),
+                            [result](Result<RejoinReport> r) {
+                              *result = std::move(r);
+                            });
+    const sim::Time deadline = simulator_.now() + max_wait;
+    while (!*result && simulator_.now() < deadline && !simulator_.idle()) {
+      simulator_.step();
+    }
+    if (!*result) {
+      return Status::error(ErrorCode::kTimeout, "rejoin did not complete");
+    }
+    return std::move(**result);
+  }
 
   Node& node(std::size_t i) { return *nodes_[i]; }
   std::size_t size() const { return nodes_.size(); }
@@ -137,7 +192,8 @@ class Cluster {
     return out;
   }
 
-  ClientReply get(KvClient& client, NodeId coordinator, const std::string& key) {
+  ClientReply get(KvClient& client, NodeId coordinator,
+                  const std::string& key) {
     ClientReply out;
     bool done = false;
     client.get(coordinator, key, [&](const ClientReply& r) {
@@ -188,8 +244,10 @@ class Cluster {
   crypto::SymmetricKey root_{Bytes(32, 0x77)};
   crypto::SymmetricKey value_key_{Bytes(32, 0x44)};
   std::vector<NodeId> membership_;
+  std::unique_ptr<attest::AttestationAuthority> cas_;
   std::vector<std::unique_ptr<tee::Enclave>> enclaves_;
   std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<RejoinDriver>> drivers_;
   std::vector<std::unique_ptr<tee::Enclave>> client_enclaves_;
   std::vector<std::unique_ptr<KvClient>> clients_;
 };

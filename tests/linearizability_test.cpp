@@ -41,7 +41,8 @@ struct HistoryOp {
 
 // Returns true iff `ops` (a single-register history) has a legal
 // linearization starting from `initial`.
-bool linearizable(const std::vector<HistoryOp>& ops, const std::string& initial) {
+bool linearizable(const std::vector<HistoryOp>& ops,
+                  const std::string& initial) {
   const std::size_t n = ops.size();
   if (n > 24) ADD_FAILURE() << "history too large for the checker";
   std::uint32_t complete_mask = 0;
@@ -81,7 +82,8 @@ bool linearizable(const std::vector<HistoryOp>& ops, const std::string& initial)
   return dfs(0, initial);
 }
 
-// --- Checker self-tests -------------------------------------------------------
+// --- Checker self-tests
+// -------------------------------------------------------
 
 TEST(LinearizabilityChecker, AcceptsSequentialHistory) {
   std::vector<HistoryOp> ops = {
@@ -177,7 +179,8 @@ TEST(LinearizabilityChecker, IncompleteWriteCannotApplyBeforeInvocation) {
   EXPECT_FALSE(linearizable(ops, ""));
 }
 
-// --- Protocol histories ------------------------------------------------------------
+// --- Protocol histories
+// ------------------------------------------------------------
 
 // Drives concurrent clients against one key and collects the history.
 template <typename Node>
@@ -200,10 +203,12 @@ std::vector<HistoryOp> record_history(Cluster<Node>& cluster, int n_writes,
     if (is_write) {
       const std::string value = "v" + std::to_string(++value_counter);
       client.put(
-          cluster.membership()[rng.below(cluster.membership().size())].value == 0
+          cluster.membership()[rng.below(cluster.membership().size())]
+                      .value == 0
               ? NodeId{1}
               : cluster.membership()[rng.below(cluster.membership().size())],
-          "x", to_bytes(value), [&, history, invoked, value](const ClientReply& r) {
+          "x", to_bytes(value), [&, history, invoked,
+                                 value](const ClientReply& r) {
             if (r.ok) {
               history->push_back(
                   HistoryOp{invoked, cluster.sim().now(), true, value});
@@ -237,7 +242,8 @@ std::vector<HistoryOp> record_history(Cluster<Node>& cluster, int n_writes,
   return *history;
 }
 
-class ProtocolLinearizability : public ::testing::TestWithParam<std::uint64_t> {};
+class ProtocolLinearizability
+    : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(ProtocolLinearizability, AbdHistoriesAreLinearizable) {
   Cluster<protocols::AbdNode> cluster;
@@ -258,7 +264,8 @@ TEST_P(ProtocolLinearizability, HermesHistoriesAreLinearizable) {
 INSTANTIATE_TEST_SUITE_P(Seeds, ProtocolLinearizability,
                          ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
 
-// --- Batched randomized sweep -----------------------------------------------------
+// --- Batched randomized sweep
+// -----------------------------------------------------
 //
 // CR / CRAQ / Raft histories with the batching subsystem ENABLED under a
 // RANDOM flush policy (max-count / max-bytes / max-delay / adaptive drawn per
@@ -348,7 +355,8 @@ void run_batched_sweep(std::uint64_t base_seed, const SweepRouting& route,
     const sim::Time invoked = cluster.sim().now();
     ++outstanding;
     client.get(route.read_to(rng), "x",
-               [&outstanding, history, invoked, &cluster](const ClientReply& r) {
+               [&outstanding, history, invoked,
+                &cluster](const ClientReply& r) {
                  --outstanding;
                  if (!r.ok) return;  // incomplete read: no constraint
                  history->push_back(HistoryOp{
@@ -380,7 +388,8 @@ void run_batched_sweep(std::uint64_t base_seed, const SweepRouting& route,
   EXPECT_TRUE(linearizable(*history, "")) << "seed " << seed;
 }
 
-class BatchedLinearizability : public ::testing::TestWithParam<std::uint64_t> {};
+class BatchedLinearizability
+    : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(BatchedLinearizability, ChainReplicationUnderRandomBatching) {
   // CR: writes at the head, linearizable local reads at the tail. No drops
@@ -411,6 +420,182 @@ TEST_P(BatchedLinearizability, RaftUnderRandomBatching) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, BatchedLinearizability,
                          ::testing::Values(1, 2, 3, 4, 5, 6));
+
+// --- Histories spanning a crash + attested rejoin ----------------------------
+//
+// The strongest recovery check available: ops run before, DURING, and after
+// a full kill -> re-attest -> shadow catch-up -> promote cycle (with random
+// batching), and the complete history — including incomplete maybe-applied
+// writes from the outage window — must stay linearizable. Routing adapts to
+// the live membership (e.g. CR reads go to whatever node is currently the
+// tail), so ops also land on the rejoined node after promotion.
+
+template <typename Node>
+struct RecoveryRouting {
+  // Picks coordinators given the live cluster (evaluated per op).
+  std::function<NodeId(Cluster<Node>&, Rng&)> write_to;
+  std::function<NodeId(Cluster<Node>&, Rng&)> read_to;
+  std::size_t victim;  // replica index killed mid-history
+};
+
+template <typename Node, typename... Extra>
+void run_recovery_sweep(std::uint64_t base_seed,
+                        const RecoveryRouting<Node>& route, Extra&&... extra) {
+  const std::uint64_t seed = testing::resolved_seed(base_seed);
+  SCOPED_TRACE(testing::seed_trace_message(seed));
+  Rng rng(seed);
+
+  typename Cluster<Node>::Config config;
+  config.seed = seed;
+  config.with_cas = true;
+  config.heartbeat_period = 10 * sim::kMillisecond;
+  config.batch.enabled = rng.chance(0.5);
+  config.batch.max_count = std::size_t{1} << rng.range(1, 4);
+  config.batch.max_delay = rng.below(21) * sim::kMicrosecond;
+  config.batch.adaptive = rng.chance(0.5);
+  Cluster<Node> cluster(config);
+  cluster.build(std::forward<Extra>(extra)...);
+
+  auto& w1 = cluster.add_client(2001);
+  auto& w2 = cluster.add_client(2002);
+  auto& r1 = cluster.add_client(2003);
+  auto& r2 = cluster.add_client(2004);
+
+  auto history = std::make_shared<std::vector<HistoryOp>>();
+  const sim::Time never = ~sim::Time{0};
+  int value_counter = 0;
+  int outstanding = 0;
+
+  auto launch_write = [&](KvClient& client) {
+    const sim::Time invoked = cluster.sim().now();
+    const std::string value = "v" + std::to_string(++value_counter);
+    ++outstanding;
+    client.put(route.write_to(cluster, rng), "x", to_bytes(value),
+               [&outstanding, history, invoked, value, never,
+                &cluster](const ClientReply& r) {
+                 --outstanding;
+                 if (r.ok) {
+                   history->push_back(
+                       HistoryOp{invoked, cluster.sim().now(), true, value});
+                 } else {
+                   // Failed/timed out during the outage: MAY have applied.
+                   history->push_back(
+                       HistoryOp{invoked, never, true, value, false});
+                 }
+               });
+  };
+  auto launch_read = [&](KvClient& client) {
+    const sim::Time invoked = cluster.sim().now();
+    ++outstanding;
+    client.get(route.read_to(cluster, rng), "x",
+               [&outstanding, history, invoked,
+                &cluster](const ClientReply& r) {
+                 --outstanding;
+                 if (!r.ok) return;  // incomplete read: no constraint
+                 history->push_back(HistoryOp{
+                     invoked, cluster.sim().now(), false,
+                     r.found ? to_string(as_view(r.value)) : ""});
+               });
+  };
+  auto burst = [&](int writes, int reads) {
+    while (writes > 0 || reads > 0) {
+      if (writes > 0) {
+        launch_write(rng.chance(0.5) ? w1 : w2);
+        --writes;
+      }
+      if (reads > 0) {
+        launch_read(rng.chance(0.5) ? r1 : r2);
+        --reads;
+      }
+      cluster.run_for(rng.below(60) * sim::kMicrosecond);
+    }
+  };
+
+  burst(2, 3);
+  cluster.run_for(50 * sim::kMillisecond);
+
+  cluster.crash(route.victim);
+  cluster.run_for(300 * sim::kMillisecond);  // suspicion + repair
+  burst(2, 2);  // ops against the degraded cluster
+
+  // Ops launched here run WHILE the rejoin drives the simulator: the
+  // history genuinely spans the recovery.
+  burst(2, 2);
+  NodeId donor = NodeId{1};
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    if (i != route.victim && cluster.node(i).active()) {
+      donor = cluster.node(i).self();
+    }
+  }
+  auto report = cluster.rejoin(route.victim, donor);
+  ASSERT_TRUE(report.is_ok()) << report.status().message();
+  ASSERT_TRUE(report.value().promoted);
+  cluster.run_for(100 * sim::kMillisecond);
+
+  burst(2, 3);  // post-recovery ops reach the rejoined node too
+  cluster.run_for(10 * sim::kSecond);  // drain client retries
+
+  EXPECT_EQ(outstanding, 0) << "every client op must resolve";
+  int complete_ops = 0;
+  for (const HistoryOp& op : *history) complete_ops += op.complete ? 1 : 0;
+  EXPECT_GE(complete_ops, 8) << "history too lossy to be meaningful";
+  EXPECT_TRUE(linearizable(*history, "")) << "seed " << seed;
+}
+
+class RecoveryLinearizability : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(RecoveryLinearizability, ChainReplicationAcrossTailRejoin) {
+  RecoveryRouting<protocols::ChainNode> route;
+  route.victim = 2;  // the tail (and sole read server) dies and rejoins
+  route.write_to = [](Cluster<protocols::ChainNode>& c, Rng&) {
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      if (c.node(i).active() && c.node(i).coordinates_writes()) {
+        return c.node(i).self();
+      }
+    }
+    return NodeId{1};
+  };
+  route.read_to = [](Cluster<protocols::ChainNode>& c, Rng&) {
+    for (std::size_t i = c.size(); i > 0; --i) {
+      if (c.node(i - 1).active() && c.node(i - 1).coordinates_reads()) {
+        return c.node(i - 1).self();
+      }
+    }
+    return NodeId{3};
+  };
+  run_recovery_sweep<protocols::ChainNode>(GetParam() * 7919 + 101, route);
+}
+
+TEST_P(RecoveryLinearizability, AbdAcrossReplicaRejoin) {
+  RecoveryRouting<protocols::AbdNode> route;
+  route.victim = 1;
+  auto any_active = [](Cluster<protocols::AbdNode>& c, Rng& r) {
+    for (int tries = 0; tries < 8; ++tries) {
+      const std::size_t i = r.below(c.size());
+      if (c.node(i).active()) return c.node(i).self();
+    }
+    return NodeId{1};
+  };
+  route.write_to = any_active;
+  route.read_to = any_active;
+  run_recovery_sweep<protocols::AbdNode>(GetParam() * 104729 + 103, route);
+}
+
+TEST_P(RecoveryLinearizability, RaftAcrossFollowerRejoin) {
+  protocols::RaftOptions raft;
+  raft.initial_leader = NodeId{1};
+  RecoveryRouting<protocols::RaftNode> route;
+  route.victim = 2;  // a follower; the leader keeps serving
+  route.write_to = [](Cluster<protocols::RaftNode>&,
+                      Rng&) { return NodeId{1}; };
+  route.read_to = [](Cluster<protocols::RaftNode>&, Rng&) { return NodeId{1}; };
+  run_recovery_sweep<protocols::RaftNode>(GetParam() * 15485863 + 107, route,
+                                          raft);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RecoveryLinearizability,
+                         ::testing::Values(1, 2, 3, 4, 5));
 
 }  // namespace
 }  // namespace recipe

@@ -70,7 +70,8 @@ TEST(SimNetwork, KernelStackSlowerThanDirectIo) {
 
 TEST(SimNetwork, TeeStacksSlowerThanNative) {
   for (auto [native, tee] :
-       {std::pair{NetStackParams::kernel_native(), NetStackParams::kernel_tee()},
+       {std::pair{NetStackParams::kernel_native(),
+                  NetStackParams::kernel_tee()},
         std::pair{NetStackParams::direct_io_native(),
                   NetStackParams::direct_io_tee()}}) {
     EXPECT_GT(tee.send_cpu(1024), native.send_cpu(1024));
@@ -103,6 +104,37 @@ TEST(SimNetwork, CrashedNodeReceivesNothing) {
 
   h.network.recover(NodeId{2});
   h.send(NodeId{1}, NodeId{2}, "y");
+  h.simulator.run_all();
+  EXPECT_EQ(h.received_b.size(), 1u);
+}
+
+TEST(SimNetwork, CrashDropsInFlightFramesAcrossRecovery) {
+  // A packet already in flight towards a node that crashes BEFORE delivery
+  // must die with the machine: its NIC/kernel buffers are gone. Without
+  // this, a crash+recover inside the propagation window hands a restarted
+  // node pre-crash frames that its fresh replay window would wrongly
+  // accept.
+  Harness h;
+  h.send(NodeId{1}, NodeId{2}, "pre-crash");
+  // Crash and recover while the packet is still on the wire (delivery takes
+  // a propagation delay; nothing has run yet).
+  h.network.crash(NodeId{2});
+  h.network.recover(NodeId{2});
+  h.simulator.run_all();
+  EXPECT_TRUE(h.received_b.empty()) << "pre-crash frame survived the reboot";
+  EXPECT_EQ(h.network.packets_dropped(), 1u);
+
+  // Frames sent after the recovery flow normally.
+  h.send(NodeId{1}, NodeId{2}, "post-recover");
+  h.simulator.run_all();
+  ASSERT_EQ(h.received_b.size(), 1u);
+  EXPECT_EQ(to_string(as_view(h.received_b[0].payload)), "post-recover");
+
+  // A second incarnation bumps the epoch again: frames from the first
+  // recovered epoch do not leak into the next one either.
+  h.send(NodeId{1}, NodeId{2}, "stale");
+  h.network.crash(NodeId{2});
+  h.network.recover(NodeId{2});
   h.simulator.run_all();
   EXPECT_EQ(h.received_b.size(), 1u);
 }
@@ -148,7 +180,8 @@ TEST(SimNetwork, PartitionKeysDoNotCollideForWideNodeIds) {
   net.send(Packet{NodeId{1}, NodeId{5}, 7, to_bytes("ok")});
   net.send(Packet{NodeId{1}, NodeId{kHigh}, 7, to_bytes("blocked")});
   simulator.run_all();
-  EXPECT_EQ(low_received, 1) << "partition of (1, 2^32+5) must not block (1, 5)";
+  EXPECT_EQ(low_received,
+            1) << "partition of (1, 2^32+5) must not block (1, 5)";
   EXPECT_EQ(high_received, 0);
 
   net.partition(NodeId{1}, NodeId{kHigh}, false);
@@ -170,12 +203,14 @@ TEST(SimNetwork, PreGstDropsHappenPostGstBounded) {
   faults.gst = 1 * sim::kMillisecond;
   net.set_faults(faults);
 
-  for (int i = 0; i < 10; ++i) net.send(Packet{NodeId{1}, NodeId{2}, 0, Bytes(8)});
+  for (int i = 0; i < 10; ++i) net.send(Packet{NodeId{1}, NodeId{2}, 0,
+                                               Bytes(8)});
   simulator.run_all();
   EXPECT_EQ(delivered, 0);
 
   simulator.run_until(2 * sim::kMillisecond);
-  for (int i = 0; i < 10; ++i) net.send(Packet{NodeId{1}, NodeId{2}, 0, Bytes(8)});
+  for (int i = 0; i < 10; ++i) net.send(Packet{NodeId{1}, NodeId{2}, 0,
+                                               Bytes(8)});
   simulator.run_all();
   EXPECT_EQ(delivered, 10);  // reliable after GST
 }
