@@ -178,7 +178,8 @@ ProtocolRow run_protocol(const char* name, bool batched, Router router,
   row.packets_per_op =
       result.completed == 0
           ? 0
-          : static_cast<double>(packets) / static_cast<double>(result.completed);
+          : static_cast<double>(packets) /
+                static_cast<double>(result.completed);
   row.p50_us = result.latency_us.percentile(0.5);
   return row;
 }
@@ -196,13 +197,15 @@ std::vector<ProtocolRow> run_protocol_sweep() {
       Router router = [](OpType op, std::uint64_t n) {
         return op == OpType::kPut ? NodeId{1} : NodeId{1 + n % 3};
       };
-      rows.push_back(run_protocol<protocols::CraqNode>("craq", batched, router));
+      rows.push_back(run_protocol<protocols::CraqNode>("craq", batched,
+                                                       router));
     }
     {
       protocols::RaftOptions raft;
       raft.initial_leader = NodeId{1};
       rows.push_back(run_protocol<protocols::RaftNode>(
-          "raft", batched, Testbed<protocols::RaftNode>::route_all_to(NodeId{1}),
+          "raft", batched,
+          Testbed<protocols::RaftNode>::route_all_to(NodeId{1}),
           raft));
     }
   }

@@ -35,7 +35,8 @@ int main() {
     std::printf("%-14s %12.0f ops/s   p50=%5llu us  completed=%8llu  "
                 "failed=%llu  [wall %.1fs]\n",
                 entry.name, result.ops_per_sec,
-                static_cast<unsigned long long>(result.latency_us.percentile(0.5)),
+                static_cast<unsigned long long>(
+                    result.latency_us.percentile(0.5)),
                 static_cast<unsigned long long>(result.completed),
                 static_cast<unsigned long long>(result.failed), wall);
     std::fflush(stdout);

@@ -11,7 +11,8 @@ int main() {
 
   const std::vector<double> read_fractions = {0.50, 0.75, 0.90, 0.95, 0.99};
 
-  std::printf("Figure 4: throughput (Ops/s) and speedup vs PBFT, 256B values\n");
+  std::printf(
+      "Figure 4: throughput (Ops/s) and speedup vs PBFT, 256B values\n");
   std::printf("%-8s %12s %12s %12s %12s %12s\n", "R%", "PBFT", "R-Raft", "R-CR",
               "R-AllConcur", "R-ABD");
 

@@ -17,13 +17,15 @@ kv::KvConfig confidential() {
 
 void fill(kv::KvStore& store, std::size_t keys, std::size_t value_size) {
   for (std::size_t i = 0; i < keys; ++i) {
-    store.write(workload::key_name(i), as_view(workload::make_value(value_size, i)));
+    store.write(workload::key_name(i), as_view(workload::make_value(value_size,
+                                                                    i)));
   }
 }
 
 void BM_KvWrite(benchmark::State& state) {
   kv::KvStore store;
-  const Bytes value = workload::make_value(static_cast<std::size_t>(state.range(0)), 1);
+  const Bytes value =
+      workload::make_value(static_cast<std::size_t>(state.range(0)), 1);
   std::uint64_t i = 0;
   for (auto _ : state) {
     benchmark::DoNotOptimize(
@@ -57,7 +59,8 @@ void BM_KvTimestampLookup(benchmark::State& state) {
   fill(store, 10000, 256);
   Rng rng(3);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(store.timestamp(workload::key_name(rng.below(10000))));
+    benchmark::DoNotOptimize(
+        store.timestamp(workload::key_name(rng.below(10000))));
   }
 }
 BENCHMARK(BM_KvTimestampLookup);

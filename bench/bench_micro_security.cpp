@@ -35,7 +35,8 @@ void BM_ShieldMsg(benchmark::State& state) {
   auto policy = f.make_policy(f.sender_enclave, NodeId{1}, false);
   const Bytes payload(static_cast<std::size_t>(state.range(0)), 0xAB);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(policy.shield(NodeId{2}, ViewId{0}, as_view(payload)));
+    benchmark::DoNotOptimize(policy.shield(NodeId{2}, ViewId{0},
+                                           as_view(payload)));
   }
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
                           state.range(0));

@@ -177,7 +177,8 @@ int main(int argc, char** argv) {
       LegacySecurity legacy_b(root, NodeId{2});
       const double legacy = measure_pairs_per_sec([&] {
         Bytes wire =
-            legacy_a.shield(NodeId{2}, ViewId{1}, as_view(payload), confidential);
+            legacy_a.shield(NodeId{2}, ViewId{1}, as_view(payload),
+                            confidential);
         if (!legacy_b.verify(NodeId{1}, as_view(wire))) std::abort();
       });
 
@@ -186,7 +187,8 @@ int main(int argc, char** argv) {
       LegacySecurity prepr_b(root, NodeId{2});
       const double prepr = measure_pairs_per_sec([&] {
         Bytes wire =
-            prepr_a.shield(NodeId{2}, ViewId{1}, as_view(payload), confidential);
+            prepr_a.shield(NodeId{2}, ViewId{1}, as_view(payload),
+                           confidential);
         if (!prepr_b.verify(NodeId{1}, as_view(wire))) std::abort();
       });
       crypto::Sha256::set_hardware_acceleration(true);
@@ -209,13 +211,15 @@ int main(int argc, char** argv) {
   }
   std::fprintf(f,
                "{\n  \"bench\": \"shield_verify\",\n"
-               "  \"unit\": \"shield+verify pairs per second, single channel\",\n"
+               "  \"unit\": \"shield+verify pairs per second, "
+               "single channel\",\n"
                "  \"sha256_hardware\": %s,\n  \"results\": [\n",
                crypto::Sha256::hardware_accelerated() ? "true" : "false");
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
     std::fprintf(f,
-                 "    {\"payload_bytes\": %zu, \"mode\": \"%s\", \"impl\": \"%s\", "
+                 "    {\"payload_bytes\": %zu, \"mode\": \"%s\", "
+                 "\"impl\": \"%s\", "
                  "\"pairs_per_sec\": %.0f, \"payload_mb_per_sec\": %.2f}%s\n",
                  r.payload, r.mode, r.impl, r.pairs_per_sec, r.mb_per_sec,
                  i + 1 < rows.size() ? "," : "");
@@ -227,7 +231,8 @@ int main(int argc, char** argv) {
     const Row& legacy = rows[i + 1];
     const Row& prepr = rows[i + 2];
     std::fprintf(f,
-                 "%s    {\"payload_bytes\": %zu, \"mode\": \"%s\", \"ratio\": %.2f, "
+                 "%s    {\"payload_bytes\": %zu, \"mode\": \"%s\", "
+                 "\"ratio\": %.2f, "
                  "\"architectural_only_ratio\": %.2f}",
                  first ? "" : ",\n", fast.payload, fast.mode,
                  fast.pairs_per_sec / prepr.pairs_per_sec,

@@ -41,23 +41,29 @@ int main() {
   double cas_mean = 0, ias_mean = 0;
   const int kRuns = 10;
   for (int run = 0; run < kRuns; ++run) {
-    tee::Enclave e1(platform, "recipe-replica", 100 + static_cast<std::uint64_t>(run));
+    tee::Enclave e1(platform, "recipe-replica",
+                    100 + static_cast<std::uint64_t>(run));
     rpc::RpcObject r1(simulator, network, NodeId{1},
                       net::NetStackParams::direct_io_native());
     attest::AttestationClient c1(r1, e1, nullptr);
-    tee::Enclave e2(platform, "recipe-replica", 200 + static_cast<std::uint64_t>(run));
+    tee::Enclave e2(platform, "recipe-replica",
+                    200 + static_cast<std::uint64_t>(run));
     rpc::RpcObject r2(simulator, network, NodeId{2},
                       net::NetStackParams::kernel_native());
     attest::AttestationClient c2(r2, e2, nullptr);
 
     cas.attest_and_provision(NodeId{1}, NodeId{1}, true,
                              [&](Status s, sim::Time t) {
-                               if (s.is_ok()) cas_mean += static_cast<double>(t);
+                               if (s.is_ok()) {
+                                 cas_mean += static_cast<double>(t);
+                               }
                              });
     simulator.run_all();
     ias.attest_and_provision(NodeId{2}, NodeId{2}, true,
                              [&](Status s, sim::Time t) {
-                               if (s.is_ok()) ias_mean += static_cast<double>(t);
+                               if (s.is_ok()) {
+                                 ias_mean += static_cast<double>(t);
+                               }
                              });
     simulator.run_all();
   }

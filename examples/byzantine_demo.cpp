@@ -42,7 +42,8 @@ struct Deployment {
     }
     for (auto& replica : replicas) replica->start();
 
-    client_enclave = std::make_unique<tee::Enclave>(platform, "recipe-client", 2000);
+    client_enclave = std::make_unique<tee::Enclave>(platform, "recipe-client",
+                                                    2000);
     (void)client_enclave->install_secret(attest::kClusterRootName, root);
     ClientOptions options;
     options.id = ClientId{2000};
@@ -102,10 +103,13 @@ struct Deployment {
       auto value = replicas[i]->kv().get("balance");
       std::printf("  replica %zu stores: %s\n", i + 1,
                   value.is_ok()
-                      ? ("\"" + to_string(as_view(value.value().value)) + "\"").c_str()
+                      ? ("\"" + to_string(as_view(value.value().value)) +
+                         "\"")
+                            .c_str()
                       : "(nothing)");
       if (auto* sec = dynamic_cast<RecipeSecurity*>(&replicas[i]->security())) {
-        std::printf("             rejected: %llu forged/tampered, %llu replays\n",
+        std::printf(
+            "             rejected: %llu forged/tampered, %llu replays\n",
                     static_cast<unsigned long long>(sec->rejected_auth()),
                     static_cast<unsigned long long>(sec->rejected_replay()));
       }
@@ -116,7 +120,8 @@ struct Deployment {
 }  // namespace
 
 int main() {
-  std::printf("Scenario: client writes balance=\"100 coins\" while a Dolev-Yao\n"
+  std::printf(
+      "Scenario: client writes balance=\"100 coins\" while a Dolev-Yao\n"
               "adversary tampers with and replays all replication traffic.\n");
 
   {

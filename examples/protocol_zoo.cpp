@@ -36,13 +36,15 @@ void row(const char* name, const char* ordering, const char* coordination,
          const char* reads, const workload::RunResult& result) {
   std::printf("%-13s %-10s %-13s %-22s %10.0f %10llu\n", name, ordering,
               coordination, reads, result.ops_per_sec,
-              static_cast<unsigned long long>(result.latency_us.percentile(0.5)));
+              static_cast<unsigned long long>(
+                  result.latency_us.percentile(0.5)));
 }
 
 }  // namespace
 
 int main() {
-  std::printf("Recipe protocol zoo — 3 replicas, 8 clients, 90%% reads, 256B\n\n");
+  std::printf(
+      "Recipe protocol zoo — 3 replicas, 8 clients, 90%% reads, 256B\n\n");
   std::printf("%-13s %-10s %-13s %-22s %10s %10s\n", "protocol", "ordering",
               "coordination", "reads", "ops/s", "p50(us)");
 
@@ -77,7 +79,8 @@ int main() {
         testbed.run(testbed.route_round_robin()));
   }
 
-  std::printf("\nFor comparison, the classical BFT baseline needs 3f+1 nodes:\n");
+  std::printf(
+      "\nFor comparison, the classical BFT baseline needs 3f+1 nodes:\n");
   {
     TestbedConfig config = base_config();
     config.num_replicas = 4;

@@ -4,7 +4,7 @@
 // What this shows (paper Listing 1): the protocol implementation is
 // UNCHANGED between native and Recipe mode; the transformation is the
 // security policy the node is constructed with. Build & run:
-//   cmake -B build -G Ninja && cmake --build build && ./build/examples/quickstart
+// cmake -B build -G Ninja && cmake --build build && ./build/examples/quickstart
 #include <cstdio>
 #include <memory>
 #include <vector>

@@ -38,11 +38,13 @@ Result<SecretsBundle> SecretsBundle::parse(BytesView data) {
   bundle.assigned_id = *id;
   for (std::uint32_t i = 0; i < *n_members; ++i) {
     auto m = r.id<NodeId>();
-    if (!m) return Status::error(ErrorCode::kInvalidArgument, "truncated bundle");
+    if (!m) return Status::error(ErrorCode::kInvalidArgument,
+                                 "truncated bundle");
     bundle.membership.push_back(*m);
   }
   auto n_keys = r.u32();
-  if (!n_keys) return Status::error(ErrorCode::kInvalidArgument, "truncated bundle");
+  if (!n_keys) return Status::error(ErrorCode::kInvalidArgument,
+                                    "truncated bundle");
   for (std::uint32_t i = 0; i < *n_keys; ++i) {
     auto peer = r.id<NodeId>();
     auto key = r.bytes();
@@ -98,7 +100,8 @@ Result<ProvisionInfo> open_and_install_bundle(tee::Enclave& enclave,
   auto nonce_counter = r.u64();
   auto ciphertext = r.bytes();
   if (!nonce_counter || !ciphertext) {
-    return Status::error(ErrorCode::kInvalidArgument, "truncated sealed bundle");
+    return Status::error(ErrorCode::kInvalidArgument,
+                         "truncated sealed bundle");
   }
   const auto nonce = crypto::make_nonce(0x4341u, *nonce_counter);
   crypto::chacha20_xor(key.value().view(), nonce, 0, *ciphertext);
@@ -109,17 +112,19 @@ Result<ProvisionInfo> open_and_install_bundle(tee::Enclave& enclave,
   // Install secrets inside the enclave.
   for (auto& [peer, chan_key] : bundle.value().channel_keys) {
     const Status st = enclave.install_secret(
-        channel_secret_name(bundle.value().assigned_id, peer), std::move(chan_key));
+        channel_secret_name(bundle.value().assigned_id,
+                            peer), std::move(chan_key));
     if (!st.is_ok()) return st;
   }
   if (bundle.value().confidentiality) {
     const Status st =
-        enclave.install_secret(kValueKeyName, std::move(bundle.value().value_key));
+        enclave.install_secret(kValueKeyName,
+                               std::move(bundle.value().value_key));
     if (!st.is_ok()) return st;
   }
   if (!bundle.value().root_key.empty()) {
-    const Status st = enclave.install_secret(kClusterRootName,
-                                             std::move(bundle.value().root_key));
+    const Status st = enclave.install_secret(
+        kClusterRootName, std::move(bundle.value().root_key));
     if (!st.is_ok()) return st;
   }
 

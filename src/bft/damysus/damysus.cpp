@@ -8,7 +8,8 @@ DamysusNode::DamysusNode(sim::Simulator& simulator, net::SimNetwork& network,
       damysus_(damysus_options) {
   // Replica side: CHECKER validates the proposal (trusted call), stores the
   // batch and votes (the RPC response is the vote).
-  on(damysus_msg::kPrepare, [this](VerifiedEnvelope& env, rpc::RequestContext& ctx) {
+  on(damysus_msg::kPrepare, [this](VerifiedEnvelope& env,
+                                   rpc::RequestContext& ctx) {
     if (env.sender != leader()) return;
     Reader r(as_view(env.payload));
     auto view = r.u64();

@@ -22,8 +22,10 @@
 namespace recipe::bft {
 
 namespace damysus_msg {
-constexpr rpc::RequestType kPrepare = 0xDA01;  // leader -> replicas [view,seq,batch]
-constexpr rpc::RequestType kCommit = 0xDA02;   // leader -> replicas [view,seq,cert]
+// leader -> replicas [view,seq,batch]
+constexpr rpc::RequestType kPrepare = 0xDA01;
+// leader -> replicas [view,seq,cert]
+constexpr rpc::RequestType kCommit = 0xDA02;
 }  // namespace damysus_msg
 
 struct DamysusOptions {

@@ -36,11 +36,14 @@ PbftNode::PbftNode(sim::Simulator& simulator, net::SimNetwork& network,
                    ReplicaOptions options)
     : ReplicaNode(simulator, network, std::move(options)) {
   on(pbft_msg::kPrePrepare,
-     [this](VerifiedEnvelope& env, rpc::RequestContext&) { handle_pre_prepare(env); });
+     [this](VerifiedEnvelope& env,
+            rpc::RequestContext&) { handle_pre_prepare(env); });
   on(pbft_msg::kPrepare,
-     [this](VerifiedEnvelope& env, rpc::RequestContext&) { handle_prepare(env); });
+     [this](VerifiedEnvelope& env,
+            rpc::RequestContext&) { handle_prepare(env); });
   on(pbft_msg::kCommit,
-     [this](VerifiedEnvelope& env, rpc::RequestContext&) { handle_commit(env); });
+     [this](VerifiedEnvelope& env,
+            rpc::RequestContext&) { handle_commit(env); });
   on(pbft_msg::kViewChange,
      [this](VerifiedEnvelope& env, rpc::RequestContext&) {
        Reader r(as_view(env.payload));
@@ -114,7 +117,8 @@ void PbftNode::handle_pre_prepare(VerifiedEnvelope& env) {
   slot.prepares.insert(self());
 
   charge_mac(slot.request.size());
-  broadcast(pbft_msg::kPrepare, as_view(encode_phase(view_, *seq, slot.digest)));
+  broadcast(pbft_msg::kPrepare, as_view(encode_phase(view_, *seq,
+                                                     slot.digest)));
   maybe_prepared(*seq);
 }
 

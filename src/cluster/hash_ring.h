@@ -68,11 +68,15 @@ class ConsistentHashRing {
   static std::uint64_t hash_of(std::string_view data) {
     const auto digest = crypto::Sha256::hash(as_view(data));
     std::uint64_t h = 0;
-    for (int i = 0; i < 8; ++i) h |= static_cast<std::uint64_t>(digest[static_cast<std::size_t>(i)]) << (8 * i);
+    for (int i = 0; i < 8; ++i) {
+      h |= static_cast<std::uint64_t>(digest[static_cast<std::size_t>(i)])
+           << (8 * i);
+    }
     return h;
   }
   std::uint64_t point(ShardId shard, std::size_t v) const {
-    return hash_of("shard:" + std::to_string(shard) + "/vn:" + std::to_string(v));
+    return hash_of("shard:" + std::to_string(shard) + "/vn:" +
+                   std::to_string(v));
   }
 
   std::size_t virtual_nodes_;

@@ -43,11 +43,12 @@ ProtocolRegistry::ProtocolRegistry() {
   register_protocol("craq",
                     [](sim::Simulator& s, net::SimNetwork& n,
                        ReplicaOptions o) -> std::unique_ptr<ReplicaNode> {
-                      return std::make_unique<protocols::CraqNode>(s, n,
-                                                                   std::move(o));
+                      return std::make_unique<protocols::CraqNode>(
+                          s, n, std::move(o));
                     });
-  register_protocol("abd", [](sim::Simulator& s, net::SimNetwork& n,
-                              ReplicaOptions o) -> std::unique_ptr<ReplicaNode> {
+  register_protocol("abd",
+                    [](sim::Simulator& s, net::SimNetwork& n,
+                       ReplicaOptions o) -> std::unique_ptr<ReplicaNode> {
     return std::make_unique<protocols::AbdNode>(s, n, std::move(o));
   });
   register_protocol("hermes",

@@ -22,7 +22,8 @@ inline std::string to_string(BytesView b) {
   return std::string(reinterpret_cast<const char*>(b.data()), b.size());
 }
 
-inline BytesView as_view(const Bytes& b) { return BytesView(b.data(), b.size()); }
+inline BytesView as_view(const Bytes& b) { return BytesView(b.data(),
+                                                            b.size()); }
 
 inline BytesView as_view(std::string_view s) {
   return BytesView(reinterpret_cast<const std::uint8_t*>(s.data()), s.size());

@@ -12,7 +12,9 @@ inline void store_le32(std::uint8_t* out, std::uint32_t v) {
   if constexpr (std::endian::native == std::endian::little) {
     std::memcpy(out, &v, 4);
   } else {
-    for (int i = 0; i < 4; ++i) out[i] = static_cast<std::uint8_t>(v >> (8 * i));
+    for (int i = 0; i < 4; ++i) {
+      out[i] = static_cast<std::uint8_t>(v >> (8 * i));
+    }
   }
 }
 
@@ -20,7 +22,9 @@ inline void store_le64(std::uint8_t* out, std::uint64_t v) {
   if constexpr (std::endian::native == std::endian::little) {
     std::memcpy(out, &v, 8);
   } else {
-    for (int i = 0; i < 8; ++i) out[i] = static_cast<std::uint8_t>(v >> (8 * i));
+    for (int i = 0; i < 8; ++i) {
+      out[i] = static_cast<std::uint8_t>(v >> (8 * i));
+    }
   }
 }
 
@@ -29,7 +33,9 @@ inline std::uint32_t load_le32(const std::uint8_t* p) {
   if constexpr (std::endian::native == std::endian::little) {
     std::memcpy(&v, p, 4);
   } else {
-    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+    }
   }
   return v;
 }
@@ -39,7 +45,9 @@ inline std::uint64_t load_le64(const std::uint8_t* p) {
   if constexpr (std::endian::native == std::endian::little) {
     std::memcpy(&v, p, 8);
   } else {
-    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    }
   }
   return v;
 }

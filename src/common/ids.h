@@ -56,7 +56,8 @@ constexpr NodeId kNoNode{~0ULL};
 namespace std {
 template <typename Tag, typename Rep>
 struct hash<recipe::detail::StrongId<Tag, Rep>> {
-  size_t operator()(const recipe::detail::StrongId<Tag, Rep>& id) const noexcept {
+  size_t operator()(const recipe::detail::StrongId<Tag,
+                    Rep>& id) const noexcept {
     return std::hash<Rep>{}(id.value);
   }
 };

@@ -44,7 +44,9 @@ void Histogram::record(std::uint64_t value) {
 }
 
 void Histogram::merge(const Histogram& other) {
-  for (std::size_t i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
   count_ += other.count_;
   sum_ += other.sum_;
   min_ = std::min(min_, other.min_);

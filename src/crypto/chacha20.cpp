@@ -36,7 +36,8 @@ void chacha20_block(const std::uint32_t state[16], std::uint8_t out[64]) {
 
 }  // namespace
 
-void chacha20_xor(BytesView key, const ChaChaNonce& nonce, std::uint32_t counter,
+void chacha20_xor(BytesView key, const ChaChaNonce& nonce,
+                  std::uint32_t counter,
                   std::uint8_t* data, std::size_t len) {
   assert(key.size() == kChaChaKeySize);
 
@@ -60,7 +61,8 @@ void chacha20_xor(BytesView key, const ChaChaNonce& nonce, std::uint32_t counter
   }
 }
 
-void chacha20_xor(BytesView key, const ChaChaNonce& nonce, std::uint32_t counter,
+void chacha20_xor(BytesView key, const ChaChaNonce& nonce,
+                  std::uint32_t counter,
                   Bytes& data) {
   chacha20_xor(key, nonce, counter, data.data(), data.size());
 }

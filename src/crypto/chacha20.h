@@ -22,9 +22,11 @@ using ChaChaNonce = std::array<std::uint8_t, kChaChaNonceSize>;
 // (RFC 8439 uses 1 for AEAD payloads; we use 0 for raw streams). The raw
 // pointer form lets callers transform a region inside a larger wire buffer
 // without staging the payload in a separate allocation.
-void chacha20_xor(BytesView key, const ChaChaNonce& nonce, std::uint32_t counter,
+void chacha20_xor(BytesView key, const ChaChaNonce& nonce,
+                  std::uint32_t counter,
                   std::uint8_t* data, std::size_t len);
-void chacha20_xor(BytesView key, const ChaChaNonce& nonce, std::uint32_t counter,
+void chacha20_xor(BytesView key, const ChaChaNonce& nonce,
+                  std::uint32_t counter,
                   Bytes& data);
 
 // Convenience: returns the transformed copy.

@@ -29,7 +29,8 @@ DhKeyPair DiffieHellman::generate(Rng& rng) {
   return DhKeyPair{priv, public_from_private(priv)};
 }
 
-std::uint64_t DiffieHellman::public_from_private(std::uint64_t private_exponent) {
+std::uint64_t DiffieHellman::public_from_private(
+    std::uint64_t private_exponent) {
   return modexp(kGenerator, private_exponent, kPrime);
 }
 

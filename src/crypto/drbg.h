@@ -27,7 +27,8 @@ class Drbg {
     while (out.size() < n) {
       advance_counter();
       const Mac block = hmac_.mac(as_view(counter_bytes_));
-      const std::size_t take = std::min<std::size_t>(block.size(), n - out.size());
+      const std::size_t take = std::min<std::size_t>(block.size(),
+                                                     n - out.size());
       out.insert(out.end(), block.begin(),
                  block.begin() + static_cast<std::ptrdiff_t>(take));
     }
@@ -37,11 +38,16 @@ class Drbg {
   std::uint64_t generate_u64() {
     const Bytes b = generate(8);
     std::uint64_t v = 0;
-    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(b[static_cast<std::size_t>(i)]) << (8 * i);
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(b[static_cast<std::size_t>(i)])
+           << (8 * i);
+    }
     return v;
   }
 
-  SymmetricKey generate_key() { return SymmetricKey{generate(kSymmetricKeySize)}; }
+  SymmetricKey generate_key() {
+    return SymmetricKey{generate(kSymmetricKeySize)};
+  }
 
  private:
   void advance_counter() {

@@ -128,7 +128,8 @@ void process_blocks_sha_ni(std::uint32_t* state, const std::uint8_t* data,
 
     // Rounds 0-3
     __m128i msg0 = _mm_shuffle_epi8(
-        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 0)), kShuffleMask);
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 0)),
+        kShuffleMask);
     msg = _mm_add_epi32(
         msg0, _mm_set_epi64x(0xE9B5DBA5B5C0FBCFULL, 0x71374491428A2F98ULL));
     state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
@@ -137,7 +138,8 @@ void process_blocks_sha_ni(std::uint32_t* state, const std::uint8_t* data,
 
     // Rounds 4-7
     __m128i msg1 = _mm_shuffle_epi8(
-        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 16)), kShuffleMask);
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 16)),
+        kShuffleMask);
     msg = _mm_add_epi32(
         msg1, _mm_set_epi64x(0xAB1C5ED5923F82A4ULL, 0x59F111F13956C25BULL));
     state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
@@ -147,7 +149,8 @@ void process_blocks_sha_ni(std::uint32_t* state, const std::uint8_t* data,
 
     // Rounds 8-11
     __m128i msg2 = _mm_shuffle_epi8(
-        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 32)), kShuffleMask);
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 32)),
+        kShuffleMask);
     msg = _mm_add_epi32(
         msg2, _mm_set_epi64x(0x550C7DC3243185BEULL, 0x12835B01D807AA98ULL));
     state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
@@ -157,7 +160,8 @@ void process_blocks_sha_ni(std::uint32_t* state, const std::uint8_t* data,
 
     // Rounds 12-15
     __m128i msg3 = _mm_shuffle_epi8(
-        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 48)), kShuffleMask);
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 48)),
+        kShuffleMask);
     msg = _mm_add_epi32(
         msg3, _mm_set_epi64x(0xC19BF1749BDC06A7ULL, 0x80DEB1FE72BE5D74ULL));
     state1 = _mm_sha256rnds2_epu32(state1, state0, msg);

@@ -4,7 +4,8 @@
 
 namespace recipe::protocols {
 
-AllConcurNode::AllConcurNode(sim::Simulator& simulator, net::SimNetwork& network,
+AllConcurNode::AllConcurNode(sim::Simulator& simulator,
+                             net::SimNetwork& network,
                              ReplicaOptions options,
                              AllConcurOptions ac_options)
     : ReplicaNode(simulator, network, std::move(options)), ac_(ac_options) {

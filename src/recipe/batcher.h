@@ -45,7 +45,8 @@ class MessageBatcher {
  public:
   // Invoked with the finalized batch body when a peer's batch flushes; the
   // owner shields it (SecurityPolicy::shield_batch) and ships one frame.
-  using FlushFn = std::function<void(NodeId peer, Bytes body, std::size_t count)>;
+  using FlushFn = std::function<void(NodeId peer, Bytes body,
+                                     std::size_t count)>;
 
   MessageBatcher(sim::Simulator& simulator, BatchConfig config, FlushFn flush);
   ~MessageBatcher();

@@ -54,7 +54,8 @@ void write_frame_mac(Bytes& wire, const crypto::Hmac& hmac) {
 
 Result<ShieldedView> ShieldedView::parse(BytesView wire) {
   if (wire.size() < kShieldedPayloadOffset) {
-    return Status::error(ErrorCode::kInvalidArgument, "malformed shielded message");
+    return Status::error(ErrorCode::kInvalidArgument,
+                         "malformed shielded message");
   }
   const std::uint8_t* in = wire.data();
   ShieldedView v;
@@ -68,11 +69,13 @@ Result<ShieldedView> ShieldedView::parse(BytesView wire) {
   const std::uint64_t payload_len = load_le32(in + kShieldedHeaderSize);
   const std::uint64_t mac_at = kShieldedPayloadOffset + payload_len;
   if (mac_at + 4 > wire.size()) {
-    return Status::error(ErrorCode::kInvalidArgument, "malformed shielded message");
+    return Status::error(ErrorCode::kInvalidArgument,
+                         "malformed shielded message");
   }
   const std::uint64_t mac_len = load_le32(in + mac_at);
   if (mac_at + 4 + mac_len != wire.size()) {  // trailing garbage or truncation
-    return Status::error(ErrorCode::kInvalidArgument, "malformed shielded message");
+    return Status::error(ErrorCode::kInvalidArgument,
+                         "malformed shielded message");
   }
   v.payload = wire.subspan(kShieldedPayloadOffset, payload_len);
   v.mac = wire.subspan(mac_at + 4, mac_len);
@@ -118,7 +121,8 @@ Result<ShieldedMessage> ShieldedMessage::parse(BytesView wire) {
   auto mac = r.bytes();
   if (!view || !cq || !cnt || !sender || !receiver || !flags || !payload ||
       !mac || !r.exhausted()) {
-    return Status::error(ErrorCode::kInvalidArgument, "malformed shielded message");
+    return Status::error(ErrorCode::kInvalidArgument,
+                         "malformed shielded message");
   }
   msg.header.view = *view;
   msg.header.cq = *cq;

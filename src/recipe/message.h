@@ -156,7 +156,9 @@ class BatchView {
 
   std::size_t size() const { return items_.size(); }
   const BatchItem& operator[](std::size_t i) const { return items_[i]; }
-  std::vector<BatchItem>::const_iterator begin() const { return items_.begin(); }
+  std::vector<BatchItem>::const_iterator begin() const {
+    return items_.begin();
+  }
   std::vector<BatchItem>::const_iterator end() const { return items_.end(); }
 
  private:

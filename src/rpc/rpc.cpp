@@ -59,7 +59,8 @@ std::uint64_t RpcObject::send(NodeId dst, RequestType type, Bytes payload,
           /*holds_credit=*/true);
   }
   ++requests_sent_;
-  enqueue(QueuedSend{dst, type, rpc_id, std::move(payload), /*is_response=*/false,
+  enqueue(QueuedSend{dst, type, rpc_id, std::move(payload),
+                     /*is_response=*/false,
                      /*consumes_credit=*/tracked});
   return rpc_id;
 }
@@ -109,7 +110,8 @@ bool RpcObject::settle(std::uint64_t rpc_id) {
 
 void RpcObject::respond_internal(NodeId dst, RequestType type,
                                  std::uint64_t rpc_id, Bytes payload) {
-  enqueue(QueuedSend{dst, type, rpc_id, std::move(payload), /*is_response=*/true,
+  enqueue(QueuedSend{dst, type, rpc_id, std::move(payload),
+                     /*is_response=*/true,
                      /*consumes_credit=*/false});
 }
 
@@ -138,7 +140,8 @@ void RpcObject::transmit(QueuedSend&& item) {
   packet.src = self_;
   packet.dst = item.dst;
   packet.type = kRpcPacketType;
-  packet.payload = encode_rpc(kind, item.type, item.rpc_id, as_view(item.payload));
+  packet.payload = encode_rpc(kind, item.type, item.rpc_id,
+                              as_view(item.payload));
   network_.send(std::move(packet));
 }
 
@@ -191,7 +194,8 @@ void RpcObject::on_packet(net::Packet&& packet) {
   pending.timeout_timer.cancel();
   if (pending.holds_credit) release_credit(pending.dst);
   ++responses_received_;
-  if (pending.continuation) pending.continuation(packet.src, std::move(*payload));
+  if (pending.continuation) pending.continuation(packet.src,
+                                                 std::move(*payload));
 }
 
 }  // namespace recipe::rpc

@@ -36,7 +36,8 @@ class TimerHandle {
 
  private:
   friend class Simulator;
-  explicit TimerHandle(std::weak_ptr<bool> flag) : cancelled_(std::move(flag)) {}
+  explicit TimerHandle(std::weak_ptr<bool> flag)
+      : cancelled_(std::move(flag)) {}
   std::weak_ptr<bool> cancelled_;
 };
 

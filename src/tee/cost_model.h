@@ -57,10 +57,12 @@ class TeeCostModel {
   sim::Time exitless_call() const { return scaled(p_.exitless_call_cost); }
 
   sim::Time mac(std::uint64_t bytes) const {
-    return scaled(p_.mac_base + ns(p_.mac_per_byte_ns * static_cast<double>(bytes)));
+    return scaled(p_.mac_base +
+                  ns(p_.mac_per_byte_ns * static_cast<double>(bytes)));
   }
   sim::Time hash(std::uint64_t bytes) const {
-    return scaled(p_.hash_base + ns(p_.hash_per_byte_ns * static_cast<double>(bytes)));
+    return scaled(p_.hash_base +
+                  ns(p_.hash_per_byte_ns * static_cast<double>(bytes)));
   }
   sim::Time encrypt(std::uint64_t bytes) const {
     return scaled(p_.encrypt_base +
@@ -70,8 +72,10 @@ class TeeCostModel {
   // Copying `bytes` through enclave memory while the enclave's resident
   // working set is `working_set_bytes`: beyond the EPC, a fraction of the
   // touched pages fault and pay the encrypted-paging cost.
-  sim::Time enclave_copy(std::uint64_t bytes, std::uint64_t working_set_bytes) const {
-    sim::Time cost = ns(p_.enclave_copy_per_byte_ns * static_cast<double>(bytes));
+  sim::Time enclave_copy(std::uint64_t bytes,
+                         std::uint64_t working_set_bytes) const {
+    sim::Time cost =
+        ns(p_.enclave_copy_per_byte_ns * static_cast<double>(bytes));
     if (working_set_bytes > p_.epc_size_bytes && working_set_bytes > 0) {
       const double miss_ratio =
           static_cast<double>(working_set_bytes - p_.epc_size_bytes) /

@@ -110,7 +110,8 @@ class Testbed {
 
     for (std::size_t c = 0; c < config_.num_clients; ++c) {
       const std::uint64_t id = 2000 + c;
-      auto enclave = std::make_unique<tee::Enclave>(platform_, "recipe-client", id);
+      auto enclave = std::make_unique<tee::Enclave>(platform_, "recipe-client",
+                                                    id);
       if (config_.secured) provision(*enclave);
       ClientOptions options;
       options.id = ClientId{id};

@@ -64,8 +64,10 @@ TEST(Abd, TimestampsOrderConcurrentWriters) {
   auto& c2 = cluster.add_client(2002);
 
   int done = 0;
-  c1.put(NodeId{1}, "k", to_bytes("from-c1"), [&](const ClientReply&) { ++done; });
-  c2.put(NodeId{2}, "k", to_bytes("from-c2"), [&](const ClientReply&) { ++done; });
+  c1.put(NodeId{1}, "k", to_bytes("from-c1"),
+         [&](const ClientReply&) { ++done; });
+  c2.put(NodeId{2}, "k", to_bytes("from-c2"),
+         [&](const ClientReply&) { ++done; });
   cluster.run_for(5 * sim::kSecond);
   ASSERT_EQ(done, 2);
 
@@ -123,7 +125,8 @@ TEST(Abd, FiveReplicasToleratesTwoCrashes) {
   cluster.crash(3);
   cluster.crash(4);
   EXPECT_TRUE(cluster.put(client, NodeId{2}, "k", "v2").ok);
-  EXPECT_EQ(to_string(as_view(cluster.get(client, NodeId{3}, "k").value)), "v2");
+  EXPECT_EQ(to_string(as_view(cluster.get(client, NodeId{3}, "k").value)),
+            "v2");
 }
 
 TEST(Abd, NativeModeSameSemantics) {

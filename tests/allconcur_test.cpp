@@ -40,8 +40,10 @@ TEST(AllConcur, ConcurrentWritersConvergeIdentically) {
   auto& c2 = cluster.add_client(2002);
 
   int done = 0;
-  c1.put(NodeId{1}, "k", to_bytes("via-node1"), [&](const ClientReply&) { ++done; });
-  c2.put(NodeId{3}, "k", to_bytes("via-node3"), [&](const ClientReply&) { ++done; });
+  c1.put(NodeId{1}, "k", to_bytes("via-node1"),
+         [&](const ClientReply&) { ++done; });
+  c2.put(NodeId{3}, "k", to_bytes("via-node3"),
+         [&](const ClientReply&) { ++done; });
   cluster.run_for(5 * sim::kSecond);
   ASSERT_EQ(done, 2);
 

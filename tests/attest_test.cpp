@@ -138,7 +138,8 @@ TEST(Attestation, WrongMeasurementRejected) {
   Harness h;
   h.cas.upload_plan(h.plan(), crypto::Sha256::hash(as_view("replica-code")));
 
-  tee::Enclave malware(h.platform, "malware-code", 1);  // genuine TEE, wrong code
+  tee::Enclave malware(h.platform, "malware-code",
+                       1);  // genuine TEE, wrong code
   rpc::RpcObject rpc(h.simulator, h.network, kReplica1,
                      net::NetStackParams::direct_io_native());
   AttestationClient client(rpc, malware, nullptr);
@@ -200,7 +201,8 @@ TEST(Attestation, SecretsConfidentialAgainstEavesdropper) {
 
   const Bytes& root = h.cas.cluster_root().material;
   for (const Bytes& captured : wire_capture) {
-    auto it = std::search(captured.begin(), captured.end(), root.begin(), root.end());
+    auto it = std::search(captured.begin(), captured.end(), root.begin(),
+                          root.end());
     EXPECT_EQ(it, captured.end()) << "cluster root leaked on the wire";
   }
 }
@@ -231,7 +233,8 @@ TEST(Attestation, IasPathIsSlowerThanCas) {
   ias_params.service_time = 2800 * sim::kMillisecond;
   net::NetStackParams wan = net::NetStackParams::kernel_native();
   wan.propagation_delay = 40 * sim::kMillisecond;
-  AttestationAuthority ias{h.simulator, h.network, NodeId{1002}, wan, ias_params};
+  AttestationAuthority ias{h.simulator, h.network, NodeId{1002}, wan,
+                           ias_params};
   ias.register_platform(h.platform);
   ias.upload_plan(h.plan(), crypto::Sha256::hash(as_view("replica-code")));
 

@@ -139,7 +139,8 @@ TEST(BatchFrame, ParserRejectsLengthCorruption) {
         // Extremely unlikely resynchronization: at minimum the first payload
         // must differ from the original.
         ASSERT_GE(r.value().size(), 1u);
-        EXPECT_NE(Bytes(r.value()[0].payload.begin(), r.value()[0].payload.end()),
+        EXPECT_NE(Bytes(r.value()[0].payload.begin(),
+                        r.value()[0].payload.end()),
                   items[0].payload);
       }
     }
@@ -186,8 +187,10 @@ struct SecurityPair {
   explicit SecurityPair(bool confidential = false)
       : a(enclave_a, NodeId{1}, nullptr, nullptr, cfg(confidential)),
         b(enclave_b, NodeId{2}, nullptr, nullptr, cfg(confidential)) {
-    EXPECT_TRUE(enclave_a.install_secret(attest::kClusterRootName, root).is_ok());
-    EXPECT_TRUE(enclave_b.install_secret(attest::kClusterRootName, root).is_ok());
+    EXPECT_TRUE(enclave_a.install_secret(attest::kClusterRootName,
+                                         root).is_ok());
+    EXPECT_TRUE(enclave_b.install_secret(attest::kClusterRootName,
+                                         root).is_ok());
   }
   static RecipeSecurityConfig cfg(bool confidential) {
     RecipeSecurityConfig c;
@@ -237,7 +240,8 @@ TEST(BatchShield, OneReplaySlotPerBatch) {
   for (int i = 0; i < 10; ++i) {
     frame.add(BatchItem::kKindRequest, 7, 100 + i, as_view(to_bytes("op")));
   }
-  auto wire = pair.a.shield_batch(NodeId{2}, ViewId{0}, as_view(frame.take_body()));
+  auto wire = pair.a.shield_batch(NodeId{2}, ViewId{0},
+                                  as_view(frame.take_body()));
   ASSERT_TRUE(wire.is_ok());
   ASSERT_TRUE(pair.b.verify(NodeId{1}, as_view(wire.value())).is_ok());
   // Replaying the whole batch burns on its SINGLE replay-window slot.

@@ -87,8 +87,10 @@ TEST(Batcher, TimerDrainsStragglers) {
   config.adaptive = false;
   auto batcher = fx.make(config);
 
-  batcher.enqueue(NodeId{2}, BatchItem::kKindRequest, 7, 1, as_view(to_bytes("x")));
-  batcher.enqueue(NodeId{3}, BatchItem::kKindResponse, 8, 2, as_view(to_bytes("y")));
+  batcher.enqueue(NodeId{2}, BatchItem::kKindRequest, 7, 1,
+                  as_view(to_bytes("x")));
+  batcher.enqueue(NodeId{3}, BatchItem::kKindResponse, 8, 2,
+                  as_view(to_bytes("y")));
   EXPECT_TRUE(fx.flushed.empty());
   fx.sim.run_for(10 * sim::kMicrosecond);
   ASSERT_EQ(fx.flushed.size(), 2u);
@@ -111,7 +113,8 @@ TEST(Batcher, AdaptiveDelayShrinksOnSparseTrafficAndRecovers) {
   // Lone messages flushed by timer: delay halves 64 -> 32 -> 16 -> 8 -> 4,
   // then floors at min_delay.
   for (int i = 0; i < 6; ++i) {
-    batcher.enqueue(peer, BatchItem::kKindRequest, 7, i, as_view(to_bytes("x")));
+    batcher.enqueue(peer, BatchItem::kKindRequest, 7, i,
+                    as_view(to_bytes("x")));
     fx.sim.run_for(sim::kSecond);
   }
   EXPECT_EQ(batcher.current_delay(peer), 4 * sim::kMicrosecond);
@@ -119,7 +122,8 @@ TEST(Batcher, AdaptiveDelayShrinksOnSparseTrafficAndRecovers) {
   // Near-full timer flushes grow it back toward max_delay.
   for (int round = 0; round < 6; ++round) {
     for (int i = 0; i < 12; ++i) {  // 12 < max_count: timer flush, > 1/4 full
-      batcher.enqueue(peer, BatchItem::kKindRequest, 7, i, as_view(to_bytes("x")));
+      batcher.enqueue(peer, BatchItem::kKindRequest, 7, i,
+                      as_view(to_bytes("x")));
     }
     fx.sim.run_for(sim::kSecond);
   }
@@ -132,7 +136,8 @@ TEST(Batcher, CancelAllDropsPendingWithoutFlushing) {
   config.max_delay = 10 * sim::kMicrosecond;
   auto batcher = fx.make(config);
 
-  batcher.enqueue(NodeId{2}, BatchItem::kKindRequest, 7, 1, as_view(to_bytes("x")));
+  batcher.enqueue(NodeId{2}, BatchItem::kKindRequest, 7, 1,
+                  as_view(to_bytes("x")));
   batcher.cancel_all();
   fx.sim.run_for(sim::kSecond);
   EXPECT_TRUE(fx.flushed.empty());

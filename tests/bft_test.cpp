@@ -42,7 +42,8 @@ TEST(Pbft, AllReplicasExecuteInOrder) {
   cluster.build();
   auto& client = cluster.add_client();
   for (int i = 0; i < 20; ++i) {
-    ASSERT_TRUE(cluster.put(client, NodeId{1}, "k", "v" + std::to_string(i)).ok);
+    ASSERT_TRUE(cluster.put(client, NodeId{1}, "k",
+                            "v" + std::to_string(i)).ok);
   }
   cluster.run_for(sim::kSecond);
   for (std::size_t n = 0; n < cluster.size(); ++n) {

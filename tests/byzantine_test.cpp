@@ -43,7 +43,8 @@ Bytes wrap_rpc(const RpcFrame& frame) {
   return std::move(w).take();
 }
 
-// --- Network tampering ----------------------------------------------------------
+// --- Network tampering
+// ----------------------------------------------------------
 
 TEST(Byzantine, TamperedReplicationTrafficDroppedUnderRecipe) {
   Cluster<AbdNode> cluster;
@@ -149,7 +150,8 @@ TEST(Byzantine, NativeCftAcceptsTamperedTraffic) {
                             "that the attack itself works)";
 }
 
-// --- Replay ----------------------------------------------------------------------
+// --- Replay
+// ----------------------------------------------------------------------
 
 TEST(Byzantine, ReplayedPacketsRejectedUnderRecipe) {
   Cluster<AbdNode> cluster;
@@ -165,7 +167,8 @@ TEST(Byzantine, ReplayedPacketsRejectedUnderRecipe) {
 
   ASSERT_TRUE(cluster.put(client, NodeId{1}, "k", "v1").ok);
   ASSERT_TRUE(cluster.put(client, NodeId{1}, "k", "v2").ok);
-  EXPECT_EQ(to_string(as_view(cluster.get(client, NodeId{2}, "k").value)), "v2");
+  EXPECT_EQ(to_string(as_view(cluster.get(client, NodeId{2}, "k").value)),
+            "v2");
 
   // The replicas observed and rejected replays.
   std::uint64_t replays = 0;
@@ -198,7 +201,8 @@ TEST(Byzantine, ReplayedClientRequestExecutesExactlyOnce) {
   EXPECT_EQ(cluster.node(0).committed_ops(), 1u);
 }
 
-// --- Forgery / impersonation --------------------------------------------------------
+// --- Forgery / impersonation
+// --------------------------------------------------------
 
 TEST(Byzantine, ForgedLeaderMessagesIgnored) {
   // The adversary injects fabricated "AppendEntries" packets claiming to be
@@ -273,7 +277,8 @@ TEST(Byzantine, ClientImpersonationRejected) {
   ASSERT_TRUE(mallory_enclave
                   .install_secret(attest::kClusterRootName, cluster.root())
                   .is_ok());
-  RecipeSecurity mallory_sec(mallory_enclave, NodeId{2001}, nullptr, nullptr, {});
+  RecipeSecurity mallory_sec(mallory_enclave, NodeId{2001}, nullptr, nullptr,
+                             {});
   auto wire = mallory_sec.shield(NodeId{1}, ViewId{0},
                                  as_view(forged.serialize()));
   ASSERT_TRUE(wire.is_ok());
@@ -286,7 +291,8 @@ TEST(Byzantine, ClientImpersonationRejected) {
   EXPECT_FALSE(cluster.node(0).kv().contains("victim-key"));
 }
 
-// --- Batched frames under attack -------------------------------------------------
+// --- Batched frames under attack
+// -------------------------------------------------
 //
 // Batching coalesces N sub-messages under ONE MAC and ONE replay-window
 // slot; the adversary attacks exactly that aggregation: replaying whole
@@ -504,7 +510,8 @@ TEST(Byzantine, TamperedBatchNeverPartiallyDelivered) {
   }
 }
 
-// --- Byzantine host memory ------------------------------------------------------------
+// --- Byzantine host memory
+// ------------------------------------------------------------
 
 TEST(Byzantine, HostMemoryCorruptionDetectedOnLocalRead) {
   Cluster<AbdNode> cluster;
@@ -526,7 +533,8 @@ TEST(Byzantine, HostMemoryCorruptionDetectedOnLocalRead) {
   EXPECT_EQ(to_string(as_view(get.value)), "v");
 }
 
-// --- Crash-only TEEs -----------------------------------------------------------------
+// --- Crash-only TEEs
+// -----------------------------------------------------------------
 
 TEST(Byzantine, CrashedEnclaveCannotEquivocateOrSend) {
   Cluster<AbdNode> cluster;

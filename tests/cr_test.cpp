@@ -68,7 +68,8 @@ TEST(ChainReplication, WritesApplyInOrderEverywhere) {
   cluster.build();
   auto& client = cluster.add_client();
   for (int i = 0; i < 30; ++i) {
-    ASSERT_TRUE(cluster.put(client, NodeId{1}, "k", "v" + std::to_string(i)).ok);
+    ASSERT_TRUE(cluster.put(client, NodeId{1}, "k",
+                            "v" + std::to_string(i)).ok);
   }
   for (std::size_t n = 0; n < cluster.size(); ++n) {
     EXPECT_EQ(to_string(as_view(cluster.node(n).kv().get("k").value().value)),
@@ -138,7 +139,8 @@ TEST(ChainReplication, HeadCrashPromotesSuccessor) {
 
   EXPECT_TRUE(cluster.node(1).is_head());
   EXPECT_TRUE(cluster.put(client, NodeId{2}, "k", "v2").ok);
-  EXPECT_EQ(to_string(as_view(cluster.get(client, NodeId{3}, "k").value)), "v2");
+  EXPECT_EQ(to_string(as_view(cluster.get(client, NodeId{3}, "k").value)),
+            "v2");
 }
 
 TEST(ChainReplication, InFlightWriteSurvivesTailCrash) {

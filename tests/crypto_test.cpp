@@ -100,7 +100,8 @@ TEST(Hmac, Rfc4231Case3) {
 TEST(Hmac, Rfc4231Case6LongKey) {
   const Bytes key(131, 0xaa);
   const Mac mac = hmac_sha256(
-      as_view(key), as_view("Test Using Larger Than Block-Size Key - Hash Key First"));
+      as_view(key),
+      as_view("Test Using Larger Than Block-Size Key - Hash Key First"));
   EXPECT_EQ(to_hex(BytesView(mac.data(), mac.size())),
             "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
 }
@@ -212,7 +213,8 @@ TEST(Hkdf, Rfc5869Case3EmptySaltInfo) {
 
 TEST(Hkdf, OutputLengthRespected) {
   for (std::size_t n : {1u, 16u, 32u, 33u, 64u, 100u}) {
-    EXPECT_EQ(hkdf_sha256(as_view("ikm"), BytesView{}, BytesView{}, n).size(), n);
+    EXPECT_EQ(hkdf_sha256(as_view("ikm"), BytesView{}, BytesView{}, n).size(),
+              n);
   }
 }
 
@@ -262,9 +264,10 @@ TEST(ChaCha20, RawPointerRegionMatchesBytesOverload) {
   // Transform a region inside a larger buffer in place.
   chacha20_xor(as_view(key), nonce, 0, whole.data() + 7, region.size());
   chacha20_xor(as_view(key), nonce, 0, region);
-  EXPECT_EQ(Bytes(whole.begin() + 7,
-                  whole.begin() + 7 + static_cast<std::ptrdiff_t>(region.size())),
-            region);
+  EXPECT_EQ(
+      Bytes(whole.begin() + 7,
+            whole.begin() + 7 + static_cast<std::ptrdiff_t>(region.size())),
+      region);
   EXPECT_EQ(to_string(BytesView(whole.data(), 7)), "prefix|");
 }
 
@@ -282,7 +285,8 @@ TEST(ChannelNonce, RegressionLargeNodeIdsNoLongerCollide) {
   const std::uint64_t cq_ba = (b << 20) | (a & 0xFFFFF);
   ASSERT_NE(cq_ab, cq_ba);
   // The truncation that made the old scheme unsafe:
-  ASSERT_EQ(static_cast<std::uint32_t>(cq_ab), static_cast<std::uint32_t>(cq_ba));
+  ASSERT_EQ(static_cast<std::uint32_t>(cq_ab),
+            static_cast<std::uint32_t>(cq_ba));
   EXPECT_EQ(make_nonce(static_cast<std::uint32_t>(cq_ab), 1),
             make_nonce(static_cast<std::uint32_t>(cq_ba), 1));  // the old bug
   EXPECT_NE(make_channel_nonce(cq_ab, 1), make_channel_nonce(cq_ba, 1));
@@ -318,7 +322,8 @@ TEST(ChannelNonce, InjectiveUpToMessageLimit) {
             make_channel_nonce(cq, kChannelNonceMessageLimit));
 }
 
-// --- Diffie-Hellman -----------------------------------------------------------
+// --- Diffie-Hellman
+// -----------------------------------------------------------
 
 TEST(DiffieHellman, AgreementMatches) {
   Rng rng(11);
@@ -364,7 +369,8 @@ TEST(DiffieHellman, ModexpKnownValues) {
             1u);
 }
 
-// --- DRBG ---------------------------------------------------------------------
+// --- DRBG
+// ---------------------------------------------------------------------
 
 TEST(Drbg, DeterministicPerSeed) {
   Drbg a(as_view("seed-1"));

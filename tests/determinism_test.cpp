@@ -20,7 +20,8 @@ namespace {
 
 using testing::Cluster;
 
-// --- Determinism ---------------------------------------------------------------
+// --- Determinism
+// ---------------------------------------------------------------
 
 workload::RunResult run_once(std::uint64_t seed) {
   workload::TestbedConfig config;
@@ -81,7 +82,8 @@ TEST(Determinism, FaultScheduleReproducible) {
   EXPECT_EQ(run_with_faults(77), run_with_faults(77));
 }
 
-// --- Raft election safety ------------------------------------------------------
+// --- Raft election safety
+// ------------------------------------------------------
 
 class ElectionSafety : public ::testing::TestWithParam<std::uint64_t> {};
 

@@ -48,7 +48,8 @@ TEST(KvStore, TimestampedWriteRejectsStale) {
 TEST(KvStore, TimestampTieBrokenByNode) {
   KvStore kv;
   EXPECT_TRUE(kv.write("k", as_view("a"), Timestamp{5, 1}));
-  EXPECT_TRUE(kv.write("k", as_view("b"), Timestamp{5, 2}));  // higher node wins
+  EXPECT_TRUE(kv.write("k", as_view("b"), Timestamp{5,
+                                                    2}));  // higher node wins
   EXPECT_FALSE(kv.write("k", as_view("c"), Timestamp{5, 1}));
   EXPECT_EQ(to_string(as_view(kv.get("k").value().value)), "b");
 }
@@ -81,7 +82,8 @@ TEST(KvStore, ScanIsSorted) {
     keys.emplace_back(k);
     return true;
   });
-  EXPECT_EQ(keys, (std::vector<std::string>{"alpha", "bravo", "charlie", "delta"}));
+  EXPECT_EQ(keys, (std::vector<std::string>{"alpha", "bravo", "charlie",
+                                            "delta"}));
 }
 
 TEST(KvStore, ScanEarlyStop) {
@@ -116,7 +118,8 @@ TEST(KvStore, DetectsValueSwapAttack) {
   kv.write("alice", as_view("rich"));
   kv.write("bob", as_view("poor"));
   ASSERT_TRUE(kv.host_arena()
-                  .swap(kv.host_ptr("alice").value(), kv.host_ptr("bob").value())
+                  .swap(kv.host_ptr("alice").value(),
+                        kv.host_ptr("bob").value())
                   .is_ok());
   EXPECT_EQ(kv.get("alice").code(), ErrorCode::kIntegrityViolation);
   EXPECT_EQ(kv.get("bob").code(), ErrorCode::kIntegrityViolation);
@@ -137,7 +140,8 @@ TEST(KvStore, RewriteAfterCorruptionHeals) {
   EXPECT_EQ(to_string(as_view(kv.get("k").value().value)), "v2");
 }
 
-// --- Confidentiality mode ------------------------------------------------------
+// --- Confidentiality mode
+// ------------------------------------------------------
 
 KvConfig confidential_config() {
   KvConfig config;
@@ -179,7 +183,8 @@ TEST(KvStore, ConfidentialDetectsCorruption) {
   EXPECT_EQ(kv.get("k").code(), ErrorCode::kIntegrityViolation);
 }
 
-// --- Property sweep: random ops mirror a std::map model -------------------------
+// --- Property sweep: random ops mirror a std::map model
+// -------------------------
 
 class KvStoreModelTest : public ::testing::TestWithParam<std::uint64_t> {};
 

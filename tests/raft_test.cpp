@@ -88,7 +88,8 @@ TEST(Raft, LeaderCrashTriggersReelectionAndPreservesCommits) {
   cluster.build(fixed_leader());
   auto& client = cluster.add_client();
   for (int i = 0; i < 5; ++i) {
-    ASSERT_TRUE(cluster.put(client, NodeId{1}, "k" + std::to_string(i), "v").ok);
+    ASSERT_TRUE(cluster.put(client, NodeId{1}, "k" + std::to_string(i),
+                            "v").ok);
   }
   cluster.run_for(sim::kSecond);
 
@@ -148,7 +149,9 @@ TEST(Raft, ReadsLinearizableAfterFailover) {
   cluster.run_for(3 * sim::kSecond);
   RaftNode* leader = nullptr;
   for (std::size_t n = 1; n < cluster.size(); ++n) {
-    if (cluster.node(n).role() == RaftNode::Role::kLeader) leader = &cluster.node(n);
+    if (cluster.node(n).role() == RaftNode::Role::kLeader) {
+      leader = &cluster.node(n);
+    }
   }
   ASSERT_NE(leader, nullptr);
   auto& c2 = cluster.add_client(2002);

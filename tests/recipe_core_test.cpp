@@ -51,7 +51,8 @@ TEST(ShieldedMessage, DirectedChannelsDiffer) {
             directed_channel(NodeId{1}, NodeId{2}));
 }
 
-// --- Security policies ----------------------------------------------------------
+// --- Security policies
+// ----------------------------------------------------------
 
 struct SecurityFixture : public ::testing::Test {
   tee::TeePlatform platform{1};
@@ -60,8 +61,10 @@ struct SecurityFixture : public ::testing::Test {
   crypto::SymmetricKey root{Bytes(32, 0x77)};
 
   void SetUp() override {
-    ASSERT_TRUE(enclave_a.install_secret(attest::kClusterRootName, root).is_ok());
-    ASSERT_TRUE(enclave_b.install_secret(attest::kClusterRootName, root).is_ok());
+    ASSERT_TRUE(enclave_a.install_secret(attest::kClusterRootName,
+                                         root).is_ok());
+    ASSERT_TRUE(enclave_b.install_secret(attest::kClusterRootName,
+                                         root).is_ok());
   }
 
   RecipeSecurity make(tee::Enclave& e, NodeId self,
@@ -168,8 +171,10 @@ TEST_F(SecurityFixture, StrictModeBuffersFutureMessages) {
   auto m3 = a.shield(NodeId{2}, ViewId{1}, as_view("third"));
 
   // Deliver out of order: 3 and 2 are futures, buffered.
-  EXPECT_EQ(b.verify(NodeId{1}, as_view(m3.value())).code(), ErrorCode::kOutOfOrder);
-  EXPECT_EQ(b.verify(NodeId{1}, as_view(m2.value())).code(), ErrorCode::kOutOfOrder);
+  EXPECT_EQ(b.verify(NodeId{1}, as_view(m3.value())).code(),
+            ErrorCode::kOutOfOrder);
+  EXPECT_EQ(b.verify(NodeId{1}, as_view(m2.value())).code(),
+            ErrorCode::kOutOfOrder);
   EXPECT_EQ(b.buffered_future(), 2u);
   EXPECT_TRUE(b.drain_ready().empty());
 
@@ -192,7 +197,8 @@ TEST_F(SecurityFixture, StrictModeRejectsPast) {
   auto m2 = a.shield(NodeId{2}, ViewId{1}, as_view("2"));
   EXPECT_TRUE(b.verify(NodeId{1}, as_view(m1.value())).is_ok());
   EXPECT_TRUE(b.verify(NodeId{1}, as_view(m2.value())).is_ok());
-  EXPECT_EQ(b.verify(NodeId{1}, as_view(m1.value())).code(), ErrorCode::kReplay);
+  EXPECT_EQ(b.verify(NodeId{1}, as_view(m1.value())).code(),
+            ErrorCode::kReplay);
 }
 
 TEST_F(SecurityFixture, WindowModeAcceptsReorderingOnce) {
@@ -206,9 +212,12 @@ TEST_F(SecurityFixture, WindowModeAcceptsReorderingOnce) {
   EXPECT_TRUE(b.verify(NodeId{1}, as_view(m1.value())).is_ok());
   EXPECT_TRUE(b.verify(NodeId{1}, as_view(m2.value())).is_ok());
   // Replays of each are rejected.
-  EXPECT_EQ(b.verify(NodeId{1}, as_view(m1.value())).code(), ErrorCode::kReplay);
-  EXPECT_EQ(b.verify(NodeId{1}, as_view(m2.value())).code(), ErrorCode::kReplay);
-  EXPECT_EQ(b.verify(NodeId{1}, as_view(m3.value())).code(), ErrorCode::kReplay);
+  EXPECT_EQ(b.verify(NodeId{1}, as_view(m1.value())).code(),
+            ErrorCode::kReplay);
+  EXPECT_EQ(b.verify(NodeId{1}, as_view(m2.value())).code(),
+            ErrorCode::kReplay);
+  EXPECT_EQ(b.verify(NodeId{1}, as_view(m3.value())).code(),
+            ErrorCode::kReplay);
 }
 
 TEST_F(SecurityFixture, ConfidentialityHidesPayload) {
@@ -219,7 +228,8 @@ TEST_F(SecurityFixture, ConfidentialityHidesPayload) {
   const Bytes secret = to_bytes("top-secret-payload-material");
   auto wire = a.shield(NodeId{2}, ViewId{1}, as_view(secret));
   // Ciphertext on the wire: the plaintext must not be a substring.
-  auto it = std::search(wire.value().begin(), wire.value().end(), secret.begin(),
+  auto it = std::search(wire.value().begin(), wire.value().end(),
+                        secret.begin(),
                         secret.end());
   EXPECT_EQ(it, wire.value().end());
   auto env = b.verify(NodeId{1}, as_view(wire.value()));
@@ -239,11 +249,15 @@ TEST_F(SecurityFixture, StrictModeOverflowBumpsCounter) {
     wires.push_back(a.shield(NodeId{2}, ViewId{1}, as_view("m")).value());
   }
   // Deliver 2..5 while 1 is missing: two futures fit, the rest overflow.
-  EXPECT_EQ(b.verify(NodeId{1}, as_view(wires[1])).code(), ErrorCode::kOutOfOrder);
-  EXPECT_EQ(b.verify(NodeId{1}, as_view(wires[2])).code(), ErrorCode::kOutOfOrder);
+  EXPECT_EQ(b.verify(NodeId{1}, as_view(wires[1])).code(),
+            ErrorCode::kOutOfOrder);
+  EXPECT_EQ(b.verify(NodeId{1}, as_view(wires[2])).code(),
+            ErrorCode::kOutOfOrder);
   EXPECT_EQ(b.rejected_overflow(), 0u);
-  EXPECT_EQ(b.verify(NodeId{1}, as_view(wires[3])).code(), ErrorCode::kOutOfOrder);
-  EXPECT_EQ(b.verify(NodeId{1}, as_view(wires[4])).code(), ErrorCode::kOutOfOrder);
+  EXPECT_EQ(b.verify(NodeId{1}, as_view(wires[3])).code(),
+            ErrorCode::kOutOfOrder);
+  EXPECT_EQ(b.verify(NodeId{1}, as_view(wires[4])).code(),
+            ErrorCode::kOutOfOrder);
   EXPECT_EQ(b.rejected_overflow(), 2u);
   EXPECT_EQ(b.buffered_future(), 2u);  // overflowed drops were NOT buffered
 }
@@ -258,11 +272,13 @@ TEST_F(SecurityFixture, ChannelCryptoCacheInvalidatedByReattestation) {
   // Peer crashes, restarts, and re-attests under a DIFFERENT cluster root
   // (e.g. a new deployment secret). The receiver is told via reset_peer.
   enclave_a.crash();
+  // The cached context must not serve a crashed enclave.
   EXPECT_EQ(a.shield(NodeId{2}, ViewId{1}, as_view("x")).code(),
-            ErrorCode::kUnavailable);  // cached context must not serve a crashed enclave
+            ErrorCode::kUnavailable);
   enclave_a.restart();
   const crypto::SymmetricKey new_root{Bytes(32, 0x99)};
-  ASSERT_TRUE(enclave_a.install_secret(attest::kClusterRootName, new_root).is_ok());
+  ASSERT_TRUE(enclave_a.install_secret(attest::kClusterRootName,
+                                       new_root).is_ok());
   b.reset_peer(NodeId{1});
 
   // Sender's cache re-derives from the new root (keyset epoch moved), so
@@ -273,7 +289,8 @@ TEST_F(SecurityFixture, ChannelCryptoCacheInvalidatedByReattestation) {
             ErrorCode::kAuthFailed);
 
   // Once the receiver's enclave learns the new root too, traffic flows.
-  ASSERT_TRUE(enclave_b.install_secret(attest::kClusterRootName, new_root).is_ok());
+  ASSERT_TRUE(enclave_b.install_secret(attest::kClusterRootName,
+                                       new_root).is_ok());
   auto w3 = a.shield(NodeId{2}, ViewId{1}, as_view("agreed"));
   auto env = b.verify(NodeId{1}, as_view(w3.value()));
   ASSERT_TRUE(env.is_ok()) << env.status().to_string();
@@ -333,7 +350,8 @@ TEST(NullSecurity, PassthroughAcceptsAnything) {
   EXPECT_TRUE(b.verify(NodeId{1}, as_view(wire.value())).is_ok());
 }
 
-// --- Client table -----------------------------------------------------------------
+// --- Client table
+// -----------------------------------------------------------------
 
 TEST(ClientTable, ExactlyOnceStateMachine) {
   ClientTable table;
@@ -365,7 +383,8 @@ TEST(ClientTable, IndependentClients) {
             ClientTable::Decision::kExecute);
 }
 
-// --- QuorumTracker -------------------------------------------------------------
+// --- QuorumTracker
+// -------------------------------------------------------------
 
 TEST(QuorumTracker, FiresOnceAtThreshold) {
   int fired = 0;

@@ -16,7 +16,8 @@ namespace {
 
 using testing::Cluster;
 
-// --- Parser fuzzing -------------------------------------------------------------
+// --- Parser fuzzing
+// -------------------------------------------------------------
 
 class ParserFuzz : public ::testing::TestWithParam<std::uint64_t> {};
 
@@ -90,7 +91,8 @@ TEST(ParserFuzz, GarbageToEveryRpcHandlerIsHarmless) {
   EXPECT_TRUE(cluster.put(client, NodeId{1}, "k", "v").ok);
 }
 
-// --- Boundary cases ------------------------------------------------------------
+// --- Boundary cases
+// ------------------------------------------------------------
 
 TEST(Boundaries, EmptyValueRoundTrips) {
   Cluster<protocols::AbdNode> cluster;
@@ -156,9 +158,11 @@ TEST(Boundaries, CounterWindowSurvivesBurstOfTraffic) {
   auto old = sa.shield(NodeId{2}, ViewId{0}, as_view("m"));
   for (int i = 0; i < 200; ++i) {
     (void)sb.verify(NodeId{1},
-                    as_view(sa.shield(NodeId{2}, ViewId{0}, as_view("m")).value()));
+                    as_view(sa.shield(NodeId{2}, ViewId{0},
+                                      as_view("m")).value()));
   }
-  EXPECT_EQ(sb.verify(NodeId{1}, as_view(old.value())).code(), ErrorCode::kReplay);
+  EXPECT_EQ(sb.verify(NodeId{1}, as_view(old.value())).code(),
+            ErrorCode::kReplay);
 }
 
 TEST(Boundaries, StrictFutureBufferIsBounded) {

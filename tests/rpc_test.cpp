@@ -125,10 +125,13 @@ TEST(Rpc, CreditWindowQueuesExcessRequests) {
   RpcObject b{simulator, network, NodeId{2},
               net::NetStackParams::direct_io_native()};
   b.register_handler(kEcho,
-                     [](RequestContext& ctx) { ctx.respond(std::move(ctx.payload)); });
+                     [](RequestContext& ctx) {
+                       ctx.respond(std::move(ctx.payload));
+                     });
   int responses = 0;
   for (int i = 0; i < 10; ++i) {
-    a.send(NodeId{2}, kEcho, to_bytes("x"), [&](NodeId, Bytes) { ++responses; });
+    a.send(NodeId{2}, kEcho, to_bytes("x"), [&](NodeId,
+                                                Bytes) { ++responses; });
   }
   simulator.run_all();
   // All ten eventually complete; credits recycle as responses arrive.
@@ -153,7 +156,8 @@ TEST(Rpc, ConcurrentRequestsCorrelateCorrectly) {
 TEST(Rpc, MalformedPacketIgnored) {
   Harness h;
   // Inject garbage directly at the network layer.
-  h.network.send(net::Packet{NodeId{1}, NodeId{2}, 0xE59C0001, to_bytes("junk")});
+  h.network.send(net::Packet{NodeId{1}, NodeId{2}, 0xE59C0001,
+                             to_bytes("junk")});
   h.simulator.run_all();  // must not crash
   SUCCEED();
 }
@@ -161,7 +165,9 @@ TEST(Rpc, MalformedPacketIgnored) {
 TEST(Rpc, BidirectionalTraffic) {
   Harness h;
   h.a.register_handler(kEcho,
-                       [](RequestContext& ctx) { ctx.respond(std::move(ctx.payload)); });
+                       [](RequestContext& ctx) {
+                         ctx.respond(std::move(ctx.payload));
+                       });
   std::string got_a, got_b;
   h.a.send(NodeId{2}, kEcho, to_bytes("from-a"),
            [&](NodeId, Bytes p) { got_a = to_string(as_view(p)); });

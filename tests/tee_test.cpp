@@ -93,7 +93,9 @@ TEST(Enclave, SecretsGatedAndNamed) {
   EXPECT_FALSE(enclave.has_secret("k"));
   EXPECT_EQ(enclave.secret("k").code(), ErrorCode::kNotFound);
   ASSERT_TRUE(enclave
-                  .install_secret("k", crypto::SymmetricKey{to_bytes("0123456789abcdef0123456789abcdef")})
+                  .install_secret("k",
+                                  crypto::SymmetricKey{to_bytes(
+                                      "0123456789abcdef0123456789abcdef")})
                   .is_ok());
   EXPECT_TRUE(enclave.has_secret("k"));
   EXPECT_TRUE(enclave.secret("k").is_ok());
@@ -105,7 +107,8 @@ TEST(Enclave, CrashMakesEverythingFail) {
   (void)enclave.increment_counter(ChannelId{1});
   enclave.crash();
   EXPECT_TRUE(enclave.crashed());
-  EXPECT_EQ(enclave.attest(as_view(to_bytes("n"))).code(), ErrorCode::kUnavailable);
+  EXPECT_EQ(enclave.attest(as_view(to_bytes("n"))).code(),
+            ErrorCode::kUnavailable);
   EXPECT_EQ(enclave.increment_counter(ChannelId{1}).code(),
             ErrorCode::kUnavailable);
   EXPECT_EQ(enclave.secret("x").code(), ErrorCode::kUnavailable);
@@ -115,7 +118,9 @@ TEST(Enclave, CrashMakesEverythingFail) {
 TEST(Enclave, RestartWipesVolatileState) {
   TeePlatform platform(1);
   Enclave enclave(platform, "code", 1);
-  ASSERT_TRUE(enclave.install_secret("k", crypto::SymmetricKey{to_bytes("x")}).is_ok());
+  ASSERT_TRUE(
+      enclave.install_secret("k", crypto::SymmetricKey{to_bytes("x")})
+          .is_ok());
   (void)enclave.increment_counter(ChannelId{1});
   enclave.crash();
   enclave.restart();
@@ -139,7 +144,8 @@ TEST(Enclave, DhKeypairStableUntilRestart) {
   EXPECT_NE(enclave.dh_public().value(), pub1.value());
 }
 
-// --- Trusted lease ------------------------------------------------------------
+// --- Trusted lease
+// ------------------------------------------------------------
 
 TEST(TrustedLease, HeldUntilExpiry) {
   sim::Simulator s;
@@ -194,7 +200,8 @@ TEST(TrustedLease, SurelyExpiredRespectsMargin) {
 TEST(LeaseFailureDetector, SuspectsSilentPeers) {
   sim::Simulator s;
   TrustedClock clock(s);
-  LeaseFailureDetector fd(clock, 50 * sim::kMillisecond, 10 * sim::kMillisecond);
+  LeaseFailureDetector fd(clock, 50 * sim::kMillisecond,
+                          10 * sim::kMillisecond);
   const NodeId peer{2};
   EXPECT_TRUE(fd.suspected(peer));  // never heard from
   fd.heartbeat(peer);
@@ -207,7 +214,8 @@ TEST(LeaseFailureDetector, SuspectsSilentPeers) {
   EXPECT_TRUE(fd.suspected(peer));
 }
 
-// --- Cost model ------------------------------------------------------------------
+// --- Cost model
+// ------------------------------------------------------------------
 
 TEST(CostModel, CryptoScalesWithBytes) {
   TeeCostModel model;

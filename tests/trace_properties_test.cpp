@@ -55,7 +55,8 @@ class DolevYaoHarness {
       enclaves_.push_back(
           std::make_unique<tee::Enclave>(platform_, "code", id.value));
       EXPECT_TRUE(
-          enclaves_.back()->install_secret(attest::kClusterRootName, root_).is_ok());
+          enclaves_.back()->install_secret(attest::kClusterRootName,
+                                           root_).is_ok());
       RecipeSecurityConfig config;
       config.order = order;
       policies_.push_back(std::make_unique<RecipeSecurity>(
@@ -77,8 +78,8 @@ class DolevYaoHarness {
       } else if (action < 86) {  // tamper: flip a byte somewhere
         Captured msg = wire_[rng_.below(wire_.size())];
         if (!msg.wire.empty()) {
-          msg.wire[rng_.below(msg.wire.size())] ^= 1 + static_cast<std::uint8_t>(
-              rng_.below(255));
+          msg.wire[rng_.below(msg.wire.size())] ^=
+              1 + static_cast<std::uint8_t>(rng_.below(255));
           inject(msg);
         }
       } else if (action < 93) {  // splice: old payload, bumped counter

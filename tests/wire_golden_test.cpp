@@ -33,7 +33,8 @@ struct GoldenFixture : public ::testing::Test {
   crypto::SymmetricKey root{Bytes(32, 0x77)};
 
   void SetUp() override {
-    ASSERT_TRUE(enclave_a.install_secret(attest::kClusterRootName, root).is_ok());
+    ASSERT_TRUE(enclave_a.install_secret(attest::kClusterRootName,
+                                         root).is_ok());
   }
 };
 
@@ -74,7 +75,9 @@ TEST(WireGolden, EncryptedFlagFramingMatchesPreRefactorSerialize) {
   m.header.sender = NodeId{0x123456789ABCDEFull};
   m.header.receiver = NodeId{0xFEDCBA987654321ull};
   m.header.flags = ShieldedHeader::kFlagEncrypted;
-  for (int i = 0; i < 13; ++i) m.payload.push_back(static_cast<std::uint8_t>(i * 17));
+  for (int i = 0; i < 13; ++i) {
+    m.payload.push_back(static_cast<std::uint8_t>(i * 17));
+  }
   m.mac = Bytes(32, 0x5C);
 
   const char* expected_frame =
