@@ -5,7 +5,9 @@
 #include <cstdio>
 
 #include "attest/cas.h"
+#include "net/network.h"
 #include "rpc/rpc.h"
+#include "sim/simulator.h"
 #include "tee/enclave.h"
 
 int main() {

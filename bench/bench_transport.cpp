@@ -1,0 +1,159 @@
+// bench_transport: loopback TCP throughput and latency for the REAL
+// transport — the tentpole's measurement harness.
+//
+// A 3-replica CR group runs over transport::TcpTransport (one epoll loop
+// thread per replica + one for the client, real sockets, real time) and a
+// closed-loop pipelined client measures msgs/sec and p50/p99 op latency for
+// the four corners of {shielded, null-security} x {batching on, off}.
+//
+// Usage: bench_transport [out.json] [ops-per-config]
+//
+// Emits BENCH_transport.json. Absolute numbers are loopback-and-machine
+// specific; the CI trajectory gate (ci/check_bench_trajectory.py) therefore
+// gates only the robust acceptance boolean — every config must complete its
+// full op count with zero failed ops — and treats the throughput/latency
+// figures as tracked-but-ungated telemetry.
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/tcp_cluster.h"
+
+using namespace recipe;
+
+namespace {
+
+struct ConfigResult {
+  std::string security;
+  std::string batching;
+  std::size_t ops{0};
+  double ops_per_sec{0};
+  std::uint64_t p50_us{0};
+  std::uint64_t p99_us{0};
+  std::uint64_t failed{0};
+  std::uint64_t packets_sent{0};
+};
+
+ConfigResult run_config(bool secured, bool batched, std::size_t total_ops) {
+  cluster::TcpClusterOptions options;
+  options.protocol = "cr";
+  options.replicas = 3;
+  options.secured = secured;
+  options.batch.enabled = batched;
+  options.batch.max_count = 16;
+  options.batch.max_delay = 50 * sim::kMicrosecond;  // real microseconds
+  cluster::TcpCluster cluster(options);
+  KvClient& client = cluster.add_client(4000);
+  const NodeId coordinator = cluster.write_coordinator();
+
+  constexpr std::size_t kPipeline = 16;
+  const Bytes value(64, 0x5A);
+  const double secs = cluster::drive_closed_loop_puts(
+      cluster.client_transport(), client, coordinator, total_ops, kPipeline,
+      value);
+
+  ConfigResult result;
+  result.security = secured ? "shielded" : "null";
+  result.batching = batched ? "on" : "off";
+  // A negative elapsed time means the run never completed (lost op): report
+  // zero ops so the acceptance check fails instead of the job hanging.
+  result.ops = secs < 0 ? 0 : total_ops;
+  result.ops_per_sec =
+      secs > 0 ? static_cast<double>(total_ops) / secs : 0.0;
+  cluster.client_transport().run_sync([&] {
+    result.p50_us = client.latency_us().percentile(0.50);
+    result.p99_us = client.latency_us().percentile(0.99);
+    result.failed = client.failed();
+  });
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    result.packets_sent += cluster.transport(i).packets_sent();
+  }
+  return result;
+}
+
+double ratio(double num, double den) { return den > 0 ? num / den : 0.0; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_transport.json";
+  const std::size_t ops =
+      argc > 2 ? static_cast<std::size_t>(std::strtoull(argv[2], nullptr, 10))
+               : 4000;
+
+  std::vector<ConfigResult> results;
+  for (const bool secured : {true, false}) {
+    for (const bool batched : {false, true}) {
+      ConfigResult r = run_config(secured, batched, ops);
+      std::printf(
+          "security=%-8s batching=%-3s  %8.0f ops/s  p50=%4lluus "
+          "p99=%4lluus  failed=%llu  replica-packets=%llu\n",
+          r.security.c_str(), r.batching.c_str(), r.ops_per_sec,
+          static_cast<unsigned long long>(r.p50_us),
+          static_cast<unsigned long long>(r.p99_us),
+          static_cast<unsigned long long>(r.failed),
+          static_cast<unsigned long long>(r.packets_sent));
+      results.push_back(std::move(r));
+    }
+  }
+
+  bool all_ok = true;
+  for (const ConfigResult& r : results) {
+    if (r.failed != 0 || r.ops == 0) all_ok = false;
+  }
+
+  auto find = [&](const char* sec, const char* bat) -> const ConfigResult& {
+    for (const ConfigResult& r : results) {
+      if (r.security == sec && r.batching == bat) return r;
+    }
+    return results.front();
+  };
+  const double shielded_cost = ratio(find("null", "off").ops_per_sec,
+                                     find("shielded", "off").ops_per_sec);
+  const double batch_speedup = ratio(find("shielded", "on").ops_per_sec,
+                                     find("shielded", "off").ops_per_sec);
+
+  FILE* out = std::fopen(out_path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path);
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"transport\",\n");
+  std::fprintf(out, "  \"transport\": \"tcp-loopback\",\n");
+  std::fprintf(out, "  \"protocol\": \"cr\",\n");
+  std::fprintf(out, "  \"replicas\": 3,\n");
+  std::fprintf(out, "  \"pipeline\": 16,\n");
+  std::fprintf(out, "  \"value_bytes\": 64,\n");
+  std::fprintf(out, "  \"configs\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const ConfigResult& r = results[i];
+    std::fprintf(out,
+                 "    {\"security\": \"%s\", \"batching\": \"%s\", "
+                 "\"ops\": %zu, \"ops_per_sec\": %.0f, \"p50_us\": %llu, "
+                 "\"p99_us\": %llu, \"failed\": %llu, "
+                 "\"replica_packets\": %llu}%s\n",
+                 r.security.c_str(), r.batching.c_str(), r.ops, r.ops_per_sec,
+                 static_cast<unsigned long long>(r.p50_us),
+                 static_cast<unsigned long long>(r.p99_us),
+                 static_cast<unsigned long long>(r.failed),
+                 static_cast<unsigned long long>(r.packets_sent),
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"null_over_shielded_unbatched\": %.3f,\n",
+               shielded_cost);
+  std::fprintf(out, "  \"batched_over_unbatched_shielded\": %.3f,\n",
+               batch_speedup);
+  std::fprintf(out, "  \"acceptance_all_configs_ok\": %s\n",
+               all_ok ? "true" : "false");
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+
+  std::printf("wrote %s (acceptance_all_configs_ok=%s)\n", out_path,
+              all_ok ? "true" : "false");
+  return all_ok ? 0 : 1;
+}

@@ -61,9 +61,23 @@ def batching_headline(doc):
     return out
 
 
+def transport_headline(doc):
+    """Headline: only the robust acceptance boolean — every loopback config
+    completed its full op count with zero failed ops. The absolute
+    throughput/latency numbers (and even their ratios) come from REAL
+    sockets on whatever machine CI happens to land on, where scheduler noise
+    routinely exceeds the 25% gate; they stay in the JSON as telemetry but
+    are not gated."""
+    return {
+        "acceptance_all_configs_ok": (
+            1.0 if doc.get("acceptance_all_configs_ok") else 0.0),
+    }
+
+
 EXTRACTORS = {
     "shield_verify": shield_verify_headline,
     "batching": batching_headline,
+    "transport": transport_headline,
 }
 
 

@@ -61,13 +61,13 @@ Result<crypto::SymmetricKey> enclave_channel_key(const tee::Enclave& enclave,
   return enclave.secret(channel_secret_name(self, peer));
 }
 
-AttestationAuthority::AttestationAuthority(sim::Simulator& simulator,
-                                           net::SimNetwork& network,
+AttestationAuthority::AttestationAuthority(sim::Clock& clock,
+                                           net::Transport& network,
                                            NodeId self,
                                            net::NetStackParams stack,
                                            AuthorityParams params)
-    : simulator_(simulator),
-      rpc_(simulator, network, self, stack),
+    : clock_(clock),
+      rpc_(clock, network, self, stack),
       params_(params),
       rng_(params.key_seed) {
   // Root-of-trust key material for this deployment.
@@ -111,7 +111,7 @@ void AttestationAuthority::attest_and_provision(NodeId target,
          0);
     return;
   }
-  const sim::Time started = simulator_.now();
+  const sim::Time started = clock_.now();
 
   // Fresh nonce + ephemeral DH keypair per attestation session.
   const std::uint64_t nonce_value = rng_.next();
@@ -128,7 +128,7 @@ void AttestationAuthority::attest_and_provision(NodeId target,
        shared](NodeId /*src*/, Bytes quote_bytes) {
         auto quote = decode_quote(as_view(quote_bytes));
         if (!quote) {
-          (*shared)(quote.status(), simulator_.now() - started);
+          (*shared)(quote.status(), clock_.now() - started);
           return;
         }
 
@@ -138,7 +138,7 @@ void AttestationAuthority::attest_and_provision(NodeId target,
                               BytesView(quote.value().mac.data(),
                                         quote.value().mac.size()))) {
           (*shared)(Status::error(ErrorCode::kAuthFailed, "bad quote MAC"),
-                    simulator_.now() - started);
+                    clock_.now() - started);
           return;
         }
         // 2. Code identity: measurement allowlist.
@@ -147,7 +147,7 @@ void AttestationAuthority::attest_and_provision(NodeId target,
                                                              m.size())))) {
           (*shared)(Status::error(ErrorCode::kAuthFailed,
                                   "measurement not in allowlist"),
-                    simulator_.now() - started);
+                    clock_.now() - started);
           return;
         }
         // 3. Freshness + DH binding: report_data = [nonce, enclave_dh_pub].
@@ -157,7 +157,7 @@ void AttestationAuthority::attest_and_provision(NodeId target,
         if (!nonce_echo || !enclave_pub) {
           (*shared)(Status::error(ErrorCode::kInvalidArgument,
                                   "malformed report_data"),
-                    simulator_.now() - started);
+                    clock_.now() - started);
           return;
         }
         Writer expected_nonce;
@@ -166,7 +166,7 @@ void AttestationAuthority::attest_and_provision(NodeId target,
             !std::equal(nonce_echo->begin(), nonce_echo->end(),
                         expected_nonce.buffer().begin())) {
           (*shared)(Status::error(ErrorCode::kAuthFailed, "stale nonce"),
-                    simulator_.now() - started);
+                    clock_.now() - started);
           return;
         }
 
@@ -201,7 +201,7 @@ void AttestationAuthority::attest_and_provision(NodeId target,
 
         // Charge the authority's service time (quote verification, TLS,
         // report processing) before the grant leaves.
-        simulator_.schedule(
+        clock_.schedule(
             params_.service_time,
             [this, target, full_member, started, shared,
              payload = std::move(grant).take()]() mutable {
@@ -210,7 +210,7 @@ void AttestationAuthority::attest_and_provision(NodeId target,
                             NodeId, Bytes ack) {
                           Reader r(as_view(ack));
                           const auto ok = r.boolean();
-                          const sim::Time elapsed = simulator_.now() - started;
+                          const sim::Time elapsed = clock_.now() - started;
                           if (ok && *ok) {
                             // Tell the cluster this principal (re)joined as
                             // a fresh replica (paper §3.7 step 3).

@@ -67,7 +67,7 @@ class AttestationAuthority {
  public:
   using Done = std::function<void(Status, sim::Time elapsed)>;
 
-  AttestationAuthority(sim::Simulator& simulator, net::SimNetwork& network,
+  AttestationAuthority(sim::Clock& clock, net::Transport& network,
                        NodeId self, net::NetStackParams stack,
                        AuthorityParams params);
 
@@ -111,7 +111,7 @@ class AttestationAuthority {
   NodeId id() const { return rpc_.self(); }
 
  private:
-  sim::Simulator& simulator_;
+  sim::Clock& clock_;
   rpc::RpcObject rpc_;
   AuthorityParams params_;
   tee::QuoteVerifier verifier_;

@@ -2,9 +2,9 @@
 
 namespace recipe::bft {
 
-DamysusNode::DamysusNode(sim::Simulator& simulator, net::SimNetwork& network,
+DamysusNode::DamysusNode(sim::Clock& clock, net::Transport& network,
                          ReplicaOptions options, DamysusOptions damysus_options)
-    : ReplicaNode(simulator, network, std::move(options)),
+    : ReplicaNode(clock, network, std::move(options)),
       damysus_(damysus_options) {
   // Replica side: CHECKER validates the proposal (trusted call), stores the
   // batch and votes (the RPC response is the vote).

@@ -34,7 +34,7 @@ struct DamysusOptions {
 
 class DamysusNode final : public ReplicaNode {
  public:
-  DamysusNode(sim::Simulator& simulator, net::SimNetwork& network,
+  DamysusNode(sim::Clock& clock, net::Transport& network,
               ReplicaOptions options, DamysusOptions damysus_options = {});
 
   bool is_coordinator() const override { return leader() == self(); }

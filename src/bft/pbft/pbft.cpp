@@ -32,9 +32,9 @@ std::optional<PhaseMsg> decode_phase(BytesView payload) {
 }
 }  // namespace
 
-PbftNode::PbftNode(sim::Simulator& simulator, net::SimNetwork& network,
+PbftNode::PbftNode(sim::Clock& clock, net::Transport& network,
                    ReplicaOptions options)
-    : ReplicaNode(simulator, network, std::move(options)) {
+    : ReplicaNode(clock, network, std::move(options)) {
   on(pbft_msg::kPrePrepare,
      [this](VerifiedEnvelope& env,
             rpc::RequestContext&) { handle_pre_prepare(env); });

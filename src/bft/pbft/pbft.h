@@ -33,7 +33,7 @@ constexpr rpc::RequestType kNewView = 0xBF05;
 
 class PbftNode final : public ReplicaNode {
  public:
-  PbftNode(sim::Simulator& simulator, net::SimNetwork& network,
+  PbftNode(sim::Clock& clock, net::Transport& network,
            ReplicaOptions options);
 
   bool is_coordinator() const override { return primary() == self(); }

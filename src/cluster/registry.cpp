@@ -36,23 +36,23 @@ std::vector<std::string> ProtocolRegistry::names() const {
 }
 
 ProtocolRegistry::ProtocolRegistry() {
-  register_protocol("cr", [](sim::Simulator& s, net::SimNetwork& n,
+  register_protocol("cr", [](sim::Clock& s, net::Transport& n,
                              ReplicaOptions o) -> std::unique_ptr<ReplicaNode> {
     return std::make_unique<protocols::ChainNode>(s, n, std::move(o));
   });
   register_protocol("craq",
-                    [](sim::Simulator& s, net::SimNetwork& n,
+                    [](sim::Clock& s, net::Transport& n,
                        ReplicaOptions o) -> std::unique_ptr<ReplicaNode> {
                       return std::make_unique<protocols::CraqNode>(
                           s, n, std::move(o));
                     });
   register_protocol("abd",
-                    [](sim::Simulator& s, net::SimNetwork& n,
+                    [](sim::Clock& s, net::Transport& n,
                        ReplicaOptions o) -> std::unique_ptr<ReplicaNode> {
     return std::make_unique<protocols::AbdNode>(s, n, std::move(o));
   });
   register_protocol("hermes",
-                    [](sim::Simulator& s, net::SimNetwork& n,
+                    [](sim::Clock& s, net::Transport& n,
                        ReplicaOptions o) -> std::unique_ptr<ReplicaNode> {
                       return std::make_unique<protocols::HermesNode>(
                           s, n, std::move(o));
@@ -60,7 +60,7 @@ ProtocolRegistry::ProtocolRegistry() {
   // Raft boots with the first member as the term-1 leader so a fresh shard
   // can serve requests without waiting out an election.
   register_protocol("raft",
-                    [](sim::Simulator& s, net::SimNetwork& n,
+                    [](sim::Clock& s, net::Transport& n,
                        ReplicaOptions o) -> std::unique_ptr<ReplicaNode> {
                       protocols::RaftOptions raft;
                       raft.initial_leader = o.membership.front();

@@ -19,7 +19,7 @@
 namespace recipe::cluster {
 
 using ProtocolFactory = std::function<std::unique_ptr<ReplicaNode>(
-    sim::Simulator&, net::SimNetwork&, ReplicaOptions)>;
+    sim::Clock&, net::Transport&, ReplicaOptions)>;
 
 class ProtocolRegistry {
  public:

@@ -1,0 +1,336 @@
+#include "cluster/tcp_cluster.h"
+
+#include <cassert>
+#include <chrono>
+#include <future>
+#include <thread>
+
+#include "cluster/registry.h"
+#include "recipe/recovery.h"
+
+namespace recipe::cluster {
+
+namespace {
+constexpr const char* kLoopback = "127.0.0.1";
+
+std::chrono::nanoseconds chrono_ns(sim::Time t) {
+  return std::chrono::nanoseconds(t);
+}
+}  // namespace
+
+TcpCluster::TcpCluster(TcpClusterOptions options)
+    : options_(std::move(options)) {
+  const auto* factory = ProtocolRegistry::instance().find(options_.protocol);
+  assert(factory != nullptr && "unknown protocol");
+
+  for (std::size_t i = 0; i < options_.replicas; ++i) {
+    membership_.push_back(NodeId{options_.first_id + i});
+  }
+
+  // One transport (loop thread + listener) per replica, plus the client's.
+  std::vector<std::uint16_t> ports(options_.replicas, 0);
+  for (std::size_t i = 0; i < options_.replicas; ++i) {
+    transports_.push_back(std::make_unique<transport::TcpTransport>());
+    const std::uint16_t want =
+        options_.base_port == 0
+            ? 0
+            : static_cast<std::uint16_t>(options_.base_port + i);
+    auto port = transports_.back()->listen(membership_[i], want);
+    assert(port.is_ok() && "listen failed");
+    ports[i] = port.value();
+  }
+  client_transport_ = std::make_unique<transport::TcpTransport>();
+  for (std::size_t i = 0; i < options_.replicas; ++i) {
+    for (std::size_t j = 0; j < options_.replicas; ++j) {
+      if (i == j) continue;
+      const Status routed =
+          transports_[i]->add_route(membership_[j], kLoopback, ports[j]);
+      assert(routed.is_ok());
+      (void)routed;
+    }
+    const Status routed =
+        client_transport_->add_route(membership_[i], kLoopback, ports[i]);
+    assert(routed.is_ok());
+    (void)routed;
+  }
+
+  // Build and start every replica ON ITS OWN LOOP THREAD so its endpoint
+  // state is loop-affine from the first instruction (packets can arrive the
+  // moment the rpc object attaches).
+  for (std::size_t i = 0; i < options_.replicas; ++i) {
+    platforms_.push_back(std::make_unique<tee::TeePlatform>(1));
+    enclaves_.push_back(nullptr);
+    nodes_.push_back(nullptr);
+    transports_[i]->run_sync([this, i, factory] {
+      auto enclave = std::make_unique<tee::Enclave>(
+          *platforms_[i], "recipe-replica", membership_[i].value);
+      if (options_.secured) {
+        auto ok = enclave->install_secret(attest::kClusterRootName,
+                                          options_.root);
+        assert(ok.is_ok());
+        if (options_.confidentiality) {
+          ok = enclave->install_secret(attest::kValueKeyName,
+                                       options_.value_key);
+          assert(ok.is_ok());
+        }
+      }
+
+      ReplicaOptions replica_options;
+      replica_options.self = membership_[i];
+      replica_options.membership = membership_;
+      replica_options.secured = options_.secured;
+      replica_options.confidentiality = options_.confidentiality;
+      replica_options.enclave = enclave.get();
+      replica_options.heartbeat_period = options_.heartbeat_period;
+      replica_options.suspect_timeout = options_.suspect_timeout;
+      replica_options.batch = options_.batch;
+      if (options_.confidentiality) {
+        replica_options.kv_config.value_encryption_key = options_.value_key;
+      }
+
+      enclaves_[i] = std::move(enclave);
+      nodes_[i] = (*factory)(transports_[i]->clock(), *transports_[i],
+                             std::move(replica_options));
+      nodes_[i]->start();
+    });
+  }
+}
+
+TcpCluster::~TcpCluster() {
+  client_transport_->run_sync([this] {
+    clients_.clear();
+    client_enclaves_.clear();
+  });
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    transports_[i]->run_sync([this, i] {
+      nodes_[i].reset();
+      enclaves_[i].reset();
+    });
+  }
+  // Transports (and their loop threads) die with the vector.
+}
+
+KvClient& TcpCluster::add_client(std::uint64_t client_id) {
+  KvClient* out = nullptr;
+  client_transport_->run_sync([this, client_id, &out] {
+    auto enclave = std::make_unique<tee::Enclave>(client_platform_,
+                                                  "recipe-client", client_id);
+    if (options_.secured) {
+      auto ok = enclave->install_secret(attest::kClusterRootName,
+                                        options_.root);
+      assert(ok.is_ok());
+      if (options_.confidentiality) {
+        ok = enclave->install_secret(attest::kValueKeyName,
+                                     options_.value_key);
+        assert(ok.is_ok());
+      }
+    }
+    ClientOptions client_options;
+    client_options.id = ClientId{client_id};
+    client_options.secured = options_.secured;
+    client_options.confidentiality = options_.confidentiality;
+    client_options.enclave = enclave.get();
+    client_options.request_timeout = options_.request_timeout;
+    client_options.max_retries = options_.max_retries;
+    client_enclaves_.push_back(std::move(enclave));
+    clients_.push_back(std::make_unique<KvClient>(
+        client_transport_->clock(), *client_transport_, client_options));
+    out = clients_.back().get();
+  });
+  return *out;
+}
+
+NodeId TcpCluster::write_coordinator() {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    bool ok = false;
+    transports_[i]->run_sync([this, i, &ok] {
+      ok = nodes_[i] && nodes_[i]->active() && nodes_[i]->coordinates_writes();
+    });
+    if (ok) return membership_[i];
+  }
+  return membership_.front();
+}
+
+NodeId TcpCluster::read_replica() {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    bool ok = false;
+    transports_[i]->run_sync([this, i, &ok] {
+      ok = nodes_[i] && nodes_[i]->active() && nodes_[i]->coordinates_reads();
+    });
+    if (ok) return membership_[i];
+  }
+  return membership_.front();
+}
+
+ClientReply TcpCluster::put(KvClient& client, const std::string& key,
+                            const std::string& value) {
+  return retry_op(client, /*is_put=*/true, key, value);
+}
+
+ClientReply TcpCluster::get(KvClient& client, const std::string& key) {
+  return retry_op(client, /*is_put=*/false, key, std::string{});
+}
+
+ClientReply TcpCluster::retry_op(KvClient& client, bool is_put,
+                                 const std::string& key,
+                                 const std::string& value) {
+  // Re-resolve the target and retry across transient windows (an election
+  // in progress, a not-yet-suspected dead chain node): the client already
+  // retransmits within one attempt; this loop re-routes.
+  ClientReply reply;
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    const NodeId target = is_put ? write_coordinator() : read_replica();
+    auto promise = std::make_shared<std::promise<ClientReply>>();
+    auto future = promise->get_future();
+    client_transport_->run_sync([&] {
+      auto completion = [promise](const ClientReply& r) {
+        promise->set_value(r);
+      };
+      if (is_put) {
+        client.put(target, key, to_bytes(value), std::move(completion));
+      } else {
+        client.get(target, key, std::move(completion));
+      }
+    });
+    const auto bound =
+        chrono_ns(options_.request_timeout) * (options_.max_retries + 1) +
+        std::chrono::seconds(2);
+    if (future.wait_for(bound) != std::future_status::ready) return reply;
+    reply = future.get();
+    if (reply.ok) return reply;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  return reply;
+}
+
+void TcpCluster::crash(std::size_t i) {
+  transports_[i]->run_sync([this, i] {
+    if (nodes_[i]->running()) nodes_[i]->stop();
+  });
+}
+
+Status TcpCluster::rejoin(std::size_t i, NodeId donor, sim::Time max_wait) {
+  ReplicaNode& node = *nodes_[i];
+  bool running = false;
+  transports_[i]->run_sync([&] { running = node.running(); });
+  if (running) {
+    return Status::error(ErrorCode::kAlreadyExists, "replica is running");
+  }
+
+  // 1. Machine reboot: fresh enclave (same identity), empty host process,
+  //    pre-attested re-provisioning — the cluster stands in for the CAS.
+  Status provision = Status::ok();
+  transports_[i]->run_sync([&] {
+    enclaves_[i]->restart();
+    node.wipe_state();
+    if (options_.secured) {
+      provision = enclaves_[i]->install_secret(attest::kClusterRootName,
+                                               options_.root);
+      if (provision.is_ok() && options_.confidentiality) {
+        provision = enclaves_[i]->install_secret(attest::kValueKeyName,
+                                                 options_.value_key);
+      }
+    }
+  });
+  if (!provision.is_ok()) return provision;
+
+  // 2. The fast-path analog of the CAS fresh-node notice: every live peer
+  //    AND every client resets the rejoiner's channel state BEFORE its
+  //    restarted counters can reach them.
+  for (std::size_t j = 0; j < nodes_.size(); ++j) {
+    if (j == i) continue;
+    transports_[j]->run_sync([this, j, &node] {
+      if (nodes_[j]->running()) nodes_[j]->security().reset_peer(node.self());
+    });
+  }
+  client_transport_->run_sync([this, &node] {
+    for (auto& client : clients_) client->security().reset_peer(node.self());
+  });
+
+  // 3-6. Shadow join, chunked catch-up from the donor over TCP, promotion —
+  //      all driven on the node's own loop thread.
+  auto verdict = std::make_shared<std::promise<Status>>();
+  auto future = verdict->get_future();
+  transports_[i]->run_sync([this, i, donor, &node, verdict] {
+    node.start_as_shadow();
+    node.catch_up_from(
+        donor, [this, i, &node, verdict](Result<std::size_t> streamed) {
+          if (!streamed) {
+            verdict->set_value(streamed.status());
+            return;
+          }
+          const RejoinOptions defaults;
+          await_promotion(transports_[i]->clock(), node, defaults.promote_poll,
+                          defaults.max_promote_polls,
+                          [verdict](bool promoted) {
+                            verdict->set_value(
+                                promoted ? Status::ok()
+                                         : Status::error(
+                                               ErrorCode::kTimeout,
+                                               "replica stuck in shadow"));
+                          });
+        });
+  });
+  if (future.wait_for(chrono_ns(max_wait)) != std::future_status::ready) {
+    return Status::error(ErrorCode::kTimeout, "rejoin did not complete");
+  }
+  return future.get();
+}
+
+std::uint64_t TcpCluster::committed_ops() {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    transports_[i]->run_sync([this, i, &total] {
+      total += nodes_[i]->committed_ops();
+    });
+  }
+  return total;
+}
+
+double drive_closed_loop_puts(transport::TcpTransport& client_transport,
+                              KvClient& client, NodeId target,
+                              std::size_t total, std::size_t pipeline,
+                              const Bytes& value, std::size_t key_space) {
+  if (total == 0) return 0.0;
+  if (pipeline == 0) pipeline = 1;
+  if (key_space == 0) key_space = 1;
+
+  auto done = std::make_shared<std::promise<void>>();
+  auto issued = std::make_shared<std::size_t>(0);
+  auto completed = std::make_shared<std::size_t>(0);
+  // Self-referential closure: each completion issues the next op, all on
+  // the client's loop thread. Explicitly broken after the run — the
+  // shared_ptr self-capture would otherwise leak it.
+  auto issue = std::make_shared<std::function<void()>>();
+  *issue = [&client, target, issued, completed, total, done, issue, &value,
+            key_space] {
+    if (*issued >= total) return;
+    const std::size_t n = (*issued)++;
+    client.put(target, "key" + std::to_string(n % key_space), value,
+               [completed, total, done, issue](const ClientReply&) {
+                 if (++*completed == total) {
+                   done->set_value();
+                 } else {
+                   (*issue)();
+                 }
+               });
+  };
+
+  const auto started = std::chrono::steady_clock::now();
+  client_transport.run_sync([&] {
+    for (std::size_t i = 0; i < pipeline; ++i) (*issue)();
+  });
+  // Bounded wait: one silently lost completion must fail the run (negative
+  // return), not hang the caller — and with it a gating CI bench job.
+  const auto bound = std::chrono::seconds(60) +
+                     std::chrono::milliseconds(5) * static_cast<long>(total);
+  const bool finished =
+      done->get_future().wait_for(bound) == std::future_status::ready;
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
+          .count();
+  client_transport.run_sync([&] { *issue = nullptr; });
+  return finished ? secs : -1.0;
+}
+
+}  // namespace recipe::cluster

@@ -1,0 +1,138 @@
+// TcpCluster: a replication group deployed over REAL sockets, in process.
+//
+// The multi-threaded sibling of the simulator-driven harnesses: every
+// replica gets its own transport::TcpTransport — its own epoll loop thread,
+// real-time TimerQueue and loopback TCP listener — and the group is wired
+// up via the ProtocolRegistry exactly like a ShardGroup, so any registered
+// protocol (cr/craq/raft/abd/hermes) runs unmodified with shielding and
+// batching on. A separate client transport hosts KvClients.
+//
+// Replica enclaves are provisioned over the pre-attested fast path (the
+// cluster holds the cluster root, standing in for the CAS exactly like
+// ShardGroup does at bootstrap), and crash/rejoin reuses the §3.7 shadow
+// machinery end-to-end: rejoin() restarts the enclave, resets every peer's
+// and client's channel state for the fresh node, shadow-joins, streams
+// state from a live donor over TCP and promotes when the protocol agrees.
+//
+// Threading rules: each node's callbacks run only on its own loop thread.
+// Public methods here marshal through TcpTransport::run_sync, so callers
+// (tests, benches, main()) use the cluster from ONE external thread at a
+// time; the synchronous put()/get() helpers block that thread on real-time
+// completion instead of stepping a simulator.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "attest/bundle.h"
+#include "common/result.h"
+#include "recipe/client.h"
+#include "recipe/node_base.h"
+#include "tee/platform.h"
+#include "transport/tcp_transport.h"
+
+namespace recipe::cluster {
+
+struct TcpClusterOptions {
+  std::string protocol = "cr";
+  std::size_t replicas = 3;
+  bool secured = true;
+  bool confidentiality = false;
+  BatchConfig batch{};
+  // Real-time failure detection; 0 disables heartbeats (no suspicion, no
+  // chain repair — fine for fixed-membership runs).
+  sim::Time heartbeat_period = 0;
+  sim::Time suspect_timeout = 150 * sim::kMillisecond;
+  // First replica id; replica i gets kFirstId + i.
+  std::uint64_t first_id = 1;
+  // 0: every listener picks an ephemeral loopback port (tests/benches can
+  // never collide); nonzero: replica i listens on base_port + i.
+  std::uint16_t base_port = 0;
+  crypto::SymmetricKey root{Bytes(32, 0x77)};
+  crypto::SymmetricKey value_key{Bytes(32, 0x44)};
+  // Client request knobs (real-time).
+  sim::Time request_timeout = 500 * sim::kMillisecond;
+  int max_retries = 6;
+};
+
+class TcpCluster {
+ public:
+  // Stands up and starts the whole group; aborts on an unknown protocol
+  // (programming error, like ShardedCluster's shard() contract).
+  explicit TcpCluster(TcpClusterOptions options = {});
+  ~TcpCluster();
+
+  TcpCluster(const TcpCluster&) = delete;
+  TcpCluster& operator=(const TcpCluster&) = delete;
+
+  std::size_t size() const { return nodes_.size(); }
+  const std::vector<NodeId>& membership() const { return membership_; }
+  ReplicaNode& node(std::size_t i) { return *nodes_[i]; }
+  transport::TcpTransport& transport(std::size_t i) { return *transports_[i]; }
+  transport::TcpTransport& client_transport() { return *client_transport_; }
+
+  // Runs `fn` on replica i's loop thread and waits (the only safe way to
+  // touch node state from outside).
+  void run_on(std::size_t i, const std::function<void()>& fn) {
+    transports_[i]->run_sync(fn);
+  }
+
+  KvClient& add_client(std::uint64_t client_id = 2000);
+
+  // --- synchronous client ops (block the calling thread, real time) --------
+  ClientReply put(KvClient& client, const std::string& key,
+                  const std::string& value);
+  ClientReply get(KvClient& client, const std::string& key);
+
+  // Current write/read coordinator as the routing layer would pick it
+  // (queried live across the loop threads).
+  NodeId write_coordinator();
+  NodeId read_replica();
+
+  // --- failure injection / recovery (§3.7 over TCP) ------------------------
+  void crash(std::size_t i);
+
+  // Full pre-attested rejoin of crashed replica i streaming from `donor`;
+  // returns once the node promoted (or the first error / `max_wait`).
+  Status rejoin(std::size_t i, NodeId donor,
+                sim::Time max_wait = 30 * sim::kSecond);
+
+  std::uint64_t committed_ops();
+
+ private:
+  struct Replica;
+
+  // Shared body of put()/get(): resolve the target, issue on the client
+  // loop, wait with a real-time bound, re-route-and-retry on failure.
+  ClientReply retry_op(KvClient& client, bool is_put, const std::string& key,
+                       const std::string& value);
+
+  TcpClusterOptions options_;
+  std::vector<NodeId> membership_;
+  std::vector<std::unique_ptr<transport::TcpTransport>> transports_;
+  std::vector<std::unique_ptr<tee::TeePlatform>> platforms_;
+  std::vector<std::unique_ptr<tee::Enclave>> enclaves_;
+  std::vector<std::unique_ptr<ReplicaNode>> nodes_;
+
+  std::unique_ptr<transport::TcpTransport> client_transport_;
+  tee::TeePlatform client_platform_{2};
+  std::vector<std::unique_ptr<tee::Enclave>> client_enclaves_;
+  std::vector<std::unique_ptr<KvClient>> clients_;
+};
+
+// Closed-loop pipelined PUT load: keeps `pipeline` ops outstanding on the
+// client's loop thread (each completion issues the next) until `total`
+// completed, cycling keys over `key_space`. Returns elapsed wall-clock
+// seconds, or a NEGATIVE value when the run did not complete within a
+// generous bound (a lost completion must fail loudly, not hang a CI job).
+// Shared by bench_transport and examples/real_cluster — the
+// self-referential issue closure is subtle enough to exist exactly once.
+double drive_closed_loop_puts(transport::TcpTransport& client_transport,
+                              KvClient& client, NodeId target,
+                              std::size_t total, std::size_t pipeline,
+                              const Bytes& value,
+                              std::size_t key_space = 128);
+
+}  // namespace recipe::cluster

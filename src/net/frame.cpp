@@ -1,0 +1,73 @@
+#include "net/frame.h"
+
+#include <cstring>
+
+#include "common/endian.h"
+#include "net/transport.h"
+
+namespace recipe::net {
+
+void append_frame(Bytes& out, const Packet& packet) {
+  const std::size_t base = out.size();
+  out.resize(base + kFrameHeaderSize + packet.payload.size());
+  std::uint8_t* p = out.data() + base;
+  store_le32(p, static_cast<std::uint32_t>(packet.payload.size()));
+  store_le32(p + 4, packet.type);
+  store_le64(p + 8, packet.src.value);
+  store_le64(p + 16, packet.dst.value);
+  if (!packet.payload.empty()) {
+    std::memcpy(p + kFrameHeaderSize, packet.payload.data(),
+                packet.payload.size());
+  }
+}
+
+Bytes encode_frame(const Packet& packet) {
+  Bytes out;
+  out.reserve(kFrameHeaderSize + packet.payload.size());
+  append_frame(out, packet);
+  return out;
+}
+
+bool FrameDecoder::feed(BytesView data) {
+  if (corrupted_) return false;
+  // Compact lazily: only when the dead prefix dominates the buffer, so
+  // steady-state streaming memmoves rarely instead of per frame.
+  if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  append(buffer_, data);
+  return true;
+}
+
+std::optional<Packet> FrameDecoder::next() {
+  if (corrupted_) return std::nullopt;
+  const std::size_t available = buffer_.size() - consumed_;
+  if (available < kFrameHeaderSize) return std::nullopt;
+  const std::uint8_t* p = buffer_.data() + consumed_;
+  const std::uint32_t len = load_le32(p);
+  if (len > max_payload_) {
+    // A hostile or corrupted length prefix: there is no way to find the next
+    // frame boundary in a byte stream, so the whole connection is poisoned.
+    corrupted_ = true;
+    buffer_.clear();
+    consumed_ = 0;
+    return std::nullopt;
+  }
+  if (available < kFrameHeaderSize + len) return std::nullopt;
+
+  Packet packet;
+  packet.type = load_le32(p + 4);
+  packet.src = NodeId{load_le64(p + 8)};
+  packet.dst = NodeId{load_le64(p + 16)};
+  packet.payload.assign(p + kFrameHeaderSize, p + kFrameHeaderSize + len);
+  consumed_ += kFrameHeaderSize + len;
+  if (consumed_ == buffer_.size()) {
+    buffer_.clear();
+    consumed_ = 0;
+  }
+  return packet;
+}
+
+}  // namespace recipe::net

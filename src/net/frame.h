@@ -1,0 +1,75 @@
+// Packet framing on a byte stream.
+//
+// TCP delivers a byte stream; the recipe stack speaks packets. Every packet
+// travels as one length-prefixed frame (little-endian):
+//
+//   [ len u32 | type u32 | src u64 | dst u64 | payload (len bytes) ]
+//
+// `len` counts PAYLOAD bytes only, so the fixed header is kFrameHeaderSize.
+// This constant doubles as the sim cost model's per-packet header charge
+// (net::Packet::wire_size()): the simulated wire and the real wire agree on
+// what a packet costs. The payload itself is opaque here — shielded frames
+// (recipe/message.h) authenticate sender/receiver INSIDE the payload, so the
+// plaintext src/dst in this header are routing hints an adversary gains
+// nothing by editing.
+//
+// FrameDecoder is an incremental, allocation-frugal parser for the receive
+// side: feed() arbitrary stream fragments (split/coalesced reads), next()
+// yields complete packets in order. A length field above the configured
+// bound poisons the stream permanently (corrupted()): resynchronizing inside
+// a byte stream is impossible, the connection must be torn down.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+
+#include "common/bytes.h"
+#include "common/ids.h"
+
+namespace recipe::net {
+
+struct Packet;
+
+// Fixed per-frame header bytes on the stream: len + type + src + dst.
+inline constexpr std::size_t kFrameHeaderSize = 4 + 4 + 8 + 8;
+
+// Default ceiling on a frame's payload. Generous against real traffic (the
+// batcher caps bodies at tens of KiB) while bounding what a malicious or
+// corrupted length prefix can make the receiver allocate.
+inline constexpr std::size_t kMaxFramePayload = 16 * 1024 * 1024;
+
+// Serializes one packet into its stream frame.
+Bytes encode_frame(const Packet& packet);
+
+// Appends one packet's stream frame to `out` (send-path batching: several
+// frames coalesce into one writev-sized buffer).
+void append_frame(Bytes& out, const Packet& packet);
+
+class FrameDecoder {
+ public:
+  FrameDecoder() : FrameDecoder(kMaxFramePayload) {}
+  explicit FrameDecoder(std::size_t max_payload) : max_payload_(max_payload) {}
+
+  // Appends stream bytes. Returns false (and drops the data) once the stream
+  // is poisoned by an oversized length prefix.
+  bool feed(BytesView data);
+
+  // The next complete packet, or nullopt when more bytes are needed (or the
+  // stream is poisoned).
+  std::optional<Packet> next();
+
+  // True once an oversized length prefix was seen; the decoder stays dead.
+  bool corrupted() const { return corrupted_; }
+
+  // Bytes buffered but not yet consumed by next().
+  std::size_t buffered() const { return buffer_.size() - consumed_; }
+
+ private:
+  std::size_t max_payload_;
+  Bytes buffer_;
+  std::size_t consumed_{0};
+  bool corrupted_{false};
+};
+
+}  // namespace recipe::net

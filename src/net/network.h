@@ -1,7 +1,11 @@
-// Simulated message-passing network.
+// Simulated message-passing network — the deterministic Transport.
 //
-// SUBSTITUTION (DESIGN.md §2): stands in for the paper's 40GbE testbed with
-// DPDK/RDMA (direct I/O) or kernel sockets. The network is:
+// Stands in for the paper's 40GbE testbed with DPDK/RDMA (direct I/O) or
+// kernel sockets when an experiment needs determinism or a fault/cost model.
+// Since the Transport extraction it is ONE OF TWO interchangeable substrates
+// the stack runs over — transport::TcpTransport moves the same packets over
+// real epoll-driven TCP sockets (see net/transport.h). The simulated network
+// is:
 //   * point-to-point, fully connected, bidirectional;
 //   * unreliable: messages can be delayed, reordered, duplicated or dropped
 //     (partial synchrony: after GST every message arrives within delta);
@@ -25,70 +29,10 @@
 #include "common/bytes.h"
 #include "common/ids.h"
 #include "common/rng.h"
+#include "net/transport.h"
 #include "sim/simulator.h"
 
 namespace recipe::net {
-
-// A network packet. `type` is an application-level message tag; `payload`
-// is opaque serialized bytes (possibly shielded).
-struct Packet {
-  NodeId src;
-  NodeId dst;
-  std::uint32_t type{0};
-  Bytes payload;
-
-  std::size_t wire_size() const { return payload.size() + 64; }  // headers
-};
-
-// Per-endpoint network stack cost model.
-struct NetStackParams {
-  sim::Time send_cpu_base = 0;
-  double send_cpu_per_byte_ns = 0.0;
-  sim::Time recv_cpu_base = 0;
-  double recv_cpu_per_byte_ns = 0.0;
-  sim::Time propagation_delay = 5 * sim::kMicrosecond;  // one-way, same rack
-  double bandwidth_gbps = 40.0;
-
-  sim::Time send_cpu(std::size_t bytes) const;
-  sim::Time recv_cpu(std::size_t bytes) const;
-  sim::Time wire_time(std::size_t bytes) const;
-
-  // Profiles used across the evaluation (Fig. 6b).
-  static NetStackParams kernel_native();
-  static NetStackParams kernel_tee();
-  static NetStackParams direct_io_native();
-  static NetStackParams direct_io_tee();
-};
-
-// Tracks a node's CPU so message processing serializes and throughput
-// saturates realistically. `cores` models a multi-core server as a fluid
-// processor: with k cores, aggregate service capacity is k times one core
-// (an M/D/k approximation good enough for saturation benchmarks).
-class NodeCpu {
- public:
-  // Reserves `duration` of CPU work starting no earlier than `ready`;
-  // returns the completion time.
-  sim::Time reserve(sim::Time ready, sim::Time duration) {
-    const sim::Time start = std::max(ready, free_at_);
-    free_at_ = start + scaled(duration);
-    return free_at_;
-  }
-
-  // Charges `duration` of work immediately (from inside a running handler).
-  void charge(sim::Time duration) { free_at_ += scaled(duration); }
-
-  sim::Time free_at() const { return free_at_; }
-  void sync_to(sim::Time t) { free_at_ = std::max(free_at_, t); }
-
-  void set_cores(unsigned cores) { cores_ = cores == 0 ? 1 : cores; }
-  unsigned cores() const { return cores_; }
-
- private:
-  sim::Time scaled(sim::Time duration) const { return duration / cores_; }
-
-  sim::Time free_at_{0};
-  unsigned cores_{1};
-};
 
 // What the Dolev-Yao adversary decided to do with a packet in flight.
 struct AdversaryAction {
@@ -111,22 +55,23 @@ struct NetworkFaults {
   sim::Time delta = 200 * sim::kMicrosecond;  // post-GST delivery bound
 };
 
-class SimNetwork {
+class SimNetwork final : public Transport {
  public:
-  using DeliveryHandler = std::function<void(Packet&&)>;
-
   SimNetwork(sim::Simulator& simulator, Rng rng)
       : simulator_(simulator), rng_(rng) {}
 
+  sim::Clock& clock() override { return simulator_; }
+
   // Registers a node endpoint with its stack model and receive handler.
-  void attach(NodeId id, NetStackParams stack, DeliveryHandler handler);
-  void detach(NodeId id);
-  bool attached(NodeId id) const { return endpoints_.contains(id); }
+  void attach(NodeId id, NetStackParams stack,
+              DeliveryHandler handler) override;
+  void detach(NodeId id) override;
+  bool attached(NodeId id) const override { return endpoints_.contains(id); }
 
   // Sends a packet; all delay/fault/adversary processing is applied here.
-  void send(Packet packet);
+  void send(Packet packet) override;
 
-  NodeCpu& cpu(NodeId id);
+  NodeCpu& cpu(NodeId id) override;
   const NetStackParams& stack(NodeId id) const;
 
   // --- Fault injection -----------------------------------------------------
@@ -139,12 +84,12 @@ class SimNetwork {
   // failure empties its NIC/kernel buffers, so a later recover() must never
   // deliver pre-crash frames — a restarted node's fresh replay window would
   // wrongly accept them.
-  void crash(NodeId id) {
+  void crash(NodeId id) override {
     crashed_.insert(id);
     ++crash_epochs_[id];
   }
-  void recover(NodeId id) { crashed_.erase(id); }
-  bool is_crashed(NodeId id) const { return crashed_.contains(id); }
+  void recover(NodeId id) override { crashed_.erase(id); }
+  bool is_crashed(NodeId id) const override { return crashed_.contains(id); }
   std::uint64_t crash_epoch(NodeId id) const {
     const auto it = crash_epochs_.find(id);
     return it == crash_epochs_.end() ? 0 : it->second;
@@ -157,10 +102,12 @@ class SimNetwork {
   void set_adversary(Adversary adversary) { adversary_ = std::move(adversary); }
 
   // --- Statistics ------------------------------------------------------
-  std::uint64_t packets_sent() const { return packets_sent_; }
-  std::uint64_t packets_delivered() const { return packets_delivered_; }
-  std::uint64_t packets_dropped() const { return packets_dropped_; }
-  std::uint64_t bytes_sent() const { return bytes_sent_; }
+  std::uint64_t packets_sent() const override { return packets_sent_; }
+  std::uint64_t packets_delivered() const override {
+    return packets_delivered_;
+  }
+  std::uint64_t packets_dropped() const override { return packets_dropped_; }
+  std::uint64_t bytes_sent() const override { return bytes_sent_; }
 
  private:
   struct Endpoint {

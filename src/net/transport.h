@@ -1,0 +1,135 @@
+// Transport: the byte-moving seam between the replication stack and the
+// machinery that actually delivers packets.
+//
+// The whole recipe stack (shield/verify, batching, RPC credits,
+// recovery/rejoin) talks to this interface only, so the SAME protocol code
+// runs over either substrate:
+//   * net::SimNetwork           — the deterministic discrete-event network
+//     (delay/fault/adversary model, Fig. 6b cost accounting);
+//   * transport::TcpTransport   — real epoll-driven TCP sockets, one event
+//     loop thread per transport, length-prefixed frames on the stream
+//     (net/frame.h).
+// Endpoint callbacks (packet delivery and Clock timers) are serialized per
+// transport: single-threaded under the Simulator, loop-thread-affine under
+// TcpTransport — protocol code never needs its own locks.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+
+#include "common/bytes.h"
+#include "common/ids.h"
+#include "net/frame.h"
+#include "sim/clock.h"
+
+namespace recipe::net {
+
+// A network packet. `type` is an application-level message tag; `payload`
+// is opaque serialized bytes (possibly shielded).
+struct Packet {
+  NodeId src;
+  NodeId dst;
+  std::uint32_t type{0};
+  Bytes payload;
+
+  // Bytes this packet occupies on the wire: payload plus the per-packet
+  // frame header — the REAL header net/frame.h puts on a TCP stream, shared
+  // with the sim cost model so both substrates charge identical sizes.
+  std::size_t wire_size() const { return payload.size() + kFrameHeaderSize; }
+};
+
+// Per-endpoint network stack cost model (simulation only; TcpTransport pays
+// real syscall costs instead and ignores it).
+struct NetStackParams {
+  sim::Time send_cpu_base = 0;
+  double send_cpu_per_byte_ns = 0.0;
+  sim::Time recv_cpu_base = 0;
+  double recv_cpu_per_byte_ns = 0.0;
+  sim::Time propagation_delay = 5 * sim::kMicrosecond;  // one-way, same rack
+  double bandwidth_gbps = 40.0;
+
+  sim::Time send_cpu(std::size_t bytes) const;
+  sim::Time recv_cpu(std::size_t bytes) const;
+  sim::Time wire_time(std::size_t bytes) const;
+
+  // Profiles used across the evaluation (Fig. 6b).
+  static NetStackParams kernel_native();
+  static NetStackParams kernel_tee();
+  static NetStackParams direct_io_native();
+  static NetStackParams direct_io_tee();
+};
+
+// Tracks a node's CPU so message processing serializes and throughput
+// saturates realistically. `cores` models a multi-core server as a fluid
+// processor: with k cores, aggregate service capacity is k times one core
+// (an M/D/k approximation good enough for saturation benchmarks).
+// TcpTransport endpoints carry one too (protocol code charges modelled costs
+// unconditionally) but nothing reads it back there.
+class NodeCpu {
+ public:
+  // Reserves `duration` of CPU work starting no earlier than `ready`;
+  // returns the completion time.
+  sim::Time reserve(sim::Time ready, sim::Time duration) {
+    const sim::Time start = std::max(ready, free_at_);
+    free_at_ = start + scaled(duration);
+    return free_at_;
+  }
+
+  // Charges `duration` of work immediately (from inside a running handler).
+  void charge(sim::Time duration) { free_at_ += scaled(duration); }
+
+  sim::Time free_at() const { return free_at_; }
+  void sync_to(sim::Time t) { free_at_ = std::max(free_at_, t); }
+
+  void set_cores(unsigned cores) { cores_ = cores == 0 ? 1 : cores; }
+  unsigned cores() const { return cores_; }
+
+ private:
+  sim::Time scaled(sim::Time duration) const { return duration / cores_; }
+
+  sim::Time free_at_{0};
+  unsigned cores_{1};
+};
+
+class Transport {
+ public:
+  using DeliveryHandler = std::function<void(Packet&&)>;
+
+  virtual ~Transport() = default;
+
+  // The time source endpoints of this transport must schedule against: the
+  // Simulator for SimNetwork, the loop-thread TimerQueue for TcpTransport.
+  virtual sim::Clock& clock() = 0;
+
+  // Registers a node endpoint with its stack model and receive handler.
+  virtual void attach(NodeId id, NetStackParams stack,
+                      DeliveryHandler handler) = 0;
+  virtual void detach(NodeId id) = 0;
+  virtual bool attached(NodeId id) const = 0;
+
+  // Sends a packet from a local endpoint (packet.src must be attached).
+  // Unreachable destinations are dropped, never an error: the stack treats
+  // every loss identically (timeouts + retries).
+  virtual void send(Packet packet) = 0;
+
+  // The endpoint's modelled CPU (simulation cost accounting; a plain
+  // accumulator under TcpTransport).
+  virtual NodeCpu& cpu(NodeId id) = 0;
+
+  // Crash a node: all traffic to/from it disappears until recover(). Under
+  // SimNetwork this also invalidates in-flight frames; under TcpTransport it
+  // closes the endpoint's connections and listener (a machine failure empties
+  // its NIC/kernel buffers either way).
+  virtual void crash(NodeId id) = 0;
+  virtual void recover(NodeId id) = 0;
+  virtual bool is_crashed(NodeId id) const = 0;
+
+  // --- Statistics ----------------------------------------------------------
+  virtual std::uint64_t packets_sent() const = 0;
+  virtual std::uint64_t packets_delivered() const = 0;
+  virtual std::uint64_t packets_dropped() const = 0;
+  virtual std::uint64_t bytes_sent() const = 0;
+};
+
+}  // namespace recipe::net

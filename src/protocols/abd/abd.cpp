@@ -20,9 +20,9 @@ std::optional<kv::Timestamp> decode_ts(Reader& r) {
 
 }  // namespace
 
-AbdNode::AbdNode(sim::Simulator& simulator, net::SimNetwork& network,
+AbdNode::AbdNode(sim::Clock& clock, net::Transport& network,
                  ReplicaOptions options)
-    : ReplicaNode(simulator, network, std::move(options)) {
+    : ReplicaNode(clock, network, std::move(options)) {
   // --- Replica-side handlers (native ABD logic; verification/shielding is
   // supplied by the ReplicaNode runtime, Listing-1 style). ---
 

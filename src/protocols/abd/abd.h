@@ -29,7 +29,7 @@ constexpr rpc::RequestType kGet = 0xAB03;     // [key] -> [found, value, ts]
 
 class AbdNode final : public ReplicaNode {
  public:
-  AbdNode(sim::Simulator& simulator, net::SimNetwork& network,
+  AbdNode(sim::Clock& clock, net::Transport& network,
           ReplicaOptions options);
 
   void start() override;

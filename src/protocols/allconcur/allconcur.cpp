@@ -4,11 +4,11 @@
 
 namespace recipe::protocols {
 
-AllConcurNode::AllConcurNode(sim::Simulator& simulator,
-                             net::SimNetwork& network,
+AllConcurNode::AllConcurNode(sim::Clock& clock,
+                             net::Transport& network,
                              ReplicaOptions options,
                              AllConcurOptions ac_options)
-    : ReplicaNode(simulator, network, std::move(options)), ac_(ac_options) {
+    : ReplicaNode(clock, network, std::move(options)), ac_(ac_options) {
   on(ac_msg::kRound, [this](VerifiedEnvelope& env, rpc::RequestContext&) {
     Reader r(as_view(env.payload));
     auto round = r.u64();

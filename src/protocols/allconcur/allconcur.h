@@ -41,7 +41,7 @@ struct AllConcurOptions {
 
 class AllConcurNode final : public ReplicaNode {
  public:
-  AllConcurNode(sim::Simulator& simulator, net::SimNetwork& network,
+  AllConcurNode(sim::Clock& clock, net::Transport& network,
                 ReplicaOptions options, AllConcurOptions ac_options = {});
 
   bool is_coordinator() const override { return running(); }  // leaderless

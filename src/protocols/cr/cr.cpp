@@ -2,9 +2,9 @@
 
 namespace recipe::protocols {
 
-ChainNode::ChainNode(sim::Simulator& simulator, net::SimNetwork& network,
+ChainNode::ChainNode(sim::Clock& clock, net::Transport& network,
                      ReplicaOptions options)
-    : ReplicaNode(simulator, network, std::move(options)) {
+    : ReplicaNode(clock, network, std::move(options)) {
   on(cr_msg::kUpdate, [this](VerifiedEnvelope& env, rpc::RequestContext&) {
     Reader r(as_view(env.payload));
     auto seq = r.u64();

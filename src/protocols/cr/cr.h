@@ -37,7 +37,7 @@ constexpr rpc::RequestType kAck = 0xC202;     // [seq] tail -> head
 
 class ChainNode final : public ReplicaNode {
  public:
-  ChainNode(sim::Simulator& simulator, net::SimNetwork& network,
+  ChainNode(sim::Clock& clock, net::Transport& network,
             ReplicaOptions options);
 
   // Coordinates PUTs when head, GETs when tail.

@@ -31,7 +31,7 @@ constexpr rpc::RequestType kTailRead = 0xC403;  // [key] -> [found, value]
 
 class CraqNode final : public ReplicaNode {
  public:
-  CraqNode(sim::Simulator& simulator, net::SimNetwork& network,
+  CraqNode(sim::Clock& clock, net::Transport& network,
            ReplicaOptions options);
 
   // Writes coordinate at the head; reads at ANY node.

@@ -20,9 +20,9 @@ std::optional<kv::Timestamp> decode_ts(Reader& r) {
 }
 }  // namespace
 
-HermesNode::HermesNode(sim::Simulator& simulator, net::SimNetwork& network,
+HermesNode::HermesNode(sim::Clock& clock, net::Transport& network,
                        ReplicaOptions options)
-    : ReplicaNode(simulator, network, std::move(options)) {
+    : ReplicaNode(clock, network, std::move(options)) {
   on(hermes_msg::kInv, [this](VerifiedEnvelope& env, rpc::RequestContext& ctx) {
     Reader r(as_view(env.payload));
     auto key = r.str();

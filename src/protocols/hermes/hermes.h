@@ -33,7 +33,7 @@ constexpr rpc::RequestType kVal = 0x4E02;  // [key, ts]
 
 class HermesNode final : public ReplicaNode {
  public:
-  HermesNode(sim::Simulator& simulator, net::SimNetwork& network,
+  HermesNode(sim::Clock& clock, net::Transport& network,
              ReplicaOptions options);
 
   bool is_coordinator() const override { return running(); }  // any node

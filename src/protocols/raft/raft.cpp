@@ -4,12 +4,12 @@
 
 namespace recipe::protocols {
 
-RaftNode::RaftNode(sim::Simulator& simulator, net::SimNetwork& network,
+RaftNode::RaftNode(sim::Clock& clock, net::Transport& network,
                    ReplicaOptions options, RaftOptions raft_options)
-    : ReplicaNode(simulator, network, std::move(options)),
+    : ReplicaNode(clock, network, std::move(options)),
       raft_(raft_options),
       rng_(raft_options.seed ^ self().value),
-      lease_clock_(simulator),
+      lease_clock_(clock),
       leader_lease_(lease_clock_, raft_options.election_timeout_min / 2) {
   log_.push_back(LogEntry{});  // sentinel at index 0
 

@@ -49,7 +49,7 @@ struct RaftOptions {
 
 class RaftNode final : public ReplicaNode {
  public:
-  RaftNode(sim::Simulator& simulator, net::SimNetwork& network,
+  RaftNode(sim::Clock& clock, net::Transport& network,
            ReplicaOptions options, RaftOptions raft_options = {});
 
   void start() override;

@@ -4,9 +4,9 @@
 
 namespace recipe {
 
-MessageBatcher::MessageBatcher(sim::Simulator& simulator, BatchConfig config,
+MessageBatcher::MessageBatcher(sim::Clock& clock, BatchConfig config,
                                FlushFn flush)
-    : simulator_(simulator), config_(config), flush_(std::move(flush)) {
+    : clock_(clock), config_(config), flush_(std::move(flush)) {
   // A floor above the ceiling would make the adaptive walk oscillate.
   config_.min_delay = std::min(config_.min_delay, config_.max_delay);
   config_.max_count = std::max<std::size_t>(config_.max_count, 1);
@@ -37,7 +37,7 @@ void MessageBatcher::enqueue(NodeId peer, std::uint8_t kind,
   if (pending.frame.count() == 1) {
     // First sub-message arms the drain timer; max_delay == 0 degenerates to
     // "coalesce everything enqueued by the current simulation event".
-    pending.timer = simulator_.schedule(pending.delay, [this, peer] {
+    pending.timer = clock_.schedule(pending.delay, [this, peer] {
       const auto it = pending_.find(peer);
       if (it == pending_.end() || it->second.frame.empty()) return;
       flush_pending(peer, it->second, /*by_timer=*/true);

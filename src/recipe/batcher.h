@@ -28,7 +28,7 @@
 #include "common/bytes.h"
 #include "common/ids.h"
 #include "recipe/message.h"
-#include "sim/simulator.h"
+#include "sim/clock.h"
 
 namespace recipe {
 
@@ -48,7 +48,7 @@ class MessageBatcher {
   using FlushFn = std::function<void(NodeId peer, Bytes body,
                                      std::size_t count)>;
 
-  MessageBatcher(sim::Simulator& simulator, BatchConfig config, FlushFn flush);
+  MessageBatcher(sim::Clock& clock, BatchConfig config, FlushFn flush);
   ~MessageBatcher();
 
   MessageBatcher(const MessageBatcher&) = delete;
@@ -93,7 +93,7 @@ class MessageBatcher {
   void flush_pending(NodeId peer, Pending& pending, bool by_timer);
   void adapt(Pending& pending, std::size_t flushed_count);
 
-  sim::Simulator& simulator_;
+  sim::Clock& clock_;
   BatchConfig config_;
   FlushFn flush_;
   std::unordered_map<NodeId, Pending> pending_;

@@ -4,11 +4,11 @@
 
 namespace recipe {
 
-KvClient::KvClient(sim::Simulator& simulator, net::SimNetwork& network,
+KvClient::KvClient(sim::Clock& clock, net::Transport& network,
                    ClientOptions options)
-    : simulator_(simulator),
+    : clock_(clock),
       options_(std::move(options)),
-      rpc_(simulator, network, NodeId{options_.id.value}, options_.stack) {
+      rpc_(clock, network, NodeId{options_.id.value}, options_.stack) {
   if (options_.secured) {
     assert(options_.enclave != nullptr && "secured client requires an enclave");
     RecipeSecurityConfig config;
@@ -106,12 +106,19 @@ void KvClient::issue(NodeId coordinator, std::shared_ptr<RetryState> state,
     return;
   }
 
-  const sim::Time started = simulator_.now();
+  const sim::Time started = clock_.now();
   const std::uint64_t rpc_id = rpc_.allocate_rpc_id();
   pending_replies_[rpc_id] = [this, started, state](VerifiedEnvelope& env) {
     auto reply = ClientReply::parse(as_view(env.payload));
-    if (!reply) return;
-    latency_us_.record((simulator_.now() - started) / sim::kMicrosecond);
+    if (!reply) {
+      // Authenticated but malformed (a replica-side bug): the rpc was
+      // already settled, so no timeout remains to retry — fail the op
+      // rather than strand it forever.
+      ++failed_;
+      if (state->done) state->done(ClientReply{});
+      return;
+    }
+    latency_us_.record((clock_.now() - started) / sim::kMicrosecond);
     if (reply.value().ok) {
       ++completed_;
     } else {

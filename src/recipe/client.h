@@ -20,7 +20,7 @@
 #include "recipe/security.h"
 #include "recipe/types.h"
 #include "rpc/rpc.h"
-#include "sim/simulator.h"
+#include "sim/clock.h"
 #include "tee/enclave.h"
 
 namespace recipe {
@@ -41,7 +41,7 @@ class KvClient {
  public:
   using ReplyCallback = std::function<void(const ClientReply&)>;
 
-  KvClient(sim::Simulator& simulator, net::SimNetwork& network,
+  KvClient(sim::Clock& clock, net::Transport& network,
            ClientOptions options);
 
   NodeId node_id() const { return NodeId{options_.id.value}; }
@@ -79,7 +79,7 @@ class KvClient {
              int attempt);
   void complete(std::uint64_t rpc_id, VerifiedEnvelope& env);
 
-  sim::Simulator& simulator_;
+  sim::Clock& clock_;
   ClientOptions options_;
   rpc::RpcObject rpc_;
   std::unique_ptr<SecurityPolicy> security_;

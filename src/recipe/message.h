@@ -14,6 +14,12 @@
 // exactly the wire prefix — no authenticated_data() staging copy. On the
 // receive side ShieldedView borrows header/payload/mac from the wire bytes
 // so verify() copies the payload exactly once.
+//
+// Transport framing is a layer below: a shielded message travels (inside
+// its RPC envelope) as the payload of ONE stream frame whose per-packet
+// header size is net::kFrameHeaderSize (net/frame.h) — the single shared
+// constant the sim cost model (net::Packet::wire_size()) and the real TCP
+// encoder both use.
 #pragma once
 
 #include <cstdint>

@@ -7,20 +7,20 @@
 
 namespace recipe {
 
-ReplicaNode::ReplicaNode(sim::Simulator& simulator, net::SimNetwork& network,
+ReplicaNode::ReplicaNode(sim::Clock& clock, net::Transport& network,
                          ReplicaOptions options)
-    : simulator_(simulator),
+    : clock_(clock),
       network_(network),
       options_(std::move(options)),
-      rpc_(simulator, network, options_.self, options_.stack,
+      rpc_(clock, network, options_.self, options_.stack,
            options_.rpc_config),
-      batcher_(simulator, options_.batch,
+      batcher_(clock, options_.batch,
                [this](NodeId peer, Bytes body, std::size_t /*count*/) {
                  send_batch(peer, std::move(body));
                }),
       kv_(options_.kv_config),
-      clock_(simulator),
-      failure_detector_(clock_, options_.suspect_timeout,
+      trusted_clock_(clock),
+      failure_detector_(trusted_clock_, options_.suspect_timeout,
                         options_.suspect_timeout / 4) {
   if (options_.secured) {
     assert(options_.enclave != nullptr && "secured mode requires an enclave");
@@ -209,8 +209,8 @@ void ReplicaNode::broadcast_notice(rpc::RequestType type, int attempts) {
     if (wire) rpc_.send(peer, type, std::move(wire).take());
   }
   if (attempts > 1) {
-    notice_timer_ = simulator_.schedule(sim::kMillisecond, [this, type,
-                                                            attempts] {
+    notice_timer_ = clock_.schedule(sim::kMillisecond, [this, type,
+                                                        attempts] {
       broadcast_notice(type, attempts - 1);
     });
   }
@@ -603,8 +603,8 @@ void ReplicaNode::heartbeat_tick() {
       on_suspected(peer);
     }
   }
-  heartbeat_timer_ = simulator_.schedule(options_.heartbeat_period,
-                                         [this] { heartbeat_tick(); });
+  heartbeat_timer_ = clock_.schedule(options_.heartbeat_period,
+                                     [this] { heartbeat_tick(); });
 }
 
 }  // namespace recipe

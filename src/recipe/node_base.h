@@ -89,7 +89,7 @@ using ReplyFn = std::function<void(const ClientReply&)>;
 
 class ReplicaNode {
  public:
-  ReplicaNode(sim::Simulator& simulator, net::SimNetwork& network,
+  ReplicaNode(sim::Clock& clock, net::Transport& network,
               ReplicaOptions options);
   virtual ~ReplicaNode();
 
@@ -130,8 +130,8 @@ class ReplicaNode {
   void flush_batches() { batcher_.flush_all(); }
   kv::KvStore& kv() { return kv_; }
   rpc::RpcObject& rpc() { return rpc_; }
-  sim::Simulator& sim() { return simulator_; }
-  net::SimNetwork& network() { return network_; }
+  sim::Clock& sim() { return clock_; }
+  net::Transport& network() { return network_; }
   const ReplicaOptions& options() const { return options_; }
 
   // Adjusts the modelled in-enclave message-buffer footprint (batching).
@@ -297,8 +297,8 @@ class ReplicaNode {
   VerifiedEnvelope sub_envelope(const VerifiedEnvelope& batch_env,
                                 BytesView payload) const;
 
-  sim::Simulator& simulator_;
-  net::SimNetwork& network_;
+  sim::Clock& clock_;
+  net::Transport& network_;
   ReplicaOptions options_;
   rpc::RpcObject rpc_;
   std::unique_ptr<SecurityPolicy> security_;
@@ -310,7 +310,7 @@ class ReplicaNode {
   std::unordered_map<rpc::RequestType, EnvelopeHandler> handlers_;
   kv::KvStore kv_;
   ClientTable client_table_;
-  tee::TrustedClock clock_;
+  tee::TrustedClock trusted_clock_;
   tee::LeaseFailureDetector failure_detector_;
   std::vector<NodeId> suspected_already_;
   sim::TimerHandle heartbeat_timer_;

@@ -2,7 +2,7 @@
 
 namespace recipe {
 
-void await_promotion(sim::Simulator& simulator, ReplicaNode& node,
+void await_promotion(sim::Clock& clock, ReplicaNode& node,
                      sim::Time interval, std::size_t max_polls,
                      std::function<void(bool)> done) {
   if (node.shadow_caught_up()) {
@@ -14,17 +14,17 @@ void await_promotion(sim::Simulator& simulator, ReplicaNode& node,
     done(false);
     return;
   }
-  simulator.schedule(interval, [&simulator, &node, interval, max_polls,
-                                done = std::move(done)]() mutable {
-    await_promotion(simulator, node, interval, max_polls - 1,
+  clock.schedule(interval, [&clock, &node, interval, max_polls,
+                            done = std::move(done)]() mutable {
+    await_promotion(clock, node, interval, max_polls - 1,
                     std::move(done));
   });
 }
 
-RejoinDriver::RejoinDriver(sim::Simulator& simulator, ReplicaNode& node,
+RejoinDriver::RejoinDriver(sim::Clock& clock, ReplicaNode& node,
                            tee::Enclave& enclave,
                            attest::AttestationAuthority& cas)
-    : simulator_(simulator), node_(node), enclave_(enclave), cas_(cas) {}
+    : clock_(clock), node_(node), enclave_(enclave), cas_(cas) {}
 
 void RejoinDriver::rejoin(RejoinOptions options, Done done) {
   options_ = std::move(options);
@@ -88,7 +88,7 @@ void RejoinDriver::on_provisioned(Done done) {
         // 6. Promote once the protocol agrees it is caught up (base
         // protocols: immediately after the stream fixpoint; Raft: after
         // log backfill).
-        await_promotion(simulator_, node_, options_.promote_poll,
+        await_promotion(clock_, node_, options_.promote_poll,
                         options_.max_promote_polls,
                         [this, done = std::move(done)](bool promoted) mutable {
                           if (!promoted) {

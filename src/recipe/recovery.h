@@ -60,7 +60,7 @@ struct RejoinReport {
 // soon as the protocol agrees; `done` receives true on promotion, false when
 // `max_polls` elapsed with the node still shadow. Shared by RejoinDriver and
 // the cluster layer's shard-replica replacement.
-void await_promotion(sim::Simulator& simulator, ReplicaNode& node,
+void await_promotion(sim::Clock& clock, ReplicaNode& node,
                      sim::Time interval, std::size_t max_polls,
                      std::function<void(bool promoted)> done);
 
@@ -68,7 +68,7 @@ class RejoinDriver {
  public:
   using Done = std::function<void(Result<RejoinReport>)>;
 
-  RejoinDriver(sim::Simulator& simulator, ReplicaNode& node,
+  RejoinDriver(sim::Clock& clock, ReplicaNode& node,
                tee::Enclave& enclave, attest::AttestationAuthority& cas);
 
   // Runs the sequence above; `done` fires with the report (or the first
@@ -78,7 +78,7 @@ class RejoinDriver {
  private:
   void on_provisioned(Done done);
 
-  sim::Simulator& simulator_;
+  sim::Clock& clock_;
   ReplicaNode& node_;
   tee::Enclave& enclave_;
   attest::AttestationAuthority& cas_;

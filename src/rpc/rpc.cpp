@@ -24,9 +24,9 @@ void RequestContext::respond(Bytes response_payload) {
   rpc.respond_internal(src, type, rpc_id, std::move(response_payload));
 }
 
-RpcObject::RpcObject(sim::Simulator& simulator, net::SimNetwork& network,
+RpcObject::RpcObject(sim::Clock& clock, net::Transport& network,
                      NodeId self, net::NetStackParams stack, RpcConfig config)
-    : simulator_(simulator), network_(network), self_(self), config_(config) {
+    : clock_(clock), network_(network), self_(self), config_(config) {
   network_.attach(self_, stack,
                   [this](net::Packet&& p) { on_packet(std::move(p)); });
   attached_ = true;
@@ -82,7 +82,7 @@ void RpcObject::track(NodeId dst, std::uint64_t rpc_id,
   pending.dst = dst;
   pending.holds_credit = holds_credit;
   if (timeout) {
-    pending.timeout_timer = simulator_.schedule(
+    pending.timeout_timer = clock_.schedule(
         *timeout, [this, rpc_id, cb = std::move(on_timeout)] {
           const auto it = pending_.find(rpc_id);
           if (it == pending_.end()) return;
@@ -127,10 +127,10 @@ void RpcObject::enqueue(QueuedSend item) {
   if (config_.auto_poll_delay == 0) {
     transmit(std::move(item));
   } else {
-    simulator_.schedule(config_.auto_poll_delay,
-                        [this, it = std::move(item)]() mutable {
-                          transmit(std::move(it));
-                        });
+    clock_.schedule(config_.auto_poll_delay,
+                    [this, it = std::move(item)]() mutable {
+                      transmit(std::move(it));
+                    });
   }
 }
 

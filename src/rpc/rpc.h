@@ -19,8 +19,8 @@
 
 #include "common/bytes.h"
 #include "common/ids.h"
-#include "net/network.h"
-#include "sim/simulator.h"
+#include "net/transport.h"
+#include "sim/clock.h"
 
 namespace recipe::rpc {
 
@@ -57,7 +57,7 @@ struct RpcConfig {
 
 class RpcObject {
  public:
-  RpcObject(sim::Simulator& simulator, net::SimNetwork& network, NodeId self,
+  RpcObject(sim::Clock& clock, net::Transport& network, NodeId self,
             net::NetStackParams stack, RpcConfig config = {});
   ~RpcObject();
 
@@ -157,8 +157,8 @@ class RpcObject {
                         Bytes payload);
   void release_credit(NodeId peer);
 
-  sim::Simulator& simulator_;
-  net::SimNetwork& network_;
+  sim::Clock& clock_;
+  net::Transport& network_;
   NodeId self_;
   RpcConfig config_;
   bool attached_{false};

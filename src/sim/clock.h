@@ -1,0 +1,75 @@
+// Clock: the time-and-timers seam between the protocol stack and its
+// execution substrate.
+//
+// Every component that used to reach for the discrete-event Simulator
+// directly (RPC timeouts, batch flush delays, heartbeats, lease expiry,
+// recovery polls) schedules against this interface instead. Two
+// implementations exist:
+//   * sim::Simulator       — deterministic simulated time (tests, figures);
+//   * transport::TimerQueue — real steady-clock time, driven by a
+//     TcpTransport's epoll loop (the real-socket deployments).
+// Time stays in nanoseconds in both, so cost models, timeouts and batching
+// knobs mean the same thing under either clock source.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+namespace recipe::sim {
+
+// Time in nanoseconds since the clock's epoch (simulation start, or the
+// real-time clock's construction).
+using Time = std::uint64_t;
+
+constexpr Time kNanosecond = 1;
+constexpr Time kMicrosecond = 1000 * kNanosecond;
+constexpr Time kMillisecond = 1000 * kMicrosecond;
+constexpr Time kSecond = 1000 * kMillisecond;
+
+// Handle to a scheduled event; allows cancellation (e.g., resetting an
+// election timeout). Cheap to copy; cancellation after firing is a no-op.
+// The shared flag is written under the owning clock's scheduling discipline:
+// single-threaded for the Simulator, mutex-protected for TimerQueue.
+class TimerHandle {
+ public:
+  TimerHandle() = default;
+
+  void cancel() {
+    if (auto p = cancelled_.lock()) *p = true;
+  }
+  bool valid() const { return !cancelled_.expired(); }
+
+ private:
+  friend class Simulator;
+  friend TimerHandle make_timer_handle(std::weak_ptr<bool>);
+  explicit TimerHandle(std::weak_ptr<bool> flag)
+      : cancelled_(std::move(flag)) {}
+  std::weak_ptr<bool> cancelled_;
+};
+
+// Other Clock implementations mint handles through this instead of being
+// enumerated as friends.
+inline TimerHandle make_timer_handle(std::weak_ptr<bool> flag) {
+  return TimerHandle{std::move(flag)};
+}
+
+class Clock {
+ public:
+  using Callback = std::function<void()>;
+
+  virtual ~Clock() = default;
+
+  virtual Time now() const = 0;
+
+  // Schedules `fn` to run at `when` (clamped to now for past times by real
+  // clocks; the Simulator asserts instead). Returns a cancellable handle.
+  virtual TimerHandle schedule_at(Time when, Callback fn) = 0;
+
+  // Schedules `fn` to run at now() + delay.
+  TimerHandle schedule(Time delay, Callback fn) {
+    return schedule_at(now() + delay, std::move(fn));
+  }
+};
+
+}  // namespace recipe::sim

@@ -2,9 +2,11 @@
 // experiment.
 //
 // All components (network, TEE cost model, protocol timers, clients) schedule
-// callbacks on a single Simulator. Execution is single-threaded and
-// deterministic: events at equal timestamps fire in scheduling order. Time is
-// simulated nanoseconds; nothing ever reads the wall clock.
+// callbacks on a single Simulator through the sim::Clock interface it
+// implements. Execution is single-threaded and deterministic: events at equal
+// timestamps fire in scheduling order. Time is simulated nanoseconds; nothing
+// ever reads the wall clock. (The real-socket deployments swap in
+// transport::TimerQueue behind the same Clock interface.)
 #pragma once
 
 #include <cstdint>
@@ -13,46 +15,15 @@
 #include <queue>
 #include <vector>
 
+#include "sim/clock.h"
+
 namespace recipe::sim {
 
-// Simulated time in nanoseconds since simulation start.
-using Time = std::uint64_t;
-
-constexpr Time kNanosecond = 1;
-constexpr Time kMicrosecond = 1000 * kNanosecond;
-constexpr Time kMillisecond = 1000 * kMicrosecond;
-constexpr Time kSecond = 1000 * kMillisecond;
-
-// Handle to a scheduled event; allows cancellation (e.g., resetting an
-// election timeout). Cheap to copy; cancellation after firing is a no-op.
-class TimerHandle {
+class Simulator final : public Clock {
  public:
-  TimerHandle() = default;
+  Time now() const override { return now_; }
 
-  void cancel() {
-    if (auto p = cancelled_.lock()) *p = true;
-  }
-  bool valid() const { return !cancelled_.expired(); }
-
- private:
-  friend class Simulator;
-  explicit TimerHandle(std::weak_ptr<bool> flag)
-      : cancelled_(std::move(flag)) {}
-  std::weak_ptr<bool> cancelled_;
-};
-
-class Simulator {
- public:
-  using Callback = std::function<void()>;
-
-  Time now() const { return now_; }
-
-  // Schedules `fn` to run at now() + delay. Returns a cancellable handle.
-  TimerHandle schedule(Time delay, Callback fn) {
-    return schedule_at(now_ + delay, std::move(fn));
-  }
-
-  TimerHandle schedule_at(Time when, Callback fn);
+  TimerHandle schedule_at(Time when, Callback fn) override;
 
   // Runs events until the queue drains or the time limit is passed.
   // Returns the number of events executed.

@@ -14,7 +14,7 @@
 #include <unordered_map>
 
 #include "common/ids.h"
-#include "sim/simulator.h"
+#include "sim/clock.h"
 
 namespace recipe::tee {
 
@@ -23,17 +23,17 @@ class TrustedClock {
  public:
   // drift_ppm: parts-per-million by which this clock runs fast relative to
   // true simulated time (holders use a positive drift to be conservative).
-  TrustedClock(const sim::Simulator& simulator, std::int64_t drift_ppm = 0)
-      : simulator_(simulator), drift_ppm_(drift_ppm) {}
+  TrustedClock(const sim::Clock& clock, std::int64_t drift_ppm = 0)
+      : clock_(clock), drift_ppm_(drift_ppm) {}
 
   sim::Time now() const {
-    const sim::Time t = simulator_.now();
+    const sim::Time t = clock_.now();
     return t + static_cast<sim::Time>(
                    (static_cast<__int128>(t) * drift_ppm_) / 1'000'000);
   }
 
  private:
-  const sim::Simulator& simulator_;
+  const sim::Clock& clock_;
   std::int64_t drift_ppm_;
 };
 

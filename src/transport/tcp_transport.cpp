@@ -1,0 +1,705 @@
+#include "transport/tcp_transport.h"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <fcntl.h>
+
+#include <cassert>
+#include <cerrno>
+#include <condition_variable>
+#include <cstring>
+
+namespace recipe::transport {
+
+namespace {
+
+constexpr int kMaxEvents = 64;
+constexpr std::size_t kReadChunk = 64 * 1024;
+// Cap on one poll's sleep so a (theoretical) missed wakeup degrades to a
+// bounded stall instead of a hang.
+constexpr std::int64_t kMaxPollMs = 60'000;
+
+int set_nonblocking_socket() {
+  return ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+}
+
+}  // namespace
+
+TcpTransport::TcpTransport(TcpTransportOptions options)
+    : options_(std::move(options)) {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  assert(epoll_fd_ >= 0 && wake_fd_ >= 0);
+  reserve_fd_ = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
+  epoll_register(wake_fd_, EPOLLIN, /*gen=*/0);
+  timers_.set_wakeup([this] { wake(); });
+  thread_ = std::thread([this] { loop(); });
+}
+
+TcpTransport::~TcpTransport() {
+  stop();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [id, ep] : endpoints_) close_endpoint_sockets(*ep);
+    listeners_.clear();
+  }
+  for (auto& [fd, conn] : conns_) ::close(fd);
+  conns_.clear();
+  conn_by_peer_.clear();
+  if (reserve_fd_ >= 0) ::close(reserve_fd_);
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+namespace {
+// (generation, fd) packed into the 64-bit epoll payload; fds are ints.
+std::uint64_t pack_epoll(std::uint64_t gen, int fd) {
+  return (gen << 32) | static_cast<std::uint32_t>(fd);
+}
+}  // namespace
+
+void TcpTransport::epoll_register(int fd, std::uint32_t events,
+                                  std::uint64_t gen) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.u64 = pack_epoll(gen, fd);
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+}
+
+void TcpTransport::epoll_update(int fd, std::uint32_t events,
+                                std::uint64_t gen) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.u64 = pack_epoll(gen, fd);
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev);
+}
+
+int TcpTransport::wait_events(::epoll_event* events, int max_events,
+                              std::int64_t timeout_ns) {
+  // Nanosecond-resolution waits when available: a 50us batch-flush timer
+  // must not become a 1ms sleep. epoll_pwait2 appeared in Linux 5.11; fall
+  // back to millisecond epoll_wait (rounded up) on ENOSYS.
+  if (pwait2_state_ >= 0 && timeout_ns >= 0) {
+#ifdef SYS_epoll_pwait2
+    timespec ts{};
+    ts.tv_sec = timeout_ns / 1'000'000'000;
+    ts.tv_nsec = timeout_ns % 1'000'000'000;
+    const int n = static_cast<int>(::syscall(SYS_epoll_pwait2, epoll_fd_,
+                                             events, max_events, &ts, nullptr,
+                                             std::size_t{0}));
+    if (n >= 0 || errno != ENOSYS) {
+      pwait2_state_ = 1;
+      return n;
+    }
+#endif
+    pwait2_state_ = -1;
+  }
+  int timeout_ms = -1;
+  if (timeout_ns >= 0) {
+    timeout_ms = static_cast<int>(
+        std::min<std::int64_t>((timeout_ns + 999'999) / 1'000'000, kMaxPollMs));
+  }
+  return ::epoll_wait(epoll_fd_, events, max_events, timeout_ms);
+}
+
+void TcpTransport::wake() {
+  const std::uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+}
+
+bool TcpTransport::on_loop_thread() const {
+  return std::this_thread::get_id() == thread_.get_id();
+}
+
+void TcpTransport::post(std::function<void()> fn) {
+  if (on_loop_thread() || stopped_.load()) {
+    fn();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(inbox_mu_);
+    // Re-check under the inbox lock: stop() flips the flag under it after
+    // joining, so either we enqueue before the flip (stop()'s final drain
+    // runs us) or we see the flip and run inline on a dead loop. Never
+    // inline while the loop thread still breathes.
+    if (stopped_.load()) {
+      // (lock released by scope exit before running)
+    } else {
+      inbox_.push_back(std::move(fn));
+      fn = nullptr;
+    }
+  }
+  if (fn) {
+    fn();
+    return;
+  }
+  wake();
+}
+
+void TcpTransport::run_sync(const std::function<void()>& fn) {
+  if (on_loop_thread() || stopped_.load()) {
+    fn();
+    return;
+  }
+  // Completion state is shared: the loop thread's notify may run after this
+  // frame would have unwound, so it must not point into our stack.
+  struct Done {
+    std::mutex m;
+    std::condition_variable cv;
+    bool done = false;
+  };
+  auto state = std::make_shared<Done>();
+  post([&fn, state] {
+    fn();
+    {
+      std::lock_guard<std::mutex> lock(state->m);
+      state->done = true;
+    }
+    state->cv.notify_one();
+  });
+  std::unique_lock<std::mutex> lock(state->m);
+  state->cv.wait(lock, [&] { return state->done; });
+}
+
+void TcpTransport::stop() {
+  if (!stop_requested_.exchange(true)) wake();
+  if (thread_.joinable()) thread_.join();
+  {
+    // Flipped under the inbox lock: see post() for the handshake.
+    std::lock_guard<std::mutex> lock(inbox_mu_);
+    stopped_.store(true);
+  }
+  // Honor any tasks (and run_sync waiters) that raced the shutdown.
+  drain_inbox();
+}
+
+void TcpTransport::drain_inbox() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::lock_guard<std::mutex> lock(inbox_mu_);
+      if (inbox_.empty()) return;
+      task = std::move(inbox_.front());
+      inbox_.pop_front();
+    }
+    task();
+  }
+}
+
+void TcpTransport::loop() {
+  epoll_event events[kMaxEvents];
+  while (!stop_requested_.load()) {
+    std::int64_t timeout_ns = -1;
+    if (const auto deadline = timers_.next_deadline()) {
+      const sim::Time current = timers_.now();
+      timeout_ns = *deadline <= current
+                       ? 0
+                       : static_cast<std::int64_t>(*deadline - current);
+      timeout_ns = std::min<std::int64_t>(timeout_ns,
+                                          kMaxPollMs * 1'000'000);
+    }
+    {
+      std::lock_guard<std::mutex> lock(inbox_mu_);
+      if (!inbox_.empty()) timeout_ns = 0;
+    }
+
+    const int n = wait_events(events, kMaxEvents, timeout_ns);
+    drain_inbox();
+    timers_.run_due();
+    if (n < 0) continue;  // EINTR
+
+    for (int i = 0; i < n; ++i) {
+      const int fd = static_cast<int>(events[i].data.u64 & 0xFFFFFFFFu);
+      const std::uint64_t gen = events[i].data.u64 >> 32;
+      const std::uint32_t mask = events[i].events;
+      if (fd == wake_fd_) {
+        std::uint64_t drained = 0;
+        while (::read(wake_fd_, &drained, sizeof(drained)) > 0) {
+        }
+        continue;
+      }
+      // Anything in this batch — an earlier event, a posted task, a timer —
+      // may have closed this fd, and a fresh socket may already have reused
+      // the number: the registration generation disambiguates, stale events
+      // are discarded.
+      bool is_listener = false;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        const auto lit = listeners_.find(fd);
+        is_listener = lit != listeners_.end() && lit->second.gen == gen;
+      }
+      if (is_listener) {
+        accept_ready(fd);
+        continue;
+      }
+      {
+        const auto cit = conns_.find(fd);
+        if (cit == conns_.end() || cit->second.gen != gen) continue;
+      }
+      if ((mask & (EPOLLERR | EPOLLHUP)) != 0 &&
+          !conns_.find(fd)->second.connecting) {
+        close_conn(fd);
+        continue;
+      }
+      if ((mask & (EPOLLOUT | EPOLLERR | EPOLLHUP)) != 0) {
+        handle_writable(conns_.find(fd)->second);
+      }
+      {
+        const auto cit = conns_.find(fd);
+        if (cit != conns_.end() && cit->second.gen == gen &&
+            (mask & EPOLLIN) != 0) {
+          handle_readable(cit->second);
+        }
+      }
+    }
+  }
+}
+
+// --- wiring ------------------------------------------------------------------
+
+Result<int> TcpTransport::bind_listener(std::uint16_t port) {
+  const int fd = set_nonblocking_socket();
+  if (fd < 0) return Status::error(ErrorCode::kInternal, "socket() failed");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, options_.bind_host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::error(ErrorCode::kInvalidArgument,
+                         "bind host must be an IPv4 address");
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 128) != 0) {
+    ::close(fd);
+    return Status::error(ErrorCode::kInternal,
+                         "bind/listen failed: " +
+                             std::string(std::strerror(errno)));
+  }
+  return fd;
+}
+
+Result<std::uint16_t> TcpTransport::listen(NodeId id, std::uint16_t port) {
+  auto fd = bind_listener(port);
+  if (!fd) return fd.status();
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  ::getsockname(fd.value(), reinterpret_cast<sockaddr*>(&bound), &len);
+  const std::uint16_t actual = ntohs(bound.sin_port);
+
+  std::uint64_t gen = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& ep = endpoints_[id];
+    if (!ep) ep = std::make_unique<Endpoint>();
+    if (ep->listen_fd >= 0) {
+      ::close(ep->listen_fd);
+      listeners_.erase(ep->listen_fd);
+    }
+    ep->listen_fd = fd.value();
+    ep->port = actual;
+    ep->want_listener = true;
+    gen = next_gen_++;
+    listeners_[fd.value()] = Listener{id, gen};
+  }
+  epoll_register(fd.value(), EPOLLIN, gen);
+  return actual;
+}
+
+std::uint16_t TcpTransport::listen_port(NodeId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = endpoints_.find(id);
+  return it == endpoints_.end() ? 0 : it->second->port;
+}
+
+Status TcpTransport::add_route(NodeId id, const std::string& host,
+                               std::uint16_t port) {
+  in_addr addr{};
+  if (::inet_pton(AF_INET, host.c_str(), &addr) != 1) {
+    // Resolve names like "localhost" HERE, off the event loop.
+    addrinfo hints{};
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo* res = nullptr;
+    if (::getaddrinfo(host.c_str(), nullptr, &hints, &res) != 0 ||
+        res == nullptr) {
+      return Status::error(ErrorCode::kInvalidArgument,
+                           "cannot resolve route host: " + host);
+    }
+    addr = reinterpret_cast<sockaddr_in*>(res->ai_addr)->sin_addr;
+    ::freeaddrinfo(res);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  routes_[id] = Route{addr.s_addr, port};
+  return Status::ok();
+}
+
+// --- Transport interface -----------------------------------------------------
+
+void TcpTransport::attach(NodeId id, net::NetStackParams /*stack*/,
+                          DeliveryHandler handler) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& ep = endpoints_[id];
+  if (!ep) ep = std::make_unique<Endpoint>();
+  ep->handler = std::make_shared<DeliveryHandler>(std::move(handler));
+}
+
+void TcpTransport::detach(NodeId id) {
+  run_sync([this, id] {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = endpoints_.find(id);
+    if (it == endpoints_.end()) return;
+    close_endpoint_sockets(*it->second);
+    endpoints_.erase(it);
+  });
+}
+
+bool TcpTransport::attached(NodeId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = endpoints_.find(id);
+  return it != endpoints_.end() && it->second->handler != nullptr;
+}
+
+net::NodeCpu& TcpTransport::cpu(NodeId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = endpoints_.find(id);
+  assert(it != endpoints_.end());
+  return it->second->cpu;
+}
+
+// Closes the listener (remembering the port for recover()). Loop-unsafe fd
+// work is fine here: callers hold mu_ or run on the loop.
+void TcpTransport::close_endpoint_sockets(Endpoint& ep) {
+  if (ep.listen_fd >= 0) {
+    listeners_.erase(ep.listen_fd);
+    ::close(ep.listen_fd);
+    ep.listen_fd = -1;
+  }
+}
+
+void TcpTransport::crash(NodeId id) {
+  run_sync([this, id] {
+    bool others_alive = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const auto it = endpoints_.find(id);
+      if (it == endpoints_.end()) return;
+      it->second->crashed = true;
+      close_endpoint_sockets(*it->second);
+      for (const auto& [other, ep] : endpoints_) {
+        if (other != id && ep->handler != nullptr && !ep->crashed) {
+          others_alive = true;
+        }
+      }
+    }
+    // A machine failure takes the NIC with it: every established connection
+    // dies, emptying both directions' in-flight bytes — the TCP analog of
+    // SimNetwork's crash-epoch rule that pre-crash frames are never
+    // delivered to a recovered node. When OTHER live endpoints co-host this
+    // transport the shared connections stay up for them (delivery to the
+    // crashed endpoint is already dropped); that weakens the no-pre-crash-
+    // frames guarantee to per-transport granularity, so crash/rejoin
+    // deployments give each replica its own transport (as TcpCluster and
+    // real_cluster do).
+    if (!others_alive) {
+      std::vector<int> fds;
+      fds.reserve(conns_.size());
+      for (const auto& [fd, conn] : conns_) fds.push_back(fd);
+      for (int fd : fds) close_conn(fd);
+    }
+  });
+}
+
+void TcpTransport::recover(NodeId id) {
+  run_sync([this, id] {
+    std::uint16_t port = 0;
+    bool rebind = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const auto it = endpoints_.find(id);
+      if (it == endpoints_.end()) return;
+      it->second->crashed = false;
+      rebind = it->second->want_listener && it->second->listen_fd < 0;
+      port = it->second->port;
+    }
+    if (rebind) {
+      // Best effort, like every other path back from a crash: a stolen port
+      // leaves the node unreachable and the retry machinery in charge.
+      auto rebound = listen(id, port);
+      (void)rebound;
+    }
+  });
+}
+
+bool TcpTransport::is_crashed(NodeId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = endpoints_.find(id);
+  return it != endpoints_.end() && it->second->crashed;
+}
+
+void TcpTransport::send(net::Packet packet) {
+  if (on_loop_thread()) {
+    do_send(std::move(packet));
+    return;
+  }
+  post([this, p = std::move(packet)]() mutable { do_send(std::move(p)); });
+}
+
+// --- loop-side implementation ------------------------------------------------
+
+void TcpTransport::do_send(net::Packet&& packet) {
+  ++packets_sent_;
+  bytes_sent_ += packet.wire_size();
+
+  bool local_dst = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto src = endpoints_.find(packet.src);
+    if (src == endpoints_.end() || src->second->crashed) {
+      drop_packet();
+      return;
+    }
+    local_dst = endpoints_.contains(packet.dst);
+  }
+  if (packet.payload.size() > options_.max_frame_payload) {
+    drop_packet();
+    return;
+  }
+
+  if (local_dst) {
+    // Two endpoints sharing this transport (e.g. client + CAS in one
+    // process): loop back without a socket, but asynchronously — handlers
+    // never run inside the sender's call frame, matching the simulator.
+    // post() would run INLINE here (do_send is on the loop thread), so the
+    // deferral must go through the inbox explicitly.
+    {
+      std::lock_guard<std::mutex> lock(inbox_mu_);
+      inbox_.push_back(
+          [this, p = std::move(packet)]() mutable { deliver(std::move(p)); });
+    }
+    wake();
+    return;
+  }
+
+  Conn* conn = conn_for(packet.dst);
+  if (conn == nullptr) {
+    drop_packet();
+    return;
+  }
+  net::append_frame(conn->out, packet);
+  if (!conn->connecting) flush_conn(*conn);
+}
+
+TcpTransport::Conn* TcpTransport::conn_for(NodeId peer) {
+  const auto indexed = conn_by_peer_.find(peer.value);
+  if (indexed != conn_by_peer_.end()) {
+    const auto cit = conns_.find(indexed->second);
+    if (cit != conns_.end()) return &cit->second;
+    conn_by_peer_.erase(indexed);  // conn died; dial fresh below
+  }
+
+  Route route;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = routes_.find(peer);
+    if (it == routes_.end()) return nullptr;
+    route = it->second;
+  }
+
+  const int fd = set_nonblocking_socket();
+  if (fd < 0) return nullptr;
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(route.port);
+  addr.sin_addr.s_addr = route.addr_be;  // resolved in add_route()
+
+  const int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                           sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS) {
+    ::close(fd);
+    return nullptr;
+  }
+
+  auto [it, inserted] = conns_.emplace(fd, Conn{});
+  Conn& conn = it->second;
+  conn.fd = fd;
+  conn.gen = next_gen_++;
+  conn.connecting = rc != 0;
+  conn.write_armed = true;
+  conn.decoder = net::FrameDecoder(options_.max_frame_payload);
+  conn_by_peer_[peer.value] = fd;
+
+  epoll_register(fd, EPOLLIN | EPOLLOUT, conn.gen);
+  return &conn;
+}
+
+void TcpTransport::flush_conn(Conn& conn) {
+  while (conn.out_off < conn.out.size()) {
+    const ssize_t n =
+        ::send(conn.fd, conn.out.data() + conn.out_off,
+               conn.out.size() - conn.out_off, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.out_off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!conn.write_armed) {
+        conn.write_armed = true;
+        epoll_update(conn.fd, EPOLLIN | EPOLLOUT, conn.gen);
+      }
+      return;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    close_conn(conn.fd);
+    return;
+  }
+  conn.out.clear();
+  conn.out_off = 0;
+  if (conn.write_armed) {
+    conn.write_armed = false;
+    epoll_update(conn.fd, EPOLLIN, conn.gen);
+  }
+}
+
+void TcpTransport::handle_writable(Conn& conn) {
+  if (conn.connecting) {
+    int err = 0;
+    socklen_t len = sizeof(err);
+    ::getsockopt(conn.fd, SOL_SOCKET, SO_ERROR, &err, &len);
+    if (err != 0) {
+      // Connection refused / unreachable: everything queued dies, like a
+      // dropped packet burst. The next send dials again.
+      drop_packet();
+      close_conn(conn.fd);
+      return;
+    }
+    conn.connecting = false;
+  }
+  flush_conn(conn);
+}
+
+void TcpTransport::handle_readable(Conn& conn) {
+  const int fd = conn.fd;
+  const std::uint64_t gen = conn.gen;
+  std::uint8_t buffer[kReadChunk];
+  // Delivery may re-enter the transport (handlers send, which can insert
+  // new conns, rehash the map, even close THIS conn and let a fresh dial
+  // reuse its fd number) — re-resolve by (fd, gen) after every callback
+  // instead of holding a reference across one.
+  const auto resolve = [this, fd, gen]() -> Conn* {
+    const auto it = conns_.find(fd);
+    return it != conns_.end() && it->second.gen == gen ? &it->second : nullptr;
+  };
+  for (;;) {
+    const ssize_t n = ::read(fd, buffer, sizeof(buffer));
+    if (n == 0) {
+      close_conn(fd);
+      return;
+    }
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      close_conn(fd);
+      return;
+    }
+    if (Conn* c = resolve()) {
+      c->decoder.feed(BytesView(buffer, static_cast<std::size_t>(n)));
+    } else {
+      return;
+    }
+    for (;;) {
+      Conn* c = resolve();
+      if (c == nullptr) return;
+      if (c->decoder.corrupted()) {
+        // Oversized length prefix: the stream cannot be resynchronized.
+        close_conn(fd);
+        return;
+      }
+      auto packet = c->decoder.next();
+      if (!packet) break;
+      // EVERY frame teaches a reply route: the remote transport may co-host
+      // many endpoints (several clients, a client plus the CAS) behind this
+      // one connection, and replies to each must find their way back.
+      conn_by_peer_.try_emplace(packet->src.value, fd);
+      deliver(std::move(*packet));
+    }
+    if (resolve() == nullptr) return;
+  }
+}
+
+void TcpTransport::accept_ready(int listen_fd) {
+  for (;;) {
+    const int fd =
+        ::accept4(listen_fd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if ((errno == EMFILE || errno == ENFILE) && reserve_fd_ >= 0) {
+        // fd table exhausted with a connection still pending: the level-
+        // triggered listener would otherwise re-fire every iteration and
+        // spin the loop. Release the reserve fd, accept-and-close to shed
+        // the connection, then re-arm the reserve.
+        ::close(reserve_fd_);
+        reserve_fd_ = -1;
+        const int shed = ::accept4(listen_fd, nullptr, nullptr, SOCK_CLOEXEC);
+        if (shed >= 0) ::close(shed);
+        reserve_fd_ = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
+        continue;
+      }
+      return;  // EAGAIN or a racing close
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto [it, inserted] = conns_.emplace(fd, Conn{});
+    it->second.fd = fd;
+    it->second.gen = next_gen_++;
+    it->second.decoder = net::FrameDecoder(options_.max_frame_payload);
+    epoll_register(fd, EPOLLIN, it->second.gen);
+  }
+}
+
+void TcpTransport::close_conn(int fd) {
+  const auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  // A connection may carry reply routes for MANY peers; drop them all.
+  for (auto indexed = conn_by_peer_.begin();
+       indexed != conn_by_peer_.end();) {
+    if (indexed->second == fd) {
+      indexed = conn_by_peer_.erase(indexed);
+    } else {
+      ++indexed;
+    }
+  }
+  ::close(fd);
+  conns_.erase(it);
+}
+
+void TcpTransport::deliver(net::Packet&& packet) {
+  std::shared_ptr<DeliveryHandler> handler;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = endpoints_.find(packet.dst);
+    if (it == endpoints_.end() || it->second->crashed ||
+        it->second->handler == nullptr) {
+      drop_packet();
+      return;
+    }
+    handler = it->second->handler;
+  }
+  ++packets_delivered_;
+  (*handler)(std::move(packet));
+}
+
+}  // namespace recipe::transport

@@ -1,0 +1,216 @@
+// TcpTransport: the real-socket net::Transport — async epoll-driven TCP.
+//
+// One TcpTransport owns one event-loop thread, an epoll instance and a
+// real-time TimerQueue. Every endpoint attached to it (replica, client, CAS)
+// has ALL of its callbacks — packet delivery and Clock timers — run on that
+// loop thread, so protocol code keeps the single-threaded discipline it has
+// under the Simulator. A multi-threaded deployment is N transports: the
+// in-process cluster (cluster/tcp_cluster.h) gives each replica its own
+// transport thread; examples/real_cluster.cpp gives each replica its own
+// process.
+//
+// Wiring model:
+//  * listen(id, port)  — endpoints that must be reachable bind a listening
+//    socket (port 0 picks an ephemeral port, returned for route exchange);
+//  * add_route(id, host, port) — where to dial for a remote node. Clients
+//    need no listener: replies travel back on the connection that carried
+//    the request.
+//  * Connections are per remote TRANSPORT peer, established lazily by the
+//    first send and shared by every local endpoint; each stream frame
+//    carries (src, dst) so the far loop routes it to the right endpoint
+//    (net/frame.h). An accepted connection learns reply routes from EVERY
+//    frame it delivers (the remote transport may co-host many endpoints —
+//    several clients, a client plus the CAS — all sharing one connection).
+//
+// Failure semantics mirror the Transport contract: anything unreachable —
+// no route, refused connection, reset mid-stream, crashed endpoint — is a
+// silent drop; recovery is the protocol stack's retry/timeout machinery,
+// exactly as under the simulated network's loss model. crash(id) closes the
+// endpoint's listener and every established connection (a dead machine's
+// sockets die with it); recover(id) re-binds the same port.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "net/frame.h"
+#include "net/transport.h"
+#include "transport/timer_queue.h"
+
+struct epoll_event;  // <sys/epoll.h>, included only by the .cpp
+
+namespace recipe::transport {
+
+struct TcpTransportOptions {
+  // Address listeners bind to. Loopback by default: the in-process cluster,
+  // tests and benches never leave the machine; real_cluster.cpp passes
+  // 0.0.0.0 for multi-machine runs.
+  std::string bind_host = "127.0.0.1";
+  // Frame decoder bound: a length prefix above this poisons the connection.
+  std::size_t max_frame_payload = net::kMaxFramePayload;
+};
+
+class TcpTransport final : public net::Transport {
+ public:
+  explicit TcpTransport(TcpTransportOptions options = {});
+  ~TcpTransport() override;
+
+  TcpTransport(const TcpTransport&) = delete;
+  TcpTransport& operator=(const TcpTransport&) = delete;
+
+  // --- deployment wiring ---------------------------------------------------
+
+  // Binds a listening socket for `id` (before or after attach). Port 0
+  // picks an ephemeral port; the bound port is returned either way.
+  Result<std::uint16_t> listen(NodeId id, std::uint16_t port = 0);
+  // The port `id` listens on (0 when it has no listener).
+  std::uint16_t listen_port(NodeId id) const;
+
+  // Registers where to dial for a remote node id. The name is resolved
+  // HERE, on the calling thread — never on the event loop, where a slow
+  // resolver would stall every endpoint and timer on this transport.
+  Status add_route(NodeId id, const std::string& host, std::uint16_t port);
+
+  // --- loop marshalling ----------------------------------------------------
+
+  // Enqueues `fn` onto the event-loop thread (runs inline if called there,
+  // or if the loop has been stopped).
+  void post(std::function<void()> fn);
+  // post() + wait for completion. THE way external threads touch endpoint
+  // objects: node/client construction, client ops, crash orchestration all
+  // run their bodies on the loop so endpoint state stays loop-affine.
+  void run_sync(const std::function<void()>& fn);
+  bool on_loop_thread() const;
+
+  // Joins the loop thread; idempotent. Implied by the destructor. Endpoints
+  // must be torn down (via run_sync) first.
+  void stop();
+
+  // --- net::Transport ------------------------------------------------------
+  sim::Clock& clock() override { return timers_; }
+  TimerQueue& timers() { return timers_; }
+
+  void attach(NodeId id, net::NetStackParams stack,
+              DeliveryHandler handler) override;
+  void detach(NodeId id) override;
+  bool attached(NodeId id) const override;
+  void send(net::Packet packet) override;
+  net::NodeCpu& cpu(NodeId id) override;
+  void crash(NodeId id) override;
+  void recover(NodeId id) override;
+  bool is_crashed(NodeId id) const override;
+
+  std::uint64_t packets_sent() const override { return packets_sent_; }
+  std::uint64_t packets_delivered() const override {
+    return packets_delivered_;
+  }
+  std::uint64_t packets_dropped() const override { return packets_dropped_; }
+  std::uint64_t bytes_sent() const override { return bytes_sent_; }
+
+ private:
+  struct Endpoint {
+    // Shared so delivery can invoke it outside the registry lock.
+    std::shared_ptr<DeliveryHandler> handler;
+    net::NodeCpu cpu;  // loop-thread accumulator; nothing reads it back
+    int listen_fd{-1};
+    std::uint16_t port{0};       // bound (or remembered-for-recover) port
+    bool want_listener{false};   // had one before crash(); re-bind on recover
+    bool crashed{false};
+  };
+  struct Route {
+    std::uint32_t addr_be{0};  // resolved IPv4, network byte order
+    std::uint16_t port{0};
+  };
+  struct Listener {
+    NodeId id{};
+    std::uint64_t gen{0};
+  };
+  struct Conn {
+    int fd{-1};
+    // Epoll registration generation: closed fds are recycled by the kernel,
+    // so every registration carries (gen, fd) in the event payload and
+    // stale events for a previous incarnation of the fd are discarded.
+    std::uint64_t gen{0};
+    bool connecting{false};
+    // Whether EPOLLOUT is currently armed: epoll_ctl(MOD) only runs on
+    // interest TRANSITIONS, not once per flushed message.
+    bool write_armed{false};
+    net::FrameDecoder decoder;
+    Bytes out;                // unsent frame bytes
+    std::size_t out_off{0};   // consumed prefix of `out`
+  };
+
+  void loop();
+  // epoll_pwait2 (nanosecond timeout) when the kernel has it, else
+  // millisecond epoll_wait; keeps microsecond-scale timers (batch flush
+  // delays) from rounding up to a whole millisecond of idle sleep.
+  int wait_events(::epoll_event* events, int max_events,
+                  std::int64_t timeout_ns);
+  void wake();
+  void drain_inbox();
+  void epoll_register(int fd, std::uint32_t events, std::uint64_t gen);
+  void epoll_update(int fd, std::uint32_t events, std::uint64_t gen);
+
+  // All loop-thread only:
+  void do_send(net::Packet&& packet);
+  Conn* conn_for(NodeId peer);
+  void flush_conn(Conn& conn);
+  void handle_readable(Conn& conn);
+  void handle_writable(Conn& conn);
+  void accept_ready(int listen_fd);
+  void close_conn(int fd);
+  void close_endpoint_sockets(Endpoint& ep);
+  void deliver(net::Packet&& packet);
+
+  Result<int> bind_listener(std::uint16_t port);
+  void drop_packet() { ++packets_dropped_; }
+
+  TcpTransportOptions options_;
+  TimerQueue timers_;
+
+  int epoll_fd_{-1};
+  int wake_fd_{-1};
+  // Reserved fd released to accept-and-close under EMFILE, so a full fd
+  // table cannot leave a pending connection busy-spinning the listener.
+  int reserve_fd_{-1};
+  std::thread thread_;
+  std::atomic<bool> stop_requested_{false};
+  // True only after the loop thread has been JOINED (flipped under
+  // inbox_mu_): the gate for running posted tasks inline on the caller.
+  std::atomic<bool> stopped_{false};
+
+  // Registry: endpoints + routes; guarded by mu_ (queried cross-thread).
+  mutable std::mutex mu_;
+  std::unordered_map<NodeId, std::unique_ptr<Endpoint>> endpoints_;
+  std::unordered_map<NodeId, Route> routes_;
+  std::unordered_map<int, Listener> listeners_;  // listen fd -> endpoint
+
+  // Task inbox for post(); guarded by inbox_mu_.
+  std::mutex inbox_mu_;
+  std::deque<std::function<void()>> inbox_;
+
+  // Connections: loop-thread only. conn_by_peer_ learns a mapping from
+  // EVERY frame a connection delivers (a remote transport co-hosting many
+  // endpoints sends them all down one connection), and entries are pruned
+  // when their connection closes.
+  std::unordered_map<int, Conn> conns_;
+  std::unordered_map<std::uint64_t, int> conn_by_peer_;
+  std::uint64_t next_gen_{1};
+  int pwait2_state_{0};  // 0 untried, 1 available, -1 ENOSYS
+
+  std::atomic<std::uint64_t> packets_sent_{0};
+  std::atomic<std::uint64_t> packets_delivered_{0};
+  std::atomic<std::uint64_t> packets_dropped_{0};
+  std::atomic<std::uint64_t> bytes_sent_{0};
+};
+
+}  // namespace recipe::transport

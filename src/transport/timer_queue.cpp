@@ -1,0 +1,48 @@
+#include "transport/timer_queue.h"
+
+namespace recipe::transport {
+
+sim::TimerHandle TimerQueue::schedule_at(sim::Time when, Callback fn) {
+  auto flag = std::make_shared<bool>(false);
+  sim::TimerHandle handle = sim::make_timer_handle(std::weak_ptr<bool>(flag));
+  bool became_earliest = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    became_earliest = queue_.empty() || when < queue_.top().when;
+    queue_.push(Entry{when, next_seq_++, std::move(fn), std::move(flag)});
+  }
+  if (became_earliest && wakeup_) wakeup_();
+  return handle;
+}
+
+std::optional<sim::Time> TimerQueue::next_deadline() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (queue_.empty()) return std::nullopt;
+  return queue_.top().when;
+}
+
+std::size_t TimerQueue::run_due() {
+  std::size_t fired = 0;
+  for (;;) {
+    Entry entry;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (queue_.empty() || queue_.top().when > now()) break;
+      entry = std::move(const_cast<Entry&>(queue_.top()));
+      queue_.pop();
+    }
+    // The cancellation flag is only written on this thread (loop-affine
+    // handles), so reading it outside the lock is safe.
+    if (*entry.cancelled) continue;
+    entry.fn();
+    ++fired;
+  }
+  return fired;
+}
+
+std::size_t TimerQueue::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+}  // namespace recipe::transport

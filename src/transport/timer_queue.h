@@ -1,0 +1,76 @@
+// TimerQueue: the real-time sim::Clock implementation behind TcpTransport.
+//
+// Same contract as the Simulator's scheduler — nanosecond Time, cancellable
+// TimerHandles, FIFO among equal deadlines — but `now()` reads the OS
+// steady clock and callbacks fire on the owning transport's event-loop
+// thread, never concurrently. That keeps the stack's timer discipline
+// identical under both substrates: protocol code schedules against
+// sim::Clock and cannot tell which one it got.
+//
+// Threading: schedule_at() may be called from any thread (the loop is woken
+// through `wakeup` when the new deadline becomes the earliest); run_due()
+// and TimerHandle::cancel() must stay on the loop thread — cancellation
+// flags are plain bools shared with the Simulator's handles.
+#pragma once
+
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "sim/clock.h"
+
+namespace recipe::transport {
+
+class TimerQueue final : public sim::Clock {
+ public:
+  TimerQueue() : epoch_(std::chrono::steady_clock::now()) {}
+
+  // Nanoseconds since this queue's construction.
+  sim::Time now() const override {
+    return static_cast<sim::Time>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+  }
+
+  sim::TimerHandle schedule_at(sim::Time when, Callback fn) override;
+
+  // Invoked (from the scheduling thread, outside the lock) whenever a newly
+  // scheduled timer became the earliest deadline — the event loop uses it to
+  // interrupt its poll and recompute the timeout.
+  void set_wakeup(Callback wakeup) { wakeup_ = std::move(wakeup); }
+
+  // Earliest pending deadline, or nullopt when no timers are armed.
+  std::optional<sim::Time> next_deadline() const;
+
+  // Runs every callback due at now(). Loop thread only; callbacks may
+  // re-enter schedule_at()/cancel(). Returns the number fired.
+  std::size_t run_due();
+
+  std::size_t pending() const;
+
+ private:
+  struct Entry {
+    sim::Time when;
+    std::uint64_t seq;
+    Callback fn;
+    std::shared_ptr<bool> cancelled;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::chrono::steady_clock::time_point epoch_;
+  Callback wakeup_;
+  mutable std::mutex mu_;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::uint64_t next_seq_{0};
+};
+
+}  // namespace recipe::transport

@@ -5,7 +5,9 @@
 
 #include "attest/bundle.h"
 #include "attest/cas.h"
+#include "net/network.h"
 #include "rpc/rpc.h"
+#include "sim/simulator.h"
 
 namespace recipe::attest {
 namespace {

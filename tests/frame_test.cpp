@@ -1,0 +1,214 @@
+// Stream framing tests: the length-prefixed frame codec that carries packets
+// over TCP (net/frame.h). The decoder faces raw, attacker-reachable stream
+// bytes, so the suite leans on adversarial segmentation: split reads,
+// coalesced reads, truncation, oversized-length poisoning and randomized
+// fuzz against a reference encode.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "cluster_harness.h"
+#include "common/endian.h"
+#include "common/rng.h"
+#include "net/frame.h"
+#include "net/transport.h"
+
+namespace recipe::net {
+namespace {
+
+Packet make_packet(std::uint64_t src, std::uint64_t dst, std::uint32_t type,
+                   Bytes payload) {
+  Packet p;
+  p.src = NodeId{src};
+  p.dst = NodeId{dst};
+  p.type = type;
+  p.payload = std::move(payload);
+  return p;
+}
+
+void expect_equal(const Packet& got, const Packet& want) {
+  EXPECT_EQ(got.src, want.src);
+  EXPECT_EQ(got.dst, want.dst);
+  EXPECT_EQ(got.type, want.type);
+  EXPECT_EQ(got.payload, want.payload);
+}
+
+TEST(FrameTest, RoundTripSingleFrame) {
+  const Packet p = make_packet(7, 9, 0xE59C0001, to_bytes("hello wire"));
+  const Bytes wire = encode_frame(p);
+  EXPECT_EQ(wire.size(), kFrameHeaderSize + p.payload.size());
+
+  FrameDecoder decoder;
+  EXPECT_TRUE(decoder.feed(as_view(wire)));
+  auto out = decoder.next();
+  ASSERT_TRUE(out.has_value());
+  expect_equal(*out, p);
+  EXPECT_FALSE(decoder.next().has_value());
+  EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+TEST(FrameTest, EmptyPayloadRoundTrips) {
+  const Packet p = make_packet(1, 2, 3, Bytes{});
+  FrameDecoder decoder;
+  decoder.feed(as_view(encode_frame(p)));
+  auto out = decoder.next();
+  ASSERT_TRUE(out.has_value());
+  expect_equal(*out, p);
+}
+
+// The sim cost model and the real wire must agree on per-packet bytes: this
+// is the contract behind Packet::wire_size() (the old hard-coded "+ 64"
+// header guess is gone).
+TEST(FrameTest, WireSizeMatchesEncodedFrame) {
+  for (const std::size_t n : {0u, 1u, 63u, 64u, 1500u, 65536u}) {
+    const Packet p = make_packet(1, 2, 3, Bytes(n, 0xAB));
+    EXPECT_EQ(p.wire_size(), encode_frame(p).size());
+  }
+}
+
+// Split reads: the frame arrives one byte at a time; the packet must appear
+// exactly when the last byte lands, never earlier.
+TEST(FrameTest, ByteAtATimeDelivery) {
+  const Packet p = make_packet(11, 22, 0x33, to_bytes("split-read payload"));
+  const Bytes wire = encode_frame(p);
+
+  FrameDecoder decoder;
+  for (std::size_t i = 0; i + 1 < wire.size(); ++i) {
+    decoder.feed(BytesView(&wire[i], 1));
+    EXPECT_FALSE(decoder.next().has_value()) << "early frame at byte " << i;
+  }
+  decoder.feed(BytesView(&wire[wire.size() - 1], 1));
+  auto out = decoder.next();
+  ASSERT_TRUE(out.has_value());
+  expect_equal(*out, p);
+}
+
+// Coalesced reads: many frames in one feed() — all must come out, in order.
+TEST(FrameTest, CoalescedFramesDecodeInOrder) {
+  Bytes stream;
+  std::vector<Packet> sent;
+  for (int i = 0; i < 17; ++i) {
+    Packet p = make_packet(100 + i, 200, 0x40 + i,
+                           to_bytes(std::string(i * 7, 'a' + (i % 26))));
+    append_frame(stream, p);
+    sent.push_back(std::move(p));
+  }
+
+  FrameDecoder decoder;
+  decoder.feed(as_view(stream));
+  for (const Packet& want : sent) {
+    auto got = decoder.next();
+    ASSERT_TRUE(got.has_value());
+    expect_equal(*got, want);
+  }
+  EXPECT_FALSE(decoder.next().has_value());
+}
+
+// Truncation: a stream that ends mid-frame yields nothing and stays healthy
+// (a later reconnect starts a new decoder; this one just never completes).
+TEST(FrameTest, TruncatedFrameYieldsNothing) {
+  const Packet p = make_packet(1, 2, 3, Bytes(256, 0x5A));
+  const Bytes wire = encode_frame(p);
+  for (const std::size_t cut :
+       {std::size_t{1}, std::size_t{3}, kFrameHeaderSize - 1, kFrameHeaderSize,
+        kFrameHeaderSize + 1, wire.size() - 1}) {
+    FrameDecoder decoder;
+    decoder.feed(BytesView(wire.data(), cut));
+    EXPECT_FALSE(decoder.next().has_value()) << "cut at " << cut;
+    EXPECT_FALSE(decoder.corrupted());
+  }
+}
+
+// An oversized length prefix poisons the stream permanently: there is no
+// resynchronization inside a byte stream, so the decoder must refuse
+// everything from then on (the transport tears the connection down).
+TEST(FrameTest, OversizedLengthPoisonsTheStream) {
+  FrameDecoder decoder(/*max_payload=*/1024);
+
+  Bytes evil(kFrameHeaderSize, 0);
+  store_le32(evil.data(), 1025);  // one past the bound
+  decoder.feed(as_view(evil));
+  EXPECT_FALSE(decoder.next().has_value());
+  EXPECT_TRUE(decoder.corrupted());
+
+  // A perfectly valid frame after the poison must NOT come out.
+  const Packet p = make_packet(1, 2, 3, to_bytes("late"));
+  EXPECT_FALSE(decoder.feed(as_view(encode_frame(p))));
+  EXPECT_FALSE(decoder.next().has_value());
+  EXPECT_TRUE(decoder.corrupted());
+}
+
+TEST(FrameTest, MaxPayloadBoundaryIsAccepted) {
+  FrameDecoder decoder(/*max_payload=*/1024);
+  const Packet p = make_packet(4, 5, 6, Bytes(1024, 0x11));
+  decoder.feed(as_view(encode_frame(p)));
+  auto out = decoder.next();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->payload.size(), 1024u);
+  EXPECT_FALSE(decoder.corrupted());
+}
+
+// Randomized segmentation fuzz: a long stream of random frames chopped into
+// random fragments must reproduce the exact packet sequence, regardless of
+// how the "kernel" segmented it. Replay with RECIPE_TEST_SEED.
+TEST(FrameTest, RandomSegmentationFuzz) {
+  const std::uint64_t seed = testing::resolved_seed(0xF4A3);
+  SCOPED_TRACE(testing::seed_trace_message(seed));
+  Rng rng(seed);
+
+  for (int round = 0; round < 20; ++round) {
+    Bytes stream;
+    std::vector<Packet> sent;
+    const std::size_t frames = 1 + rng.below(40);
+    for (std::size_t i = 0; i < frames; ++i) {
+      Bytes payload(rng.below(700), 0);
+      for (auto& b : payload) b = static_cast<std::uint8_t>(rng.below(256));
+      Packet p = make_packet(rng.next(), rng.next(),
+                             static_cast<std::uint32_t>(rng.below(1u << 31)),
+                             std::move(payload));
+      append_frame(stream, p);
+      sent.push_back(std::move(p));
+    }
+
+    FrameDecoder decoder;
+    std::vector<Packet> received;
+    std::size_t offset = 0;
+    while (offset < stream.size()) {
+      const std::size_t chunk =
+          std::min<std::size_t>(1 + rng.below(97), stream.size() - offset);
+      decoder.feed(BytesView(stream.data() + offset, chunk));
+      offset += chunk;
+      while (auto p = decoder.next()) received.push_back(std::move(*p));
+    }
+
+    ASSERT_EQ(received.size(), sent.size());
+    for (std::size_t i = 0; i < sent.size(); ++i) {
+      expect_equal(received[i], sent[i]);
+    }
+    EXPECT_EQ(decoder.buffered(), 0u);
+    EXPECT_FALSE(decoder.corrupted());
+  }
+}
+
+// Garbage header fuzz: random bytes either decode into SOME frame sequence
+// or poison the stream — but never crash, and never emit a frame longer
+// than the bound.
+TEST(FrameTest, GarbageStreamNeverOverallocates) {
+  const std::uint64_t seed = testing::resolved_seed(0xBADF00D);
+  SCOPED_TRACE(testing::seed_trace_message(seed));
+  Rng rng(seed);
+
+  for (int round = 0; round < 50; ++round) {
+    FrameDecoder decoder(/*max_payload=*/4096);
+    Bytes garbage(rng.below(2000), 0);
+    for (auto& b : garbage) b = static_cast<std::uint8_t>(rng.below(256));
+    decoder.feed(as_view(garbage));
+    while (auto p = decoder.next()) {
+      EXPECT_LE(p->payload.size(), 4096u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace recipe::net

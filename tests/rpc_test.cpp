@@ -4,7 +4,9 @@
 #include <string>
 #include <vector>
 
+#include "net/network.h"
 #include "rpc/rpc.h"
+#include "sim/simulator.h"
 
 namespace recipe::rpc {
 namespace {
