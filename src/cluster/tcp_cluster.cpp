@@ -30,7 +30,8 @@ TcpCluster::TcpCluster(TcpClusterOptions options)
   // One transport (loop thread + listener) per replica, plus the client's.
   std::vector<std::uint16_t> ports(options_.replicas, 0);
   for (std::size_t i = 0; i < options_.replicas; ++i) {
-    transports_.push_back(std::make_unique<transport::TcpTransport>());
+    transports_.push_back(
+        std::make_unique<transport::TcpTransport>(options_.transport));
     const std::uint16_t want =
         options_.base_port == 0
             ? 0
@@ -39,7 +40,8 @@ TcpCluster::TcpCluster(TcpClusterOptions options)
     assert(port.is_ok() && "listen failed");
     ports[i] = port.value();
   }
-  client_transport_ = std::make_unique<transport::TcpTransport>();
+  client_transport_ =
+      std::make_unique<transport::TcpTransport>(options_.transport);
   for (std::size_t i = 0; i < options_.replicas; ++i) {
     for (std::size_t j = 0; j < options_.replicas; ++j) {
       if (i == j) continue;

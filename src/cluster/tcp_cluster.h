@@ -55,6 +55,10 @@ struct TcpClusterOptions {
   // Client request knobs (real-time).
   sim::Time request_timeout = 500 * sim::kMillisecond;
   int max_retries = 6;
+  // Socket/egress knobs applied to every transport in the cluster (replicas
+  // and the client transport): NODELAY, SO_SNDBUF, frame bound. bind_host
+  // stays loopback for in-process clusters.
+  transport::TcpTransportOptions transport{};
 };
 
 class TcpCluster {

@@ -8,22 +8,31 @@
 namespace recipe::net {
 
 void append_frame(Bytes& out, const Packet& packet) {
+  const std::size_t payload_size = packet.payload_size();
   const std::size_t base = out.size();
-  out.resize(base + kFrameHeaderSize + packet.payload.size());
+  out.resize(base + kFrameHeaderSize + payload_size);
   std::uint8_t* p = out.data() + base;
-  store_le32(p, static_cast<std::uint32_t>(packet.payload.size()));
+  store_le32(p, static_cast<std::uint32_t>(payload_size));
   store_le32(p + 4, packet.type);
   store_le64(p + 8, packet.src.value);
   store_le64(p + 16, packet.dst.value);
+  std::uint8_t* at = p + kFrameHeaderSize;
   if (!packet.payload.empty()) {
-    std::memcpy(p + kFrameHeaderSize, packet.payload.data(),
-                packet.payload.size());
+    std::memcpy(at, packet.payload.data(), packet.payload.size());
+    at += packet.payload.size();
+  }
+  // Scatter packets: the length prefix covers the concatenation, so the
+  // receiver cannot tell a gathered frame from a contiguous one.
+  for (const Bytes& seg : packet.segments) {
+    if (seg.empty()) continue;
+    std::memcpy(at, seg.data(), seg.size());
+    at += seg.size();
   }
 }
 
 Bytes encode_frame(const Packet& packet) {
   Bytes out;
-  out.reserve(kFrameHeaderSize + packet.payload.size());
+  out.reserve(kFrameHeaderSize + packet.payload_size());
   append_frame(out, packet);
   return out;
 }

@@ -94,6 +94,9 @@ void SimNetwork::partition(NodeId a, NodeId b, bool blocked) {
 }
 
 void SimNetwork::send(Packet packet) {
+  // The sim has no gather I/O and the adversary hook may replace the
+  // payload wholesale: collapse scatter packets up front.
+  packet.flatten();
   ++packets_sent_;
   bytes_sent_ += packet.wire_size();
 

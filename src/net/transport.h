@@ -15,8 +15,10 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "common/bytes.h"
 #include "common/ids.h"
@@ -27,16 +29,39 @@ namespace recipe::net {
 
 // A network packet. `type` is an application-level message tag; `payload`
 // is opaque serialized bytes (possibly shielded).
+//
+// Scatter form: `segments` (usually empty) carries additional payload
+// pieces that follow `payload` on the wire. The logical payload is the
+// concatenation payload || segments[0] || segments[1] || ... — transports
+// that can gather-write (TcpTransport via sendmsg) ship the pieces without
+// copying them together; anything else calls flatten() first. Framing,
+// cost accounting and receivers only ever see the concatenated bytes.
 struct Packet {
   NodeId src;
   NodeId dst;
   std::uint32_t type{0};
   Bytes payload;
+  std::vector<Bytes> segments{};
+
+  // Total logical payload bytes across payload + segments.
+  std::size_t payload_size() const {
+    std::size_t total = payload.size();
+    for (const Bytes& seg : segments) total += seg.size();
+    return total;
+  }
+
+  // Collapses segments into `payload` (for substrates without gather I/O).
+  void flatten() {
+    if (segments.empty()) return;
+    payload.reserve(payload_size());
+    for (Bytes& seg : segments) append(payload, as_view(seg));
+    segments.clear();
+  }
 
   // Bytes this packet occupies on the wire: payload plus the per-packet
   // frame header — the REAL header net/frame.h puts on a TCP stream, shared
   // with the sim cost model so both substrates charge identical sizes.
-  std::size_t wire_size() const { return payload.size() + kFrameHeaderSize; }
+  std::size_t wire_size() const { return payload_size() + kFrameHeaderSize; }
 };
 
 // Per-endpoint network stack cost model (simulation only; TcpTransport pays
@@ -65,22 +90,48 @@ struct NetStackParams {
 // processor: with k cores, aggregate service capacity is k times one core
 // (an M/D/k approximation good enough for saturation benchmarks).
 // TcpTransport endpoints carry one too (protocol code charges modelled costs
-// unconditionally) but nothing reads it back there.
+// unconditionally) but nothing reads it back there — and under the staged
+// egress pipeline charge() may run on ANY caller thread (shielding happens
+// before post()), so the accumulator is atomic. reserve()/sync_to() remain
+// read-modify-write sequences: they are simulator-side APIs, called only
+// from the single-threaded event loop.
 class NodeCpu {
  public:
-  // Reserves `duration` of CPU work starting no earlier than `ready`;
-  // returns the completion time.
-  sim::Time reserve(sim::Time ready, sim::Time duration) {
-    const sim::Time start = std::max(ready, free_at_);
-    free_at_ = start + scaled(duration);
-    return free_at_;
+  NodeCpu() = default;
+  // Copies transfer the accumulator value (endpoint setup/teardown paths;
+  // never concurrent with hot-path charge()).
+  NodeCpu(const NodeCpu& other)
+      : free_at_(other.free_at()), cores_(other.cores_) {}
+  NodeCpu& operator=(const NodeCpu& other) {
+    free_at_.store(other.free_at(), std::memory_order_relaxed);
+    cores_ = other.cores_;
+    return *this;
   }
 
-  // Charges `duration` of work immediately (from inside a running handler).
-  void charge(sim::Time duration) { free_at_ += scaled(duration); }
+  // Reserves `duration` of CPU work starting no earlier than `ready`;
+  // returns the completion time. Simulator thread only.
+  sim::Time reserve(sim::Time ready, sim::Time duration) {
+    const sim::Time start =
+        std::max(ready, free_at_.load(std::memory_order_relaxed));
+    const sim::Time done = start + scaled(duration);
+    free_at_.store(done, std::memory_order_relaxed);
+    return done;
+  }
 
-  sim::Time free_at() const { return free_at_; }
-  void sync_to(sim::Time t) { free_at_ = std::max(free_at_, t); }
+  // Charges `duration` of work immediately (from inside a running handler,
+  // or — under TcpTransport — from a caller thread shielding a batch).
+  void charge(sim::Time duration) {
+    free_at_.fetch_add(scaled(duration), std::memory_order_relaxed);
+  }
+
+  sim::Time free_at() const {
+    return free_at_.load(std::memory_order_relaxed);
+  }
+  // Simulator thread only.
+  void sync_to(sim::Time t) {
+    free_at_.store(std::max(free_at_.load(std::memory_order_relaxed), t),
+                   std::memory_order_relaxed);
+  }
 
   void set_cores(unsigned cores) { cores_ = cores == 0 ? 1 : cores; }
   unsigned cores() const { return cores_; }
@@ -88,7 +139,7 @@ class NodeCpu {
  private:
   sim::Time scaled(sim::Time duration) const { return duration / cores_; }
 
-  sim::Time free_at_{0};
+  std::atomic<sim::Time> free_at_{0};
   unsigned cores_{1};
 };
 
@@ -110,8 +161,17 @@ class Transport {
 
   // Sends a packet from a local endpoint (packet.src must be attached).
   // Unreachable destinations are dropped, never an error: the stack treats
-  // every loss identically (timeouts + retries).
+  // every loss identically (timeouts + retries). Implementations that do
+  // not understand `packet.segments` must flatten() before use.
   virtual void send(Packet packet) = 0;
+
+  // Sends a scatter packet (payload + segments). Transports with real
+  // gather I/O (TcpTransport: sendmsg/writev) override this to ship the
+  // segments without coalescing them; the default collapses to send().
+  virtual void send_gather(Packet packet) {
+    packet.flatten();
+    send(std::move(packet));
+  }
 
   // The endpoint's modelled CPU (simulation cost accounting; a plain
   // accumulator under TcpTransport).

@@ -20,7 +20,9 @@ void MessageBatcher::enqueue(NodeId peer, std::uint8_t kind,
                              BytesView payload) {
   Pending& pending = pending_[peer];
   if (pending.delay == 0 && config_.max_delay > 0) {
-    pending.delay = config_.max_delay;
+    // First traffic to this peer starts at the ceiling (the RTT budget when
+    // pacing already has samples, max_delay otherwise).
+    pending.delay = delay_ceiling(pending);
   }
   if (pending.frame.empty()) {
     pending.frame.reserve(std::min<std::size_t>(config_.max_bytes, 8 * 1024));
@@ -70,8 +72,42 @@ void MessageBatcher::cancel_all() {
 
 sim::Time MessageBatcher::current_delay(NodeId peer) const {
   const auto it = pending_.find(peer);
-  if (it == pending_.end() || it->second.delay == 0) return config_.max_delay;
+  if (it == pending_.end()) return config_.max_delay;
+  if (it->second.delay == 0) return delay_ceiling(it->second);
   return it->second.delay;
+}
+
+void MessageBatcher::record_rtt(NodeId peer, sim::Time rtt) {
+  Pending& pending = pending_[peer];
+  const double sample = static_cast<double>(rtt);
+  pending.rtt_ewma = pending.rtt_ewma == 0.0
+                         ? sample
+                         : pending.rtt_ewma +
+                               config_.rtt_alpha * (sample - pending.rtt_ewma);
+  // A shrunken round trip pulls an over-budget delay back under it
+  // immediately; growth is left to the occupancy walk, which only spends
+  // the larger budget when timer flushes show the patience pays.
+  pending.delay = std::min(pending.delay, delay_ceiling(pending));
+}
+
+sim::Time MessageBatcher::delay_ceiling(const Pending& pending) const {
+  if (config_.rtt_fraction <= 0.0 || pending.rtt_ewma == 0.0 ||
+      config_.max_delay == 0) {
+    return config_.max_delay;
+  }
+  // The RTT budget: a flush wait no longer than this fraction of the
+  // measured round trip stays hidden inside it. The 1 ns floor keeps clear
+  // of the delay==0 sentinel.
+  const auto paced =
+      static_cast<sim::Time>(pending.rtt_ewma * config_.rtt_fraction);
+  return std::clamp(paced, std::max(config_.min_delay, sim::Time{1}),
+                    config_.max_delay);
+}
+
+sim::Time MessageBatcher::rtt_ewma(NodeId peer) const {
+  const auto it = pending_.find(peer);
+  return it == pending_.end() ? 0
+                              : static_cast<sim::Time>(it->second.rtt_ewma);
 }
 
 void MessageBatcher::flush_pending(NodeId peer, Pending& pending,
@@ -100,8 +136,10 @@ void MessageBatcher::adapt(Pending& pending, std::size_t flushed_count) {
     pending.delay =
         std::max({config_.min_delay, pending.delay / 2, sim::Time{1}});
   } else {
-    // Nearly full at the deadline: a little more patience fills the frame.
-    pending.delay = std::min(config_.max_delay, pending.delay * 2);
+    // Nearly full at the deadline: a little more patience fills the frame —
+    // up to the RTT budget, past which the wait would poke out of the round
+    // trip and show up as client latency.
+    pending.delay = std::min(delay_ceiling(pending), pending.delay * 2);
   }
 }
 

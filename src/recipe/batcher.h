@@ -19,6 +19,19 @@
 // hold lone messages hostage), timer flushes that nearly filled the batch
 // grow it back (a little more patience buys a full frame). Size/count
 // flushes leave the delay alone — under dense traffic the timer never fires.
+//
+// RTT pacing (`rtt_fraction` > 0): the MEASURED per-peer round-trip time
+// sets the CEILING the occupancy walk may grow the delay to — the owner
+// feeds response RTTs into record_rtt(), an EWMA smooths them, and the
+// per-peer delay budget becomes rtt_ewma * rtt_fraction (clamped to
+// [min_delay, max_delay]). The rationale: a flush delay is invisible while
+// it hides inside the network round trip ahead of it, so the budget is the
+// largest wait the latency budget allows — on a fast loopback it collapses
+// toward min_delay, across a real network it stretches toward max_delay.
+// The occupancy walk stays active UNDER the budget (sparse timer flushes
+// still halve the delay so straggler traffic drains fast); only its growth
+// is capped, and a shrinking RTT pulls an over-budget delay back down
+// immediately.
 #pragma once
 
 #include <cstdint>
@@ -39,6 +52,20 @@ struct BatchConfig {
   sim::Time max_delay = 10 * sim::kMicrosecond;
   sim::Time min_delay = 1 * sim::kMicrosecond;  // adaptive floor
   bool adaptive = true;
+  // RTT pacing: when > 0, a peer's flush-delay CEILING is re-paced to
+  // rtt_ewma(peer) * rtt_fraction (clamped to [min_delay, max_delay]); the
+  // occupancy walk adapts underneath it. 0 (default) keeps the fixed
+  // max_delay ceiling and the exact historical flush timing.
+  double rtt_fraction = 0.0;
+  // EWMA smoothing weight for new RTT samples (0 < alpha <= 1).
+  double rtt_alpha = 0.2;
+  // Minimum spacing between the owner's pacing probes to one peer. Tracked
+  // protocol traffic feeds record_rtt() for free, but fire-and-forward
+  // protocols (CR's chain, AllConcur's rounds) never see an RPC response;
+  // with rtt_fraction > 0 the node keeps every paced link measured by
+  // enqueuing a tiny tracked probe at most this often (it rides inside a
+  // batch, so a probe costs one 17-byte sub-message).
+  sim::Time rtt_probe_period = 1 * sim::kMillisecond;
 };
 
 class MessageBatcher {
@@ -77,6 +104,15 @@ class MessageBatcher {
   // has no history yet).
   sim::Time current_delay(NodeId peer) const;
 
+  // Feeds one measured response round-trip time for `peer` into the pacing
+  // EWMA. With rtt_fraction > 0 this re-paces the peer's flush-delay budget;
+  // with the default 0 it only records (rtt_ewma() stays observable either
+  // way).
+  void record_rtt(NodeId peer, sim::Time rtt);
+
+  // The smoothed RTT for `peer` (0 when no samples were recorded).
+  sim::Time rtt_ewma(NodeId peer) const;
+
   // --- Statistics ------------------------------------------------------------
   std::uint64_t messages_batched() const { return messages_batched_; }
   std::uint64_t batches_flushed() const { return batches_flushed_; }
@@ -87,11 +123,15 @@ class MessageBatcher {
   struct Pending {
     BatchFrame frame;
     sim::TimerHandle timer;
-    sim::Time delay{0};  // adaptive per-peer delay; 0 = not initialized
+    sim::Time delay{0};      // adaptive per-peer delay; 0 = not initialized
+    double rtt_ewma{0.0};    // smoothed response RTT in ns; 0 = no samples
   };
 
   void flush_pending(NodeId peer, Pending& pending, bool by_timer);
   void adapt(Pending& pending, std::size_t flushed_count);
+  // The largest delay the occupancy walk may grow to for this peer: the
+  // RTT budget when pacing is on and samples exist, max_delay otherwise.
+  sim::Time delay_ceiling(const Pending& pending) const;
 
   sim::Clock& clock_;
   BatchConfig config_;

@@ -52,6 +52,29 @@ void write_frame_mac(Bytes& wire, const crypto::Hmac& hmac) {
               crypto::kMacSize);
 }
 
+Bytes encode_shielded_frame_head(const ShieldedHeader& header,
+                                 std::size_t payload_size) {
+  Bytes head(kShieldedPayloadOffset);
+  encode_header(head.data(), header);
+  store_le32(head.data() + kShieldedHeaderSize,
+             static_cast<std::uint32_t>(payload_size));
+  return head;
+}
+
+Bytes gathered_frame_tail(BytesView head, BytesView payload,
+                          const crypto::Hmac& hmac) {
+  // Same coverage as write_frame_mac(): the wire prefix, here streamed in
+  // two updates instead of one contiguous pass.
+  crypto::Sha256 inner = hmac.begin();
+  inner.update(head);
+  inner.update(payload);
+  const crypto::Mac mac = hmac.finish(inner);
+  Bytes tail(4 + crypto::kMacSize);
+  store_le32(tail.data(), crypto::kMacSize);
+  std::memcpy(tail.data() + 4, mac.data(), crypto::kMacSize);
+  return tail;
+}
+
 Result<ShieldedView> ShieldedView::parse(BytesView wire) {
   if (wire.size() < kShieldedPayloadOffset) {
     return Status::error(ErrorCode::kInvalidArgument,

@@ -68,6 +68,27 @@ Bytes encode_shielded_frame(const ShieldedHeader& header, BytesView payload,
 // midstates, and writes it into the reserved suffix of `wire`.
 void write_frame_mac(Bytes& wire, const crypto::Hmac& hmac);
 
+// --- Scatter (iovec) frame form ----------------------------------------------
+//
+// A shielded frame split for gather I/O: head || payload || tail is
+// byte-identical to the contiguous encode_shielded_frame() + write_frame_mac()
+// output, but the payload — a flushed BatchFrame body — is never re-copied
+// into one buffer. The MAC streams over head then payload (the exact wire
+// prefix coverage), so gathered and contiguous frames verify identically.
+struct ShieldedFrameParts {
+  Bytes head;  // [header fields | payload_len u32] — kShieldedPayloadOffset B
+  Bytes tail;  // [mac_len u32 | mac bytes] — 4 B in Null mode, 36 B shielded
+};
+
+// Encodes only the frame head for a payload of `payload_size` bytes.
+Bytes encode_shielded_frame_head(const ShieldedHeader& header,
+                                 std::size_t payload_size);
+
+// Computes the frame MAC over head || payload without gathering them into a
+// contiguous buffer and returns the finished tail ([mac_len | mac]).
+Bytes gathered_frame_tail(BytesView head, BytesView payload,
+                          const crypto::Hmac& hmac);
+
 // A parsed frame that BORROWS from the wire bytes: nothing is copied until
 // the caller decides the message is worth keeping. `authenticated` is the
 // wire prefix the MAC covers. Views are valid only while the wire buffer is.

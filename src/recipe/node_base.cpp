@@ -65,6 +65,17 @@ ReplicaNode::ReplicaNode(sim::Clock& clock, net::Transport& network,
     if (shadow_peers_.erase(env.sender) > 0) on_peer_promoted(env.sender);
   });
 
+  // Pacing probe: answer with an empty UNBATCHED response. The probe
+  // measures the intrinsic round trip (network + verify + queueing) that
+  // the flush delay is supposed to hide inside; letting it ride the batched
+  // path would fold both ends' flush delays into the sample and the pacing
+  // loop would chase its own tail up to the ceiling.
+  on(msg::kPacingProbe, [this](VerifiedEnvelope& env,
+                               rpc::RequestContext& ctx) {
+    auto wire = security_->shield(env.sender, current_view(), BytesView{});
+    if (wire) ctx.respond(std::move(wire).take());
+  });
+
   // CAS notice: a node re-attested and rejoins as a FRESH replica — restart
   // its channel counters (paper §3.7 step 3). Authenticated like any peer
   // message: only the CAS (which holds the cluster root) can produce it.
@@ -161,6 +172,9 @@ void ReplicaNode::stop() {
   notice_timer_.cancel();
   // Machine failure: buffered batches die with the node, nothing is flushed.
   batcher_.cancel_all();
+  // Probes in flight died with the process; a rejoin starts unlatched.
+  probe_inflight_.clear();
+  probe_last_.clear();
   network_.crash(options_.self);
   if (options_.enclave != nullptr) options_.enclave->crash();
 }
@@ -278,10 +292,11 @@ void ReplicaNode::dispatch_batch(VerifiedEnvelope& env,
       if (!rpc_.settle(item.rpc_id)) continue;
       const auto it = response_handlers_.find(item.rpc_id);
       if (it == response_handlers_.end()) continue;
-      ResponseHandler handler = std::move(it->second);
+      PendingResponse pending = std::move(it->second);
       response_handlers_.erase(it);
+      feed_rtt(pending);
       VerifiedEnvelope sub = sub_envelope(env, item.payload);
-      if (handler) handler(sub);
+      if (pending.handler) pending.handler(sub);
     }
     // Unknown kinds are skipped: forward compatibility inside a valid MAC.
   }
@@ -297,12 +312,67 @@ VerifiedEnvelope ReplicaNode::sub_envelope(const VerifiedEnvelope& batch_env,
   return sub;
 }
 
+void ReplicaNode::feed_rtt(const PendingResponse& pending) {
+  if (!batcher_.enabled() || pending.sent_at == 0) return;
+  const sim::Time now = clock_.now();
+  if (now > pending.sent_at) {
+    batcher_.record_rtt(pending.peer, now - pending.sent_at);
+  }
+}
+
+void ReplicaNode::maybe_probe_rtt(NodeId peer) {
+  if (options_.batch.rtt_fraction <= 0.0) return;
+  if (probe_inflight_.contains(peer)) return;
+  const sim::Time now = clock_.now();
+  const auto it = probe_last_.find(peer);
+  if (it != probe_last_.end() &&
+      now - it->second < options_.batch.rtt_probe_period) {
+    return;
+  }
+  probe_last_[peer] = now;
+  probe_inflight_.insert(peer);
+  // The probe bypasses the batcher in BOTH directions (plain shielded frame
+  // out, unbatched response back): the sample must be the round trip the
+  // flush delay hides inside, not one inflated by the very delays it tunes.
+  // It still shares the socket with batched traffic, so real congestion and
+  // egress queueing show up in the signal. The timeout bounds the in-flight
+  // latch when the peer is down.
+  auto wire = security_->shield(peer, current_view(), BytesView{});
+  if (!wire) {
+    probe_inflight_.erase(peer);
+    return;
+  }
+  rpc_.send(peer, msg::kPacingProbe, std::move(wire).take(),
+            [this, peer, now](NodeId src, Bytes response) {
+              probe_inflight_.erase(peer);
+              if (!running_) return;
+              auto env = security_->verify(src, as_view(response));
+              if (!env || env.value().batch) return;  // forged/replayed: drop
+              const sim::Time done = clock_.now();
+              if (done > now) batcher_.record_rtt(peer, done - now);
+            },
+            10 * options_.batch.rtt_probe_period,
+            [this, peer] { probe_inflight_.erase(peer); });
+}
+
 void ReplicaNode::send_batch(NodeId peer, Bytes body) {
-  auto wire = security_->shield_batch(peer, current_view(), as_view(body));
-  if (!wire) return;  // crashed enclave: the batch dies like any send
+  // Each flush re-arms the link's RTT measurement first: the probe lands in
+  // the batch AFTER this one (this body is already finalized).
+  maybe_probe_rtt(peer);
+  // Scatter shield: the batch body is encrypted/MACed where it already
+  // lives and travels as head || body || tail through gather I/O — the
+  // flushed frame is never re-copied into a contiguous buffer. Shipped
+  // bytes are identical to shield_batch().
+  auto parts = security_->shield_batch_parts(peer, current_view(), body);
+  if (!parts) return;  // crashed enclave: the batch dies like any send
+  std::vector<Bytes> segments;
+  segments.reserve(3);
+  segments.push_back(std::move(parts.value().head));
+  segments.push_back(std::move(body));
+  segments.push_back(std::move(parts.value().tail));
   // Fire-and-forget at the transport level; tracked sub-requests were
   // registered via expect_response() and time out individually.
-  rpc_.send(peer, msg::kBatch, std::move(wire).take());
+  rpc_.send_gather(peer, msg::kBatch, std::move(segments));
 }
 
 void ReplicaNode::send_to(NodeId peer, rpc::RequestType type, BytesView payload,
@@ -315,20 +385,22 @@ void ReplicaNode::send_to(NodeId peer, rpc::RequestType type, BytesView payload,
   rpc::Continuation wrapped;
   rpc::TimeoutHandler timeout_wrapped;
   if (tracked) {
-    if (continuation) response_handlers_[rpc_id] = std::move(continuation);
+    response_handlers_[rpc_id] =
+        PendingResponse{std::move(continuation), peer, clock_.now()};
     // Unbatched wire path. (When the peer answers from inside a batch the
     // batch dispatcher completes the rpc instead and this never runs.)
     wrapped = [this, rpc_id](NodeId src, Bytes response) {
       const auto it = response_handlers_.find(rpc_id);
       if (it == response_handlers_.end()) return;
-      ResponseHandler handler = std::move(it->second);
+      PendingResponse pending = std::move(it->second);
       response_handlers_.erase(it);
+      feed_rtt(pending);
       if (!running_) return;
       auto env = security_->verify(src, as_view(response));
       if (!env) return;  // forged/replayed response: drop
       // A batch frame is never a direct response.
       if (env.value().batch) return;
-      if (handler) handler(env.value());
+      if (pending.handler) pending.handler(env.value());
     };
     timeout_wrapped = [this, rpc_id, cb = std::move(on_timeout)] {
       response_handlers_.erase(rpc_id);

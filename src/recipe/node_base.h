@@ -45,6 +45,12 @@ constexpr rpc::RequestType kShadowJoin = 0xC0005;
 // The caught-up shadow re-enters the active membership; each peer flips it
 // back atomically on receipt of this (authenticated) notice.
 constexpr rpc::RequestType kPromote = 0xC0006;
+// RTT pacing probe: an empty tracked request answered with an empty
+// response, both riding the normal batched path. Sent only when batching
+// runs with rtt_fraction > 0, so fire-and-forward protocols (whose traffic
+// never completes an RPC) still measure the per-peer round trip that the
+// flush-delay autotuner paces against.
+constexpr rpc::RequestType kPacingProbe = 0xC0007;
 }  // namespace msg
 
 struct ReplicaOptions {
@@ -305,14 +311,32 @@ class ReplicaNode {
   MessageBatcher batcher_;
   // Post-verification response continuations by rpc id. Responses complete
   // from EITHER path: the unbatched wire path (rpc continuation -> verify ->
-  // handler) or a batched sub-message (already verified -> handler).
-  std::unordered_map<std::uint64_t, ResponseHandler> response_handlers_;
+  // handler) or a batched sub-message (already verified -> handler). The
+  // send timestamp rides along so either completion path can feed the
+  // measured round trip into the batcher's RTT pacing.
+  struct PendingResponse {
+    ResponseHandler handler;
+    NodeId peer{};
+    sim::Time sent_at{0};
+  };
+  std::unordered_map<std::uint64_t, PendingResponse> response_handlers_;
+  // Feeds one completed round trip into the batcher's pacing EWMA.
+  void feed_rtt(const PendingResponse& pending);
+  // Keeps a paced link measured: with rtt_fraction > 0, enqueues a tracked
+  // kPacingProbe toward `peer` at most every rtt_probe_period (one probe in
+  // flight per peer). Called on each batch flush, so only peers this node
+  // actually batches toward are probed.
+  void maybe_probe_rtt(NodeId peer);
   std::unordered_map<rpc::RequestType, EnvelopeHandler> handlers_;
   kv::KvStore kv_;
   ClientTable client_table_;
   tee::TrustedClock trusted_clock_;
   tee::LeaseFailureDetector failure_detector_;
   std::vector<NodeId> suspected_already_;
+  // Pacing-probe throttle state: last probe send time per peer, plus the
+  // set of peers with a probe currently in flight.
+  std::unordered_map<NodeId, sim::Time> probe_last_;
+  std::set<NodeId> probe_inflight_;
   sim::TimerHandle heartbeat_timer_;
   bool running_{false};
   bool shadow_{false};

@@ -7,9 +7,8 @@ namespace recipe {
 
 // --- NullSecurity ------------------------------------------------------------
 
-Result<Bytes> NullSecurity::shield_frame(NodeId peer, ViewId view,
-                                         BytesView payload,
-                                         std::uint8_t flags) {
+ShieldedHeader NullSecurity::make_header(NodeId peer, ViewId view,
+                                         std::uint8_t flags) const {
   ShieldedHeader header;
   header.view = view;
   header.cq = directed_channel(self_, peer);
@@ -17,7 +16,13 @@ Result<Bytes> NullSecurity::shield_frame(NodeId peer, ViewId view,
   header.sender = self_;
   header.receiver = peer;
   header.flags = flags;
-  return encode_shielded_frame(header, payload, 0);
+  return header;
+}
+
+Result<Bytes> NullSecurity::shield_frame(NodeId peer, ViewId view,
+                                         BytesView payload,
+                                         std::uint8_t flags) {
+  return encode_shielded_frame(make_header(peer, view, flags), payload, 0);
 }
 
 Result<Bytes> NullSecurity::shield(NodeId peer, ViewId view,
@@ -28,6 +33,18 @@ Result<Bytes> NullSecurity::shield(NodeId peer, ViewId view,
 Result<Bytes> NullSecurity::shield_batch(NodeId peer, ViewId view,
                                          BytesView body) {
   return shield_frame(peer, view, body, ShieldedHeader::kFlagBatch);
+}
+
+Result<ShieldedFrameParts> NullSecurity::shield_batch_parts(NodeId peer,
+                                                            ViewId view,
+                                                            Bytes& body) {
+  // No MAC in Null mode: the tail is just the zero mac-length field, so
+  // head || body || tail matches shield_batch()'s bytes exactly.
+  ShieldedFrameParts parts;
+  parts.head = encode_shielded_frame_head(
+      make_header(peer, view, ShieldedHeader::kFlagBatch), body.size());
+  parts.tail = Bytes(4, 0);
+  return parts;
 }
 
 Result<VerifiedEnvelope> NullSecurity::verify(
@@ -59,19 +76,21 @@ RecipeSecurity::RecipeSecurity(tee::Enclave& enclave, NodeId self,
       cpu_(cpu),
       config_(std::move(config)) {}
 
-RecipeSecurity::ChannelCrypto* RecipeSecurity::cached_channel_crypto(
+RecipeSecurity::CryptoSnapshot RecipeSecurity::cached_channel_crypto(
     NodeId peer) {
   // A crashed enclave must refuse service even when a derived context is
   // cached: the keys notionally live inside the enclave (crash() does not
   // advance keyset_epoch — only restart()/re-provisioning do).
   if (enclave_.crashed()) return nullptr;
+  const std::uint64_t epoch = enclave_.keyset_epoch();
+  std::lock_guard<std::mutex> lock(cache_mu_);
   const auto it = crypto_cache_.find(peer);
   if (it == crypto_cache_.end()) return nullptr;
-  if (it->second.epoch != enclave_.keyset_epoch()) {
+  if (it->second->epoch != epoch) {
     crypto_cache_.erase(it);
     return nullptr;
   }
-  return &it->second;
+  return it->second;
 }
 
 Result<RecipeSecurity::ChannelCrypto> RecipeSecurity::derive_channel_crypto(
@@ -83,6 +102,20 @@ Result<RecipeSecurity::ChannelCrypto> RecipeSecurity::derive_channel_crypto(
   cc.hmac = crypto::Hmac(cc.key.view());
   cc.epoch = enclave_.keyset_epoch();
   return cc;
+}
+
+Result<RecipeSecurity::CryptoSnapshot> RecipeSecurity::shield_channel_crypto(
+    NodeId peer) {
+  if (CryptoSnapshot cc = cached_channel_crypto(peer)) return cc;
+  auto derived = derive_channel_crypto(peer);
+  if (!derived) return derived.status();
+  auto fresh =
+      std::make_shared<const ChannelCrypto>(std::move(derived).take());
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  // Two threads may race the first derivation; both derive the same key, so
+  // whichever snapshot lands in the cache is equivalent.
+  crypto_cache_[peer] = fresh;
+  return CryptoSnapshot(std::move(fresh));
 }
 
 Result<Bytes> RecipeSecurity::shield(NodeId peer, ViewId view,
@@ -97,23 +130,16 @@ Result<Bytes> RecipeSecurity::shield_batch(NodeId peer, ViewId view,
   return shield_frame(peer, view, body, ShieldedHeader::kFlagBatch);
 }
 
-Result<Bytes> RecipeSecurity::shield_frame(NodeId peer, ViewId view,
-                                           BytesView payload,
-                                           std::uint8_t extra_flags) {
+Result<ShieldedHeader> RecipeSecurity::begin_shield(NodeId peer, ViewId view,
+                                                    std::uint8_t extra_flags) {
   const ChannelId cq = directed_channel(self_, peer);
 
   // Trusted counter increment happens INSIDE the enclave: a crashed enclave
-  // cannot shield, and counters never repeat (non-equivocation).
+  // cannot shield, and counters never repeat (non-equivocation) — the
+  // allocation is atomic, so concurrent caller-thread shields on one
+  // channel always carry distinct (cnt, nonce) pairs.
   auto cnt = enclave_.increment_counter(cq);
   if (!cnt) return cnt.status();
-  // Shield targets are protocol members (not attacker-chosen), so caching
-  // before use is safe here, unlike in verify().
-  const ChannelCrypto* cc = cached_channel_crypto(peer);
-  if (cc == nullptr) {
-    auto derived = derive_channel_crypto(peer);
-    if (!derived) return derived.status();
-    cc = &(crypto_cache_[peer] = std::move(derived).take());
-  }
 
   if (config_.confidentiality &&
       cnt.value() >= crypto::kChannelNonceMessageLimit) {
@@ -132,25 +158,70 @@ Result<Bytes> RecipeSecurity::shield_frame(NodeId peer, ViewId view,
   header.receiver = peer;
   header.flags = extra_flags;
   if (config_.confidentiality) header.flags |= ShieldedHeader::kFlagEncrypted;
+  return header;
+}
+
+Result<Bytes> RecipeSecurity::shield_frame(NodeId peer, ViewId view,
+                                           BytesView payload,
+                                           std::uint8_t extra_flags) {
+  auto header = begin_shield(peer, view, extra_flags);
+  if (!header) return header.status();
+  auto cc = shield_channel_crypto(peer);
+  if (!cc) return cc.status();
 
   // Single-buffer fast path: the payload is copied exactly once (into the
   // wire buffer), encrypted in place, and MACed as the buffer prefix.
-  Bytes wire = encode_shielded_frame(header, payload, crypto::kMacSize);
+  Bytes wire = encode_shielded_frame(header.value(), payload,
+                                     crypto::kMacSize);
 
   if (config_.confidentiality) {
-    const auto nonce = crypto::make_channel_nonce(cq.value, cnt.value());
-    crypto::chacha20_xor(cc->key.view(), nonce, 0,
+    const auto nonce = crypto::make_channel_nonce(header.value().cq.value,
+                                                  header.value().cnt);
+    crypto::chacha20_xor(cc.value()->key.view(), nonce, 0,
                          wire.data() + kShieldedPayloadOffset, payload.size());
     if (cost_model_ != nullptr) charge(cost_model_->encrypt(payload.size()));
   }
 
-  write_frame_mac(wire, cc->hmac);
+  write_frame_mac(wire, cc.value()->hmac);
 
   if (cost_model_ != nullptr) {
     charge(cost_model_->exitless_call() + cost_model_->mac(payload.size()) +
            cost_model_->enclave_copy(payload.size(), working_set()));
   }
   return wire;
+}
+
+Result<ShieldedFrameParts> RecipeSecurity::shield_batch_parts(NodeId peer,
+                                                              ViewId view,
+                                                              Bytes& body) {
+  auto header = begin_shield(peer, view, ShieldedHeader::kFlagBatch);
+  if (!header) return header.status();
+  auto cc = shield_channel_crypto(peer);
+  if (!cc) return cc.status();
+
+  ShieldedFrameParts parts;
+  parts.head = encode_shielded_frame_head(header.value(), body.size());
+
+  if (config_.confidentiality) {
+    // Encrypt the body where it already lives; the gather write ships the
+    // ciphertext without ever copying it into a contiguous frame.
+    const auto nonce = crypto::make_channel_nonce(header.value().cq.value,
+                                                  header.value().cnt);
+    crypto::chacha20_xor(cc.value()->key.view(), nonce, 0, body.data(),
+                         body.size());
+    if (cost_model_ != nullptr) charge(cost_model_->encrypt(body.size()));
+  }
+
+  parts.tail =
+      gathered_frame_tail(as_view(parts.head), as_view(body),
+                          cc.value()->hmac);
+
+  if (cost_model_ != nullptr) {
+    // Same per-message work as the contiguous path MINUS the enclave copy of
+    // the body: the whole point of the scatter form.
+    charge(cost_model_->exitless_call() + cost_model_->mac(body.size()));
+  }
+  return parts;
 }
 
 Result<VerifiedEnvelope> RecipeSecurity::verify(
@@ -177,8 +248,8 @@ Result<VerifiedEnvelope> RecipeSecurity::verify(
   // an unknown sender id is derived into a LOCAL and only committed to the
   // cache after the MAC verifies — otherwise forged frames with millions of
   // distinct sender ids would grow the cache without bound.
-  const ChannelCrypto* cc = cached_channel_crypto(msg.header.sender);
-  std::optional<ChannelCrypto> fresh;
+  CryptoSnapshot cc = cached_channel_crypto(msg.header.sender);
+  bool fresh = false;
   if (cc == nullptr) {
     auto derived = derive_channel_crypto(msg.header.sender);
     if (!derived) {
@@ -186,8 +257,8 @@ Result<VerifiedEnvelope> RecipeSecurity::verify(
       return Status::error(ErrorCode::kNotAttested,
                            "no channel key for sender");
     }
-    fresh = std::move(derived).take();
-    cc = &*fresh;
+    cc = std::make_shared<const ChannelCrypto>(std::move(derived).take());
+    fresh = true;
   }
 
   if (cost_model_ != nullptr) {
@@ -208,7 +279,8 @@ Result<VerifiedEnvelope> RecipeSecurity::verify(
   }
   // The sender proved key possession: NOW the context may be cached.
   if (fresh) {
-    cc = &(crypto_cache_[msg.header.sender] = std::move(*fresh));
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    crypto_cache_[msg.header.sender] = cc;
   }
 
   if (require_view && msg.header.view != *require_view) {
@@ -235,6 +307,9 @@ Result<VerifiedEnvelope> RecipeSecurity::verify(
     }
   }
 
+  // Replay/ordering bookkeeping: the per-channel state both directions of a
+  // concurrent receive path must agree on, hence the one receive-side lock.
+  std::lock_guard<std::mutex> recv_lock(recv_mu_);
   ChannelState& ch = channels_[msg.header.cq];
   const Counter cnt = msg.header.cnt;
 
@@ -281,19 +356,28 @@ Result<VerifiedEnvelope> RecipeSecurity::verify(
 }
 
 std::vector<VerifiedEnvelope> RecipeSecurity::drain_ready() {
+  std::lock_guard<std::mutex> lock(recv_mu_);
   return std::exchange(ready_, {});
 }
 
 void RecipeSecurity::reset_all() {
-  channels_.clear();
+  {
+    std::lock_guard<std::mutex> lock(recv_mu_);
+    channels_.clear();
+    ready_.clear();
+  }
+  std::lock_guard<std::mutex> lock(cache_mu_);
   crypto_cache_.clear();
-  ready_.clear();
 }
 
 void RecipeSecurity::reset_peer(NodeId peer) {
-  channels_.erase(directed_channel(peer, self_));
+  {
+    std::lock_guard<std::mutex> lock(recv_mu_);
+    channels_.erase(directed_channel(peer, self_));
+  }
   // Drop the cached crypto context too: the peer re-attested, so its channel
   // key must be re-derived from whatever the enclave now holds.
+  std::lock_guard<std::mutex> lock(cache_mu_);
   crypto_cache_.erase(peer);
 }
 

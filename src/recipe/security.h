@@ -21,12 +21,24 @@
 //  * single-buffer encoding — the frame is laid out once, encrypted in
 //    place, and MACed as a buffer prefix (no authenticated_data() copy);
 //  * ring-bitmap replay window (ReplayWindow) instead of a std::map.
+//
+// Threading (staged egress pipeline): shield()/shield_batch{,_parts}() and
+// verify() are callable from ANY thread. Cached crypto contexts are IMMUTABLE
+// snapshots handed out as shared_ptr<const ChannelCrypto> (crypto::Hmac only
+// copies midstates from a const context, so concurrent MACs never share
+// mutable state); counter allocation is atomic inside the enclave; the only
+// locks on the send path are the short cache lookup and the enclave's
+// counter mutex. Receive-side replay/ordering bookkeeping serializes behind
+// its own mutex — nonce/replay state is the ONLY part of a channel that two
+// threads must agree on.
 #pragma once
 
+#include <atomic>
 #include <deque>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <unordered_map>
 
@@ -79,6 +91,15 @@ class SecurityPolicy {
   virtual Result<Bytes> shield_batch(NodeId peer, ViewId view,
                                      BytesView body) = 0;
 
+  // Scatter form of shield_batch(): the flushed batch body stays where it
+  // is (encrypted in place under confidentiality) and only the frame head
+  // and MAC tail are produced, so the transport can gather-write
+  // head || body || tail without re-copying the body into one contiguous
+  // frame. The byte stream is identical to shield_batch()'s.
+  virtual Result<ShieldedFrameParts> shield_batch_parts(NodeId peer,
+                                                        ViewId view,
+                                                        Bytes& body) = 0;
+
   // Verifies a received wire message (paper: verify_msg). `claimed_sender`
   // is what the untrusted network says; Recipe mode authenticates it.
   // `require_view`: when set, messages from other views are rejected.
@@ -117,6 +138,8 @@ class NullSecurity final : public SecurityPolicy {
 
   Result<Bytes> shield(NodeId peer, ViewId view, BytesView payload) override;
   Result<Bytes> shield_batch(NodeId peer, ViewId view, BytesView body) override;
+  Result<ShieldedFrameParts> shield_batch_parts(NodeId peer, ViewId view,
+                                                Bytes& body) override;
   Result<VerifiedEnvelope> verify(
       NodeId claimed_sender, BytesView wire,
       std::optional<ViewId> require_view = std::nullopt) override;
@@ -125,6 +148,8 @@ class NullSecurity final : public SecurityPolicy {
  private:
   Result<Bytes> shield_frame(NodeId peer, ViewId view, BytesView payload,
                              std::uint8_t flags);
+  ShieldedHeader make_header(NodeId peer, ViewId view, std::uint8_t flags)
+      const;
 
   NodeId self_;
 };
@@ -150,6 +175,8 @@ class RecipeSecurity final : public SecurityPolicy {
 
   Result<Bytes> shield(NodeId peer, ViewId view, BytesView payload) override;
   Result<Bytes> shield_batch(NodeId peer, ViewId view, BytesView body) override;
+  Result<ShieldedFrameParts> shield_batch_parts(NodeId peer, ViewId view,
+                                                Bytes& body) override;
   Result<VerifiedEnvelope> verify(
       NodeId claimed_sender, BytesView wire,
       std::optional<ViewId> require_view = std::nullopt) override;
@@ -159,22 +186,26 @@ class RecipeSecurity final : public SecurityPolicy {
   bool secured() const override { return true; }
 
   // Statistics for the evaluation and Byzantine tests.
-  std::uint64_t rejected_auth() const { return rejected_auth_; }
-  std::uint64_t rejected_replay() const { return rejected_replay_; }
-  std::uint64_t buffered_future() const { return buffered_future_; }
-  std::uint64_t rejected_view() const { return rejected_view_; }
+  std::uint64_t rejected_auth() const { return rejected_auth_.load(); }
+  std::uint64_t rejected_replay() const { return rejected_replay_.load(); }
+  std::uint64_t buffered_future() const { return buffered_future_.load(); }
+  std::uint64_t rejected_view() const { return rejected_view_.load(); }
   // Strict mode: messages dropped because the future buffer was full.
-  std::uint64_t rejected_overflow() const { return rejected_overflow_; }
+  std::uint64_t rejected_overflow() const { return rejected_overflow_.load(); }
 
  private:
   // Per-peer cached crypto context: the derived pairwise key and the HMAC
-  // key schedule, computed once per channel lifetime. `epoch` snapshots
-  // Enclave::keyset_epoch() so re-provisioning invalidates stale entries.
+  // key schedule, computed once per channel lifetime. IMMUTABLE once cached
+  // (handed out as shared_ptr<const> so any thread can MAC against it while
+  // reset_peer()/epoch changes swap the cache slot underneath). `epoch`
+  // snapshots Enclave::keyset_epoch() so re-provisioning invalidates stale
+  // entries.
   struct ChannelCrypto {
     crypto::SymmetricKey key;
     crypto::Hmac hmac;
     std::uint64_t epoch{0};
   };
+  using CryptoSnapshot = std::shared_ptr<const ChannelCrypto>;
 
   struct ChannelState {
     Counter rcnt{0};  // strict: last in-order accepted
@@ -188,15 +219,23 @@ class RecipeSecurity final : public SecurityPolicy {
   std::uint64_t working_set() const {
     return config_.working_set ? config_.working_set() : 0;
   }
-  // Returns the cached context for `peer`, or null when absent, stale
+  // Returns the cached snapshot for `peer`, or null when absent, stale
   // (keyset epoch moved — the entry is dropped) or the enclave is crashed.
-  ChannelCrypto* cached_channel_crypto(NodeId peer);
+  CryptoSnapshot cached_channel_crypto(NodeId peer);
   // Derives a context WITHOUT touching the cache. verify() only commits a
   // freshly derived context after the MAC proves the sender holds the key,
   // so forged sender ids cannot grow the cache.
   Result<ChannelCrypto> derive_channel_crypto(NodeId peer);
-  // Shared single-buffer encoder behind shield()/shield_batch(): `extra_flags`
-  // is ORed into the header (kFlagBatch for batches).
+  // Cache-or-derive for SHIELD targets (protocol members, not
+  // attacker-chosen: caching before use is safe here, unlike in verify()).
+  Result<CryptoSnapshot> shield_channel_crypto(NodeId peer);
+  // Counter allocation + header construction shared by the contiguous and
+  // scatter shield paths; fails when the enclave is crashed or the
+  // confidentiality nonce space is exhausted.
+  Result<ShieldedHeader> begin_shield(NodeId peer, ViewId view,
+                                      std::uint8_t extra_flags);
+  // Shared single-buffer encoder behind shield()/shield_batch():
+  // `extra_flags` is ORed into the header (kFlagBatch for batches).
   Result<Bytes> shield_frame(NodeId peer, ViewId view, BytesView payload,
                              std::uint8_t extra_flags);
 
@@ -205,15 +244,21 @@ class RecipeSecurity final : public SecurityPolicy {
   const tee::TeeCostModel* cost_model_;
   net::NodeCpu* cpu_;
   RecipeSecurityConfig config_;
-  std::unordered_map<NodeId, ChannelCrypto> crypto_cache_;
+  // Send/verify crypto snapshots; the lock covers only map lookups and
+  // swaps, never key derivation or MAC computation.
+  mutable std::mutex cache_mu_;
+  std::unordered_map<NodeId, CryptoSnapshot> crypto_cache_;
+  // Receive-side replay/ordering state (the per-channel bookkeeping the
+  // class comment's threading rules serialize).
+  mutable std::mutex recv_mu_;
   std::unordered_map<ChannelId, ChannelState> channels_;
   std::vector<VerifiedEnvelope> ready_;
 
-  std::uint64_t rejected_auth_{0};
-  std::uint64_t rejected_replay_{0};
-  std::uint64_t buffered_future_{0};
-  std::uint64_t rejected_view_{0};
-  std::uint64_t rejected_overflow_{0};
+  std::atomic<std::uint64_t> rejected_auth_{0};
+  std::atomic<std::uint64_t> rejected_replay_{0};
+  std::atomic<std::uint64_t> buffered_future_{0};
+  std::atomic<std::uint64_t> rejected_view_{0};
+  std::atomic<std::uint64_t> rejected_overflow_{0};
 };
 
 }  // namespace recipe

@@ -18,6 +18,19 @@ Bytes encode_rpc(Kind kind, RequestType type, std::uint64_t rpc_id,
   w.bytes(payload);
   return std::move(w).take();
 }
+
+// Envelope head for a scatter send: identical bytes to encode_rpc() up to
+// and including the payload length prefix; the payload itself follows as
+// gathered segments on the wire.
+Bytes encode_rpc_head(Kind kind, RequestType type, std::uint64_t rpc_id,
+                      std::size_t payload_size) {
+  Writer w(17);
+  w.enumeration(kind);
+  w.u32(type);
+  w.u64(rpc_id);
+  w.u32(static_cast<std::uint32_t>(payload_size));
+  return std::move(w).take();
+}
 }  // namespace
 
 void RequestContext::respond(Bytes response_payload) {
@@ -63,6 +76,17 @@ std::uint64_t RpcObject::send(NodeId dst, RequestType type, Bytes payload,
                      /*is_response=*/false,
                      /*consumes_credit=*/tracked});
   return rpc_id;
+}
+
+void RpcObject::send_gather(NodeId dst, RequestType type,
+                            std::vector<Bytes> segments) {
+  ++requests_sent_;
+  QueuedSend item{dst,   type,
+                  /*rpc_id=*/0, Bytes{},
+                  /*is_response=*/false,
+                  /*consumes_credit=*/false};
+  item.segments = std::move(segments);
+  enqueue(std::move(item));
 }
 
 void RpcObject::expect_response(NodeId dst, std::uint64_t rpc_id,
@@ -140,6 +164,16 @@ void RpcObject::transmit(QueuedSend&& item) {
   packet.src = self_;
   packet.dst = item.dst;
   packet.type = kRpcPacketType;
+  if (!item.segments.empty()) {
+    // Scatter path: envelope head + the segments travel as one frame via
+    // gather I/O; byte stream identical to the contiguous encode_rpc().
+    std::size_t total = 0;
+    for (const Bytes& seg : item.segments) total += seg.size();
+    packet.payload = encode_rpc_head(kind, item.type, item.rpc_id, total);
+    packet.segments = std::move(item.segments);
+    network_.send_gather(std::move(packet));
+    return;
+  }
   packet.payload = encode_rpc(kind, item.type, item.rpc_id,
                               as_view(item.payload));
   network_.send(std::move(packet));

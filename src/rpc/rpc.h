@@ -83,6 +83,14 @@ class RpcObject {
   // Reserves a fresh rpc id for send() or expect_response().
   std::uint64_t allocate_rpc_id() { return next_rpc_id_++; }
 
+  // Fire-and-forget scatter send: the logical RPC payload is the
+  // concatenation of `segments`, shipped via net::Transport::send_gather()
+  // so transports with real gather I/O never copy the pieces together.
+  // Untracked and credit-free (the staged egress pipeline's batch frames
+  // carry their own correlation ids inside the payload); responses to the
+  // batched sub-messages are tracked separately via expect_response().
+  void send_gather(NodeId dst, RequestType type, std::vector<Bytes> segments);
+
   // Tracks a request whose payload travels out-of-band — inside a shared
   // batch frame. Continuation/timeout behave exactly as for send(), but
   // nothing is transmitted here and no session credit is consumed: batched
@@ -140,6 +148,10 @@ class RpcObject {
     // Fire-and-forget requests bypass the credit window: no response will
     // ever return their credit.
     bool consumes_credit;
+    // Scatter sends: when non-empty the logical RPC payload is the
+    // concatenation of `segments` (and `payload` is unused); transmit()
+    // routes these through Transport::send_gather().
+    std::vector<Bytes> segments{};
   };
 
   struct Session {

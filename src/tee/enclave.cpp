@@ -72,13 +72,17 @@ Result<crypto::SymmetricKey> Enclave::dh_shared_key(
 Status Enclave::install_secret(const std::string& name,
                                crypto::SymmetricKey key) {
   if (auto s = check_alive(); !s.is_ok()) return s;
-  secrets_[name] = std::move(key);
-  ++keyset_epoch_;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    secrets_[name] = std::move(key);
+  }
+  keyset_epoch_.fetch_add(1, std::memory_order_acq_rel);
   return Status::ok();
 }
 
 Result<crypto::SymmetricKey> Enclave::secret(const std::string& name) const {
   if (auto s = check_alive(); !s.is_ok()) return s;
+  std::lock_guard<std::mutex> lock(mu_);
   const auto it = secrets_.find(name);
   if (it == secrets_.end()) {
     return Status::error(ErrorCode::kNotFound,
@@ -88,15 +92,22 @@ Result<crypto::SymmetricKey> Enclave::secret(const std::string& name) const {
 }
 
 bool Enclave::has_secret(const std::string& name) const {
-  return !crashed_ && secrets_.contains(name);
+  if (crashed()) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  return secrets_.contains(name);
 }
 
 Result<Counter> Enclave::increment_counter(ChannelId cq) {
   if (auto s = check_alive(); !s.is_ok()) return s;
+  // Atomic allocation: two concurrent shields on one channel always receive
+  // DISTINCT values (the non-equivocation root must never hand out a nonce
+  // twice, no matter which thread asks).
+  std::lock_guard<std::mutex> lock(mu_);
   return ++counters_[cq];
 }
 
 Counter Enclave::peek_counter(ChannelId cq) const {
+  std::lock_guard<std::mutex> lock(mu_);
   const auto it = counters_.find(cq);
   return it == counters_.end() ? 0 : it->second;
 }
@@ -139,11 +150,14 @@ void Enclave::restart() {
   // A re-launched enclave keeps its identity (same binary, same platform)
   // but loses all volatile state: it must be re-attested and re-provisioned,
   // and it joins as a FRESH replica so stale counters can never be reused.
-  crashed_ = false;
+  crashed_.store(false, std::memory_order_release);
   dh_keypair_.reset();
-  secrets_.clear();
-  counters_.clear();
-  ++keyset_epoch_;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    secrets_.clear();
+    counters_.clear();
+  }
+  keyset_epoch_.fetch_add(1, std::memory_order_acq_rel);
 }
 
 }  // namespace recipe::tee

@@ -10,9 +10,20 @@
 //  * the enclave can only crash-fail: crash() makes every entry point return
 //    kUnavailable, and a restarted enclave comes back EMPTY (no secrets, no
 //    counters) — it must re-attest and rejoin as a fresh replica (§3.7).
+//
+// Threading: the shielding hot path — increment_counter(), peek_counter(),
+// secret(), has_secret(), keyset_epoch(), crashed() — may be called from ANY
+// thread (caller-thread crypto in the staged egress pipeline): counters and
+// the secret store sit behind a mutex, crash/epoch state is atomic, and an
+// allocated counter value is never handed to two callers. The attestation /
+// provisioning / sealing entry points (attest, quotes, DH, random_bytes,
+// snapshot versions) stay single-threaded — they run on the owner's loop
+// thread during setup and recovery, never on the message hot path.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -86,7 +97,9 @@ class Enclave {
   // restart(). Anything caching material DERIVED from enclave secrets (e.g.
   // per-channel crypto contexts) keys its cache on this so re-attestation /
   // re-provisioning invalidates it.
-  std::uint64_t keyset_epoch() const { return keyset_epoch_; }
+  std::uint64_t keyset_epoch() const {
+    return keyset_epoch_.load(std::memory_order_acquire);
+  }
 
   // --- Trusted monotonic counters (non-equivocation root) ----------------
 
@@ -121,14 +134,14 @@ class Enclave {
   // TEEs may only crash-fail (paper fault model). After crash(), every
   // operation fails; restart() models a re-launched enclave: identity is
   // preserved but ALL volatile state (secrets, counters, DH key) is wiped.
-  void crash() { crashed_ = true; }
+  void crash() { crashed_.store(true, std::memory_order_release); }
   void restart();
-  bool crashed() const { return crashed_; }
+  bool crashed() const { return crashed_.load(std::memory_order_acquire); }
 
  private:
   Status check_alive() const {
-    if (crashed_) return Status::error(ErrorCode::kUnavailable,
-                                       "enclave crashed");
+    if (crashed()) return Status::error(ErrorCode::kUnavailable,
+                                        "enclave crashed");
     return Status::ok();
   }
 
@@ -138,10 +151,13 @@ class Enclave {
   Measurement measurement_{};
   crypto::Drbg drbg_;
   std::optional<crypto::DhKeyPair> dh_keypair_;
+  // Hot-path state: guarded by mu_ so concurrent caller-thread shielding
+  // allocates each counter value exactly once (see class comment).
+  mutable std::mutex mu_;
   std::unordered_map<std::string, crypto::SymmetricKey> secrets_;
   std::unordered_map<ChannelId, Counter> counters_;
-  std::uint64_t keyset_epoch_{0};
-  bool crashed_{false};
+  std::atomic<std::uint64_t> keyset_epoch_{0};
+  std::atomic<bool> crashed_{false};
 };
 
 }  // namespace recipe::tee

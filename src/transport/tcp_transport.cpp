@@ -8,7 +8,10 @@
 #include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <sys/syscall.h>
+#include <sys/uio.h>
 #include <unistd.h>
+
+#include "common/endian.h"
 
 #include <fcntl.h>
 
@@ -23,6 +26,15 @@ namespace {
 
 constexpr int kMaxEvents = 64;
 constexpr std::size_t kReadChunk = 64 * 1024;
+// Egress coalescing: pieces smaller than kMoveThreshold are copied into the
+// queue's tail buffer (one iovec amortizes many tiny frames); larger ones —
+// batch bodies, big payloads — are moved in as their own queue element and
+// become their own iovec. The tail buffer stops accepting appends at
+// kCoalesceChunk so a slow drain cannot grow one buffer without bound.
+constexpr std::size_t kMoveThreshold = 1024;
+constexpr std::size_t kCoalesceChunk = 16 * 1024;
+// iovecs per sendmsg; deeper queues simply take another loop iteration.
+constexpr int kMaxIov = 64;
 // Cap on one poll's sleep so a (theoretical) missed wakeup degrades to a
 // bounded stall instead of a hang.
 constexpr std::int64_t kMaxPollMs = 60'000;
@@ -460,7 +472,8 @@ void TcpTransport::send(net::Packet packet) {
 
 void TcpTransport::do_send(net::Packet&& packet) {
   ++packets_sent_;
-  bytes_sent_ += packet.wire_size();
+  const std::size_t payload_size = packet.payload_size();
+  bytes_sent_ += payload_size + net::kFrameHeaderSize;
 
   bool local_dst = false;
   {
@@ -472,7 +485,7 @@ void TcpTransport::do_send(net::Packet&& packet) {
     }
     local_dst = endpoints_.contains(packet.dst);
   }
-  if (packet.payload.size() > options_.max_frame_payload) {
+  if (payload_size > options_.max_frame_payload) {
     drop_packet();
     return;
   }
@@ -483,6 +496,7 @@ void TcpTransport::do_send(net::Packet&& packet) {
     // never run inside the sender's call frame, matching the simulator.
     // post() would run INLINE here (do_send is on the loop thread), so the
     // deferral must go through the inbox explicitly.
+    packet.flatten();  // receivers only ever see contiguous payloads
     {
       std::lock_guard<std::mutex> lock(inbox_mu_);
       inbox_.push_back(
@@ -497,8 +511,57 @@ void TcpTransport::do_send(net::Packet&& packet) {
     drop_packet();
     return;
   }
-  net::append_frame(conn->out, packet);
+
+  // Lay the frame into the egress queue: the header (and small payloads)
+  // coalesce into the tail buffer; large payloads and scatter segments are
+  // moved in and leave as their own sendmsg iovecs — never re-copied.
+  std::uint8_t head[net::kFrameHeaderSize];
+  store_le32(head, static_cast<std::uint32_t>(payload_size));
+  store_le32(head + 4, packet.type);
+  store_le64(head + 8, packet.src.value);
+  store_le64(head + 16, packet.dst.value);
+  out_append(*conn, BytesView(head, net::kFrameHeaderSize));
+  if (packet.payload.size() >= kMoveThreshold) {
+    out_move(*conn, std::move(packet.payload));
+  } else {
+    out_append(*conn, as_view(packet.payload));
+  }
+  for (Bytes& seg : packet.segments) {
+    if (seg.size() >= kMoveThreshold) {
+      out_move(*conn, std::move(seg));
+    } else {
+      out_append(*conn, as_view(seg));
+    }
+  }
   if (!conn->connecting) flush_conn(*conn);
+}
+
+void TcpTransport::out_append(Conn& conn, BytesView data) {
+  if (data.empty()) return;
+  conn.out_bytes += data.size();
+  if (conn.outq.empty() || conn.outq.back().size() >= kCoalesceChunk) {
+    conn.outq.emplace_back();
+  }
+  append(conn.outq.back(), data);
+}
+
+void TcpTransport::out_move(Conn& conn, Bytes&& data) {
+  if (data.empty()) return;
+  conn.out_bytes += data.size();
+  conn.outq.push_back(std::move(data));
+}
+
+// Applied to every connection, dialed or accepted, so both directions of a
+// link behave identically.
+void TcpTransport::apply_socket_options(int fd) const {
+  if (options_.nodelay) {
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+  if (options_.so_sndbuf > 0) {
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &options_.so_sndbuf,
+                 sizeof(options_.so_sndbuf));
+  }
 }
 
 TcpTransport::Conn* TcpTransport::conn_for(NodeId peer) {
@@ -519,8 +582,7 @@ TcpTransport::Conn* TcpTransport::conn_for(NodeId peer) {
 
   const int fd = set_nonblocking_socket();
   if (fd < 0) return nullptr;
-  const int one = 1;
-  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  apply_socket_options(fd);
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
@@ -548,12 +610,40 @@ TcpTransport::Conn* TcpTransport::conn_for(NodeId peer) {
 }
 
 void TcpTransport::flush_conn(Conn& conn) {
-  while (conn.out_off < conn.out.size()) {
-    const ssize_t n =
-        ::send(conn.fd, conn.out.data() + conn.out_off,
-               conn.out.size() - conn.out_off, MSG_NOSIGNAL);
+  while (conn.out_bytes > 0) {
+    // One gathered sendmsg per syscall: up to kMaxIov queued buffers leave
+    // together. The front buffer may be partially consumed from an earlier
+    // short write (tiny SO_SNDBUF, a slow receiver) — its iovec starts at
+    // the resumption offset.
+    iovec iov[kMaxIov];
+    int iovcnt = 0;
+    std::size_t skip = conn.out_off;
+    for (Bytes& buf : conn.outq) {
+      if (iovcnt == kMaxIov) break;
+      iov[iovcnt].iov_base = buf.data() + skip;
+      iov[iovcnt].iov_len = buf.size() - skip;
+      skip = 0;
+      ++iovcnt;
+    }
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = static_cast<std::size_t>(iovcnt);
+    const ssize_t n = ::sendmsg(conn.fd, &msg, MSG_NOSIGNAL);
     if (n > 0) {
-      conn.out_off += static_cast<std::size_t>(n);
+      // Advance across segment boundaries; a short write may stop mid-buffer.
+      conn.out_bytes -= static_cast<std::size_t>(n);
+      std::size_t left = static_cast<std::size_t>(n);
+      while (left > 0) {
+        Bytes& front = conn.outq.front();
+        const std::size_t avail = front.size() - conn.out_off;
+        if (left < avail) {
+          conn.out_off += left;
+          break;
+        }
+        left -= avail;
+        conn.out_off = 0;
+        conn.outq.pop_front();
+      }
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
@@ -567,7 +657,7 @@ void TcpTransport::flush_conn(Conn& conn) {
     close_conn(conn.fd);
     return;
   }
-  conn.out.clear();
+  conn.outq.clear();
   conn.out_off = 0;
   if (conn.write_armed) {
     conn.write_armed = false;
@@ -660,8 +750,7 @@ void TcpTransport::accept_ready(int listen_fd) {
       }
       return;  // EAGAIN or a racing close
     }
-    const int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    apply_socket_options(fd);
     auto [it, inserted] = conns_.emplace(fd, Conn{});
     it->second.fd = fd;
     it->second.gen = next_gen_++;

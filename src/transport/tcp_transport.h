@@ -57,6 +57,18 @@ struct TcpTransportOptions {
   std::string bind_host = "127.0.0.1";
   // Frame decoder bound: a length prefix above this poisons the connection.
   std::size_t max_frame_payload = net::kMaxFramePayload;
+  // TCP_NODELAY on every connection (dialed and accepted). The egress
+  // pipeline does its own batching (recipe/batcher.h) and each flush leaves
+  // in ONE gathered sendmsg, so Nagle only adds latency on top — it is
+  // disabled by default and there is deliberately no TCP_CORK usage: the
+  // frame is complete when the syscall runs, there is nothing to hold back.
+  // Turning this off re-enables Nagle (kernel-side coalescing) for
+  // experiments comparing it against application-level batching.
+  bool nodelay = true;
+  // When > 0, shrink/grow SO_SNDBUF on every connection. Production leaves
+  // this 0 (kernel autotuning); tests set it tiny to force partial writes
+  // and exercise the writev short-write resumption path.
+  int so_sndbuf = 0;
 };
 
 class TcpTransport final : public net::Transport {
@@ -104,6 +116,9 @@ class TcpTransport final : public net::Transport {
   void detach(NodeId id) override;
   bool attached(NodeId id) const override;
   void send(net::Packet packet) override;
+  // do_send() understands scatter packets natively (each segment becomes a
+  // sendmsg iovec): gather sends take the exact same path.
+  void send_gather(net::Packet packet) override { send(std::move(packet)); }
   net::NodeCpu& cpu(NodeId id) override;
   void crash(NodeId id) override;
   void recover(NodeId id) override;
@@ -145,8 +160,14 @@ class TcpTransport final : public net::Transport {
     // interest TRANSITIONS, not once per flushed message.
     bool write_armed{false};
     net::FrameDecoder decoder;
-    Bytes out;                // unsent frame bytes
-    std::size_t out_off{0};   // consumed prefix of `out`
+    // Egress queue: a sequence of byte buffers flushed with ONE gathered
+    // sendmsg per syscall. Small pieces (frame headers, tiny payloads)
+    // coalesce into the tail buffer; large payloads and batch-body segments
+    // are MOVED in as their own elements — the scatter path from
+    // shield_batch_parts() to the kernel never copies the body.
+    std::deque<Bytes> outq;
+    std::size_t out_off{0};    // consumed prefix of outq.front()
+    std::size_t out_bytes{0};  // total unsent bytes across outq
   };
 
   void loop();
@@ -163,6 +184,9 @@ class TcpTransport final : public net::Transport {
   // All loop-thread only:
   void do_send(net::Packet&& packet);
   Conn* conn_for(NodeId peer);
+  void apply_socket_options(int fd) const;
+  void out_append(Conn& conn, BytesView data);
+  void out_move(Conn& conn, Bytes&& data);
   void flush_conn(Conn& conn);
   void handle_readable(Conn& conn);
   void handle_writable(Conn& conn);

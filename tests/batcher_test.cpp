@@ -130,6 +130,76 @@ TEST(Batcher, AdaptiveDelayShrinksOnSparseTrafficAndRecovers) {
   EXPECT_EQ(batcher.current_delay(peer), 64 * sim::kMicrosecond);
 }
 
+TEST(Batcher, RttEwmaSmoothsSamplesAndStaysObservable) {
+  BatcherFixture fx;
+  BatchConfig config;
+  config.rtt_alpha = 0.5;  // round numbers
+  auto batcher = fx.make(config);
+
+  const NodeId peer{2};
+  EXPECT_EQ(batcher.rtt_ewma(peer), 0u);
+  batcher.record_rtt(peer, 40 * sim::kMicrosecond);
+  EXPECT_EQ(batcher.rtt_ewma(peer), 40 * sim::kMicrosecond);
+  batcher.record_rtt(peer, 80 * sim::kMicrosecond);
+  // 40 + 0.5 * (80 - 40) = 60.
+  EXPECT_EQ(batcher.rtt_ewma(peer), 60 * sim::kMicrosecond);
+  // rtt_fraction defaults to 0: samples are recorded but the flush timing
+  // stays the golden-pinned occupancy behavior.
+  EXPECT_EQ(batcher.current_delay(peer), config.max_delay);
+}
+
+TEST(Batcher, RttBudgetCapsGrowthAndOccupancyStillShrinks) {
+  BatcherFixture fx;
+  BatchConfig config;
+  config.max_count = 16;
+  config.max_delay = 64 * sim::kMicrosecond;
+  config.min_delay = 4 * sim::kMicrosecond;
+  config.adaptive = true;
+  config.rtt_fraction = 0.5;
+  config.rtt_alpha = 1.0;  // budget follows the latest sample exactly
+  auto batcher = fx.make(config);
+
+  const NodeId peer{2};
+  // Budget = 60us * 0.5 = 30us; first traffic starts AT the budget, not at
+  // max_delay.
+  batcher.record_rtt(peer, 60 * sim::kMicrosecond);
+  EXPECT_EQ(batcher.current_delay(peer), 30 * sim::kMicrosecond);
+
+  // A lone message flushed by timer still halves the delay: the occupancy
+  // walk stays reactive UNDER the budget so stragglers drain fast.
+  batcher.enqueue(peer, BatchItem::kKindRequest, 7, 1, as_view(to_bytes("x")));
+  fx.sim.run_for(sim::kSecond);
+  EXPECT_EQ(batcher.current_delay(peer), 15 * sim::kMicrosecond);
+
+  // Near-full timer flushes grow it back — but only up to the 30us budget,
+  // never to the 64us ceiling a longer wait would poke out of the RTT.
+  for (int round = 0; round < 6; ++round) {
+    for (int i = 0; i < 12; ++i) {  // 12 < max_count: timer flush, > 1/4 full
+      batcher.enqueue(peer, BatchItem::kKindRequest, 7, i,
+                      as_view(to_bytes("x")));
+    }
+    fx.sim.run_for(sim::kSecond);
+  }
+  EXPECT_EQ(batcher.current_delay(peer), 30 * sim::kMicrosecond);
+
+  // The RTT stretching (congestion, a real WAN) raises the budget toward
+  // max_delay and the walk may now spend it...
+  batcher.record_rtt(peer, sim::kSecond);
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 12; ++i) {
+      batcher.enqueue(peer, BatchItem::kKindRequest, 7, i,
+                      as_view(to_bytes("x")));
+    }
+    fx.sim.run_for(sim::kSecond);
+  }
+  EXPECT_EQ(batcher.current_delay(peer), 64 * sim::kMicrosecond);
+
+  // ...and a collapsing RTT pulls an over-budget delay back down on the
+  // very next sample (floored at min_delay).
+  batcher.record_rtt(peer, 1 * sim::kMicrosecond);
+  EXPECT_EQ(batcher.current_delay(peer), 4 * sim::kMicrosecond);
+}
+
 TEST(Batcher, CancelAllDropsPendingWithoutFlushing) {
   BatcherFixture fx;
   BatchConfig config;

@@ -15,7 +15,7 @@
 #include "protocols/craq/craq.h"
 #include "protocols/hermes/hermes.h"
 #include "protocols/raft/raft.h"
-#include "workload/routing.h"
+#include "cluster/hash_ring.h"
 
 namespace recipe {
 namespace {
@@ -307,31 +307,31 @@ INSTANTIATE_TEST_SUITE_P(
 // ---------------
 
 TEST(ConsistentHashRing, DistributesKeys) {
-  workload::ConsistentHashRing ring;
-  for (workload::ShardId s = 0; s < 4; ++s) ring.add_shard(s);
+  cluster::ConsistentHashRing ring;
+  for (cluster::ShardId s = 0; s < 4; ++s) ring.add_shard(s);
   EXPECT_EQ(ring.shard_count(), 4u);
 
-  std::map<workload::ShardId, int> counts;
+  std::map<cluster::ShardId, int> counts;
   for (int i = 0; i < 4000; ++i) {
     counts[ring.lookup("user" + std::to_string(i))]++;
   }
   // Every shard owns a reasonable fraction (no starvation).
-  for (workload::ShardId s = 0; s < 4; ++s) {
+  for (cluster::ShardId s = 0; s < 4; ++s) {
     EXPECT_GT(counts[s], 400) << "shard " << s;
   }
 }
 
 TEST(ConsistentHashRing, LookupIsStable) {
-  workload::ConsistentHashRing ring;
-  for (workload::ShardId s = 0; s < 3; ++s) ring.add_shard(s);
+  cluster::ConsistentHashRing ring;
+  for (cluster::ShardId s = 0; s < 3; ++s) ring.add_shard(s);
   const auto owner = ring.lookup("some-key");
   for (int i = 0; i < 10; ++i) EXPECT_EQ(ring.lookup("some-key"), owner);
 }
 
 TEST(ConsistentHashRing, RemovalMovesOnlyAffectedKeys) {
-  workload::ConsistentHashRing ring;
-  for (workload::ShardId s = 0; s < 4; ++s) ring.add_shard(s);
-  std::map<std::string, workload::ShardId> before;
+  cluster::ConsistentHashRing ring;
+  for (cluster::ShardId s = 0; s < 4; ++s) ring.add_shard(s);
+  std::map<std::string, cluster::ShardId> before;
   for (int i = 0; i < 1000; ++i) {
     const std::string key = "user" + std::to_string(i);
     before[key] = ring.lookup(key);
@@ -356,10 +356,10 @@ TEST(ConsistentHashRing, AddingShardMovesBoundedFraction) {
   // hashing never shuffles keys between existing shards).
   constexpr int kShards = 5;
   constexpr int kKeys = 10000;
-  workload::ConsistentHashRing ring;
-  for (workload::ShardId s = 0; s < kShards; ++s) ring.add_shard(s);
+  cluster::ConsistentHashRing ring;
+  for (cluster::ShardId s = 0; s < kShards; ++s) ring.add_shard(s);
 
-  std::map<std::string, workload::ShardId> before;
+  std::map<std::string, cluster::ShardId> before;
   for (int i = 0; i < kKeys; ++i) {
     const std::string key = "user" + std::to_string(i);
     before[key] = ring.lookup(key);
@@ -370,7 +370,7 @@ TEST(ConsistentHashRing, AddingShardMovesBoundedFraction) {
   for (const auto& [key, owner] : before) {
     const auto now = ring.lookup(key);
     if (now != owner) {
-      EXPECT_EQ(now, static_cast<workload::ShardId>(kShards))
+      EXPECT_EQ(now, static_cast<cluster::ShardId>(kShards))
           << "key moved between pre-existing shards";
       ++moved;
     }
@@ -384,8 +384,8 @@ TEST(ConsistentHashRing, AddingShardMovesBoundedFraction) {
 TEST(ConsistentHashRing, RemovingShardMovesBoundedFraction) {
   constexpr int kShards = 5;
   constexpr int kKeys = 10000;
-  workload::ConsistentHashRing ring;
-  for (workload::ShardId s = 0; s < kShards; ++s) ring.add_shard(s);
+  cluster::ConsistentHashRing ring;
+  for (cluster::ShardId s = 0; s < kShards; ++s) ring.add_shard(s);
 
   int owned = 0;
   for (int i = 0; i < kKeys; ++i) {
@@ -398,8 +398,8 @@ TEST(ConsistentHashRing, RemovingShardMovesBoundedFraction) {
 }
 
 TEST(ConsistentHashRing, RemoveDownToEmptyRing) {
-  workload::ConsistentHashRing ring;
-  for (workload::ShardId s = 0; s < 3; ++s) ring.add_shard(s);
+  cluster::ConsistentHashRing ring;
+  for (cluster::ShardId s = 0; s < 3; ++s) ring.add_shard(s);
   EXPECT_FALSE(ring.empty());
 
   ring.remove_shard(0);
@@ -414,7 +414,7 @@ TEST(ConsistentHashRing, RemoveDownToEmptyRing) {
   EXPECT_TRUE(ring.empty());
   EXPECT_EQ(ring.shard_count(), 0u);
   // Lookup on an empty ring is well-defined (no owner), not UB.
-  EXPECT_EQ(ring.lookup("user1"), workload::ConsistentHashRing::kNoShard);
+  EXPECT_EQ(ring.lookup("user1"), cluster::ConsistentHashRing::kNoShard);
   // Removing from an empty ring is a no-op.
   ring.remove_shard(1);
   EXPECT_TRUE(ring.empty());
@@ -423,7 +423,7 @@ TEST(ConsistentHashRing, RemoveDownToEmptyRing) {
 TEST(ConsistentHashRing, ShardedAbdDeployment) {
   // Two independent ABD replication groups; the routing layer steers each
   // key to its owning shard (Fig. 2 end-to-end).
-  workload::ConsistentHashRing ring;
+  cluster::ConsistentHashRing ring;
   ring.add_shard(0);
   ring.add_shard(1);
 

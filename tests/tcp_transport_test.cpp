@@ -19,7 +19,8 @@ constexpr rpc::RequestType kEcho = 1;
 constexpr rpc::RequestType kSum = 2;
 
 struct Peer {
-  explicit Peer(NodeId id) : id(id) {
+  explicit Peer(NodeId id, TcpTransportOptions options = {})
+      : id(id), transport(std::move(options)) {
     auto port = transport.listen(id, 0);
     EXPECT_TRUE(port.is_ok());
     listen_port = port.value();
@@ -180,6 +181,115 @@ TEST(TcpTransportTest, SendWithoutRouteDropsSilently) {
             std::future_status::ready);
   EXPECT_TRUE(timed_out);
   EXPECT_GT(a.transport.packets_dropped(), 0u);
+}
+
+// A deliberately tiny SO_SNDBUF makes every sendmsg() stop short: the
+// egress queue (many frames deep, each its own iovec chain) can only drain
+// through repeated partial writes and EAGAIN -> EPOLLOUT resumptions, with
+// the short write routinely landing MID-frame and MID-iovec. Every payload
+// carries its own byte pattern, so any slip in the resumption offset — a
+// repeated chunk, a skipped chunk, a frame spliced into its neighbor —
+// corrupts a length prefix or a pattern and fails loudly.
+TEST(TcpTransportTest, TinySndbufForcesPartialWriteResumption) {
+  TcpTransportOptions tiny;
+  tiny.so_sndbuf = 4096;  // kernel clamps to its floor; still << the queue
+  Peer a{NodeId{1}, tiny};
+  Peer b{NodeId{2}, tiny};
+  ASSERT_TRUE(a.transport.add_route(b.id, "127.0.0.1", b.listen_port)
+                  .is_ok());
+  a.start();
+  b.start();
+
+  constexpr int kCount = 120;
+  constexpr std::size_t kPayload = 8 * 1024;  // > move threshold: own iovec
+  auto pattern = [](int i) {
+    Bytes p(kPayload, 0);
+    for (std::size_t j = 0; j < p.size(); ++j) {
+      p[j] = static_cast<std::uint8_t>(j * 31 + static_cast<std::size_t>(i));
+    }
+    return p;
+  };
+
+  auto done = std::make_shared<std::promise<void>>();
+  auto future = done->get_future();
+  auto remaining = std::make_shared<int>(kCount);
+  auto mismatches = std::make_shared<int>(0);
+  a.transport.run_sync([&] {
+    for (int i = 0; i < kCount; ++i) {
+      // All requests enqueue back-to-back on the loop thread: ~1 MB of
+      // frames stack up behind a ~4 KB socket buffer.
+      a.rpc->send(b.id, kEcho, pattern(i),
+                  [done, remaining, mismatches, expected = pattern(i)](
+                      NodeId, Bytes payload) {
+                    if (payload != expected) ++*mismatches;
+                    if (--*remaining == 0) done->set_value();
+                  });
+    }
+  });
+  ASSERT_EQ(future.wait_for(std::chrono::seconds(30)),
+            std::future_status::ready);
+  a.transport.run_sync([&] {
+    EXPECT_EQ(*mismatches, 0);
+    EXPECT_EQ(a.rpc->responses_received(),
+              static_cast<std::uint64_t>(kCount));
+  });
+}
+
+// The same squeezed socket under SCATTER sends: gathered head||body||tail
+// frames (rpc::send_gather) interleaved with contiguous ones, so partial
+// writes must resume correctly across the iovec boundaries WITHIN one
+// logical frame, not just between frames.
+TEST(TcpTransportTest, TinySndbufGatheredFramesArriveIntact) {
+  TcpTransportOptions tiny;
+  tiny.so_sndbuf = 4096;
+  Peer a{NodeId{1}, tiny};
+  Peer b{NodeId{2}, tiny};
+  ASSERT_TRUE(a.transport.add_route(b.id, "127.0.0.1", b.listen_port)
+                  .is_ok());
+  a.start();
+  b.start();
+
+  constexpr int kCount = 60;
+  constexpr std::size_t kSeg = 4 * 1024;
+  auto segment = [](int i, std::uint8_t salt) {
+    Bytes s(kSeg, 0);
+    for (std::size_t j = 0; j < s.size(); ++j) {
+      s[j] = static_cast<std::uint8_t>(j * 17 + salt +
+                                       static_cast<std::size_t>(i));
+    }
+    return s;
+  };
+
+  // Count arrivals on the receiver; gather-sends are fire-and-forget, so
+  // completion is observed at b.
+  auto done = std::make_shared<std::promise<void>>();
+  auto future = done->get_future();
+  auto received = std::make_shared<int>(0);
+  auto mismatches = std::make_shared<int>(0);
+  b.transport.run_sync([&] {
+    b.rpc->register_handler(kSum, [done, received, mismatches, segment](
+                                      rpc::RequestContext& ctx) {
+      // Logical payload = the three gathered segments, contiguous on entry.
+      const int i = *received;
+      Bytes expected = segment(i, 1);
+      append(expected, as_view(segment(i, 2)));
+      append(expected, as_view(segment(i, 3)));
+      if (ctx.payload != expected) ++*mismatches;
+      if (++*received == kCount) done->set_value();
+    });
+  });
+  a.transport.run_sync([&] {
+    for (int i = 0; i < kCount; ++i) {
+      std::vector<Bytes> segments;
+      segments.push_back(segment(i, 1));
+      segments.push_back(segment(i, 2));
+      segments.push_back(segment(i, 3));
+      a.rpc->send_gather(b.id, kSum, std::move(segments));
+    }
+  });
+  ASSERT_EQ(future.wait_for(std::chrono::seconds(30)),
+            std::future_status::ready);
+  b.transport.run_sync([&] { EXPECT_EQ(*mismatches, 0); });
 }
 
 // crash() must kill the listener and every established connection; traffic
