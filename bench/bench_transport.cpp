@@ -133,6 +133,66 @@ ConfigResult run_trial(bool secured, Pacing pacing, std::size_t total_ops) {
   return result;
 }
 
+// Chaos telemetry: the same shielded+paced stack with every link wrapped in
+// a seed-replayable ChaosTransport. Reported for trend-watching only —
+// NEVER part of acceptance_all_configs_ok and never gated by the CI
+// trajectory check: fault injection makes throughput a weather report, not
+// a capability claim. Replay a run with RECIPE_TEST_SEED=<seed>.
+struct ChaosResult {
+  std::uint64_t seed{0};
+  std::size_t ops{0};
+  double ops_per_sec{0};
+  std::uint64_t failed{0};
+  std::uint64_t dropped{0};
+  std::uint64_t duplicated{0};
+  std::uint64_t reordered{0};
+  std::uint64_t delayed{0};
+};
+
+ChaosResult run_chaos_config(std::size_t total_ops) {
+  cluster::TcpClusterOptions options;
+  options.protocol = "cr";
+  options.replicas = 3;
+  options.secured = true;
+  options.batch.enabled = true;
+  options.batch.max_count = 16;
+  options.batch.max_delay = 50 * sim::kMicrosecond;
+  options.batch.rtt_fraction = 0.5;
+  options.chaos = true;
+
+  ChaosResult r;
+  const char* env = std::getenv("RECIPE_TEST_SEED");
+  r.seed = env != nullptr ? std::strtoull(env, nullptr, 10) : 0xC4A05;
+  options.chaos_options.seed = r.seed;
+  options.chaos_options.faults.latency = 100 * sim::kMicrosecond;
+  options.chaos_options.faults.jitter = 300 * sim::kMicrosecond;
+  options.chaos_options.faults.drop_rate = 0.01;
+  options.chaos_options.faults.duplicate_rate = 0.01;
+  options.chaos_options.faults.reorder_rate = 0.02;
+  options.chaos_options.faults.reorder_window = sim::kMillisecond;
+
+  cluster::TcpCluster cluster(options);
+  KvClient& client = cluster.add_client(4100);
+  const NodeId coordinator = cluster.write_coordinator();
+  const Bytes value(64, 0x5A);
+  const double secs = cluster::drive_closed_loop_puts(
+      cluster.client_transport(), client, coordinator, total_ops,
+      /*pipeline=*/64, value);
+  r.ops = secs < 0 ? 0 : total_ops;
+  r.ops_per_sec = secs > 0 ? static_cast<double>(total_ops) / secs : 0.0;
+  cluster.client_transport().run_sync([&] { r.failed = client.failed(); });
+  for (std::size_t i = 0; i <= cluster.size(); ++i) {
+    const transport::ChaosTransport* chaos =
+        i < cluster.size() ? cluster.chaos(i) : cluster.client_chaos();
+    if (chaos == nullptr) continue;
+    r.dropped += chaos->chaos_dropped();
+    r.duplicated += chaos->chaos_duplicated();
+    r.reordered += chaos->chaos_reordered();
+    r.delayed += chaos->chaos_delayed();
+  }
+  return r;
+}
+
 ConfigResult run_config(bool secured, Pacing pacing, std::size_t total_ops,
                         std::size_t trials) {
   ConfigResult best;
@@ -200,6 +260,18 @@ int main(int argc, char** argv) {
     if (r.failed != 0 || r.ops == 0) all_ok = false;
   }
 
+  // Informational only — excluded from all_ok by design (see ChaosResult).
+  const ChaosResult chaos = run_chaos_config(ops / 4);
+  std::printf(
+      "chaos    seed=%llu  %8.0f ops/s  failed=%llu  dropped=%llu "
+      "duplicated=%llu reordered=%llu delayed=%llu\n",
+      static_cast<unsigned long long>(chaos.seed), chaos.ops_per_sec,
+      static_cast<unsigned long long>(chaos.failed),
+      static_cast<unsigned long long>(chaos.dropped),
+      static_cast<unsigned long long>(chaos.duplicated),
+      static_cast<unsigned long long>(chaos.reordered),
+      static_cast<unsigned long long>(chaos.delayed));
+
   auto find = [&](const char* sec, Pacing pacing) -> const ConfigResult& {
     for (const ConfigResult& r : results) {
       if (r.security == sec && r.pacing == pacing) return r;
@@ -265,6 +337,18 @@ int main(int argc, char** argv) {
                batch_speedup);
   std::fprintf(out, "  \"rtt_paced_over_fixed_shielded\": %.3f,\n",
                rtt_over_fixed);
+  std::fprintf(out,
+               "  \"chaos\": {\"seed\": %llu, \"ops\": %zu, "
+               "\"ops_per_sec\": %.0f, \"failed\": %llu, \"dropped\": %llu, "
+               "\"duplicated\": %llu, \"reordered\": %llu, "
+               "\"delayed\": %llu},\n",
+               static_cast<unsigned long long>(chaos.seed), chaos.ops,
+               chaos.ops_per_sec,
+               static_cast<unsigned long long>(chaos.failed),
+               static_cast<unsigned long long>(chaos.dropped),
+               static_cast<unsigned long long>(chaos.duplicated),
+               static_cast<unsigned long long>(chaos.reordered),
+               static_cast<unsigned long long>(chaos.delayed));
   std::fprintf(out, "  \"acceptance_all_configs_ok\": %s\n",
                all_ok ? "true" : "false");
   std::fprintf(out, "}\n");

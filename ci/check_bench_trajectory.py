@@ -87,6 +87,21 @@ EXTRACTORS = {
 }
 
 
+def report_chaos(doc):
+    """Chaos-run telemetry is printed for trend-watching but NEVER gated:
+    fault injection makes throughput a weather report, not a capability
+    claim, so a drop here must not fail CI. The seed is echoed so a curious
+    reader can replay the exact run with RECIPE_TEST_SEED=<seed>."""
+    chaos = doc.get("chaos")
+    if not chaos:
+        return
+    print(f"info  chaos (ungated): seed={chaos.get('seed')} "
+          f"ops={chaos.get('ops')} ops/sec={chaos.get('ops_per_sec', 0):.0f} "
+          f"failed={chaos.get('failed')} dropped={chaos.get('dropped')} "
+          f"duplicated={chaos.get('duplicated')} "
+          f"reordered={chaos.get('reordered')} delayed={chaos.get('delayed')}")
+
+
 def load(path):
     with open(path) as f:
         return json.load(f)
@@ -124,6 +139,7 @@ def check_pair(baseline_path, fresh_path, max_regression):
             ok = False
         print(f"{verdict}  {name}: {fresh_value:.0f} vs {base_value:.0f} "
               f"({ratio:.2f}x)")
+    report_chaos(fresh)
     return ok
 
 

@@ -27,6 +27,7 @@ RoutedClient::RoutedClient(ShardedCluster& cluster, RoutedClientOptions options)
   client_options.confidentiality = copts.confidentiality;
   client_options.enclave = enclave_.get();
   client_options.request_timeout = options_.request_timeout;
+  client_options.retry = options_.retry;
   client_ = std::make_unique<KvClient>(cluster_.sim(), cluster_.network(),
                                        client_options);
   // A replaced replica rejoins with restarted counters; without this reset

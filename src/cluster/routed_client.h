@@ -25,6 +25,10 @@ struct RoutedClientOptions {
   // default-constructed clients coexist.
   std::uint64_t id = 5000;
   sim::Time request_timeout = 500 * sim::kMillisecond;
+  // Retransmit policy forwarded to the underlying KvClient (timeout
+  // growth, decorrelated-jitter backoff, attempt/deadline budget);
+  // request_timeout above still pins the first attempt's timeout.
+  rpc::RetryPolicy retry = ClientOptions{}.retry;
   // Bound on the *_sync helpers' simulator drive.
   sim::Time sync_wait = 10 * sim::kSecond;
 };

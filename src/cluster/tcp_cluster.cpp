@@ -56,6 +56,34 @@ TcpCluster::TcpCluster(TcpClusterOptions options)
     (void)routed;
   }
 
+  // Chaos: wrap every transport before any node or client attaches, so the
+  // whole lifetime of the group runs through the injectors. Each wrapper
+  // gets a distinct seed offset (independent fault streams per loop) and a
+  // reset hook that RSTs its own transport's links to the chosen victim.
+  if (options_.chaos) {
+    chaos_.resize(options_.replicas);
+    for (std::size_t i = 0; i < options_.replicas; ++i) {
+      transport::ChaosOptions chaos_options = options_.chaos_options;
+      chaos_options.seed += i;
+      if (!chaos_options.reset_hook) {
+        chaos_options.reset_hook = [t = transports_[i].get()](NodeId peer) {
+          t->reset_peer_connections(peer);
+        };
+      }
+      chaos_[i] = std::make_unique<transport::ChaosTransport>(
+          *transports_[i], std::move(chaos_options));
+    }
+    transport::ChaosOptions chaos_options = options_.chaos_options;
+    chaos_options.seed += options_.replicas;
+    if (!chaos_options.reset_hook) {
+      chaos_options.reset_hook = [t = client_transport_.get()](NodeId peer) {
+        t->reset_peer_connections(peer);
+      };
+    }
+    client_chaos_ = std::make_unique<transport::ChaosTransport>(
+        *client_transport_, std::move(chaos_options));
+  }
+
   // Build and start every replica ON ITS OWN LOOP THREAD so its endpoint
   // state is loop-affine from the first instruction (packets can arrive the
   // moment the rpc object attaches).
@@ -85,17 +113,28 @@ TcpCluster::TcpCluster(TcpClusterOptions options)
       replica_options.enclave = enclave.get();
       replica_options.heartbeat_period = options_.heartbeat_period;
       replica_options.suspect_timeout = options_.suspect_timeout;
+      replica_options.phi_threshold = options_.phi_threshold;
       replica_options.batch = options_.batch;
       if (options_.confidentiality) {
         replica_options.kv_config.value_encryption_key = options_.value_key;
       }
 
       enclaves_[i] = std::move(enclave);
-      nodes_[i] = (*factory)(transports_[i]->clock(), *transports_[i],
+      nodes_[i] = (*factory)(transports_[i]->clock(), node_transport(i),
                              std::move(replica_options));
       nodes_[i]->start();
     });
   }
+}
+
+net::Transport& TcpCluster::node_transport(std::size_t i) {
+  if (i < chaos_.size() && chaos_[i]) return *chaos_[i];
+  return *transports_[i];
+}
+
+net::Transport& TcpCluster::client_net() {
+  if (client_chaos_) return *client_chaos_;
+  return *client_transport_;
 }
 
 TcpCluster::~TcpCluster() {
@@ -134,9 +173,10 @@ KvClient& TcpCluster::add_client(std::uint64_t client_id) {
     client_options.enclave = enclave.get();
     client_options.request_timeout = options_.request_timeout;
     client_options.max_retries = options_.max_retries;
+    client_options.retry = options_.client_retry;
     client_enclaves_.push_back(std::move(enclave));
     clients_.push_back(std::make_unique<KvClient>(
-        client_transport_->clock(), *client_transport_, client_options));
+        client_transport_->clock(), client_net(), client_options));
     out = clients_.back().get();
   });
   return *out;
@@ -178,9 +218,15 @@ ClientReply TcpCluster::retry_op(KvClient& client, bool is_put,
                                  const std::string& value) {
   // Re-resolve the target and retry across transient windows (an election
   // in progress, a not-yet-suspected dead chain node): the client already
-  // retransmits within one attempt; this loop re-routes.
+  // retransmits within one attempt; this loop re-routes. A fatal reply
+  // classification — crashed local enclave, integrity violation — returns
+  // immediately: no re-route can fix those, and burning the backoff budget
+  // on them just hides the real error.
+  const rpc::RetryPolicy& policy = options_.op_retry;
+  const auto op_started = std::chrono::steady_clock::now();
   ClientReply reply;
-  for (int attempt = 0; attempt < 3; ++attempt) {
+  sim::Time backoff = 0;
+  for (int attempt = 0;; ++attempt) {
     const NodeId target = is_put ? write_coordinator() : read_replica();
     auto promise = std::make_shared<std::promise<ClientReply>>();
     auto future = promise->get_future();
@@ -197,12 +243,24 @@ ClientReply TcpCluster::retry_op(KvClient& client, bool is_put,
     const auto bound =
         chrono_ns(options_.request_timeout) * (options_.max_retries + 1) +
         std::chrono::seconds(2);
-    if (future.wait_for(bound) != std::future_status::ready) return reply;
+    if (future.wait_for(bound) != std::future_status::ready) {
+      // Lost completion (a bug, not load): label it so callers don't see a
+      // default reply whose error claims kOk.
+      reply = ClientReply{};
+      reply.error = ErrorCode::kTimeout;
+      return reply;
+    }
     reply = future.get();
-    if (reply.ok) return reply;
-    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    if (reply.ok || rpc::RetryPolicy::fatal(reply.error)) return reply;
+    if (attempt + 1 >= policy.max_attempts) return reply;
+    backoff = policy.next_backoff(backoff, op_rng_);
+    if (policy.deadline > 0 &&
+        (std::chrono::steady_clock::now() - op_started) + chrono_ns(backoff) >
+            chrono_ns(policy.deadline)) {
+      return reply;
+    }
+    std::this_thread::sleep_for(chrono_ns(backoff));
   }
-  return reply;
 }
 
 void TcpCluster::crash(std::size_t i) {

@@ -28,9 +28,12 @@
 
 #include "attest/bundle.h"
 #include "common/result.h"
+#include "common/rng.h"
 #include "recipe/client.h"
 #include "recipe/node_base.h"
+#include "rpc/retry.h"
 #include "tee/platform.h"
+#include "transport/chaos.h"
 #include "transport/tcp_transport.h"
 
 namespace recipe::cluster {
@@ -55,10 +58,35 @@ struct TcpClusterOptions {
   // Client request knobs (real-time).
   sim::Time request_timeout = 500 * sim::kMillisecond;
   int max_retries = 6;
+  // Retransmit policy detail forwarded to every KvClient (timeout growth,
+  // backoff jitter, deadline); the two knobs above still pin the first
+  // attempt's timeout and the attempt budget.
+  rpc::RetryPolicy client_retry = ClientOptions{}.retry;
+  // Re-route policy for the synchronous put()/get() helpers: how many times
+  // retry_op re-resolves the coordinator, with decorrelated-jitter sleeps
+  // between attempts. Fatal reply classifications stop the loop early.
+  rpc::RetryPolicy op_retry{
+      .initial_timeout = 0,  // unused: per-attempt waits come from the client
+      .timeout_growth = 1.0,
+      .max_timeout = 0,
+      .max_attempts = 3,
+      .base_backoff = 20 * sim::kMillisecond,
+      .max_backoff = 500 * sim::kMillisecond,
+      .deadline = 0,
+  };
+  // Phi-accrual failure detection (recipe/failure_detector.h) on top of the
+  // lease detector; 0 keeps lease-only suspicion.
+  double phi_threshold = 0.0;
   // Socket/egress knobs applied to every transport in the cluster (replicas
   // and the client transport): NODELAY, SO_SNDBUF, frame bound. bind_host
   // stays loopback for in-process clusters.
   transport::TcpTransportOptions transport{};
+  // Chaos: when true every replica transport AND the client transport is
+  // wrapped in a transport::ChaosTransport carrying `chaos_options` (seed
+  // is offset per transport so each loop gets an independent stream; the
+  // reset hook defaults to RST-killing the victim link's connections).
+  bool chaos = false;
+  transport::ChaosOptions chaos_options{};
 };
 
 class TcpCluster {
@@ -76,6 +104,17 @@ class TcpCluster {
   ReplicaNode& node(std::size_t i) { return *nodes_[i]; }
   transport::TcpTransport& transport(std::size_t i) { return *transports_[i]; }
   transport::TcpTransport& client_transport() { return *client_transport_; }
+  // Chaos wrappers (null unless options.chaos): replica i's and the client
+  // transport's fault injectors, for manual partitions and counters.
+  transport::ChaosTransport* chaos(std::size_t i) {
+    return i < chaos_.size() ? chaos_[i].get() : nullptr;
+  }
+  transport::ChaosTransport* client_chaos() { return client_chaos_.get(); }
+  // Client idx's enclave, in add_client order (tests crash it to exercise
+  // the fatal, non-retryable shield-failure path).
+  tee::Enclave& client_enclave(std::size_t idx) {
+    return *client_enclaves_[idx];
+  }
 
   // Runs `fn` on replica i's loop thread and waits (the only safe way to
   // touch node state from outside).
@@ -113,17 +152,30 @@ class TcpCluster {
   ClientReply retry_op(KvClient& client, bool is_put, const std::string& key,
                        const std::string& value);
 
+  // The transport each replica's node and each client actually talks
+  // through: the chaos wrapper when enabled, the raw TcpTransport otherwise.
+  net::Transport& node_transport(std::size_t i);
+  net::Transport& client_net();
+
   TcpClusterOptions options_;
   std::vector<NodeId> membership_;
   std::vector<std::unique_ptr<transport::TcpTransport>> transports_;
+  // Declared after transports_ (destroyed first): a chaos wrapper's pending
+  // delay timers park on the inner transport's TimerQueue, so the inner
+  // loop must outlive the wrapper's stop flag.
+  std::vector<std::unique_ptr<transport::ChaosTransport>> chaos_;
   std::vector<std::unique_ptr<tee::TeePlatform>> platforms_;
   std::vector<std::unique_ptr<tee::Enclave>> enclaves_;
   std::vector<std::unique_ptr<ReplicaNode>> nodes_;
 
   std::unique_ptr<transport::TcpTransport> client_transport_;
+  std::unique_ptr<transport::ChaosTransport> client_chaos_;
   tee::TeePlatform client_platform_{2};
   std::vector<std::unique_ptr<tee::Enclave>> client_enclaves_;
   std::vector<std::unique_ptr<KvClient>> clients_;
+  // Jitter stream for retry_op's between-attempt sleeps (single external
+  // caller thread by class contract, so no lock).
+  Rng op_rng_{0xB7E151628AED2A6AULL};
 };
 
 // Closed-loop pipelined PUT load: keeps `pipeline` ops outstanding on the

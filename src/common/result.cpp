@@ -18,6 +18,7 @@ const char* error_code_name(ErrorCode code) {
     case ErrorCode::kUnavailable: return "UNAVAILABLE";
     case ErrorCode::kTimeout: return "TIMEOUT";
     case ErrorCode::kInternal: return "INTERNAL";
+    case ErrorCode::kOverloaded: return "OVERLOADED";
   }
   return "UNKNOWN";
 }

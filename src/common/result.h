@@ -28,6 +28,7 @@ enum class ErrorCode {
   kUnavailable,       // not enough live replicas / no quorum
   kTimeout,
   kInternal,
+  kOverloaded,        // egress/admission backpressure: shed, retry later
 };
 
 // Human-readable name for an ErrorCode, for logs and test output.

@@ -36,12 +36,25 @@ namespace recipe::net {
 // that can gather-write (TcpTransport via sendmsg) ship the pieces without
 // copying them together; anything else calls flatten() first. Framing,
 // cost accounting and receivers only ever see the concatenated bytes.
+// Drop precedence when an egress queue crosses its high watermark: higher
+// values are shed first. Protocol-critical traffic (requests, acks,
+// heartbeats) stays kNormal; client retransmits of an op the peer may
+// already hold are kRetransmit; purely advisory traffic (RTT pacing
+// probes) is kOptional. SimNetwork ignores priority — shedding is a
+// real-socket overload behaviour, and the sim stays deterministic.
+enum class PacketPriority : std::uint8_t {
+  kNormal = 0,
+  kRetransmit = 1,
+  kOptional = 2,
+};
+
 struct Packet {
   NodeId src;
   NodeId dst;
   std::uint32_t type{0};
   Bytes payload;
   std::vector<Bytes> segments{};
+  PacketPriority priority{PacketPriority::kNormal};
 
   // Total logical payload bytes across payload + segments.
   std::size_t payload_size() const {
@@ -176,6 +189,13 @@ class Transport {
   // The endpoint's modelled CPU (simulation cost accounting; a plain
   // accumulator under TcpTransport).
   virtual NodeCpu& cpu(NodeId id) = 0;
+
+  // Backpressure probe: true when this transport's egress toward `dst` is
+  // above its high watermark and new low-value traffic would be shed.
+  // Callers (RPC admission, clients) use it to fail fast with kOverloaded
+  // instead of queueing into a congested link. Default: never overloaded
+  // (SimNetwork has infinite queues by design).
+  virtual bool overloaded(NodeId /*dst*/) const { return false; }
 
   // Crash a node: all traffic to/from it disappears until recover(). Under
   // SimNetwork this also invalidates in-flight frames; under TcpTransport it

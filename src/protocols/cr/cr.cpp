@@ -40,6 +40,28 @@ ChainNode::ChainNode(sim::Clock& clock, net::Transport& network,
   });
 }
 
+ChainNode::~ChainNode() { repair_timer_.cancel(); }
+
+void ChainNode::stop() {
+  repair_timer_.cancel();
+  ReplicaNode::stop();
+}
+
+void ChainNode::schedule_repair() {
+  if (repair_timer_.valid()) return;  // already armed
+  arm_repair();
+}
+
+void ChainNode::arm_repair() {
+  repair_timer_ = sim().schedule(kRepairPeriod, [this] { repair_tick(); });
+}
+
+void ChainNode::repair_tick() {
+  if (!running() || !is_head() || unacked_.empty()) return;
+  repropagate_unacked();
+  arm_repair();  // keep repairing until the tail acks everything
+}
+
 std::vector<NodeId> ChainNode::chain() const {
   std::vector<NodeId> out;
   for (NodeId n : membership()) {
@@ -95,6 +117,7 @@ void ChainNode::submit(const ClientRequest& request, ReplyFn reply) {
   applied_seq_ = seq;
   forward_or_ack(seq, op);
   tee_to_shadows(seq, op);
+  schedule_repair();
 }
 
 void ChainNode::tee_to_shadows(std::uint64_t seq, const Bytes& op) {

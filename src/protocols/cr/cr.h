@@ -12,7 +12,11 @@
 // Chain repair: when the failure detector suspects a node it is dropped from
 // the chain; the head re-propagates all unacknowledged updates through the
 // new chain. Nodes deduplicate by sequence number, so re-propagation is
-// idempotent.
+// idempotent. The head additionally runs a REPAIR TIMER while any update is
+// unacknowledged: on a lossy link a dropped chain hop would otherwise wedge
+// every later write behind the sequence hole forever (downstream nodes
+// buffer out-of-order updates until the gap fills, and nothing else ever
+// refills it).
 //
 // Recovery (§3.7): a re-attested node rejoins as a SHADOW — it stays out of
 // the chain (no forwarding, no acks, no reads) while the head TEES every new
@@ -39,6 +43,9 @@ class ChainNode final : public ReplicaNode {
  public:
   ChainNode(sim::Clock& clock, net::Transport& network,
             ReplicaOptions options);
+  ~ChainNode() override;
+
+  void stop() override;
 
   // Coordinates PUTs when head, GETs when tail.
   bool is_coordinator() const override { return is_head() || is_tail(); }
@@ -75,6 +82,17 @@ class ChainNode final : public ReplicaNode {
   void repropagate_unacked();
   // Head-side: fire-and-forget copy of a new update to every shadow peer.
   void tee_to_shadows(std::uint64_t seq, const Bytes& op);
+  // Head-side retransmission of unacked updates on a lossy link. `schedule`
+  // arms the timer if idle; the tick re-propagates and re-arms while
+  // anything remains unacked.
+  void schedule_repair();
+  void arm_repair();
+  void repair_tick();
+
+  // Slow relative to chain latency (sub-ms in-sim, low-ms on loopback), so
+  // on a clean link the timer fires once, finds nothing unacked and goes
+  // quiet; under loss it bounds how long a sequence hole can stall writes.
+  static constexpr sim::Time kRepairPeriod = 100 * sim::kMillisecond;
 
   std::set<NodeId> dead_;
   std::uint64_t next_seq_{0};     // head: last assigned sequence number
@@ -82,6 +100,7 @@ class ChainNode final : public ReplicaNode {
   std::map<std::uint64_t, Bytes> out_of_order_;       // buffered future updates
   std::map<std::uint64_t, Bytes> unacked_;            // head: for repair
   std::map<std::uint64_t, ReplyFn> pending_replies_;  // head: seq -> client
+  sim::TimerHandle repair_timer_;
 };
 
 }  // namespace recipe::protocols

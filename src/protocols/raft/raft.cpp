@@ -44,6 +44,15 @@ void RaftNode::start() {
   }
 }
 
+// A destroyed node must leave nothing armed in the loop's timer queue: the
+// election and leader-tick timers capture `this`, and TcpCluster tears nodes
+// down with a bare unique_ptr reset on the loop thread — without this cancel
+// a pending leader_tick fires into freed memory one poll iteration later.
+RaftNode::~RaftNode() {
+  election_timer_.cancel();
+  leader_timer_.cancel();
+}
+
 void RaftNode::stop() {
   election_timer_.cancel();
   leader_timer_.cancel();

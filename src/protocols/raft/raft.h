@@ -52,6 +52,8 @@ class RaftNode final : public ReplicaNode {
   RaftNode(sim::Clock& clock, net::Transport& network,
            ReplicaOptions options, RaftOptions raft_options = {});
 
+  ~RaftNode() override;
+
   void start() override;
   void stop() override;
 

@@ -8,7 +8,12 @@ KvClient::KvClient(sim::Clock& clock, net::Transport& network,
                    ClientOptions options)
     : clock_(clock),
       options_(std::move(options)),
-      rpc_(clock, network, NodeId{options_.id.value}, options_.stack) {
+      policy_(options_.retry),
+      rpc_(clock, network, NodeId{options_.id.value}, options_.stack),
+      backoff_rng_(0x9E3779B97F4A7C15ULL ^ options_.id.value) {
+  // The long-standing basic knobs win over the policy's own values.
+  policy_.initial_timeout = options_.request_timeout;
+  policy_.max_attempts = options_.max_retries;
   if (options_.secured) {
     assert(options_.enclave != nullptr && "secured client requires an enclave");
     RecipeSecurityConfig config;
@@ -52,6 +57,42 @@ KvClient::KvClient(sim::Clock& clock, net::Transport& network,
     const auto fresh = r.id<NodeId>();
     if (fresh) security_->reset_peer(*fresh);
   });
+}
+
+KvClient::~KvClient() {
+  for (auto& [token, timer] : backoff_timers_) timer.cancel();
+}
+
+void KvClient::fail(const std::shared_ptr<RetryState>& state, ErrorCode why) {
+  ++failed_;
+  if (state->done) {
+    ClientReply reply;
+    reply.error = why;
+    state->done(reply);
+  }
+}
+
+void KvClient::schedule_retry(NodeId coordinator,
+                              std::shared_ptr<RetryState> state, int attempt,
+                              ErrorCode why) {
+  if (attempt >= policy_.max_attempts) {
+    fail(state, why);
+    return;
+  }
+  const sim::Time backoff =
+      policy_.next_backoff(state->prev_backoff, backoff_rng_);
+  state->prev_backoff = backoff;
+  if (policy_.deadline > 0 &&
+      clock_.now() + backoff > state->started + policy_.deadline) {
+    fail(state, why);
+    return;
+  }
+  const std::uint64_t token = next_backoff_token_++;
+  backoff_timers_[token] = clock_.schedule(
+      backoff, [this, token, coordinator, state = std::move(state), attempt] {
+        backoff_timers_.erase(token);
+        issue(coordinator, state, attempt);
+      });
 }
 
 void KvClient::complete(std::uint64_t rpc_id, VerifiedEnvelope& env) {
@@ -98,11 +139,23 @@ void KvClient::issue(NodeId coordinator, ClientRequest request,
 
 void KvClient::issue(NodeId coordinator, std::shared_ptr<RetryState> state,
                      int attempt) {
+  if (attempt == 0) {
+    state->started = clock_.now();
+    // Backpressure: egress toward the coordinator is past its watermark —
+    // fail fast with kOverloaded instead of stacking a fresh request onto a
+    // congested link. Retransmits (attempt > 0) still go: their op is
+    // already paid for, and the transport sheds them first if it must.
+    if (rpc_.overloaded(coordinator)) {
+      fail(state, ErrorCode::kOverloaded);
+      return;
+    }
+  }
   auto wire = security_->shield(coordinator, ViewId{0},
                                 as_view(state->request.serialize()));
   if (!wire) {
-    ++failed_;
-    if (state->done) state->done(ClientReply{});
+    // Shield failure is local and permanent (crashed enclave, missing
+    // keys): no amount of retrying the same bytes can help.
+    fail(state, ErrorCode::kAuthFailed);
     return;
   }
 
@@ -114,8 +167,7 @@ void KvClient::issue(NodeId coordinator, std::shared_ptr<RetryState> state,
       // Authenticated but malformed (a replica-side bug): the rpc was
       // already settled, so no timeout remains to retry — fail the op
       // rather than strand it forever.
-      ++failed_;
-      if (state->done) state->done(ClientReply{});
+      fail(state, ErrorCode::kInternal);
       return;
     }
     latency_us_.record((clock_.now() - started) / sim::kMicrosecond);
@@ -141,27 +193,20 @@ void KvClient::issue(NodeId coordinator, std::shared_ptr<RetryState> state,
           // transport settled the rpc, so the real reply can no longer
           // complete this attempt — retransmit like a timeout, or the op
           // would strand forever.
-          if (attempt + 1 >= options_.max_retries) {
-            ++failed_;
-            if (state->done) state->done(ClientReply{});
-            return;
-          }
-          issue(coordinator, state, attempt + 1);
+          schedule_retry(coordinator, state, attempt + 1,
+                         ErrorCode::kAuthFailed);
           return;
         }
         handler(env.value());
       },
-      options_.request_timeout,
+      policy_.attempt_timeout(attempt),
       [this, rpc_id, coordinator, state, attempt] {
         pending_replies_.erase(rpc_id);
-        if (attempt + 1 >= options_.max_retries) {
-          ++failed_;
-          if (state->done) state->done(ClientReply{});
-          return;
-        }
-        issue(coordinator, state, attempt + 1);
+        schedule_retry(coordinator, state, attempt + 1, ErrorCode::kTimeout);
       },
-      rpc_id);
+      rpc_id,
+      attempt == 0 ? net::PacketPriority::kNormal
+                   : net::PacketPriority::kRetransmit);
 }
 
 }  // namespace recipe

@@ -14,11 +14,13 @@
 #include <unordered_map>
 
 #include "common/ids.h"
+#include "common/rng.h"
 #include "common/stats.h"
 #include "net/network.h"
 #include "recipe/node_base.h"
 #include "recipe/security.h"
 #include "recipe/types.h"
+#include "rpc/retry.h"
 #include "rpc/rpc.h"
 #include "sim/clock.h"
 #include "tee/enclave.h"
@@ -31,8 +33,25 @@ struct ClientOptions {
   bool secured = true;
   bool confidentiality = false;
   tee::Enclave* enclave = nullptr;  // required when secured
+  // Long-standing basic knobs: request_timeout is the FIRST attempt's
+  // response timeout, max_retries the total attempt budget. They override
+  // retry.initial_timeout / retry.max_attempts.
   sim::Time request_timeout = 500 * sim::kMillisecond;
   int max_retries = 3;
+  // The rest of the retransmit policy: per-attempt timeout growth, backoff
+  // jitter between retransmits, whole-op deadline. Defaults keep backoff
+  // tiny so existing timing-sensitive deployments see retransmits at
+  // essentially the historical cadence (plus jitter that de-synchronizes
+  // retry storms).
+  rpc::RetryPolicy retry{
+      .initial_timeout = 500 * sim::kMillisecond,
+      .timeout_growth = 1.0,
+      .max_timeout = 2 * sim::kSecond,
+      .max_attempts = 3,
+      .base_backoff = 2 * sim::kMillisecond,
+      .max_backoff = 50 * sim::kMillisecond,
+      .deadline = 0,
+  };
   // Identity of the CAS, whose fresh-node notices reset channel state.
   NodeId cas_id{1000};
 };
@@ -43,6 +62,10 @@ class KvClient {
 
   KvClient(sim::Clock& clock, net::Transport& network,
            ClientOptions options);
+  // Cancels any backoff timers still pending (must run wherever the clock's
+  // timer discipline expects — the loop thread under TcpTransport, exactly
+  // where this object is destroyed anyway).
+  ~KvClient();
 
   NodeId node_id() const { return NodeId{options_.id.value}; }
   ClientId id() const { return options_.id; }
@@ -71,18 +94,32 @@ class KvClient {
   struct RetryState {
     ClientRequest request;
     ReplyCallback done;
+    sim::Time started{0};       // first attempt's clock, for the deadline
+    sim::Time prev_backoff{0};  // decorrelated-jitter chain input
   };
 
   void issue(NodeId coordinator, ClientRequest request, ReplyCallback done,
              int attempt);
   void issue(NodeId coordinator, std::shared_ptr<RetryState> state,
              int attempt);
+  // Backoff-then-reissue for attempt `attempt`; fails the op with `why`
+  // when the attempt budget or the deadline is exhausted.
+  void schedule_retry(NodeId coordinator, std::shared_ptr<RetryState> state,
+                      int attempt, ErrorCode why);
+  void fail(const std::shared_ptr<RetryState>& state, ErrorCode why);
   void complete(std::uint64_t rpc_id, VerifiedEnvelope& env);
 
   sim::Clock& clock_;
   ClientOptions options_;
+  rpc::RetryPolicy policy_;  // options_.retry with the legacy knobs folded in
   rpc::RpcObject rpc_;
   std::unique_ptr<SecurityPolicy> security_;
+  // Deterministic per-client stream for backoff jitter (sim runs replay).
+  Rng backoff_rng_;
+  // Outstanding backoff timers by token, cancelled on destruction so a
+  // pending reissue can never touch a dead client.
+  std::unordered_map<std::uint64_t, sim::TimerHandle> backoff_timers_;
+  std::uint64_t next_backoff_token_{1};
   std::uint64_t next_rid_{1};
   // Post-verification reply logic by rpc id: replies complete from either
   // the unbatched wire path or a replica-batched kBatch sub-message.

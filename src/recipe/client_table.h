@@ -1,10 +1,22 @@
 // Client table: exactly-once semantics for client requests (paper §3.4 #3.1).
 //
-// The coordinator records the latest request id executed per client together
-// with the cached reply. Retransmissions of the latest request are answered
-// from the cache; older request ids are rejected as replays.
+// The coordinator records a sliding WINDOW of recent request ids per client,
+// each with its cached reply once execution finishes. Retransmissions of any
+// request still in the window are answered from the cache (or dropped while
+// the original executes); ids that have slid out of the window are rejected
+// as replays.
+//
+// A window — rather than the classic single "latest id" slot — matters for
+// pipelined clients: with N requests outstanding, reordered delivery (chaos
+// jitter, retransmits racing fresh requests) makes an older id arrive after
+// a newer one began. A latest-only table misclassifies every such id as a
+// replay and drops it silently, so the op can never complete on any retry.
+// The window keeps the replay guarantee (an id is executed at most once and
+// below-window ids stay rejected) with memory bounded by kDefaultWindow
+// entries per client.
 #pragma once
 
+#include <map>
 #include <optional>
 #include <unordered_map>
 
@@ -17,39 +29,55 @@ class ClientTable {
  public:
   enum class Decision {
     kExecute,   // new request: run the protocol
-    kCached,    // duplicate of the latest request: reply from cache
-    kStale,     // older than the latest: drop (replay)
+    kCached,    // duplicate of a windowed request: reply from cache
+    kStale,     // below the window: drop (replay)
     kInFlight,  // same request already executing: drop duplicate
   };
+
+  // Must exceed the deepest client pipeline plus retransmit slack; beyond
+  // that it is only a memory bound (entries are one reply each).
+  static constexpr std::size_t kDefaultWindow = 512;
+
+  explicit ClientTable(std::size_t window = kDefaultWindow)
+      : window_(window) {}
 
   Decision admit(ClientId client, RequestId rid) const {
     const auto it = entries_.find(client);
     if (it == entries_.end()) return Decision::kExecute;
     const Entry& e = it->second;
-    if (rid.value < e.latest.value) return Decision::kStale;
-    if (rid.value == e.latest.value) {
-      return e.reply.has_value() ? Decision::kCached : Decision::kInFlight;
-    }
-    return Decision::kExecute;
+    if (rid.value < e.floor) return Decision::kStale;
+    const auto rit = e.recent.find(rid.value);
+    if (rit == e.recent.end()) return Decision::kExecute;
+    return rit->second.has_value() ? Decision::kCached : Decision::kInFlight;
   }
 
-  // Marks a request as executing (no cached reply yet).
+  // Marks a request as executing (no cached reply yet); the oldest window
+  // entries are evicted to keep per-client memory bounded.
   void begin(ClientId client, RequestId rid) {
     Entry& e = entries_[client];
-    e.latest = rid;
-    e.reply.reset();
+    if (rid.value < e.floor) return;  // raced below the window edge
+    e.recent.emplace(rid.value, std::nullopt);
+    while (e.recent.size() > window_) {
+      const auto oldest = e.recent.begin();
+      e.floor = oldest->first + 1;
+      e.recent.erase(oldest);
+    }
   }
 
-  // Records the reply for the latest request.
+  // Records the reply for a windowed request (evicted ids are ignored).
   void complete(ClientId client, RequestId rid, Bytes reply) {
-    Entry& e = entries_[client];
-    if (e.latest == rid) e.reply = std::move(reply);
+    const auto it = entries_.find(client);
+    if (it == entries_.end()) return;
+    const auto rit = it->second.recent.find(rid.value);
+    if (rit != it->second.recent.end()) rit->second = std::move(reply);
   }
 
-  const Bytes* cached_reply(ClientId client) const {
+  const Bytes* cached_reply(ClientId client, RequestId rid) const {
     const auto it = entries_.find(client);
-    if (it == entries_.end() || !it->second.reply) return nullptr;
-    return &*it->second.reply;
+    if (it == entries_.end()) return nullptr;
+    const auto rit = it->second.recent.find(rid.value);
+    if (rit == it->second.recent.end() || !rit->second) return nullptr;
+    return &*rit->second;
   }
 
   std::size_t size() const { return entries_.size(); }
@@ -59,9 +87,12 @@ class ClientTable {
 
  private:
   struct Entry {
-    RequestId latest{};
-    std::optional<Bytes> reply;
+    // rid -> reply (nullopt while executing), ordered so eviction walks the
+    // oldest ids first.
+    std::map<std::uint64_t, std::optional<Bytes>> recent;
+    std::uint64_t floor{0};  // ids below this slid out of the window
   };
+  std::size_t window_;
   std::unordered_map<ClientId, Entry> entries_;
 };
 

@@ -1,0 +1,139 @@
+// Phi-accrual failure detector (Hayashibara et al., SRDS'04).
+//
+// Instead of the lease detector's binary alive/suspect verdict at a fixed
+// timeout, phi-accrual outputs a CONTINUOUS suspicion level: phi(peer) =
+// -log10(P[a heartbeat later than the current silence, given the observed
+// inter-arrival history]). A peer whose heartbeats jitter widely needs a
+// long silence before phi rises; a metronomic peer is suspected quickly.
+// phi = 1 means roughly a 10% chance the peer is still alive, phi = 3
+// roughly 0.1%.
+//
+// ReplicaNode runs this ALONGSIDE the T-Lease detector when
+// ReplicaOptions::phi_threshold > 0: the trusted lease remains the safety
+// floor (a peer is never suspected before its lease surely expired — that
+// bound is what makes leader leases sound), while phi suppresses the false
+// suspicions a fixed timeout produces under chaotic links. A peer is
+// suspected only when BOTH agree.
+//
+// The inter-arrival distribution is a sliding window of the last `window`
+// intervals, summarized by mean and standard deviation; the tail
+// probability uses the standard logistic approximation of the normal CDF.
+// A variance floor (`min_stddev`) keeps the estimate sane over loopback,
+// where heartbeats arrive with near-zero jitter and a microsecond of
+// scheduling noise would otherwise read as a multi-sigma event.
+//
+// Deterministic and allocation-light: per-peer state is a fixed ring of
+// intervals plus running sums. All methods take `now` explicitly so the
+// detector works under any clock discipline (simulated or trusted).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "sim/clock.h"
+
+namespace recipe {
+
+struct PhiDetectorOptions {
+  // Sliding window of inter-arrival intervals per peer.
+  std::size_t window = 64;
+  // Standard-deviation floor for the tail estimate.
+  sim::Time min_stddev = 10 * sim::kMillisecond;
+  // Prior mean interval, used until two real samples exist (a freshly
+  // registered peer starts with a plausible cadence instead of zero).
+  sim::Time initial_interval = 100 * sim::kMillisecond;
+};
+
+class PhiAccrualDetector {
+ public:
+  explicit PhiAccrualDetector(PhiDetectorOptions options = {})
+      : options_(options) {
+    if (options_.window == 0) options_.window = 1;
+  }
+
+  // Records a heartbeat (or any authenticated sign of life) from `peer`.
+  void heartbeat(NodeId peer, sim::Time now) {
+    PeerStats& st = peers_[peer];
+    if (st.seen && now > st.last_arrival) {
+      push_interval(st, static_cast<double>(now - st.last_arrival));
+    }
+    st.seen = true;
+    st.last_arrival = now;
+  }
+
+  // Current suspicion level. A peer never heard from yields +infinity:
+  // this detector has no evidence it exists, so the caller's other
+  // detector (the lease floor) alone decides.
+  double phi(NodeId peer, sim::Time now) const {
+    const auto it = peers_.find(peer);
+    if (it == peers_.end() || !it->second.seen) {
+      return std::numeric_limits<double>::infinity();
+    }
+    const PeerStats& st = it->second;
+    if (now <= st.last_arrival) return 0.0;
+    const double elapsed = static_cast<double>(now - st.last_arrival);
+
+    double mean = static_cast<double>(options_.initial_interval);
+    double stddev = static_cast<double>(options_.min_stddev);
+    if (st.count >= 2) {
+      mean = st.sum / static_cast<double>(st.count);
+      const double var =
+          st.sum_sq / static_cast<double>(st.count) - mean * mean;
+      stddev = std::sqrt(var > 0.0 ? var : 0.0);
+    }
+    const double floor = static_cast<double>(options_.min_stddev);
+    if (stddev < floor) stddev = floor;
+
+    // Logistic approximation of the normal tail: P[X > elapsed] for
+    // X ~ N(mean, stddev^2).
+    const double y = (elapsed - mean) / stddev;
+    const double e = std::exp(-y * (1.5976 + 0.070566 * y * y));
+    double p_later = elapsed > mean ? e / (1.0 + e) : 1.0 - 1.0 / (1.0 + e);
+    constexpr double kMinP = 1e-30;  // bounds phi at 30, avoids -log10(0)
+    if (p_later < kMinP) p_later = kMinP;
+    return -std::log10(p_later);
+  }
+
+  bool suspected(NodeId peer, sim::Time now, double threshold) const {
+    return phi(peer, now) >= threshold;
+  }
+
+  // Drops all history for `peer` (it rejoined with a fresh cadence).
+  void forget(NodeId peer) { peers_.erase(peer); }
+
+ private:
+  struct PeerStats {
+    std::vector<double> ring;
+    std::size_t next = 0;
+    std::size_t count = 0;
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    sim::Time last_arrival = 0;
+    bool seen = false;
+  };
+
+  void push_interval(PeerStats& st, double interval) {
+    if (st.ring.size() < options_.window) {
+      st.ring.push_back(interval);
+    } else {
+      const double old = st.ring[st.next];
+      st.sum -= old;
+      st.sum_sq -= old * old;
+      --st.count;
+      st.ring[st.next] = interval;
+      st.next = (st.next + 1) % st.ring.size();
+    }
+    st.sum += interval;
+    st.sum_sq += interval * interval;
+    ++st.count;
+  }
+
+  PhiDetectorOptions options_;
+  std::unordered_map<NodeId, PeerStats> peers_;
+};
+
+}  // namespace recipe

@@ -21,7 +21,8 @@ ReplicaNode::ReplicaNode(sim::Clock& clock, net::Transport& network,
       kv_(options_.kv_config),
       trusted_clock_(clock),
       failure_detector_(trusted_clock_, options_.suspect_timeout,
-                        options_.suspect_timeout / 4) {
+                        options_.suspect_timeout / 4),
+      phi_detector_(options_.phi) {
   if (options_.secured) {
     assert(options_.enclave != nullptr && "secured mode requires an enclave");
     RecipeSecurityConfig config;
@@ -57,7 +58,7 @@ ReplicaNode::ReplicaNode(sim::Clock& clock, net::Transport& network,
     handle_client_request(env, ctx);
   });
   on(msg::kHeartbeat, [this](VerifiedEnvelope& env, rpc::RequestContext&) {
-    failure_detector_.heartbeat(env.sender);
+    note_alive(env.sender);
     // A normal heartbeat from a peer we still hold as shadow is an implicit
     // promotion: shadows heartbeat with kShadowJoin instead, so this frame
     // (authenticated) proves the peer is active — it self-heals a lost
@@ -86,7 +87,10 @@ ReplicaNode::ReplicaNode(sim::Clock& clock, net::Transport& network,
        const auto fresh = r.id<NodeId>();
        if (!fresh || *fresh == options_.self) return;
        security_->reset_peer(*fresh);
-       failure_detector_.heartbeat(*fresh);  // fresh grace period
+       // Fresh grace period; the rejoiner's heartbeat cadence restarts, so
+       // its accrued interval history restarts with it.
+       phi_detector_.forget(*fresh);
+       note_alive(*fresh);
        std::erase(suspected_already_, *fresh);
      });
 
@@ -143,12 +147,12 @@ ReplicaNode::ReplicaNode(sim::Clock& clock, net::Transport& network,
   // Recovery notices (paper §3.7): authenticated like any peer message.
   on(msg::kShadowJoin, [this](VerifiedEnvelope& env, rpc::RequestContext&) {
     if (env.sender == options_.self) return;
-    failure_detector_.heartbeat(env.sender);  // it is demonstrably alive
+    note_alive(env.sender);  // it is demonstrably alive
     std::erase(suspected_already_, env.sender);
     if (shadow_peers_.insert(env.sender).second) on_peer_shadow(env.sender);
   });
   on(msg::kPromote, [this](VerifiedEnvelope& env, rpc::RequestContext&) {
-    failure_detector_.heartbeat(env.sender);
+    note_alive(env.sender);
     std::erase(suspected_already_, env.sender);
     if (shadow_peers_.erase(env.sender) > 0) on_peer_promoted(env.sender);
   });
@@ -159,10 +163,15 @@ ReplicaNode::~ReplicaNode() {
   notice_timer_.cancel();
 }
 
+void ReplicaNode::note_alive(NodeId peer) {
+  failure_detector_.heartbeat(peer);
+  phi_detector_.heartbeat(peer, trusted_clock_.now());
+}
+
 void ReplicaNode::start() {
   running_ = true;
   // Grace period for every peer.
-  for (NodeId peer : peers()) failure_detector_.heartbeat(peer);
+  for (NodeId peer : peers()) note_alive(peer);
   if (options_.heartbeat_period > 0) heartbeat_tick();
 }
 
@@ -352,7 +361,11 @@ void ReplicaNode::maybe_probe_rtt(NodeId peer) {
               if (done > now) batcher_.record_rtt(peer, done - now);
             },
             10 * options_.batch.rtt_probe_period,
-            [this, peer] { probe_inflight_.erase(peer); });
+            [this, peer] { probe_inflight_.erase(peer); },
+            // Advisory traffic: under egress overload the probe is the
+            // FIRST thing shed (a stale RTT sample beats displacing
+            // protocol progress), and the in-flight latch times out.
+            /*rpc_id=*/std::nullopt, net::PacketPriority::kOptional);
 }
 
 void ReplicaNode::send_batch(NodeId peer, Bytes body) {
@@ -502,7 +515,8 @@ void ReplicaNode::handle_client_request(VerifiedEnvelope& env,
     case ClientTable::Decision::kInFlight:
       return;  // drop replays/duplicates
     case ClientTable::Decision::kCached: {
-      const Bytes* cached = client_table_.cached_reply(request.client);
+      const Bytes* cached =
+          client_table_.cached_reply(request.client, request.rid);
       if (cached != nullptr) respond(ctx, env.sender, as_view(*cached));
       return;
     }
@@ -651,7 +665,19 @@ Result<std::size_t> ReplicaNode::restore_snapshot(BytesView sealed) {
 }
 
 bool ReplicaNode::suspected(NodeId peer) const {
-  return failure_detector_.suspected(peer);
+  // The trusted lease is the safety floor: before it surely expired the
+  // peer may still legitimately act on its lease, so it is never suspected
+  // early no matter what phi says.
+  if (!failure_detector_.suspected(peer)) return false;
+  // Adaptive layer: under chaotic links a fixed timeout fires on ordinary
+  // jitter; require the silence to also be anomalous against the peer's own
+  // observed heartbeat history before surfacing suspicion.
+  if (options_.phi_threshold > 0.0 &&
+      !phi_detector_.suspected(peer, trusted_clock_.now(),
+                               options_.phi_threshold)) {
+    return false;
+  }
+  return true;
 }
 
 void ReplicaNode::heartbeat_tick() {

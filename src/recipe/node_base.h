@@ -20,6 +20,7 @@
 #include "net/network.h"
 #include "recipe/batcher.h"
 #include "recipe/client_table.h"
+#include "recipe/failure_detector.h"
 #include "recipe/quorum.h"
 #include "recipe/security.h"
 #include "recipe/types.h"
@@ -75,6 +76,13 @@ struct ReplicaOptions {
   // Failure detection (0 disables heartbeats).
   sim::Time heartbeat_period = 0;
   sim::Time suspect_timeout = 150 * sim::kMillisecond;
+  // Phi-accrual layer on top of the lease floor (failure_detector.h):
+  // with phi_threshold > 0 a peer is suspected only when its trusted lease
+  // surely expired AND its accrued suspicion passed the threshold — the
+  // adaptive layer suppresses the false positives a fixed timeout produces
+  // under jittery links. 0 keeps lease-only suspicion.
+  double phi_threshold = 0.0;
+  PhiDetectorOptions phi{};
 
   // Adaptive batching of outgoing protocol traffic (requests AND responses,
   // including client replies). Disabled by default: every frame then keeps
@@ -206,6 +214,16 @@ class ReplicaNode {
     return snapshot_rollback_rejected_;
   }
 
+  // --- Failure detection ---------------------------------------------------
+  // Hybrid verdict: trusted-lease floor, gated by the adaptive phi-accrual
+  // layer when phi_threshold > 0.
+  bool suspected(NodeId peer) const;
+  // Accrued suspicion level for `peer` right now (phi-accrual layer;
+  // +infinity for a peer never heard from). Exposed for tests/telemetry.
+  double suspicion_phi(NodeId peer) const {
+    return phi_detector_.phi(peer, trusted_clock_.now());
+  }
+
  protected:
   using EnvelopeHandler =
       std::function<void(VerifiedEnvelope&, rpc::RequestContext&)>;
@@ -251,8 +269,6 @@ class ReplicaNode {
   // View the security layer binds into shielded messages.
   virtual ViewId current_view() const { return ViewId{0}; }
 
-  // --- Failure detection ---------------------------------------------------
-  bool suspected(NodeId peer) const;
   // Called once per newly suspected peer (heartbeats enabled only).
   virtual void on_suspected(NodeId /*peer*/) {}
 
@@ -332,6 +348,11 @@ class ReplicaNode {
   ClientTable client_table_;
   tee::TrustedClock trusted_clock_;
   tee::LeaseFailureDetector failure_detector_;
+  // Adaptive layer over the lease floor; fed from the same authenticated
+  // sign-of-life sites, consulted by suspected() when phi_threshold > 0.
+  PhiAccrualDetector phi_detector_;
+  // Feeds both detectors (lease lease-renewal + phi arrival sample).
+  void note_alive(NodeId peer);
   std::vector<NodeId> suspected_already_;
   // Pacing-probe throttle state: last probe send time per peer, plus the
   // set of peers with a probe currently in flight.

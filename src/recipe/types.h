@@ -54,6 +54,13 @@ struct ClientReply {
   bool ok{false};
   bool found{false};  // for kGet
   Bytes value;
+  // Client-LOCAL failure classification — never serialized (the wire format
+  // below is golden-pinned). KvClient sets it when an op fails without a
+  // server verdict: kTimeout (retries exhausted), kAuthFailed (shield or
+  // reply verification), kOverloaded (egress backpressure), kInternal
+  // (authenticated-but-malformed reply). rpc::RetryPolicy::fatal() on this
+  // code tells outer retry loops whether re-routing can help.
+  ErrorCode error{ErrorCode::kOk};
 
   Bytes serialize() const {
     Writer w(value.size() + 8);

@@ -1,0 +1,98 @@
+// RetryPolicy: the one retry/backoff vocabulary for every caller-side
+// resend loop in the stack.
+//
+// Before this existed each layer improvised: KvClient retransmitted with a
+// fixed per-attempt timeout and zero spacing, TcpCluster::retry_op slept a
+// flat 50 ms between re-routed attempts, and nothing distinguished "the
+// network ate it, try again" from "this request can never succeed". The
+// policy pins down all three dimensions:
+//
+//   * per-attempt response timeout — grows geometrically (timeout_growth)
+//     from initial_timeout up to max_timeout, so a congested link gets
+//     progressively more slack instead of a retransmit storm;
+//   * backoff between attempts — decorrelated jitter (Brooker/AWS style):
+//     sleep = min(max_backoff, uniform(base_backoff, prev * 3)). Retries
+//     from many clients de-synchronize instead of stampeding the same
+//     coordinator on the same schedule;
+//   * budget — max_attempts and an optional wall-clock deadline for the
+//     whole operation. Whichever trips first ends the op.
+//
+// Classification is static: fatal(code) says whether a reply's error can
+// EVER be fixed by resending the same bytes. Timeouts, quorum loss,
+// overload and stale-view redirects are retryable; authentication,
+// integrity, rollback and malformed-argument failures are not — retrying a
+// MAC rejection just feeds the adversary the same ciphertext again.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "sim/clock.h"
+
+namespace recipe::rpc {
+
+struct RetryPolicy {
+  // Response timeout for attempt 0; grows by timeout_growth per attempt,
+  // clamped to max_timeout.
+  sim::Time initial_timeout = 500 * sim::kMillisecond;
+  double timeout_growth = 1.5;
+  sim::Time max_timeout = 2 * sim::kSecond;
+
+  // Total attempts (first try included). The op fails after the last one.
+  int max_attempts = 3;
+
+  // Decorrelated-jitter backoff bounds between attempts.
+  sim::Time base_backoff = 10 * sim::kMillisecond;
+  sim::Time max_backoff = 1 * sim::kSecond;
+
+  // Whole-op budget measured from the first attempt; 0 = no deadline. An
+  // attempt (or backoff sleep) that would start past the deadline is not
+  // taken — the op fails with whatever error the last attempt produced.
+  sim::Time deadline = 0;
+
+  sim::Time attempt_timeout(int attempt) const {
+    double t = static_cast<double>(initial_timeout);
+    for (int i = 0; i < attempt; ++i) t *= timeout_growth;
+    const double cap = static_cast<double>(max_timeout);
+    return static_cast<sim::Time>(std::min(t, cap));
+  }
+
+  // Decorrelated jitter: each sleep is drawn uniformly from
+  // [base_backoff, prev * 3], clamped to max_backoff. Pass the previous
+  // return value back in (0 for the first backoff).
+  sim::Time next_backoff(sim::Time prev, Rng& rng) const {
+    const sim::Time lo = std::max<sim::Time>(base_backoff, 1);
+    const sim::Time hi = std::max<sim::Time>(lo, 3 * std::max(prev, lo));
+    const sim::Time drawn = rng.range(lo, hi);
+    return std::min(drawn, std::max(max_backoff, lo));
+  }
+
+  // True when resending the same request cannot help: the failure is a
+  // property of the request or the security state, not of the network.
+  static bool fatal(ErrorCode code) {
+    switch (code) {
+      case ErrorCode::kInvalidArgument:
+      case ErrorCode::kAuthFailed:
+      case ErrorCode::kReplay:
+      case ErrorCode::kIntegrityViolation:
+      case ErrorCode::kNotAttested:
+      case ErrorCode::kRollback:
+      case ErrorCode::kInternal:
+        return true;
+      case ErrorCode::kOk:
+      case ErrorCode::kNotFound:
+      case ErrorCode::kAlreadyExists:
+      case ErrorCode::kOutOfOrder:
+      case ErrorCode::kWrongView:
+      case ErrorCode::kUnavailable:
+      case ErrorCode::kTimeout:
+      case ErrorCode::kOverloaded:
+        return false;
+    }
+    return false;
+  }
+};
+
+}  // namespace recipe::rpc

@@ -64,7 +64,8 @@ std::uint64_t RpcObject::send(NodeId dst, RequestType type, Bytes payload,
                               Continuation continuation,
                               std::optional<sim::Time> timeout,
                               TimeoutHandler on_timeout,
-                              std::optional<std::uint64_t> rpc_id_opt) {
+                              std::optional<std::uint64_t> rpc_id_opt,
+                              net::PacketPriority priority) {
   const std::uint64_t rpc_id = rpc_id_opt ? *rpc_id_opt : next_rpc_id_++;
   const bool tracked = continuation != nullptr || on_timeout != nullptr;
   if (tracked) {
@@ -72,9 +73,11 @@ std::uint64_t RpcObject::send(NodeId dst, RequestType type, Bytes payload,
           /*holds_credit=*/true);
   }
   ++requests_sent_;
-  enqueue(QueuedSend{dst, type, rpc_id, std::move(payload),
-                     /*is_response=*/false,
-                     /*consumes_credit=*/tracked});
+  QueuedSend item{dst, type, rpc_id, std::move(payload),
+                  /*is_response=*/false,
+                  /*consumes_credit=*/tracked};
+  item.priority = priority;
+  enqueue(std::move(item));
   return rpc_id;
 }
 
@@ -164,6 +167,7 @@ void RpcObject::transmit(QueuedSend&& item) {
   packet.src = self_;
   packet.dst = item.dst;
   packet.type = kRpcPacketType;
+  packet.priority = item.priority;
   if (!item.segments.empty()) {
     // Scatter path: envelope head + the segments travel as one frame via
     // gather I/O; byte stream identical to the contiguous encode_rpc().

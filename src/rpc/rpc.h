@@ -74,11 +74,16 @@ class RpcObject {
   // instead and the continuation is dropped. Returns the request's rpc id;
   // pass a pre-allocated `rpc_id` (from allocate_rpc_id()) when the caller
   // needed the id before building the continuation.
+  // `priority` tags the wire packet's drop precedence under egress
+  // overload (net::PacketPriority): retransmits and advisory traffic are
+  // shed before protocol-critical sends.
   std::uint64_t send(NodeId dst, RequestType type, Bytes payload,
                      Continuation continuation = nullptr,
                      std::optional<sim::Time> timeout = std::nullopt,
                      TimeoutHandler on_timeout = nullptr,
-                     std::optional<std::uint64_t> rpc_id = std::nullopt);
+                     std::optional<std::uint64_t> rpc_id = std::nullopt,
+                     net::PacketPriority priority =
+                         net::PacketPriority::kNormal);
 
   // Reserves a fresh rpc id for send() or expect_response().
   std::uint64_t allocate_rpc_id() { return next_rpc_id_++; }
@@ -123,6 +128,11 @@ class RpcObject {
   // Detach from the network (node shutdown).
   void shutdown();
 
+  // Transport backpressure toward `dst` (Transport::overloaded): callers
+  // use it to fail fast with kOverloaded instead of stacking work onto a
+  // congested link.
+  bool overloaded(NodeId dst) const { return network_.overloaded(dst); }
+
   std::uint64_t requests_sent() const { return requests_sent_; }
   std::uint64_t responses_received() const { return responses_received_; }
   std::uint64_t timeouts_fired() const { return timeouts_fired_; }
@@ -152,6 +162,7 @@ class RpcObject {
     // concatenation of `segments` (and `payload` is unused); transmit()
     // routes these through Transport::send_gather().
     std::vector<Bytes> segments{};
+    net::PacketPriority priority{net::PacketPriority::kNormal};
   };
 
   struct Session {

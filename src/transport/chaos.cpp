@@ -1,0 +1,227 @@
+#include "transport/chaos.h"
+
+#include <algorithm>
+
+namespace recipe::transport {
+
+ChaosTransport::ChaosTransport(net::Transport& inner, ChaosOptions options)
+    : inner_(inner), state_(std::make_shared<State>()) {
+  state_->inner = &inner_;
+  state_->options = std::move(options);
+  state_->rng = Rng(state_->options.seed);
+  if (state_->options.partition_period > 0) schedule_partition_storm(state_);
+  if (state_->options.reset_period > 0) schedule_reset_storm(state_);
+}
+
+ChaosTransport::~ChaosTransport() {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  state_->stopped = true;
+}
+
+void ChaosTransport::send(net::Packet packet) {
+  inject(std::move(packet), /*gather=*/false);
+}
+
+void ChaosTransport::send_gather(net::Packet packet) {
+  inject(std::move(packet), /*gather=*/true);
+}
+
+void ChaosTransport::note_peer(State& st, std::uint64_t id) {
+  if (std::find(st.peers.begin(), st.peers.end(), id) == st.peers.end()) {
+    st.peers.push_back(id);
+  }
+}
+
+void ChaosTransport::inject(net::Packet packet, bool gather) {
+  // Clock read outside the state mutex (no lock-order coupling with the
+  // timer queue's own mutex).
+  const sim::Time now = inner_.clock().now();
+  sim::Time delay = 0;
+  bool duplicate = false;
+  sim::Time duplicate_delay = 0;
+
+  {
+    State& st = *state_;
+    std::lock_guard<std::mutex> lock(st.mu);
+    if (st.stopped) return;
+    const LinkKey key{packet.src.value, packet.dst.value};
+    note_peer(st, key.first);
+    note_peer(st, key.second);
+
+    if (st.blocked.contains(key)) {
+      ++st.dropped;
+      return;
+    }
+    const auto fit = st.per_link.find(key);
+    const LinkFaults& f =
+        fit != st.per_link.end() ? fit->second : st.options.faults;
+
+    if (f.drop_rate > 0 && st.rng.chance(f.drop_rate)) {
+      ++st.dropped;
+      return;
+    }
+    delay = f.latency;
+    if (f.jitter > 0) delay += st.rng.below(f.jitter);
+    if (f.reorder_rate > 0 && st.rng.chance(f.reorder_rate)) {
+      delay += f.reorder_window;
+      ++st.reordered;
+    }
+    if (f.bandwidth_gbps > 0) {
+      // Serialization: the link transmits one packet at a time at the
+      // capped rate; a burst queues behind the link's busy horizon.
+      const double wire_ns = static_cast<double>(packet.wire_size()) * 8.0 /
+                             f.bandwidth_gbps;
+      sim::Time& free_at = st.free_at[key];
+      const sim::Time start = std::max(now + delay, free_at);
+      free_at = start + static_cast<sim::Time>(wire_ns);
+      delay = free_at - now;
+    }
+    if (f.duplicate_rate > 0 && st.rng.chance(f.duplicate_rate)) {
+      duplicate = true;
+      duplicate_delay =
+          delay + (f.jitter > 0 ? st.rng.below(f.jitter)
+                                : f.reorder_window);
+      ++st.duplicated;
+    }
+    if (delay > 0) ++st.delayed;
+  }
+
+  if (duplicate) deliver_after(packet, duplicate_delay, gather);
+  deliver_after(std::move(packet), delay, gather);
+}
+
+void ChaosTransport::deliver_after(net::Packet packet, sim::Time delay,
+                                   bool gather) {
+  if (delay == 0) {
+    if (gather) {
+      inner_.send_gather(std::move(packet));
+    } else {
+      inner_.send(std::move(packet));
+    }
+    return;
+  }
+  // The callback holds the shared state, not `this`: it may fire after the
+  // decorator is destroyed (the inner transport and its timers live
+  // longer), in which case `stopped` turns it into a no-op.
+  inner_.clock().schedule(
+      delay, [st = state_, p = std::move(packet), gather]() mutable {
+        {
+          std::lock_guard<std::mutex> lock(st->mu);
+          if (st->stopped) return;
+        }
+        if (gather) {
+          st->inner->send_gather(std::move(p));
+        } else {
+          st->inner->send(std::move(p));
+        }
+      });
+}
+
+void ChaosTransport::schedule_partition_storm(
+    const std::shared_ptr<State>& st) {
+  sim::Time period;
+  sim::Clock* clock;
+  {
+    std::lock_guard<std::mutex> lock(st->mu);
+    if (st->stopped) return;
+    period = st->options.partition_period;
+    clock = &st->inner->clock();
+  }
+  clock->schedule(period, [st] {
+    std::vector<LinkKey> cut;
+    sim::Time heal_after = 0;
+    {
+      std::lock_guard<std::mutex> lock(st->mu);
+      if (st->stopped) return;
+      if (st->peers.size() >= 2 &&
+          st->rng.chance(st->options.partition_chance)) {
+        const std::uint64_t a = st->peers[st->rng.below(st->peers.size())];
+        std::uint64_t b = a;
+        while (b == a) b = st->peers[st->rng.below(st->peers.size())];
+        cut.push_back({a, b});
+        // Coin flip: symmetric cut, or one-way (requests die, acks pass).
+        if (st->rng.chance(0.5)) cut.push_back({b, a});
+        for (const LinkKey& k : cut) st->blocked[k] = true;
+        ++st->partitions;
+        heal_after = st->options.partition_duration;
+      }
+    }
+    if (!cut.empty()) {
+      st->inner->clock().schedule(heal_after, [st, cut] {
+        std::lock_guard<std::mutex> lock(st->mu);
+        if (st->stopped) return;
+        for (const LinkKey& k : cut) st->blocked.erase(k);
+      });
+    }
+    schedule_partition_storm(st);
+  });
+}
+
+void ChaosTransport::schedule_reset_storm(const std::shared_ptr<State>& st) {
+  sim::Time period;
+  sim::Clock* clock;
+  {
+    std::lock_guard<std::mutex> lock(st->mu);
+    if (st->stopped) return;
+    period = st->options.reset_period;
+    clock = &st->inner->clock();
+  }
+  clock->schedule(period, [st] {
+    std::function<void(NodeId)> hook;
+    NodeId victim{};
+    {
+      std::lock_guard<std::mutex> lock(st->mu);
+      if (st->stopped) return;
+      if (!st->peers.empty() && st->options.reset_hook &&
+          st->rng.chance(st->options.reset_chance)) {
+        victim = NodeId{st->peers[st->rng.below(st->peers.size())]};
+        hook = st->options.reset_hook;
+        ++st->resets;
+      }
+    }
+    // Outside the mutex: the hook typically posts into a transport loop.
+    if (hook) hook(victim);
+    schedule_reset_storm(st);
+  });
+}
+
+void ChaosTransport::set_default_faults(LinkFaults faults) {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  state_->options.faults = faults;
+}
+
+void ChaosTransport::set_link_faults(NodeId src, NodeId dst,
+                                     LinkFaults faults) {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  state_->per_link[{src.value, dst.value}] = faults;
+}
+
+void ChaosTransport::partition(NodeId a, NodeId b, bool blocked,
+                               bool bidirectional) {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  auto apply = [this, blocked](std::uint64_t s, std::uint64_t d) {
+    if (blocked) {
+      state_->blocked[{s, d}] = true;
+    } else {
+      state_->blocked.erase({s, d});
+    }
+  };
+  apply(a.value, b.value);
+  if (bidirectional) apply(b.value, a.value);
+  if (blocked) ++state_->partitions;
+}
+
+#define RECIPE_CHAOS_COUNTER(name, field)                \
+  std::uint64_t ChaosTransport::name() const {           \
+    std::lock_guard<std::mutex> lock(state_->mu);        \
+    return state_->field;                                \
+  }
+RECIPE_CHAOS_COUNTER(chaos_dropped, dropped)
+RECIPE_CHAOS_COUNTER(chaos_duplicated, duplicated)
+RECIPE_CHAOS_COUNTER(chaos_reordered, reordered)
+RECIPE_CHAOS_COUNTER(chaos_delayed, delayed)
+RECIPE_CHAOS_COUNTER(partitions_injected, partitions)
+RECIPE_CHAOS_COUNTER(resets_injected, resets)
+#undef RECIPE_CHAOS_COUNTER
+
+}  // namespace recipe::transport

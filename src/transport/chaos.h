@@ -1,0 +1,170 @@
+// ChaosTransport: a fault-injecting decorator over any net::Transport.
+//
+// Sits between the protocol stack and a real (or simulated) substrate and
+// torments every directed link with a seed-derived schedule:
+//
+//   * added latency — fixed propagation plus uniform jitter;
+//   * loss — per-packet drop probability;
+//   * duplication — a second copy delivered on its own (jittered) delay;
+//   * reordering — a fraction of packets held back an extra window, so
+//     later sends overtake them;
+//   * bandwidth caps — per-link serialization (a link is busy until the
+//     previous packet's wire time elapses; queueing delay accumulates);
+//   * partitions — directed link blocks, set explicitly by a test or by the
+//     self-driving partition storm (every partition_period, maybe block a
+//     random observed link for partition_duration — one direction only on
+//     a coin flip, so partitions are genuinely asymmetric);
+//   * connection resets — the reset storm invokes reset_hook(peer) (wired
+//     to TcpTransport::reset_peer_connections → RST) on random peers.
+//
+// Every decision comes from one Rng seeded by ChaosOptions::seed, which
+// tests derive from RECIPE_TEST_SEED: replaying a failed run with the
+// printed seed reproduces the same fault schedule. Under the single-
+// threaded Simulator the replay is bit-exact; over real sockets the
+// per-decision sequence is seed-determined while wall-clock interleaving
+// (which send asks first) stays the kernel's — the schedule's CHARACTER
+// reproduces, which is what shaking out protocol bugs needs.
+//
+// Delayed deliveries are scheduled on the inner transport's clock, so the
+// decorator adds no threads of its own and fault timing obeys whichever
+// time domain (simulated or real) the substrate lives in. The full
+// Transport seam forwards — including send_gather, endpoint registry,
+// crash/recover and backpressure — so a ChaosTransport drops in anywhere a
+// transport is expected (TcpCluster wraps each replica's transport with
+// one when chaos is enabled).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/transport.h"
+
+namespace recipe::transport {
+
+// Fault parameters for one directed link (or the default for all links).
+struct LinkFaults {
+  sim::Time latency = 0;  // fixed added one-way delay
+  sim::Time jitter = 0;   // plus uniform [0, jitter)
+  double drop_rate = 0.0;
+  double duplicate_rate = 0.0;
+  // reorder_rate of packets are held an EXTRA reorder_window, letting
+  // packets sent after them arrive first.
+  double reorder_rate = 0.0;
+  sim::Time reorder_window = 500 * sim::kMicrosecond;
+  // 0 = uncapped. Capped links serialize packets at this rate; a burst
+  // queues behind the link's busy time.
+  double bandwidth_gbps = 0.0;
+};
+
+struct ChaosOptions {
+  std::uint64_t seed = 0xC4A05;
+  // Default faults for every directed link (override per link with
+  // set_link_faults).
+  LinkFaults faults{};
+
+  // Partition storm: every partition_period (0 = off), with probability
+  // partition_chance, block a random observed directed link (both
+  // directions on a coin flip) for partition_duration.
+  sim::Time partition_period = 0;
+  double partition_chance = 0.5;
+  sim::Time partition_duration = 100 * sim::kMillisecond;
+
+  // Reset storm: every reset_period (0 = off), with probability
+  // reset_chance, invoke reset_hook on a random observed peer.
+  sim::Time reset_period = 0;
+  double reset_chance = 0.5;
+  std::function<void(NodeId peer)> reset_hook;
+};
+
+class ChaosTransport final : public net::Transport {
+ public:
+  ChaosTransport(net::Transport& inner, ChaosOptions options);
+  ~ChaosTransport() override;
+
+  ChaosTransport(const ChaosTransport&) = delete;
+  ChaosTransport& operator=(const ChaosTransport&) = delete;
+
+  // --- net::Transport ------------------------------------------------------
+  sim::Clock& clock() override { return inner_.clock(); }
+  void attach(NodeId id, net::NetStackParams stack,
+              DeliveryHandler handler) override {
+    inner_.attach(id, stack, std::move(handler));
+  }
+  void detach(NodeId id) override { inner_.detach(id); }
+  bool attached(NodeId id) const override { return inner_.attached(id); }
+  void send(net::Packet packet) override;
+  void send_gather(net::Packet packet) override;
+  net::NodeCpu& cpu(NodeId id) override { return inner_.cpu(id); }
+  void crash(NodeId id) override { inner_.crash(id); }
+  void recover(NodeId id) override { inner_.recover(id); }
+  bool is_crashed(NodeId id) const override { return inner_.is_crashed(id); }
+  bool overloaded(NodeId dst) const override {
+    return inner_.overloaded(dst);
+  }
+
+  std::uint64_t packets_sent() const override { return inner_.packets_sent(); }
+  std::uint64_t packets_delivered() const override {
+    return inner_.packets_delivered();
+  }
+  std::uint64_t packets_dropped() const override {
+    return inner_.packets_dropped();
+  }
+  std::uint64_t bytes_sent() const override { return inner_.bytes_sent(); }
+
+  // --- manual fault control (tests drive schedules directly) ---------------
+  void set_default_faults(LinkFaults faults);
+  void set_link_faults(NodeId src, NodeId dst, LinkFaults faults);
+  // Block/unblock a link. Directed when bidirectional=false (src→dst only:
+  // an asymmetric partition — acks flow, requests do not).
+  void partition(NodeId a, NodeId b, bool blocked, bool bidirectional = true);
+
+  // --- chaos telemetry -----------------------------------------------------
+  std::uint64_t chaos_dropped() const;
+  std::uint64_t chaos_duplicated() const;
+  std::uint64_t chaos_reordered() const;
+  std::uint64_t chaos_delayed() const;
+  std::uint64_t partitions_injected() const;
+  std::uint64_t resets_injected() const;
+
+ private:
+  using LinkKey = std::pair<std::uint64_t, std::uint64_t>;
+
+  // Everything timers touch lives behind a shared_ptr: a delayed-delivery
+  // or storm callback sitting in the inner clock's timer queue may fire (or
+  // be destroyed) after this decorator is gone — the state outlives it and
+  // the `stopped` flag makes late callbacks no-ops.
+  struct State {
+    std::mutex mu;
+    net::Transport* inner;
+    ChaosOptions options;
+    Rng rng;
+    std::map<LinkKey, LinkFaults> per_link;
+    std::map<LinkKey, bool> blocked;     // directed partitions
+    std::map<LinkKey, sim::Time> free_at;  // bandwidth serialization
+    std::vector<std::uint64_t> peers;    // observed node ids, storm targets
+    bool stopped = false;
+    std::uint64_t dropped = 0;
+    std::uint64_t duplicated = 0;
+    std::uint64_t reordered = 0;
+    std::uint64_t delayed = 0;
+    std::uint64_t partitions = 0;
+    std::uint64_t resets = 0;
+  };
+
+  void inject(net::Packet packet, bool gather);
+  void deliver_after(net::Packet packet, sim::Time delay, bool gather);
+  static void note_peer(State& st, std::uint64_t id);
+  static void schedule_partition_storm(const std::shared_ptr<State>& st);
+  static void schedule_reset_storm(const std::shared_ptr<State>& st);
+
+  net::Transport& inner_;
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace recipe::transport

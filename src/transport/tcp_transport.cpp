@@ -512,6 +512,18 @@ void TcpTransport::do_send(net::Packet&& packet) {
     return;
   }
 
+  // Overload shedding: the hard cap bounds memory whatever the priority; at
+  // the high watermark only protocol-critical (kNormal) traffic still
+  // queues — pacing probes and retransmits are the first to go.
+  const std::size_t frame_bytes = payload_size + net::kFrameHeaderSize;
+  if (conn->out_bytes + frame_bytes > options_.max_egress_bytes ||
+      (packet.priority != net::PacketPriority::kNormal &&
+       conn->out_bytes >= high_watermark())) {
+    ++packets_shed_;
+    drop_packet();
+    return;
+  }
+
   // Lay the frame into the egress queue: the header (and small payloads)
   // coalesce into the tail buffer; large payloads and scatter segments are
   // moved in and leave as their own sendmsg iovecs — never re-copied.
@@ -539,6 +551,7 @@ void TcpTransport::do_send(net::Packet&& packet) {
 void TcpTransport::out_append(Conn& conn, BytesView data) {
   if (data.empty()) return;
   conn.out_bytes += data.size();
+  egress_backlog_.fetch_add(data.size(), std::memory_order_relaxed);
   if (conn.outq.empty() || conn.outq.back().size() >= kCoalesceChunk) {
     conn.outq.emplace_back();
   }
@@ -548,6 +561,7 @@ void TcpTransport::out_append(Conn& conn, BytesView data) {
 void TcpTransport::out_move(Conn& conn, Bytes&& data) {
   if (data.empty()) return;
   conn.out_bytes += data.size();
+  egress_backlog_.fetch_add(data.size(), std::memory_order_relaxed);
   conn.outq.push_back(std::move(data));
 }
 
@@ -572,6 +586,15 @@ TcpTransport::Conn* TcpTransport::conn_for(NodeId peer) {
     conn_by_peer_.erase(indexed);  // conn died; dial fresh below
   }
 
+  // Dial backoff: after a failed connect this peer is off-limits until its
+  // backoff expires — sends in the window drop (normal loss semantics)
+  // instead of burning a connect() per packet against a dead address.
+  const auto dial_it = dial_state_.find(peer.value);
+  if (dial_it != dial_state_.end() &&
+      timers_.now() < dial_it->second.next_attempt) {
+    return nullptr;
+  }
+
   Route route;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -589,10 +612,12 @@ TcpTransport::Conn* TcpTransport::conn_for(NodeId peer) {
   addr.sin_port = htons(route.port);
   addr.sin_addr.s_addr = route.addr_be;  // resolved in add_route()
 
+  ++dials_attempted_;
   const int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr),
                            sizeof(addr));
   if (rc != 0 && errno != EINPROGRESS) {
     ::close(fd);
+    record_dial_failure(peer.value);
     return nullptr;
   }
 
@@ -602,6 +627,7 @@ TcpTransport::Conn* TcpTransport::conn_for(NodeId peer) {
   conn.gen = next_gen_++;
   conn.connecting = rc != 0;
   conn.write_armed = true;
+  conn.dial_peer = peer.value;
   conn.decoder = net::FrameDecoder(options_.max_frame_payload);
   conn_by_peer_[peer.value] = fd;
 
@@ -609,7 +635,38 @@ TcpTransport::Conn* TcpTransport::conn_for(NodeId peer) {
   return &conn;
 }
 
+void TcpTransport::record_dial_failure(std::uint64_t peer) {
+  ++dials_failed_;
+  DialState& ds = dial_state_[peer];
+  ds.backoff = ds.backoff == 0
+                   ? options_.dial_backoff_min
+                   : std::min(ds.backoff * 2, options_.dial_backoff_max);
+  ds.next_attempt = timers_.now() + ds.backoff;
+}
+
+// Consumes `written` bytes from the front of the queue; a short write may
+// stop mid-buffer (resumed via out_off next flush).
+void TcpTransport::advance_outq(Conn& conn, std::size_t written) {
+  conn.out_bytes -= written;
+  egress_backlog_.fetch_sub(written, std::memory_order_relaxed);
+  while (written > 0) {
+    Bytes& front = conn.outq.front();
+    const std::size_t avail = front.size() - conn.out_off;
+    if (written < avail) {
+      conn.out_off += written;
+      break;
+    }
+    written -= avail;
+    conn.out_off = 0;
+    conn.outq.pop_front();
+  }
+}
+
 void TcpTransport::flush_conn(Conn& conn) {
+  if (options_.trickle_bytes > 0) {
+    trickle_flush(conn);
+    return;
+  }
   while (conn.out_bytes > 0) {
     // One gathered sendmsg per syscall: up to kMaxIov queued buffers leave
     // together. The front buffer may be partially consumed from an earlier
@@ -630,20 +687,7 @@ void TcpTransport::flush_conn(Conn& conn) {
     msg.msg_iovlen = static_cast<std::size_t>(iovcnt);
     const ssize_t n = ::sendmsg(conn.fd, &msg, MSG_NOSIGNAL);
     if (n > 0) {
-      // Advance across segment boundaries; a short write may stop mid-buffer.
-      conn.out_bytes -= static_cast<std::size_t>(n);
-      std::size_t left = static_cast<std::size_t>(n);
-      while (left > 0) {
-        Bytes& front = conn.outq.front();
-        const std::size_t avail = front.size() - conn.out_off;
-        if (left < avail) {
-          conn.out_off += left;
-          break;
-        }
-        left -= avail;
-        conn.out_off = 0;
-        conn.outq.pop_front();
-      }
+      advance_outq(conn, static_cast<std::size_t>(n));
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
@@ -665,6 +709,44 @@ void TcpTransport::flush_conn(Conn& conn) {
   }
 }
 
+// Byte-paced egress (trickle mode): one plain send() of at most
+// trickle_bytes, then a timer re-flushes after trickle_interval. EPOLLOUT
+// stays disarmed — pacing is timer-driven, and level-triggered write
+// readiness would re-fire every poll.
+void TcpTransport::trickle_flush(Conn& conn) {
+  if (conn.write_armed) {
+    conn.write_armed = false;
+    epoll_update(conn.fd, EPOLLIN, conn.gen);
+  }
+  if (conn.trickle_armed || conn.out_bytes == 0) return;
+  const Bytes& front = conn.outq.front();
+  const std::size_t avail = front.size() - conn.out_off;
+  const std::size_t len = std::min(options_.trickle_bytes, avail);
+  const ssize_t n =
+      ::send(conn.fd, front.data() + conn.out_off, len, MSG_NOSIGNAL);
+  if (n > 0) {
+    advance_outq(conn, static_cast<std::size_t>(n));
+  } else if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+             errno != EINTR) {
+    close_conn(conn.fd);
+    return;
+  }
+  if (conn.out_bytes == 0) {
+    conn.outq.clear();
+    conn.out_off = 0;
+    return;
+  }
+  conn.trickle_armed = true;
+  const int fd = conn.fd;
+  const std::uint64_t gen = conn.gen;
+  timers_.schedule(options_.trickle_interval, [this, fd, gen] {
+    const auto it = conns_.find(fd);
+    if (it == conns_.end() || it->second.gen != gen) return;
+    it->second.trickle_armed = false;
+    if (!it->second.connecting) trickle_flush(it->second);
+  });
+}
+
 void TcpTransport::handle_writable(Conn& conn) {
   if (conn.connecting) {
     int err = 0;
@@ -672,12 +754,16 @@ void TcpTransport::handle_writable(Conn& conn) {
     ::getsockopt(conn.fd, SOL_SOCKET, SO_ERROR, &err, &len);
     if (err != 0) {
       // Connection refused / unreachable: everything queued dies, like a
-      // dropped packet burst. The next send dials again.
+      // dropped packet burst. The peer's dial backoff decides when the next
+      // send may dial again.
+      if (conn.dial_peer != kNoDialPeer) record_dial_failure(conn.dial_peer);
       drop_packet();
       close_conn(conn.fd);
       return;
     }
     conn.connecting = false;
+    // A live peer: forget the backoff so the next failure starts small.
+    if (conn.dial_peer != kNoDialPeer) dial_state_.erase(conn.dial_peer);
   }
   flush_conn(conn);
 }
@@ -737,16 +823,21 @@ void TcpTransport::accept_ready(int listen_fd) {
         ::accept4(listen_fd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) {
       if ((errno == EMFILE || errno == ENFILE) && reserve_fd_ >= 0) {
-        // fd table exhausted with a connection still pending: the level-
-        // triggered listener would otherwise re-fire every iteration and
-        // spin the loop. Release the reserve fd, accept-and-close to shed
-        // the connection, then re-arm the reserve.
+        // fd table exhausted: release the reserve fd, accept-and-close to
+        // shed ONE pending connection, re-arm the reserve, and return to
+        // the loop. Linux allocates the fd before checking the backlog, so
+        // EMFILE does NOT imply a connection is pending — looping here
+        // would spin hot on an empty queue while the table stays full. The
+        // level-triggered listener re-fires if real connections remain.
         ::close(reserve_fd_);
         reserve_fd_ = -1;
         const int shed = ::accept4(listen_fd, nullptr, nullptr, SOCK_CLOEXEC);
-        if (shed >= 0) ::close(shed);
+        if (shed >= 0) {
+          ::close(shed);
+          ++accepts_shed_;
+        }
         reserve_fd_ = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
-        continue;
+        return;
       }
       return;  // EAGAIN or a racing close
     }
@@ -762,6 +853,7 @@ void TcpTransport::accept_ready(int listen_fd) {
 void TcpTransport::close_conn(int fd) {
   const auto it = conns_.find(fd);
   if (it == conns_.end()) return;
+  egress_backlog_.fetch_sub(it->second.out_bytes, std::memory_order_relaxed);
   // A connection may carry reply routes for MANY peers; drop them all.
   for (auto indexed = conn_by_peer_.begin();
        indexed != conn_by_peer_.end();) {
@@ -773,6 +865,48 @@ void TcpTransport::close_conn(int fd) {
   }
   ::close(fd);
   conns_.erase(it);
+}
+
+// Loop-thread only: hard-kill a connection. SO_LINGER {on, 0} turns the
+// close into an RST — the far side sees ECONNRESET mid-stream, not a clean
+// EOF — and everything queued on this side dies unsent.
+void TcpTransport::abort_conn(int fd) {
+  const auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  struct linger lg {};
+  lg.l_onoff = 1;
+  lg.l_linger = 0;
+  ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+  ++resets_injected_;
+  close_conn(fd);
+}
+
+void TcpTransport::reset_peer_connections(NodeId peer) {
+  post([this, peer] {
+    const auto indexed = conn_by_peer_.find(peer.value);
+    if (indexed == conn_by_peer_.end()) return;
+    abort_conn(indexed->second);
+  });
+}
+
+void TcpTransport::reset_all_connections() {
+  post([this] {
+    std::vector<int> fds;
+    fds.reserve(conns_.size());
+    for (const auto& [fd, conn] : conns_) fds.push_back(fd);
+    for (int fd : fds) abort_conn(fd);
+  });
+}
+
+bool TcpTransport::overloaded(NodeId dst) const {
+  const std::size_t hw = high_watermark();
+  if (on_loop_thread()) {
+    const auto indexed = conn_by_peer_.find(dst.value);
+    if (indexed == conn_by_peer_.end()) return false;
+    const auto cit = conns_.find(indexed->second);
+    return cit != conns_.end() && cit->second.out_bytes >= hw;
+  }
+  return egress_backlog_.load(std::memory_order_relaxed) >= hw;
 }
 
 void TcpTransport::deliver(net::Packet&& packet) {

@@ -69,6 +69,31 @@ struct TcpTransportOptions {
   // this 0 (kernel autotuning); tests set it tiny to force partial writes
   // and exercise the writev short-write resumption path.
   int so_sndbuf = 0;
+
+  // --- degradation knobs ---------------------------------------------------
+
+  // Hard per-connection egress bound: a send that would push a connection's
+  // queued-but-unsent bytes past this is dropped (counted in
+  // packets_shed()), whatever its priority. A receiver that stops reading
+  // costs this much memory per connection, never more.
+  std::size_t max_egress_bytes = 8 * 1024 * 1024;
+  // High watermark: once a connection's egress queue reaches this, packets
+  // with priority above kNormal (pacing probes, retransmits) are shed so
+  // the remaining capacity carries protocol-critical traffic. 0 derives
+  // max_egress_bytes / 2.
+  std::size_t egress_high_watermark = 0;
+  // Per-peer reconnect backoff after a failed dial: first failure waits
+  // dial_backoff_min before the next attempt, doubling per consecutive
+  // failure up to dial_backoff_max; any successful connect resets it.
+  // Without this a refused connection is re-dialed on the very next send.
+  sim::Time dial_backoff_min = 10 * sim::kMillisecond;
+  sim::Time dial_backoff_max = 2 * sim::kSecond;
+  // Chaos/test knob: when > 0, egress is paced byte-level — each connection
+  // writes at most trickle_bytes per trickle_interval (plain send(), no
+  // gathering), so frames arrive split at arbitrary byte boundaries and
+  // receivers must reassemble across many reads.
+  std::size_t trickle_bytes = 0;
+  sim::Time trickle_interval = 1 * sim::kMillisecond;
 };
 
 class TcpTransport final : public net::Transport {
@@ -123,6 +148,20 @@ class TcpTransport final : public net::Transport {
   void crash(NodeId id) override;
   void recover(NodeId id) override;
   bool is_crashed(NodeId id) const override;
+  // True when egress toward `dst` is at/above the high watermark. Precise
+  // (per-connection) on the loop thread; other threads see the transport-
+  // wide backlog gauge, good enough for admission control.
+  bool overloaded(NodeId dst) const override;
+
+  // --- chaos hooks ---------------------------------------------------------
+
+  // Abruptly kills the established connection carrying traffic to `peer`
+  // (SO_LINGER 0, so the far side sees a hard RST, not an orderly FIN).
+  // Queued egress dies with it — exactly what a mid-stream network reset
+  // does. ChaosTransport's reset schedule drives this.
+  void reset_peer_connections(NodeId peer);
+  // Same, for every established connection at once (a NIC bounce).
+  void reset_all_connections();
 
   std::uint64_t packets_sent() const override { return packets_sent_; }
   std::uint64_t packets_delivered() const override {
@@ -130,6 +169,22 @@ class TcpTransport final : public net::Transport {
   }
   std::uint64_t packets_dropped() const override { return packets_dropped_; }
   std::uint64_t bytes_sent() const override { return bytes_sent_; }
+
+  // --- degradation stats ---------------------------------------------------
+  // Packets dropped by egress overload shedding (subset of packets_dropped).
+  std::uint64_t packets_shed() const { return packets_shed_; }
+  // connect() attempts actually issued / failed (dials suppressed by
+  // backoff never reach the kernel and count in neither).
+  std::uint64_t dials_attempted() const { return dials_attempted_; }
+  std::uint64_t dials_failed() const { return dials_failed_; }
+  // Pending connections accepted-and-closed under fd exhaustion (EMFILE).
+  std::uint64_t accepts_shed() const { return accepts_shed_; }
+  // Connections killed via the reset hooks.
+  std::uint64_t resets_injected() const { return resets_injected_; }
+  // Unsent egress bytes queued across all connections, right now.
+  std::size_t egress_backlog() const {
+    return egress_backlog_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Endpoint {
@@ -159,6 +214,11 @@ class TcpTransport final : public net::Transport {
     // Whether EPOLLOUT is currently armed: epoll_ctl(MOD) only runs on
     // interest TRANSITIONS, not once per flushed message.
     bool write_armed{false};
+    // Peer this connection was DIALED toward (accepted conns keep the
+    // sentinel): connect failures feed that peer's dial backoff.
+    std::uint64_t dial_peer{kNoDialPeer};
+    // A trickle-pacing timer is in flight for this conn (trickle mode).
+    bool trickle_armed{false};
     net::FrameDecoder decoder;
     // Egress queue: a sequence of byte buffers flushed with ONE gathered
     // sendmsg per syscall. Small pieces (frame headers, tiny payloads)
@@ -188,15 +248,25 @@ class TcpTransport final : public net::Transport {
   void out_append(Conn& conn, BytesView data);
   void out_move(Conn& conn, Bytes&& data);
   void flush_conn(Conn& conn);
+  void trickle_flush(Conn& conn);
+  void advance_outq(Conn& conn, std::size_t written);
   void handle_readable(Conn& conn);
   void handle_writable(Conn& conn);
   void accept_ready(int listen_fd);
   void close_conn(int fd);
+  void abort_conn(int fd);
   void close_endpoint_sockets(Endpoint& ep);
   void deliver(net::Packet&& packet);
+  void record_dial_failure(std::uint64_t peer);
 
   Result<int> bind_listener(std::uint16_t port);
   void drop_packet() { ++packets_dropped_; }
+  std::size_t high_watermark() const {
+    return options_.egress_high_watermark != 0 ? options_.egress_high_watermark
+                                               : options_.max_egress_bytes / 2;
+  }
+
+  static constexpr std::uint64_t kNoDialPeer = ~std::uint64_t{0};
 
   TcpTransportOptions options_;
   TimerQueue timers_;
@@ -228,6 +298,13 @@ class TcpTransport final : public net::Transport {
   // when their connection closes.
   std::unordered_map<int, Conn> conns_;
   std::unordered_map<std::uint64_t, int> conn_by_peer_;
+  // Per-peer dial backoff (loop-thread only): when the next attempt may
+  // run and how long the current backoff is.
+  struct DialState {
+    sim::Time next_attempt{0};
+    sim::Time backoff{0};
+  };
+  std::unordered_map<std::uint64_t, DialState> dial_state_;
   std::uint64_t next_gen_{1};
   int pwait2_state_{0};  // 0 untried, 1 available, -1 ENOSYS
 
@@ -235,6 +312,14 @@ class TcpTransport final : public net::Transport {
   std::atomic<std::uint64_t> packets_delivered_{0};
   std::atomic<std::uint64_t> packets_dropped_{0};
   std::atomic<std::uint64_t> bytes_sent_{0};
+  std::atomic<std::uint64_t> packets_shed_{0};
+  std::atomic<std::uint64_t> dials_attempted_{0};
+  std::atomic<std::uint64_t> dials_failed_{0};
+  std::atomic<std::uint64_t> accepts_shed_{0};
+  std::atomic<std::uint64_t> resets_injected_{0};
+  // Sum of every connection's out_bytes; written on the loop thread, read
+  // by overloaded()/egress_backlog() from anywhere.
+  std::atomic<std::size_t> egress_backlog_{0};
 };
 
 }  // namespace recipe::transport

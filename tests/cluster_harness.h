@@ -48,6 +48,8 @@ class Cluster {
     bool secured = true;
     bool confidentiality = false;
     sim::Time heartbeat_period = 0;  // 0: no failure detector traffic
+    // Phi-accrual suspicion layer over the lease floor (0 = lease-only).
+    double phi_threshold = 0.0;
     std::uint64_t seed = 1;
     BatchConfig batch{};  // forwarded to every replica
     // Stand up a real CAS (AttestationAuthority) on the network at
@@ -90,6 +92,7 @@ class Cluster {
     options.confidentiality = config_.confidentiality;
     options.enclave = enclave.get();
     options.heartbeat_period = config_.heartbeat_period;
+    options.phi_threshold = config_.phi_threshold;
     options.stack = config_.secured ? net::NetStackParams::direct_io_tee()
                                     : net::NetStackParams::direct_io_native();
     options.batch = config_.batch;

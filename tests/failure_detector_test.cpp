@@ -1,0 +1,142 @@
+// Phi-accrual failure detector tests: suspicion accrues with silence, scales
+// with observed jitter, and layers onto the trusted-lease floor inside
+// ReplicaNode (hybrid suspicion with phi_threshold > 0).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "cluster_harness.h"
+#include "protocols/cr/cr.h"
+#include "recipe/failure_detector.h"
+
+namespace recipe {
+namespace {
+
+TEST(PhiAccrualDetectorTest, PhiRisesMonotonicallyWithSilence) {
+  PhiAccrualDetector detector;
+  const NodeId peer{7};
+  sim::Time now = 0;
+  // A steady 10ms cadence.
+  for (int i = 0; i < 32; ++i) {
+    detector.heartbeat(peer, now);
+    now += 10 * sim::kMillisecond;
+  }
+  const double at_cadence = detector.phi(peer, now);
+  const double at_5x = detector.phi(peer, now + 50 * sim::kMillisecond);
+  const double at_20x = detector.phi(peer, now + 200 * sim::kMillisecond);
+  EXPECT_LT(at_cadence, 1.0);  // an on-schedule arrival is unsuspicious
+  EXPECT_LT(at_cadence, at_5x);
+  EXPECT_LT(at_5x, at_20x);
+  EXPECT_GT(at_20x, 3.0);  // 200ms of silence on a 10ms cadence: near-dead
+}
+
+TEST(PhiAccrualDetectorTest, JitteryPeerNeedsLongerSilence) {
+  PhiAccrualDetector detector;
+  const NodeId steady{1};
+  const NodeId jittery{2};
+  sim::Time now_s = 0;
+  sim::Time now_j = 0;
+  Rng rng(recipe::testing::resolved_seed(7));
+  SCOPED_TRACE(recipe::testing::seed_trace_message(
+      recipe::testing::resolved_seed(7)));
+  for (int i = 0; i < 64; ++i) {
+    detector.heartbeat(steady, now_s);
+    now_s += 20 * sim::kMillisecond;
+    detector.heartbeat(jittery, now_j);
+    // Same mean (20ms) but wild spread: 1..39ms.
+    now_j += rng.range(1 * sim::kMillisecond, 39 * sim::kMillisecond);
+  }
+  // After the same absolute silence, the steady peer accrues far more
+  // suspicion than the jittery one.
+  const sim::Time silence = 80 * sim::kMillisecond;
+  EXPECT_GT(detector.phi(steady, now_s + silence),
+            detector.phi(jittery, now_j + silence));
+}
+
+TEST(PhiAccrualDetectorTest, UnknownPeerIsInfinitelySuspicious) {
+  PhiAccrualDetector detector;
+  EXPECT_TRUE(std::isinf(detector.phi(NodeId{42}, 1000)));
+  // forget() returns a known peer to the unknown state.
+  detector.heartbeat(NodeId{42}, 0);
+  EXPECT_FALSE(std::isinf(detector.phi(NodeId{42}, sim::kMillisecond)));
+  detector.forget(NodeId{42});
+  EXPECT_TRUE(std::isinf(detector.phi(NodeId{42}, sim::kMillisecond)));
+}
+
+TEST(PhiAccrualDetectorTest, VarianceFloorTamesMetronomicCadence) {
+  // Perfectly regular heartbeats: without the stddev floor, +1ms of silence
+  // would be an infinite-sigma event and phi would explode instantly.
+  PhiDetectorOptions options;
+  options.min_stddev = 10 * sim::kMillisecond;
+  PhiAccrualDetector detector(options);
+  const NodeId peer{3};
+  sim::Time now = 0;
+  for (int i = 0; i < 64; ++i) {
+    detector.heartbeat(peer, now);
+    now += 10 * sim::kMillisecond;
+  }
+  EXPECT_LT(detector.phi(peer, now + 11 * sim::kMillisecond), 1.0);
+}
+
+TEST(PhiAccrualDetectorTest, WindowForgetsAncientHistory) {
+  PhiDetectorOptions options;
+  options.window = 8;
+  PhiAccrualDetector detector(options);
+  const NodeId peer{4};
+  sim::Time now = 0;
+  // Old regime: slow 100ms cadence.
+  for (int i = 0; i < 32; ++i) {
+    detector.heartbeat(peer, now);
+    now += 100 * sim::kMillisecond;
+  }
+  // New regime: fast 5ms cadence for more than a full window.
+  for (int i = 0; i < 16; ++i) {
+    detector.heartbeat(peer, now);
+    now += 5 * sim::kMillisecond;
+  }
+  // The window holds only fast intervals now; 100ms of silence (20x the
+  // current cadence) must read as highly suspicious even though it was
+  // normal under the old regime.
+  EXPECT_GT(detector.phi(peer, now + 100 * sim::kMillisecond), 2.0);
+}
+
+// Hybrid suspicion inside ReplicaNode: with a reachable phi threshold a
+// crashed peer is still detected (the adaptive layer does not mask real
+// failures); with an unreachably high threshold the lease may expire but
+// the node keeps trusting the peer — phi gates the verdict.
+TEST(PhiAccrualDetectorTest, HybridSuspicionDetectsRealCrash) {
+  using recipe::testing::Cluster;
+  Cluster<protocols::ChainNode>::Config config;
+  config.heartbeat_period = 20 * sim::kMillisecond;
+  config.phi_threshold = 8.0;
+  Cluster<protocols::ChainNode> cluster(config);
+  cluster.build();
+  cluster.run_for(1 * sim::kSecond);  // accumulate heartbeat history
+
+  const NodeId victim = cluster.membership()[2];
+  EXPECT_FALSE(cluster.node(0).suspected(victim));
+  cluster.crash(2);
+  cluster.run_for(2 * sim::kSecond);
+  EXPECT_TRUE(cluster.node(0).suspected(victim));
+  EXPECT_GE(cluster.node(0).suspicion_phi(victim), 8.0);
+}
+
+TEST(PhiAccrualDetectorTest, UnreachablePhiThresholdGatesLeaseSuspicion) {
+  using recipe::testing::Cluster;
+  Cluster<protocols::ChainNode>::Config config;
+  config.heartbeat_period = 20 * sim::kMillisecond;
+  config.phi_threshold = 1e9;  // phi is capped at 30: can never trip
+  Cluster<protocols::ChainNode> cluster(config);
+  cluster.build();
+  cluster.run_for(1 * sim::kSecond);
+
+  const NodeId victim = cluster.membership()[2];
+  cluster.crash(2);
+  cluster.run_for(2 * sim::kSecond);
+  // The lease surely expired long ago, but the phi gate holds the verdict.
+  EXPECT_FALSE(cluster.node(0).suspected(victim));
+}
+
+}  // namespace
+}  // namespace recipe

@@ -361,19 +361,46 @@ TEST(ClientTable, ExactlyOnceStateMachine) {
   EXPECT_EQ(table.admit(c, RequestId{1}), ClientTable::Decision::kInFlight);
   table.complete(c, RequestId{1}, to_bytes("reply1"));
   EXPECT_EQ(table.admit(c, RequestId{1}), ClientTable::Decision::kCached);
-  EXPECT_EQ(*table.cached_reply(c), to_bytes("reply1"));
+  EXPECT_EQ(*table.cached_reply(c, RequestId{1}), to_bytes("reply1"));
   EXPECT_EQ(table.admit(c, RequestId{2}), ClientTable::Decision::kExecute);
   table.begin(c, RequestId{2});
-  EXPECT_EQ(table.admit(c, RequestId{1}), ClientTable::Decision::kStale);
+  // A retransmit of the completed older request is still answerable from
+  // the window — starting a newer request must not turn it into a replay.
+  EXPECT_EQ(table.admit(c, RequestId{1}), ClientTable::Decision::kCached);
 }
 
-TEST(ClientTable, CompletionForSupersededRequestIgnored) {
+// A pipelined client has many requests outstanding; reordered delivery makes
+// an older id arrive after a newer one began. Each id keeps its own
+// exactly-once state — regression test for the latest-only table that
+// dropped every reordered id as a replay (chaos jitter made pipelined ops
+// unable to ever complete).
+TEST(ClientTable, PipelinedOutOfOrderRequestsKeepIndependentState) {
   ClientTable table;
   const ClientId c{7};
-  table.begin(c, RequestId{1});
+  table.begin(c, RequestId{4});
+  EXPECT_EQ(table.admit(c, RequestId{2}), ClientTable::Decision::kExecute);
   table.begin(c, RequestId{2});
-  table.complete(c, RequestId{1}, to_bytes("old"));  // late completion
-  EXPECT_EQ(table.admit(c, RequestId{2}), ClientTable::Decision::kInFlight);
+  table.complete(c, RequestId{2}, to_bytes("r2"));
+  table.complete(c, RequestId{4}, to_bytes("r4"));
+  EXPECT_EQ(table.admit(c, RequestId{2}), ClientTable::Decision::kCached);
+  EXPECT_EQ(*table.cached_reply(c, RequestId{2}), to_bytes("r2"));
+  EXPECT_EQ(*table.cached_reply(c, RequestId{4}), to_bytes("r4"));
+  EXPECT_EQ(table.admit(c, RequestId{3}), ClientTable::Decision::kExecute);
+}
+
+TEST(ClientTable, BelowWindowIdsRejectedAndEvictedCompletionsIgnored) {
+  ClientTable table(/*window=*/4);
+  const ClientId c{7};
+  for (std::uint64_t rid = 1; rid <= 6; ++rid) table.begin(c, RequestId{rid});
+  // 1 and 2 slid out of the 4-entry window: replays, execution forbidden.
+  EXPECT_EQ(table.admit(c, RequestId{1}), ClientTable::Decision::kStale);
+  EXPECT_EQ(table.admit(c, RequestId{2}), ClientTable::Decision::kStale);
+  table.complete(c, RequestId{2}, to_bytes("late"));  // evicted: dropped
+  EXPECT_EQ(table.cached_reply(c, RequestId{2}), nullptr);
+  EXPECT_EQ(table.admit(c, RequestId{5}), ClientTable::Decision::kInFlight);
+  // begin() below the floor must not resurrect an evicted id.
+  table.begin(c, RequestId{1});
+  EXPECT_EQ(table.admit(c, RequestId{1}), ClientTable::Decision::kStale);
 }
 
 TEST(ClientTable, IndependentClients) {

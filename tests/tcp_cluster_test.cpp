@@ -205,5 +205,58 @@ TEST(TcpClusterTest, ConfidentialityModeRoundTrips) {
   EXPECT_EQ(to_string(as_view(get.value)), "ciphertext value");
 }
 
+// Fatal error classification in the synchronous helpers: a crashed CLIENT
+// enclave makes shield() fail locally — no re-route or retransmit can fix
+// that, so retry_op must return kAuthFailed immediately instead of burning
+// its whole attempt/backoff budget.
+TEST(TcpClusterTest, CrashedClientEnclaveFailsFatallyWithoutRetries) {
+  TcpClusterOptions options;
+  options.protocol = "cr";
+  options.secured = true;
+  TcpCluster cluster(options);
+  KvClient& client = cluster.add_client(2500);
+  ASSERT_TRUE(cluster.put(client, "pre", "works").ok);
+
+  cluster.client_transport().run_sync(
+      [&] { cluster.client_enclave(0).crash(); });
+
+  const auto started = std::chrono::steady_clock::now();
+  const ClientReply reply = cluster.put(client, "post", "cannot shield");
+  const auto elapsed = std::chrono::steady_clock::now() - started;
+  EXPECT_FALSE(reply.ok);
+  EXPECT_EQ(reply.error, ErrorCode::kAuthFailed);
+  // Fatal short-circuit: well under even ONE request_timeout (500ms), let
+  // alone the re-route loop's full backoff schedule.
+  EXPECT_LT(elapsed, std::chrono::milliseconds(400));
+}
+
+// A replica that is crashed FOREVER must produce a bounded, classified
+// failure: the op exhausts its (timeout-growing) retransmits and re-routes
+// and comes back kTimeout in roughly the budgeted time — not hang, not spin.
+TEST(TcpClusterTest, PermanentlyCrashedClusterFailsBounded) {
+  TcpClusterOptions options;
+  options.protocol = "cr";
+  options.secured = true;
+  options.request_timeout = 100 * sim::kMillisecond;
+  options.max_retries = 2;
+  options.op_retry.max_attempts = 2;
+  options.op_retry.base_backoff = 10 * sim::kMillisecond;
+  options.op_retry.max_backoff = 50 * sim::kMillisecond;
+  TcpCluster cluster(options);
+  KvClient& client = cluster.add_client(2600);
+  ASSERT_TRUE(cluster.put(client, "pre", "works").ok);
+
+  for (std::size_t i = 0; i < cluster.size(); ++i) cluster.crash(i);
+
+  const auto started = std::chrono::steady_clock::now();
+  const ClientReply reply = cluster.put(client, "dead", "never lands");
+  const auto elapsed = std::chrono::steady_clock::now() - started;
+  EXPECT_FALSE(reply.ok);
+  EXPECT_EQ(reply.error, ErrorCode::kTimeout);
+  // Budget: 2 re-routes x (2 retransmits x ~100-200ms growing timeouts +
+  // backoffs) plus coordinator re-resolution — generously under 5s.
+  EXPECT_LT(elapsed, std::chrono::seconds(5));
+}
+
 }  // namespace
 }  // namespace recipe::cluster

@@ -1,14 +1,28 @@
 // TcpTransport tests: real loopback sockets under the Transport interface —
 // echo RPC across two event loops, stream reassembly of large frames,
-// backpressure, multi-endpoint local delivery, and crash/recover semantics.
+// backpressure, multi-endpoint local delivery, crash/recover semantics, and
+// the degradation machinery (dial backoff, egress shedding, EMFILE
+// accept-shed, byte-paced trickle, injected resets).
 #include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
 
 #include <atomic>
 #include <chrono>
+#include <filesystem>
 #include <future>
 #include <memory>
 #include <string>
+#include <thread>
+#include <vector>
 
+#include "recipe/client.h"
 #include "rpc/rpc.h"
 #include "transport/tcp_transport.h"
 
@@ -347,6 +361,321 @@ TEST(TcpTransportTest, CrashDropsTrafficRecoverRestoresIt) {
               std::future_status::ready);
     EXPECT_EQ(to_string(as_view(future.get())), "back again");
   }
+}
+
+// --- degradation machinery ---------------------------------------------
+
+// A raw TCP listener that accepts nothing: connects succeed through the
+// kernel backlog, but no byte is ever read — the remote's egress backs up.
+struct BlackholeListener {
+  BlackholeListener() {
+    fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    // Queued (never-accepted) connections inherit the listener's rcvbuf;
+    // keep it tiny so the kernel cannot quietly absorb a sender's backlog —
+    // the egress queue under test must stay visibly congested.
+    const int tiny = 4096;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &tiny, sizeof(tiny));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    EXPECT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+              0);
+    EXPECT_EQ(::listen(fd, 16), 0);
+    socklen_t len = sizeof(addr);
+    EXPECT_EQ(
+        ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+    port = ntohs(addr.sin_port);
+  }
+  ~BlackholeListener() { ::close(fd); }
+  int fd{-1};
+  std::uint16_t port{0};
+};
+
+// Regression: a dead peer used to trigger one dial per SEND — a hot loop of
+// socket()/connect() syscalls at client-op rate. The per-peer backoff must
+// collapse hundreds of sends into a handful of dial attempts.
+TEST(TcpTransportTest, DialBackoffStopsHotRedialLoop) {
+  // A port that was just live and then closed: every connect is refused.
+  std::uint16_t dead_port = 0;
+  {
+    BlackholeListener tmp;
+    dead_port = tmp.port;
+  }
+  TcpTransport a;
+  ASSERT_TRUE(a.add_route(NodeId{2}, "127.0.0.1", dead_port).is_ok());
+  a.run_sync([&] {
+    a.attach(NodeId{1}, net::NetStackParams::direct_io_native(),
+             [](net::Packet&&) {});
+  });
+
+  for (int i = 0; i < 40; ++i) {
+    a.run_sync([&] {
+      net::Packet packet;
+      packet.src = NodeId{1};
+      packet.dst = NodeId{2};
+      packet.payload = to_bytes("x");
+      a.send(std::move(packet));
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  // 40 sends over ~400ms: without backoff that is 40 dials; with
+  // exponential backoff from 10ms it is at most ~7.
+  EXPECT_GE(a.dials_attempted(), 1u);
+  EXPECT_LE(a.dials_attempted(), 12u);
+  EXPECT_GE(a.dials_failed(), 1u);
+  EXPECT_GT(a.packets_dropped(), 0u);
+}
+
+// Egress toward a non-reading peer must stay BOUNDED: the hard cap sheds
+// packets instead of queueing without limit, the overload signal trips, and
+// sub-normal priorities are shed first at the high watermark.
+TEST(TcpTransportTest, EgressOverloadShedsBoundedAndSignals) {
+  BlackholeListener blackhole;
+  TcpTransportOptions options;
+  options.so_sndbuf = 4096;
+  options.max_egress_bytes = 64 * 1024;
+  TcpTransport a{options};
+  ASSERT_TRUE(a.add_route(NodeId{2}, "127.0.0.1", blackhole.port).is_ok());
+  a.run_sync([&] {
+    a.attach(NodeId{1}, net::NetStackParams::direct_io_native(),
+             [](net::Packet&&) {});
+  });
+
+  const Bytes chunk(8 * 1024, 0xAB);
+  a.run_sync([&] {
+    for (int i = 0; i < 64; ++i) {  // 512 KB >> the 64 KB cap
+      net::Packet packet;
+      packet.src = NodeId{1};
+      packet.dst = NodeId{2};
+      packet.payload = chunk;
+      a.send(std::move(packet));
+    }
+  });
+  EXPECT_GT(a.packets_shed(), 0u);
+  EXPECT_LE(a.egress_backlog(), options.max_egress_bytes);
+  // Cross-thread overload probe reads the global gauge; the backlog sits
+  // far above the watermark (cap/2).
+  EXPECT_TRUE(a.overloaded(NodeId{2}));
+
+  // At the watermark, an advisory packet is shed even though a normal one
+  // would still fit under the hard cap.
+  const std::uint64_t shed_before = a.packets_shed();
+  a.run_sync([&] {
+    net::Packet probe;
+    probe.src = NodeId{1};
+    probe.dst = NodeId{2};
+    probe.payload = to_bytes("probe");
+    probe.priority = net::PacketPriority::kOptional;
+    a.send(std::move(probe));
+  });
+  EXPECT_EQ(a.packets_shed(), shed_before + 1);
+}
+
+// The client-visible face of the same condition: an op issued toward an
+// overloaded link fails FAST with kOverloaded instead of joining the queue.
+TEST(TcpTransportTest, ClientFailsFastWithOverloadedOnCongestedLink) {
+  BlackholeListener blackhole;
+  TcpTransportOptions options;
+  options.so_sndbuf = 4096;
+  options.max_egress_bytes = 64 * 1024;
+  TcpTransport a{options};
+  ASSERT_TRUE(a.add_route(NodeId{2}, "127.0.0.1", blackhole.port).is_ok());
+
+  std::unique_ptr<KvClient> client;
+  a.run_sync([&] {
+    ClientOptions copts;
+    copts.id = ClientId{77};
+    copts.secured = false;
+    client = std::make_unique<KvClient>(a.clock(), a, copts);
+  });
+
+  // Saturate the link past the watermark.
+  const Bytes chunk(8 * 1024, 0xCD);
+  a.run_sync([&] {
+    for (int i = 0; i < 64; ++i) {
+      net::Packet packet;
+      packet.src = NodeId{77};
+      packet.dst = NodeId{2};
+      packet.payload = chunk;
+      a.send(std::move(packet));
+    }
+  });
+
+  auto done = std::make_shared<std::promise<ClientReply>>();
+  auto future = done->get_future();
+  a.run_sync([&] {
+    client->put(NodeId{2}, "k", to_bytes("v"),
+                [done](const ClientReply& r) { done->set_value(r); });
+  });
+  ASSERT_EQ(future.wait_for(std::chrono::seconds(5)),
+            std::future_status::ready)
+      << "overload fast-fail must not wait out the full retry schedule";
+  const ClientReply reply = future.get();
+  EXPECT_FALSE(reply.ok);
+  EXPECT_EQ(reply.error, ErrorCode::kOverloaded);
+
+  a.run_sync([&] { client.reset(); });
+}
+
+// fd-table exhaustion: the listener must shed the pending connection via
+// its reserve fd (accept-and-close) instead of spinning on EMFILE, and keep
+// serving once descriptors free up.
+TEST(TcpTransportTest, EmfileAcceptShedsInsteadOfSpinning) {
+  Peer a{NodeId{1}};
+  Peer b{NodeId{2}};
+  ASSERT_TRUE(a.transport.add_route(b.id, "127.0.0.1", b.listen_port)
+                  .is_ok());
+  a.start();
+  b.start();
+
+  // Raw client socket created while descriptors are still available;
+  // connect() itself allocates nothing new.
+  const int raw = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  ASSERT_GE(raw, 0);
+
+  std::size_t open_fds = 0;
+  for ([[maybe_unused]] const auto& entry :
+       std::filesystem::directory_iterator("/proc/self/fd")) {
+    ++open_fds;
+  }
+
+  rlimit saved{};
+  ASSERT_EQ(::getrlimit(RLIMIT_NOFILE, &saved), 0);
+  struct RestoreLimit {
+    rlimit saved;
+    ~RestoreLimit() { ::setrlimit(RLIMIT_NOFILE, &saved); }
+  } restore{saved};
+  rlimit tight = saved;
+  // Leave a little headroom above the current table, then FILL it: every
+  // slot below the limit is occupied, so the next allocation (b's accept)
+  // hits EMFILE regardless of fd-numbering gaps.
+  tight.rlim_cur = open_fds + 4;
+  ASSERT_EQ(::setrlimit(RLIMIT_NOFILE, &tight), 0);
+  std::vector<int> fillers;
+  for (int fd = ::open("/dev/null", O_RDONLY | O_CLOEXEC); fd >= 0;
+       fd = ::open("/dev/null", O_RDONLY | O_CLOEXEC)) {
+    fillers.push_back(fd);
+    ASSERT_LT(fillers.size(), 64u) << "fd table never filled";
+  }
+  ASSERT_EQ(errno, EMFILE);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(b.listen_port);
+  ASSERT_EQ(
+      ::connect(raw, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0)
+      << "backlog connect must succeed without a new local fd";
+
+  // The shed is asynchronous on b's loop; poll for the counter.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (b.transport.accepts_shed() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE(b.transport.accepts_shed(), 1u);
+
+  // Restore descriptors and prove the listener still accepts real peers.
+  for (int fd : fillers) ::close(fd);
+  ASSERT_EQ(::setrlimit(RLIMIT_NOFILE, &saved), 0);
+  ::close(raw);
+  auto done = std::make_shared<std::promise<void>>();
+  auto future = done->get_future();
+  a.transport.run_sync([&] {
+    a.rpc->send(b.id, kEcho, to_bytes("still alive"),
+                [done](NodeId, Bytes) { done->set_value(); });
+  });
+  EXPECT_EQ(future.wait_for(std::chrono::seconds(10)),
+            std::future_status::ready)
+      << "a: sent=" << a.transport.packets_sent()
+      << " dropped=" << a.transport.packets_dropped()
+      << " dials=" << a.transport.dials_attempted()
+      << " dial_fail=" << a.transport.dials_failed()
+      << " | b: delivered=" << b.transport.packets_delivered()
+      << " shed=" << b.transport.accepts_shed()
+      << " sent=" << b.transport.packets_sent()
+      << " dropped=" << b.transport.packets_dropped();
+}
+
+// Byte-paced trickle egress: frames leave in trickle_bytes slices spaced by
+// trickle_interval, so a frame's wire time is observable — and the receiver
+// still reassembles it intact.
+TEST(TcpTransportTest, TricklePacedEgressReassemblesIntact) {
+  TcpTransportOptions slow;
+  slow.trickle_bytes = 256;
+  slow.trickle_interval = sim::kMillisecond;
+  Peer a{NodeId{1}, slow};
+  Peer b{NodeId{2}};  // replies return at full speed
+  ASSERT_TRUE(a.transport.add_route(b.id, "127.0.0.1", b.listen_port)
+                  .is_ok());
+  a.start();
+  b.start();
+
+  Bytes payload(4 * 1024, 0);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::uint8_t>(i * 13 + 5);
+  }
+  const auto started = std::chrono::steady_clock::now();
+  auto done = std::make_shared<std::promise<Bytes>>();
+  auto future = done->get_future();
+  a.transport.run_sync([&] {
+    a.rpc->send(b.id, kEcho, payload, [done](NodeId, Bytes echoed) {
+      done->set_value(std::move(echoed));
+    });
+  });
+  ASSERT_EQ(future.wait_for(std::chrono::seconds(30)),
+            std::future_status::ready);
+  EXPECT_EQ(future.get(), payload);
+  // ~4KB at 256 bytes per 1ms slice: at least ~16ms of pacing (allow wide
+  // scheduling slack downward but reject an unpaced instant send).
+  const auto elapsed = std::chrono::steady_clock::now() - started;
+  EXPECT_GE(elapsed, std::chrono::milliseconds(8));
+}
+
+// Injected connection resets (the chaos reset storm's hook): the victim
+// link is RST-killed, the counter ticks, and traffic recovers by redialing.
+TEST(TcpTransportTest, ResetPeerConnectionsRstsAndRecovers) {
+  Peer a{NodeId{1}};
+  Peer b{NodeId{2}};
+  ASSERT_TRUE(a.transport.add_route(b.id, "127.0.0.1", b.listen_port)
+                  .is_ok());
+  a.start();
+  b.start();
+
+  // Warm the connection.
+  {
+    auto done = std::make_shared<std::promise<void>>();
+    auto future = done->get_future();
+    a.transport.run_sync([&] {
+      a.rpc->send(b.id, kEcho, to_bytes("warm"),
+                  [done](NodeId, Bytes) { done->set_value(); });
+    });
+    ASSERT_EQ(future.wait_for(std::chrono::seconds(10)),
+              std::future_status::ready);
+  }
+
+  a.transport.reset_peer_connections(b.id);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (a.transport.resets_injected() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_GE(a.transport.resets_injected(), 1u);
+
+  auto done = std::make_shared<std::promise<Bytes>>();
+  auto future = done->get_future();
+  a.transport.run_sync([&] {
+    a.rpc->send(b.id, kEcho, to_bytes("after reset"),
+                [done](NodeId, Bytes payload) {
+                  done->set_value(std::move(payload));
+                },
+                /*timeout=*/5 * sim::kSecond, [done] { done->set_value({}); });
+  });
+  ASSERT_EQ(future.wait_for(std::chrono::seconds(10)),
+            std::future_status::ready);
+  EXPECT_EQ(to_string(as_view(future.get())), "after reset");
 }
 
 }  // namespace
