@@ -80,10 +80,32 @@ def transport_headline(doc):
     }
 
 
+def durability_headline(doc):
+    """Headline: recovery-time-vs-write-volume and group-commit
+    amortization, both same-run machine-relative ratios (absolute
+    entries/sec stay in the JSON as ungated telemetry). The acceptance
+    booleans — exact idempotent warm replay, the 1.2x amortization floor
+    and the linear-restart-cost floor — are hard: encoded as 0/1 metrics so
+    the generic regression threshold cannot soften them."""
+    return {
+        "group-commit amortization 16/1": float(
+            doc.get("group16_over_group1", 0.0)),
+        "replay throughput 40k/10k": float(
+            doc.get("replay_tput_40k_over_10k", 0.0)),
+        "acceptance_warm_replay_exact": (
+            1.0 if doc.get("acceptance_warm_replay_exact") else 0.0),
+        "hard_floor_group_commit_amortizes_1.2": (
+            1.0 if doc.get("acceptance_group_commit_amortizes") else 0.0),
+        "hard_floor_replay_scales_linearly": (
+            1.0 if doc.get("acceptance_replay_scales_linearly") else 0.0),
+    }
+
+
 EXTRACTORS = {
     "shield_verify": shield_verify_headline,
     "batching": batching_headline,
     "transport": transport_headline,
+    "durability": durability_headline,
 }
 
 

@@ -112,6 +112,7 @@ void AttestationAuthority::attest_and_provision(NodeId target,
     return;
   }
   const sim::Time started = clock_.now();
+  ++attestations_served_;
 
   // Fresh nonce + ephemeral DH keypair per attestation session.
   const std::uint64_t nonce_value = rng_.next();

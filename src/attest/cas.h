@@ -110,6 +110,11 @@ class AttestationAuthority {
   const crypto::SymmetricKey& cluster_root() const { return cluster_root_; }
   NodeId id() const { return rpc_.self(); }
 
+  // Attestation sessions this authority has started (each is one CAS round
+  // trip). The WAL warm-restart tests assert this stays FLAT across a clean
+  // restart — zero CAS round-trips — and moves for a crash rejoin.
+  std::uint64_t attestations_served() const { return attestations_served_; }
+
  private:
   sim::Clock& clock_;
   rpc::RpcObject rpc_;
@@ -122,6 +127,7 @@ class AttestationAuthority {
   crypto::SymmetricKey value_key_;
   Rng rng_;
   std::uint64_t nonce_counter_{1};
+  std::uint64_t attestations_served_{0};
   std::unordered_map<ChannelId, Counter> announce_counters_;
   // Cached per-replica channel crypto for fresh-node notices: the HKDF
   // derivation and HMAC key schedule run once per replica, not per notice.

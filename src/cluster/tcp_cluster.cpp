@@ -91,6 +91,14 @@ TcpCluster::TcpCluster(TcpClusterOptions options)
     platforms_.push_back(std::make_unique<tee::TeePlatform>(1));
     enclaves_.push_back(nullptr);
     nodes_.push_back(nullptr);
+    if (options_.durable_wal && options_.secured) {
+      // One directory per replica, keyed by the (unique per instance)
+      // listen port so concurrent clusters in one process never share logs.
+      wal_storage_.push_back(std::make_unique<kv::FileWalStorage>(
+          options_.wal_dir + "/p" + std::to_string(ports[i])));
+    } else {
+      wal_storage_.push_back(nullptr);
+    }
     transports_[i]->run_sync([this, i, factory] {
       auto enclave = std::make_unique<tee::Enclave>(
           *platforms_[i], "recipe-replica", membership_[i].value);
@@ -117,6 +125,10 @@ TcpCluster::TcpCluster(TcpClusterOptions options)
       replica_options.batch = options_.batch;
       if (options_.confidentiality) {
         replica_options.kv_config.value_encryption_key = options_.value_key;
+      }
+      if (wal_storage_[i] != nullptr) {
+        replica_options.wal_storage = wal_storage_[i].get();
+        replica_options.wal = options_.wal;
       }
 
       enclaves_[i] = std::move(enclave);
@@ -269,20 +281,41 @@ void TcpCluster::crash(std::size_t i) {
   });
 }
 
-Status TcpCluster::rejoin(std::size_t i, NodeId donor, sim::Time max_wait) {
+Status TcpCluster::rejoin(std::size_t i, NodeId donor, sim::Time max_wait,
+                          bool* warm_out) {
   ReplicaNode& node = *nodes_[i];
+  if (warm_out != nullptr) *warm_out = false;
   bool running = false;
   transports_[i]->run_sync([&] { running = node.running(); });
   if (running) {
     return Status::error(ErrorCode::kAlreadyExists, "replica is running");
   }
 
-  // 1. Machine reboot: fresh enclave (same identity), empty host process,
-  //    pre-attested re-provisioning — the cluster stands in for the CAS.
-  Status provision = Status::ok();
+  // 1. Machine reboot: fresh enclave (same identity), empty host process.
+  //    Cheap-restart fast path first (durable_wal + clean shutdown): the
+  //    node restores secrets/counters from the sealed marker and replays
+  //    its own log — no re-provisioning, no peer channel resets, no stream.
+  bool warm = false;
   transports_[i]->run_sync([&] {
     enclaves_[i]->restart();
     node.wipe_state();
+    if (node.has_wal()) {
+      if (node.warm_restart().is_ok()) {
+        warm = true;
+      } else {
+        node.wipe_state();  // partial replay must not leak into the cold path
+      }
+    }
+  });
+  if (warm) {
+    if (warm_out != nullptr) *warm_out = true;
+    return Status::ok();
+  }
+
+  //    Cold path: pre-attested re-provisioning — the cluster stands in for
+  //    the CAS.
+  Status provision = Status::ok();
+  transports_[i]->run_sync([&] {
     if (options_.secured) {
       provision = enclaves_[i]->install_secret(attest::kClusterRootName,
                                                options_.root);
@@ -311,10 +344,20 @@ Status TcpCluster::rejoin(std::size_t i, NodeId donor, sim::Time max_wait) {
   //      all driven on the node's own loop thread.
   auto verdict = std::make_shared<std::promise<Status>>();
   auto future = verdict->get_future();
-  transports_[i]->run_sync([this, i, donor, &node, verdict] {
+  // The promotion poll's callbacks capture `node` by reference. The handle
+  // makes every armed timer cancellable, so a caller that gives up on the
+  // rejoin (max_wait) can guarantee nothing fires into a node it is about
+  // to destroy. `abandoned` (loop-thread confined) closes the other half of
+  // that race: cancelling the handle alone would not stop a still-queued
+  // catch-up completion from arming a FRESH timer through it afterwards.
+  auto poll = std::make_shared<sim::TimerHandle>();
+  auto abandoned = std::make_shared<bool>(false);
+  transports_[i]->run_sync([this, i, donor, &node, verdict, poll, abandoned] {
     node.start_as_shadow();
     node.catch_up_from(
-        donor, [this, i, &node, verdict](Result<std::size_t> streamed) {
+        donor, [this, i, &node, verdict, poll,
+                abandoned](Result<std::size_t> streamed) {
+          if (*abandoned) return;  // caller timed out: node may be dying
           if (!streamed) {
             verdict->set_value(streamed.status());
             return;
@@ -328,13 +371,32 @@ Status TcpCluster::rejoin(std::size_t i, NodeId donor, sim::Time max_wait) {
                                          : Status::error(
                                                ErrorCode::kTimeout,
                                                "replica stuck in shadow"));
-                          });
+                          },
+                          poll);
         });
   });
   if (future.wait_for(chrono_ns(max_wait)) != std::future_status::ready) {
+    // Disarm on the loop thread (TimerHandle isn't thread-safe against the
+    // queue) BEFORE handing control back: the caller may destroy the node.
+    transports_[i]->run_sync([poll, abandoned] {
+      *abandoned = true;
+      poll->cancel();
+    });
     return Status::error(ErrorCode::kTimeout, "rejoin did not complete");
   }
   return future.get();
+}
+
+Status TcpCluster::shutdown_clean(std::size_t i) {
+  Status out = Status::ok();
+  transports_[i]->run_sync([this, i, &out] {
+    if (!nodes_[i]->running()) {
+      out = Status::error(ErrorCode::kUnavailable, "replica not running");
+      return;
+    }
+    out = nodes_[i]->shutdown_clean();
+  });
+  return out;
 }
 
 std::uint64_t TcpCluster::committed_ops() {

@@ -87,6 +87,14 @@ struct TcpClusterOptions {
   // reset hook defaults to RST-killing the victim link's connections).
   bool chaos = false;
   transport::ChaosOptions chaos_options{};
+  // Sealed group-commit WAL on real files (secured mode only): every
+  // replica logs applied writes under its sealing key and rejoin() takes
+  // the cheap-restart fast path after a clean shutdown. Segments land under
+  // `wal_dir`/p<listen_port> (one directory per replica; the default parent
+  // is uploaded by CI as a failure artifact on recovery jobs).
+  bool durable_wal = false;
+  std::string wal_dir = "wal_dumps";
+  kv::WalOptions wal{};
 };
 
 class TcpCluster {
@@ -137,10 +145,20 @@ class TcpCluster {
   // --- failure injection / recovery (§3.7 over TCP) ------------------------
   void crash(std::size_t i);
 
-  // Full pre-attested rejoin of crashed replica i streaming from `donor`;
-  // returns once the node promoted (or the first error / `max_wait`).
+  // Rejoin of crashed/stopped replica i. With durable_wal and a clean
+  // shutdown behind it the node warm-restarts locally (no re-provisioning,
+  // no peer resets, no state stream); otherwise the full pre-attested
+  // shadow rejoin streams from `donor`. Returns once the node is active
+  // (or the first error / `max_wait` — a timeout cancels the promotion
+  // poll so its node-capturing callbacks cannot outlive the caller).
+  // `warm_out` (optional) reports which path ran.
   Status rejoin(std::size_t i, NodeId donor,
-                sim::Time max_wait = 30 * sim::kSecond);
+                sim::Time max_wait = 30 * sim::kSecond,
+                bool* warm_out = nullptr);
+
+  // Orderly shutdown of replica i (durable_wal): group-commit tail flushed,
+  // clean marker sealed, THEN stopped — the next rejoin() is warm.
+  Status shutdown_clean(std::size_t i);
 
   std::uint64_t committed_ops();
 
@@ -166,6 +184,8 @@ class TcpCluster {
   std::vector<std::unique_ptr<transport::ChaosTransport>> chaos_;
   std::vector<std::unique_ptr<tee::TeePlatform>> platforms_;
   std::vector<std::unique_ptr<tee::Enclave>> enclaves_;
+  // Declared before nodes_: a node's Wal holds a reference into its storage.
+  std::vector<std::unique_ptr<kv::FileWalStorage>> wal_storage_;
   std::vector<std::unique_ptr<ReplicaNode>> nodes_;
 
   std::unique_ptr<transport::TcpTransport> client_transport_;

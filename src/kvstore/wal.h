@@ -1,0 +1,250 @@
+// Sealed group-commit write-ahead log (durable log-structured storage with
+// cheap restart).
+//
+// The WAL makes a CLEAN restart local: the apply path buffers every KV write
+// and seals one record per batch-flush boundary (group commit) into an
+// append-only segment on UNTRUSTED storage. Segments rotate at a size
+// threshold and are compacted in the background into the existing sealed
+// snapshot format (snapshot.{h,cpp}), whose version pins to the hardware
+// rollback counter. A clean shutdown writes a rollback-pinned marker; the
+// rejoin fast path validates the marker, replays snapshot + segments locally
+// and skips the CAS attestation round-trip and the peer state stream
+// entirely. A crash leaves no marker and still takes the full §3.7 rejoin.
+//
+// Sealing: all keys are derived from the enclave SEALING key, so only a
+// re-launched instance of the same measured binary on the same platform can
+// read the log.
+//  * records    — ChaCha20 + HMAC under an HKDF-derived record subkey; the
+//    nonce binds (segment id, record index), and segment ids embed a
+//    hardware-rollback-counter boot epoch, so no (key, nonce) pair can ever
+//    repeat across rotations, compactions or restarts — even if the host
+//    rolls the directory back;
+//  * compacted snapshot — the unchanged seal_snapshot() format (sealing key,
+//    version-bound nonce, version = hardware counter);
+//  * marker / counter vault — authenticated-plaintext (HMAC under a meta
+//    subkey): versions and channel counters are not confidential (counters
+//    travel cleartext in every shielded header), but forgery must be
+//    impossible and the marker must be rollback-pinned.
+//
+// The storage backend is a seam: MemWalStorage keeps the deterministic
+// simulator byte-for-byte reproducible, FileWalStorage backs TcpCluster with
+// real files. Both are thread-safe (the counter vault writes from the
+// caller-thread shield path).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/ids.h"
+#include "common/result.h"
+#include "common/serde.h"
+#include "crypto/hmac.h"
+#include "kvstore/kvstore.h"
+
+namespace recipe::kv {
+
+// Untrusted durable storage: numbered append-only segments plus named
+// metadata blobs (compacted snapshot, clean-shutdown marker, counter vault).
+// Implementations must be safe to call from any thread.
+class WalStorage {
+ public:
+  virtual ~WalStorage() = default;
+
+  virtual std::vector<std::uint64_t> list_segments() const = 0;
+  virtual Status append_segment(std::uint64_t id, BytesView record) = 0;
+  virtual Result<Bytes> read_segment(std::uint64_t id) const = 0;
+  virtual Status remove_segment(std::uint64_t id) = 0;
+
+  virtual Status put_blob(const std::string& name, BytesView data) = 0;
+  virtual Result<Bytes> read_blob(const std::string& name) const = 0;
+  virtual Status remove_blob(const std::string& name) = 0;
+};
+
+// Deterministic in-memory backend (simulator tests). The mutable accessors
+// let tests model a Byzantine host: bit-flips, truncated (torn) tail writes,
+// deleted blobs.
+class MemWalStorage final : public WalStorage {
+ public:
+  std::vector<std::uint64_t> list_segments() const override;
+  Status append_segment(std::uint64_t id, BytesView record) override;
+  Result<Bytes> read_segment(std::uint64_t id) const override;
+  Status remove_segment(std::uint64_t id) override;
+  Status put_blob(const std::string& name, BytesView data) override;
+  Result<Bytes> read_blob(const std::string& name) const override;
+  Status remove_blob(const std::string& name) override;
+
+  // Test access to the untrusted bytes (null when absent).
+  Bytes* mutable_segment(std::uint64_t id);
+  Bytes* mutable_blob(const std::string& name);
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::uint64_t, Bytes> segments_;
+  std::map<std::string, Bytes> blobs_;
+};
+
+// Real-file backend (TcpCluster deployments): `dir` is created on demand;
+// segments are `seg-<16-hex id>.wal`, blobs are `<name>.blob`.
+class FileWalStorage final : public WalStorage {
+ public:
+  explicit FileWalStorage(std::string dir);
+
+  std::vector<std::uint64_t> list_segments() const override;
+  Status append_segment(std::uint64_t id, BytesView record) override;
+  Result<Bytes> read_segment(std::uint64_t id) const override;
+  Status remove_segment(std::uint64_t id) override;
+  Status put_blob(const std::string& name, BytesView data) override;
+  Result<Bytes> read_blob(const std::string& name) const override;
+  Status remove_blob(const std::string& name) override;
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  std::string segment_path(std::uint64_t id) const;
+  std::string blob_path(const std::string& name) const;
+
+  mutable std::mutex mu_;
+  std::string dir_;
+};
+
+struct WalOptions {
+  // Segment rotation threshold (bytes of sealed records per segment).
+  std::size_t segment_bytes = 256 * 1024;
+  // Sealed (rotated-out) segments that trigger background compaction.
+  std::size_t compact_segments = 4;
+};
+
+struct WalReplay {
+  std::size_t snapshot_entries{0};  // installed from the compacted snapshot
+  std::size_t log_entries{0};       // installed from segment records
+  std::size_t records{0};
+  std::size_t segments{0};
+};
+
+// The clean-shutdown marker: proof that the previous incarnation shut down
+// gracefully. `marker_version` must equal the hardware rollback counter at
+// restart (anything else is a crash leftover or a re-fed stale marker);
+// `enclave_state` is the enclave's own sealed volatile state (secrets +
+// exact channel counters), opaque to this layer.
+struct CleanMarker {
+  std::uint64_t marker_version{0};
+  std::uint64_t snapshot_version{0};  // 0 = no compacted snapshot
+  Bytes enclave_state;
+};
+
+class Wal {
+ public:
+  // `boot_epoch` must be freshly reserved from the hardware rollback counter
+  // (Enclave::advance_snapshot_version) for every open: it is folded into
+  // segment ids so record nonces stay unique across restarts even when the
+  // host rolls the directory back to an earlier state.
+  Wal(WalStorage& storage, const crypto::SymmetricKey& sealing_key,
+      std::uint64_t boot_epoch, WalOptions options = {});
+
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  // Buffers one applied entry; durable only after the next commit().
+  void append(std::string_view key, BytesView value, Timestamp ts);
+
+  // Group commit: seals every buffered entry into ONE record appended to the
+  // open segment (rotating it past the size threshold) and returns the
+  // number of entries committed. No-op on an empty buffer.
+  Result<std::size_t> commit();
+
+  // True once enough sealed segments accumulated that the owner should run
+  // compact() (the "background" compaction trigger).
+  bool should_compact() const;
+
+  // Compaction: seals the FULL store state as snapshot `version` (reserved
+  // from the hardware counter by the caller) and deletes every sealed
+  // segment — their entries are all covered by the snapshot.
+  Status compact(const KvStore& kv, std::uint64_t version);
+
+  // Version of the stored compacted snapshot: what this instance last wrote,
+  // else the (unauthenticated — validated at replay) manifest of the blob on
+  // storage, else 0.
+  std::uint64_t compacted_version() const;
+
+  // Replays compacted snapshot (when `snapshot_version` != 0, which must
+  // come from an authenticated clean marker) and all segments in order into
+  // `kv`. Entries are admitted through the strict would_advance rule, so
+  // replay is idempotent. Fails on any tampered/truncated/reordered record.
+  Result<WalReplay> replay(KvStore& kv, std::uint64_t snapshot_version) const;
+
+  // Clean-shutdown marker (HMAC'd, rollback-pinned via marker_version).
+  Status write_clean_marker(std::uint64_t marker_version, Bytes enclave_state);
+  Result<CleanMarker> read_clean_marker(std::uint64_t expected_version) const;
+  void clear_clean_marker();
+
+  std::uint64_t open_segment() const { return segment_id_; }
+  std::size_t pending_entries() const { return pending_entries_; }
+  std::uint64_t records_committed() const { return records_committed_; }
+  std::uint64_t entries_committed() const { return entries_committed_; }
+  std::uint64_t segments_rotated() const { return segments_rotated_; }
+  std::uint64_t compactions() const { return compactions_; }
+
+ private:
+  std::uint64_t make_segment_id(std::uint32_t seq) const;
+  void rotate();
+
+  WalStorage& storage_;
+  crypto::SymmetricKey sealing_key_;  // compacted snapshot (snapshot.cpp)
+  crypto::SymmetricKey record_key_;   // segment records
+  crypto::SymmetricKey meta_key_;     // marker + vault MACs
+  WalOptions options_;
+  std::uint64_t boot_epoch_;
+  std::uint32_t segment_seq_{0};
+  std::uint64_t segment_id_{0};
+  std::uint32_t record_index_{0};
+  std::size_t segment_bytes_{0};
+  Writer pending_;
+  std::size_t pending_entries_{0};
+  std::uint64_t last_compacted_version_{0};
+  std::uint64_t records_committed_{0};
+  std::uint64_t entries_committed_{0};
+  std::uint64_t segments_rotated_{0};
+  std::uint64_t compactions_{0};
+};
+
+// liboscore Appendix B.1 counter persistence: the send counter of every
+// channel is persisted as (cnt + stride) whenever `cnt` reaches the
+// previously persisted horizon — one blob rewrite per `stride` allocations,
+// not per message. On a warm restart every counter fast-forwards to at least
+// its horizon, so no nonce can repeat without requiring peer channel resets.
+// Thread-safe: note() is called from the caller-thread shield path.
+class CounterVault {
+ public:
+  CounterVault(WalStorage& storage, const crypto::SymmetricKey& sealing_key,
+               Counter stride = 1024);
+
+  // Observes one allocated counter value for `cq`; persists when it crossed
+  // the channel's horizon.
+  void note(ChannelId cq, Counter cnt);
+
+  // MAC-verified persisted horizons; empty when absent or tampered (the
+  // vault only ever RAISES floors, so losing it degrades to the marker's
+  // exact counters, never to reuse).
+  std::unordered_map<ChannelId, Counter> load() const;
+
+  Counter stride() const { return stride_; }
+  std::uint64_t writes() const;
+
+ private:
+  void persist_locked();
+
+  WalStorage& storage_;
+  crypto::SymmetricKey meta_key_;
+  Counter stride_;
+  mutable std::mutex mu_;
+  std::map<std::uint64_t, Counter> horizons_;  // cq.value -> persisted horizon
+  std::uint64_t writes_{0};
+};
+
+}  // namespace recipe::kv

@@ -23,11 +23,23 @@ ReplicaNode::ReplicaNode(sim::Clock& clock, net::Transport& network,
       failure_detector_(trusted_clock_, options_.suspect_timeout,
                         options_.suspect_timeout / 4),
       phi_detector_(options_.phi) {
+  // Durability seam first: the security policy captures the vault pointer,
+  // so the vault (whose horizons are monotone across every restart) must
+  // outlive and precede it.
+  if (options_.wal_storage != nullptr && options_.secured &&
+      options_.enclave != nullptr) {
+    if (auto key = options_.enclave->sealing_key()) {
+      counter_vault_ = std::make_unique<kv::CounterVault>(
+          *options_.wal_storage, key.value(), options_.counter_stride);
+    }
+    reopen_wal();
+  }
   if (options_.secured) {
     assert(options_.enclave != nullptr && "secured mode requires an enclave");
     RecipeSecurityConfig config;
     config.confidentiality = options_.confidentiality;
     config.working_set = [this] { return enclave_working_set(); };
+    config.counter_vault = counter_vault_.get();
     security_ = std::make_unique<RecipeSecurity>(
         *options_.enclave, options_.self, options_.cost_model,
         &network_.cpu(options_.self), config);
@@ -51,6 +63,9 @@ ReplicaNode::ReplicaNode(sim::Clock& clock, net::Transport& network,
     for (VerifiedEnvelope& ready : security_->drain_ready()) {
       if (ready.batch) dispatch_batch(ready, ctx);
     }
+    // Group commit aligned to the batch-flush boundary: ONE WAL commit
+    // record covers every entry this batch applied.
+    wal_group_commit();
   });
 
   on(msg::kClientRequest, [this](VerifiedEnvelope& env,
@@ -195,6 +210,11 @@ void ReplicaNode::wipe_state() {
 
 void ReplicaNode::start_as_shadow() {
   shadow_ = true;
+  // Cold rejoin with a WAL: reopen under a fresh boot epoch. The hardware
+  // counter advance BURNS any stale clean marker (a marker from an older
+  // incarnation must never validate against a node that crashed since), and
+  // new segment ids stay strictly above every id any incarnation used.
+  reopen_wal();
   network_.recover(options_.self);
   // The restarted enclave lost every channel: replay windows, strict-order
   // state, cached contexts. Receive-side state must start fresh with it.
@@ -263,6 +283,8 @@ void ReplicaNode::on(rpc::RequestType type, EnvelopeHandler handler) {
     if (!env) return;  // drop: unauthenticated / replayed / malformed
     if (env.value().batch) return;  // batch frames only enter via msg::kBatch
     dispatch_request(type, env.value(), ctx);
+    // Unbatched frames form their own (singleton) commit group.
+    wal_group_commit();
   });
 }
 
@@ -414,6 +436,9 @@ void ReplicaNode::send_to(NodeId peer, rpc::RequestType type, BytesView payload,
       // A batch frame is never a direct response.
       if (env.value().batch) return;
       if (pending.handler) pending.handler(env.value());
+      // Response continuations apply writes too (quorum phase-2, state
+      // chunks): the delivery is its own commit group.
+      wal_group_commit();
     };
     timeout_wrapped = [this, rpc_id, cb = std::move(on_timeout)] {
       response_handlers_.erase(rpc_id);
@@ -486,7 +511,11 @@ bool ReplicaNode::kv_write(std::string_view key, BytesView value,
     if (kv_.confidential()) cost += options_.cost_model->encrypt(value.size());
     cpu().charge(cost);
   }
-  return kv_.write(key, value, ts);
+  const bool applied = kv_.write(key, value, ts);
+  // Every APPLIED write is logged; the group boundary (one commit record per
+  // dispatched message/batch) is drawn by wal_group_commit().
+  if (applied && wal_ != nullptr) wal_->append(key, value, ts);
+  return applied;
 }
 
 Result<kv::VersionedValue> ReplicaNode::kv_get(std::string_view key) {
@@ -658,10 +687,147 @@ Result<std::size_t> ReplicaNode::restore_snapshot(BytesView sealed) {
   if (!restored) {
     if (restored.status().code() == ErrorCode::kRollback) {
       ++snapshot_rollback_rejected_;
+    } else {
+      // Tampered/truncated blob: noticed, pinned, and (in the rejoin
+      // driver) degraded to a cold rejoin rather than treated as fatal.
+      ++snapshot_corrupt_;
     }
     return restored.status();
   }
+  // Snapshot entries entered the store OUTSIDE the logged apply path: a
+  // clean shutdown must compact before its marker covers this baseline.
+  if (wal_ != nullptr && restored.value().installed > 0) {
+    wal_baseline_dirty_ = true;
+  }
   return restored.value().installed;
+}
+
+void ReplicaNode::reopen_wal() {
+  wal_.reset();
+  if (options_.wal_storage == nullptr || options_.enclave == nullptr) return;
+  auto key = options_.enclave->sealing_key();
+  auto epoch = options_.enclave->advance_snapshot_version();
+  if (!key || !epoch) return;  // crashed enclave: no WAL this incarnation
+  wal_ = std::make_unique<kv::Wal>(*options_.wal_storage, key.value(),
+                                   epoch.value(), options_.wal);
+}
+
+void ReplicaNode::wal_group_commit() {
+  if (wal_ == nullptr || wal_->pending_entries() == 0) return;
+  const std::uint64_t rotated_before = wal_->segments_rotated();
+  // Commit failure only costs warm-restart eligibility (the entries are
+  // already applied and replicated); the node keeps serving.
+  (void)wal_->commit();
+  // Compaction piggybacks on rotation: only a commit that sealed a segment
+  // can push the sealed-segment count past the threshold, so the (storage
+  // enumerating) should_compact() check is skipped on the common path.
+  if (wal_->segments_rotated() == rotated_before || !wal_->should_compact()) {
+    return;
+  }
+  if (auto version = options_.enclave->advance_snapshot_version()) {
+    if (wal_->compact(kv_, version.value()).is_ok()) {
+      wal_baseline_dirty_ = false;  // the compacted snapshot covers the store
+    }
+  }
+}
+
+Status ReplicaNode::shutdown_clean() {
+  if (wal_ == nullptr || options_.enclave == nullptr) {
+    stop();
+    return Status::error(ErrorCode::kUnavailable,
+                         "no WAL: clean shutdown is a plain stop");
+  }
+  // Flush the group-commit tail so the log covers every applied write.
+  if (auto committed = wal_->commit(); !committed) {
+    stop();
+    return committed.status();
+  }
+  // State that bypassed the log (a sealed-snapshot restore during a cold
+  // rejoin) is only covered once compacted into the WAL's own snapshot.
+  if (wal_baseline_dirty_) {
+    if (auto version = options_.enclave->advance_snapshot_version()) {
+      if (wal_->compact(kv_, version.value()).is_ok()) {
+        wal_baseline_dirty_ = false;
+      }
+    }
+  }
+  if (wal_baseline_dirty_) {
+    stop();
+    return Status::error(ErrorCode::kInternal,
+                         "unlogged baseline could not be compacted");
+  }
+  // The marker version IS the hardware rollback counter after this advance:
+  // the next incarnation accepts the marker only while the counter still
+  // holds this exact value, so a re-presented older marker can never pass.
+  auto version = options_.enclave->advance_snapshot_version();
+  if (!version) {
+    stop();
+    return version.status();
+  }
+  auto state = options_.enclave->seal_state(version.value());
+  if (!state) {
+    stop();
+    return state.status();
+  }
+  const Status wrote =
+      wal_->write_clean_marker(version.value(), std::move(state).take());
+  stop();
+  return wrote;
+}
+
+Result<ReplicaNode::WarmRestart> ReplicaNode::warm_restart() {
+  if (wal_ == nullptr || options_.enclave == nullptr ||
+      !security_->secured()) {
+    return Status::error(ErrorCode::kUnavailable, "no WAL configured");
+  }
+  tee::Enclave& enclave = *options_.enclave;
+  auto version = enclave.snapshot_version();
+  if (!version) return version.status();
+  // 1. The clean-shutdown marker must pin to the CURRENT hardware counter —
+  //    a crash (no marker) or a replayed older marker fails here and the
+  //    caller falls back to the full attested §3.7 rejoin.
+  auto marker = wal_->read_clean_marker(version.value());
+  if (!marker) return marker.status();
+  // 2. Sealed enclave state: channel secrets + EXACT send counters. After
+  //    this the enclave is provisioned without any CAS round trip.
+  if (Status restored = enclave.restore_state(
+          as_view(marker.value().enclave_state), marker.value().marker_version);
+      !restored.is_ok()) {
+    return restored;
+  }
+  // 3. B.1 vault horizons on top (floors): every counter lands at or past
+  //    its persisted stride, so no nonce from the previous life can repeat
+  //    even for allocations the (group-committed) marker missed.
+  WarmRestart out;
+  if (counter_vault_ != nullptr) {
+    for (const auto& [cq, horizon] : counter_vault_->load()) {
+      (void)enclave.restore_counter_floor(cq, horizon);
+      ++out.counters_restored;
+    }
+  }
+  // 4. Local replay: compacted snapshot baseline + committed segments.
+  auto replayed = wal_->replay(kv_, marker.value().snapshot_version);
+  if (!replayed) return replayed.status();
+  out.snapshot_entries = replayed.value().snapshot_entries;
+  out.log_entries = replayed.value().log_entries;
+  wal_baseline_dirty_ = false;  // the log covers everything just installed
+  // 5. Burn the marker: the reopen advances the hardware counter, so this
+  //    marker can never validate a SECOND restart (whose sealed counters
+  //    would be stale), then drop the blob outright.
+  reopen_wal();
+  if (wal_ == nullptr) {
+    return Status::error(ErrorCode::kInternal, "WAL reopen failed");
+  }
+  wal_->clear_clean_marker();
+  // 6. Resume ACTIVE. Peers never saw this node die: its send counters
+  //    continued past their strides (forward jumps ≤ K land inside every
+  //    replay window) and its receive windows are rebuilt empty, so no
+  //    fresh-node notice, peer reset, or shadow phase is needed.
+  network_.recover(options_.self);
+  security_->reset_all();
+  shadow_ = false;
+  start();
+  return out;
 }
 
 bool ReplicaNode::suspected(NodeId peer) const {

@@ -17,6 +17,7 @@
 
 #include "common/ids.h"
 #include "kvstore/kvstore.h"
+#include "kvstore/wal.h"
 #include "net/network.h"
 #include "recipe/batcher.h"
 #include "recipe/client_table.h"
@@ -97,6 +98,17 @@ struct ReplicaOptions {
   // kStateFetch round trip. Each chunk rides the normal send path, so with
   // batching enabled the stream coalesces with live protocol traffic.
   std::size_t state_chunk_entries = 64;
+
+  // Sealed group-commit WAL (durability). Non-null enables the write-ahead
+  // log: every applied KV write is appended under the enclave SEALING key
+  // and committed once per dispatch boundary (one commit record per applied
+  // batch). Requires secured mode + an enclave; the storage object must
+  // outlive the node. Null (default) keeps the purely in-memory node.
+  kv::WalStorage* wal_storage = nullptr;
+  kv::WalOptions wal{};
+  // B.1 counter-vault stride: sealed horizon rewrites happen once per this
+  // many send-counter allocations.
+  Counter counter_stride = 1024;
 };
 
 using ReplyFn = std::function<void(const ClientReply&)>;
@@ -213,6 +225,41 @@ class ReplicaNode {
   std::uint64_t snapshot_rollback_rejected() const {
     return snapshot_rollback_rejected_;
   }
+  // Sealed-snapshot restores that failed for a NON-rollback reason (tampered
+  // or truncated blob). The rejoin driver degrades these to a cold rejoin
+  // instead of aborting — the count pins that the corruption was noticed.
+  std::uint64_t snapshot_corrupt() const { return snapshot_corrupt_; }
+
+  // --- Sealed group-commit WAL (cheap restart) -----------------------------
+  //
+  // With options_.wal_storage set, every applied write is logged under the
+  // sealing key and a clean shutdown leaves a rollback-pinned marker that
+  // lets the NEXT incarnation warm_restart(): replay locally, fast-forward
+  // send counters past their B.1 stride, and resume ACTIVE — zero CAS round
+  // trips, zero peer state-stream entries. A crash leaves no marker, so the
+  // next incarnation takes the full §3.7 attested rejoin.
+
+  bool has_wal() const { return wal_ != nullptr; }
+  kv::Wal* wal() { return wal_.get(); }
+  kv::CounterVault* counter_vault() { return counter_vault_.get(); }
+
+  // Orderly shutdown: flushes the group-commit tail, compacts if sealed
+  // snapshot state entered outside the log, seals the enclave's volatile
+  // state (secrets + exact send counters) into the clean marker at a fresh
+  // hardware-counter version, then stop()s. Without a WAL this is stop().
+  Status shutdown_clean();
+
+  struct WarmRestart {
+    std::size_t snapshot_entries{0};  // installed from the compacted snapshot
+    std::size_t log_entries{0};       // installed from WAL segments
+    std::size_t counters_restored{0};  // B.1 vault horizons applied
+  };
+  // The cheap-restart fast path, valid only after a clean shutdown: validates
+  // the marker against the hardware rollback counter, restores the sealed
+  // enclave state, floors counters at their vault horizons, replays the WAL
+  // into the KV, burns the marker (reopening reserves a fresh boot epoch),
+  // and resumes ACTIVE. Any failure leaves the caller to run the cold path.
+  Result<WarmRestart> warm_restart();
 
   // --- Failure detection ---------------------------------------------------
   // Hybrid verdict: trusted-lease floor, gated by the adaptive phi-accrual
@@ -318,6 +365,16 @@ class ReplicaNode {
   void send_batch(NodeId peer, Bytes body);
   VerifiedEnvelope sub_envelope(const VerifiedEnvelope& batch_env,
                                 BytesView payload) const;
+  // (Re)creates the WAL with a boot epoch freshly reserved from the hardware
+  // rollback counter — called at construction and on every restart path, so
+  // segment ids (and with them record nonces) are strictly increasing across
+  // incarnations and any outstanding clean marker is burned.
+  void reopen_wal();
+  // Group commit at a dispatch boundary: one WAL commit record covers every
+  // entry the just-dispatched message/batch applied. Triggers background
+  // compaction when a rotation pushed the sealed-segment count past the
+  // threshold.
+  void wal_group_commit();
 
   sim::Clock& clock_;
   net::Transport& network_;
@@ -365,7 +422,16 @@ class ReplicaNode {
   sim::TimerHandle notice_timer_;
   std::uint64_t synced_max_counter_{0};
   std::uint64_t snapshot_rollback_rejected_{0};
+  std::uint64_t snapshot_corrupt_{0};
   std::uint64_t committed_ops_{0};
+  // Durability (null unless options_.wal_storage is set). The vault outlives
+  // every Wal incarnation: horizons are monotone across restarts.
+  std::unique_ptr<kv::CounterVault> counter_vault_;
+  std::unique_ptr<kv::Wal> wal_;
+  // True when KV state was installed OUTSIDE the logged apply path (a sealed
+  // snapshot restore): the clean-shutdown path must compact before writing
+  // the marker or that baseline would be missing from a replay.
+  bool wal_baseline_dirty_{false};
 };
 
 }  // namespace recipe

@@ -4,7 +4,8 @@ namespace recipe {
 
 void await_promotion(sim::Clock& clock, ReplicaNode& node,
                      sim::Time interval, std::size_t max_polls,
-                     std::function<void(bool)> done) {
+                     std::function<void(bool)> done,
+                     std::shared_ptr<sim::TimerHandle> handle) {
   if (node.shadow_caught_up()) {
     node.promote();
     done(true);
@@ -14,17 +15,27 @@ void await_promotion(sim::Clock& clock, ReplicaNode& node,
     done(false);
     return;
   }
-  clock.schedule(interval, [&clock, &node, interval, max_polls,
-                            done = std::move(done)]() mutable {
-    await_promotion(clock, node, interval, max_polls - 1,
-                    std::move(done));
-  });
+  // Every armed timer is published through `handle` BEFORE control returns:
+  // the callback captures `node` by reference, so without a cancellable
+  // handle a caller destroying the node mid-poll leaves a use-after-free
+  // waiting on the timer wheel.
+  auto timer = clock.schedule(
+      interval, [&clock, &node, interval, max_polls, handle,
+                 done = std::move(done)]() mutable {
+        await_promotion(clock, node, interval, max_polls - 1, std::move(done),
+                        std::move(handle));
+      });
+  if (handle != nullptr) *handle = std::move(timer);
 }
 
 RejoinDriver::RejoinDriver(sim::Clock& clock, ReplicaNode& node,
                            tee::Enclave& enclave,
                            attest::AttestationAuthority& cas)
     : clock_(clock), node_(node), enclave_(enclave), cas_(cas) {}
+
+RejoinDriver::~RejoinDriver() {
+  if (promote_poll_ != nullptr) promote_poll_->cancel();
+}
 
 void RejoinDriver::rejoin(RejoinOptions options, Done done) {
   options_ = std::move(options);
@@ -34,6 +45,27 @@ void RejoinDriver::rejoin(RejoinOptions options, Done done) {
   // machine reboot also emptied the host process (KV store, dedup table).
   enclave_.restart();
   node_.wipe_state();
+
+  // 1b. Cheap-restart fast path (sealed group-commit WAL): after a CLEAN
+  // shutdown the marker validates against the hardware counter, the enclave
+  // state (secrets + exact counters) restores from it, and the KV replays
+  // locally — zero CAS round trips, zero peer state-stream entries. Any
+  // failure (crash: no marker; tampered log; rolled-back marker) degrades
+  // to the full attested sequence below.
+  if (node_.has_wal()) {
+    auto warm = node_.warm_restart();
+    if (warm.is_ok()) {
+      report_.warm_restart = true;
+      report_.snapshot_entries = warm.value().snapshot_entries;
+      report_.wal_entries = warm.value().log_entries;
+      report_.promoted = true;  // resumed ACTIVE, never a shadow
+      done(report_);
+      return;
+    }
+    // Partial replay may have installed entries before failing: the cold
+    // path must start from the same empty store a reboot leaves behind.
+    node_.wipe_state();
+  }
   // The machine is back on the network (it must answer the CAS challenge),
   // but the node stays stopped until provisioning succeeds.
   node_.network().recover(node_.self());
@@ -64,8 +96,11 @@ void RejoinDriver::on_provisioned(Done done) {
     } else if (restored.status().code() == ErrorCode::kRollback) {
       report_.snapshot_rolled_back = true;
     } else {
-      done(restored.status());
-      return;
+      // A corrupt blob (bad MAC / truncated) is no more fatal than a stale
+      // one: the node pinned snapshot_corrupt() and the stream below
+      // rebuilds the state from the live cluster — a host that damages the
+      // snapshot only costs bandwidth, never availability.
+      report_.snapshot_corrupt = true;
     }
   }
 
@@ -88,6 +123,7 @@ void RejoinDriver::on_provisioned(Done done) {
         // 6. Promote once the protocol agrees it is caught up (base
         // protocols: immediately after the stream fixpoint; Raft: after
         // log backfill).
+        promote_poll_ = std::make_shared<sim::TimerHandle>();
         await_promotion(clock_, node_, options_.promote_poll,
                         options_.max_promote_polls,
                         [this, done = std::move(done)](bool promoted) mutable {
@@ -99,7 +135,8 @@ void RejoinDriver::on_provisioned(Done done) {
                           }
                           report_.promoted = true;
                           done(report_);
-                        });
+                        },
+                        promote_poll_);
       },
       options_.max_sync_passes);
 }

@@ -26,6 +26,7 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <optional>
 
 #include "attest/cas.h"
@@ -51,18 +52,31 @@ struct RejoinOptions {
 struct RejoinReport {
   std::size_t snapshot_entries{0};  // installed from the sealed snapshot
   bool snapshot_rolled_back{false};  // stale blob rejected (stat pinned)
+  // Sealed snapshot was corrupt (bad MAC / truncated): degraded to a cold
+  // rejoin, stat pinned in ReplicaNode::snapshot_corrupt().
+  bool snapshot_corrupt{false};
   std::size_t streamed_entries{0};  // installed by chunked catch-up
   sim::Time attestation_elapsed{0};
   bool promoted{false};
+  // Cheap restart (clean shutdown + valid WAL): the node replayed locally
+  // and resumed ACTIVE with zero CAS round trips and zero streamed entries.
+  bool warm_restart{false};
+  std::size_t wal_entries{0};  // installed by local WAL replay (warm path)
 };
 
 // Polls `node.shadow_caught_up()` every `interval` and promotes the node as
 // soon as the protocol agrees; `done` receives true on promotion, false when
 // `max_polls` elapsed with the node still shadow. Shared by RejoinDriver and
 // the cluster layer's shard-replica replacement.
+//
+// `handle` (optional) receives every timer this poll loop arms: the loop
+// captures `node` by reference, so a caller tearing the node down while a
+// poll is pending MUST cancel through the handle or the fired callback reads
+// freed memory.
 void await_promotion(sim::Clock& clock, ReplicaNode& node,
                      sim::Time interval, std::size_t max_polls,
-                     std::function<void(bool promoted)> done);
+                     std::function<void(bool promoted)> done,
+                     std::shared_ptr<sim::TimerHandle> handle = nullptr);
 
 class RejoinDriver {
  public:
@@ -70,9 +84,18 @@ class RejoinDriver {
 
   RejoinDriver(sim::Clock& clock, ReplicaNode& node,
                tee::Enclave& enclave, attest::AttestationAuthority& cas);
+  // Cancels any pending promotion poll: its callbacks capture the node by
+  // reference and must never fire after the driver (and typically the node)
+  // is gone.
+  ~RejoinDriver();
 
   // Runs the sequence above; `done` fires with the report (or the first
   // error). One rejoin at a time per driver.
+  //
+  // Cheap-restart fast path: when the node has a WAL and the previous
+  // incarnation shut down cleanly, the driver restores everything locally
+  // (ReplicaNode::warm_restart) and SKIPS attestation and the peer stream
+  // entirely. A crash (no valid marker) takes the full attested sequence.
   void rejoin(RejoinOptions options, Done done);
 
  private:
@@ -87,6 +110,8 @@ class RejoinDriver {
   std::optional<attest::AttestationClient> attestation_;
   RejoinOptions options_;
   RejoinReport report_;
+  // Live timer of the promotion poll loop (see await_promotion).
+  std::shared_ptr<sim::TimerHandle> promote_poll_;
 };
 
 }  // namespace recipe

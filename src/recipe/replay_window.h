@@ -20,7 +20,7 @@ class ReplayWindow {
  public:
   enum class Verdict {
     kAccept,     // first sighting, now marked
-    kStale,      // below the window: cnt + window <= max_seen
+    kStale,      // below the window: max_seen - cnt >= window
     kDuplicate,  // already accepted
   };
 
@@ -29,7 +29,9 @@ class ReplayWindow {
         bits_((window_ + 63) / 64, 0) {}
 
   Verdict check_and_set(Counter cnt) {
-    if (cnt + window_ <= max_seen_) return Verdict::kStale;
+    // Subtraction form: `cnt + window_ <= max_seen_` wraps for counters near
+    // UINT64_MAX and misclassifies a far-forward jump as stale.
+    if (cnt <= max_seen_ && max_seen_ - cnt >= window_) return Verdict::kStale;
     if (cnt > max_seen_) {
       // Advance the window: counters in (max_seen, cnt) have never been
       // seen, so their ring slots (stale leftovers) must be cleared.

@@ -2,6 +2,7 @@
 
 #include "crypto/chacha20.h"
 #include "crypto/hmac.h"
+#include "kvstore/wal.h"
 
 namespace recipe {
 
@@ -140,6 +141,12 @@ Result<ShieldedHeader> RecipeSecurity::begin_shield(NodeId peer, ViewId view,
   // channel always carry distinct (cnt, nonce) pairs.
   auto cnt = enclave_.increment_counter(cq);
   if (!cnt) return cnt.status();
+
+  // B.1 stride persistence: the vault sees every allocated value and writes
+  // one sealed horizon per K allocations (amortized, off the MAC path).
+  if (config_.counter_vault != nullptr) {
+    config_.counter_vault->note(cq, cnt.value());
+  }
 
   if (config_.confidentiality &&
       cnt.value() >= crypto::kChannelNonceMessageLimit) {

@@ -54,6 +54,10 @@
 
 namespace recipe {
 
+namespace kv {
+class CounterVault;
+}  // namespace kv
+
 // A verified message handed to the protocol: sender identity and metadata
 // are authenticated (in Recipe mode) before the protocol sees them.
 struct VerifiedEnvelope {
@@ -164,6 +168,11 @@ struct RecipeSecurityConfig {
   // Estimator for the enclave-resident working set (bytes), used by the TEE
   // cost model for EPC pressure. Null = only message-local cost.
   std::function<std::uint64_t()> working_set;
+  // liboscore B.1 counter persistence (WAL durability): every allocated send
+  // counter is observed by the vault, which rewrites its sealed horizon blob
+  // once per stride (K allocations), making a warm restart nonce-safe
+  // without peer channel resets. Null = no persistence (default).
+  kv::CounterVault* counter_vault = nullptr;
 };
 
 class RecipeSecurity final : public SecurityPolicy {

@@ -1,9 +1,20 @@
 #include "tee/enclave.h"
 
+#include <algorithm>
+
 #include "common/serde.h"
 #include "common/rng.h"
+#include "crypto/chacha20.h"
 
 namespace recipe::tee {
+
+namespace {
+// Sealed-volatile-state framing (seal_state/restore_state). The nonce tag
+// keeps the state stream disjoint from snapshot.cpp's "SNAP" domain under
+// the shared sealing key; the version makes each sealed state unique.
+constexpr std::uint32_t kStateMagic = 0x52455354;     // "REST"
+constexpr std::uint32_t kStateNonceTag = 0x454E4353;  // "ENCS"
+}  // namespace
 
 Bytes AttestationReport::serialize() const {
   Writer w;
@@ -112,6 +123,14 @@ Counter Enclave::peek_counter(ChannelId cq) const {
   return it == counters_.end() ? 0 : it->second;
 }
 
+Status Enclave::restore_counter_floor(ChannelId cq, Counter floor) {
+  if (auto s = check_alive(); !s.is_ok()) return s;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& cnt = counters_[cq];
+  cnt = std::max(cnt, floor);
+  return Status::ok();
+}
+
 Result<crypto::SymmetricKey> Enclave::sealing_key() const {
   if (auto s = check_alive(); !s.is_ok()) return s;
   // EGETKEY(SEAL, MRENCLAVE): bound to the hardware root, the measured code
@@ -139,6 +158,116 @@ Result<std::uint64_t> Enclave::advance_snapshot_version() {
 Result<std::uint64_t> Enclave::snapshot_version() const {
   if (auto s = check_alive(); !s.is_ok()) return s;
   return platform_.rollback_counter(enclave_id_);
+}
+
+Result<Bytes> Enclave::seal_state(std::uint64_t version) const {
+  if (auto s = check_alive(); !s.is_ok()) return s;
+  auto key = sealing_key();
+  if (!key) return key.status();
+
+  Writer body;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    body.u32(static_cast<std::uint32_t>(secrets_.size()));
+    for (const auto& [name, secret] : secrets_) {
+      body.str(name);
+      body.bytes(secret.view());
+    }
+    body.u32(static_cast<std::uint32_t>(counters_.size()));
+    for (const auto& [cq, cnt] : counters_) {
+      body.id(cq);
+      body.u64(cnt);
+    }
+  }
+
+  // Secrets ARE confidential (unlike the counters riding along), so the
+  // whole body is encrypted, not just MAC'd. The version-bound nonce never
+  // repeats: versions come from the monotonic hardware counter.
+  Bytes ciphertext = std::move(body).take();
+  const auto nonce = crypto::make_nonce(kStateNonceTag, version);
+  crypto::chacha20_xor(key.value().view(), nonce, 0, ciphertext);
+
+  Writer blob(ciphertext.size() + 64);
+  blob.u32(kStateMagic);
+  blob.u64(version);
+  blob.bytes(as_view(ciphertext));
+  const crypto::Mac mac =
+      crypto::hmac_sha256(key.value().view(), as_view(blob.buffer()));
+  blob.raw(BytesView(mac.data(), mac.size()));
+  return std::move(blob).take();
+}
+
+Status Enclave::restore_state(BytesView sealed,
+                              std::uint64_t expected_version) {
+  if (auto s = check_alive(); !s.is_ok()) return s;
+  auto key = sealing_key();
+  if (!key) return key.status();
+
+  Reader r(sealed);
+  const auto magic = r.u32();
+  const auto version = r.u64();
+  auto body = r.bytes();
+  const auto mac = r.raw(crypto::kMacSize);
+  if (!magic || *magic != kStateMagic || !version || !body || !mac ||
+      r.remaining() != 0) {
+    return Status::error(ErrorCode::kAuthFailed, "malformed sealed state");
+  }
+  const BytesView macd(sealed.data(), sealed.size() - crypto::kMacSize);
+  if (!crypto::hmac_verify(key.value().view(), macd, as_view(*mac))) {
+    return Status::error(ErrorCode::kAuthFailed, "sealed state MAC mismatch");
+  }
+  if (*version != expected_version) {
+    return Status::error(ErrorCode::kRollback,
+                         "sealed state version " + std::to_string(*version) +
+                             " != expected " +
+                             std::to_string(expected_version));
+  }
+
+  const auto nonce = crypto::make_nonce(kStateNonceTag, *version);
+  crypto::chacha20_xor(key.value().view(), nonce, 0, *body);
+
+  Reader br(as_view(*body));
+  const auto nsecrets = br.u32();
+  if (!nsecrets) {
+    return Status::error(ErrorCode::kAuthFailed, "truncated sealed state");
+  }
+  std::unordered_map<std::string, crypto::SymmetricKey> secrets;
+  for (std::uint32_t i = 0; i < *nsecrets; ++i) {
+    auto name = br.str();
+    auto material = br.bytes();
+    if (!name || !material) {
+      return Status::error(ErrorCode::kAuthFailed, "truncated sealed state");
+    }
+    secrets[*name] = crypto::SymmetricKey{std::move(*material)};
+  }
+  const auto ncounters = br.u32();
+  if (!ncounters) {
+    return Status::error(ErrorCode::kAuthFailed, "truncated sealed state");
+  }
+  std::unordered_map<ChannelId, Counter> counters;
+  for (std::uint32_t i = 0; i < *ncounters; ++i) {
+    auto cq = br.id<ChannelId>();
+    auto cnt = br.u64();
+    if (!cq || !cnt) {
+      return Status::error(ErrorCode::kAuthFailed, "truncated sealed state");
+    }
+    counters[*cq] = *cnt;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [name, secret] : secrets) {
+      secrets_[name] = std::move(secret);
+    }
+    // Floors, never assignments: the live counter wins if it is already
+    // ahead (e.g. a B.1 vault horizon was applied first).
+    for (const auto& [cq, cnt] : counters) {
+      auto& live = counters_[cq];
+      live = std::max(live, cnt);
+    }
+  }
+  keyset_epoch_.fetch_add(1, std::memory_order_acq_rel);
+  return Status::ok();
 }
 
 Result<Bytes> Enclave::random_bytes(std::size_t n) {

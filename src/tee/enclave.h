@@ -108,6 +108,12 @@ class Enclave {
   Result<Counter> increment_counter(ChannelId cq);
   Counter peek_counter(ChannelId cq) const;
 
+  // Raises channel `cq`'s counter to at least `floor` without allocating a
+  // value (liboscore Appendix B.1: on a warm restart every persisted counter
+  // fast-forwards past its stride). Monotone up — a stale floor is a no-op,
+  // so replaying old persisted state can never cause a nonce to repeat.
+  Status restore_counter_floor(ChannelId cq, Counter floor);
+
   // --- Sealing (snapshot durability, paper §3.7) --------------------------
 
   // The sealing key is derived from the hardware root key, this enclave's
@@ -124,6 +130,23 @@ class Enclave {
   // rollback attack).
   Result<std::uint64_t> advance_snapshot_version();
   Result<std::uint64_t> snapshot_version() const;
+
+  // --- Sealed volatile state (clean shutdown -> warm restart) -------------
+  //
+  // A CLEAN shutdown may seal the enclave's volatile state — the secret
+  // store and the exact per-channel send counters — under the sealing key,
+  // bound to `version` (freshly reserved from the hardware rollback
+  // counter). The blob rides inside the WAL's clean-shutdown marker on
+  // untrusted storage; only a re-launched instance of the same measured
+  // binary on the same platform can restore it, which is what lets a warm
+  // restart skip the CAS attestation round-trip entirely (paper §3.7 is
+  // still required after a crash: no marker, no sealed state).
+  Result<Bytes> seal_state(std::uint64_t version) const;
+  // Verifies + installs a sealed state blob after restart(). Rejects
+  // tampering (kAuthFailed) and any version != `expected_version`
+  // (kRollback). Secrets install wholesale (one keyset-epoch bump);
+  // counters restore as floors (monotone up).
+  Status restore_state(BytesView sealed, std::uint64_t expected_version);
 
   // --- Randomness ---------------------------------------------------------
 

@@ -56,6 +56,11 @@ class Cluster {
     // ReplicaOptions::cas_id; replicas are then provisioned with ITS cluster
     // root, so the full §3.7 re-attestation path (rejoin()) works.
     bool with_cas = false;
+    // Sealed group-commit WAL (secured mode): every replica gets its own
+    // in-memory WalStorage owned by the harness (deterministic sim, no
+    // files), enabling shutdown_clean()/warm-restart paths in rejoin().
+    bool durable_wal = false;
+    kv::WalOptions wal{};
   };
 
   explicit Cluster(Config config = {})
@@ -99,6 +104,13 @@ class Cluster {
     if (config_.confidentiality) {
       options.kv_config.value_encryption_key = value_key_;
     }
+    if (config_.durable_wal && config_.secured) {
+      while (wal_storage_.size() <= i) {
+        wal_storage_.push_back(std::make_unique<kv::MemWalStorage>());
+      }
+      options.wal_storage = wal_storage_[i].get();
+      options.wal = config_.wal;
+    }
 
     enclaves_.push_back(std::move(enclave));
     nodes_.push_back(std::make_unique<Node>(simulator_, network_,
@@ -134,6 +146,16 @@ class Cluster {
 
   // Crash replica i: machine-level failure (network + enclave).
   void crash(std::size_t i) { nodes_[i]->stop(); }
+
+  // Orderly shutdown of replica i (durable_wal): flushes the group-commit
+  // tail and seals the clean marker, so the next rejoin() is warm.
+  Status shutdown_clean(std::size_t i) { return nodes_[i]->shutdown_clean(); }
+
+  // Replica i's WAL storage (durable_wal only; null otherwise). Tests reach
+  // in to tamper with segments/blobs for corruption/torn-write scenarios.
+  kv::MemWalStorage* wal_storage(std::size_t i) {
+    return i < wal_storage_.size() ? wal_storage_[i].get() : nullptr;
+  }
 
   attest::AttestationAuthority& cas() { return *cas_; }
 
@@ -249,6 +271,9 @@ class Cluster {
   std::vector<NodeId> membership_;
   std::unique_ptr<attest::AttestationAuthority> cas_;
   std::vector<std::unique_ptr<tee::Enclave>> enclaves_;
+  // Declared before nodes_ (destroyed after): a node's Wal references its
+  // storage. Survives crash()/rejoin() cycles like a real disk would.
+  std::vector<std::unique_ptr<kv::MemWalStorage>> wal_storage_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<std::unique_ptr<RejoinDriver>> drivers_;
   std::vector<std::unique_ptr<tee::Enclave>> client_enclaves_;

@@ -303,6 +303,61 @@ INSTANTIATE_TEST_SUITE_P(
              (std::get<1>(info.param) ? "_batched" : "_unbatched");
     });
 
+// --- Crash mid-WAL-write (torn tail) -----------------------------------------
+
+// The host tears the last WAL write (power cut mid group-commit / Byzantine
+// truncation): the clean marker is present but the log's tail record MAC no
+// longer verifies. The warm path must REFUSE the log and the rejoin must
+// degrade to the full attested sequence — durability then comes from the
+// live cluster, not the damaged log.
+TEST(FailureInjection, TornWalTailDegradesToColdRejoin) {
+  typename Cluster<protocols::AbdNode>::Config config;
+  config.with_cas = true;
+  config.durable_wal = true;
+  config.wal.segment_bytes = 512;  // rotate often: several sealed segments
+  config.heartbeat_period = 10 * sim::kMillisecond;
+  Cluster<protocols::AbdNode> cluster(config);
+  cluster.build();
+  auto& client = cluster.add_client();
+
+  std::map<std::string, std::string> acked;
+  for (int i = 0; i < 12; ++i) {
+    const std::string key = "key" + std::to_string(i);
+    const std::string value = "v" + std::to_string(i);
+    ASSERT_TRUE(cluster.put(client, NodeId{1}, key, value).ok) << key;
+    acked[key] = value;
+  }
+  ASSERT_TRUE(cluster.shutdown_clean(1).is_ok());
+  cluster.run_for(100 * sim::kMillisecond);
+
+  // Tear the newest segment mid-record, exactly like a crash between the
+  // host's partial flush and the fsync.
+  auto* storage = cluster.wal_storage(1);
+  ASSERT_NE(storage, nullptr);
+  const auto segments = storage->list_segments();
+  ASSERT_FALSE(segments.empty());
+  Bytes* tail = storage->mutable_segment(segments.back());
+  ASSERT_NE(tail, nullptr);
+  ASSERT_GT(tail->size(), 8u);
+  tail->resize(tail->size() - 5);
+
+  const std::uint64_t attestations = cluster.cas().attestations_served();
+  auto report = cluster.rejoin(1, NodeId{1});
+  ASSERT_TRUE(report.is_ok()) << report.status().message();
+  EXPECT_FALSE(report.value().warm_restart)
+      << "a torn log must never warm-restart";
+  EXPECT_TRUE(report.value().promoted);
+  EXPECT_GT(report.value().streamed_entries, 0u);
+  EXPECT_EQ(cluster.cas().attestations_served(), attestations + 1);
+
+  cluster.run_for(sim::kSecond);
+  for (const auto& [key, value] : acked) {
+    auto got = cluster.node(1).kv().get(key);
+    ASSERT_TRUE(got.is_ok()) << key;
+    EXPECT_EQ(to_string(as_view(got.value().value)), value) << key;
+  }
+}
+
 // --- Consistent-hash routing (Fig. 2 distributed data-store layer)
 // ---------------
 

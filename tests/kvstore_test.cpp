@@ -94,6 +94,61 @@ TEST(KvStore, ScanEarlyStop) {
   EXPECT_EQ(seen, 2);
 }
 
+TEST(KvStore, ScanFromIsStrictlyAfterCursor) {
+  KvStore kv;
+  for (const char* k : {"a", "b", "c"}) kv.write(k, as_view("v"));
+  std::vector<std::string> keys;
+  kv.scan_from("a", [&](std::string_view k, const Timestamp&) {
+    keys.emplace_back(k);
+    return true;
+  });
+  EXPECT_EQ(keys, (std::vector<std::string>{"b", "c"}));
+}
+
+TEST(KvStore, ScanFromEmptyCursorSkipsOnlyTheEmptyKey) {
+  // The empty string is a VALID key. scan_from("") means "strictly after
+  // the empty key" — it must yield every named key but never "" itself
+  // (streaming "from the very first key" is scan(), flagged separately on
+  // the wire via has_cursor).
+  KvStore kv;
+  kv.write("", as_view("empty"));
+  kv.write("a", as_view("v"));
+  std::vector<std::string> keys;
+  kv.scan_from("", [&](std::string_view k, const Timestamp&) {
+    keys.emplace_back(k);
+    return true;
+  });
+  EXPECT_EQ(keys, (std::vector<std::string>{"a"}));
+}
+
+TEST(KvStore, ScanFromCursorAtOrPastLastKeyYieldsNothing) {
+  KvStore kv;
+  for (const char* k : {"a", "b", "c"}) kv.write(k, as_view("v"));
+  int seen = 0;
+  const auto count = [&](std::string_view, const Timestamp&) {
+    ++seen;
+    return true;
+  };
+  kv.scan_from("c", count);  // cursor == last key
+  EXPECT_EQ(seen, 0);
+  kv.scan_from("zzz", count);  // cursor past every key
+  EXPECT_EQ(seen, 0);
+  KvStore empty;
+  empty.scan_from("", count);  // empty store, empty cursor
+  empty.scan_from("a", count);
+  EXPECT_EQ(seen, 0);
+}
+
+TEST(KvStore, ScanFromEarlyStop) {
+  KvStore kv;
+  for (const char* k : {"a", "b", "c", "d"}) kv.write(k, as_view("v"));
+  int seen = 0;
+  kv.scan_from("a", [&](std::string_view, const Timestamp&) {
+    return ++seen < 2;
+  });
+  EXPECT_EQ(seen, 2);
+}
+
 TEST(KvStore, ValuesLiveInHostMemoryKeysInEnclave) {
   KvStore kv;
   const Bytes big(100000, 'x');

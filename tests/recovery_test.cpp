@@ -510,6 +510,122 @@ TEST(Rejoin, CurrentSnapshotWarmStart) {
   EXPECT_TRUE(cluster.node(1).kv().contains("post-crash"));
 }
 
+// Corrupt sealed snapshot (bad MAC): NOT fatal. The restore failure pins the
+// snapshot_corrupt stat and the rejoin degrades to a cold catch-up — a host
+// that damages the blob costs bandwidth, never availability.
+TEST(Rejoin, CorruptSnapshotDegradesToColdRejoin) {
+  typename Cluster<protocols::AbdNode>::Config config;
+  config.with_cas = true;
+  config.heartbeat_period = 10 * sim::kMillisecond;
+  Cluster<protocols::AbdNode> cluster(config);
+  cluster.build();
+  auto& client = cluster.add_client();
+  ASSERT_TRUE(cluster.put(client, NodeId{1}, "k", "v1").ok);
+
+  auto blob = cluster.node(1).seal_snapshot();
+  ASSERT_TRUE(blob.is_ok());
+  Bytes corrupt = std::move(blob).take();
+  corrupt[corrupt.size() / 2] ^= 0x01;  // host bit-rot in the sealed body
+
+  cluster.crash(1);
+  cluster.run_for(200 * sim::kMillisecond);
+  ASSERT_TRUE(cluster.put(client, NodeId{1}, "k", "v3").ok);
+
+  RejoinOptions options;
+  options.sealed_snapshot = std::move(corrupt);
+  auto report = cluster.rejoin(1, NodeId{1}, options);
+  ASSERT_TRUE(report.is_ok()) << report.status().message();
+  EXPECT_TRUE(report.value().snapshot_corrupt);
+  EXPECT_FALSE(report.value().snapshot_rolled_back);
+  EXPECT_EQ(report.value().snapshot_entries, 0u);
+  EXPECT_TRUE(report.value().promoted);
+  EXPECT_EQ(cluster.node(1).snapshot_corrupt(), 1u);
+
+  auto got = cluster.node(1).kv().get("k");
+  ASSERT_TRUE(got.is_ok());
+  EXPECT_EQ(to_string(as_view(got.value().value)), "v3")
+      << "the live stream must rebuild past the damaged snapshot";
+}
+
+// --- Sealed group-commit WAL: cheap restart ----------------------------------
+
+// The acceptance bar for the cheap-restart path: a CLEAN shutdown followed by
+// a warm restart replays the sealed WAL locally and resumes ACTIVE with ZERO
+// CAS round trips and ZERO peer state-stream entries.
+TEST(Rejoin, CleanShutdownWarmRestartSkipsCasAndPeerStream) {
+  typename Cluster<protocols::AbdNode>::Config config;
+  config.with_cas = true;
+  config.durable_wal = true;
+  config.heartbeat_period = 10 * sim::kMillisecond;
+  Cluster<protocols::AbdNode> cluster(config);
+  cluster.build();
+  auto& client = cluster.add_client();
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(cluster.put(client, NodeId{1}, "key" + std::to_string(i),
+                            "v" + std::to_string(i))
+                    .ok);
+  }
+
+  ASSERT_TRUE(cluster.shutdown_clean(1).is_ok());
+  cluster.run_for(100 * sim::kMillisecond);
+
+  const std::uint64_t attestations = cluster.cas().attestations_served();
+  auto report = cluster.rejoin(1, NodeId{1});
+  ASSERT_TRUE(report.is_ok()) << report.status().message();
+  EXPECT_TRUE(report.value().warm_restart);
+  EXPECT_TRUE(report.value().promoted);
+  EXPECT_EQ(report.value().streamed_entries, 0u)
+      << "a warm restart must not stream from peers";
+  EXPECT_GE(report.value().wal_entries, 10u);
+  EXPECT_EQ(cluster.cas().attestations_served(), attestations)
+      << "a warm restart must not take a CAS round trip";
+
+  cluster.run_for(100 * sim::kMillisecond);
+  EXPECT_TRUE(cluster.node(1).active());
+  for (int i = 0; i < 10; ++i) {
+    auto got = cluster.node(1).kv().get("key" + std::to_string(i));
+    ASSERT_TRUE(got.is_ok()) << "key" << i;
+    EXPECT_EQ(to_string(as_view(got.value().value)), "v" + std::to_string(i));
+  }
+  // The revived replica participates in fresh traffic without any peer
+  // channel reset: its restored send counters were fast-forwarded past the
+  // persisted stride (B.1), so every peer's replay window accepts them.
+  ASSERT_TRUE(cluster.put(client, NodeId{2}, "post-restart", "pv").ok);
+  cluster.run_for(sim::kSecond);
+  EXPECT_TRUE(cluster.node(1).kv().contains("post-restart"));
+}
+
+// A hard crash leaves no clean marker: the SAME node with the SAME WAL must
+// take the full attested rejoin (CAS round trip + peer stream).
+TEST(Rejoin, CrashWithWalStillTakesFullAttestedRejoin) {
+  typename Cluster<protocols::AbdNode>::Config config;
+  config.with_cas = true;
+  config.durable_wal = true;
+  config.heartbeat_period = 10 * sim::kMillisecond;
+  Cluster<protocols::AbdNode> cluster(config);
+  cluster.build();
+  auto& client = cluster.add_client();
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(cluster.put(client, NodeId{1}, "key" + std::to_string(i),
+                            "v" + std::to_string(i))
+                    .ok);
+  }
+
+  cluster.crash(1);  // machine failure: no marker sealed
+  cluster.run_for(200 * sim::kMillisecond);
+  ASSERT_TRUE(cluster.put(client, NodeId{1}, "post-crash", "pv").ok);
+
+  const std::uint64_t attestations = cluster.cas().attestations_served();
+  auto report = cluster.rejoin(1, NodeId{1});
+  ASSERT_TRUE(report.is_ok()) << report.status().message();
+  EXPECT_FALSE(report.value().warm_restart);
+  EXPECT_TRUE(report.value().promoted);
+  EXPECT_GT(report.value().streamed_entries, 0u);
+  EXPECT_EQ(cluster.cas().attestations_served(), attestations + 1)
+      << "a crash must re-attest";
+  EXPECT_TRUE(cluster.node(1).kv().contains("post-crash"));
+}
+
 // --- Cluster layer: shard-replica replacement --------------------------------
 
 TEST(ClusterRecovery, ShardReplicaReplacement) {

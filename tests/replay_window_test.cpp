@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <map>
 #include <random>
 #include <vector>
@@ -13,18 +14,23 @@
 namespace recipe {
 namespace {
 
-// Verbatim reimplementation of the pre-refactor window-mode logic from
-// RecipeSecurity::verify (map + GC loop).
+// Reimplementation of the pre-refactor window-mode logic from
+// RecipeSecurity::verify (map + GC loop), with the staleness comparisons in
+// subtraction form: the historical `cnt + window_ <= max_seen_` wraps for
+// counters near UINT64_MAX, and the model must not pin that bug into the
+// equivalence test.
 class MapWindowModel {
  public:
   explicit MapWindowModel(std::size_t window) : window_(window) {}
 
   ReplayWindow::Verdict check_and_set(Counter cnt) {
-    if (cnt + window_ <= max_seen_) return ReplayWindow::Verdict::kStale;
+    if (cnt <= max_seen_ && max_seen_ - cnt >= window_) {
+      return ReplayWindow::Verdict::kStale;
+    }
     if (seen_.contains(cnt)) return ReplayWindow::Verdict::kDuplicate;
     seen_.emplace(cnt, true);
     if (cnt > max_seen_) max_seen_ = cnt;
-    while (!seen_.empty() && seen_.begin()->first + window_ <= max_seen_) {
+    while (!seen_.empty() && max_seen_ - seen_.begin()->first >= window_) {
       seen_.erase(seen_.begin());
     }
     return ReplayWindow::Verdict::kAccept;
@@ -97,6 +103,55 @@ TEST(ReplayWindow, LargeJumpsClearStaleState) {
     for (int i = 0; i < 50; ++i) stream.push_back(base - rng() % 40);
   }
   run_stream(stream, 256);
+}
+
+TEST(ReplayWindow, NearWrapCountersAreNotMisclassified) {
+  // Regression for the additive staleness check `cnt + window <= max_seen`:
+  // once any counter has been seen, a counter near UINT64_MAX makes the sum
+  // wrap to a tiny value and a FRESH far-forward jump is rejected as stale.
+  const Counter top = std::numeric_limits<Counter>::max();
+  ReplayWindow ring(64);
+  EXPECT_EQ(ring.check_and_set(100), ReplayWindow::Verdict::kAccept);
+  // top-2 + 64 wraps to 61 <= 100: the buggy form said kStale here.
+  EXPECT_EQ(ring.check_and_set(top - 2), ReplayWindow::Verdict::kAccept);
+  EXPECT_EQ(ring.check_and_set(top - 2), ReplayWindow::Verdict::kDuplicate);
+  EXPECT_EQ(ring.check_and_set(top), ReplayWindow::Verdict::kAccept);
+  EXPECT_EQ(ring.check_and_set(top - 1), ReplayWindow::Verdict::kAccept);
+  // Genuinely below the window: top - 100 is 98 under max_seen = top.
+  EXPECT_EQ(ring.check_and_set(top - 100), ReplayWindow::Verdict::kStale);
+  // And the boundary itself: exactly window-distance below is stale, one
+  // inside is accepted.
+  EXPECT_EQ(ring.check_and_set(top - 64), ReplayWindow::Verdict::kStale);
+  EXPECT_EQ(ring.check_and_set(top - 63), ReplayWindow::Verdict::kAccept);
+}
+
+TEST(ReplayWindow, RandomizedNearWrapStreams) {
+  // The map-equivalence harness seeded with counters crowding UINT64_MAX:
+  // shuffled fresh ranges, duplicates, deep-stale values and the occasional
+  // small (pre-jump) counter, across window sizes.
+  const Counter top = std::numeric_limits<Counter>::max();
+  std::mt19937_64 rng(777);
+  for (const std::size_t window : {1u, 2u, 64u, 65u, 1000u, 4096u}) {
+    std::vector<Counter> stream;
+    // Start low so max_seen is small when the first near-wrap counter lands.
+    for (Counter c = 1; c <= 50; ++c) stream.push_back(c);
+    Counter base = top - 5000;
+    for (int batch = 0; batch < 25; ++batch) {
+      std::vector<Counter> fresh;
+      for (Counter c = base; c < base + 150; ++c) fresh.push_back(c);
+      base += 150;
+      for (int i = 0; i < 40; ++i) {
+        // Duplicates / stale counters anywhere in the near-wrap history,
+        // plus a few tiny pre-jump counters.
+        fresh.push_back(i % 8 == 0 ? 1 + rng() % 50
+                                   : top - 5000 + rng() % 5000);
+      }
+      std::shuffle(fresh.begin(), fresh.end(), rng);
+      stream.insert(stream.end(), fresh.begin(), fresh.end());
+    }
+    stream.push_back(top);  // land exactly on the maximum
+    run_stream(stream, window);
+  }
 }
 
 TEST(ReplayWindow, CounterZeroAndWindowEdges) {

@@ -5,6 +5,7 @@
 // stays linearizable: every read returns the latest completed write.
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <map>
 #include <set>
 #include <string>
@@ -256,6 +257,115 @@ TEST(TcpClusterTest, PermanentlyCrashedClusterFailsBounded) {
   // Budget: 2 re-routes x (2 retransmits x ~100-200ms growing timeouts +
   // backoffs) plus coordinator re-resolution — generously under 5s.
   EXPECT_LT(elapsed, std::chrono::seconds(5));
+}
+
+// Sealed WAL on real files: a clean shutdown followed by rejoin() takes the
+// cheap-restart path — no re-provisioning, no peer channel resets, no state
+// stream — and every committed entry survives on disk. No failure detector
+// (heartbeat_period = 0): the peers never even notice the absence, exactly
+// the planned-maintenance restart the WAL is for.
+TEST(TcpClusterTest, FileBackedWarmRestartOverTcp) {
+  TcpClusterOptions options;
+  options.protocol = "cr";
+  options.secured = true;
+  options.batch = small_batches();
+  options.durable_wal = true;
+  options.wal_dir = "wal_dumps/warm_tcp";
+  std::filesystem::remove_all(options.wal_dir);  // hermetic across runs
+  TcpCluster cluster(options);
+  KvClient& client = cluster.add_client(2800);
+
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(cluster.put(client, "key" + std::to_string(i),
+                            "v" + std::to_string(i))
+                    .ok);
+  }
+  ASSERT_TRUE(cluster.shutdown_clean(2).is_ok());  // the CR tail
+
+  bool warm = false;
+  const Status rejoined = cluster.rejoin(2, cluster.membership()[1],
+                                         30 * sim::kSecond, &warm);
+  ASSERT_TRUE(rejoined.is_ok()) << rejoined.message();
+  EXPECT_TRUE(warm) << "clean shutdown + intact WAL must warm-restart";
+
+  bool active = false;
+  std::size_t restored = 0;
+  cluster.run_on(2, [&] {
+    active = cluster.node(2).active();
+    restored = cluster.node(2).kv().size();
+  });
+  EXPECT_TRUE(active);
+  EXPECT_GE(restored, 12u);
+
+  // The revived tail serves fresh traffic without any channel resets: its
+  // restored send counters were fast-forwarded past the persisted stride.
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(cluster.put(client, "post" + std::to_string(i), "pv").ok);
+  }
+  const ClientReply get = cluster.get(client, "key0");
+  ASSERT_TRUE(get.ok && get.found);
+  EXPECT_EQ(to_string(as_view(get.value)), "v0");
+}
+
+// Crash (no clean marker): the same file-backed node must refuse the warm
+// path and take the full shadow rejoin.
+TEST(TcpClusterTest, FileBackedCrashStillTakesColdRejoin) {
+  TcpClusterOptions options;
+  options.protocol = "cr";
+  options.secured = true;
+  options.batch = small_batches();
+  options.heartbeat_period = 20 * sim::kMillisecond;
+  options.suspect_timeout = 100 * sim::kMillisecond;
+  options.durable_wal = true;
+  options.wal_dir = "wal_dumps/cold_tcp";
+  std::filesystem::remove_all(options.wal_dir);
+  TcpCluster cluster(options);
+  KvClient& client = cluster.add_client(2850);
+
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(cluster.put(client, "key" + std::to_string(i), "v").ok);
+  }
+  cluster.crash(2);
+  int succeeded = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (cluster.put(client, "post" + std::to_string(i), "v").ok) ++succeeded;
+  }
+  EXPECT_GT(succeeded, 0);
+
+  bool warm = true;
+  const Status rejoined = cluster.rejoin(2, cluster.membership()[1],
+                                         30 * sim::kSecond, &warm);
+  ASSERT_TRUE(rejoined.is_ok()) << rejoined.message();
+  EXPECT_FALSE(warm) << "a crash leaves no marker: cold rejoin required";
+}
+
+// Regression (TSan/ASan): abandoning a rejoin mid-flight (max_wait far below
+// the catch-up time) and immediately destroying the cluster must not let any
+// node-capturing callback — the promotion poll, or a late catch-up
+// completion re-arming it — fire into freed memory.
+TEST(TcpClusterTest, TeardownDuringAbandonedRejoinIsSafe) {
+  TcpClusterOptions options;
+  options.protocol = "raft";
+  options.secured = true;
+  options.batch = small_batches();
+  options.heartbeat_period = 20 * sim::kMillisecond;
+  options.suspect_timeout = 100 * sim::kMillisecond;
+  TcpCluster cluster(options);
+  KvClient& client = cluster.add_client(2900);
+
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(cluster.put(client, "k" + std::to_string(i), "v").ok);
+  }
+  cluster.crash(1);  // a follower
+  for (int i = 0; i < 6; ++i) {
+    cluster.put(client, "post" + std::to_string(i), "v");  // best effort
+  }
+
+  const Status rejoined = cluster.rejoin(1, cluster.membership()[0],
+                                         /*max_wait=*/2 * sim::kMillisecond);
+  EXPECT_FALSE(rejoined.is_ok());
+  // Scope exit tears the whole cluster down RIGHT NOW: any timer the
+  // abandoned rejoin left armed would fire into destroyed nodes.
 }
 
 }  // namespace

@@ -1,0 +1,340 @@
+// Sealed group-commit WAL: record codec, group commit, rotation, compaction,
+// replay idempotence, Byzantine-host tampering, the rollback-pinned clean
+// marker and the B.1 counter vault.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "crypto/chacha20.h"
+#include "kvstore/kvstore.h"
+#include "kvstore/wal.h"
+
+namespace recipe::kv {
+namespace {
+
+const crypto::SymmetricKey kSealKey{Bytes(32, 0xAB)};
+const crypto::SymmetricKey kOtherKey{Bytes(32, 0xCD)};
+
+Timestamp ts(std::uint64_t counter, std::uint64_t node = 1) {
+  return Timestamp{counter, node};
+}
+
+TEST(Wal, CommitSealsOneRecordPerGroup) {
+  MemWalStorage storage;
+  Wal wal(storage, kSealKey, /*boot_epoch=*/1);
+
+  EXPECT_EQ(wal.pending_entries(), 0u);
+  wal.append("a", as_view("1"), ts(1));
+  wal.append("b", as_view("2"), ts(2));
+  EXPECT_EQ(wal.pending_entries(), 2u);
+
+  auto committed = wal.commit();
+  ASSERT_TRUE(committed.is_ok());
+  EXPECT_EQ(committed.value(), 2u);
+  EXPECT_EQ(wal.pending_entries(), 0u);
+  EXPECT_EQ(wal.records_committed(), 1u);
+  EXPECT_EQ(wal.entries_committed(), 2u);
+
+  // An empty commit is a no-op: no record, no storage write.
+  auto empty = wal.commit();
+  ASSERT_TRUE(empty.is_ok());
+  EXPECT_EQ(empty.value(), 0u);
+  EXPECT_EQ(wal.records_committed(), 1u);
+}
+
+TEST(Wal, ReplayRestoresEntriesWithTimestamps) {
+  MemWalStorage storage;
+  Wal wal(storage, kSealKey, 1);
+  wal.append("a", as_view("1"), ts(1));
+  wal.append("b", as_view("2"), ts(2));
+  ASSERT_TRUE(wal.commit().is_ok());
+  wal.append("a", as_view("3"), ts(3));  // second group overwrites
+  ASSERT_TRUE(wal.commit().is_ok());
+
+  KvStore kv;
+  auto replay = wal.replay(kv, /*snapshot_version=*/0);
+  ASSERT_TRUE(replay.is_ok());
+  EXPECT_EQ(replay.value().records, 2u);
+  EXPECT_EQ(replay.value().log_entries, 3u);
+  EXPECT_EQ(replay.value().snapshot_entries, 0u);
+  EXPECT_EQ(to_string(as_view(kv.get("a").value().value)), "3");
+  EXPECT_EQ(to_string(as_view(kv.get("b").value().value)), "2");
+  EXPECT_EQ(kv.timestamp("a").value(), ts(3));
+}
+
+// Satellite: replay idempotence. Entries admit through would_advance, so a
+// second replay over already-restored state installs exactly ZERO entries.
+TEST(Wal, ReplayIsIdempotent) {
+  MemWalStorage storage;
+  Wal wal(storage, kSealKey, 1);
+  for (int i = 0; i < 50; ++i) {
+    wal.append("key" + std::to_string(i % 10), as_view("v"),
+               ts(static_cast<std::uint64_t>(i + 1)));
+    if (i % 7 == 0) {
+      ASSERT_TRUE(wal.commit().is_ok());
+    }
+  }
+  ASSERT_TRUE(wal.commit().is_ok());
+
+  KvStore kv;
+  auto first = wal.replay(kv, 0);
+  ASSERT_TRUE(first.is_ok());
+  EXPECT_GT(first.value().log_entries, 0u);
+  const std::size_t size_after_first = kv.size();
+
+  auto second = wal.replay(kv, 0);
+  ASSERT_TRUE(second.is_ok());
+  EXPECT_EQ(second.value().log_entries, 0u) << "second replay must install "
+                                               "nothing: every entry is "
+                                               "already present at its ts";
+  EXPECT_EQ(kv.size(), size_after_first);
+  // The raw record stream is re-verified in full both times.
+  EXPECT_EQ(second.value().records, first.value().records);
+}
+
+TEST(Wal, SegmentsRotateAtSizeThreshold) {
+  MemWalStorage storage;
+  WalOptions options;
+  options.segment_bytes = 256;  // tiny: a few records per segment
+  Wal wal(storage, kSealKey, 1, options);
+
+  for (int i = 0; i < 20; ++i) {
+    wal.append("key" + std::to_string(i), as_view("some-payload-bytes"),
+               ts(static_cast<std::uint64_t>(i + 1)));
+    ASSERT_TRUE(wal.commit().is_ok());
+  }
+  EXPECT_GT(wal.segments_rotated(), 0u);
+  EXPECT_GT(storage.list_segments().size(), 1u);
+
+  KvStore kv;
+  auto replay = wal.replay(kv, 0);
+  ASSERT_TRUE(replay.is_ok());
+  EXPECT_EQ(kv.size(), 20u);
+  EXPECT_EQ(replay.value().segments, storage.list_segments().size());
+}
+
+TEST(Wal, CompactionFoldsSealedSegmentsIntoSnapshot) {
+  MemWalStorage storage;
+  WalOptions options;
+  options.segment_bytes = 128;
+  options.compact_segments = 3;
+  Wal wal(storage, kSealKey, 1, options);
+
+  KvStore kv;  // the live store the log mirrors
+  std::uint64_t c = 0;
+  while (!wal.should_compact()) {
+    const std::string key = "key" + std::to_string(c % 16);
+    ASSERT_TRUE(kv.write(key, as_view("payload-payload"), ts(++c)));
+    wal.append(key, as_view("payload-payload"), ts(c));
+    ASSERT_TRUE(wal.commit().is_ok());
+    ASSERT_LT(c, 10000u) << "compaction threshold never reached";
+  }
+  ASSERT_TRUE(wal.compact(kv, /*version=*/7).is_ok());
+  EXPECT_EQ(wal.compacted_version(), 7u);
+  EXPECT_EQ(wal.compactions(), 1u);
+  // Every sealed segment was deleted; only the open one may remain.
+  for (std::uint64_t id : storage.list_segments()) {
+    EXPECT_EQ(id, wal.open_segment());
+  }
+
+  // Post-compaction writes land in the log; replay = snapshot + tail.
+  ASSERT_TRUE(kv.write("after", as_view("x"), ts(++c)));
+  wal.append("after", as_view("x"), ts(c));
+  ASSERT_TRUE(wal.commit().is_ok());
+
+  KvStore restored;
+  auto replay = wal.replay(restored, /*snapshot_version=*/7);
+  ASSERT_TRUE(replay.is_ok());
+  EXPECT_GT(replay.value().snapshot_entries, 0u);
+  EXPECT_EQ(replay.value().log_entries, 1u);
+  EXPECT_EQ(restored.size(), kv.size());
+  EXPECT_EQ(to_string(as_view(restored.get("after").value().value)), "x");
+}
+
+TEST(Wal, TamperedRecordFailsReplay) {
+  MemWalStorage storage;
+  Wal wal(storage, kSealKey, 1);
+  wal.append("a", as_view("secret-value"), ts(1));
+  ASSERT_TRUE(wal.commit().is_ok());
+
+  Bytes* segment = storage.mutable_segment(wal.open_segment());
+  ASSERT_NE(segment, nullptr);
+  (*segment)[segment->size() / 2] ^= 0x01;  // single bit flip
+
+  KvStore kv;
+  auto replay = wal.replay(kv, 0);
+  ASSERT_FALSE(replay.is_ok());
+  EXPECT_EQ(replay.status().code(), ErrorCode::kAuthFailed);
+  EXPECT_EQ(kv.size(), 0u);
+}
+
+TEST(Wal, TornTailWriteFailsReplay) {
+  MemWalStorage storage;
+  Wal wal(storage, kSealKey, 1);
+  wal.append("a", as_view("1"), ts(1));
+  ASSERT_TRUE(wal.commit().is_ok());
+  wal.append("b", as_view("2"), ts(2));
+  ASSERT_TRUE(wal.commit().is_ok());
+
+  // Crash mid-append: the tail record is cut short.
+  Bytes* segment = storage.mutable_segment(wal.open_segment());
+  ASSERT_NE(segment, nullptr);
+  segment->resize(segment->size() - 5);
+
+  KvStore kv;
+  auto replay = wal.replay(kv, 0);
+  ASSERT_FALSE(replay.is_ok());
+  EXPECT_EQ(replay.status().code(), ErrorCode::kAuthFailed);
+}
+
+TEST(Wal, RecordMovedToAnotherSegmentFailsReplay) {
+  // A record's MAC binds (segment id, record index): a host shuffling
+  // authentic records between segments (or duplicating one) must fail
+  // replay, not silently reorder history.
+  MemWalStorage storage;
+  WalOptions options;
+  options.segment_bytes = 1;  // every commit rotates: one record per segment
+  Wal wal(storage, kSealKey, 1, options);
+  wal.append("a", as_view("1"), ts(1));
+  ASSERT_TRUE(wal.commit().is_ok());
+  wal.append("b", as_view("2"), ts(2));
+  ASSERT_TRUE(wal.commit().is_ok());
+
+  auto segments = storage.list_segments();
+  ASSERT_GE(segments.size(), 2u);
+  Bytes first = *storage.mutable_segment(segments[0]);
+  *storage.mutable_segment(segments[1]) = first;  // replay segment 0's record
+
+  KvStore kv;
+  auto replay = wal.replay(kv, 0);
+  ASSERT_FALSE(replay.is_ok());
+  EXPECT_EQ(replay.status().code(), ErrorCode::kAuthFailed);
+}
+
+TEST(Wal, RecordKeyIsBoundToSealingKey) {
+  MemWalStorage storage;
+  Wal wal(storage, kSealKey, 1);
+  wal.append("a", as_view("1"), ts(1));
+  ASSERT_TRUE(wal.commit().is_ok());
+
+  Wal other(storage, kOtherKey, 1);
+  KvStore kv;
+  auto replay = other.replay(kv, 0);
+  ASSERT_FALSE(replay.is_ok());
+  EXPECT_EQ(replay.status().code(), ErrorCode::kAuthFailed);
+}
+
+TEST(Wal, BootEpochKeepsSegmentIdsDisjointAcrossRestarts) {
+  // The host rolled the directory back? Doesn't matter: each open reserves
+  // a FRESH boot epoch from the hardware counter, so the new instance never
+  // appends under a (segment id, record index) any previous life used —
+  // record nonces cannot repeat.
+  MemWalStorage storage;
+  Wal first(storage, kSealKey, /*boot_epoch=*/3);
+  const std::uint64_t first_open = first.open_segment();
+  Wal second(storage, kSealKey, /*boot_epoch=*/4);
+  EXPECT_GT(second.open_segment(), first_open);
+
+  first.append("a", as_view("1"), ts(1));
+  ASSERT_TRUE(first.commit().is_ok());
+  second.append("b", as_view("2"), ts(2));
+  ASSERT_TRUE(second.commit().is_ok());
+
+  // Both lives' segments coexist and replay in order.
+  KvStore kv;
+  auto replay = second.replay(kv, 0);
+  ASSERT_TRUE(replay.is_ok());
+  EXPECT_EQ(kv.size(), 2u);
+}
+
+TEST(Wal, CleanMarkerRoundtripAndRollbackPin) {
+  MemWalStorage storage;
+  Wal wal(storage, kSealKey, 1);
+  const Bytes state = to_bytes("opaque-sealed-enclave-state");
+  ASSERT_TRUE(wal.write_clean_marker(/*marker_version=*/9, state).is_ok());
+
+  auto marker = wal.read_clean_marker(/*expected_version=*/9);
+  ASSERT_TRUE(marker.is_ok());
+  EXPECT_EQ(marker.value().marker_version, 9u);
+  EXPECT_EQ(marker.value().snapshot_version, 0u);
+  EXPECT_EQ(marker.value().enclave_state, state);
+
+  // The hardware counter moved on (a later incarnation advanced it): the
+  // same marker is now a rollback artifact and must be rejected.
+  auto stale = wal.read_clean_marker(10);
+  ASSERT_FALSE(stale.is_ok());
+  EXPECT_EQ(stale.status().code(), ErrorCode::kRollback);
+
+  // Tampering with any marker field breaks the meta-key MAC.
+  Bytes* blob = storage.mutable_blob("wal-marker");
+  ASSERT_NE(blob, nullptr);
+  (*blob)[4] ^= 0x01;  // flip a bit of marker_version
+  auto forged = wal.read_clean_marker(9);
+  ASSERT_FALSE(forged.is_ok());
+  EXPECT_EQ(forged.status().code(), ErrorCode::kAuthFailed);
+
+  wal.clear_clean_marker();
+  EXPECT_EQ(storage.mutable_blob("wal-marker"), nullptr);
+}
+
+TEST(Wal, MissingMarkerIsACrash) {
+  MemWalStorage storage;
+  Wal wal(storage, kSealKey, 1);
+  auto marker = wal.read_clean_marker(1);
+  ASSERT_FALSE(marker.is_ok());
+  EXPECT_EQ(marker.status().code(), ErrorCode::kNotFound);
+}
+
+TEST(CounterVault, PersistsOncePerStride) {
+  MemWalStorage storage;
+  CounterVault vault(storage, kSealKey, /*stride=*/100);
+  const ChannelId cq{42};
+
+  // First allocation crosses the (empty) horizon: one write, horizon 101.
+  vault.note(cq, 1);
+  EXPECT_EQ(vault.writes(), 1u);
+  for (Counter c = 2; c <= 100; ++c) vault.note(cq, c);
+  EXPECT_EQ(vault.writes(), 1u) << "within the stride: no I/O";
+  vault.note(cq, 101);  // horizon crossed: persist 201
+  EXPECT_EQ(vault.writes(), 2u);
+
+  auto horizons = vault.load();
+  ASSERT_TRUE(horizons.contains(cq));
+  EXPECT_EQ(horizons[cq], 201u);
+  // The persisted horizon always clears every allocated value: flooring a
+  // restarted counter at it can never reuse a nonce.
+  EXPECT_GT(horizons[cq], 101u);
+}
+
+TEST(CounterVault, HorizonsSurviveReconstruction) {
+  MemWalStorage storage;
+  {
+    CounterVault vault(storage, kSealKey, 100);
+    vault.note(ChannelId{1}, 1);
+    vault.note(ChannelId{2}, 250);
+  }
+  CounterVault reopened(storage, kSealKey, 100);
+  auto horizons = reopened.load();
+  EXPECT_EQ(horizons[ChannelId{1}], 101u);
+  EXPECT_EQ(horizons[ChannelId{2}], 350u);
+  // Reopened vault continues from the persisted horizons: values under them
+  // cause no writes.
+  reopened.note(ChannelId{1}, 50);
+  EXPECT_EQ(reopened.writes(), 0u);
+}
+
+TEST(CounterVault, TamperedVaultLoadsEmpty) {
+  MemWalStorage storage;
+  CounterVault vault(storage, kSealKey, 100);
+  vault.note(ChannelId{1}, 1);
+  Bytes* blob = storage.mutable_blob("wal-vault");
+  ASSERT_NE(blob, nullptr);
+  (*blob)[blob->size() / 2] ^= 0x01;
+  // Losing the vault only loses the FAST-FORWARD floor (the marker's exact
+  // counters still apply); it must never fabricate horizons.
+  EXPECT_TRUE(vault.load().empty());
+}
+
+}  // namespace
+}  // namespace recipe::kv
