@@ -1,5 +1,8 @@
 #include "kvstore/wal.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
@@ -140,11 +143,24 @@ Status write_file(const std::string& path, BytesView data, const char* mode) {
     return Status::error(ErrorCode::kInternal, "cannot open " + path);
   }
   const std::size_t n = std::fwrite(data.data(), 1, data.size(), f);
+  // The WAL's whole contract is that acknowledged bytes survive power loss:
+  // a buffered append that dies in the page cache would let an HONEST crash
+  // produce the same silently-shortened log a malicious truncation does.
+  const bool synced = std::fflush(f) == 0 && ::fsync(::fileno(f)) == 0;
   std::fclose(f);
-  if (n != data.size()) {
+  if (n != data.size() || !synced) {
     return Status::error(ErrorCode::kInternal, "short write to " + path);
   }
   return Status::ok();
+}
+
+// Durability of creates/renames needs the DIRECTORY entry synced too.
+void fsync_dir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd >= 0) {
+    (void)::fsync(fd);
+    (void)::close(fd);
+  }
 }
 
 Result<Bytes> read_file(const std::string& path) {
@@ -166,7 +182,12 @@ Result<Bytes> read_file(const std::string& path) {
 
 Status FileWalStorage::append_segment(std::uint64_t id, BytesView record) {
   std::lock_guard<std::mutex> lock(mu_);
-  return write_file(segment_path(id), record, "ab");
+  const std::string path = segment_path(id);
+  std::error_code ec;
+  const bool fresh = !std::filesystem::exists(path, ec);
+  if (auto s = write_file(path, record, "ab"); !s.is_ok()) return s;
+  if (fresh) fsync_dir(dir_);  // the first append also creates the file
+  return Status::ok();
 }
 
 Result<Bytes> FileWalStorage::read_segment(std::uint64_t id) const {
@@ -190,6 +211,9 @@ Status FileWalStorage::put_blob(const std::string& name, BytesView data) {
   std::error_code ec;
   std::filesystem::rename(tmp, path, ec);
   if (ec) return Status::error(ErrorCode::kInternal, "rename " + path);
+  // Without this the rename itself can evaporate in a power loss, leaving a
+  // clean marker that postdates the log (or vice versa).
+  fsync_dir(dir_);
   return Status::ok();
 }
 
@@ -215,10 +239,46 @@ Wal::Wal(WalStorage& storage, const crypto::SymmetricKey& sealing_key,
       meta_key_(derive_subkey(sealing_key, "wal-meta")),
       options_(options),
       boot_epoch_(boot_epoch),
-      segment_id_(make_segment_id(0)) {}
+      segment_id_(make_segment_id(0)) {
+  options_.max_segment_seq = std::min<std::uint32_t>(
+      options_.max_segment_seq, (1u << kSegmentSeqBits) - 1);
+  scan_existing_segments();
+}
 
 std::uint64_t Wal::make_segment_id(std::uint32_t seq) const {
   return (boot_epoch_ << kSegmentSeqBits) | seq;
+}
+
+void Wal::scan_existing_segments() {
+  // Prior incarnations' segments stay replayable until compaction folds
+  // them away, so the NEXT clean marker must bind their record counts too.
+  // Structural (length-prefix) parse only — MACs are checked at replay; a
+  // tail this scan cannot parse fails replay structurally regardless of
+  // what count gets bound here.
+  for (const auto seg_id : storage_.list_segments()) {
+    auto data = storage_.read_segment(seg_id);
+    if (!data || data.value().empty()) continue;
+    std::uint32_t records = 0;
+    Reader r(as_view(data.value()));
+    while (!r.exhausted()) {
+      const auto magic = r.u32();
+      const auto rec_seg = r.u64();
+      const auto rec_index = r.u32();
+      const auto count = r.u32();
+      auto body = r.bytes();
+      const auto mac = r.raw(crypto::kMacSize);
+      if (!magic || *magic != kWalRecordMagic || !rec_seg || !rec_index ||
+          !count || !body || !mac) {
+        break;
+      }
+      ++records;
+    }
+    if (records > 0) segment_records_[seg_id] = records;
+  }
+}
+
+SegmentManifest Wal::manifest() const {
+  return SegmentManifest(segment_records_.begin(), segment_records_.end());
 }
 
 void Wal::append(std::string_view key, BytesView value, Timestamp ts) {
@@ -231,6 +291,13 @@ void Wal::append(std::string_view key, BytesView value, Timestamp ts) {
 
 Result<std::size_t> Wal::commit() {
   if (pending_entries_ == 0) return std::size_t{0};
+  if (seq_exhausted_) {
+    // The buffered entries stay pending; the owner must reopen with a fresh
+    // boot epoch (and treat the store as baseline-dirty until compacted).
+    return Status::error(ErrorCode::kUnavailable,
+                         "WAL segment sequence space exhausted; reopen with "
+                         "a fresh boot epoch");
+  }
 
   Bytes body = std::move(pending_).take();
   pending_ = Writer{};
@@ -259,6 +326,7 @@ Result<std::size_t> Wal::commit() {
     return s;
   }
   ++record_index_;
+  ++segment_records_[segment_id_];
   segment_bytes_ += wire.size();
   ++records_committed_;
   entries_committed_ += entries;
@@ -267,6 +335,13 @@ Result<std::size_t> Wal::commit() {
 }
 
 void Wal::rotate() {
+  if (segment_seq_ >= options_.max_segment_seq) {
+    // Never wrap into the epoch bits: a sequence that bled over would
+    // collide with another epoch's segment id and reuse a ChaCha20
+    // (key, nonce) pair under record_key_. Future commits fail hard.
+    seq_exhausted_ = true;
+    return;
+  }
   ++segment_seq_;
   segment_id_ = make_segment_id(segment_seq_);
   record_index_ = 0;
@@ -296,7 +371,10 @@ Status Wal::compact(const KvStore& kv, std::uint64_t version) {
   // too, but the segment is still being written — replaying them after the
   // snapshot is harmless (would_advance admits nothing stale).
   for (const auto id : storage_.list_segments()) {
-    if (id != segment_id_) (void)storage_.remove_segment(id);
+    if (id != segment_id_) {
+      (void)storage_.remove_segment(id);
+      segment_records_.erase(id);
+    }
   }
   return Status::ok();
 }
@@ -309,9 +387,10 @@ std::uint64_t Wal::compacted_version() const {
   return manifest ? manifest.value().version : 0;
 }
 
-Result<WalReplay> Wal::replay(KvStore& kv,
-                              std::uint64_t snapshot_version) const {
+Result<WalReplay> Wal::replay(KvStore& kv, std::uint64_t snapshot_version,
+                              const SegmentManifest* expected) const {
   WalReplay out;
+  std::map<std::uint64_t, std::uint32_t> actual;
   if (snapshot_version != 0) {
     auto blob = storage_.read_blob(kSnapshotBlob);
     if (!blob) return blob.status();
@@ -378,17 +457,41 @@ Result<WalReplay> Wal::replay(KvStore& kv,
         if (kv.write(*key, as_view(*value), ts)) ++out.log_entries;
       }
       ++out.records;
+      ++actual[seg_id];
     }
+  }
+  // Tail binding: every record MAC checks out individually, but only the
+  // marker's manifest proves the log's SHAPE — a last segment truncated at a
+  // record boundary, a deleted trailing segment, or a re-fed stale segment
+  // all leave a perfectly valid prefix. Anything but an exact match is a
+  // host rollback; the caller degrades to the cold attested rejoin.
+  if (expected != nullptr &&
+      !std::equal(expected->begin(), expected->end(), actual.begin(),
+                  actual.end(),
+                  [](const auto& a, const auto& b) {
+                    return a.first == b.first && a.second == b.second;
+                  })) {
+    return Status::error(ErrorCode::kRollback,
+                         "WAL does not match the clean marker's segment "
+                         "manifest (truncated or deleted tail)");
   }
   return out;
 }
 
 Status Wal::write_clean_marker(std::uint64_t marker_version,
                                Bytes enclave_state) {
-  Writer w(enclave_state.size() + 64);
+  Writer w(enclave_state.size() + 12 * segment_records_.size() + 64);
   w.u32(kWalMarkerMagic);
   w.u64(marker_version);
   w.u64(compacted_version());
+  // Bind the exact log tail: without this the marker vouches for a clean
+  // shutdown but not for WHICH log, and a host can truncate at a record
+  // boundary (or drop trailing segments) with every remaining MAC intact.
+  w.u32(static_cast<std::uint32_t>(segment_records_.size()));
+  for (const auto& [seg_id, records] : segment_records_) {
+    w.u64(seg_id);
+    w.u32(records);
+  }
   w.bytes(as_view(enclave_state));
   const crypto::Mac mac =
       crypto::hmac_sha256(meta_key_.view(), as_view(w.buffer()));
@@ -405,10 +508,24 @@ Result<CleanMarker> Wal::read_clean_marker(
   const auto magic = r.u32();
   const auto marker_version = r.u64();
   const auto snapshot_version = r.u64();
+  const auto segment_count = r.u32();
+  if (!magic || *magic != kWalMarkerMagic || !marker_version ||
+      !snapshot_version || !segment_count) {
+    return Status::error(ErrorCode::kAuthFailed, "malformed clean marker");
+  }
+  SegmentManifest segments;
+  segments.reserve(*segment_count);
+  for (std::uint32_t i = 0; i < *segment_count; ++i) {
+    const auto seg_id = r.u64();
+    const auto records = r.u32();
+    if (!seg_id || !records) {
+      return Status::error(ErrorCode::kAuthFailed, "malformed clean marker");
+    }
+    segments.emplace_back(*seg_id, *records);
+  }
   auto enclave_state = r.bytes();
   const auto mac = r.raw(crypto::kMacSize);
-  if (!magic || *magic != kWalMarkerMagic || !marker_version ||
-      !snapshot_version || !enclave_state || !mac || r.remaining() != 0) {
+  if (!enclave_state || !mac || r.remaining() != 0) {
     return Status::error(ErrorCode::kAuthFailed, "malformed clean marker");
   }
   const BytesView macd(sealed.data(), sealed.size() - crypto::kMacSize);
@@ -428,6 +545,7 @@ Result<CleanMarker> Wal::read_clean_marker(
   CleanMarker out;
   out.marker_version = *marker_version;
   out.snapshot_version = *snapshot_version;
+  out.segments = std::move(segments);
   out.enclave_state = std::move(*enclave_state);
   return out;
 }

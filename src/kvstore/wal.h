@@ -38,6 +38,7 @@
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/bytes.h"
@@ -118,6 +119,11 @@ struct WalOptions {
   std::size_t segment_bytes = 256 * 1024;
   // Sealed (rotated-out) segments that trigger background compaction.
   std::size_t compact_segments = 4;
+  // Per-boot-epoch segment sequence ceiling (tests lower it); always clamped
+  // to the 20-bit field the segment-id layout reserves. Hitting it makes
+  // commit() fail hard instead of wrapping into the epoch bits (which would
+  // reuse a ChaCha20 (key, nonce) pair).
+  std::uint32_t max_segment_seq = (1u << 20) - 1;
 };
 
 struct WalReplay {
@@ -127,14 +133,22 @@ struct WalReplay {
   std::size_t segments{0};
 };
 
+// Exact shape of the log: (segment id, record count) for every live segment.
+// Bound into the clean marker so replay can prove the host neither truncated
+// a segment at a record boundary nor deleted whole segments — a MAC check
+// alone cannot see absence.
+using SegmentManifest = std::vector<std::pair<std::uint64_t, std::uint32_t>>;
+
 // The clean-shutdown marker: proof that the previous incarnation shut down
 // gracefully. `marker_version` must equal the hardware rollback counter at
 // restart (anything else is a crash leftover or a re-fed stale marker);
+// `segments` pins the exact log tail the shutdown left behind;
 // `enclave_state` is the enclave's own sealed volatile state (secrets +
 // exact channel counters), opaque to this layer.
 struct CleanMarker {
   std::uint64_t marker_version{0};
   std::uint64_t snapshot_version{0};  // 0 = no compacted snapshot
+  SegmentManifest segments;
   Bytes enclave_state;
 };
 
@@ -176,7 +190,13 @@ class Wal {
   // come from an authenticated clean marker) and all segments in order into
   // `kv`. Entries are admitted through the strict would_advance rule, so
   // replay is idempotent. Fails on any tampered/truncated/reordered record.
-  Result<WalReplay> replay(KvStore& kv, std::uint64_t snapshot_version) const;
+  // With `expected` (the authenticated manifest out of a clean marker) the
+  // storage must hold EXACTLY those segments with exactly those record
+  // counts: a last segment truncated at a record boundary, a deleted
+  // trailing segment, or a re-fed extra segment all fail with kRollback and
+  // the caller degrades to the cold attested rejoin.
+  Result<WalReplay> replay(KvStore& kv, std::uint64_t snapshot_version,
+                           const SegmentManifest* expected = nullptr) const;
 
   // Clean-shutdown marker (HMAC'd, rollback-pinned via marker_version).
   Status write_clean_marker(std::uint64_t marker_version, Bytes enclave_state);
@@ -189,10 +209,17 @@ class Wal {
   std::uint64_t entries_committed() const { return entries_committed_; }
   std::uint64_t segments_rotated() const { return segments_rotated_; }
   std::uint64_t compactions() const { return compactions_; }
+  // True once the per-epoch segment sequence space is exhausted: commit()
+  // fails hard (never bleeding into the epoch bits, which would reuse a
+  // (key, nonce) pair) until the owner reopens with a fresh boot epoch.
+  bool seq_exhausted() const { return seq_exhausted_; }
+  // What this instance would bind into a clean marker right now.
+  SegmentManifest manifest() const;
 
  private:
   std::uint64_t make_segment_id(std::uint32_t seq) const;
   void rotate();
+  void scan_existing_segments();
 
   WalStorage& storage_;
   crypto::SymmetricKey sealing_key_;  // compacted snapshot (snapshot.cpp)
@@ -204,6 +231,11 @@ class Wal {
   std::uint64_t segment_id_{0};
   std::uint32_t record_index_{0};
   std::size_t segment_bytes_{0};
+  bool seq_exhausted_{false};
+  // Record count per live segment (prior incarnations' segments included,
+  // counted structurally at open): the marker binds this so replay can
+  // detect record-boundary truncation and deleted segments.
+  std::map<std::uint64_t, std::uint32_t> segment_records_;
   Writer pending_;
   std::size_t pending_entries_{0};
   std::uint64_t last_compacted_version_{0};

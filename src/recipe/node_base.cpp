@@ -704,7 +704,13 @@ Result<std::size_t> ReplicaNode::restore_snapshot(BytesView sealed) {
 
 void ReplicaNode::reopen_wal() {
   wal_.reset();
-  if (options_.wal_storage == nullptr || options_.enclave == nullptr) return;
+  // Mirror the constructor's gate: an unsecured node must never grow a WAL
+  // on a restart path (warm restart is meaningless without the shielded
+  // channel machinery, and has_wal() feeds the rejoin driver's decision).
+  if (options_.wal_storage == nullptr || !options_.secured ||
+      options_.enclave == nullptr) {
+    return;
+  }
   auto key = options_.enclave->sealing_key();
   auto epoch = options_.enclave->advance_snapshot_version();
   if (!key || !epoch) return;  // crashed enclave: no WAL this incarnation
@@ -716,8 +722,19 @@ void ReplicaNode::wal_group_commit() {
   if (wal_ == nullptr || wal_->pending_entries() == 0) return;
   const std::uint64_t rotated_before = wal_->segments_rotated();
   // Commit failure only costs warm-restart eligibility (the entries are
-  // already applied and replicated); the node keeps serving.
-  (void)wal_->commit();
+  // already applied and replicated); the node keeps serving. But the store
+  // now holds state the log missed, so the baseline is dirty until a
+  // compaction reseals the full store — otherwise a later clean marker
+  // would vouch for a log with a silent hole in it.
+  if (!wal_->commit()) {
+    wal_baseline_dirty_ = true;
+    if (wal_->seq_exhausted()) {
+      // Per-epoch segment sequence space ran out: reopen under a freshly
+      // reserved boot epoch rather than ever wrapping into nonce reuse.
+      reopen_wal();
+    }
+    return;
+  }
   // Compaction piggybacks on rotation: only a commit that sealed a segment
   // can push the sealed-segment count past the threshold, so the (storage
   // enumerating) should_compact() check is skipped on the common path.
@@ -777,7 +794,7 @@ Status ReplicaNode::shutdown_clean() {
 
 Result<ReplicaNode::WarmRestart> ReplicaNode::warm_restart() {
   if (wal_ == nullptr || options_.enclave == nullptr ||
-      !security_->secured()) {
+      security_ == nullptr || !security_->secured()) {
     return Status::error(ErrorCode::kUnavailable, "no WAL configured");
   }
   tee::Enclave& enclave = *options_.enclave;
@@ -805,8 +822,14 @@ Result<ReplicaNode::WarmRestart> ReplicaNode::warm_restart() {
       ++out.counters_restored;
     }
   }
-  // 4. Local replay: compacted snapshot baseline + committed segments.
-  auto replayed = wal_->replay(kv_, marker.value().snapshot_version);
+  // 4. Local replay: compacted snapshot baseline + committed segments. The
+  //    marker's authenticated manifest pins the exact segment set and record
+  //    counts, so a log truncated at a record boundary (every surviving MAC
+  //    intact) or stripped of trailing segments fails here and the caller
+  //    runs the cold attested rejoin instead of resuming rolled-back state.
+  auto replayed =
+      wal_->replay(kv_, marker.value().snapshot_version,
+                   &marker.value().segments);
   if (!replayed) return replayed.status();
   out.snapshot_entries = replayed.value().snapshot_entries;
   out.log_entries = replayed.value().log_entries;

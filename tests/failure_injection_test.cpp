@@ -358,6 +358,55 @@ TEST(FailureInjection, TornWalTailDegradesToColdRejoin) {
   }
 }
 
+// The subtler rollback: the host deletes the NEWEST segment outright (or,
+// equivalently, truncates at an exact record boundary). Every surviving
+// record MAC verifies and per-segment indices stay contiguous, so only the
+// clean marker's authenticated segment manifest can refuse the log. The
+// rejoin must degrade to the full attested sequence and recover the rolled-
+// back writes from the live cluster.
+TEST(FailureInjection, DeletedWalSegmentDegradesToColdRejoin) {
+  typename Cluster<protocols::AbdNode>::Config config;
+  config.with_cas = true;
+  config.durable_wal = true;
+  config.wal.segment_bytes = 512;  // rotate often: several sealed segments
+  config.heartbeat_period = 10 * sim::kMillisecond;
+  Cluster<protocols::AbdNode> cluster(config);
+  cluster.build();
+  auto& client = cluster.add_client();
+
+  std::map<std::string, std::string> acked;
+  for (int i = 0; i < 12; ++i) {
+    const std::string key = "key" + std::to_string(i);
+    const std::string value = "v" + std::to_string(i);
+    ASSERT_TRUE(cluster.put(client, NodeId{1}, key, value).ok) << key;
+    acked[key] = value;
+  }
+  ASSERT_TRUE(cluster.shutdown_clean(1).is_ok());
+  cluster.run_for(100 * sim::kMillisecond);
+
+  auto* storage = cluster.wal_storage(1);
+  ASSERT_NE(storage, nullptr);
+  const auto segments = storage->list_segments();
+  ASSERT_GT(segments.size(), 1u) << "need a trailing segment to roll back";
+  ASSERT_TRUE(storage->remove_segment(segments.back()).is_ok());
+
+  const std::uint64_t attestations = cluster.cas().attestations_served();
+  auto report = cluster.rejoin(1, NodeId{1});
+  ASSERT_TRUE(report.is_ok()) << report.status().message();
+  EXPECT_FALSE(report.value().warm_restart)
+      << "a boundary-rolled-back log must never warm-restart";
+  EXPECT_TRUE(report.value().promoted);
+  EXPECT_GT(report.value().streamed_entries, 0u);
+  EXPECT_EQ(cluster.cas().attestations_served(), attestations + 1);
+
+  cluster.run_for(sim::kSecond);
+  for (const auto& [key, value] : acked) {
+    auto got = cluster.node(1).kv().get(key);
+    ASSERT_TRUE(got.is_ok()) << key;
+    EXPECT_EQ(to_string(as_view(got.value().value)), value) << key;
+  }
+}
+
 // --- Consistent-hash routing (Fig. 2 distributed data-store layer)
 // ---------------
 

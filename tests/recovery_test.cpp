@@ -595,6 +595,36 @@ TEST(Rejoin, CleanShutdownWarmRestartSkipsCasAndPeerStream) {
   EXPECT_TRUE(cluster.node(1).kv().contains("post-restart"));
 }
 
+// An UNSECURED node handed WAL storage must never grow a WAL on any restart
+// path: the warm path is a secured-mode feature (sealed markers, channel
+// counters), and has_wal() feeds the rejoin driver's fast-path decision.
+// start_as_shadow() used to reopen the WAL without checking the mode.
+TEST(Rejoin, UnsecuredNodeWithWalStorageNeverWarmRestarts) {
+  sim::Simulator simulator;
+  net::SimNetwork network(simulator, Rng(7));
+  tee::TeePlatform platform(1);
+  tee::Enclave enclave(platform, "recipe-replica", 1);
+  kv::MemWalStorage wal_storage;
+
+  ReplicaOptions options;
+  options.self = NodeId{1};
+  options.membership = {NodeId{1}, NodeId{2}, NodeId{3}};
+  options.secured = false;
+  options.enclave = &enclave;
+  options.wal_storage = &wal_storage;
+  options.stack = net::NetStackParams::direct_io_native();
+  protocols::AbdNode node(simulator, network, std::move(options));
+  EXPECT_FALSE(node.has_wal());
+
+  node.start();
+  node.stop();
+  node.start_as_shadow();
+  EXPECT_FALSE(node.has_wal());
+  auto warm = node.warm_restart();
+  ASSERT_FALSE(warm.is_ok());
+  EXPECT_EQ(warm.status().code(), ErrorCode::kUnavailable);
+}
+
 // A hard crash leaves no clean marker: the SAME node with the SAME WAL must
 // take the full attested rejoin (CAS round trip + peer stream).
 TEST(Rejoin, CrashWithWalStillTakesFullAttestedRejoin) {

@@ -278,6 +278,127 @@ TEST(Wal, CleanMarkerRoundtripAndRollbackPin) {
   EXPECT_EQ(storage.mutable_blob("wal-marker"), nullptr);
 }
 
+// The marker binds the log's exact shape. A host that truncates the last
+// segment at a RECORD boundary leaves a perfectly valid prefix — every
+// surviving MAC checks out, per-segment indices stay contiguous from 0 — so
+// only the manifest comparison can catch the rollback.
+TEST(Wal, RecordBoundaryTruncationFailsMarkerBoundReplay) {
+  MemWalStorage storage;
+  Wal wal(storage, kSealKey, 1);
+  wal.append("a", as_view("1"), ts(1));
+  ASSERT_TRUE(wal.commit().is_ok());
+  const std::size_t boundary = storage.mutable_segment(wal.open_segment())
+                                   ->size();  // exact end of record 0
+  wal.append("b", as_view("2"), ts(2));
+  ASSERT_TRUE(wal.commit().is_ok());
+  ASSERT_TRUE(wal.write_clean_marker(/*marker_version=*/5, Bytes{}).is_ok());
+  auto marker = wal.read_clean_marker(5);
+  ASSERT_TRUE(marker.is_ok());
+  ASSERT_FALSE(marker.value().segments.empty());
+
+  storage.mutable_segment(wal.open_segment())->resize(boundary);
+
+  // Without the manifest the truncated log replays "cleanly" — which is
+  // exactly the attack: committed write "b" silently rolled back.
+  KvStore fooled;
+  ASSERT_TRUE(wal.replay(fooled, 0).is_ok());
+  EXPECT_FALSE(fooled.contains("b"));
+
+  KvStore kv;
+  auto bound = wal.replay(kv, marker.value().snapshot_version,
+                          &marker.value().segments);
+  ASSERT_FALSE(bound.is_ok());
+  EXPECT_EQ(bound.status().code(), ErrorCode::kRollback);
+}
+
+TEST(Wal, DeletedTrailingSegmentFailsMarkerBoundReplay) {
+  MemWalStorage storage;
+  WalOptions options;
+  options.segment_bytes = 1;  // every commit rotates: one record per segment
+  Wal wal(storage, kSealKey, 1, options);
+  wal.append("a", as_view("1"), ts(1));
+  ASSERT_TRUE(wal.commit().is_ok());
+  wal.append("b", as_view("2"), ts(2));
+  ASSERT_TRUE(wal.commit().is_ok());
+  ASSERT_TRUE(wal.write_clean_marker(/*marker_version=*/5, Bytes{}).is_ok());
+  auto marker = wal.read_clean_marker(5);
+  ASSERT_TRUE(marker.is_ok());
+  EXPECT_EQ(marker.value().segments.size(), 2u);
+
+  // Intact storage replays fine under the manifest.
+  KvStore intact;
+  ASSERT_TRUE(
+      wal.replay(intact, 0, &marker.value().segments).is_ok());
+
+  // Dropping the newest segment entirely is undetectable per-record (the
+  // remaining segments are untouched); the manifest must refuse it.
+  const auto segments = storage.list_segments();
+  ASSERT_TRUE(storage.remove_segment(segments.back()).is_ok());
+  KvStore kv;
+  auto bound = wal.replay(kv, 0, &marker.value().segments);
+  ASSERT_FALSE(bound.is_ok());
+  EXPECT_EQ(bound.status().code(), ErrorCode::kRollback);
+}
+
+// A reopened Wal (fresh boot epoch, same storage) must bind PRIOR lives'
+// segments into its next marker too — the constructor scan, not just the
+// records this instance committed.
+TEST(Wal, ReopenedWalManifestCoversPriorIncarnations) {
+  MemWalStorage storage;
+  {
+    Wal first(storage, kSealKey, /*boot_epoch=*/3);
+    first.append("a", as_view("1"), ts(1));
+    ASSERT_TRUE(first.commit().is_ok());
+  }
+  Wal second(storage, kSealKey, /*boot_epoch=*/4);
+  second.append("b", as_view("2"), ts(2));
+  ASSERT_TRUE(second.commit().is_ok());
+  ASSERT_TRUE(second.write_clean_marker(9, Bytes{}).is_ok());
+  auto marker = second.read_clean_marker(9);
+  ASSERT_TRUE(marker.is_ok());
+  EXPECT_EQ(marker.value().segments.size(), 2u);
+
+  KvStore intact;
+  ASSERT_TRUE(second.replay(intact, 0, &marker.value().segments).is_ok());
+  EXPECT_EQ(intact.size(), 2u);
+
+  // Deleting the FIRST life's segment is just as much a rollback.
+  ASSERT_TRUE(storage.remove_segment(storage.list_segments().front()).is_ok());
+  KvStore kv;
+  auto bound = second.replay(kv, 0, &marker.value().segments);
+  ASSERT_FALSE(bound.is_ok());
+  EXPECT_EQ(bound.status().code(), ErrorCode::kRollback);
+}
+
+// Exhausting the 20-bit per-epoch sequence must fail commit() hard, never
+// wrap into the epoch bits (that would collide segment ids across epochs and
+// reuse a ChaCha20 (key, nonce) pair under the record key).
+TEST(Wal, SequenceExhaustionFailsCommitHard) {
+  MemWalStorage storage;
+  WalOptions options;
+  options.segment_bytes = 1;   // every commit rotates
+  options.max_segment_seq = 2; // test-sized sequence space
+  Wal wal(storage, kSealKey, /*boot_epoch=*/7, options);
+
+  for (int i = 0; i < 3; ++i) {  // seq 0, 1, 2 — the last rotation exhausts
+    wal.append("k" + std::to_string(i), as_view("v"),
+               ts(static_cast<std::uint64_t>(i + 1)));
+    ASSERT_TRUE(wal.commit().is_ok()) << i;
+  }
+  EXPECT_TRUE(wal.seq_exhausted());
+
+  wal.append("overflow", as_view("v"), ts(10));
+  auto failed = wal.commit();
+  ASSERT_FALSE(failed.is_ok());
+  EXPECT_EQ(failed.status().code(), ErrorCode::kUnavailable);
+  EXPECT_EQ(wal.pending_entries(), 1u) << "failed commit keeps the buffer";
+
+  // Everything that reached storage stays inside epoch 7's id space.
+  for (const std::uint64_t id : storage.list_segments()) {
+    EXPECT_EQ(id >> 20, 7u) << "segment id bled into the epoch field";
+  }
+}
+
 TEST(Wal, MissingMarkerIsACrash) {
   MemWalStorage storage;
   Wal wal(storage, kSealKey, 1);
