@@ -13,6 +13,16 @@
 // per-peer RTT EWMA and autotuned flush delay (the `links` arrays) so the
 // pacing loop's behavior is inspectable from the committed artifact.
 //
+// The run also sweeps the SHARDED transport: a raw shielded-echo workload
+// (no replication protocol, so the transport and crypto are the only
+// bottleneck) across shard counts x {shielded, null} x {batched,
+// unbatched}, measuring how aggregate throughput grows as
+// transport::ShardedTcpTransport spreads the same sessions over more
+// event-loop shards. The headline `acceptance_shard_scaling_ok` gates the
+// 8-shard/1-shard shielded speedup against a MACHINE-RELATIVE floor (a
+// 2-core CI box cannot 3x; a 16-core box must not claim success at 1.1x),
+// with the core count recorded in the artifact.
+//
 // Usage: bench_transport [out.json] [ops-per-config] [trials]
 //
 // Loopback throughput on a shared CI box is noisy, so every config runs
@@ -20,15 +30,23 @@
 // committed baseline gates a hard floor on batched_over_unbatched_shielded
 // (ci/check_bench_trajectory.py), and best-of-N is the standard way to
 // measure capability rather than scheduler luck.
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "attest/bundle.h"
 #include "cluster/tcp_cluster.h"
+#include "recipe/message.h"
+#include "recipe/security.h"
+#include "tee/platform.h"
+#include "transport/sharded_tcp_transport.h"
 
 using namespace recipe;
 
@@ -89,7 +107,7 @@ ConfigResult run_trial(bool secured, Pacing pacing, std::size_t total_ops) {
   constexpr std::size_t kPipeline = 64;
   const Bytes value(64, 0x5A);
   const double secs = cluster::drive_closed_loop_puts(
-      cluster.client_transport(), client, coordinator, total_ops, kPipeline,
+      cluster.client_home(0), client, coordinator, total_ops, kPipeline,
       value);
 
   ConfigResult result;
@@ -101,7 +119,7 @@ ConfigResult run_trial(bool secured, Pacing pacing, std::size_t total_ops) {
   result.ops = secs < 0 ? 0 : total_ops;
   result.ops_per_sec =
       secs > 0 ? static_cast<double>(total_ops) / secs : 0.0;
-  cluster.client_transport().run_sync([&] {
+  cluster.client_home(0).run_sync([&] {
     result.p50_us = client.latency_us().percentile(0.50);
     result.p99_us = client.latency_us().percentile(0.99);
     result.failed = client.failed();
@@ -176,11 +194,11 @@ ChaosResult run_chaos_config(std::size_t total_ops) {
   const NodeId coordinator = cluster.write_coordinator();
   const Bytes value(64, 0x5A);
   const double secs = cluster::drive_closed_loop_puts(
-      cluster.client_transport(), client, coordinator, total_ops,
+      cluster.client_home(0), client, coordinator, total_ops,
       /*pipeline=*/64, value);
   r.ops = secs < 0 ? 0 : total_ops;
   r.ops_per_sec = secs > 0 ? static_cast<double>(total_ops) / secs : 0.0;
-  cluster.client_transport().run_sync([&] { r.failed = client.failed(); });
+  cluster.client_home(0).run_sync([&] { r.failed = client.failed(); });
   for (std::size_t i = 0; i <= cluster.size(); ++i) {
     const transport::ChaosTransport* chaos =
         i < cluster.size() ? cluster.chaos(i) : cluster.client_chaos();
@@ -210,6 +228,234 @@ ConfigResult run_config(bool secured, Pacing pacing, std::size_t total_ops,
 }
 
 double ratio(double num, double den) { return den > 0 ? num / den : 0.0; }
+
+// --- shard scaling sweep -----------------------------------------------------
+//
+// Raw request/reply echo over two ShardedTcpTransports (client side and
+// server side), with REAL per-message crypto on both ends: the client
+// shields every request, the server verifies and re-shields the echo, the
+// client verifies the reply. No replication protocol, no KV store — the
+// event loops and the crypto are the whole workload, so the shard count is
+// the only variable the sweep moves.
+//
+// kScalingSessions independent client->server endpoint pairs are homed
+// round-robin across the shards (sessions, not shards, are the unit of
+// parallelism: at 1 shard all eight share one loop; at 8 shards they get a
+// loop each). SO_REUSEPORT spreads the accepted connections across the
+// server shards by 4-tuple hash, so the cross-shard delivery/egress hops
+// are exercised whenever the kernel's pick disagrees with the home.
+
+constexpr std::size_t kScalingSessions = 8;
+constexpr std::size_t kScalingPipeline = 8;   // outstanding trips per session
+constexpr std::size_t kScalingBatch = 16;     // sub-messages per batched trip
+
+struct ScalingResult {
+  unsigned shards{1};
+  std::string security;
+  std::string batching;
+  std::size_t ops{0};  // completed sub-messages; 0 = trial failed/stalled
+  double ops_per_sec{0};
+  std::uint64_t failed{0};
+};
+
+ScalingResult run_scaling_trial(unsigned shards, bool secured, bool batched,
+                                std::size_t total_ops) {
+  const std::size_t per_trip = batched ? kScalingBatch : 1;
+  const std::size_t trips_per_session =
+      std::max<std::size_t>(1, total_ops / (kScalingSessions * per_trip));
+  const std::uint64_t expected =
+      trips_per_session * per_trip * kScalingSessions;
+
+  struct Session {
+    NodeId client{0};
+    NodeId server{0};
+    std::unique_ptr<tee::Enclave> client_enclave;
+    std::unique_ptr<tee::Enclave> server_enclave;
+    std::unique_ptr<SecurityPolicy> client_sec;
+    std::unique_ptr<SecurityPolicy> server_sec;
+    // Touched only on the session's home loops (issue/verify callbacks).
+    std::size_t to_issue{0};
+    std::uint64_t rpc_seq{0};
+  };
+
+  tee::TeePlatform platform{9};
+  const crypto::SymmetricKey root{Bytes(32, 0x77)};
+  std::vector<std::unique_ptr<Session>> sessions;
+  sessions.reserve(kScalingSessions);
+  for (std::size_t i = 0; i < kScalingSessions; ++i) {
+    auto s = std::make_unique<Session>();
+    s->client = NodeId{600 + i};
+    s->server = NodeId{500 + i};
+    s->to_issue = trips_per_session;
+    if (secured) {
+      s->client_enclave =
+          std::make_unique<tee::Enclave>(platform, "code", 600 + i);
+      s->server_enclave =
+          std::make_unique<tee::Enclave>(platform, "code", 500 + i);
+      if (!s->client_enclave->install_secret(attest::kClusterRootName, root)
+               .is_ok() ||
+          !s->server_enclave->install_secret(attest::kClusterRootName, root)
+               .is_ok()) {
+        std::abort();
+      }
+      s->client_sec = std::make_unique<RecipeSecurity>(
+          *s->client_enclave, s->client, nullptr, nullptr);
+      s->server_sec = std::make_unique<RecipeSecurity>(
+          *s->server_enclave, s->server, nullptr, nullptr);
+    } else {
+      s->client_sec = std::make_unique<NullSecurity>(s->client);
+      s->server_sec = std::make_unique<NullSecurity>(s->server);
+    }
+    sessions.push_back(std::move(s));
+  }
+
+  std::atomic<std::uint64_t> completed{0};
+  std::atomic<std::uint64_t> failed{0};
+  const Bytes value(64, 0x5A);
+
+  transport::ShardedTcpTransportOptions transport_options;
+  transport_options.shards = shards;
+  transport::ShardedTcpTransport server_tp(transport_options);
+  transport::ShardedTcpTransport client_tp(transport_options);
+
+  // Issues one request trip for `s`; runs on the session's client home loop
+  // (initial kickoff marshals there, afterwards it is the reply callback).
+  std::function<void(Session&)> issue = [&](Session& s) {
+    if (s.to_issue == 0) return;
+    --s.to_issue;
+    Result<Bytes> wire = [&]() -> Result<Bytes> {
+      if (!batched) {
+        return s.client_sec->shield(s.server, ViewId{1}, as_view(value));
+      }
+      BatchFrame frame;
+      for (std::size_t k = 0; k < kScalingBatch; ++k) {
+        frame.add(0, 0, ++s.rpc_seq, as_view(value));
+      }
+      const Bytes body = frame.take_body();
+      return s.client_sec->shield_batch(s.server, ViewId{1}, as_view(body));
+    }();
+    if (!wire) {
+      failed.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    net::Packet packet;
+    packet.src = s.client;
+    packet.dst = s.server;
+    packet.payload = std::move(wire).take();
+    client_tp.send(std::move(packet));
+  };
+
+  for (std::size_t i = 0; i < kScalingSessions; ++i) {
+    Session* s = sessions[i].get();
+    // Echo endpoint: verify, re-shield the same payload (the batch body
+    // round-trips as a batch), reply toward the authenticated sender.
+    server_tp.attach(s->server, {}, [&, s](net::Packet&& p) {
+      auto env = s->server_sec->verify(p.src, as_view(p.payload));
+      if (!env) {
+        failed.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      VerifiedEnvelope e = std::move(env).take();
+      Result<Bytes> reply =
+          e.batch ? s->server_sec->shield_batch(e.sender, ViewId{1},
+                                                as_view(e.payload))
+                  : s->server_sec->shield(e.sender, ViewId{1},
+                                          as_view(e.payload));
+      if (!reply) {
+        failed.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      net::Packet out;
+      out.src = s->server;
+      out.dst = e.sender;
+      out.payload = std::move(reply).take();
+      server_tp.send(std::move(out));
+    });
+    auto port = server_tp.listen(s->server, 0);
+    if (!port) std::abort();
+    client_tp.attach(s->client, {}, [&, s](net::Packet&& p) {
+      auto env = s->client_sec->verify(p.src, as_view(p.payload));
+      if (!env || env.value().batch != batched) {
+        failed.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      completed.fetch_add(per_trip, std::memory_order_relaxed);
+      issue(*s);
+    });
+    if (!client_tp.add_route(s->server, "127.0.0.1", port.value()).is_ok()) {
+      std::abort();
+    }
+  }
+
+  using Clock = std::chrono::steady_clock;
+  const auto start = Clock::now();
+  for (auto& s : sessions) {
+    client_tp.home(s->client).run_sync([&] {
+      for (std::size_t k = 0; k < kScalingPipeline && s->to_issue > 0; ++k) {
+        issue(*s);
+      }
+    });
+  }
+
+  // Bounded wait: a lost completion or a verify failure must fail the trial
+  // loudly (ops = 0 -> acceptance false), never hang the job.
+  const auto deadline = start + std::chrono::seconds(60);
+  while (completed.load(std::memory_order_relaxed) < expected &&
+         failed.load(std::memory_order_relaxed) == 0 &&
+         Clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const std::chrono::duration<double> elapsed = Clock::now() - start;
+  // Join every loop before the sessions (captured by the handlers above) go
+  // out of scope.
+  client_tp.stop();
+  server_tp.stop();
+
+  ScalingResult result;
+  result.shards = shards;
+  result.security = secured ? "shielded" : "null";
+  result.batching = batched ? "on" : "off";
+  result.failed = failed.load(std::memory_order_relaxed);
+  const bool done =
+      completed.load(std::memory_order_relaxed) >= expected &&
+      result.failed == 0;
+  result.ops = done ? static_cast<std::size_t>(expected) : 0;
+  result.ops_per_sec =
+      done && elapsed.count() > 0
+          ? static_cast<double>(expected) / elapsed.count()
+          : 0.0;
+  return result;
+}
+
+ScalingResult run_scaling_config(unsigned shards, bool secured, bool batched,
+                                 std::size_t total_ops, std::size_t trials) {
+  ScalingResult best;
+  for (std::size_t t = 0; t < trials; ++t) {
+    ScalingResult r = run_scaling_trial(shards, secured, batched, total_ops);
+    const bool r_ok = r.failed == 0 && r.ops > 0;
+    const bool best_ok = best.failed == 0 && best.ops > 0;
+    if (t == 0 || (r_ok && !best_ok) ||
+        (r_ok == best_ok && r.ops_per_sec > best.ops_per_sec)) {
+      best = std::move(r);
+    }
+  }
+  return best;
+}
+
+// The speedup floor an 8-shard run must clear over 1 shard, derived from
+// the cores actually available: the claim is "shards use the machine", and
+// the machine is part of the measurement.
+double scaling_floor(unsigned cores) {
+  if (cores >= 8) return 3.0;
+  if (cores >= 4) return 1.8;
+  if (cores >= 2) return 1.25;
+  // Single core: the scaling claim is untestable — 8 event loops timeslice
+  // one CPU, so the 8-shard config legitimately runs at roughly half the
+  // 1-shard throughput and the exact ratio is scheduler weather. The floor
+  // only catches pathological collapse (cross-shard livelock, unbounded
+  // queueing), not the expected contention cost.
+  return 0.35;
+}
 
 }  // namespace
 
@@ -259,6 +505,52 @@ int main(int argc, char** argv) {
   for (const ConfigResult& r : results) {
     if (r.failed != 0 || r.ops == 0) all_ok = false;
   }
+
+  // Shard scaling sweep: {1,2,4,8} shards x {shielded,null} x {batched,
+  // unbatched}, best-of-2 (the matrix is 16 configs; two trials keep the
+  // job bounded while still shedding one scheduler hiccup per config).
+  const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
+  std::vector<ScalingResult> scaling;
+  for (unsigned shards : {1u, 2u, 4u, 8u}) {
+    for (bool secured : {true, false}) {
+      for (bool batched : {false, true}) {
+        ScalingResult r =
+            run_scaling_config(shards, secured, batched, ops, /*trials=*/2);
+        std::printf(
+            "scaling shards=%u security=%-8s batching=%-3s  %8.0f ops/s  "
+            "failed=%llu\n",
+            r.shards, r.security.c_str(), r.batching.c_str(), r.ops_per_sec,
+            static_cast<unsigned long long>(r.failed));
+        scaling.push_back(std::move(r));
+      }
+    }
+  }
+  auto scaling_find = [&](unsigned shards, const char* sec,
+                          const char* batching) -> const ScalingResult& {
+    for (const ScalingResult& r : scaling) {
+      if (r.shards == shards && r.security == sec && r.batching == batching) {
+        return r;
+      }
+    }
+    return scaling.front();
+  };
+  bool scaling_all_ok = true;
+  for (const ScalingResult& r : scaling) {
+    if (r.failed != 0 || r.ops == 0) scaling_all_ok = false;
+  }
+  const double speedup_unbatched =
+      ratio(scaling_find(8, "shielded", "off").ops_per_sec,
+            scaling_find(1, "shielded", "off").ops_per_sec);
+  const double speedup_batched =
+      ratio(scaling_find(8, "shielded", "on").ops_per_sec,
+            scaling_find(1, "shielded", "on").ops_per_sec);
+  const double floor = scaling_floor(cores);
+  const bool scaling_ok = scaling_all_ok && speedup_unbatched >= floor;
+  std::printf(
+      "scaling cores=%u  8/1 shielded speedup: unbatched=%.2fx "
+      "batched=%.2fx  floor=%.2f  -> %s\n",
+      cores, speedup_unbatched, speedup_batched, floor,
+      scaling_ok ? "ok" : "FAIL");
 
   // Informational only — excluded from all_ok by design (see ChaosResult).
   const ChaosResult chaos = run_chaos_config(ops / 4);
@@ -349,6 +641,31 @@ int main(int argc, char** argv) {
                static_cast<unsigned long long>(chaos.duplicated),
                static_cast<unsigned long long>(chaos.reordered),
                static_cast<unsigned long long>(chaos.delayed));
+  std::fprintf(out, "  \"scaling\": {\n");
+  std::fprintf(out, "    \"hardware_cores\": %u,\n", cores);
+  std::fprintf(out, "    \"sessions\": %zu,\n", kScalingSessions);
+  std::fprintf(out, "    \"pipeline\": %zu,\n", kScalingPipeline);
+  std::fprintf(out, "    \"batch_count\": %zu,\n", kScalingBatch);
+  std::fprintf(out, "    \"configs\": [\n");
+  for (std::size_t i = 0; i < scaling.size(); ++i) {
+    const ScalingResult& r = scaling[i];
+    std::fprintf(out,
+                 "      {\"shards\": %u, \"security\": \"%s\", "
+                 "\"batching\": \"%s\", \"ops\": %zu, "
+                 "\"ops_per_sec\": %.0f, \"failed\": %llu}%s\n",
+                 r.shards, r.security.c_str(), r.batching.c_str(), r.ops,
+                 r.ops_per_sec, static_cast<unsigned long long>(r.failed),
+                 i + 1 < scaling.size() ? "," : "");
+  }
+  std::fprintf(out, "    ],\n");
+  std::fprintf(out, "    \"speedup_8_over_1_shielded_unbatched\": %.3f,\n",
+               speedup_unbatched);
+  std::fprintf(out, "    \"speedup_8_over_1_shielded_batched\": %.3f,\n",
+               speedup_batched);
+  std::fprintf(out, "    \"required_floor\": %.2f,\n", floor);
+  std::fprintf(out, "    \"acceptance_shard_scaling_ok\": %s\n",
+               scaling_ok ? "true" : "false");
+  std::fprintf(out, "  },\n");
   std::fprintf(out, "  \"acceptance_all_configs_ok\": %s\n",
                all_ok ? "true" : "false");
   std::fprintf(out, "}\n");
@@ -356,7 +673,9 @@ int main(int argc, char** argv) {
 
   std::printf(
       "wrote %s (acceptance_all_configs_ok=%s, "
-      "batched_over_unbatched_shielded=%.3f)\n",
-      out_path, all_ok ? "true" : "false", batch_speedup);
-  return all_ok ? 0 : 1;
+      "batched_over_unbatched_shielded=%.3f, "
+      "acceptance_shard_scaling_ok=%s)\n",
+      out_path, all_ok ? "true" : "false", batch_speedup,
+      scaling_ok ? "true" : "false");
+  return all_ok && scaling_ok ? 0 : 1;
 }

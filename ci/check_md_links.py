@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Fail on broken RELATIVE links in the repo's Markdown files.
+
+Docs here cross-reference each other (README -> ARCHITECTURE.md ->
+docs/OPERATIONS.md -> source files) and those links rot silently when a
+file moves. This walks every tracked *.md file, extracts inline Markdown
+links, and verifies that each relative target exists on disk.
+
+Checked:   [text](relative/path.md), [text](src/file.h#anchor)
+Ignored:   absolute URLs (http/https/mailto), pure in-page anchors (#...),
+           bare-URL autolinks, code spans/fenced blocks.
+
+Usage: check_md_links.py [root-dir]   (default: repo root = parent of ci/)
+Exit code 0 when every link resolves, 1 otherwise (each miss is printed).
+"""
+
+import os
+import re
+import sys
+
+# Inline links only — reference-style links are not used in this repo.
+# Negative lookbehind skips images' size suffixes and code constructs like
+# arr[i](x) are already excluded by requiring no backtick context.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "ftp://", "#")
+
+
+def strip_code(text: str) -> str:
+    """Remove fenced code blocks and inline code spans (links inside code
+    samples are illustrative, not navigable)."""
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    return re.sub(r"`[^`\n]*`", "", text)
+
+
+def check_file(md_path: str, root: str) -> list:
+    with open(md_path, encoding="utf-8") as f:
+        body = strip_code(f.read())
+    misses = []
+    base = os.path.dirname(md_path)
+    for match in LINK_RE.finditer(body):
+        target = match.group(1)
+        if target.startswith(SKIP_PREFIXES):
+            continue
+        path = target.split("#", 1)[0]  # drop the in-file anchor
+        if not path:
+            continue
+        resolved = os.path.normpath(
+            os.path.join(root, path[1:]) if path.startswith("/")
+            else os.path.join(base, path))
+        if not os.path.exists(resolved):
+            misses.append((target, resolved))
+    return misses
+
+
+def main() -> int:
+    root = os.path.abspath(
+        sys.argv[1] if len(sys.argv) > 1
+        else os.path.join(os.path.dirname(__file__), ".."))
+    failures = 0
+    checked = 0
+    for dirpath, dirnames, filenames in os.walk(root):
+        # Build trees and VCS metadata hold generated/vendored markdown.
+        dirnames[:] = [d for d in dirnames
+                       if not d.startswith((".git", "build"))
+                       and d != "node_modules"]
+        for name in sorted(filenames):
+            if not name.endswith(".md"):
+                continue
+            md_path = os.path.join(dirpath, name)
+            checked += 1
+            for target, resolved in check_file(md_path, root):
+                rel = os.path.relpath(md_path, root)
+                print(f"BROKEN {rel}: [{target}] -> {resolved}")
+                failures += 1
+    print(f"checked {checked} markdown files: "
+          f"{'all links ok' if failures == 0 else f'{failures} broken'}")
+    return 0 if failures == 0 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,6 +21,18 @@ namespace recipe::cluster {
 using ProtocolFactory = std::function<std::unique_ptr<ReplicaNode>(
     sim::Clock&, net::Transport&, ReplicaOptions)>;
 
+// Contract:
+//  * Thread safety — NOT internally synchronized. register_protocol() is a
+//    startup-time operation (before threads spawn); find()/names() are
+//    safe concurrently with each other once registration has quiesced.
+//    Registering while another thread resolves is a data race.
+//  * Ownership — the registry stores factories by value for the process
+//    lifetime; find() returns a pointer into the registry, valid until the
+//    name is re-registered. Factories return owning unique_ptrs; the
+//    Clock/Transport passed in must outlive the built node.
+//  * Errors — find() returns nullptr for an unknown name (callers surface
+//    kInvalidArgument); registration never fails, re-registering a name
+//    replaces the previous factory.
 class ProtocolRegistry {
  public:
   // The process-wide registry, pre-populated with the built-in protocols.

@@ -27,11 +27,20 @@ TcpCluster::TcpCluster(TcpClusterOptions options)
     membership_.push_back(NodeId{options_.first_id + i});
   }
 
-  // One transport (loop thread + listener) per replica, plus the client's.
+  // One transport (shard set + listeners) per replica, plus the client's.
+  // Each replica endpoint is pinned to shard 0 of its own transport — its
+  // protocol code stays on one loop; extra shards carry accepted client
+  // connections (SO_REUSEPORT) and the socket work for them.
+  transport::ShardedTcpTransportOptions transport_options;
+  transport_options.shards = options_.transport_shards;
+  transport_options.transport = options_.transport;
   std::vector<std::uint16_t> ports(options_.replicas, 0);
   for (std::size_t i = 0; i < options_.replicas; ++i) {
     transports_.push_back(
-        std::make_unique<transport::TcpTransport>(options_.transport));
+        std::make_unique<transport::ShardedTcpTransport>(transport_options));
+    const Status pinned = transports_.back()->pin_home(membership_[i], 0);
+    assert(pinned.is_ok());
+    (void)pinned;
     const std::uint16_t want =
         options_.base_port == 0
             ? 0
@@ -41,7 +50,7 @@ TcpCluster::TcpCluster(TcpClusterOptions options)
     ports[i] = port.value();
   }
   client_transport_ =
-      std::make_unique<transport::TcpTransport>(options_.transport);
+      std::make_unique<transport::ShardedTcpTransport>(transport_options);
   for (std::size_t i = 0; i < options_.replicas; ++i) {
     for (std::size_t j = 0; j < options_.replicas; ++j) {
       if (i == j) continue;
@@ -150,10 +159,16 @@ net::Transport& TcpCluster::client_net() {
 }
 
 TcpCluster::~TcpCluster() {
-  client_transport_->run_sync([this] {
-    clients_.clear();
-    client_enclaves_.clear();
-  });
+  // Each client dies on its own home loop (clients may be homed on
+  // different shards of the client transport).
+  for (std::size_t c = 0; c < clients_.size(); ++c) {
+    client_home(c).run_sync([this, c] {
+      clients_[c].reset();
+      client_enclaves_[c].reset();
+    });
+  }
+  clients_.clear();
+  client_enclaves_.clear();
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     transports_[i]->run_sync([this, i] {
       nodes_[i].reset();
@@ -165,7 +180,16 @@ TcpCluster::~TcpCluster() {
 
 KvClient& TcpCluster::add_client(std::uint64_t client_id) {
   KvClient* out = nullptr;
-  client_transport_->run_sync([this, client_id, &out] {
+  // Round-robin homing across the client transport's shards: the client is
+  // CONSTRUCTED on its home loop (its timers live on that shard's clock),
+  // and every later touch marshals through client_home().
+  const std::size_t home =
+      clients_.size() % client_transport_->shard_count();
+  const Status pinned = client_transport_->pin_home(NodeId{client_id}, home);
+  assert(pinned.is_ok());
+  (void)pinned;
+  client_homes_.push_back(home);
+  client_transport_->shard(home).run_sync([this, client_id, home, &out] {
     auto enclave = std::make_unique<tee::Enclave>(client_platform_,
                                                   "recipe-client", client_id);
     if (options_.secured) {
@@ -188,10 +212,18 @@ KvClient& TcpCluster::add_client(std::uint64_t client_id) {
     client_options.retry = options_.client_retry;
     client_enclaves_.push_back(std::move(enclave));
     clients_.push_back(std::make_unique<KvClient>(
-        client_transport_->clock(), client_net(), client_options));
+        client_transport_->shard(home).clock(), client_net(),
+        client_options));
     out = clients_.back().get();
   });
   return *out;
+}
+
+transport::TcpTransport& TcpCluster::home_loop(const KvClient& client) {
+  for (std::size_t c = 0; c < clients_.size(); ++c) {
+    if (clients_[c].get() == &client) return client_home(c);
+  }
+  return client_transport_->shard(0);
 }
 
 NodeId TcpCluster::write_coordinator() {
@@ -242,7 +274,7 @@ ClientReply TcpCluster::retry_op(KvClient& client, bool is_put,
     const NodeId target = is_put ? write_coordinator() : read_replica();
     auto promise = std::make_shared<std::promise<ClientReply>>();
     auto future = promise->get_future();
-    client_transport_->run_sync([&] {
+    home_loop(client).run_sync([&] {
       auto completion = [promise](const ClientReply& r) {
         promise->set_value(r);
       };
@@ -336,9 +368,11 @@ Status TcpCluster::rejoin(std::size_t i, NodeId donor, sim::Time max_wait,
       if (nodes_[j]->running()) nodes_[j]->security().reset_peer(node.self());
     });
   }
-  client_transport_->run_sync([this, &node] {
-    for (auto& client : clients_) client->security().reset_peer(node.self());
-  });
+  for (std::size_t c = 0; c < clients_.size(); ++c) {
+    client_home(c).run_sync([this, c, &node] {
+      clients_[c]->security().reset_peer(node.self());
+    });
+  }
 
   // 3-6. Shadow join, chunked catch-up from the donor over TCP, promotion —
   //      all driven on the node's own loop thread.

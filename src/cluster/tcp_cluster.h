@@ -1,11 +1,13 @@
 // TcpCluster: a replication group deployed over REAL sockets, in process.
 //
 // The multi-threaded sibling of the simulator-driven harnesses: every
-// replica gets its own transport::TcpTransport — its own epoll loop thread,
-// real-time TimerQueue and loopback TCP listener — and the group is wired
+// replica gets its own transport::ShardedTcpTransport — its own event-loop
+// shard set (1 shard = exactly the classic single-loop TcpTransport),
+// real-time TimerQueues and loopback TCP listeners — and the group is wired
 // up via the ProtocolRegistry exactly like a ShardGroup, so any registered
 // protocol (cr/craq/raft/abd/hermes) runs unmodified with shielding and
-// batching on. A separate client transport hosts KvClients.
+// batching on. A separate client transport hosts KvClients; with
+// transport_shards > 1 clients are homed round-robin across its shards.
 //
 // Replica enclaves are provisioned over the pre-attested fast path (the
 // cluster holds the cluster root, standing in for the CAS exactly like
@@ -34,6 +36,7 @@
 #include "rpc/retry.h"
 #include "tee/platform.h"
 #include "transport/chaos.h"
+#include "transport/sharded_tcp_transport.h"
 #include "transport/tcp_transport.h"
 
 namespace recipe::cluster {
@@ -81,6 +84,12 @@ struct TcpClusterOptions {
   // and the client transport): NODELAY, SO_SNDBUF, frame bound. bind_host
   // stays loopback for in-process clusters.
   transport::TcpTransportOptions transport{};
+  // Event-loop shards per transport. 1 (the default) is exactly the classic
+  // single-loop deployment; 0 resolves to one shard per available core
+  // (capped at net::kMaxTransportShards); N pins N. Replicas home on shard
+  // 0 of their own transport; clients are homed round-robin across the
+  // client transport's shards.
+  unsigned transport_shards = 1;
   // Chaos: when true every replica transport AND the client transport is
   // wrapped in a transport::ChaosTransport carrying `chaos_options` (seed
   // is offset per transport so each loop gets an independent stream; the
@@ -110,8 +119,20 @@ class TcpCluster {
   std::size_t size() const { return nodes_.size(); }
   const std::vector<NodeId>& membership() const { return membership_; }
   ReplicaNode& node(std::size_t i) { return *nodes_[i]; }
-  transport::TcpTransport& transport(std::size_t i) { return *transports_[i]; }
-  transport::TcpTransport& client_transport() { return *client_transport_; }
+  // Replica i's transport (aggregate stats, chaos resets, wiring). Replica
+  // endpoints live on its shard 0; run_on() marshals there.
+  transport::ShardedTcpTransport& transport(std::size_t i) {
+    return *transports_[i];
+  }
+  transport::ShardedTcpTransport& client_transport() {
+    return *client_transport_;
+  }
+  // The event loop client idx's callbacks run on (its home shard): the
+  // transport to run_sync against when touching that client's state, and
+  // the one drive_closed_loop_puts() needs. In add_client order.
+  transport::TcpTransport& client_home(std::size_t idx) {
+    return client_transport_->shard(client_homes_[idx]);
+  }
   // Chaos wrappers (null unless options.chaos): replica i's and the client
   // transport's fault injectors, for manual partitions and counters.
   transport::ChaosTransport* chaos(std::size_t i) {
@@ -124,8 +145,8 @@ class TcpCluster {
     return *client_enclaves_[idx];
   }
 
-  // Runs `fn` on replica i's loop thread and waits (the only safe way to
-  // touch node state from outside).
+  // Runs `fn` on replica i's loop thread (its home shard) and waits (the
+  // only safe way to touch node state from outside).
   void run_on(std::size_t i, const std::function<void()>& fn) {
     transports_[i]->run_sync(fn);
   }
@@ -165,10 +186,12 @@ class TcpCluster {
  private:
   struct Replica;
 
-  // Shared body of put()/get(): resolve the target, issue on the client
-  // loop, wait with a real-time bound, re-route-and-retry on failure.
+  // Shared body of put()/get(): resolve the target, issue on the client's
+  // home loop, wait with a real-time bound, re-route-and-retry on failure.
   ClientReply retry_op(KvClient& client, bool is_put, const std::string& key,
                        const std::string& value);
+  // The home-shard loop of `client` (shard 0 for unknown pointers).
+  transport::TcpTransport& home_loop(const KvClient& client);
 
   // The transport each replica's node and each client actually talks
   // through: the chaos wrapper when enabled, the raw TcpTransport otherwise.
@@ -177,7 +200,7 @@ class TcpCluster {
 
   TcpClusterOptions options_;
   std::vector<NodeId> membership_;
-  std::vector<std::unique_ptr<transport::TcpTransport>> transports_;
+  std::vector<std::unique_ptr<transport::ShardedTcpTransport>> transports_;
   // Declared after transports_ (destroyed first): a chaos wrapper's pending
   // delay timers park on the inner transport's TimerQueue, so the inner
   // loop must outlive the wrapper's stop flag.
@@ -188,11 +211,14 @@ class TcpCluster {
   std::vector<std::unique_ptr<kv::FileWalStorage>> wal_storage_;
   std::vector<std::unique_ptr<ReplicaNode>> nodes_;
 
-  std::unique_ptr<transport::TcpTransport> client_transport_;
+  std::unique_ptr<transport::ShardedTcpTransport> client_transport_;
   std::unique_ptr<transport::ChaosTransport> client_chaos_;
   tee::TeePlatform client_platform_{2};
   std::vector<std::unique_ptr<tee::Enclave>> client_enclaves_;
   std::vector<std::unique_ptr<KvClient>> clients_;
+  // Client idx's home shard on the client transport, in add_client order
+  // (client idx's state may only be touched from that shard's loop).
+  std::vector<std::size_t> client_homes_;
   // Jitter stream for retry_op's between-attempt sleeps (single external
   // caller thread by class contract, so no lock).
   Rng op_rng_{0xB7E151628AED2A6AULL};

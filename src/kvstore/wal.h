@@ -52,7 +52,22 @@ namespace recipe::kv {
 
 // Untrusted durable storage: numbered append-only segments plus named
 // metadata blobs (compacted snapshot, clean-shutdown marker, counter vault).
-// Implementations must be safe to call from any thread.
+//
+// Contract:
+//  * Thread safety — every method is callable from any thread (the counter
+//    vault persists horizons from the caller-thread shield path while the
+//    loop thread commits records). Implementations serialize internally;
+//    callers never lock around a WalStorage.
+//  * Ownership — BytesView arguments are borrowed only for the duration of
+//    the call (implementations copy or write through before returning);
+//    returned Bytes are owned by the caller.
+//  * Errors — Status/Result, never exceptions. append_segment is all-or-
+//    nothing per call from the caller's view, but the medium is UNTRUSTED:
+//    replay must treat any byte of what comes back as adversarial, so
+//    reads report only I/O-level failure (missing segment/blob) and leave
+//    authentication to the sealed-record layer above. FileWalStorage
+//    fsyncs every append and blob write (and the directory on
+//    create/rename) before returning OK.
 class WalStorage {
  public:
   virtual ~WalStorage() = default;

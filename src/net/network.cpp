@@ -1,12 +1,21 @@
 #include "net/network.h"
 
 #include <cassert>
+#include <thread>
 
 namespace recipe::net {
 
 namespace {
 sim::Time ns(double v) { return static_cast<sim::Time>(std::max(0.0, v)); }
 }  // namespace
+
+unsigned resolve_transport_shards(unsigned requested,
+                                  const NetStackParams& params) {
+  unsigned n = requested != 0 ? requested : params.transport_shards;
+  if (n == 0) n = std::thread::hardware_concurrency();
+  if (n == 0) n = 1;  // hardware_concurrency() may be unable to tell
+  return std::min(n, kMaxTransportShards);
+}
 
 sim::Time NetStackParams::send_cpu(std::size_t bytes) const {
   return send_cpu_base + ns(send_cpu_per_byte_ns * static_cast<double>(bytes));

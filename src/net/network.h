@@ -2,10 +2,11 @@
 //
 // Stands in for the paper's 40GbE testbed with DPDK/RDMA (direct I/O) or
 // kernel sockets when an experiment needs determinism or a fault/cost model.
-// Since the Transport extraction it is ONE OF TWO interchangeable substrates
-// the stack runs over — transport::TcpTransport moves the same packets over
-// real epoll-driven TCP sockets (see net/transport.h). The simulated network
-// is:
+// Since the Transport extraction it is ONE OF THREE interchangeable
+// substrates the stack runs over — transport::TcpTransport moves the same
+// packets over real epoll-driven TCP sockets, and
+// transport::ShardedTcpTransport spreads them across N such loops per
+// instance (see net/transport.h). The simulated network is:
 //   * point-to-point, fully connected, bidirectional;
 //   * unreliable: messages can be delayed, reordered, duplicated or dropped
 //     (partial synchrony: after GST every message arrives within delta);

@@ -3,15 +3,33 @@
 //
 // The whole recipe stack (shield/verify, batching, RPC credits,
 // recovery/rejoin) talks to this interface only, so the SAME protocol code
-// runs over either substrate:
-//   * net::SimNetwork           — the deterministic discrete-event network
-//     (delay/fault/adversary model, Fig. 6b cost accounting);
-//   * transport::TcpTransport   — real epoll-driven TCP sockets, one event
-//     loop thread per transport, length-prefixed frames on the stream
-//     (net/frame.h).
-// Endpoint callbacks (packet delivery and Clock timers) are serialized per
-// transport: single-threaded under the Simulator, loop-thread-affine under
-// TcpTransport — protocol code never needs its own locks.
+// runs over any substrate:
+//   * net::SimNetwork                  — the deterministic discrete-event
+//     network (delay/fault/adversary model, Fig. 6b cost accounting);
+//   * transport::TcpTransport          — real epoll-driven TCP sockets, one
+//     event-loop thread per transport, length-prefixed frames on the stream
+//     (net/frame.h);
+//   * transport::ShardedTcpTransport   — N TcpTransport event-loop shards
+//     composed into one multi-core transport (SO_REUSEPORT accept spreading,
+//     lock-free cross-shard handoff).
+// Endpoint callbacks (packet delivery and Clock timers) are serialized PER
+// ENDPOINT: single-threaded under the Simulator, loop-thread-affine under
+// TcpTransport, home-shard-affine under ShardedTcpTransport — protocol code
+// never needs its own locks. See ARCHITECTURE.md for the threading rules.
+//
+// Interface contract (what every implementation promises):
+//  * Thread safety — attach/detach/attached/send/crash/recover/stats are
+//    callable from any thread. Delivery handlers and timers for one endpoint
+//    never run concurrently with each other.
+//  * Ownership — the transport owns nothing of the caller's: handlers are
+//    copied in at attach() and dropped at detach(); packets are moved in at
+//    send() and never referenced after it returns.
+//  * Error semantics — send() cannot fail. Every undeliverable packet (no
+//    route, refused/reset connection, crashed endpoint, overload shed,
+//    oversized frame) is a silent drop counted in packets_dropped();
+//    recovery is the caller's retry/timeout machinery. The ONLY erroring
+//    operations are the wiring calls that bind real resources (listen,
+//    add_route on the TCP side), and those return Status/Result.
 #pragma once
 
 #include <algorithm>
@@ -87,6 +105,12 @@ struct NetStackParams {
   sim::Time propagation_delay = 5 * sim::kMicrosecond;  // one-way, same rack
   double bandwidth_gbps = 40.0;
 
+  // Event-loop shards a real transport should run (ShardedTcpTransport).
+  // 0 = auto: one shard per available core (hardware_concurrency), capped at
+  // kMaxTransportShards. Ignored by SimNetwork (the sim is single-threaded
+  // by construction) and by a standalone single-loop TcpTransport.
+  unsigned transport_shards = 0;
+
   sim::Time send_cpu(std::size_t bytes) const;
   sim::Time recv_cpu(std::size_t bytes) const;
   sim::Time wire_time(std::size_t bytes) const;
@@ -97,6 +121,17 @@ struct NetStackParams {
   static NetStackParams direct_io_native();
   static NetStackParams direct_io_tee();
 };
+
+// Shard-count ceiling: beyond this, more epoll loops per transport just adds
+// wakeup traffic and idle threads (and each shard pins an eventfd + epoll fd
+// from the budget EMFILE shedding protects).
+inline constexpr unsigned kMaxTransportShards = 16;
+
+// Resolves a requested shard count against `params` and the machine:
+// explicit request wins, then params.transport_shards, then one per
+// available core; the result is clamped to [1, kMaxTransportShards].
+unsigned resolve_transport_shards(unsigned requested,
+                                  const NetStackParams& params);
 
 // Tracks a node's CPU so message processing serializes and throughput
 // saturates realistically. `cores` models a multi-core server as a fluid

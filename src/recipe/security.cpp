@@ -84,14 +84,21 @@ RecipeSecurity::CryptoSnapshot RecipeSecurity::cached_channel_crypto(
   // advance keyset_epoch — only restart()/re-provisioning do).
   if (enclave_.crashed()) return nullptr;
   const std::uint64_t epoch = enclave_.keyset_epoch();
-  std::lock_guard<std::mutex> lock(cache_mu_);
-  const auto it = crypto_cache_.find(peer);
-  if (it == crypto_cache_.end()) return nullptr;
-  if (it->second->epoch != epoch) {
-    crypto_cache_.erase(it);
-    return nullptr;
-  }
+  // Lock-free read: one acquire load of the current snapshot. A stale entry
+  // (keyset epoch moved) reads as absent; it is physically replaced when the
+  // fresh derivation is published.
+  const auto cache = crypto_cache_.load(std::memory_order_acquire);
+  const auto it = cache->find(peer);
+  if (it == cache->end() || it->second->epoch != epoch) return nullptr;
   return it->second;
+}
+
+void RecipeSecurity::cache_insert(NodeId peer, CryptoSnapshot cc) {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  auto next = std::make_shared<CryptoCache>(
+      *crypto_cache_.load(std::memory_order_relaxed));
+  (*next)[peer] = std::move(cc);
+  crypto_cache_.store(std::move(next), std::memory_order_release);
 }
 
 Result<RecipeSecurity::ChannelCrypto> RecipeSecurity::derive_channel_crypto(
@@ -112,10 +119,9 @@ Result<RecipeSecurity::CryptoSnapshot> RecipeSecurity::shield_channel_crypto(
   if (!derived) return derived.status();
   auto fresh =
       std::make_shared<const ChannelCrypto>(std::move(derived).take());
-  std::lock_guard<std::mutex> lock(cache_mu_);
   // Two threads may race the first derivation; both derive the same key, so
   // whichever snapshot lands in the cache is equivalent.
-  crypto_cache_[peer] = fresh;
+  cache_insert(peer, fresh);
   return CryptoSnapshot(std::move(fresh));
 }
 
@@ -285,10 +291,7 @@ Result<VerifiedEnvelope> RecipeSecurity::verify(
     }
   }
   // The sender proved key possession: NOW the context may be cached.
-  if (fresh) {
-    std::lock_guard<std::mutex> lock(cache_mu_);
-    crypto_cache_[msg.header.sender] = cc;
-  }
+  if (fresh) cache_insert(msg.header.sender, cc);
 
   if (require_view && msg.header.view != *require_view) {
     ++rejected_view_;
@@ -374,7 +377,8 @@ void RecipeSecurity::reset_all() {
     ready_.clear();
   }
   std::lock_guard<std::mutex> lock(cache_mu_);
-  crypto_cache_.clear();
+  crypto_cache_.store(std::make_shared<const CryptoCache>(),
+                      std::memory_order_release);
 }
 
 void RecipeSecurity::reset_peer(NodeId peer) {
@@ -385,7 +389,10 @@ void RecipeSecurity::reset_peer(NodeId peer) {
   // Drop the cached crypto context too: the peer re-attested, so its channel
   // key must be re-derived from whatever the enclave now holds.
   std::lock_guard<std::mutex> lock(cache_mu_);
-  crypto_cache_.erase(peer);
+  auto next = std::make_shared<CryptoCache>(
+      *crypto_cache_.load(std::memory_order_relaxed));
+  next->erase(peer);
+  crypto_cache_.store(std::move(next), std::memory_order_release);
 }
 
 }  // namespace recipe

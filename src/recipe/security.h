@@ -22,15 +22,19 @@
 //    place, and MACed as a buffer prefix (no authenticated_data() copy);
 //  * ring-bitmap replay window (ReplayWindow) instead of a std::map.
 //
-// Threading (staged egress pipeline): shield()/shield_batch{,_parts}() and
-// verify() are callable from ANY thread. Cached crypto contexts are IMMUTABLE
-// snapshots handed out as shared_ptr<const ChannelCrypto> (crypto::Hmac only
-// copies midstates from a const context, so concurrent MACs never share
-// mutable state); counter allocation is atomic inside the enclave; the only
-// locks on the send path are the short cache lookup and the enclave's
-// counter mutex. Receive-side replay/ordering bookkeeping serializes behind
-// its own mutex — nonce/replay state is the ONLY part of a channel that two
-// threads must agree on.
+// Threading (staged egress pipeline + sharded transport): shield()/
+// shield_batch{,_parts}() and verify() are callable from ANY thread. Cached
+// crypto contexts are IMMUTABLE snapshots handed out as
+// shared_ptr<const ChannelCrypto> (crypto::Hmac only copies midstates from a
+// const context, so concurrent MACs never share mutable state), and the
+// cache itself is RCU-style: readers load an immutable map snapshot with one
+// atomic acquire — NO lock is shared across event-loop shards on the
+// steady-state path — while writers (first derivation per channel, epoch
+// bumps, resets) copy-on-write under a writer mutex. Counter allocation is
+// atomic inside the enclave; the only lock left on a steady-state send is
+// the enclave's counter mutex. Receive-side replay/ordering bookkeeping
+// serializes behind its own mutex — nonce/replay state is the ONLY part of
+// a channel that two threads must agree on.
 #pragma once
 
 #include <atomic>
@@ -253,10 +257,16 @@ class RecipeSecurity final : public SecurityPolicy {
   const tee::TeeCostModel* cost_model_;
   net::NodeCpu* cpu_;
   RecipeSecurityConfig config_;
-  // Send/verify crypto snapshots; the lock covers only map lookups and
-  // swaps, never key derivation or MAC computation.
+  // Send/verify crypto snapshots, RCU-style. Readers — every shield/verify
+  // on every shard loop — load the current immutable map snapshot with one
+  // atomic acquire and never take a lock; cache_mu_ serializes WRITERS only
+  // (copy the map, mutate the copy, publish with a release store). Neither
+  // side ever holds a lock across key derivation or MAC computation.
+  using CryptoCache = std::unordered_map<NodeId, CryptoSnapshot>;
+  void cache_insert(NodeId peer, CryptoSnapshot cc);
   mutable std::mutex cache_mu_;
-  std::unordered_map<NodeId, CryptoSnapshot> crypto_cache_;
+  std::atomic<std::shared_ptr<const CryptoCache>> crypto_cache_{
+      std::make_shared<const CryptoCache>()};
   // Receive-side replay/ordering state (the per-channel bookkeeping the
   // class comment's threading rules serialize).
   mutable std::mutex recv_mu_;

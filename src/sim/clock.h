@@ -54,6 +54,22 @@ inline TimerHandle make_timer_handle(std::weak_ptr<bool> flag) {
   return TimerHandle{std::move(flag)};
 }
 
+// Contract (both implementations):
+//  * Thread safety — now()/schedule_at()/schedule() are callable from any
+//    thread. Callbacks always FIRE on the clock's driving thread (the
+//    simulator's event loop, or the owning transport shard's epoll loop),
+//    never on the scheduling thread, and never concurrently with each
+//    other on the same clock. Under a sharded transport, schedule against
+//    the endpoint's home-shard clock (ShardedTcpTransport::clock_for) so
+//    the callback lands on the loop that owns the endpoint's state.
+//  * Ownership — the clock owns the callback until it fires or the clock
+//    is destroyed; cancel() only marks the shared flag, it does not free
+//    the callback early. Captured state must outlive the clock or be
+//    cancelled first: destroying a node with armed timers and letting them
+//    fire is the classic use-after-free (node destructors cancel).
+//  * Errors — scheduling never fails. A `when` in the past is clamped to
+//    "immediately" by real clocks; the Simulator asserts, because a past
+//    event under deterministic time is always a caller bug.
 class Clock {
  public:
   using Callback = std::function<void()>;

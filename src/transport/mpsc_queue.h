@@ -1,0 +1,111 @@
+// MpscQueue: an unbounded lock-free multi-producer / single-consumer queue
+// (Vyukov's intrusive algorithm, non-intrusive wrapper) — the cross-shard
+// data plane of the sharded TCP transport.
+//
+// Producers (other shard loops, caller threads) push with one atomic
+// exchange + one release store: wait-free, no mutex, no CAS loop, so a shard
+// handing a packet to a sibling never contends with the sibling's own hot
+// path. The single consumer (the owning shard's event loop) pops without any
+// atomic RMW at all.
+//
+// Contract:
+//  * push() — any thread, any number of threads concurrently;
+//  * try_pop()/drain-side calls — exactly ONE consumer thread, ever;
+//  * a push is visible to the consumer once the producer's release store
+//    lands. Between a producer's exchange and that store the queue is in a
+//    transient "blocked" state: try_pop() may report empty even though a
+//    later element is already linked. Producers therefore signal the
+//    consumer (eventfd) AFTER push() returns, so a blocked pop is always
+//    followed by another wakeup — the loop never sleeps on a lost element.
+//  * per-producer FIFO order is preserved; cross-producer order is the
+//    exchange order.
+#pragma once
+
+#include <atomic>
+#include <utility>
+
+namespace recipe::transport {
+
+template <typename T>
+class MpscQueue {
+ public:
+  MpscQueue() : head_(&stub_), tail_(&stub_) {}
+
+  MpscQueue(const MpscQueue&) = delete;
+  MpscQueue& operator=(const MpscQueue&) = delete;
+
+  ~MpscQueue() {
+    // Consumer-side teardown: no producers may be alive here.
+    Node* node = tail_;
+    while (node != nullptr) {
+      Node* next = node->next.load(std::memory_order_relaxed);
+      if (node != &stub_) delete node;
+      node = next;
+    }
+  }
+
+  // Any thread. Wait-free (one exchange, one store).
+  void push(T value) {
+    Node* node = new Node(std::move(value));
+    Node* prev = head_.exchange(node, std::memory_order_acq_rel);
+    prev->next.store(node, std::memory_order_release);
+  }
+
+  // Consumer thread only. Returns false when the queue is empty OR
+  // transiently blocked by an in-flight push (see header comment).
+  bool try_pop(T& out) {
+    Node* tail = tail_;
+    Node* next = tail->next.load(std::memory_order_acquire);
+    if (tail == &stub_) {
+      if (next == nullptr) return false;  // empty (or blocked at the stub)
+      tail_ = next;
+      tail = next;
+      next = tail->next.load(std::memory_order_acquire);
+    }
+    if (next != nullptr) {
+      out = std::move(tail->value);
+      tail_ = next;
+      delete tail;
+      return true;
+    }
+    // `tail` is the last linked node; re-enqueue the stub behind it so the
+    // element can be consumed while keeping one node always in the list.
+    if (head_.load(std::memory_order_acquire) != tail) {
+      return false;  // a producer is mid-push right behind tail: come back
+    }
+    stub_.next.store(nullptr, std::memory_order_relaxed);
+    Node* prev = head_.exchange(&stub_, std::memory_order_acq_rel);
+    prev->next.store(&stub_, std::memory_order_release);
+    next = tail->next.load(std::memory_order_acquire);
+    if (next != nullptr) {
+      out = std::move(tail->value);
+      tail_ = next;
+      delete tail;
+      return true;
+    }
+    return false;  // racing producer slipped in between; the wakeup re-runs us
+  }
+
+  // Consumer thread only: true when a pop MIGHT succeed (used by the event
+  // loop to poll with a zero timeout instead of sleeping while a producer is
+  // mid-push). May report true for a transiently blocked queue; never
+  // reports false while an element is poppable.
+  bool maybe_nonempty() const {
+    return tail_->next.load(std::memory_order_acquire) != nullptr ||
+           head_.load(std::memory_order_acquire) != tail_;
+  }
+
+ private:
+  struct Node {
+    Node() = default;
+    explicit Node(T&& v) : value(std::move(v)) {}
+    std::atomic<Node*> next{nullptr};
+    T value{};
+  };
+
+  std::atomic<Node*> head_;  // producers exchange onto the head
+  Node* tail_;               // consumer-owned
+  Node stub_;
+};
+
+}  // namespace recipe::transport

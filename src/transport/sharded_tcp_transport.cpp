@@ -1,0 +1,307 @@
+#include "transport/sharded_tcp_transport.h"
+
+#include <bit>
+#include <cassert>
+
+namespace recipe::transport {
+
+ShardedTcpTransport::ShardedTcpTransport(ShardedTcpTransportOptions options)
+    : options_(std::move(options)) {
+  const unsigned n = net::resolve_transport_shards(options_.shards,
+                                                   options_.net);
+  shards_.reserve(n);
+  for (unsigned s = 0; s < n; ++s) {
+    TcpTransportOptions shard_options = options_.transport;
+    shard_options.reuseport = n > 1;
+    if (n > 1) {
+      // Hooks run on shard s's loop thread, always after this constructor
+      // returns (they fire only once listeners/connections exist).
+      shard_options.shard_hooks.deliver_elsewhere =
+          [this, s](net::Packet&& p) {
+            return forward_delivery(s, std::move(p));
+          };
+      shard_options.shard_hooks.egress_elsewhere = [this, s](net::Packet&& p) {
+        return forward_egress(s, std::move(p));
+      };
+      shard_options.shard_hooks.peer_route = [this, s](std::uint64_t peer,
+                                                       bool up) {
+        peer_route(s, peer, up);
+      };
+    }
+    shards_.push_back(std::make_unique<TcpTransport>(std::move(shard_options)));
+  }
+}
+
+ShardedTcpTransport::~ShardedTcpTransport() { stop(); }
+
+void ShardedTcpTransport::stop() {
+  // Stop in order: a still-live shard pushing to an already-stopped sibling
+  // just parks packets in its MPSC queue (freed, uncounted, at destruction)
+  // — the same silent-drop semantics any teardown race has.
+  for (auto& shard : shards_) shard->stop();
+}
+
+// --- homes -------------------------------------------------------------------
+
+Status ShardedTcpTransport::pin_home(NodeId id, std::size_t shard) {
+  if (shard >= shards_.size()) {
+    return Status::error(ErrorCode::kInvalidArgument,
+                         "pin_home: shard out of range");
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  home_[id.value] = shard;
+  return Status::ok();
+}
+
+std::size_t ShardedTcpTransport::home_shard(NodeId id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  const auto it = home_.find(id.value);
+  return it == home_.end() ? 0 : it->second;
+}
+
+std::size_t ShardedTcpTransport::assign_home(NodeId id) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  const auto [it, inserted] = home_.try_emplace(id.value, next_home_);
+  if (inserted) next_home_ = (next_home_ + 1) % shards_.size();
+  return it->second;
+}
+
+// --- wiring ------------------------------------------------------------------
+
+Result<std::uint16_t> ShardedTcpTransport::listen(NodeId id,
+                                                  std::uint16_t port) {
+  assign_home(id);
+  // Shard 0 resolves an ephemeral port; the siblings join it (SO_REUSEPORT
+  // makes the shared bind legal). A partial bind is reported as failure —
+  // callers treat it like any listen error and the bound shards' listeners
+  // are closed again on detach/destruction.
+  auto first = shards_[0]->listen(id, port);
+  if (!first) return first;
+  const std::uint16_t actual = first.value();
+  for (std::size_t s = 1; s < shards_.size(); ++s) {
+    auto joined = shards_[s]->listen(id, actual);
+    if (!joined) return joined.status();
+  }
+  return actual;
+}
+
+std::uint16_t ShardedTcpTransport::listen_port(NodeId id) const {
+  return shards_[0]->listen_port(id);
+}
+
+Status ShardedTcpTransport::add_route(NodeId id, const std::string& host,
+                                      std::uint16_t port) {
+  for (auto& shard : shards_) {
+    Status st = shard->add_route(id, host, port);
+    if (!st.is_ok()) return st;
+  }
+  return Status::ok();
+}
+
+// --- Transport ---------------------------------------------------------------
+
+void ShardedTcpTransport::attach(NodeId id, net::NetStackParams stack,
+                                 DeliveryHandler handler) {
+  shards_[assign_home(id)]->attach(id, stack, std::move(handler));
+}
+
+void ShardedTcpTransport::detach(NodeId id) {
+  // Every shard may hold state for `id` (the home shard its handler, the
+  // others listener-only entries); the home mapping itself stays — homes are
+  // sticky so a detach/attach cycle (node restart in place) keeps its loop.
+  for (auto& shard : shards_) shard->detach(id);
+}
+
+bool ShardedTcpTransport::attached(NodeId id) const {
+  std::size_t h;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    const auto it = home_.find(id.value);
+    if (it == home_.end()) return false;
+    h = it->second;
+  }
+  return shards_[h]->attached(id);
+}
+
+net::NodeCpu& ShardedTcpTransport::cpu(NodeId id) { return home(id).cpu(id); }
+
+void ShardedTcpTransport::send(net::Packet packet) {
+  TcpTransport& h = home(packet.src);
+  if (shards_.size() == 1 || h.on_loop_thread()) {
+    // On the home loop (the common case: protocol code sending from its own
+    // callbacks) the send runs inline, exactly like the single-loop
+    // transport.
+    h.send(std::move(packet));
+    return;
+  }
+  // Foreign thread or sibling loop: lock-free handoff to the home loop.
+  h.post_send(std::move(packet));
+}
+
+void ShardedTcpTransport::crash(NodeId id) {
+  // Fan out: every shard marks the endpoint crashed (so frames arriving on
+  // ITS connections drop locally) and the shard-level liveness rule decides
+  // whether that shard's connections die with it (tcp_transport.cpp).
+  for (auto& shard : shards_) shard->crash(id);
+}
+
+void ShardedTcpTransport::recover(NodeId id) {
+  for (auto& shard : shards_) shard->recover(id);
+}
+
+bool ShardedTcpTransport::is_crashed(NodeId id) const {
+  return shards_[home_shard(id)]->is_crashed(id);
+}
+
+bool ShardedTcpTransport::overloaded(NodeId dst) const {
+  for (const auto& shard : shards_) {
+    if (shard->overloaded(dst)) return true;
+  }
+  return false;
+}
+
+void ShardedTcpTransport::reset_peer_connections(NodeId peer) {
+  for (auto& shard : shards_) shard->reset_peer_connections(peer);
+}
+
+void ShardedTcpTransport::reset_all_connections() {
+  for (auto& shard : shards_) shard->reset_all_connections();
+}
+
+// --- statistics --------------------------------------------------------------
+
+std::uint64_t ShardedTcpTransport::packets_sent() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->packets_sent();
+  return total;
+}
+
+std::uint64_t ShardedTcpTransport::packets_delivered() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->packets_delivered();
+  return total;
+}
+
+std::uint64_t ShardedTcpTransport::packets_dropped() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->packets_dropped();
+  return total;
+}
+
+std::uint64_t ShardedTcpTransport::bytes_sent() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->bytes_sent();
+  return total;
+}
+
+std::uint64_t ShardedTcpTransport::packets_shed() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->packets_shed();
+  return total;
+}
+
+std::uint64_t ShardedTcpTransport::dials_attempted() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->dials_attempted();
+  return total;
+}
+
+std::uint64_t ShardedTcpTransport::dials_failed() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->dials_failed();
+  return total;
+}
+
+std::uint64_t ShardedTcpTransport::accepts_shed() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->accepts_shed();
+  return total;
+}
+
+std::uint64_t ShardedTcpTransport::resets_injected() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->resets_injected();
+  return total;
+}
+
+std::size_t ShardedTcpTransport::egress_backlog() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard->egress_backlog();
+  return total;
+}
+
+// --- cross-shard hooks (on shard `from`'s loop thread) -----------------------
+
+bool ShardedTcpTransport::forward_delivery(std::size_t from,
+                                           net::Packet&& packet) {
+  std::size_t target;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    const auto it = home_.find(packet.dst.value);
+    // Unknown endpoint, or homed right here (detached/never attached): the
+    // drop belongs to the shard that owns the miss.
+    if (it == home_.end() || it->second == from) return false;
+    target = it->second;
+  }
+  shards_[target]->post_delivery(std::move(packet));
+  return true;
+}
+
+bool ShardedTcpTransport::forward_egress(std::size_t from,
+                                         net::Packet&& packet) {
+  enum class Hop { kNone, kDeliver, kForward };
+  Hop hop = Hop::kNone;
+  std::size_t target = 0;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    const auto hit = home_.find(packet.dst.value);
+    if (hit != home_.end()) {
+      // Destination co-hosted on this transport, homed on a sibling shard:
+      // skip the wire entirely (the sharded analog of the single-loop
+      // local-destination loopback).
+      if (hit->second == from) return false;
+      hop = Hop::kDeliver;
+      target = hit->second;
+    } else {
+      const auto cit = conn_shards_.find(packet.dst.value);
+      if (cit != conn_shards_.end()) {
+        // Mask out the asking shard: if it owned a live connection it would
+        // not be here.
+        const std::uint32_t mask =
+            cit->second & ~(std::uint32_t{1} << from);
+        if (mask != 0) {
+          hop = Hop::kForward;
+          target = static_cast<std::size_t>(std::countr_zero(mask));
+        }
+      }
+    }
+  }
+  switch (hop) {
+    case Hop::kNone:
+      return false;
+    case Hop::kDeliver:
+      packet.flatten();  // receivers only ever see contiguous payloads
+      shards_[target]->post_delivery(std::move(packet));
+      return true;
+    case Hop::kForward:
+      shards_[target]->post_forwarded_send(std::move(packet));
+      return true;
+  }
+  return false;
+}
+
+void ShardedTcpTransport::peer_route(std::size_t from, std::uint64_t peer,
+                                     bool up) {
+  const std::uint32_t bit = std::uint32_t{1} << from;
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (up) {
+    conn_shards_[peer] |= bit;
+    return;
+  }
+  const auto it = conn_shards_.find(peer);
+  if (it == conn_shards_.end()) return;
+  it->second &= ~bit;
+  if (it->second == 0) conn_shards_.erase(it);
+}
+
+}  // namespace recipe::transport

@@ -1,0 +1,172 @@
+// ShardedTcpTransport: N TcpTransport event-loop shards composed into ONE
+// multi-core net::Transport.
+//
+// The single-loop TcpTransport tops out when one epoll thread saturates a
+// core; this class scales it horizontally instead of fattening the loop:
+//
+//  * Accept spreading — listen(id, port) binds an SO_REUSEPORT listener on
+//    EVERY shard at the same port, so the kernel distributes accepted
+//    connections across shard loops by 4-tuple hash. Each connection is
+//    owned by exactly one loop for its whole lifetime (the PR 5 loop-
+//    affinity invariant, now per shard).
+//  * Endpoint homing — every endpoint lives on exactly ONE shard (its
+//    "home", round-robin by default, pinnable via pin_home before
+//    attach/listen). All of its callbacks — packet delivery and Clock
+//    timers — run on the home shard's loop thread, so protocol code keeps
+//    the single-threaded discipline it has everywhere else.
+//  * Lock-free cross-shard handoff — when a frame arrives on a connection
+//    owned by shard A for an endpoint homed on shard B, A pushes it onto
+//    B's MPSC queue (mpsc_queue.h) and wakes B's eventfd; when shard B must
+//    egress toward a peer whose connection shard A owns, the packet hops
+//    the other way (one hop, ever). No mutex sits on the data plane; the
+//    mutex-guarded post() inbox remains control-plane only.
+//  * Reply routing — a shared peer->shard directory (maintained from the
+//    same per-frame route learning the single-loop transport does) records
+//    which shard owns the connection that carries each remote endpoint's
+//    traffic, so replies exit through the owning loop.
+//
+// Thread-safety contract: identical to net::Transport — wiring and send are
+// any-thread; one endpoint's callbacks never run concurrently. clock() is
+// shard 0's TimerQueue; endpoints homed elsewhere must schedule against
+// clock_for(id) (TcpCluster and the benches do). With shards == 1 this class
+// is a pass-through wrapper: no hooks are installed, no directory is
+// consulted, and behavior is bit-for-bit the single-loop transport's.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "net/transport.h"
+#include "transport/tcp_transport.h"
+
+namespace recipe::transport {
+
+struct ShardedTcpTransportOptions {
+  // Event-loop shards. 0 = resolve from `net` (NetStackParams::
+  // transport_shards, then one per available core), capped at
+  // net::kMaxTransportShards.
+  unsigned shards = 0;
+  // Shard-count resolution input (and the stack model handed to endpoints).
+  net::NetStackParams net{};
+  // Per-shard transport knobs. `reuseport` and `shard_hooks` are owned by
+  // this class and overwritten.
+  TcpTransportOptions transport{};
+};
+
+class ShardedTcpTransport final : public net::Transport {
+ public:
+  explicit ShardedTcpTransport(ShardedTcpTransportOptions options = {});
+  ~ShardedTcpTransport() override;
+
+  ShardedTcpTransport(const ShardedTcpTransport&) = delete;
+  ShardedTcpTransport& operator=(const ShardedTcpTransport&) = delete;
+
+  // --- shard topology ------------------------------------------------------
+
+  std::size_t shard_count() const { return shards_.size(); }
+  TcpTransport& shard(std::size_t i) { return *shards_[i]; }
+  const TcpTransport& shard(std::size_t i) const { return *shards_[i]; }
+
+  // Pins `id`'s home shard. Must run BEFORE the endpoint's first
+  // attach/listen; unpinned endpoints are homed round-robin at that point.
+  Status pin_home(NodeId id, std::size_t shard);
+  // The endpoint's home shard (0 when the endpoint is unknown — shard 0 is
+  // the default home).
+  std::size_t home_shard(NodeId id) const;
+  // The home shard's transport: run_sync() against THIS to construct/touch
+  // the endpoint's objects, schedule against its clock() for its timers.
+  TcpTransport& home(NodeId id) { return *shards_[home_shard(id)]; }
+  // The time source for `id`'s callbacks (home shard's TimerQueue).
+  sim::Clock& clock_for(NodeId id) { return home(id).clock(); }
+
+  // --- deployment wiring ---------------------------------------------------
+
+  // Binds an SO_REUSEPORT listener for `id` on EVERY shard (port 0: shard 0
+  // picks the ephemeral port, the others join it). Assigns a home if `id`
+  // has none yet.
+  Result<std::uint16_t> listen(NodeId id, std::uint16_t port = 0);
+  std::uint16_t listen_port(NodeId id) const;
+  // Registers where to dial for a remote node, on every shard (each shard
+  // dials its own connection on first use; resolution happens here, on the
+  // calling thread).
+  Status add_route(NodeId id, const std::string& host, std::uint16_t port);
+
+  // --- control-plane conveniences (shard 0) --------------------------------
+  // Call-site compatibility with TcpTransport: orchestration written against
+  // a single-loop transport (cluster wiring, tests) keeps working, pinned to
+  // shard 0. Per-endpoint work belongs on home(id) instead.
+
+  void post(std::function<void()> fn) { shards_[0]->post(std::move(fn)); }
+  void run_sync(const std::function<void()>& fn) { shards_[0]->run_sync(fn); }
+  bool on_loop_thread() const { return shards_[0]->on_loop_thread(); }
+
+  // Joins every shard loop; idempotent. Implied by the destructor.
+  void stop();
+
+  // --- net::Transport ------------------------------------------------------
+
+  sim::Clock& clock() override { return shards_[0]->clock(); }
+
+  void attach(NodeId id, net::NetStackParams stack,
+              DeliveryHandler handler) override;
+  void detach(NodeId id) override;
+  bool attached(NodeId id) const override;
+  // Routes to packet.src's home shard: inline when already on that loop
+  // (the common case — protocol code sends from its own callbacks), else a
+  // lock-free MPSC push + eventfd wake. Never takes a mutex.
+  void send(net::Packet packet) override;
+  void send_gather(net::Packet packet) override { send(std::move(packet)); }
+  net::NodeCpu& cpu(NodeId id) override;
+  void crash(NodeId id) override;
+  void recover(NodeId id) override;
+  bool is_crashed(NodeId id) const override;
+  bool overloaded(NodeId dst) const override;
+
+  // --- chaos hooks (fan out; only the owning shard has the connection) -----
+  void reset_peer_connections(NodeId peer);
+  void reset_all_connections();
+
+  // --- statistics (sums across shards) -------------------------------------
+  std::uint64_t packets_sent() const override;
+  std::uint64_t packets_delivered() const override;
+  std::uint64_t packets_dropped() const override;
+  std::uint64_t bytes_sent() const override;
+  std::uint64_t packets_shed() const;
+  std::uint64_t dials_attempted() const;
+  std::uint64_t dials_failed() const;
+  std::uint64_t accepts_shed() const;
+  std::uint64_t resets_injected() const;
+  std::size_t egress_backlog() const;
+
+ private:
+  // ShardHooks targets, called on shard `from`'s loop thread.
+  bool forward_delivery(std::size_t from, net::Packet&& packet);
+  bool forward_egress(std::size_t from, net::Packet&& packet);
+  void peer_route(std::size_t from, std::uint64_t peer, bool up);
+
+  // Home of `id`, assigning the next round-robin shard on first sight.
+  std::size_t assign_home(NodeId id);
+
+  ShardedTcpTransportOptions options_;
+  std::vector<std::unique_ptr<TcpTransport>> shards_;
+
+  // Registry: endpoint homes + the peer->shard connection directory.
+  // Shard loops take the shared lock on forwarding decisions; wiring and
+  // route-learning take it exclusive. The steady-state hot path (send from
+  // the home loop, frames delivered on the conn-owning == home shard) never
+  // touches it.
+  mutable std::shared_mutex mu_;
+  std::unordered_map<std::uint64_t, std::size_t> home_;
+  // peer -> bitmask of shards whose conn_by_peer_ maps it (shard_count <=
+  // kMaxTransportShards <= 32). Forwarded egress picks the lowest set bit.
+  std::unordered_map<std::uint64_t, std::uint32_t> conn_shards_;
+  std::size_t next_home_{0};
+};
+
+}  // namespace recipe::transport

@@ -206,6 +206,46 @@ void TcpTransport::drain_inbox() {
   }
 }
 
+// --- cross-shard data plane --------------------------------------------------
+
+void TcpTransport::push_xshard(XShardOp&& op) {
+  xshard_.push(std::move(op));
+  // Wake AFTER the push: between a producer's exchange and its release store
+  // the queue is transiently unpoppable, so the consumer relies on this
+  // eventfd write arriving after the element is (or is about to be) linked —
+  // the loop's maybe_nonempty() zero-timeout poll covers the gap.
+  wake();
+}
+
+void TcpTransport::post_send(net::Packet&& packet) {
+  push_xshard(XShardOp{XShardOp::Kind::kSend, std::move(packet)});
+}
+
+void TcpTransport::post_forwarded_send(net::Packet&& packet) {
+  push_xshard(XShardOp{XShardOp::Kind::kForwardedSend, std::move(packet)});
+}
+
+void TcpTransport::post_delivery(net::Packet&& packet) {
+  push_xshard(XShardOp{XShardOp::Kind::kDeliver, std::move(packet)});
+}
+
+void TcpTransport::drain_xshard() {
+  XShardOp op;
+  while (xshard_.try_pop(op)) {
+    switch (op.kind) {
+      case XShardOp::Kind::kSend:
+        do_send(std::move(op.packet));
+        break;
+      case XShardOp::Kind::kForwardedSend:
+        do_send(std::move(op.packet), /*forwarded=*/true);
+        break;
+      case XShardOp::Kind::kDeliver:
+        deliver(std::move(op.packet));
+        break;
+    }
+  }
+}
+
 void TcpTransport::loop() {
   epoll_event events[kMaxEvents];
   while (!stop_requested_.load()) {
@@ -222,9 +262,14 @@ void TcpTransport::loop() {
       std::lock_guard<std::mutex> lock(inbox_mu_);
       if (!inbox_.empty()) timeout_ns = 0;
     }
+    // A producer mid-push leaves the queue transiently blocked (try_pop says
+    // empty, maybe_nonempty says true): poll with a zero timeout instead of
+    // sleeping until its eventfd write lands.
+    if (xshard_.maybe_nonempty()) timeout_ns = 0;
 
     const int n = wait_events(events, kMaxEvents, timeout_ns);
     drain_inbox();
+    drain_xshard();
     timers_.run_due();
     if (n < 0) continue;  // EINTR
 
@@ -282,6 +327,11 @@ Result<int> TcpTransport::bind_listener(std::uint16_t port) {
   if (fd < 0) return Status::error(ErrorCode::kInternal, "socket() failed");
   const int one = 1;
   ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (options_.reuseport) {
+    // Sibling shards bind the same port; the kernel spreads accepted
+    // connections across the listening sockets by 4-tuple hash.
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one));
+  }
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
@@ -409,8 +459,15 @@ void TcpTransport::crash(NodeId id) {
       if (it == endpoints_.end()) return;
       it->second->crashed = true;
       close_endpoint_sockets(*it->second);
+      // Under sharding a listener-only entry (handler lives on the home
+      // shard) still represents a live co-hosted endpoint whose accepted
+      // connections may land here — count it as alive so its traffic
+      // survives a sibling's crash.
+      const bool sharded =
+          static_cast<bool>(options_.shard_hooks.deliver_elsewhere);
       for (const auto& [other, ep] : endpoints_) {
-        if (other != id && ep->handler != nullptr && !ep->crashed) {
+        if (other != id && !ep->crashed &&
+            (ep->handler != nullptr || (sharded && ep->want_listener))) {
           others_alive = true;
         }
       }
@@ -470,44 +527,60 @@ void TcpTransport::send(net::Packet packet) {
 
 // --- loop-side implementation ------------------------------------------------
 
-void TcpTransport::do_send(net::Packet&& packet) {
-  ++packets_sent_;
+void TcpTransport::do_send(net::Packet&& packet, bool forwarded) {
   const std::size_t payload_size = packet.payload_size();
-  bytes_sent_ += payload_size + net::kFrameHeaderSize;
+  // A forwarded packet was already counted (and its source checked) on the
+  // shard that originated it; this shard only owns the wire.
+  if (!forwarded) {
+    ++packets_sent_;
+    bytes_sent_ += payload_size + net::kFrameHeaderSize;
 
-  bool local_dst = false;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    const auto src = endpoints_.find(packet.src);
-    if (src == endpoints_.end() || src->second->crashed) {
+    bool local_dst = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const auto src = endpoints_.find(packet.src);
+      if (src == endpoints_.end() || src->second->crashed) {
+        drop_packet();
+        return;
+      }
+      local_dst = endpoints_.contains(packet.dst);
+    }
+    if (payload_size > options_.max_frame_payload) {
       drop_packet();
       return;
     }
-    local_dst = endpoints_.contains(packet.dst);
-  }
-  if (payload_size > options_.max_frame_payload) {
-    drop_packet();
-    return;
-  }
 
-  if (local_dst) {
-    // Two endpoints sharing this transport (e.g. client + CAS in one
-    // process): loop back without a socket, but asynchronously — handlers
-    // never run inside the sender's call frame, matching the simulator.
-    // post() would run INLINE here (do_send is on the loop thread), so the
-    // deferral must go through the inbox explicitly.
-    packet.flatten();  // receivers only ever see contiguous payloads
-    {
-      std::lock_guard<std::mutex> lock(inbox_mu_);
-      inbox_.push_back(
-          [this, p = std::move(packet)]() mutable { deliver(std::move(p)); });
+    if (local_dst) {
+      // Two endpoints sharing this transport (e.g. client + CAS in one
+      // process): loop back without a socket, but asynchronously — handlers
+      // never run inside the sender's call frame, matching the simulator.
+      // post() would run INLINE here (do_send is on the loop thread), so the
+      // deferral must go through the inbox explicitly.
+      packet.flatten();  // receivers only ever see contiguous payloads
+      {
+        std::lock_guard<std::mutex> lock(inbox_mu_);
+        inbox_.push_back(
+            [this, p = std::move(packet)]() mutable { deliver(std::move(p)); });
+      }
+      wake();
+      return;
     }
-    wake();
+  } else if (payload_size > options_.max_frame_payload) {
+    drop_packet();
     return;
   }
 
   Conn* conn = conn_for(packet.dst);
   if (conn == nullptr) {
+    // No connection and nothing to dial here. Under sharding another shard
+    // may own the accepted connection that carries this peer's traffic (or
+    // home the destination endpoint): hand the packet over, once — a
+    // forwarded send that still finds no connection drops on the shard that
+    // owns the miss.
+    if (!forwarded && options_.shard_hooks.egress_elsewhere &&
+        options_.shard_hooks.egress_elsewhere(std::move(packet))) {
+      return;
+    }
     drop_packet();
     return;
   }
@@ -630,6 +703,9 @@ TcpTransport::Conn* TcpTransport::conn_for(NodeId peer) {
   conn.dial_peer = peer.value;
   conn.decoder = net::FrameDecoder(options_.max_frame_payload);
   conn_by_peer_[peer.value] = fd;
+  if (options_.shard_hooks.peer_route) {
+    options_.shard_hooks.peer_route(peer.value, /*up=*/true);
+  }
 
   epoll_register(fd, EPOLLIN | EPOLLOUT, conn.gen);
   return &conn;
@@ -810,7 +886,11 @@ void TcpTransport::handle_readable(Conn& conn) {
       // EVERY frame teaches a reply route: the remote transport may co-host
       // many endpoints (several clients, a client plus the CAS) behind this
       // one connection, and replies to each must find their way back.
-      conn_by_peer_.try_emplace(packet->src.value, fd);
+      const bool learned =
+          conn_by_peer_.try_emplace(packet->src.value, fd).second;
+      if (learned && options_.shard_hooks.peer_route) {
+        options_.shard_hooks.peer_route(packet->src.value, /*up=*/true);
+      }
       deliver(std::move(*packet));
     }
     if (resolve() == nullptr) return;
@@ -858,6 +938,9 @@ void TcpTransport::close_conn(int fd) {
   for (auto indexed = conn_by_peer_.begin();
        indexed != conn_by_peer_.end();) {
     if (indexed->second == fd) {
+      if (options_.shard_hooks.peer_route) {
+        options_.shard_hooks.peer_route(indexed->first, /*up=*/false);
+      }
       indexed = conn_by_peer_.erase(indexed);
     } else {
       ++indexed;
@@ -911,15 +994,27 @@ bool TcpTransport::overloaded(NodeId dst) const {
 
 void TcpTransport::deliver(net::Packet&& packet) {
   std::shared_ptr<DeliveryHandler> handler;
+  bool crashed_here = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     const auto it = endpoints_.find(packet.dst);
-    if (it == endpoints_.end() || it->second->crashed ||
-        it->second->handler == nullptr) {
-      drop_packet();
+    if (it != endpoints_.end()) {
+      crashed_here = it->second->crashed;
+      if (!crashed_here) handler = it->second->handler;
+    }
+  }
+  if (handler == nullptr) {
+    // Unknown endpoint, or a listener-only entry with no handler: under
+    // sharding that means "homed on a sibling shard" — the connection that
+    // carried the frame lives here, the endpoint's loop is elsewhere. A
+    // crashed endpoint is dropped HERE: crash() fans out to every shard, so
+    // local knowledge is authoritative.
+    if (!crashed_here && options_.shard_hooks.deliver_elsewhere &&
+        options_.shard_hooks.deliver_elsewhere(std::move(packet))) {
       return;
     }
-    handler = it->second->handler;
+    drop_packet();
+    return;
   }
   ++packets_delivered_;
   (*handler)(std::move(packet));

@@ -7,7 +7,10 @@
 // under the Simulator. A multi-threaded deployment is N transports: the
 // in-process cluster (cluster/tcp_cluster.h) gives each replica its own
 // transport thread; examples/real_cluster.cpp gives each replica its own
-// process.
+// process; ShardedTcpTransport (sharded_tcp_transport.h) composes N of these
+// into ONE multi-core transport — SO_REUSEPORT listeners spread accepted
+// connections across shard loops and the ShardHooks below stitch cross-shard
+// traffic back together over lock-free MPSC queues.
 //
 // Wiring model:
 //  * listen(id, port)  — endpoints that must be reachable bind a listening
@@ -44,11 +47,32 @@
 #include "common/result.h"
 #include "net/frame.h"
 #include "net/transport.h"
+#include "transport/mpsc_queue.h"
 #include "transport/timer_queue.h"
 
 struct epoll_event;  // <sys/epoll.h>, included only by the .cpp
 
 namespace recipe::transport {
+
+// Wiring a single-loop TcpTransport into a ShardedTcpTransport (see
+// sharded_tcp_transport.h). Each hook is invoked on THIS shard's loop thread;
+// implementations hand the packet to a sibling shard's lock-free inbox and
+// return true, or return false to fall back to this shard's normal behavior
+// (usually a drop). Not part of the public deployment surface: leave these
+// empty unless you are composing shards.
+struct ShardHooks {
+  // A frame arrived on a connection owned by this shard, but the destination
+  // endpoint is not homed here. True = forwarded to the home shard.
+  std::function<bool(net::Packet&&)> deliver_elsewhere;
+  // This shard has neither an established connection nor a dialable route to
+  // packet.dst. True = handed to the shard that owns a connection (or homes
+  // the co-hosted destination endpoint).
+  std::function<bool(net::Packet&&)> egress_elsewhere;
+  // A reply route to `peer` was learned (up=true: a connection on this shard
+  // now carries traffic for it) or dropped (up=false: that connection
+  // closed). Maintains the transport-level peer->shard directory.
+  std::function<void(std::uint64_t peer, bool up)> peer_route;
+};
 
 struct TcpTransportOptions {
   // Address listeners bind to. Loopback by default: the in-process cluster,
@@ -94,6 +118,16 @@ struct TcpTransportOptions {
   // receivers must reassemble across many reads.
   std::size_t trickle_bytes = 0;
   sim::Time trickle_interval = 1 * sim::kMillisecond;
+
+  // --- sharding ------------------------------------------------------------
+
+  // SO_REUSEPORT on listeners, so N sibling shards can bind the SAME port
+  // and the kernel spreads accepted connections across them by 4-tuple hash.
+  // Set by ShardedTcpTransport when shards > 1; pointless (but harmless) on
+  // a standalone transport.
+  bool reuseport = false;
+  // Cross-shard forwarding hooks; empty on a standalone transport.
+  ShardHooks shard_hooks{};
 };
 
 class TcpTransport final : public net::Transport {
@@ -152,6 +186,25 @@ class TcpTransport final : public net::Transport {
   // (per-connection) on the loop thread; other threads see the transport-
   // wide backlog gauge, good enough for admission control.
   bool overloaded(NodeId dst) const override;
+
+  // --- cross-shard data plane ----------------------------------------------
+  // Lock-free handoff onto this loop: any thread pushes, the loop drains.
+  // This is how sibling shards (and ShardedTcpTransport::send from foreign
+  // threads) inject work without touching the mutex-guarded post() inbox —
+  // the data plane never serializes on a lock. Each call wakes the loop via
+  // eventfd after the push lands (see mpsc_queue.h for why "after").
+
+  // Run the full egress path for `packet` on this loop, as if its source
+  // endpoint had called send() here.
+  void post_send(net::Packet&& packet);
+  // Egress a packet ALREADY routed here by a sibling shard's
+  // egress_elsewhere hook: skips the src-attached check and the
+  // sent-packet/byte counters (the originating shard counted them) and
+  // never re-forwards — cross-shard forwarding is one hop, ever.
+  void post_forwarded_send(net::Packet&& packet);
+  // Deliver a packet to an endpoint homed on this shard (the frame arrived
+  // on a sibling shard's connection).
+  void post_delivery(net::Packet&& packet);
 
   // --- chaos hooks ---------------------------------------------------------
 
@@ -241,8 +294,18 @@ class TcpTransport final : public net::Transport {
   void epoll_register(int fd, std::uint32_t events, std::uint64_t gen);
   void epoll_update(int fd, std::uint32_t events, std::uint64_t gen);
 
+  // Cross-shard op kinds, see post_send()/post_forwarded_send()/
+  // post_delivery().
+  struct XShardOp {
+    enum class Kind : std::uint8_t { kSend, kForwardedSend, kDeliver };
+    Kind kind{Kind::kSend};
+    net::Packet packet{};
+  };
+  void push_xshard(XShardOp&& op);
+  void drain_xshard();
+
   // All loop-thread only:
-  void do_send(net::Packet&& packet);
+  void do_send(net::Packet&& packet, bool forwarded = false);
   Conn* conn_for(NodeId peer);
   void apply_socket_options(int fd) const;
   void out_append(Conn& conn, BytesView data);
@@ -291,6 +354,10 @@ class TcpTransport final : public net::Transport {
   // Task inbox for post(); guarded by inbox_mu_.
   std::mutex inbox_mu_;
   std::deque<std::function<void()>> inbox_;
+
+  // Cross-shard data plane: lock-free, drained by the loop alongside the
+  // inbox. Only the sharded composition pushes here.
+  MpscQueue<XShardOp> xshard_;
 
   // Connections: loop-thread only. conn_by_peer_ learns a mapping from
   // EVERY frame a connection delivers (a remote transport co-hosting many

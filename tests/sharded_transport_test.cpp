@@ -1,0 +1,337 @@
+// ShardedTcpTransport tests: the multi-core transport's contracts on real
+// loopback sockets — shard-count resolution, echo across SO_REUSEPORT
+// accept spreading (frames land on whichever shard the kernel picked and
+// must still reach the endpoint's home loop, with replies exiting through
+// the connection-owning shard), the loop-affinity invariant (every
+// callback of an endpoint runs on its home shard's thread, timers
+// included), the lock-free cross-shard data plane under producer
+// contention (the TSan target), and EMFILE accept-shed with one reserve
+// descriptor per shard listener.
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "transport/sharded_tcp_transport.h"
+#include "transport/tcp_transport.h"
+
+namespace recipe::transport {
+namespace {
+
+Bytes payload_bytes(const std::string& s) { return to_bytes(s); }
+
+bool wait_for(const std::function<bool()>& done,
+              std::chrono::seconds limit = std::chrono::seconds(10)) {
+  const auto deadline = std::chrono::steady_clock::now() + limit;
+  while (!done()) {
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return true;
+}
+
+TEST(ShardedTransportTest, ShardCountResolution) {
+  // Explicit request wins; 0 falls back to params, then to the machine.
+  net::NetStackParams params;
+  EXPECT_EQ(net::resolve_transport_shards(3, params), 3u);
+  params.transport_shards = 5;
+  EXPECT_EQ(net::resolve_transport_shards(0, params), 5u);
+  EXPECT_EQ(net::resolve_transport_shards(2, params), 2u);
+  // The cap holds no matter how the count was requested.
+  EXPECT_EQ(net::resolve_transport_shards(1000, params),
+            net::kMaxTransportShards);
+  params.transport_shards = 1000;
+  EXPECT_EQ(net::resolve_transport_shards(0, params),
+            net::kMaxTransportShards);
+  // Auto (0/0) resolves to at least one shard regardless of what
+  // hardware_concurrency reports.
+  params.transport_shards = 0;
+  EXPECT_GE(net::resolve_transport_shards(0, params), 1u);
+  EXPECT_LE(net::resolve_transport_shards(0, params),
+            net::kMaxTransportShards);
+
+  ShardedTcpTransportOptions options;
+  options.shards = 3;
+  ShardedTcpTransport transport(options);
+  EXPECT_EQ(transport.shard_count(), 3u);
+}
+
+// One listening endpoint on a 4-shard server, eight single-loop clients
+// each dialing its own connection: SO_REUSEPORT hashes those connections
+// across the server shards, so (with overwhelming probability) several
+// land on non-home shards and every such request rides the cross-shard
+// delivery hop in, and the forwarded-egress hop back out. The contract
+// under test is that NONE of that is visible: every request is echoed
+// exactly once, and the aggregate stats account for every frame.
+TEST(ShardedTransportTest, EchoAcrossReuseportShards) {
+  constexpr std::size_t kClients = 8;
+  constexpr std::size_t kPerClient = 25;
+
+  ShardedTcpTransportOptions options;
+  options.shards = 4;
+  ShardedTcpTransport server(options);
+  const NodeId server_id{1};
+  server.attach(server_id, {}, [&](net::Packet&& p) {
+    net::Packet reply;
+    reply.src = server_id;
+    reply.dst = p.src;
+    reply.payload = std::move(p.payload);
+    server.send(std::move(reply));
+  });
+  auto port = server.listen(server_id, 0);
+  ASSERT_TRUE(port.is_ok());
+
+  struct Client {
+    TcpTransport transport;
+    NodeId id;
+    std::atomic<std::size_t> echoed{0};
+  };
+  std::vector<std::unique_ptr<Client>> clients;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    auto client = std::make_unique<Client>();
+    client->id = NodeId{100 + c};
+    ASSERT_TRUE(client->transport
+                    .add_route(server_id, "127.0.0.1", port.value())
+                    .is_ok());
+    Client* raw = client.get();
+    client->transport.attach(raw->id, {}, [raw](net::Packet&& p) {
+      EXPECT_EQ(p.src, NodeId{1});
+      raw->echoed.fetch_add(1, std::memory_order_relaxed);
+    });
+    clients.push_back(std::move(client));
+  }
+  for (auto& client : clients) {
+    for (std::size_t i = 0; i < kPerClient; ++i) {
+      net::Packet p;
+      p.src = client->id;
+      p.dst = server_id;
+      p.payload = payload_bytes("ping-" + std::to_string(i));
+      client->transport.send(std::move(p));
+    }
+  }
+
+  ASSERT_TRUE(wait_for([&] {
+    for (auto& client : clients) {
+      if (client->echoed.load(std::memory_order_relaxed) < kPerClient) {
+        return false;
+      }
+    }
+    return true;
+  })) << "echoes lost across the shard boundary";
+
+  // Aggregate stats span the shards: every request was delivered to the
+  // server endpoint and every reply was sent, whichever loops carried them.
+  EXPECT_GE(server.packets_delivered(), kClients * kPerClient);
+  EXPECT_GE(server.packets_sent(), kClients * kPerClient);
+}
+
+// The loop-affinity invariant, sharded: an endpoint's delivery callbacks
+// AND its timers run on its home shard's loop thread — no matter which
+// shard (or external thread) originated the work.
+TEST(ShardedTransportTest, CallbacksRunOnHomeShardThread) {
+  ShardedTcpTransportOptions options;
+  options.shards = 4;
+  ShardedTcpTransport transport(options);
+  const NodeId a{10};
+  const NodeId b{11};
+  ASSERT_TRUE(transport.pin_home(a, 1).is_ok());
+  ASSERT_TRUE(transport.pin_home(b, 2).is_ok());
+
+  std::thread::id home_a;
+  std::thread::id home_b;
+  transport.shard(1).run_sync([&] { home_a = std::this_thread::get_id(); });
+  transport.shard(2).run_sync([&] { home_b = std::this_thread::get_id(); });
+  ASSERT_NE(home_a, home_b);
+
+  std::atomic<int> delivered_b{0};
+  std::atomic<bool> wrong_thread{false};
+  transport.attach(a, {}, [&](net::Packet&&) {});
+  transport.attach(b, {}, [&](net::Packet&&) {
+    if (std::this_thread::get_id() != home_b) wrong_thread.store(true);
+    delivered_b.fetch_add(1, std::memory_order_relaxed);
+  });
+  ASSERT_EQ(&transport.home(b), &transport.shard(2));
+
+  // No listeners and no routes: a->b resolves through the co-hosted
+  // fallback, hopping from a's home loop straight onto b's MPSC queue.
+  // Sent from an external thread, so the a side takes post_send too.
+  for (int i = 0; i < 50; ++i) {
+    net::Packet p;
+    p.src = a;
+    p.dst = b;
+    p.payload = payload_bytes("x");
+    transport.send(std::move(p));
+  }
+  ASSERT_TRUE(wait_for([&] {
+    return delivered_b.load(std::memory_order_relaxed) == 50;
+  }));
+  EXPECT_FALSE(wrong_thread.load()) << "delivery left b's home loop";
+
+  // Timers: clock_for(b) is b's home shard's TimerQueue.
+  std::promise<std::thread::id> timer_thread;
+  auto timer_future = timer_thread.get_future();
+  transport.clock_for(b).schedule(sim::kMillisecond, [&] {
+    timer_thread.set_value(std::this_thread::get_id());
+  });
+  ASSERT_EQ(timer_future.wait_for(std::chrono::seconds(5)),
+            std::future_status::ready);
+  EXPECT_EQ(timer_future.get(), home_b) << "timer fired off the home loop";
+}
+
+// TSan target: hammer the lock-free cross-shard queues from every
+// direction at once — four external producer threads pushing through
+// post_send, four shard loops forwarding co-hosted deliveries to each
+// other, and the receiving handlers replying back across the same seam.
+TEST(ShardedTransportTest, CrossShardSendStress) {
+  constexpr std::size_t kEndpoints = 4;
+  constexpr int kPerPair = 100;
+
+  ShardedTcpTransportOptions options;
+  options.shards = 4;
+  ShardedTcpTransport transport(options);
+
+  std::vector<NodeId> ids;
+  std::atomic<std::size_t> pings{0};
+  std::atomic<std::size_t> pongs{0};
+  for (std::size_t e = 0; e < kEndpoints; ++e) {
+    ids.push_back(NodeId{20 + e});
+    ASSERT_TRUE(transport.pin_home(ids[e], e).is_ok());
+  }
+  for (std::size_t e = 0; e < kEndpoints; ++e) {
+    const NodeId self = ids[e];
+    transport.attach(self, {}, [&, self](net::Packet&& p) {
+      if (p.type == 0) {
+        pings.fetch_add(1, std::memory_order_relaxed);
+        net::Packet reply;
+        reply.src = self;
+        reply.dst = p.src;
+        reply.type = 1;
+        reply.payload = std::move(p.payload);
+        transport.send(std::move(reply));  // loop-thread cross-shard send
+      } else {
+        pongs.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  std::vector<std::thread> producers;
+  for (std::size_t e = 0; e < kEndpoints; ++e) {
+    producers.emplace_back([&, e] {
+      for (int i = 0; i < kPerPair; ++i) {
+        for (std::size_t peer = 0; peer < kEndpoints; ++peer) {
+          if (peer == e) continue;
+          net::Packet p;
+          p.src = ids[e];
+          p.dst = ids[peer];
+          p.type = 0;
+          p.payload = payload_bytes("stress");
+          transport.send(std::move(p));  // external-thread post_send
+        }
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+
+  const std::size_t expected = kEndpoints * (kEndpoints - 1) * kPerPair;
+  EXPECT_TRUE(wait_for([&] {
+    return pings.load(std::memory_order_relaxed) == expected &&
+           pongs.load(std::memory_order_relaxed) == expected;
+  })) << "pings=" << pings.load() << " pongs=" << pongs.load()
+      << " expected=" << expected;
+}
+
+// fd-table exhaustion with SO_REUSEPORT listeners: whichever shard the
+// kernel hands the pending connection to must shed it via ITS reserve fd
+// (each shard listener carries its own) and the whole transport must keep
+// serving once descriptors free up.
+TEST(ShardedTransportTest, EmfileAcceptShedWithReuseportListeners) {
+  ShardedTcpTransportOptions options;
+  options.shards = 2;
+  ShardedTcpTransport server(options);
+  const NodeId server_id{1};
+  server.attach(server_id, {}, [&](net::Packet&& p) {
+    net::Packet reply;
+    reply.src = server_id;
+    reply.dst = p.src;
+    reply.payload = std::move(p.payload);
+    server.send(std::move(reply));
+  });
+  auto port = server.listen(server_id, 0);
+  ASSERT_TRUE(port.is_ok());
+
+  // Raw client socket created while descriptors are still available;
+  // connect() itself allocates nothing new.
+  const int raw = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  ASSERT_GE(raw, 0);
+
+  std::size_t open_fds = 0;
+  for ([[maybe_unused]] const auto& entry :
+       std::filesystem::directory_iterator("/proc/self/fd")) {
+    ++open_fds;
+  }
+
+  rlimit saved{};
+  ASSERT_EQ(::getrlimit(RLIMIT_NOFILE, &saved), 0);
+  struct RestoreLimit {
+    rlimit saved;
+    ~RestoreLimit() { ::setrlimit(RLIMIT_NOFILE, &saved); }
+  } restore{saved};
+  rlimit tight = saved;
+  tight.rlim_cur = open_fds + 4;
+  ASSERT_EQ(::setrlimit(RLIMIT_NOFILE, &tight), 0);
+  std::vector<int> fillers;
+  for (int fd = ::open("/dev/null", O_RDONLY | O_CLOEXEC); fd >= 0;
+       fd = ::open("/dev/null", O_RDONLY | O_CLOEXEC)) {
+    fillers.push_back(fd);
+    ASSERT_LT(fillers.size(), 64u) << "fd table never filled";
+  }
+  ASSERT_EQ(errno, EMFILE);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port.value());
+  ASSERT_EQ(
+      ::connect(raw, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0)
+      << "backlog connect must succeed without a new local fd";
+
+  // The shed is asynchronous on whichever shard's loop accepted; the
+  // aggregate counter covers both candidates.
+  EXPECT_TRUE(wait_for([&] { return server.accepts_shed() >= 1; },
+                       std::chrono::seconds(5)));
+
+  // Restore descriptors and prove the listeners still accept real peers.
+  for (int fd : fillers) ::close(fd);
+  ASSERT_EQ(::setrlimit(RLIMIT_NOFILE, &saved), 0);
+  ::close(raw);
+
+  TcpTransport client;
+  const NodeId client_id{2};
+  std::atomic<bool> echoed{false};
+  ASSERT_TRUE(
+      client.add_route(server_id, "127.0.0.1", port.value()).is_ok());
+  client.attach(client_id, {}, [&](net::Packet&&) { echoed.store(true); });
+  net::Packet p;
+  p.src = client_id;
+  p.dst = server_id;
+  p.payload = payload_bytes("still alive");
+  client.send(std::move(p));
+  EXPECT_TRUE(wait_for([&] { return echoed.load(); }))
+      << "listener dead after EMFILE episode";
+}
+
+}  // namespace
+}  // namespace recipe::transport
