@@ -43,6 +43,7 @@
 
 #include "attest/bundle.h"
 #include "cluster/tcp_cluster.h"
+#include "obs/flight_recorder.h"
 #include "recipe/message.h"
 #include "recipe/security.h"
 #include "tee/platform.h"
@@ -86,11 +87,17 @@ struct ConfigResult {
   std::vector<LinkStats> links;
 };
 
-ConfigResult run_trial(bool secured, Pacing pacing, std::size_t total_ops) {
+ConfigResult run_trial(bool secured, Pacing pacing, std::size_t total_ops,
+                       bool metrics = true) {
   cluster::TcpClusterOptions options;
   options.protocol = "cr";
   options.replicas = 3;
   options.secured = secured;
+  options.metrics = metrics;
+  // The metrics-off trial also silences the flight recorder: together they
+  // reproduce the pre-observability cost profile (every handle a
+  // branch-on-null no-op, every span a single relaxed load).
+  obs::FlightRecorder::global().set_enabled(metrics);
   options.batch.enabled = pacing != Pacing::kNone;
   options.batch.max_count = 16;
   options.batch.max_delay = 50 * sim::kMicrosecond;  // real microseconds
@@ -148,6 +155,7 @@ ConfigResult run_trial(bool secured, Pacing pacing, std::size_t total_ops) {
       });
     }
   }
+  obs::FlightRecorder::global().set_enabled(true);
   return result;
 }
 
@@ -212,10 +220,10 @@ ChaosResult run_chaos_config(std::size_t total_ops) {
 }
 
 ConfigResult run_config(bool secured, Pacing pacing, std::size_t total_ops,
-                        std::size_t trials) {
+                        std::size_t trials, bool metrics = true) {
   ConfigResult best;
   for (std::size_t t = 0; t < trials; ++t) {
-    ConfigResult r = run_trial(secured, pacing, total_ops);
+    ConfigResult r = run_trial(secured, pacing, total_ops, metrics);
     // A failed trial never wins; among clean trials the fastest does.
     const bool r_ok = r.failed == 0 && r.ops > 0;
     const bool best_ok = best.failed == 0 && best.ops > 0;
@@ -552,6 +560,29 @@ int main(int argc, char** argv) {
       cores, speedup_unbatched, speedup_batched, floor,
       scaling_ok ? "ok" : "FAIL");
 
+  // Observability overhead guard: the headline shielded+RTT-paced config
+  // re-run with the metrics registries AND the flight recorder disabled
+  // (TcpClusterOptions::metrics=false constructs disabled registries, so
+  // every handle no-ops). The gate: instrumentation may cost at most 3%
+  // (on/off >= 0.97), best-of-trials on both sides to shed scheduler noise.
+  constexpr double kObsOverheadFloor = 0.97;
+  const ConfigResult obs_off =
+      run_config(true, Pacing::kRtt, ops, trials, /*metrics=*/false);
+  double obs_on_ops = 0.0;
+  for (const ConfigResult& r : results) {
+    if (r.security == "shielded" && r.pacing == Pacing::kRtt) {
+      obs_on_ops = r.ops_per_sec;
+    }
+  }
+  const double obs_ratio = ratio(obs_on_ops, obs_off.ops_per_sec);
+  const bool obs_ok = obs_off.failed == 0 && obs_off.ops > 0 &&
+                      obs_on_ops > 0 && obs_ratio >= kObsOverheadFloor;
+  std::printf(
+      "obs-overhead  on=%8.0f ops/s  off=%8.0f ops/s  ratio=%.3f  "
+      "floor=%.2f  -> %s\n",
+      obs_on_ops, obs_off.ops_per_sec, obs_ratio, kObsOverheadFloor,
+      obs_ok ? "ok" : "FAIL");
+
   // Informational only — excluded from all_ok by design (see ChaosResult).
   const ChaosResult chaos = run_chaos_config(ops / 4);
   std::printf(
@@ -641,6 +672,13 @@ int main(int argc, char** argv) {
                static_cast<unsigned long long>(chaos.duplicated),
                static_cast<unsigned long long>(chaos.reordered),
                static_cast<unsigned long long>(chaos.delayed));
+  std::fprintf(out,
+               "  \"obs_overhead\": {\"on_ops_per_sec\": %.0f, "
+               "\"off_ops_per_sec\": %.0f, \"ratio\": %.3f, "
+               "\"required_floor\": %.2f, "
+               "\"acceptance_obs_overhead_ok\": %s},\n",
+               obs_on_ops, obs_off.ops_per_sec, obs_ratio, kObsOverheadFloor,
+               obs_ok ? "true" : "false");
   std::fprintf(out, "  \"scaling\": {\n");
   std::fprintf(out, "    \"hardware_cores\": %u,\n", cores);
   std::fprintf(out, "    \"sessions\": %zu,\n", kScalingSessions);
@@ -674,8 +712,8 @@ int main(int argc, char** argv) {
   std::printf(
       "wrote %s (acceptance_all_configs_ok=%s, "
       "batched_over_unbatched_shielded=%.3f, "
-      "acceptance_shard_scaling_ok=%s)\n",
+      "acceptance_shard_scaling_ok=%s, acceptance_obs_overhead_ok=%s)\n",
       out_path, all_ok ? "true" : "false", batch_speedup,
-      scaling_ok ? "true" : "false");
-  return all_ok && scaling_ok ? 0 : 1;
+      scaling_ok ? "true" : "false", obs_ok ? "true" : "false");
+  return all_ok && scaling_ok && obs_ok ? 0 : 1;
 }

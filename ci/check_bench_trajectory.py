@@ -76,7 +76,12 @@ def transport_headline(doc):
     derived from the cores of the machine that ran it, so re-gating the raw
     speedup here would double-judge a machine-dependent number with a
     machine-independent threshold. (Absent on pre-sweep baselines: gated
-    once the committed baseline carries the section.)"""
+    once the committed baseline carries the section.)
+
+    The obs_overhead section likewise contributes only its acceptance
+    boolean: the bench already compares metrics-on vs metrics-off throughput
+    of the same config in the same run against the 3% ceiling, a
+    same-machine ratio. (Absent on pre-observability baselines.)"""
     out = {
         "acceptance_all_configs_ok": (
             1.0 if doc.get("acceptance_all_configs_ok") else 0.0),
@@ -89,6 +94,10 @@ def transport_headline(doc):
     if scaling is not None:
         out["acceptance_shard_scaling_ok"] = (
             1.0 if scaling.get("acceptance_shard_scaling_ok") else 0.0)
+    obs = doc.get("obs_overhead")
+    if obs is not None:
+        out["acceptance_obs_overhead_ok"] = (
+            1.0 if obs.get("acceptance_obs_overhead_ok") else 0.0)
     return out
 
 

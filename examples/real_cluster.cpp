@@ -33,6 +33,9 @@
 #include "attest/bundle.h"
 #include "cluster/registry.h"
 #include "cluster/tcp_cluster.h"
+#include "obs/admin.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
 #include "recipe/client.h"
 #include "recipe/node_base.h"
 #include "tee/enclave.h"
@@ -64,6 +67,10 @@ struct Args {
   std::size_t ops = 1000;
   std::size_t value_bytes = 64;
   std::size_t pipeline = 8;
+  // Replica mode: loopback admin/introspection endpoint (-1 off, 0 picks an
+  // ephemeral port, >0 binds exactly that port). Serves /metrics (Prometheus
+  // text), /trace (flight-recorder JSON) and /healthz.
+  int admin_port = -1;
 };
 
 bool parse_members(const std::string& spec, std::vector<Member>& out) {
@@ -131,6 +138,10 @@ bool parse_args(int argc, char** argv, Args& args) {
       const char* v = next();
       if (v == nullptr) return false;
       args.pipeline = std::strtoull(v, nullptr, 10);
+    } else if (a == "--admin-port") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args.admin_port = std::atoi(v);
     } else {
       std::fprintf(stderr, "unknown flag '%s'\n", a.c_str());
       return false;
@@ -179,8 +190,12 @@ int run_replica(const Args& args) {
     return 1;
   }
 
+  // One registry per replica process: the transport, the node and the WAL
+  // all register into it; the admin endpoint scrapes it.
+  obs::MetricsRegistry registry;
   transport::TcpTransportOptions topts;
   topts.bind_host = args.bind_host;
+  topts.metrics = &registry;
   transport::TcpTransport transport(topts);
   auto port = transport.listen(self->id, self->port);
   if (!port.is_ok()) {
@@ -219,9 +234,27 @@ int run_replica(const Args& args) {
     if (args.confidential) {
       options.kv_config.value_encryption_key = demo_value_key();
     }
+    options.metrics = &registry;
     node = (*factory)(transport.clock(), transport, std::move(options));
     node->start();
   });
+
+  std::unique_ptr<obs::AdminServer> admin;
+  if (args.admin_port >= 0) {
+    obs::AdminServer::Options admin_options;
+    admin_options.port = args.admin_port;
+    admin_options.metrics = &registry;
+    admin_options.recorder = &obs::FlightRecorder::global();
+    admin_options.name = "replica-" + std::to_string(self->id.value);
+    admin = std::make_unique<obs::AdminServer>(admin_options);
+    if (admin->port() < 0) {
+      std::fprintf(stderr, "admin endpoint bind failed (port %d)\n",
+                   args.admin_port);
+      return 1;
+    }
+    std::printf("admin endpoint on http://127.0.0.1:%d (/metrics /trace)\n",
+                admin->port());
+  }
 
   std::printf("replica %llu (%s) listening on %s:%u — Ctrl-C to stop\n",
               static_cast<unsigned long long>(self->id.value),
@@ -339,7 +372,8 @@ int main(int argc, char** argv) {
         stderr,
         "usage:\n"
         "  %s --id N --replicas id@host:port,... [--protocol cr] "
-        "[--bind 0.0.0.0] [--unsecured] [--confidential] [--no-batch]\n"
+        "[--bind 0.0.0.0] [--unsecured] [--confidential] [--no-batch] "
+        "[--admin-port P]\n"
         "  %s --client --replicas id@host:port,... [--ops N] "
         "[--value-bytes N] [--pipeline N]\n",
         argv[0], argv[0]);

@@ -28,6 +28,7 @@ RoutedClient::RoutedClient(ShardedCluster& cluster, RoutedClientOptions options)
   client_options.enclave = enclave_.get();
   client_options.request_timeout = options_.request_timeout;
   client_options.retry = options_.retry;
+  client_options.metrics = options_.metrics;
   client_ = std::make_unique<KvClient>(cluster_.sim(), cluster_.network(),
                                        client_options);
   // A replaced replica rejoins with restarted counters; without this reset
@@ -95,21 +96,36 @@ std::optional<std::string> RoutedClient::get_sync(const std::string& key) {
   return out;
 }
 
-const Histogram& RoutedClient::shard_latency_us(ShardId shard) {
-  return shard_latency_us_[shard];
+obs::Histogram& RoutedClient::shard_histogram(ShardId shard) {
+  auto it = shard_latency_us_.find(shard);
+  if (it == shard_latency_us_.end()) {
+    obs::Histogram handle =
+        options_.metrics != nullptr && options_.metrics->enabled()
+            ? options_.metrics->histogram(
+                  "recipe_client_shard_latency_us",
+                  "shard=\"" + std::to_string(shard) + "\"")
+            : obs::Histogram::detached();
+    it = shard_latency_us_.emplace(shard, std::move(handle)).first;
+  }
+  return it->second;
+}
+
+Histogram RoutedClient::shard_latency_us(ShardId shard) const {
+  const auto it = shard_latency_us_.find(shard);
+  return it == shard_latency_us_.end() ? Histogram{} : it->second.value();
 }
 
 Histogram RoutedClient::latency_us() const {
   Histogram merged;
-  for (const auto& [shard, histogram] : shard_latency_us_) {
+  for (const auto& [shard, handle] : shard_latency_us_) {
     (void)shard;
-    merged.merge(histogram);
+    merged.merge(handle.value());
   }
   return merged;
 }
 
 void RoutedClient::record(ShardId shard, sim::Time start) {
-  shard_latency_us_[shard].record(
+  shard_histogram(shard).record(
       (cluster_.sim().now() - start) / sim::kMicrosecond);
 }
 

@@ -16,6 +16,7 @@
 
 #include "cluster/cluster.h"
 #include "common/stats.h"
+#include "obs/metrics.h"
 #include "recipe/client.h"
 
 namespace recipe::cluster {
@@ -31,6 +32,11 @@ struct RoutedClientOptions {
   rpc::RetryPolicy retry = ClientOptions{}.retry;
   // Bound on the *_sync helpers' simulator drive.
   sim::Time sync_wait = 10 * sim::kSecond;
+  // When set, the underlying KvClient's recipe_client_* series and this
+  // router's per-shard latency histograms (recipe_client_shard_latency_us,
+  // labeled shard="k") land in this registry, which must outlive the
+  // client. Null keeps the stats private (detached cells).
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 class RoutedClient {
@@ -52,13 +58,15 @@ class RoutedClient {
   std::uint64_t issued() const { return client_->issued(); }
   std::uint64_t completed() const { return client_->completed(); }
   std::uint64_t failed() const { return client_->failed(); }
-  // Per-shard request latency (empty histogram for shards never contacted).
-  const Histogram& shard_latency_us(ShardId shard);
+  // Per-shard request latency snapshot (empty histogram for shards never
+  // contacted). By value: the backing cells keep counting in the registry.
+  Histogram shard_latency_us(ShardId shard) const;
   // All shards merged.
   Histogram latency_us() const;
 
  private:
   void record(ShardId shard, sim::Time start);
+  obs::Histogram& shard_histogram(ShardId shard);
 
   ShardedCluster& cluster_;
   RoutedClientOptions options_;
@@ -66,7 +74,10 @@ class RoutedClient {
   std::unique_ptr<KvClient> client_;
   std::uint64_t fresh_listener_token_{0};
   std::uint64_t read_hint_{0};
-  std::map<ShardId, Histogram> shard_latency_us_;
+  // Registry-backed handles when options_.metrics is set, detached cells
+  // otherwise; the old per-client Histogram copies lived here before the
+  // unified registry.
+  std::map<ShardId, obs::Histogram> shard_latency_us_;
 };
 
 }  // namespace recipe::cluster

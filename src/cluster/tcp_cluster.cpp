@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "cluster/registry.h"
+#include "obs/flight_recorder.h"
 #include "recipe/recovery.h"
 
 namespace recipe::cluster {
@@ -27,6 +28,15 @@ TcpCluster::TcpCluster(TcpClusterOptions options)
     membership_.push_back(NodeId{options_.first_id + i});
   }
 
+  // Registries first: every component below registers series into them (or
+  // gets no-op handles from a disabled registry when options_.metrics is
+  // off), so they must outlive everything else.
+  for (std::size_t i = 0; i < options_.replicas; ++i) {
+    metrics_.push_back(
+        std::make_unique<obs::MetricsRegistry>(options_.metrics));
+  }
+  client_metrics_ = std::make_unique<obs::MetricsRegistry>(options_.metrics);
+
   // One transport (shard set + listeners) per replica, plus the client's.
   // Each replica endpoint is pinned to shard 0 of its own transport — its
   // protocol code stays on one loop; extra shards carry accepted client
@@ -36,6 +46,7 @@ TcpCluster::TcpCluster(TcpClusterOptions options)
   transport_options.transport = options_.transport;
   std::vector<std::uint16_t> ports(options_.replicas, 0);
   for (std::size_t i = 0; i < options_.replicas; ++i) {
+    transport_options.transport.metrics = metrics_[i].get();
     transports_.push_back(
         std::make_unique<transport::ShardedTcpTransport>(transport_options));
     const Status pinned = transports_.back()->pin_home(membership_[i], 0);
@@ -49,6 +60,7 @@ TcpCluster::TcpCluster(TcpClusterOptions options)
     assert(port.is_ok() && "listen failed");
     ports[i] = port.value();
   }
+  transport_options.transport.metrics = client_metrics_.get();
   client_transport_ =
       std::make_unique<transport::ShardedTcpTransport>(transport_options);
   for (std::size_t i = 0; i < options_.replicas; ++i) {
@@ -74,6 +86,7 @@ TcpCluster::TcpCluster(TcpClusterOptions options)
     for (std::size_t i = 0; i < options_.replicas; ++i) {
       transport::ChaosOptions chaos_options = options_.chaos_options;
       chaos_options.seed += i;
+      chaos_options.metrics = metrics_[i].get();
       if (!chaos_options.reset_hook) {
         chaos_options.reset_hook = [t = transports_[i].get()](NodeId peer) {
           t->reset_peer_connections(peer);
@@ -84,6 +97,7 @@ TcpCluster::TcpCluster(TcpClusterOptions options)
     }
     transport::ChaosOptions chaos_options = options_.chaos_options;
     chaos_options.seed += options_.replicas;
+    chaos_options.metrics = client_metrics_.get();
     if (!chaos_options.reset_hook) {
       chaos_options.reset_hook = [t = client_transport_.get()](NodeId peer) {
         t->reset_peer_connections(peer);
@@ -139,12 +153,29 @@ TcpCluster::TcpCluster(TcpClusterOptions options)
         replica_options.wal_storage = wal_storage_[i].get();
         replica_options.wal = options_.wal;
       }
+      replica_options.metrics = metrics_[i].get();
 
       enclaves_[i] = std::move(enclave);
       nodes_[i] = (*factory)(transports_[i]->clock(), node_transport(i),
                              std::move(replica_options));
       nodes_[i]->start();
     });
+  }
+
+  // Admin endpoints last: they scrape the registries from their own serve
+  // threads, so everything they read must already be registered.
+  if (options_.admin_port >= 0) {
+    for (std::size_t i = 0; i < options_.replicas; ++i) {
+      obs::AdminServer::Options admin_options;
+      admin_options.port =
+          options_.admin_port == 0 ? 0 : options_.admin_port +
+                                             static_cast<int>(i);
+      admin_options.metrics = metrics_[i].get();
+      admin_options.recorder = &obs::FlightRecorder::global();
+      admin_options.name =
+          "replica-" + std::to_string(membership_[i].value);
+      admin_.push_back(std::make_unique<obs::AdminServer>(admin_options));
+    }
   }
 }
 
@@ -210,6 +241,7 @@ KvClient& TcpCluster::add_client(std::uint64_t client_id) {
     client_options.request_timeout = options_.request_timeout;
     client_options.max_retries = options_.max_retries;
     client_options.retry = options_.client_retry;
+    client_options.metrics = client_metrics_.get();
     client_enclaves_.push_back(std::move(enclave));
     clients_.push_back(std::make_unique<KvClient>(
         client_transport_->shard(home).clock(), client_net(),

@@ -31,6 +31,8 @@
 #include "attest/bundle.h"
 #include "common/result.h"
 #include "common/rng.h"
+#include "obs/admin.h"
+#include "obs/metrics.h"
 #include "recipe/client.h"
 #include "recipe/node_base.h"
 #include "rpc/retry.h"
@@ -104,6 +106,16 @@ struct TcpClusterOptions {
   bool durable_wal = false;
   std::string wal_dir = "wal_dumps";
   kv::WalOptions wal{};
+  // Observability. `metrics` (default on) gives every replica its own
+  // MetricsRegistry (transport/node/WAL/batcher/chaos series) plus one for
+  // the client transport's KvClients; false constructs DISABLED registries —
+  // every handle is a branch-on-null no-op, the bench's "metrics off" mode.
+  bool metrics = true;
+  // Admin introspection endpoint (loopback HTTP: /metrics Prometheus text,
+  // /trace flight-recorder JSON, /healthz). -1 (default) disables; 0 binds
+  // an ephemeral port per replica (query with admin_port(i)); >0 binds
+  // admin_port + i for replica i.
+  int admin_port = -1;
 };
 
 class TcpCluster {
@@ -143,6 +155,16 @@ class TcpCluster {
   // the fatal, non-retryable shield-failure path).
   tee::Enclave& client_enclave(std::size_t idx) {
     return *client_enclaves_[idx];
+  }
+  // Replica i's metrics registry (scraped by its admin endpoint; disabled —
+  // but never null — when options.metrics is false).
+  obs::MetricsRegistry& metrics(std::size_t i) { return *metrics_[i]; }
+  // The registry shared by every KvClient added via add_client().
+  obs::MetricsRegistry& client_metrics() { return *client_metrics_; }
+  // The loopback port replica i's admin endpoint listens on; -1 when the
+  // endpoint is disabled or failed to bind.
+  int admin_port(std::size_t i) const {
+    return i < admin_.size() && admin_[i] ? admin_[i]->port() : -1;
   }
 
   // Runs `fn` on replica i's loop thread (its home shard) and waits (the
@@ -200,6 +222,10 @@ class TcpCluster {
 
   TcpClusterOptions options_;
   std::vector<NodeId> membership_;
+  // Declared before every component that registers series or holds handles
+  // (transports, nodes, clients): registries must be destroyed LAST.
+  std::vector<std::unique_ptr<obs::MetricsRegistry>> metrics_;
+  std::unique_ptr<obs::MetricsRegistry> client_metrics_;
   std::vector<std::unique_ptr<transport::ShardedTcpTransport>> transports_;
   // Declared after transports_ (destroyed first): a chaos wrapper's pending
   // delay timers park on the inner transport's TimerQueue, so the inner
@@ -222,6 +248,9 @@ class TcpCluster {
   // Jitter stream for retry_op's between-attempt sleeps (single external
   // caller thread by class contract, so no lock).
   Rng op_rng_{0xB7E151628AED2A6AULL};
+  // Admin endpoints scrape the registries from their own serve threads;
+  // declared LAST so they stop before anything they read is destroyed.
+  std::vector<std::unique_ptr<obs::AdminServer>> admin_;
 };
 
 // Closed-loop pipelined PUT load: keeps `pipeline` ops outstanding on the

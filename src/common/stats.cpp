@@ -6,10 +6,10 @@
 namespace recipe {
 
 namespace {
-// 64 exponent groups x 16 linear sub-buckets.
 constexpr std::size_t kSubBuckets = 16;
 constexpr std::size_t kSubBits = 4;  // log2(kSubBuckets)
-constexpr std::size_t kNumBuckets = 64 * kSubBuckets;
+constexpr std::size_t kNumBuckets = Histogram::kNumBuckets;
+static_assert(kNumBuckets == 64 * kSubBuckets);
 }  // namespace
 
 Histogram::Histogram() : buckets_(kNumBuckets, 0) {}
@@ -44,13 +44,20 @@ void Histogram::record(std::uint64_t value) {
 }
 
 void Histogram::merge(const Histogram& other) {
+  merge_raw(other.buckets_.data(), other.count_, other.sum_, other.min_,
+            other.max_);
+}
+
+void Histogram::merge_raw(const std::uint64_t* buckets, std::uint64_t count,
+                          std::uint64_t sum, std::uint64_t min,
+                          std::uint64_t max) {
   for (std::size_t i = 0; i < kNumBuckets; ++i) {
-    buckets_[i] += other.buckets_[i];
+    buckets_[i] += buckets[i];
   }
-  count_ += other.count_;
-  sum_ += other.sum_;
-  min_ = std::min(min_, other.min_);
-  max_ = std::max(max_, other.max_);
+  count_ += count;
+  sum_ += sum;
+  if (count > 0) min_ = std::min(min_, min);
+  max_ = std::max(max_, max);
 }
 
 void Histogram::reset() {
@@ -67,8 +74,10 @@ double Histogram::mean() const {
 
 std::uint64_t Histogram::percentile(double q) const {
   if (count_ == 0) return 0;
-  if (q < 0) q = 0;
-  if (q > 1) q = 1;
+  // The bucket walk approximates interior quantiles via midpoints; the
+  // extremes are tracked exactly, so answer them exactly.
+  if (q <= 0) return min();
+  if (q >= 1) return max_;
   const std::uint64_t target =
       static_cast<std::uint64_t>(q * static_cast<double>(count_ - 1)) + 1;
   std::uint64_t seen = 0;

@@ -11,23 +11,34 @@ namespace recipe {
 // Log-bucketed latency histogram (nanosecond resolution, ~2% bucket error).
 class Histogram {
  public:
+  // 64 exponent groups x 16 linear sub-buckets. Public so lock-free shadow
+  // copies (obs::MetricsRegistry's per-thread cells) can mirror the layout.
+  static constexpr std::size_t kNumBuckets = 64 * 16;
+
   Histogram();
 
   void record(std::uint64_t value);
   void merge(const Histogram& other);
+  // Folds in a raw bucket snapshot (same kNumBuckets layout) plus its
+  // count/sum/min/max tallies; `min` is ignored when `count` is zero.
+  void merge_raw(const std::uint64_t* buckets, std::uint64_t count,
+                 std::uint64_t sum, std::uint64_t min, std::uint64_t max);
   void reset();
 
   std::uint64_t count() const { return count_; }
   std::uint64_t min() const { return count_ ? min_ : 0; }
   std::uint64_t max() const { return max_; }
+  std::uint64_t sum() const { return sum_; }
   double mean() const;
-  // q in [0, 1]; e.g. 0.5 for the median, 0.99 for p99.
+  // q in [0, 1]; e.g. 0.5 for the median, 0.99 for p99. q <= 0 returns the
+  // exact minimum, q >= 1 the exact maximum, and an empty histogram 0.
   std::uint64_t percentile(double q) const;
 
   std::string summary(const std::string& unit = "us") const;
 
- private:
   static std::size_t bucket_for(std::uint64_t value);
+
+ private:
   static std::uint64_t bucket_midpoint(std::size_t bucket);
 
   std::vector<std::uint64_t> buckets_;

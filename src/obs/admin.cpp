@@ -1,0 +1,118 @@
+#include "obs/admin.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+
+namespace obs {
+
+namespace {
+
+void send_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return;
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+std::string http_response(int code, const char* status,
+                          const std::string& content_type,
+                          const std::string& body) {
+  std::string out = "HTTP/1.0 " + std::to_string(code) + " " + status +
+                    "\r\nContent-Type: " + content_type +
+                    "\r\nContent-Length: " + std::to_string(body.size()) +
+                    "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace
+
+AdminServer::AdminServer(Options options) : options_(std::move(options)) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) return;
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(listen_fd_, 16) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) ==
+      0) {
+    port_ = ntohs(addr.sin_port);
+  }
+  thread_ = std::thread([this] { serve_loop(); });
+}
+
+AdminServer::~AdminServer() {
+  stop_.store(true, std::memory_order_relaxed);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+void AdminServer::serve_loop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    handle_connection(fd);
+    ::close(fd);
+  }
+}
+
+void AdminServer::handle_connection(int fd) {
+  // Bound how long a stalled client can hold the (serial) serve loop.
+  timeval tv{1, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  char buf[1024];
+  const ssize_t n = ::recv(fd, buf, sizeof(buf) - 1, 0);
+  if (n <= 0) return;
+  buf[n] = '\0';
+  // "GET /path HTTP/1.x" — everything else is a 404.
+  std::string path;
+  if (std::strncmp(buf, "GET ", 4) == 0) {
+    const char* start = buf + 4;
+    const char* end = std::strchr(start, ' ');
+    if (end != nullptr) path.assign(start, end);
+  }
+  if (path == "/metrics") {
+    const std::string body =
+        options_.metrics != nullptr ? options_.metrics->render_prometheus()
+                                    : std::string{};
+    send_all(fd, http_response(200, "OK", "text/plain; version=0.0.4", body));
+  } else if (path == "/trace") {
+    const std::string body = options_.recorder != nullptr
+                                 ? options_.recorder->dump_json()
+                                 : std::string{"{\"events\":[]}"};
+    send_all(fd, http_response(200, "OK", "application/json", body));
+  } else if (path == "/healthz") {
+    std::string body = "ok";
+    if (!options_.name.empty()) body += " " + options_.name;
+    body += "\n";
+    send_all(fd, http_response(200, "OK", "text/plain", body));
+  } else {
+    send_all(fd, http_response(404, "Not Found", "text/plain", "not found\n"));
+  }
+}
+
+}  // namespace obs

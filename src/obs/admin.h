@@ -1,0 +1,55 @@
+// Unshielded admin/introspection endpoint: a tiny HTTP/1.0 listener on
+// 127.0.0.1 serving the metrics registry and flight recorder.
+//
+//   GET /metrics  -> Prometheus text exposition (render_prometheus())
+//   GET /trace    -> flight-recorder JSON dump
+//   GET /healthz  -> "ok"
+//
+// Deliberately primitive: one accept/serve thread per server, serial
+// request handling, Connection: close. This is an operator port, not a
+// data-plane component — it must never contend with the event loops, so it
+// only ever READS (scrapes aggregate under the registry mutex; trace dumps
+// walk the rings best-effort).
+#pragma once
+
+#include <atomic>
+#include <string>
+#include <thread>
+
+namespace obs {
+
+class FlightRecorder;
+class MetricsRegistry;
+
+class AdminServer {
+ public:
+  struct Options {
+    // 0 picks an ephemeral port (read it back via port()).
+    int port = 0;
+    MetricsRegistry* metrics = nullptr;    // nullptr -> /metrics serves empty
+    FlightRecorder* recorder = nullptr;    // nullptr -> /trace serves empty
+    std::string name;                      // echoed in /healthz
+  };
+
+  // Binds and starts listening on the caller's thread (port() is valid
+  // immediately after construction); serving happens on a private thread.
+  explicit AdminServer(Options options);
+  ~AdminServer();
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  // Bound port, or -1 if the listener failed to bind.
+  int port() const { return port_; }
+
+ private:
+  void serve_loop();
+  void handle_connection(int fd);
+
+  Options options_;
+  int listen_fd_ = -1;
+  int port_ = -1;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+}  // namespace obs

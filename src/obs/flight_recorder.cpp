@@ -1,0 +1,147 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+namespace obs {
+
+const char* span_kind_name(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kNone:
+      return "none";
+    case SpanKind::kClientOp:
+      return "client_op";
+    case SpanKind::kShield:
+      return "shield";
+    case SpanKind::kBatchQueueWait:
+      return "batch_queue_wait";
+    case SpanKind::kSocketWrite:
+      return "socket_write";
+    case SpanKind::kVerify:
+      return "verify";
+    case SpanKind::kApply:
+      return "apply";
+    case SpanKind::kWalGroupCommit:
+      return "wal_group_commit";
+    case SpanKind::kRetryBackoff:
+      return "retry_backoff";
+  }
+  return "unknown";
+}
+
+FlightRecorder& FlightRecorder::global() {
+  static FlightRecorder recorder;
+  return recorder;
+}
+
+std::uint64_t FlightRecorder::now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::uint64_t FlightRecorder::next_instance_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+FlightRecorder::Ring* FlightRecorder::ring_for_this_thread() {
+  // The cached ring is keyed by the owning recorder's never-reused instance
+  // id, not its address: a stack-allocated recorder can die and a new one
+  // can reuse the same address, so an address key would dangle. On an id
+  // mismatch the thread simply registers a fresh ring with this recorder.
+  thread_local std::uint64_t cached_owner = 0;
+  thread_local Ring* cached = nullptr;
+  if (cached == nullptr || cached_owner != id_) {
+    auto ring = std::make_unique<Ring>();
+    cached = ring.get();
+    cached_owner = id_;
+    std::lock_guard<std::mutex> lock(rings_mu_);
+    rings_.push_back(std::move(ring));
+  }
+  return cached;
+}
+
+void FlightRecorder::record(SpanKind kind, std::uint64_t rpc_id,
+                            std::uint64_t actor, std::uint64_t t0_ns,
+                            std::uint64_t t1_ns, std::uint64_t detail) {
+  if (!enabled()) return;
+  Ring* ring = ring_for_this_thread();
+  const std::uint64_t seq = ring->head.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = ring->slots[seq % kRingSlots];
+  // Relaxed stores: only this thread writes this ring; readers accept
+  // torn events (header threading rule).
+  slot.rpc_id.store(rpc_id, std::memory_order_relaxed);
+  slot.actor.store(actor, std::memory_order_relaxed);
+  slot.t0_ns.store(t0_ns, std::memory_order_relaxed);
+  slot.t1_ns.store(t1_ns, std::memory_order_relaxed);
+  slot.detail.store(detail, std::memory_order_relaxed);
+  slot.kind.store(static_cast<std::uint64_t>(kind), std::memory_order_relaxed);
+}
+
+std::vector<FlightRecorder::Event> FlightRecorder::snapshot() const {
+  std::vector<Event> out;
+  std::lock_guard<std::mutex> lock(rings_mu_);
+  for (const auto& ring : rings_) {
+    for (const Slot& slot : ring->slots) {
+      const std::uint64_t kind = slot.kind.load(std::memory_order_relaxed);
+      if (kind == 0) continue;
+      Event ev;
+      ev.kind = static_cast<SpanKind>(kind);
+      ev.rpc_id = slot.rpc_id.load(std::memory_order_relaxed);
+      ev.actor = slot.actor.load(std::memory_order_relaxed);
+      ev.t0_ns = slot.t0_ns.load(std::memory_order_relaxed);
+      ev.t1_ns = slot.t1_ns.load(std::memory_order_relaxed);
+      ev.detail = slot.detail.load(std::memory_order_relaxed);
+      out.push_back(ev);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Event& a, const Event& b) { return a.t0_ns < b.t0_ns; });
+  return out;
+}
+
+std::string FlightRecorder::dump_json() const {
+  const std::vector<Event> events = snapshot();
+  std::string out = "{\"events\":[";
+  char line[256];
+  bool first = true;
+  for (const Event& ev : events) {
+    std::snprintf(line, sizeof(line),
+                  "%s{\"kind\":\"%s\",\"rpc_id\":%llu,\"actor\":%llu,"
+                  "\"t0_ns\":%llu,\"t1_ns\":%llu,\"detail\":%llu}",
+                  first ? "" : ",", span_kind_name(ev.kind),
+                  static_cast<unsigned long long>(ev.rpc_id),
+                  static_cast<unsigned long long>(ev.actor),
+                  static_cast<unsigned long long>(ev.t0_ns),
+                  static_cast<unsigned long long>(ev.t1_ns),
+                  static_cast<unsigned long long>(ev.detail));
+    out += line;
+    first = false;
+  }
+  out += "]}";
+  return out;
+}
+
+bool FlightRecorder::dump_json_to(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = dump_json();
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  return written == json.size();
+}
+
+void FlightRecorder::clear() {
+  std::lock_guard<std::mutex> lock(rings_mu_);
+  for (auto& ring : rings_) {
+    for (Slot& slot : ring->slots) {
+      slot.kind.store(0, std::memory_order_relaxed);
+    }
+    ring->head.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace obs

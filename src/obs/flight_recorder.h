@@ -1,0 +1,145 @@
+// Per-op flight recorder: a fixed-size lock-free per-thread ring of trace
+// events keyed by rpc_id, dumpable as JSON on demand (admin endpoint) or
+// automatically on test failure next to the RECIPE_TEST_SEED stamp.
+//
+// Threading rule
+//   - Each writing thread gets its own ring (registered lazily under a
+//     mutex, cached in a thread_local); writers touch ONLY their ring, with
+//     relaxed atomic stores — no CAS, no fences, no shared cache lines.
+//   - Readers walk every ring best-effort: a slot being overwritten mid-read
+//     can yield a torn event (fields from two different events). That is
+//     acceptable by design — the recorder is a diagnostic, not a ledger —
+//     and because every field is an atomic, TSan stays clean.
+//   - Rings are never freed while the recorder lives; a thread exiting
+//     leaves its ring (and its last events) behind for the next dump.
+//
+// Cost rule: when disabled, starting a span is one relaxed load and no
+// clock reads; instrumentation sites may therefore be unconditional.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace obs {
+
+enum class SpanKind : std::uint64_t {
+  kNone = 0,
+  kClientOp = 1,        // issue -> reply/failure (detail: 0 ok, else error)
+  kShield = 2,          // shield_batch_parts / per-message shield
+  kBatchQueueWait = 3,  // first enqueue -> batch flush
+  kSocketWrite = 4,     // flush_conn writev (detail: bytes written)
+  kVerify = 5,          // security verify on ingress
+  kApply = 6,           // state-machine apply (kv write)
+  kWalGroupCommit = 7,  // WAL group commit (detail: entries committed)
+  kRetryBackoff = 8,    // backoff sleep before a retry (detail: attempt)
+};
+
+const char* span_kind_name(SpanKind kind);
+
+class FlightRecorder {
+ public:
+  struct Event {
+    SpanKind kind = SpanKind::kNone;
+    std::uint64_t rpc_id = 0;
+    std::uint64_t actor = 0;  // emitting node/client/shard id
+    std::uint64_t t0_ns = 0;
+    std::uint64_t t1_ns = 0;
+    std::uint64_t detail = 0;  // kind-specific (bytes, error code, attempt)
+  };
+
+  static constexpr std::size_t kRingSlots = 4096;
+
+  FlightRecorder() = default;
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  // Process-wide recorder. Per-thread ring caching makes one global
+  // instance the cheap configuration; tests toggle it via set_enabled().
+  static FlightRecorder& global();
+
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  // Monotonic timestamp for span endpoints.
+  static std::uint64_t now_ns();
+
+  void record(SpanKind kind, std::uint64_t rpc_id, std::uint64_t actor,
+              std::uint64_t t0_ns, std::uint64_t t1_ns, std::uint64_t detail);
+
+  // Best-effort copy of every ring, sorted by t0_ns (see threading rule).
+  std::vector<Event> snapshot() const;
+  std::string dump_json() const;
+  bool dump_json_to(const std::string& path) const;
+  // Zeroes all rings. Call only when writers are quiescent.
+  void clear();
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> kind{0};
+    std::atomic<std::uint64_t> rpc_id{0};
+    std::atomic<std::uint64_t> actor{0};
+    std::atomic<std::uint64_t> t0_ns{0};
+    std::atomic<std::uint64_t> t1_ns{0};
+    std::atomic<std::uint64_t> detail{0};
+  };
+
+  struct Ring {
+    Slot slots[kRingSlots];
+    // Only the owning thread advances head; atomic so readers can see it.
+    std::atomic<std::uint64_t> head{0};
+  };
+
+  static std::uint64_t next_instance_id();
+  Ring* ring_for_this_thread();
+
+  // Never-reused id keying the per-thread ring cache to THIS recorder, so a
+  // thread that wrote through a destroyed recorder re-registers instead of
+  // dangling into freed rings.
+  const std::uint64_t id_ = next_instance_id();
+  std::atomic<bool> enabled_{true};
+  mutable std::mutex rings_mu_;
+  std::vector<std::unique_ptr<Ring>> rings_;
+};
+
+// RAII span against the global recorder: captures t0 at construction (only
+// when the recorder is enabled), records on finish()/destruction.
+class Span {
+ public:
+  Span(SpanKind kind, std::uint64_t rpc_id, std::uint64_t actor = 0)
+      : kind_(kind), rpc_id_(rpc_id), actor_(actor) {
+    if (FlightRecorder::global().enabled()) {
+      t0_ns_ = FlightRecorder::now_ns();
+      active_ = true;
+    }
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span() { finish(); }
+
+  bool active() const { return active_; }
+  void set_detail(std::uint64_t detail) { detail_ = detail; }
+  void set_rpc_id(std::uint64_t rpc_id) { rpc_id_ = rpc_id; }
+
+  void finish() {
+    if (!active_) return;
+    active_ = false;
+    FlightRecorder::global().record(kind_, rpc_id_, actor_, t0_ns_,
+                                    FlightRecorder::now_ns(), detail_);
+  }
+
+ private:
+  SpanKind kind_;
+  std::uint64_t rpc_id_;
+  std::uint64_t actor_;
+  std::uint64_t detail_ = 0;
+  std::uint64_t t0_ns_ = 0;
+  bool active_ = false;
+};
+
+}  // namespace obs

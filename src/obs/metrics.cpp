@@ -1,0 +1,324 @@
+#include "obs/metrics.h"
+
+#include <cstdio>
+
+namespace obs {
+
+namespace detail {
+
+void HistogramCell::record(std::uint64_t value) {
+  const std::size_t idx = recipe::Histogram::bucket_for(value);
+  buckets[idx].fetch_add(1, std::memory_order_relaxed);
+  count.fetch_add(1, std::memory_order_relaxed);
+  sum.fetch_add(value, std::memory_order_relaxed);
+  std::uint64_t seen = min.load(std::memory_order_relaxed);
+  while (value < seen &&
+         !min.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+  seen = max.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+void HistogramCell::merge_into(recipe::Histogram& out) const {
+  std::uint64_t snapshot[recipe::Histogram::kNumBuckets];
+  for (std::size_t i = 0; i < recipe::Histogram::kNumBuckets; ++i) {
+    snapshot[i] = buckets[i].load(std::memory_order_relaxed);
+  }
+  out.merge_raw(snapshot, count.load(std::memory_order_relaxed),
+                sum.load(std::memory_order_relaxed),
+                min.load(std::memory_order_relaxed),
+                max.load(std::memory_order_relaxed));
+}
+
+void HistogramCell::reset() {
+  for (std::size_t i = 0; i < recipe::Histogram::kNumBuckets; ++i) {
+    buckets[i].store(0, std::memory_order_relaxed);
+  }
+  count.store(0, std::memory_order_relaxed);
+  sum.store(0, std::memory_order_relaxed);
+  min.store(~0ULL, std::memory_order_relaxed);
+  max.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace detail
+
+Counter Counter::detached() {
+  Counter c;
+  c.owned_ = std::make_shared<detail::CounterCell>();
+  c.cell_ = c.owned_.get();
+  return c;
+}
+
+Gauge Gauge::detached() {
+  Gauge g;
+  g.owned_ = std::make_shared<detail::GaugeCell>();
+  g.cell_ = g.owned_.get();
+  return g;
+}
+
+Histogram Histogram::detached() {
+  Histogram h;
+  h.owned_ = std::make_shared<detail::HistogramCell>();
+  h.cell_ = h.owned_.get();
+  return h;
+}
+
+recipe::Histogram Histogram::value() const {
+  recipe::Histogram out;
+  if (cell_) cell_->merge_into(out);
+  return out;
+}
+
+CallbackHandle::CallbackHandle(CallbackHandle&& other) noexcept
+    : registry_(other.registry_), id_(other.id_) {
+  other.registry_ = nullptr;
+  other.id_ = 0;
+}
+
+CallbackHandle& CallbackHandle::operator=(CallbackHandle&& other) noexcept {
+  if (this != &other) {
+    release();
+    registry_ = other.registry_;
+    id_ = other.id_;
+    other.registry_ = nullptr;
+    other.id_ = 0;
+  }
+  return *this;
+}
+
+CallbackHandle::~CallbackHandle() { release(); }
+
+void CallbackHandle::release() {
+  if (registry_ != nullptr) {
+    registry_->remove_callback(id_);
+    registry_ = nullptr;
+    id_ = 0;
+  }
+}
+
+MetricsRegistry::MetricsRegistry(bool enabled) : enabled_(enabled) {}
+
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+MetricsRegistry::Series& MetricsRegistry::series_slot(const std::string& name,
+                                                      const std::string& labels,
+                                                      Kind kind) {
+  auto [it, inserted] = families_.try_emplace(name);
+  if (inserted) it->second.kind = kind;
+  // Mixed kinds on one name are a wiring bug; first registration wins and
+  // later cells of the wrong kind are still stored (they render under the
+  // first kind's rules, surfacing the clash instead of crashing).
+  return it->second.series[labels];
+}
+
+Counter MetricsRegistry::counter(const std::string& name,
+                                 const std::string& labels) {
+  if (!enabled_) return Counter{};
+  std::lock_guard<std::mutex> lock(mu_);
+  Series& s = series_slot(name, labels, Kind::kCounter);
+  s.counter_cells.push_back(std::make_unique<detail::CounterCell>());
+  return Counter{s.counter_cells.back().get()};
+}
+
+Gauge MetricsRegistry::gauge(const std::string& name,
+                             const std::string& labels) {
+  if (!enabled_) return Gauge{};
+  std::lock_guard<std::mutex> lock(mu_);
+  Series& s = series_slot(name, labels, Kind::kGauge);
+  s.gauge_cells.push_back(std::make_unique<detail::GaugeCell>());
+  return Gauge{s.gauge_cells.back().get()};
+}
+
+Histogram MetricsRegistry::histogram(const std::string& name,
+                                     const std::string& labels) {
+  if (!enabled_) return Histogram{};
+  std::lock_guard<std::mutex> lock(mu_);
+  Series& s = series_slot(name, labels, Kind::kHistogram);
+  s.histogram_cells.push_back(std::make_unique<detail::HistogramCell>());
+  return Histogram{s.histogram_cells.back().get()};
+}
+
+CallbackHandle MetricsRegistry::on_counter(const std::string& name,
+                                           const std::string& labels,
+                                           std::function<std::uint64_t()> read) {
+  if (!enabled_) return CallbackHandle{};
+  std::lock_guard<std::mutex> lock(mu_);
+  Series& s = series_slot(name, labels, Kind::kCounter);
+  const std::uint64_t id = next_callback_id_++;
+  s.callbacks.push_back(Callback{id, std::move(read), nullptr});
+  return CallbackHandle{this, id};
+}
+
+CallbackHandle MetricsRegistry::on_gauge(const std::string& name,
+                                         const std::string& labels,
+                                         std::function<std::int64_t()> read) {
+  if (!enabled_) return CallbackHandle{};
+  std::lock_guard<std::mutex> lock(mu_);
+  Series& s = series_slot(name, labels, Kind::kGauge);
+  const std::uint64_t id = next_callback_id_++;
+  s.callbacks.push_back(Callback{id, nullptr, std::move(read)});
+  return CallbackHandle{this, id};
+}
+
+void MetricsRegistry::remove_callback(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, family] : families_) {
+    for (auto& [labels, series] : family.series) {
+      for (auto it = series.callbacks.begin(); it != series.callbacks.end();
+           ++it) {
+        if (it->id == id) {
+          series.callbacks.erase(it);
+          return;
+        }
+      }
+    }
+  }
+}
+
+std::uint64_t MetricsRegistry::counter_sum_locked(const Series& s) const {
+  std::uint64_t total = 0;
+  for (const auto& cell : s.counter_cells) {
+    total += cell->value.load(std::memory_order_relaxed);
+  }
+  for (const auto& cb : s.callbacks) {
+    if (cb.read_counter) total += cb.read_counter();
+  }
+  return total;
+}
+
+std::int64_t MetricsRegistry::gauge_sum_locked(const Series& s) const {
+  std::int64_t total = 0;
+  for (const auto& cell : s.gauge_cells) {
+    total += cell->value.load(std::memory_order_relaxed);
+  }
+  for (const auto& cb : s.callbacks) {
+    if (cb.read_gauge) total += cb.read_gauge();
+  }
+  return total;
+}
+
+namespace {
+
+std::string with_labels(const std::string& name, const std::string& labels,
+                        const char* extra = nullptr) {
+  std::string out = name;
+  if (!labels.empty() || extra != nullptr) {
+    out += '{';
+    out += labels;
+    if (extra != nullptr) {
+      if (!labels.empty()) out += ',';
+      out += extra;
+    }
+    out += '}';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::render_prometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  char line[256];
+  for (const auto& [name, family] : families_) {
+    const char* type = family.kind == Kind::kCounter   ? "counter"
+                       : family.kind == Kind::kGauge   ? "gauge"
+                                                       : "summary";
+    out += "# TYPE " + name + " " + type + "\n";
+    for (const auto& [labels, series] : family.series) {
+      switch (family.kind) {
+        case Kind::kCounter:
+          std::snprintf(line, sizeof(line), " %llu\n",
+                        static_cast<unsigned long long>(
+                            counter_sum_locked(series)));
+          out += with_labels(name, labels) + line;
+          break;
+        case Kind::kGauge:
+          std::snprintf(line, sizeof(line), " %lld\n",
+                        static_cast<long long>(gauge_sum_locked(series)));
+          out += with_labels(name, labels) + line;
+          break;
+        case Kind::kHistogram: {
+          recipe::Histogram merged;
+          for (const auto& cell : series.histogram_cells) {
+            cell->merge_into(merged);
+          }
+          static constexpr struct {
+            const char* label;
+            double q;
+          } kQuantiles[] = {{"quantile=\"0.5\"", 0.5},
+                            {"quantile=\"0.99\"", 0.99},
+                            {"quantile=\"0.999\"", 0.999}};
+          for (const auto& quant : kQuantiles) {
+            std::snprintf(
+                line, sizeof(line), " %llu\n",
+                static_cast<unsigned long long>(merged.percentile(quant.q)));
+            out += with_labels(name, labels, quant.label) + line;
+          }
+          std::snprintf(line, sizeof(line), " %llu\n",
+                        static_cast<unsigned long long>(merged.sum()));
+          out += with_labels(name + "_sum", labels) + line;
+          std::snprintf(line, sizeof(line), " %llu\n",
+                        static_cast<unsigned long long>(merged.count()));
+          out += with_labels(name + "_count", labels) + line;
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::size_t MetricsRegistry::series_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const auto& [name, family] : families_) {
+    const std::size_t per_labelset =
+        family.kind == Kind::kHistogram ? 5 : 1;  // 3 quantiles + sum + count
+    n += family.series.size() * per_labelset;
+  }
+  return n;
+}
+
+std::uint64_t MetricsRegistry::counter_value(const std::string& name,
+                                             const std::string& labels) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto fit = families_.find(name);
+  if (fit == families_.end()) return 0;
+  auto sit = fit->second.series.find(labels);
+  if (sit == fit->second.series.end()) return 0;
+  return counter_sum_locked(sit->second);
+}
+
+std::int64_t MetricsRegistry::gauge_value(const std::string& name,
+                                          const std::string& labels) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto fit = families_.find(name);
+  if (fit == families_.end()) return 0;
+  auto sit = fit->second.series.find(labels);
+  if (sit == fit->second.series.end()) return 0;
+  return gauge_sum_locked(sit->second);
+}
+
+recipe::Histogram MetricsRegistry::histogram_value(
+    const std::string& name, const std::string& labels) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  recipe::Histogram merged;
+  auto fit = families_.find(name);
+  if (fit == families_.end()) return merged;
+  auto sit = fit->second.series.find(labels);
+  if (sit == fit->second.series.end()) return merged;
+  for (const auto& cell : sit->second.histogram_cells) {
+    cell->merge_into(merged);
+  }
+  return merged;
+}
+
+}  // namespace obs

@@ -1,0 +1,258 @@
+// Sharded metrics registry: named counters, gauges, and log-bucketed
+// histograms with per-handle cache-line-aligned slots, aggregated only at
+// scrape time.
+//
+// Threading model
+//   - Every handle owns a PRIVATE cache-line-aligned cell. Hot-path updates
+//     are relaxed atomic ops on that cell; two handles never share a cache
+//     line, so the sharded transport's event loops never contend.
+//   - The registry aggregates cells (and registered callbacks) under a mutex
+//     when scraped; scrapes tolerate concurrent writers, and totals are
+//     exact once the writing threads have been joined (thread join gives
+//     the scraper a happens-before edge over every relaxed increment).
+//   - Cells are owned by the registry (or by the handle itself for detached
+//     handles) and are never freed while the registry lives, so handles can
+//     hold raw pointers.
+//
+// Wiring model
+//   - Components that keep their own atomics (transport packet counters,
+//     security rejection counters, chaos injector tallies) register a
+//     read-callback instead of double-counting: on_counter()/on_gauge()
+//     return an RAII CallbackHandle that unregisters on destruction. The
+//     component must destroy the handle before the state the callback reads.
+//   - A null registry pointer means "no registration": value-holding users
+//     (e.g. KvClient bookkeeping) fall back to detached handles, which
+//     count into a privately owned cell and simply never appear in a scrape.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace obs {
+
+class MetricsRegistry;
+
+namespace detail {
+
+struct alignas(64) CounterCell {
+  std::atomic<std::uint64_t> value{0};
+};
+
+struct alignas(64) GaugeCell {
+  std::atomic<std::int64_t> value{0};
+};
+
+// Lock-free shadow of recipe::Histogram: same bucket layout, all fields
+// relaxed atomics. min/max converge via CAS races (each loses only to a
+// strictly better value, so the post-join result is exact).
+struct alignas(64) HistogramCell {
+  std::atomic<std::uint64_t> buckets[recipe::Histogram::kNumBuckets]{};
+  std::atomic<std::uint64_t> count{0};
+  std::atomic<std::uint64_t> sum{0};
+  std::atomic<std::uint64_t> min{~0ULL};
+  std::atomic<std::uint64_t> max{0};
+
+  void record(std::uint64_t value);
+  void merge_into(recipe::Histogram& out) const;
+  void reset();
+};
+
+}  // namespace detail
+
+// Relaxed-atomic counter handle. Null handles (default-constructed, or
+// vended by a disabled registry) ignore increments and read zero.
+class Counter {
+ public:
+  Counter() = default;
+
+  void inc(std::uint64_t n = 1) {
+    if (cell_) cell_->value.fetch_add(n, std::memory_order_relaxed);
+  }
+  // Value recorded through THIS handle's cell only (other handles on the
+  // same series have their own cells; the registry sums them at scrape).
+  std::uint64_t value() const {
+    return cell_ ? cell_->value.load(std::memory_order_relaxed) : 0;
+  }
+  void reset() {
+    if (cell_) cell_->value.store(0, std::memory_order_relaxed);
+  }
+  explicit operator bool() const { return cell_ != nullptr; }
+
+  // A counting handle not attached to any registry (never scraped).
+  static Counter detached();
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(detail::CounterCell* cell) : cell_(cell) {}
+
+  detail::CounterCell* cell_ = nullptr;
+  std::shared_ptr<detail::CounterCell> owned_;
+};
+
+class Gauge {
+ public:
+  Gauge() = default;
+
+  void set(std::int64_t v) {
+    if (cell_) cell_->value.store(v, std::memory_order_relaxed);
+  }
+  void add(std::int64_t n) {
+    if (cell_) cell_->value.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::int64_t value() const {
+    return cell_ ? cell_->value.load(std::memory_order_relaxed) : 0;
+  }
+  explicit operator bool() const { return cell_ != nullptr; }
+
+  static Gauge detached();
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(detail::GaugeCell* cell) : cell_(cell) {}
+
+  detail::GaugeCell* cell_ = nullptr;
+  std::shared_ptr<detail::GaugeCell> owned_;
+};
+
+// Log-bucketed histogram handle (recipe::Histogram bucket layout).
+class Histogram {
+ public:
+  Histogram() = default;
+
+  void record(std::uint64_t value) {
+    if (cell_) cell_->record(value);
+  }
+  // Snapshot of THIS handle's cell as a plain recipe::Histogram.
+  recipe::Histogram value() const;
+  void reset() {
+    if (cell_) cell_->reset();
+  }
+  explicit operator bool() const { return cell_ != nullptr; }
+
+  static Histogram detached();
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(detail::HistogramCell* cell) : cell_(cell) {}
+
+  detail::HistogramCell* cell_ = nullptr;
+  std::shared_ptr<detail::HistogramCell> owned_;
+};
+
+// RAII registration of a read-callback series; unregisters in the dtor.
+// Destroy before the state the callback closes over, and before the
+// registry itself.
+class CallbackHandle {
+ public:
+  CallbackHandle() = default;
+  CallbackHandle(CallbackHandle&& other) noexcept;
+  CallbackHandle& operator=(CallbackHandle&& other) noexcept;
+  CallbackHandle(const CallbackHandle&) = delete;
+  CallbackHandle& operator=(const CallbackHandle&) = delete;
+  ~CallbackHandle();
+
+  void release();
+
+ private:
+  friend class MetricsRegistry;
+  CallbackHandle(MetricsRegistry* registry, std::uint64_t id)
+      : registry_(registry), id_(id) {}
+
+  MetricsRegistry* registry_ = nullptr;
+  std::uint64_t id_ = 0;
+};
+
+class MetricsRegistry {
+ public:
+  explicit MetricsRegistry(bool enabled = true);
+  ~MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Process-wide registry for standalone binaries (examples, tools).
+  // Library code always takes an explicit registry pointer instead.
+  static MetricsRegistry& global();
+
+  bool enabled() const { return enabled_; }
+
+  // Each call allocates a fresh cell for the (name, labels) series, so
+  // independent threads/shards can hold independent handles on the same
+  // series without sharing cache lines. `labels` is a raw Prometheus label
+  // body, e.g. `shard="3"` (no braces), empty for none. A disabled
+  // registry returns null handles, which compile down to a branch on null.
+  Counter counter(const std::string& name, const std::string& labels = {});
+  Gauge gauge(const std::string& name, const std::string& labels = {});
+  Histogram histogram(const std::string& name, const std::string& labels = {});
+
+  // Read-callback series for components that already maintain atomics.
+  // Multiple callbacks on one (name, labels) series sum at scrape time.
+  CallbackHandle on_counter(const std::string& name, const std::string& labels,
+                            std::function<std::uint64_t()> read);
+  CallbackHandle on_gauge(const std::string& name, const std::string& labels,
+                          std::function<std::int64_t()> read);
+
+  // --- scrape side -------------------------------------------------------
+
+  // Prometheus text exposition. Counters/gauges render one line per
+  // labelset; histograms render summary-style (quantile 0.5/0.99/0.999
+  // lines plus _sum and _count).
+  std::string render_prometheus() const;
+  // Distinct rendered series: 1 per counter/gauge labelset, 5 per
+  // histogram labelset (three quantiles + _sum + _count).
+  std::size_t series_count() const;
+
+  // Aggregated reads for tests and in-process consumers. Counter/gauge
+  // reads return 0 for unknown series; histogram reads return an empty
+  // histogram.
+  std::uint64_t counter_value(const std::string& name,
+                              const std::string& labels = {}) const;
+  std::int64_t gauge_value(const std::string& name,
+                           const std::string& labels = {}) const;
+  recipe::Histogram histogram_value(const std::string& name,
+                                    const std::string& labels = {}) const;
+
+ private:
+  friend class CallbackHandle;
+
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  struct Callback {
+    std::uint64_t id;
+    std::function<std::uint64_t()> read_counter;
+    std::function<std::int64_t()> read_gauge;
+  };
+
+  struct Series {
+    std::vector<std::unique_ptr<detail::CounterCell>> counter_cells;
+    std::vector<std::unique_ptr<detail::GaugeCell>> gauge_cells;
+    std::vector<std::unique_ptr<detail::HistogramCell>> histogram_cells;
+    std::vector<Callback> callbacks;
+  };
+
+  struct Family {
+    Kind kind;
+    // labels body -> series; std::map keeps renders deterministic.
+    std::map<std::string, Series> series;
+  };
+
+  Series& series_slot(const std::string& name, const std::string& labels,
+                      Kind kind);
+  void remove_callback(std::uint64_t id);
+  std::uint64_t counter_sum_locked(const Series& s) const;
+  std::int64_t gauge_sum_locked(const Series& s) const;
+
+  const bool enabled_;
+  mutable std::mutex mu_;
+  std::map<std::string, Family> families_;
+  std::uint64_t next_callback_id_ = 1;
+};
+
+}  // namespace obs

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/flight_recorder.h"
+
 namespace recipe {
 
 MessageBatcher::MessageBatcher(sim::Clock& clock, BatchConfig config,
@@ -27,9 +29,16 @@ void MessageBatcher::enqueue(NodeId peer, std::uint8_t kind,
   if (pending.frame.empty()) {
     pending.frame.reserve(std::min<std::size_t>(config_.max_bytes, 8 * 1024));
   }
+  const bool was_empty = pending.frame.empty();
   pending.frame.add(kind, type, rpc_id, payload);
-  buffered_bytes_ += kBatchItemOverhead + payload.size();
-  ++messages_batched_;
+  buffered_bytes_.fetch_add(kBatchItemOverhead + payload.size(),
+                            std::memory_order_relaxed);
+  messages_batched_.fetch_add(1, std::memory_order_relaxed);
+  if (was_empty) {
+    pending.first_enqueue_ns = obs::FlightRecorder::global().enabled()
+                                   ? obs::FlightRecorder::now_ns()
+                                   : 0;
+  }
 
   if (pending.frame.count() >= config_.max_count ||
       pending.frame.body_bytes() >= config_.max_bytes) {
@@ -67,7 +76,7 @@ void MessageBatcher::flush_all() {
 void MessageBatcher::cancel_all() {
   for (auto& [peer, pending] : pending_) pending.timer.cancel();
   pending_.clear();
-  buffered_bytes_ = 0;
+  buffered_bytes_.store(0, std::memory_order_relaxed);
 }
 
 sim::Time MessageBatcher::current_delay(NodeId peer) const {
@@ -115,13 +124,22 @@ void MessageBatcher::flush_pending(NodeId peer, Pending& pending,
   pending.timer.cancel();
   const std::size_t count = pending.frame.count();
   Bytes body = pending.frame.take_body();
-  buffered_bytes_ -= body.size() - kBatchCountSize;
-  ++batches_flushed_;
+  buffered_bytes_.fetch_sub(body.size() - kBatchCountSize,
+                            std::memory_order_relaxed);
+  batches_flushed_.fetch_add(1, std::memory_order_relaxed);
   if (by_timer) {
-    ++flushes_by_timer_;
+    flushes_by_timer_.fetch_add(1, std::memory_order_relaxed);
     adapt(pending, count);
   } else {
-    ++flushes_by_size_;
+    flushes_by_size_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (pending.first_enqueue_ns != 0) {
+    // Queue-wait span: oldest sub-message enqueue -> this flush.
+    obs::FlightRecorder::global().record(
+        obs::SpanKind::kBatchQueueWait, /*rpc_id=*/0, /*actor=*/peer.value,
+        pending.first_enqueue_ns, obs::FlightRecorder::now_ns(),
+        /*detail=*/count);
+    pending.first_enqueue_ns = 0;
   }
   // flush_ may re-enter enqueue() for a DIFFERENT peer (it never sends back
   // through the batcher to the same flush), after this peer's state is clean.

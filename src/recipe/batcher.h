@@ -34,6 +34,7 @@
 // immediately.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
@@ -98,7 +99,9 @@ class MessageBatcher {
   void cancel_all();
 
   // Bytes currently buffered across all peers (enclave working-set model).
-  std::size_t buffered_bytes() const { return buffered_bytes_; }
+  std::size_t buffered_bytes() const {
+    return buffered_bytes_.load(std::memory_order_relaxed);
+  }
 
   // The adaptive delay currently applied to `peer` (max_delay when the peer
   // has no history yet).
@@ -114,10 +117,20 @@ class MessageBatcher {
   sim::Time rtt_ewma(NodeId peer) const;
 
   // --- Statistics ------------------------------------------------------------
-  std::uint64_t messages_batched() const { return messages_batched_; }
-  std::uint64_t batches_flushed() const { return batches_flushed_; }
-  std::uint64_t flushes_by_size() const { return flushes_by_size_; }
-  std::uint64_t flushes_by_timer() const { return flushes_by_timer_; }
+  // Written on the owner's loop thread; relaxed atomics so a metrics scrape
+  // from the admin thread reads them without a race.
+  std::uint64_t messages_batched() const {
+    return messages_batched_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t batches_flushed() const {
+    return batches_flushed_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t flushes_by_size() const {
+    return flushes_by_size_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t flushes_by_timer() const {
+    return flushes_by_timer_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Pending {
@@ -125,6 +138,9 @@ class MessageBatcher {
     sim::TimerHandle timer;
     sim::Time delay{0};      // adaptive per-peer delay; 0 = not initialized
     double rtt_ewma{0.0};    // smoothed response RTT in ns; 0 = no samples
+    // Wall-clock of the oldest queued sub-message, captured only while the
+    // flight recorder is enabled; feeds the kBatchQueueWait span.
+    std::uint64_t first_enqueue_ns{0};
   };
 
   void flush_pending(NodeId peer, Pending& pending, bool by_timer);
@@ -137,12 +153,12 @@ class MessageBatcher {
   BatchConfig config_;
   FlushFn flush_;
   std::unordered_map<NodeId, Pending> pending_;
-  std::size_t buffered_bytes_{0};
+  std::atomic<std::size_t> buffered_bytes_{0};
 
-  std::uint64_t messages_batched_{0};
-  std::uint64_t batches_flushed_{0};
-  std::uint64_t flushes_by_size_{0};
-  std::uint64_t flushes_by_timer_{0};
+  std::atomic<std::uint64_t> messages_batched_{0};
+  std::atomic<std::uint64_t> batches_flushed_{0};
+  std::atomic<std::uint64_t> flushes_by_size_{0};
+  std::atomic<std::uint64_t> flushes_by_timer_{0};
 };
 
 }  // namespace recipe

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "obs/flight_recorder.h"
+
 namespace recipe {
 
 KvClient::KvClient(sim::Clock& clock, net::Transport& network,
@@ -14,6 +16,22 @@ KvClient::KvClient(sim::Clock& clock, net::Transport& network,
   // The long-standing basic knobs win over the policy's own values.
   policy_.initial_timeout = options_.request_timeout;
   policy_.max_attempts = options_.max_retries;
+  if (options_.metrics != nullptr && options_.metrics->enabled()) {
+    obs::MetricsRegistry& m = *options_.metrics;
+    ops_issued_ = m.counter("recipe_client_ops_issued_total");
+    ops_completed_ = m.counter("recipe_client_ops_completed_total");
+    ops_failed_ = m.counter("recipe_client_ops_failed_total");
+    retries_ = m.counter("recipe_client_retries_total");
+    op_latency_us_ = m.histogram("recipe_client_op_latency_us");
+  } else {
+    // No registry (or a disabled one): private detached cells so issued()/
+    // latency_us() keep reporting — this is the pre-registry cost profile.
+    ops_issued_ = obs::Counter::detached();
+    ops_completed_ = obs::Counter::detached();
+    ops_failed_ = obs::Counter::detached();
+    retries_ = obs::Counter::detached();
+    op_latency_us_ = obs::Histogram::detached();
+  }
   if (options_.secured) {
     assert(options_.enclave != nullptr && "secured client requires an enclave");
     RecipeSecurityConfig config;
@@ -64,7 +82,15 @@ KvClient::~KvClient() {
 }
 
 void KvClient::fail(const std::shared_ptr<RetryState>& state, ErrorCode why) {
-  ++failed_;
+  ops_failed_.inc();
+  if (state->started_ns != 0) {
+    // Whole-op span closed by failure; detail carries the error code.
+    obs::FlightRecorder::global().record(
+        obs::SpanKind::kClientOp, state->last_rpc_id, options_.id.value,
+        state->started_ns, obs::FlightRecorder::now_ns(),
+        static_cast<std::uint64_t>(why));
+    state->started_ns = 0;
+  }
   if (state->done) {
     ClientReply reply;
     reply.error = why;
@@ -86,6 +112,16 @@ void KvClient::schedule_retry(NodeId coordinator,
       clock_.now() + backoff > state->started + policy_.deadline) {
     fail(state, why);
     return;
+  }
+  retries_.inc();
+  if (obs::FlightRecorder::global().enabled()) {
+    // Backoff window as a span: [now, now + backoff] in wall-clock ns; the
+    // sim::Time backoff is already nanoseconds.
+    const std::uint64_t t0 = obs::FlightRecorder::now_ns();
+    obs::FlightRecorder::global().record(
+        obs::SpanKind::kRetryBackoff, state->last_rpc_id, options_.id.value,
+        t0, t0 + static_cast<std::uint64_t>(backoff),
+        static_cast<std::uint64_t>(attempt));
   }
   const std::uint64_t token = next_backoff_token_++;
   backoff_timers_[token] = clock_.schedule(
@@ -111,7 +147,7 @@ void KvClient::put(NodeId coordinator, std::string key, Bytes value,
   request.op = OpType::kPut;
   request.key = std::move(key);
   request.value = std::move(value);
-  ++issued_;
+  ops_issued_.inc();
   issue(coordinator, std::move(request), std::move(done), 0);
 }
 
@@ -121,7 +157,7 @@ void KvClient::get(NodeId coordinator, std::string key, ReplyCallback done) {
   request.rid = RequestId{next_rid_++};
   request.op = OpType::kGet;
   request.key = std::move(key);
-  ++issued_;
+  ops_issued_.inc();
   issue(coordinator, std::move(request), std::move(done), 0);
 }
 
@@ -141,6 +177,9 @@ void KvClient::issue(NodeId coordinator, std::shared_ptr<RetryState> state,
                      int attempt) {
   if (attempt == 0) {
     state->started = clock_.now();
+    if (obs::FlightRecorder::global().enabled()) {
+      state->started_ns = obs::FlightRecorder::now_ns();
+    }
     // Backpressure: egress toward the coordinator is past its watermark —
     // fail fast with kOverloaded instead of stacking a fresh request onto a
     // congested link. Retransmits (attempt > 0) still go: their op is
@@ -150,6 +189,10 @@ void KvClient::issue(NodeId coordinator, std::shared_ptr<RetryState> state,
       return;
     }
   }
+  // Allocate the rpc id BEFORE shielding so even a shield-failure span (and
+  // this attempt's retry/backoff spans) carry a usable correlation key.
+  const std::uint64_t rpc_id = rpc_.allocate_rpc_id();
+  state->last_rpc_id = rpc_id;
   auto wire = security_->shield(coordinator, ViewId{0},
                                 as_view(state->request.serialize()));
   if (!wire) {
@@ -160,7 +203,6 @@ void KvClient::issue(NodeId coordinator, std::shared_ptr<RetryState> state,
   }
 
   const sim::Time started = clock_.now();
-  const std::uint64_t rpc_id = rpc_.allocate_rpc_id();
   pending_replies_[rpc_id] = [this, started, state](VerifiedEnvelope& env) {
     auto reply = ClientReply::parse(as_view(env.payload));
     if (!reply) {
@@ -170,11 +212,20 @@ void KvClient::issue(NodeId coordinator, std::shared_ptr<RetryState> state,
       fail(state, ErrorCode::kInternal);
       return;
     }
-    latency_us_.record((clock_.now() - started) / sim::kMicrosecond);
+    op_latency_us_.record((clock_.now() - started) / sim::kMicrosecond);
     if (reply.value().ok) {
-      ++completed_;
+      ops_completed_.inc();
     } else {
-      ++failed_;
+      ops_failed_.inc();
+    }
+    if (state->started_ns != 0) {
+      // Whole-op span (first attempt -> verified reply); detail 0 = success.
+      obs::FlightRecorder::global().record(
+          obs::SpanKind::kClientOp, state->last_rpc_id, options_.id.value,
+          state->started_ns, obs::FlightRecorder::now_ns(),
+          reply.value().ok ? 0
+                           : static_cast<std::uint64_t>(reply.value().error));
+      state->started_ns = 0;
     }
     if (state->done) state->done(reply.value());
   };

@@ -17,6 +17,7 @@
 #include "common/rng.h"
 #include "common/stats.h"
 #include "net/network.h"
+#include "obs/metrics.h"
 #include "recipe/node_base.h"
 #include "recipe/security.h"
 #include "recipe/types.h"
@@ -54,6 +55,11 @@ struct ClientOptions {
   };
   // Identity of the CAS, whose fresh-node notices reset channel state.
   NodeId cas_id{1000};
+  // Observability: when set, the client's op counters and latency histogram
+  // register as recipe_client_* series in this registry (which must outlive
+  // the client). When null the client keeps private detached handles — the
+  // accessors below still work, nothing is scraped.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 class KvClient {
@@ -77,15 +83,19 @@ class KvClient {
            ReplyCallback done);
   void get(NodeId coordinator, std::string key, ReplyCallback done);
 
-  std::uint64_t issued() const { return issued_; }
-  std::uint64_t completed() const { return completed_; }
-  std::uint64_t failed() const { return failed_; }
-  const Histogram& latency_us() const { return latency_us_; }
+  std::uint64_t issued() const { return ops_issued_.value(); }
+  std::uint64_t completed() const { return ops_completed_.value(); }
+  std::uint64_t failed() const { return ops_failed_.value(); }
+  std::uint64_t retries() const { return retries_.value(); }
+  // Snapshot of the op latency distribution (microseconds). By value: the
+  // backing cells live in the metrics registry and keep counting.
+  Histogram latency_us() const { return op_latency_us_.value(); }
   void reset_stats() {
-    issued_ = 0;
-    completed_ = 0;
-    failed_ = 0;
-    latency_us_.reset();
+    ops_issued_.reset();
+    ops_completed_.reset();
+    ops_failed_.reset();
+    retries_.reset();
+    op_latency_us_.reset();
   }
 
  private:
@@ -96,6 +106,11 @@ class KvClient {
     ReplyCallback done;
     sim::Time started{0};       // first attempt's clock, for the deadline
     sim::Time prev_backoff{0};  // decorrelated-jitter chain input
+    // Flight-recorder bookkeeping: wall-clock of the FIRST attempt and the
+    // most recent attempt's rpc id, so the whole-op kClientOp span can be
+    // emitted from whichever closure finishes the op.
+    std::uint64_t started_ns{0};
+    std::uint64_t last_rpc_id{0};
   };
 
   void issue(NodeId coordinator, ClientRequest request, ReplyCallback done,
@@ -126,10 +141,13 @@ class KvClient {
   std::unordered_map<std::uint64_t, std::function<void(VerifiedEnvelope&)>>
       pending_replies_;
 
-  std::uint64_t issued_{0};
-  std::uint64_t completed_{0};
-  std::uint64_t failed_{0};
-  Histogram latency_us_;
+  // Registry-backed when options_.metrics is set, private detached cells
+  // otherwise — either way the accessors above read live values.
+  obs::Counter ops_issued_;
+  obs::Counter ops_completed_;
+  obs::Counter ops_failed_;
+  obs::Counter retries_;
+  obs::Histogram op_latency_us_;
 };
 
 }  // namespace recipe

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "kvstore/snapshot.h"
+#include "obs/flight_recorder.h"
 
 namespace recipe {
 
@@ -34,17 +35,74 @@ ReplicaNode::ReplicaNode(sim::Clock& clock, net::Transport& network,
     }
     reopen_wal();
   }
+  RecipeSecurity* recipe_security = nullptr;
   if (options_.secured) {
     assert(options_.enclave != nullptr && "secured mode requires an enclave");
     RecipeSecurityConfig config;
     config.confidentiality = options_.confidentiality;
     config.working_set = [this] { return enclave_working_set(); };
     config.counter_vault = counter_vault_.get();
-    security_ = std::make_unique<RecipeSecurity>(
+    auto security = std::make_unique<RecipeSecurity>(
         *options_.enclave, options_.self, options_.cost_model,
         &network_.cpu(options_.self), config);
+    recipe_security = security.get();
+    security_ = std::move(security);
   } else {
     security_ = std::make_unique<NullSecurity>(options_.self);
+  }
+
+  if (options_.metrics != nullptr) {
+    obs::MetricsRegistry& m = *options_.metrics;
+    // Cell-backed handles for the hot sites instrumented in this file.
+    rpc_requests_ = m.counter("recipe_rpc_requests_total");
+    rpc_timeouts_ = m.counter("recipe_rpc_timeouts_total");
+    wal_entries_ = m.counter("recipe_wal_entries_total");
+    wal_group_commits_ = m.counter("recipe_wal_group_commits_total");
+    wal_commit_failures_ = m.counter("recipe_wal_commit_failures_total");
+    wal_compactions_ = m.counter("recipe_wal_compactions_total");
+    wal_commit_us_ = m.histogram("recipe_wal_commit_us");
+    apply_us_ = m.histogram("recipe_node_apply_us");
+    // Read-callbacks over state the node already counts.
+    auto counter = [&](const char* name, auto read) {
+      metric_handles_.push_back(m.on_counter(name, {}, std::move(read)));
+    };
+    counter("recipe_node_committed_ops_total",
+            [this] { return committed_ops(); });
+    counter("recipe_node_snapshot_rollback_rejected_total",
+            [this] { return snapshot_rollback_rejected(); });
+    counter("recipe_node_snapshot_corrupt_total",
+            [this] { return snapshot_corrupt(); });
+    counter("recipe_node_fd_suspicions_total", [this] {
+      return fd_suspicions_.load(std::memory_order_relaxed);
+    });
+    counter("recipe_batch_messages_total",
+            [this] { return batcher_.messages_batched(); });
+    counter("recipe_batch_flushes_total",
+            [this] { return batcher_.batches_flushed(); });
+    counter("recipe_batch_flushes_by_size_total",
+            [this] { return batcher_.flushes_by_size(); });
+    counter("recipe_batch_flushes_by_timer_total",
+            [this] { return batcher_.flushes_by_timer(); });
+    metric_handles_.push_back(
+        m.on_gauge("recipe_batch_buffered_bytes", {}, [this] {
+          return static_cast<std::int64_t>(batcher_.buffered_bytes());
+        }));
+    if (recipe_security != nullptr) {
+      // The callbacks capture the raw RecipeSecurity (stats accessors are
+      // not on the SecurityPolicy seam); handles unregister before
+      // security_ is destroyed (declaration order).
+      auto* sec = recipe_security;
+      counter("recipe_security_rejected_auth_total",
+              [sec] { return sec->rejected_auth(); });
+      counter("recipe_security_rejected_replay_total",
+              [sec] { return sec->rejected_replay(); });
+      counter("recipe_security_rejected_view_total",
+              [sec] { return sec->rejected_view(); });
+      counter("recipe_security_rejected_overflow_total",
+              [sec] { return sec->rejected_overflow(); });
+      counter("recipe_security_buffered_future_total",
+              [sec] { return sec->buffered_future(); });
+    }
   }
 
   // Batch carrier: ONE verify (MAC + replay slot) covers every sub-message.
@@ -52,7 +110,11 @@ ReplicaNode::ReplicaNode(sim::Clock& clock, net::Transport& network,
   // can never be dispatched as a protocol payload or vice versa.
   rpc_.register_handler(msg::kBatch, [this](rpc::RequestContext& ctx) {
     if (!running_) return;
-    auto env = security_->verify(ctx.src, as_view(ctx.payload));
+    auto env = [&] {
+      obs::Span span(obs::SpanKind::kVerify, ctx.rpc_id, options_.self.value);
+      span.set_detail(ctx.payload.size());
+      return security_->verify(ctx.src, as_view(ctx.payload));
+    }();
     if (!env) return;  // drop: unauthenticated / replayed / malformed
     if (!env.value().batch) return;  // single frame re-typed as a batch
     dispatch_batch(env.value(), ctx);
@@ -279,7 +341,11 @@ void ReplicaNode::on(rpc::RequestType type, EnvelopeHandler handler) {
   handlers_[type] = std::move(handler);
   rpc_.register_handler(type, [this, type](rpc::RequestContext& ctx) {
     if (!running_) return;  // a stopped node processes nothing
-    auto env = security_->verify(ctx.src, as_view(ctx.payload));
+    auto env = [&] {
+      obs::Span span(obs::SpanKind::kVerify, ctx.rpc_id, options_.self.value);
+      span.set_detail(ctx.payload.size());
+      return security_->verify(ctx.src, as_view(ctx.payload));
+    }();
     if (!env) return;  // drop: unauthenticated / replayed / malformed
     if (env.value().batch) return;  // batch frames only enter via msg::kBatch
     dispatch_request(type, env.value(), ctx);
@@ -292,7 +358,10 @@ void ReplicaNode::dispatch_request(rpc::RequestType type, VerifiedEnvelope& env,
                                    rpc::RequestContext& ctx) {
   const auto it = handlers_.find(type);
   if (it == handlers_.end()) return;  // unknown (or nested-batch) type: drop
+  const std::uint64_t prev_op = current_op_rpc_id_;
+  current_op_rpc_id_ = ctx.rpc_id;
   it->second(env, ctx);
+  current_op_rpc_id_ = prev_op;
   // Strict-order mode may have unblocked buffered futures. A promoted future
   // can itself be a batch frame — route it through the batch dispatcher, not
   // the triggering type's handler.
@@ -398,7 +467,10 @@ void ReplicaNode::send_batch(NodeId peer, Bytes body) {
   // lives and travels as head || body || tail through gather I/O — the
   // flushed frame is never re-copied into a contiguous buffer. Shipped
   // bytes are identical to shield_batch().
+  obs::Span shield_span(obs::SpanKind::kShield, /*rpc_id=*/0, options_.self.value);
+  shield_span.set_detail(body.size());
   auto parts = security_->shield_batch_parts(peer, current_view(), body);
+  shield_span.finish();
   if (!parts) return;  // crashed enclave: the batch dies like any send
   std::vector<Bytes> segments;
   segments.reserve(3);
@@ -416,6 +488,7 @@ void ReplicaNode::send_to(NodeId peer, rpc::RequestType type, BytesView payload,
                           rpc::TimeoutHandler on_timeout) {
   const bool tracked = continuation != nullptr || on_timeout != nullptr;
   const std::uint64_t rpc_id = rpc_.allocate_rpc_id();
+  rpc_requests_.inc();
 
   rpc::Continuation wrapped;
   rpc::TimeoutHandler timeout_wrapped;
@@ -442,6 +515,7 @@ void ReplicaNode::send_to(NodeId peer, rpc::RequestType type, BytesView payload,
     };
     timeout_wrapped = [this, rpc_id, cb = std::move(on_timeout)] {
       response_handlers_.erase(rpc_id);
+      rpc_timeouts_.inc();
       if (cb) cb();
     };
   }
@@ -511,10 +585,25 @@ bool ReplicaNode::kv_write(std::string_view key, BytesView value,
     if (kv_.confidential()) cost += options_.cost_model->encrypt(value.size());
     cpu().charge(cost);
   }
+  // One timestamp pair feeds both the apply histogram and the flight
+  // recorder; neither costs a clock read when observability is off.
+  const bool timed = bool(apply_us_) || obs::FlightRecorder::global().enabled();
+  const std::uint64_t t0 = timed ? obs::FlightRecorder::now_ns() : 0;
   const bool applied = kv_.write(key, value, ts);
   // Every APPLIED write is logged; the group boundary (one commit record per
   // dispatched message/batch) is drawn by wal_group_commit().
-  if (applied && wal_ != nullptr) wal_->append(key, value, ts);
+  if (applied && wal_ != nullptr) {
+    wal_->append(key, value, ts);
+    wal_entries_.inc();
+  }
+  if (timed) {
+    const std::uint64_t t1 = obs::FlightRecorder::now_ns();
+    apply_us_.record((t1 - t0) / 1000);
+    obs::FlightRecorder::global().record(obs::SpanKind::kApply,
+                                         current_op_rpc_id_,
+                                         options_.self.value, t0, t1,
+                                         /*detail=*/applied ? 1 : 0);
+  }
   return applied;
 }
 
@@ -720,13 +809,26 @@ void ReplicaNode::reopen_wal() {
 
 void ReplicaNode::wal_group_commit() {
   if (wal_ == nullptr || wal_->pending_entries() == 0) return;
+  const std::size_t pending = wal_->pending_entries();
   const std::uint64_t rotated_before = wal_->segments_rotated();
+  const bool timed =
+      bool(wal_commit_us_) || obs::FlightRecorder::global().enabled();
+  const std::uint64_t t0 = timed ? obs::FlightRecorder::now_ns() : 0;
+  const bool committed = bool(wal_->commit());
+  if (timed) {
+    const std::uint64_t t1 = obs::FlightRecorder::now_ns();
+    wal_commit_us_.record((t1 - t0) / 1000);
+    obs::FlightRecorder::global().record(obs::SpanKind::kWalGroupCommit,
+                                         /*rpc_id=*/0, options_.self.value, t0, t1,
+                                         /*detail=*/pending);
+  }
   // Commit failure only costs warm-restart eligibility (the entries are
   // already applied and replicated); the node keeps serving. But the store
   // now holds state the log missed, so the baseline is dirty until a
   // compaction reseals the full store — otherwise a later clean marker
   // would vouch for a log with a silent hole in it.
-  if (!wal_->commit()) {
+  if (!committed) {
+    wal_commit_failures_.inc();
     wal_baseline_dirty_ = true;
     if (wal_->seq_exhausted()) {
       // Per-epoch segment sequence space ran out: reopen under a freshly
@@ -735,6 +837,7 @@ void ReplicaNode::wal_group_commit() {
     }
     return;
   }
+  wal_group_commits_.inc();
   // Compaction piggybacks on rotation: only a commit that sealed a segment
   // can push the sealed-segment count past the threshold, so the (storage
   // enumerating) should_compact() check is skipped on the common path.
@@ -743,6 +846,7 @@ void ReplicaNode::wal_group_commit() {
   }
   if (auto version = options_.enclave->advance_snapshot_version()) {
     if (wal_->compact(kv_, version.value()).is_ok()) {
+      wal_compactions_.inc();
       wal_baseline_dirty_ = false;  // the compacted snapshot covers the store
     }
   }
@@ -887,6 +991,7 @@ void ReplicaNode::heartbeat_tick() {
         std::find(suspected_already_.begin(), suspected_already_.end(), peer) ==
             suspected_already_.end()) {
       suspected_already_.push_back(peer);
+      fd_suspicions_.fetch_add(1, std::memory_order_relaxed);
       on_suspected(peer);
     }
   }

@@ -19,6 +19,7 @@
 #include "kvstore/kvstore.h"
 #include "kvstore/wal.h"
 #include "net/network.h"
+#include "obs/metrics.h"
 #include "recipe/batcher.h"
 #include "recipe/client_table.h"
 #include "recipe/failure_detector.h"
@@ -109,6 +110,13 @@ struct ReplicaOptions {
   // B.1 counter-vault stride: sealed horizon rewrites happen once per this
   // many send-counter allocations.
   Counter counter_stride = 1024;
+
+  // Observability: when set, the node registers its protocol/security/
+  // batcher/WAL/RPC series (recipe_node_*, recipe_security_*,
+  // recipe_batch_*, recipe_wal_*, recipe_rpc_*) into this registry. Must
+  // outlive the node. Null keeps the node scrape-free (existing accessors
+  // still work).
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 using ReplyFn = std::function<void(const ClientReply&)>;
@@ -149,7 +157,9 @@ class ReplicaNode {
   // True when this node can serve a linearizable read locally (no quorum).
   virtual bool serves_local_reads() const { return false; }
 
-  std::uint64_t committed_ops() const { return committed_ops_; }
+  std::uint64_t committed_ops() const {
+    return committed_ops_.load(std::memory_order_relaxed);
+  }
   SecurityPolicy& security() { return *security_; }
   MessageBatcher& batcher() { return batcher_; }
   // Drains every pending batch immediately (latency-sensitive callers).
@@ -223,12 +233,14 @@ class ReplicaNode {
   // snapshot_rollback_rejected().
   Result<std::size_t> restore_snapshot(BytesView sealed);
   std::uint64_t snapshot_rollback_rejected() const {
-    return snapshot_rollback_rejected_;
+    return snapshot_rollback_rejected_.load(std::memory_order_relaxed);
   }
   // Sealed-snapshot restores that failed for a NON-rollback reason (tampered
   // or truncated blob). The rejoin driver degrades these to a cold rejoin
   // instead of aborting — the count pins that the corruption was noticed.
-  std::uint64_t snapshot_corrupt() const { return snapshot_corrupt_; }
+  std::uint64_t snapshot_corrupt() const {
+    return snapshot_corrupt_.load(std::memory_order_relaxed);
+  }
 
   // --- Sealed group-commit WAL (cheap restart) -----------------------------
   //
@@ -303,7 +315,9 @@ class ReplicaNode {
   bool kv_write(std::string_view key, BytesView value, kv::Timestamp ts = {});
   Result<kv::VersionedValue> kv_get(std::string_view key);
 
-  void record_commit() { ++committed_ops_; }
+  void record_commit() {
+    committed_ops_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   // Work executed by a single dedicated thread — the paper's R-Raft "writer
   // thread that serialized all writes" and R-AllConcur's per-round message
@@ -393,6 +407,11 @@ class ReplicaNode {
     sim::Time sent_at{0};
   };
   std::unordered_map<std::uint64_t, PendingResponse> response_handlers_;
+  // rpc_id of the request currently being dispatched on this node's loop —
+  // lets deep apply paths (kv_write) key their flight-recorder spans to the
+  // op without threading the id through every protocol. Saved/restored by
+  // dispatch_request, so nested dispatches label correctly.
+  std::uint64_t current_op_rpc_id_{0};
   // Feeds one completed round trip into the batcher's pacing EWMA.
   void feed_rtt(const PendingResponse& pending);
   // Keeps a paced link measured: with rtt_fraction > 0, enqueues a tracked
@@ -421,9 +440,12 @@ class ReplicaNode {
   std::set<NodeId> shadow_peers_;
   sim::TimerHandle notice_timer_;
   std::uint64_t synced_max_counter_{0};
-  std::uint64_t snapshot_rollback_rejected_{0};
-  std::uint64_t snapshot_corrupt_{0};
-  std::uint64_t committed_ops_{0};
+  // Relaxed atomics: bumped on the loop thread, read by metrics scrapes
+  // (and tests) from any thread.
+  std::atomic<std::uint64_t> snapshot_rollback_rejected_{0};
+  std::atomic<std::uint64_t> snapshot_corrupt_{0};
+  std::atomic<std::uint64_t> committed_ops_{0};
+  std::atomic<std::uint64_t> fd_suspicions_{0};
   // Durability (null unless options_.wal_storage is set). The vault outlives
   // every Wal incarnation: horizons are monotone across restarts.
   std::unique_ptr<kv::CounterVault> counter_vault_;
@@ -432,6 +454,21 @@ class ReplicaNode {
   // snapshot restore): the clean-shutdown path must compact before writing
   // the marker or that baseline would be missing from a replay.
   bool wal_baseline_dirty_{false};
+
+  // --- observability handles (null/no-op when options_.metrics is null) ----
+  // Cell-backed handles are node-owned (NOT owned by wal_/security_) so
+  // increments at commit/append sites never race a WAL reopen.
+  obs::Counter rpc_requests_;
+  obs::Counter rpc_timeouts_;
+  obs::Counter wal_entries_;
+  obs::Counter wal_group_commits_;
+  obs::Counter wal_commit_failures_;
+  obs::Counter wal_compactions_;
+  obs::Histogram wal_commit_us_;
+  obs::Histogram apply_us_;
+  // Declared last: read-callbacks (security/batcher/node counters)
+  // unregister before anything they read is torn down.
+  std::vector<obs::CallbackHandle> metric_handles_;
 };
 
 }  // namespace recipe

@@ -9,6 +9,21 @@ ChaosTransport::ChaosTransport(net::Transport& inner, ChaosOptions options)
   state_->inner = &inner_;
   state_->options = std::move(options);
   state_->rng = Rng(state_->options.seed);
+  if (state_->options.metrics != nullptr) {
+    obs::MetricsRegistry& m = *state_->options.metrics;
+    auto counter = [&](const char* name, std::uint64_t (ChaosTransport::*fn)()
+                                             const) {
+      metric_handles_.push_back(
+          m.on_counter(name, {}, [this, fn] { return (this->*fn)(); }));
+    };
+    counter("recipe_chaos_dropped_total", &ChaosTransport::chaos_dropped);
+    counter("recipe_chaos_duplicated_total", &ChaosTransport::chaos_duplicated);
+    counter("recipe_chaos_reordered_total", &ChaosTransport::chaos_reordered);
+    counter("recipe_chaos_delayed_total", &ChaosTransport::chaos_delayed);
+    counter("recipe_chaos_partitions_total",
+            &ChaosTransport::partitions_injected);
+    counter("recipe_chaos_resets_total", &ChaosTransport::resets_injected);
+  }
   if (state_->options.partition_period > 0) schedule_partition_storm(state_);
   if (state_->options.reset_period > 0) schedule_reset_storm(state_);
 }

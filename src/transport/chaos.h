@@ -44,6 +44,7 @@
 
 #include "common/rng.h"
 #include "net/transport.h"
+#include "obs/metrics.h"
 
 namespace recipe::transport {
 
@@ -80,6 +81,10 @@ struct ChaosOptions {
   sim::Time reset_period = 0;
   double reset_chance = 0.5;
   std::function<void(NodeId peer)> reset_hook;
+
+  // When set, the injector's telemetry counters register as
+  // recipe_chaos_*_total read-callbacks. Must outlive the decorator.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 class ChaosTransport final : public net::Transport {
@@ -165,6 +170,8 @@ class ChaosTransport final : public net::Transport {
 
   net::Transport& inner_;
   std::shared_ptr<State> state_;
+  // Declared last: unregisters before state_ (the callbacks read it).
+  std::vector<obs::CallbackHandle> metric_handles_;
 };
 
 }  // namespace recipe::transport

@@ -13,6 +13,11 @@ ShardedTcpTransport::ShardedTcpTransport(ShardedTcpTransportOptions options)
   for (unsigned s = 0; s < n; ++s) {
     TcpTransportOptions shard_options = options_.transport;
     shard_options.reuseport = n > 1;
+    if (shard_options.metrics != nullptr) {
+      // Each shard loop scrapes as its own labelset, so the per-loop cells
+      // never share a series (or a cache line) with a sibling.
+      shard_options.metrics_labels = "shard=\"" + std::to_string(s) + "\"";
+    }
     if (n > 1) {
       // Hooks run on shard s's loop thread, always after this constructor
       // returns (they fire only once listeners/connections exist).

@@ -54,8 +54,9 @@ struct ShardedTcpTransportOptions {
   unsigned shards = 0;
   // Shard-count resolution input (and the stack model handed to endpoints).
   net::NetStackParams net{};
-  // Per-shard transport knobs. `reuseport` and `shard_hooks` are owned by
-  // this class and overwritten.
+  // Per-shard transport knobs. `reuseport`, `shard_hooks` and
+  // `metrics_labels` (set to shard="k" when `metrics` is wired) are owned
+  // by this class and overwritten.
   TcpTransportOptions transport{};
 };
 

@@ -12,6 +12,7 @@
 #include <unistd.h>
 
 #include "common/endian.h"
+#include "obs/flight_recorder.h"
 
 #include <fcntl.h>
 
@@ -53,6 +54,28 @@ TcpTransport::TcpTransport(TcpTransportOptions options)
   reserve_fd_ = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
   epoll_register(wake_fd_, EPOLLIN, /*gen=*/0);
   timers_.set_wakeup([this] { wake(); });
+  if (options_.metrics != nullptr) {
+    obs::MetricsRegistry& m = *options_.metrics;
+    const std::string& l = options_.metrics_labels;
+    auto counter = [&](const char* name, const std::atomic<std::uint64_t>& v) {
+      metric_handles_.push_back(m.on_counter(
+          name, l, [&v] { return v.load(std::memory_order_relaxed); }));
+    };
+    counter("recipe_transport_packets_sent_total", packets_sent_);
+    counter("recipe_transport_packets_delivered_total", packets_delivered_);
+    counter("recipe_transport_packets_dropped_total", packets_dropped_);
+    counter("recipe_transport_bytes_sent_total", bytes_sent_);
+    counter("recipe_transport_packets_shed_total", packets_shed_);
+    counter("recipe_transport_dials_attempted_total", dials_attempted_);
+    counter("recipe_transport_dials_failed_total", dials_failed_);
+    counter("recipe_transport_accepts_shed_total", accepts_shed_);
+    counter("recipe_transport_resets_injected_total", resets_injected_);
+    metric_handles_.push_back(
+        m.on_gauge("recipe_transport_egress_backlog_bytes", l, [this] {
+          return static_cast<std::int64_t>(
+              egress_backlog_.load(std::memory_order_relaxed));
+        }));
+  }
   thread_ = std::thread([this] { loop(); });
 }
 
@@ -743,6 +766,24 @@ void TcpTransport::flush_conn(Conn& conn) {
     trickle_flush(conn);
     return;
   }
+  // rpc_id is opaque at the socket layer; the span keys on the dialed peer
+  // instead and carries bytes-written as detail. Recorded only when bytes
+  // actually left (EAGAIN-only flushes are noise, not a write).
+  struct WriteSpan {
+    std::uint64_t peer;
+    const std::size_t& written;
+    bool rec = obs::FlightRecorder::global().enabled();
+    std::uint64_t t0 = rec ? obs::FlightRecorder::now_ns() : 0;
+    ~WriteSpan() {
+      if (rec && written > 0) {
+        obs::FlightRecorder::global().record(
+            obs::SpanKind::kSocketWrite, /*rpc_id=*/0, peer, t0,
+            obs::FlightRecorder::now_ns(), written);
+      }
+    }
+  };
+  std::size_t written_total = 0;
+  WriteSpan span{conn.dial_peer, written_total};
   while (conn.out_bytes > 0) {
     // One gathered sendmsg per syscall: up to kMaxIov queued buffers leave
     // together. The front buffer may be partially consumed from an earlier
@@ -763,6 +804,7 @@ void TcpTransport::flush_conn(Conn& conn) {
     msg.msg_iovlen = static_cast<std::size_t>(iovcnt);
     const ssize_t n = ::sendmsg(conn.fd, &msg, MSG_NOSIGNAL);
     if (n > 0) {
+      written_total += static_cast<std::size_t>(n);
       advance_outq(conn, static_cast<std::size_t>(n));
       continue;
     }

@@ -47,6 +47,7 @@
 #include "common/result.h"
 #include "net/frame.h"
 #include "net/transport.h"
+#include "obs/metrics.h"
 #include "transport/mpsc_queue.h"
 #include "transport/timer_queue.h"
 
@@ -128,6 +129,16 @@ struct TcpTransportOptions {
   bool reuseport = false;
   // Cross-shard forwarding hooks; empty on a standalone transport.
   ShardHooks shard_hooks{};
+
+  // --- observability -------------------------------------------------------
+
+  // When set, the transport registers read-callbacks for its packet/byte/
+  // shedding counters under recipe_transport_* series (the existing atomics
+  // are the single source of truth; no double counting). Must outlive the
+  // transport. ShardedTcpTransport sets metrics_labels to shard="k" per
+  // shard so sibling loops scrape as distinct series.
+  obs::MetricsRegistry* metrics = nullptr;
+  std::string metrics_labels{};
 };
 
 class TcpTransport final : public net::Transport {
@@ -387,6 +398,10 @@ class TcpTransport final : public net::Transport {
   // Sum of every connection's out_bytes; written on the loop thread, read
   // by overloaded()/egress_backlog() from anywhere.
   std::atomic<std::size_t> egress_backlog_{0};
+
+  // Declared last: unregisters from options_.metrics before any state the
+  // callbacks read is torn down.
+  std::vector<obs::CallbackHandle> metric_handles_;
 };
 
 }  // namespace recipe::transport

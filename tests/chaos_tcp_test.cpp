@@ -95,6 +95,9 @@ void run_chaos_sweep(const std::string& protocol, bool batched) {
       testing::resolved_seed(0xC4A05 + (batched ? 1 : 0));
   SCOPED_TRACE(testing::seed_trace_message(seed));
   SCOPED_TRACE(protocol + (batched ? " batched" : " unbatched"));
+  // On failure: dump the per-op trace next to the seed stamp, so the CI
+  // artifact shows WHERE the lost op spent its time, not just how to replay.
+  testing::FlightRecorderDumpOnFailure trace_dump;
 
   TcpCluster cluster(chaos_cluster(protocol, batched, seed));
   KvClient& client = cluster.add_client(2000);
@@ -144,6 +147,7 @@ TEST(ChaosTcpTest, AbdBatched) { run_chaos_sweep("abd", true); }
 TEST(ChaosTcpTest, PartitionAndResetStormKeepsDurability) {
   const std::uint64_t seed = testing::resolved_seed(0x57042);
   SCOPED_TRACE(testing::seed_trace_message(seed));
+  testing::FlightRecorderDumpOnFailure trace_dump;
 
   TcpClusterOptions options = chaos_cluster("cr", /*batched=*/true, seed);
   options.heartbeat_period = 20 * sim::kMillisecond;

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <string>
@@ -13,6 +14,7 @@
 #include "attest/bundle.h"
 #include "attest/cas.h"
 #include "net/network.h"
+#include "obs/flight_recorder.h"
 #include "recipe/client.h"
 #include "recipe/node_base.h"
 #include "recipe/recovery.h"
@@ -39,6 +41,32 @@ inline std::uint64_t resolved_seed(std::uint64_t fallback) {
 inline std::string seed_trace_message(std::uint64_t seed) {
   return "randomized run: replay with RECIPE_TEST_SEED=" + std::to_string(seed);
 }
+
+// Scope guard for randomized/chaos tests: when the enclosing test has a
+// gtest failure at scope exit, dumps the global flight recorder to
+// flight_recorder_<TestSuite>.<TestName>.json in the working directory and
+// prints the path right next to the RECIPE_TEST_SEED replay stamp, so the
+// per-op trace rides along with the seed in CI failure artifacts.
+class FlightRecorderDumpOnFailure {
+ public:
+  FlightRecorderDumpOnFailure() = default;
+  FlightRecorderDumpOnFailure(const FlightRecorderDumpOnFailure&) = delete;
+  FlightRecorderDumpOnFailure& operator=(const FlightRecorderDumpOnFailure&) =
+      delete;
+  ~FlightRecorderDumpOnFailure() {
+    if (!::testing::Test::HasFailure()) return;
+    const auto* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    std::string name = "unknown";
+    if (info != nullptr) {
+      name = std::string(info->test_suite_name()) + "." + info->name();
+    }
+    const std::string path = "flight_recorder_" + name + ".json";
+    if (obs::FlightRecorder::global().dump_json_to(path)) {
+      std::fprintf(stderr, "flight recorder dumped to %s\n", path.c_str());
+    }
+  }
+};
 
 template <typename Node>
 class Cluster {

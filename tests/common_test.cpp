@@ -232,6 +232,93 @@ TEST(Histogram, EmptyIsSafe) {
   EXPECT_EQ(h.min(), 0u);
   EXPECT_EQ(h.percentile(0.5), 0u);
   EXPECT_EQ(h.mean(), 0.0);
+  // Edge quantiles of an empty histogram are 0 too, not ~0ULL garbage.
+  EXPECT_EQ(h.percentile(0.0), 0u);
+  EXPECT_EQ(h.percentile(1.0), 0u);
+}
+
+TEST(Histogram, PercentileEdgesAreExact) {
+  Histogram h;
+  h.record(7);
+  h.record(10000);
+  h.record(123456);
+  // min/max are tracked exactly, so the edge quantiles bypass the bucket
+  // walk and its ~2% midpoint error entirely — including q outside [0,1].
+  EXPECT_EQ(h.percentile(0.0), 7u);
+  EXPECT_EQ(h.percentile(-0.5), 7u);
+  EXPECT_EQ(h.percentile(1.0), 123456u);
+  EXPECT_EQ(h.percentile(1.5), 123456u);
+  // Interior quantiles stay clamped into [min, max].
+  for (double q : {0.01, 0.25, 0.5, 0.75, 0.99}) {
+    EXPECT_GE(h.percentile(q), 7u) << q;
+    EXPECT_LE(h.percentile(q), 123456u) << q;
+  }
+}
+
+TEST(Histogram, SingleSampleAllQuantilesAgree) {
+  Histogram h;
+  h.record(42);
+  for (double q : {0.0, 0.5, 0.99, 1.0}) {
+    EXPECT_EQ(h.percentile(q), 42u) << q;
+  }
+}
+
+TEST(Histogram, BucketBoundariesExactBelowSubBucketRange) {
+  // Values below the linear/log seam (16) get a dedicated bucket each, so
+  // quantiles are EXACT there — the bucket midpoint IS the value.
+  Histogram h;
+  for (std::uint64_t v = 0; v < 16; ++v) h.record(v);
+  EXPECT_EQ(h.percentile(0.0), 0u);
+  EXPECT_EQ(h.percentile(1.0), 15u);
+  EXPECT_EQ(h.percentile(0.5), 7u);
+  // Each value landed in its own bucket.
+  for (std::uint64_t v = 0; v < 16; ++v) {
+    EXPECT_EQ(Histogram::bucket_for(v), static_cast<std::size_t>(v)) << v;
+  }
+  // The seam: 15 is the last linear bucket, 16 starts the log groups, and
+  // bucket indices never regress as values grow through powers of two.
+  std::size_t prev = Histogram::bucket_for(15);
+  for (std::uint64_t v : {16ull, 17ull, 31ull, 32ull, 255ull, 256ull, 257ull,
+                          1ull << 20, (1ull << 20) + 1, ~0ull}) {
+    const std::size_t bucket = Histogram::bucket_for(v);
+    EXPECT_GE(bucket, prev) << v;
+    EXPECT_LT(bucket, Histogram::kNumBuckets) << v;
+    prev = bucket;
+  }
+}
+
+TEST(Histogram, MergePreservesTallyInvariants) {
+  // merge(a, b) must behave exactly as if every sample had been recorded
+  // into one histogram: count/sum/min/max equal, quantiles identical.
+  Histogram a, b, combined;
+  for (std::uint64_t v = 1; v <= 500; ++v) {
+    a.record(v * 3);
+    combined.record(v * 3);
+  }
+  for (std::uint64_t v = 1; v <= 300; ++v) {
+    b.record(v * 7 + 1000);
+    combined.record(v * 7 + 1000);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_EQ(a.sum(), combined.sum());
+  EXPECT_EQ(a.min(), combined.min());
+  EXPECT_EQ(a.max(), combined.max());
+  for (double q : {0.0, 0.1, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_EQ(a.percentile(q), combined.percentile(q)) << q;
+  }
+}
+
+TEST(Histogram, MergeEmptyDoesNotCorruptMin) {
+  Histogram a, empty;
+  a.record(50);
+  a.merge(empty);  // empty's sentinel min must not leak in
+  EXPECT_EQ(a.min(), 50u);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);  // merging INTO an empty histogram adopts a's stats
+  EXPECT_EQ(empty.min(), 50u);
+  EXPECT_EQ(empty.max(), 50u);
+  EXPECT_EQ(empty.percentile(0.5), 50u);
 }
 
 TEST(StrongIds, DistinctTypesAndHashable) {
